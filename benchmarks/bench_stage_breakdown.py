@@ -1,0 +1,49 @@
+"""Experiment E13 (ablation): cost breakdown of the three-stage design.
+
+The paper motivates "progressive, step-wise translation" (section 3.4.1)
+for correctness and maintainability, not speed; Table R5 quantifies what
+each stage costs per complexity class so the design's overhead profile is
+visible: stage 1 (lex/parse + contexts), stage 2 (metadata binding,
+validation, typing), stage 3 (generation).
+"""
+
+import pytest
+
+from repro.translator import SQLToXQueryTranslator
+from repro.workloads import COMPLEXITY_CLASSES, build_runtime
+
+CLASSES = ["C1-simple", "C3-join", "C5-nested"]
+
+
+@pytest.fixture(scope="module")
+def translator():
+    translator = SQLToXQueryTranslator(build_runtime().metadata_api())
+    for sql in COMPLEXITY_CLASSES.values():
+        translator.translate(sql)  # warm metadata
+    return translator
+
+
+@pytest.mark.parametrize("klass", CLASSES)
+@pytest.mark.benchmark(group="E13-stage-breakdown")
+def test_stage1_parse_and_contexts(benchmark, translator, klass):
+    sql = COMPLEXITY_CLASSES[klass]
+    result = benchmark(translator.stage1, sql)
+    assert result.contexts
+
+
+@pytest.mark.parametrize("klass", CLASSES)
+@pytest.mark.benchmark(group="E13-stage-breakdown")
+def test_stage2_bind_and_validate(benchmark, translator, klass):
+    sql = COMPLEXITY_CLASSES[klass]
+    stage1 = translator.stage1(sql)
+    unit = benchmark(translator.stage2, stage1)
+    assert unit.bound.result_columns
+
+
+@pytest.mark.parametrize("klass", CLASSES)
+@pytest.mark.benchmark(group="E13-stage-breakdown")
+def test_stage3_generate(benchmark, translator, klass):
+    sql = COMPLEXITY_CLASSES[klass]
+    unit = translator.stage2(translator.stage1(sql))
+    result = benchmark(translator.stage3, unit)
+    assert result.xquery

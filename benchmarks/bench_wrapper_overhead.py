@@ -1,0 +1,47 @@
+"""Experiment E14 (ablation): server-side cost of the section-4 wrapper.
+
+The wrapper query trades client-side XML parsing for server-side string
+assembly (string-join over escaped, serialized cells). Table R6 measures
+the *server-side* execution cost of the wrapped query vs producing and
+serializing the RECORDSET tree, isolating where the section-4 trade-off
+pays: the wrapper's encode cost must stay below the XML path's
+serialize(+client-parse) cost for the paper's claim to hold.
+"""
+
+import pytest
+
+from repro.driver import connect
+from repro.xmlmodel import serialize
+from repro.workloads.scaling import build_scaled_runtime
+
+ROWS = [500, 2000]
+SQL = "SELECT * FROM FACTS"
+
+
+@pytest.mark.parametrize("rows", ROWS)
+@pytest.mark.benchmark(group="E14-wrapper-overhead")
+def test_server_delimited_encode(benchmark, rows):
+    runtime = build_scaled_runtime(rows)
+    connection = connect(runtime, format="delimited")
+    translation = connection.translate(SQL)
+
+    def run():
+        return runtime.execute(translation.xquery)
+
+    payload = benchmark(run)
+    assert isinstance(payload[0], str)
+
+
+@pytest.mark.parametrize("rows", ROWS)
+@pytest.mark.benchmark(group="E14-wrapper-overhead")
+def test_server_xml_materialize_and_serialize(benchmark, rows):
+    runtime = build_scaled_runtime(rows)
+    connection = connect(runtime, format="xml")
+    translation = connection.translate(SQL)
+
+    def run():
+        payload = runtime.execute(translation.xquery)
+        return serialize(payload[0])
+
+    text = benchmark(run)
+    assert text.startswith("<RECORDSET>")

@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module regenerates one experiment from DESIGN.md's experiment index;
+EXPERIMENTS.md records the measured numbers against the paper's claims.
+"""
+
+import pytest
+
+from repro.workloads import build_runtime
+
+
+@pytest.fixture(scope="session")
+def demo_runtime():
+    return build_runtime()

@@ -1,0 +1,42 @@
+"""Quickstart: query XML data services with plain SQL.
+
+Builds the demo AquaLogic-style application (a TestDataServices project
+whose data service functions wrap in-memory tables), opens a DB-API
+connection through the SQL-to-XQuery driver, and runs a few statements.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.driver import connect
+from repro.workloads import build_runtime
+
+
+def main() -> None:
+    runtime = build_runtime()
+    connection = connect(runtime)   # default: delimited result path
+    cursor = connection.cursor()
+
+    print("== All customers ==")
+    cursor.execute("SELECT CUSTOMERID, CUSTOMERNAME, REGION, CREDITLIMIT "
+                   "FROM CUSTOMERS ORDER BY CUSTOMERID")
+    for row in cursor:
+        print(f"  {row}")
+
+    print("\n== Prepared statement (positional ? parameters) ==")
+    cursor.execute("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE REGION = ? "
+                   "AND CREDITLIMIT > ?", ["EAST", 100])
+    print(" ", cursor.fetchall())
+
+    print("\n== The XQuery behind a statement ==")
+    translation = connection.translate(
+        "SELECT CUSTOMERID ID FROM CUSTOMERS WHERE CUSTOMERNAME = 'Sue'")
+    print(translation.xquery)
+
+    print("\n== Result metadata (cursor.description) ==")
+    cursor.execute("SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS")
+    for name, type_code, *_rest in cursor.description:
+        print(f"  {name}: {type_code!r}")
+
+
+if __name__ == "__main__":
+    main()

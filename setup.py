@@ -1,0 +1,15 @@
+"""Legacy setup shim so `pip install -e .` works offline (no wheel pkg)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'SQL to XQuery Translation in the AquaLogic Data "
+        "Services Platform' (ICDE 2006)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,64 @@
+"""repro — SQL to XQuery Translation in the AquaLogic Data Services
+Platform (ICDE 2006), reproduced in pure Python.
+
+The package provides:
+
+* ``repro.translator`` — the paper's core contribution: a three-stage
+  SQL-92-to-XQuery translator with typed resultset nodes, query contexts,
+  and the section-4 delimited-text result wrapper;
+* ``repro.driver`` — a PEP 249 (DB-API 2.0) driver, the JDBC analogue,
+  with ``connect(runtime)``;
+* ``repro.engine`` — the DSP runtime hosting data services, in-memory
+  relational storage, and the reference SQL executor used as the
+  correctness oracle;
+* ``repro.xquery`` — an XQuery subset engine (FLWOR + BEA group-by
+  extension, fn:/xs:/fn-bea: libraries);
+* ``repro.catalog`` — applications/projects/data services, XSD row
+  schemas, and the remote metadata API with driver-side caching;
+* ``repro.xmlmodel`` — the ordered-tree XML data model;
+* ``repro.workloads`` — demo application, scaling workloads, and the
+  random query generator.
+
+Quickstart::
+
+    from repro import connect, build_demo_runtime
+
+    conn = connect(build_demo_runtime())
+    cur = conn.cursor()
+    cur.execute("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = ?",
+                [23])
+    print(cur.fetchall())
+"""
+
+from .driver import connect
+from .engine import DSPRuntime, SQLExecutor, Storage, TableProvider
+from .translator import SQLToXQueryTranslator, TranslationResult
+from .workloads import build_runtime as build_demo_runtime
+from .xquery import execute_xquery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DSPRuntime",
+    "SQLExecutor",
+    "SQLToXQueryTranslator",
+    "Storage",
+    "TableProvider",
+    "TranslationResult",
+    "__version__",
+    "build_demo_runtime",
+    "connect",
+    "execute_xquery",
+    "translate",
+]
+
+
+def translate(sql: str, runtime: DSPRuntime | None = None,
+              format: str = "recordset") -> TranslationResult:
+    """Translate a SQL-92 SELECT into XQuery against *runtime*'s catalog
+    (the demo application when omitted). Convenience wrapper around
+    :class:`SQLToXQueryTranslator`."""
+    if runtime is None:
+        runtime = build_demo_runtime()
+    translator = SQLToXQueryTranslator(runtime.metadata_api())
+    return translator.translate(sql, format=format)

@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro [SQL]`` launches the SQL shell."""
+
+from .shell import main
+
+raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""DSP catalog & metadata substrate (S3 in DESIGN.md).
+
+Applications, projects, data services and their functions, XSD row
+schemas, the Figure-2 SQL artifact mapping, and the remote metadata API
+with its driver-side cache.
+"""
+
+from .dsfile import parse_xsd, render_ds_file, render_xsd
+from .dataservice import (
+    Application,
+    CallableBinding,
+    CsvBinding,
+    DataService,
+    DataServiceFunction,
+    FunctionParameter,
+    Project,
+    TableBinding,
+    XQueryBinding,
+)
+from .metadata import (
+    CacheStats,
+    ColumnMetadata,
+    MetadataAPI,
+    MetadataCache,
+    ProcedureMetadata,
+    TableMetadata,
+)
+from .naming import (
+    catalog_name,
+    function_namespace,
+    schema_location,
+    schema_name,
+    split_schema_name,
+)
+from .schema import (
+    XS_SIMPLE_TYPES,
+    ColumnDecl,
+    ComplexChildDecl,
+    RowSchema,
+    flat_schema,
+    sql_to_xs,
+    xs_to_sql,
+)
+
+__all__ = [
+    "Application",
+    "CacheStats",
+    "CallableBinding",
+    "CsvBinding",
+    "ColumnDecl",
+    "ColumnMetadata",
+    "ComplexChildDecl",
+    "DataService",
+    "DataServiceFunction",
+    "FunctionParameter",
+    "MetadataAPI",
+    "MetadataCache",
+    "ProcedureMetadata",
+    "Project",
+    "RowSchema",
+    "TableBinding",
+    "TableMetadata",
+    "XQueryBinding",
+    "XS_SIMPLE_TYPES",
+    "catalog_name",
+    "flat_schema",
+    "function_namespace",
+    "parse_xsd",
+    "render_ds_file",
+    "render_xsd",
+    "schema_location",
+    "schema_name",
+    "split_schema_name",
+    "sql_to_xs",
+    "xs_to_sql",
+]

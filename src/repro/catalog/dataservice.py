@@ -1,0 +1,177 @@
+"""Data services, projects, and applications — the DSP artifact model.
+
+The paper (section 3.1): "The key artifacts in the AquaLogic DSP data world
+are applications, projects, data services, and data service functions."
+
+* An **application** is the accessible universe of artifacts (→ SQL
+  catalog).
+* A **project** contains folder hierarchies and ``.ds``/``.xsd`` files.
+* A **data service** (a ``.ds`` file) is a collection of functions about a
+  business object.
+* A **data service function** is the actual query target. Physical
+  functions are externally defined (opaque; here, bound to a storage
+  table). Logical functions have XQuery bodies written over other
+  functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import UnknownArtifactError
+from .schema import RowSchema
+
+
+@dataclass(frozen=True)
+class FunctionParameter:
+    """A typed input parameter of a data service function."""
+
+    name: str
+    xs_type: str
+
+
+@dataclass(frozen=True)
+class TableBinding:
+    """Physical binding: the function materializes rows of a storage table.
+
+    This models the opaque, metadata-imported physical data service
+    functions of the paper; the storage table lives in the DSP runtime
+    (repro.engine).
+    """
+
+    table_name: str
+
+
+@dataclass(frozen=True)
+class XQueryBinding:
+    """Logical binding: the function body is an XQuery over other
+    data service functions (authored in the .ds file)."""
+
+    body: str
+
+
+@dataclass(frozen=True)
+class CsvBinding:
+    """Physical binding to a delimited file — the 'files' source kind of
+    the paper's Figure 1. Rows are read on every call; an empty field is
+    SQL NULL; ``delimiter`` defaults to a comma; a header row is skipped
+    when ``header`` is true."""
+
+    path: str
+    delimiter: str = ","
+    header: bool = True
+
+
+@dataclass(frozen=True)
+class CallableBinding:
+    """Physical binding to a host function — Figure 1's 'custom Java
+    functions' (here: Python). ``provider`` receives the call's argument
+    values (one per declared parameter) and returns an iterable of row
+    tuples matching the return schema's columns."""
+
+    provider: object  # Callable[..., Iterable[tuple]]
+
+
+@dataclass(frozen=True)
+class DataServiceFunction:
+    """A declared function in a ``.ds`` file.
+
+    Parameterless functions returning flat XML become SQL tables; functions
+    with parameters are surfaced as stored procedures (paper Figure 2).
+    """
+
+    name: str
+    return_schema: RowSchema
+    parameters: tuple[FunctionParameter, ...] = ()
+    binding: "TableBinding | XQueryBinding | CsvBinding | " \
+             "CallableBinding | None" = None
+
+    @property
+    def kind(self) -> str:
+        return "logical" if isinstance(self.binding, XQueryBinding) \
+            else "physical"
+
+    def is_table_candidate(self) -> bool:
+        """Eligible for presentation as a SQL table: no parameters and a
+        flat return schema."""
+        return not self.parameters and self.return_schema.is_flat()
+
+    def is_procedure_candidate(self) -> bool:
+        """Functions with parameters surface as callable procedures."""
+        return bool(self.parameters) and self.return_schema.is_flat()
+
+
+@dataclass
+class DataService:
+    """A ``.ds`` file: path within its project plus declared functions.
+
+    ``path`` is the project-relative path *without* the .ds suffix, e.g.
+    ``"TestDataServices/CUSTOMERS"``; folders are separated by ``/``.
+    """
+
+    path: str
+    functions: dict[str, DataServiceFunction] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+    def add_function(self, function: DataServiceFunction) -> None:
+        if function.name in self.functions:
+            raise ValueError(
+                f"duplicate function {function.name} in {self.path}.ds")
+        self.functions[function.name] = function
+
+    def function(self, name: str) -> DataServiceFunction:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise UnknownArtifactError(
+                f"no function {name} in data service {self.path}") from None
+
+
+@dataclass
+class Project:
+    """A project: a named container of data services (with folders encoded
+    in the data service paths)."""
+
+    name: str
+    data_services: dict[str, DataService] = field(default_factory=dict)
+
+    def add_data_service(self, service: DataService) -> None:
+        if service.path in self.data_services:
+            raise ValueError(f"duplicate data service {service.path}")
+        self.data_services[service.path] = service
+
+    def data_service(self, path: str) -> DataService:
+        try:
+            return self.data_services[path]
+        except KeyError:
+            raise UnknownArtifactError(
+                f"no data service {path} in project {self.name}") from None
+
+
+@dataclass
+class Application:
+    """An AquaLogic DSP application: the SQL catalog."""
+
+    name: str
+    projects: dict[str, Project] = field(default_factory=dict)
+
+    def add_project(self, project: Project) -> None:
+        if project.name in self.projects:
+            raise ValueError(f"duplicate project {project.name}")
+        self.projects[project.name] = project
+
+    def project(self, name: str) -> Project:
+        try:
+            return self.projects[name]
+        except KeyError:
+            raise UnknownArtifactError(
+                f"no project {name} in application {self.name}") from None
+
+    def all_data_services(self):
+        """Iterate (project, data service) pairs across the application."""
+        for project in self.projects.values():
+            for service in project.data_services.values():
+                yield project, service

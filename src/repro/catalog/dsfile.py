@@ -1,0 +1,150 @@
+"""Rendering and parsing of ``.ds`` and ``.xsd`` artifacts.
+
+A data service "is captured as a .ds file, an XQuery file that contains
+definitions for each of a given data service's functions" (paper section
+3.1, Example 2), and every function's return type lives in an ``.xsd``
+authored (or metadata-imported) at development time.
+
+``render_ds_file`` produces the Example-2 shape::
+
+    declare function f1:CUSTOMERS()
+        as schema-element(t1:CUSTOMERS)*
+        external;
+
+with XQuery bodies inline for logical functions. ``render_xsd`` /
+``parse_xsd`` round-trip flat row schemas through real XML Schema
+documents, which is how a physical metadata import would persist them.
+"""
+
+from __future__ import annotations
+
+from ..errors import CatalogError
+from ..xmlmodel import parse_document
+from .dataservice import DataService, DataServiceFunction, XQueryBinding
+from .schema import ColumnDecl, ComplexChildDecl, RowSchema
+
+XSD_NS = "http://www.w3.org/2001/XMLSchema"
+
+
+def render_ds_file(service: DataService) -> str:
+    """The .ds document for *service* (paper Example 2)."""
+    functions = list(service.functions.values())
+    if not functions:
+        raise CatalogError(f"data service {service.path} has no functions")
+    schemas: dict[tuple[str, str], str] = {}
+    for function in functions:
+        row = function.return_schema
+        key = (row.target_namespace, row.schema_location)
+        if key not in schemas:
+            schemas[key] = f"t{len(schemas) + 1}"
+    lines = ['xquery version "1.0";', ""]
+    for (uri, location), prefix in schemas.items():
+        lines.append(f'import schema namespace {prefix} = "{uri}"')
+        lines.append(f'    at "{location}";')
+    primary_ns = functions[0].return_schema.target_namespace
+    lines.append("")
+    lines.append(f'declare namespace f1 = "{primary_ns}";')
+    lines.append("")
+    for function in functions:
+        lines.extend(_render_function(function, schemas))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _render_function(function: DataServiceFunction,
+                     schemas: dict[tuple[str, str], str]) -> list[str]:
+    row = function.return_schema
+    prefix = schemas[(row.target_namespace, row.schema_location)]
+    params = ", ".join(f"${p.name} as xs:{p.xs_type}"
+                       for p in function.parameters)
+    head = f"declare function f1:{function.name}({params})"
+    result = f"    as schema-element({prefix}:{row.element_name})*"
+    if isinstance(function.binding, XQueryBinding):
+        body = function.binding.body.strip()
+        return [head, result, "{", body, "};"]
+    return [head, result, "    external;"]
+
+
+def render_xsd(schema: RowSchema) -> str:
+    """The .xsd document declaring *schema*'s row element."""
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<xs:schema targetNamespace="{schema.target_namespace}"',
+        f'    xmlns:xs="{XSD_NS}"',
+        '    elementFormDefault="unqualified">',
+        f'  <xs:element name="{schema.element_name}">',
+        "    <xs:complexType>",
+        "      <xs:sequence>",
+    ]
+    for child in schema.children:
+        if isinstance(child, ColumnDecl):
+            nillable = ' nillable="true"' if child.nillable else ""
+            lines.append(f'        <xs:element name="{child.name}" '
+                         f'type="xs:{child.xs_type}"{nillable}/>')
+        else:
+            assert isinstance(child, ComplexChildDecl)
+            lines.append(f'        <xs:element name="{child.name}">')
+            lines.append("          <xs:complexType><xs:sequence>")
+            for name in child.child_names:
+                lines.append(f'            <xs:element name="{name}" '
+                             f'type="xs:string"/>')
+            lines.append("          </xs:sequence></xs:complexType>")
+            lines.append("        </xs:element>")
+    lines.extend([
+        "      </xs:sequence>",
+        "    </xs:complexType>",
+        "  </xs:element>",
+        "</xs:schema>",
+    ])
+    return "\n".join(lines) + "\n"
+
+
+def parse_xsd(text: str, schema_location: str = "") -> RowSchema:
+    """Parse an .xsd produced by :func:`render_xsd` back into a
+    RowSchema (the client side of a metadata import)."""
+    document = parse_document(text)
+    root = document.root()
+    if root.name.local != "schema" or root.name.uri != XSD_NS:
+        raise CatalogError("not an XML Schema document")
+    target = root.attribute("targetNamespace")
+    if target is None:
+        raise CatalogError("schema has no targetNamespace")
+    elements = list(root.child_elements("element"))
+    if len(elements) != 1:
+        raise CatalogError(
+            f"expected one top-level element declaration, got "
+            f"{len(elements)}")
+    row_element = elements[0]
+    name_attr = row_element.attribute("name")
+    if name_attr is None:
+        raise CatalogError("row element declaration has no name")
+    children: list[ColumnDecl | ComplexChildDecl] = []
+    for complex_type in row_element.child_elements("complexType"):
+        for sequence in complex_type.child_elements("sequence"):
+            for child in sequence.child_elements("element"):
+                children.append(_parse_child(child))
+    return RowSchema(element_name=name_attr.value,
+                     target_namespace=target.value,
+                     schema_location=schema_location,
+                     children=tuple(children))
+
+
+def _parse_child(element) -> ColumnDecl | ComplexChildDecl:
+    name = element.attribute("name")
+    if name is None:
+        raise CatalogError("element declaration has no name")
+    type_attr = element.attribute("type")
+    if type_attr is None:
+        names = []
+        for complex_type in element.child_elements("complexType"):
+            for sequence in complex_type.child_elements("sequence"):
+                for inner in sequence.child_elements("element"):
+                    inner_name = inner.attribute("name")
+                    if inner_name is not None:
+                        names.append(inner_name.value)
+        return ComplexChildDecl(name=name.value, child_names=tuple(names))
+    xs_type = type_attr.value.split(":", 1)[-1]
+    nillable = element.attribute("nillable")
+    return ColumnDecl(name=name.value, xs_type=xs_type,
+                      nillable=nillable is not None
+                      and nillable.value == "true")

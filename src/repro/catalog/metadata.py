@@ -1,0 +1,272 @@
+"""The remote metadata API and its client-side cache.
+
+Paper, section 3.5: the translator needs "(i) XQuery Function names and
+their locations" and "(ii) Function return types and element metadata",
+both "obtained by querying the AquaLogic DSP application (using the remote
+metadata API)". And section 3.5 again: "Fetched table metadata is cached
+locally for further use".
+
+``MetadataAPI`` plays the server side: it resolves (catalog, schema, table)
+names against an Application and returns ``TableMetadata``. A configurable
+simulated round-trip latency lets the benchmarks reproduce the cache's
+effect (experiment E9 in DESIGN.md).
+
+``MetadataCache`` is the driver-side cache with hit/miss statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..errors import FlatnessError, UnknownArtifactError
+from ..sql.types import SQLType
+from .dataservice import Application, DataServiceFunction
+from .naming import schema_name as make_schema_name
+from .schema import ColumnDecl
+
+
+@dataclass(frozen=True)
+class ColumnMetadata:
+    """Metadata of one SQL column (a simple-typed row child element)."""
+
+    name: str
+    sql_type: SQLType
+    xs_type: str
+    nullable: bool
+    position: int  # 1-based ordinal
+
+
+@dataclass(frozen=True)
+class TableMetadata:
+    """Everything stage two/three needs to know about one SQL table."""
+
+    catalog: str
+    schema: str
+    table: str
+    columns: tuple[ColumnMetadata, ...]
+    element_name: str
+    namespace: str
+    schema_location: str
+    function_name: str
+
+    def column(self, name: str) -> ColumnMetadata | None:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        return None
+
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+
+@dataclass(frozen=True)
+class ProcedureMetadata:
+    """Metadata of a parameterized function surfaced as a procedure."""
+
+    catalog: str
+    schema: str
+    name: str
+    parameters: tuple[tuple[str, str], ...]  # (name, xs_type)
+    columns: tuple[ColumnMetadata, ...]
+    namespace: str
+    schema_location: str
+    function_name: str
+
+
+def _columns_from(function: DataServiceFunction) -> tuple[ColumnMetadata, ...]:
+    cols = []
+    for position, decl in enumerate(function.return_schema.columns, start=1):
+        assert isinstance(decl, ColumnDecl)
+        cols.append(ColumnMetadata(name=decl.name, sql_type=decl.sql_type,
+                                   xs_type=decl.xs_type,
+                                   nullable=decl.nillable,
+                                   position=position))
+    return tuple(cols)
+
+
+class MetadataAPI:
+    """Server-side metadata resolution over an Application.
+
+    ``latency`` (seconds) is added to every remote call to simulate the
+    network round trip the client cache exists to avoid; it defaults to
+    zero so unit tests are fast.
+    """
+
+    def __init__(self, application: Application, latency: float = 0.0):
+        self._application = application
+        self.latency = latency
+        self.call_count = 0
+
+    # -- internals -----------------------------------------------------
+
+    def _charge(self) -> None:
+        self.call_count += 1
+        if self.latency > 0:
+            time.sleep(self.latency)
+
+    def _check_catalog(self, catalog: str | None) -> None:
+        if catalog is not None and catalog != self._application.name:
+            raise UnknownArtifactError(
+                f"unknown catalog {catalog!r} (application is "
+                f"{self._application.name!r})")
+
+    def _services(self):
+        yield from self._application.all_data_services()
+
+    def _find_function(self, schema: str | None, table: str):
+        matches = []
+        for project, service in self._services():
+            name = make_schema_name(project, service)
+            if schema is not None and name != schema:
+                continue
+            function = service.functions.get(table)
+            if function is not None:
+                matches.append((project, service, name, function))
+        if not matches:
+            where = f" in schema {schema!r}" if schema else ""
+            raise UnknownArtifactError(f"unknown table {table!r}{where}")
+        if len(matches) > 1:
+            schemas = ", ".join(m[2] for m in matches)
+            raise UnknownArtifactError(
+                f"table name {table!r} is ambiguous across schemas: "
+                f"{schemas}")
+        return matches[0]
+
+    # -- public API ------------------------------------------------------
+
+    def fetch_table(self, table: str, schema: str | None = None,
+                    catalog: str | None = None) -> TableMetadata:
+        """Resolve a table reference to its metadata (a remote call)."""
+        self._charge()
+        self._check_catalog(catalog)
+        project, service, resolved_schema, function = \
+            self._find_function(schema, table)
+        if function.parameters:
+            raise UnknownArtifactError(
+                f"{table} takes parameters; it is a stored procedure, "
+                f"not a table")
+        if not function.return_schema.is_flat():
+            raise FlatnessError(
+                f"function {table} does not return flat XML and cannot "
+                f"be presented as a SQL table")
+        row = function.return_schema
+        return TableMetadata(
+            catalog=self._application.name,
+            schema=resolved_schema,
+            table=table,
+            columns=_columns_from(function),
+            element_name=row.element_name,
+            namespace=row.target_namespace,
+            schema_location=row.schema_location,
+            function_name=function.name,
+        )
+
+    def fetch_procedure(self, name: str, schema: str | None = None,
+                        catalog: str | None = None) -> ProcedureMetadata:
+        """Resolve a parameterized function as a stored procedure."""
+        self._charge()
+        self._check_catalog(catalog)
+        project, service, resolved_schema, function = \
+            self._find_function(schema, name)
+        if not function.parameters:
+            raise UnknownArtifactError(
+                f"{name} has no parameters; query it as a table")
+        row = function.return_schema
+        return ProcedureMetadata(
+            catalog=self._application.name,
+            schema=resolved_schema,
+            name=name,
+            parameters=tuple((p.name, p.xs_type)
+                             for p in function.parameters),
+            columns=_columns_from(function),
+            namespace=row.target_namespace,
+            schema_location=row.schema_location,
+            function_name=function.name,
+        )
+
+    def list_schemas(self) -> list[str]:
+        self._charge()
+        return sorted(make_schema_name(project, service)
+                      for project, service in self._services())
+
+    def list_tables(self, schema: str | None = None) -> list[tuple[str, str]]:
+        """All (schema, table) pairs of table-eligible functions."""
+        self._charge()
+        result = []
+        for project, service in self._services():
+            name = make_schema_name(project, service)
+            if schema is not None and name != schema:
+                continue
+            for function in service.functions.values():
+                if function.is_table_candidate():
+                    result.append((name, function.name))
+        return sorted(result)
+
+    def list_procedures(self, schema: str | None = None) \
+            -> list[tuple[str, str]]:
+        self._charge()
+        result = []
+        for project, service in self._services():
+            name = make_schema_name(project, service)
+            if schema is not None and name != schema:
+                continue
+            for function in service.functions.values():
+                if function.is_procedure_candidate():
+                    result.append((name, function.name))
+        return sorted(result)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+
+class MetadataCache:
+    """Driver-side cache over MetadataAPI.
+
+    The paper: "Fetched table metadata is cached locally for further use."
+    Keys are (catalog, schema, table) with None wildcards resolved at fetch
+    time, so the same unqualified name is only resolved remotely once.
+    """
+
+    def __init__(self, api: MetadataAPI):
+        self._api = api
+        self._tables: dict[tuple[str | None, str | None, str],
+                           TableMetadata] = {}
+        self._procedures: dict[tuple[str | None, str | None, str],
+                               ProcedureMetadata] = {}
+        self.stats = CacheStats()
+
+    def fetch_table(self, table: str, schema: str | None = None,
+                    catalog: str | None = None) -> TableMetadata:
+        key = (catalog, schema, table)
+        cached = self._tables.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        meta = self._api.fetch_table(table, schema=schema, catalog=catalog)
+        self._tables[key] = meta
+        # Also prime the fully-qualified key so later qualified lookups hit.
+        self._tables[(meta.catalog, meta.schema, meta.table)] = meta
+        return meta
+
+    def fetch_procedure(self, name: str, schema: str | None = None,
+                        catalog: str | None = None) -> ProcedureMetadata:
+        key = (catalog, schema, name)
+        cached = self._procedures.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        meta = self._api.fetch_procedure(name, schema=schema,
+                                         catalog=catalog)
+        self._procedures[key] = meta
+        self._procedures[(meta.catalog, meta.schema, meta.name)] = meta
+        return meta
+
+    def invalidate(self) -> None:
+        self._tables.clear()
+        self._procedures.clear()

@@ -1,0 +1,47 @@
+"""The Figure-2 artifact mapping between DSP and SQL worlds.
+
+(i)   application name            → SQL catalog name
+(ii)  path to .ds file + name     → SQL schema name
+(iii) parameterless function name → SQL table name
+      (functions with parameters  → SQL stored procedures)
+(iv)  simple-type children of the row element → SQL column names
+"""
+
+from __future__ import annotations
+
+from .dataservice import Application, DataService, Project
+
+
+def catalog_name(application: Application) -> str:
+    """(i) The application name is the SQL catalog name."""
+    return application.name
+
+
+def schema_name(project: Project, service: DataService) -> str:
+    """(ii) Project name plus the .ds path is the SQL schema name.
+
+    E.g. project ``TestDataServices`` with data service ``CUSTOMERS`` maps
+    to the SQL schema ``"TestDataServices/CUSTOMERS"`` (a delimited
+    identifier in SQL text, since it contains ``/``).
+    """
+    return f"{project.name}/{service.path}"
+
+
+def split_schema_name(name: str) -> tuple[str, str]:
+    """Split a SQL schema name back into (project, data service path)."""
+    project, _, path = name.partition("/")
+    if not path:
+        raise ValueError(f"schema name {name!r} has no data service path")
+    return project, path
+
+
+def function_namespace(project: Project, service: DataService) -> str:
+    """Target namespace of the data service, e.g.
+    ``ld:TestDataServices/CUSTOMERS`` (paper Example 2/3)."""
+    return f"ld:{schema_name(project, service)}"
+
+
+def schema_location(project: Project, service: DataService) -> str:
+    """Location hint of the .xsd for the import-schema prolog entry,
+    e.g. ``ld:TestDataServices/schemas/CUSTOMERS.xsd``."""
+    return f"ld:{project.name}/schemas/{service.name}.xsd"

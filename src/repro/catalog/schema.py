@@ -1,0 +1,161 @@
+"""XML Schema (XSD) fragments describing data service function results.
+
+Every data service function has a return type "defined in an XML Schema
+definition (.xsd) file by the AquaLogic data service developer" (paper
+section 3.1). For the JDBC driver, the interesting schemas are the *flat*
+ones: a row element whose children are all simple-typed. Those children
+become the SQL table's columns.
+
+This module models just enough of XSD for that purpose: simple type names,
+element declarations with nillability/optionality, and the flat row shape,
+along with the bidirectional mapping between ``xs:`` simple types and SQL
+types that the translator's type computation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FlatnessError
+from ..sql.types import SQLType, type_from_name
+
+#: xs: simple type local names we support as column types.
+XS_SIMPLE_TYPES = frozenset({
+    "string", "int", "integer", "long", "short", "decimal", "float",
+    "double", "boolean", "date", "time", "dateTime",
+})
+
+_XS_TO_SQL = {
+    "string": "VARCHAR",
+    "short": "SMALLINT",
+    "int": "INTEGER",
+    "integer": "DECIMAL",   # xs:integer is unbounded; DECIMAL is the match
+    "long": "BIGINT",
+    "decimal": "DECIMAL",
+    "float": "REAL",
+    "double": "DOUBLE",
+    "date": "DATE",
+    "time": "TIME",
+    "dateTime": "TIMESTAMP",
+    "boolean": "VARCHAR",   # SQL-92 has no BOOLEAN; surfaced as a string
+}
+
+_SQL_TO_XS = {
+    "VARCHAR": "string",
+    "CHAR": "string",
+    "SMALLINT": "short",
+    "INTEGER": "int",
+    "BIGINT": "long",
+    "DECIMAL": "decimal",
+    "REAL": "float",
+    "DOUBLE": "double",
+    "DATE": "date",
+    "TIME": "time",
+    "TIMESTAMP": "dateTime",
+}
+
+
+def xs_to_sql(xs_type: str) -> SQLType:
+    """SQL type surfaced through the JDBC driver for an xs: simple type."""
+    try:
+        return type_from_name(_XS_TO_SQL[xs_type])
+    except KeyError:
+        raise FlatnessError(
+            f"xs:{xs_type} has no SQL column mapping") from None
+
+
+def sql_to_xs(sql_type: SQLType) -> str:
+    """The xs: simple type the translator casts SQL values to."""
+    try:
+        return _SQL_TO_XS[sql_type.kind]
+    except KeyError:
+        raise FlatnessError(
+            f"SQL type {sql_type} has no xs: mapping") from None
+
+
+@dataclass(frozen=True)
+class ColumnDecl:
+    """A simple-typed child element of the row element — a SQL column.
+
+    ``nillable`` elements may carry SQL NULL (encoded as an empty
+    element, see repro.xmlmodel.model).
+    """
+
+    name: str
+    xs_type: str
+    nillable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.xs_type not in XS_SIMPLE_TYPES:
+            raise FlatnessError(
+                f"column {self.name}: xs:{self.xs_type} is not a supported "
+                f"simple type")
+
+    @property
+    def sql_type(self) -> SQLType:
+        return xs_to_sql(self.xs_type)
+
+
+@dataclass(frozen=True)
+class ComplexChildDecl:
+    """A complex-typed child element (nested structure).
+
+    Its presence in a row schema makes the function non-flat and therefore
+    not exposable as a SQL table (paper section 2.2, simplification 1).
+    """
+
+    name: str
+    child_names: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RowSchema:
+    """Schema of the element sequence a data service function returns.
+
+    ``element_name`` is the row element's local name (e.g. CUSTOMERS);
+    ``target_namespace`` and ``schema_location`` feed the generated
+    ``import schema namespace`` prolog entries.
+    """
+
+    element_name: str
+    target_namespace: str
+    schema_location: str
+    children: tuple[ColumnDecl | ComplexChildDecl, ...] = ()
+
+    def is_flat(self) -> bool:
+        """True when every child is a simple-typed column."""
+        return all(isinstance(c, ColumnDecl) for c in self.children)
+
+    @property
+    def columns(self) -> tuple[ColumnDecl, ...]:
+        """The columns of the table view; raises FlatnessError if the
+        schema has complex children (the paper's flatness restriction)."""
+        if not self.is_flat():
+            bad = [c.name for c in self.children
+                   if isinstance(c, ComplexChildDecl)]
+            raise FlatnessError(
+                f"element {self.element_name} is not flat: complex "
+                f"children {', '.join(bad)}")
+        return tuple(c for c in self.children
+                     if isinstance(c, ColumnDecl))
+
+    def column(self, name: str) -> ColumnDecl | None:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        return None
+
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+
+def flat_schema(element_name: str, target_namespace: str,
+                schema_location: str,
+                columns: list[tuple[str, str]] | dict[str, str]) -> RowSchema:
+    """Convenience builder: ``columns`` maps column name to xs: type."""
+    pairs = columns.items() if isinstance(columns, dict) else columns
+    decls = tuple(ColumnDecl(name, xs_type) for name, xs_type in pairs)
+    return RowSchema(element_name=element_name,
+                     target_namespace=target_namespace,
+                     schema_location=schema_location,
+                     children=decls)

@@ -1,0 +1,33 @@
+"""A process-wide clock for the niladic datetime functions.
+
+SQL's CURRENT_DATE/CURRENT_TIME/CURRENT_TIMESTAMP and XQuery's
+fn:current-date()/fn:current-time()/fn:current-dateTime() must agree when
+the reference executor is used as a correctness oracle for translated
+queries, so both read this clock. Tests pin it with ``set_fixed``.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+_fixed: datetime.datetime | None = None
+
+
+def set_fixed(moment: datetime.datetime | None) -> None:
+    """Pin the clock to *moment* (or unpin with None)."""
+    global _fixed
+    _fixed = moment
+
+
+def now() -> datetime.datetime:
+    if _fixed is not None:
+        return _fixed
+    return datetime.datetime.now()
+
+
+def today() -> datetime.date:
+    return now().date()
+
+
+def current_time() -> datetime.time:
+    return now().time().replace(microsecond=0)

@@ -1,0 +1,62 @@
+"""The JDBC-analog DB-API 2.0 driver (S8 in DESIGN.md).
+
+``connect(runtime)`` gives legacy SQL applications access to the XML data
+services world through the SQL-to-XQuery translator, with the section-4
+delimited-text result path (default) or the XML materialization path.
+"""
+
+from ..errors import (
+    DataError,
+    DatabaseError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    Warning,
+)
+from .codec import convert_cell, decode_delimited, decode_xml
+from .dbapi import (
+    BINARY,
+    DATETIME,
+    NUMBER,
+    ROWID,
+    STRING,
+    Connection,
+    Cursor,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
+from .metadata import DatabaseMetaData
+
+__all__ = [
+    "BINARY",
+    "Connection",
+    "Cursor",
+    "DATETIME",
+    "DataError",
+    "DatabaseError",
+    "DatabaseMetaData",
+    "Error",
+    "IntegrityError",
+    "InterfaceError",
+    "InternalError",
+    "NUMBER",
+    "NotSupportedError",
+    "OperationalError",
+    "ProgrammingError",
+    "ROWID",
+    "STRING",
+    "Warning",
+    "apilevel",
+    "connect",
+    "convert_cell",
+    "decode_delimited",
+    "decode_xml",
+    "paramstyle",
+    "threadsafety",
+]

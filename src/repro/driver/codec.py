@@ -1,0 +1,118 @@
+"""Client-side result decoding: the two result paths of section 4.
+
+``decode_delimited`` parses the text stream produced by the wrapper query
+(see repro.translator.wrapper for the encoding), converting each cell by
+its column's SQL type. This is the fast path the paper adopted after
+"initial prototyping" showed XML materialization was slow.
+
+``decode_xml`` is the baseline path the paper measured against: the
+server's ``<RECORDSET>`` tree is serialized to text (the wire format),
+re-parsed client-side, and converted row by row. Benchmarks compare the
+two (experiment E6 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import datetime
+from decimal import Decimal, InvalidOperation
+
+from ..errors import DataError
+from ..sql.types import SQLType
+from ..translator import NULL_MARK, VALUE_MARK, ResultColumn
+from ..xmlmodel import Element, parse_document, unescape
+
+
+def convert_cell(text: str, sql_type: SQLType) -> object:
+    """Convert one serialized cell to its Python value by SQL type."""
+    kind = sql_type.kind
+    try:
+        if kind in ("SMALLINT", "INTEGER", "BIGINT"):
+            return int(text)
+        if kind == "DECIMAL":
+            return Decimal(text)
+        if kind in ("REAL", "DOUBLE"):
+            return float(text)
+        if kind in ("CHAR", "VARCHAR"):
+            return text
+        if kind == "DATE":
+            return datetime.date.fromisoformat(text)
+        if kind == "TIME":
+            return datetime.time.fromisoformat(text)
+        if kind == "TIMESTAMP":
+            return datetime.datetime.fromisoformat(text)
+    except (ValueError, InvalidOperation) as exc:
+        raise DataError(
+            f"cannot convert cell {text!r} to {sql_type}") from exc
+    raise DataError(f"unsupported result column type {sql_type}")
+
+
+def decode_delimited(stream: str,
+                     columns: list[ResultColumn]) -> list[tuple]:
+    """Parse a delimited result stream into typed rows.
+
+    Each cell is ``>`` + xml-escaped value, or ``<`` for NULL; the column
+    count comes from the result schema, so rows need no separator.
+    """
+    if not columns:
+        raise DataError("result schema has no columns")
+    rows: list[tuple] = []
+    row: list[object] = []
+    pos = 0
+    length = len(stream)
+    while pos < length:
+        mark = stream[pos]
+        pos += 1
+        if mark == NULL_MARK:
+            value: object = None
+        elif mark == VALUE_MARK:
+            end_value = pos
+            while end_value < length and \
+                    stream[end_value] not in (VALUE_MARK, NULL_MARK):
+                end_value += 1
+            raw = unescape(stream[pos:end_value])
+            value = convert_cell(raw, columns[len(row)].sql_type)
+            pos = end_value
+        else:
+            raise DataError(
+                f"malformed delimited stream at offset {pos - 1}: "
+                f"expected a cell marker, got {mark!r}")
+        row.append(value)
+        if len(row) == len(columns):
+            rows.append(tuple(row))
+            row = []
+    if row:
+        raise DataError(
+            f"truncated delimited stream: {len(row)} trailing cell(s)")
+    return rows
+
+
+def decode_xml(document_text: str,
+               columns: list[ResultColumn]) -> list[tuple]:
+    """Parse a serialized ``<RECORDSET>`` document into typed rows.
+
+    RECORD children are read positionally (element names were uniquified
+    by the translator, values decode by schema position); an empty child
+    element is SQL NULL.
+    """
+    document = parse_document(document_text)
+    root = document.root()
+    if root.name.local != "RECORDSET":
+        raise DataError(
+            f"expected a RECORDSET document, got <{root.name.local}>")
+    rows: list[tuple] = []
+    for record in root.child_elements("RECORD"):
+        cells = [child for child in record.child_elements()]
+        if len(cells) != len(columns):
+            raise DataError(
+                f"RECORD has {len(cells)} columns, schema has "
+                f"{len(columns)}")
+        row = []
+        for cell, column in zip(cells, columns):
+            assert isinstance(cell, Element)
+            if cell.is_empty():
+                row.append(None)
+            else:
+                row.append(convert_cell(cell.string_value(),
+                                        column.sql_type))
+        rows.append(tuple(row))
+    return rows

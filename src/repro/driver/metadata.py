@@ -1,0 +1,53 @@
+"""The java.sql.DatabaseMetaData analogue.
+
+Reporting tools discover catalogs, schemas, tables, and columns through
+driver metadata before issuing queries; this class surfaces the Figure-2
+artifact mapping (applications → catalogs, .ds paths → schemas,
+parameterless flat functions → tables, parameterized functions →
+procedures) over the remote metadata API.
+"""
+
+from __future__ import annotations
+
+from ..catalog import MetadataAPI
+
+
+class DatabaseMetaData:
+    """Read-only catalog introspection for one connection."""
+
+    def __init__(self, api: MetadataAPI):
+        self._api = api
+
+    def get_catalogs(self) -> list[str]:
+        """The single catalog: the application name."""
+        return [self._api._application.name]
+
+    def get_schemas(self) -> list[str]:
+        return self._api.list_schemas()
+
+    def get_tables(self, schema: str | None = None) -> list[tuple[str, str]]:
+        """(schema, table) pairs of SQL-visible tables."""
+        return self._api.list_tables(schema=schema)
+
+    def get_procedures(self, schema: str | None = None) \
+            -> list[tuple[str, str]]:
+        """(schema, procedure) pairs of parameterized functions."""
+        return self._api.list_procedures(schema=schema)
+
+    def get_columns(self, table: str, schema: str | None = None) \
+            -> list[tuple[str, str, int, bool]]:
+        """(name, type name, ordinal position, nullable) per column."""
+        meta = self._api.fetch_table(table, schema=schema)
+        return [(c.name, str(c.sql_type), c.position, c.nullable)
+                for c in meta.columns]
+
+    def get_procedure_columns(self, name: str,
+                              schema: str | None = None) \
+            -> list[tuple[str, str, str]]:
+        """(name, kind, type) rows: parameters (IN) then result columns."""
+        proc = self._api.fetch_procedure(name, schema=schema)
+        rows = [(pname, "IN", xs_type)
+                for pname, xs_type in proc.parameters]
+        rows.extend((c.name, "RESULT", str(c.sql_type))
+                    for c in proc.columns)
+        return rows

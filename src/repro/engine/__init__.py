@@ -1,0 +1,42 @@
+"""Execution engines (S6+S7 in DESIGN.md).
+
+In-memory relational storage, the reference SQL-92 executor used as the
+translator's correctness oracle and benchmark baseline, and the DSP
+runtime that hosts data services and executes XQuery.
+"""
+
+from .dsp import (
+    DSPRuntime,
+    callable_function,
+    csv_function,
+    import_tables,
+    logical_function,
+    physical_function,
+)
+from .sqlexec import (
+    ResultTable,
+    SQLExecutor,
+    TableProvider,
+    canonical_value,
+    row_key,
+    sql_cast,
+)
+from .table import Storage, Table, coerce_value
+
+__all__ = [
+    "DSPRuntime",
+    "ResultTable",
+    "SQLExecutor",
+    "Storage",
+    "Table",
+    "TableProvider",
+    "callable_function",
+    "canonical_value",
+    "csv_function",
+    "coerce_value",
+    "import_tables",
+    "logical_function",
+    "physical_function",
+    "row_key",
+    "sql_cast",
+]

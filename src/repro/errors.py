@@ -1,0 +1,166 @@
+"""Exception hierarchy for the repro package.
+
+The hierarchy mirrors the layering of the system: SQL frontend errors
+(syntactic vs. semantic, per the paper's stage-1/stage-2 split), catalog
+and metadata lookup errors, XQuery compilation and dynamic errors, and
+DB-API driver errors (which follow PEP 249 naming so that the driver can
+re-export them).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# SQL frontend
+# ---------------------------------------------------------------------------
+
+
+class SQLError(ReproError):
+    """Base class for SQL statement processing errors."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class SQLSyntaxError(SQLError):
+    """Raised in stage one when the input is not syntactically valid SQL-92.
+
+    The paper: "syntactically invalid SQL is rejected immediately".
+    """
+
+
+class SQLSemanticError(SQLError):
+    """Raised in stage two for semantically invalid SQL.
+
+    Examples from the paper: a reference to a column that does not exist in
+    the table, or a select-item column that is not listed in GROUP BY.
+    """
+
+
+class UnsupportedSQLError(SQLError):
+    """Raised for SQL constructs outside the supported SQL-92 SELECT subset."""
+
+
+# ---------------------------------------------------------------------------
+# Catalog / metadata
+# ---------------------------------------------------------------------------
+
+
+class CatalogError(ReproError):
+    """Base class for data-services catalog errors."""
+
+
+class UnknownArtifactError(CatalogError):
+    """An application, schema, table, column, or function was not found."""
+
+
+class FlatnessError(CatalogError):
+    """A data service function's return type is not flat XML.
+
+    Only functions returning a sequence of elements whose children are all
+    simple-typed may be exposed as SQL tables (paper section 2.2).
+    """
+
+
+# ---------------------------------------------------------------------------
+# XQuery engine
+# ---------------------------------------------------------------------------
+
+
+class XQueryError(ReproError):
+    """Base class for XQuery processing errors."""
+
+    def __init__(self, message: str, code: str | None = None):
+        self.code = code
+        if code:
+            message = f"[{code}] {message}"
+        super().__init__(message)
+
+
+class XQuerySyntaxError(XQueryError):
+    """Static (parse-time) XQuery error (XPST-style)."""
+
+
+class XQueryStaticError(XQueryError):
+    """Static semantic error: unknown function, unbound variable, etc."""
+
+
+class XQueryDynamicError(XQueryError):
+    """Runtime XQuery error (XPDY/FORG-style)."""
+
+
+class XQueryTypeError(XQueryError):
+    """Dynamic type error (XPTY-style): bad operand types, bad cast, etc."""
+
+
+# ---------------------------------------------------------------------------
+# XML model
+# ---------------------------------------------------------------------------
+
+
+class XMLError(ReproError):
+    """Base class for XML parsing/serialization errors."""
+
+
+class XMLParseError(XMLError):
+    """Raised when input text is not well-formed XML (for our subset)."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# Driver (PEP 249 names)
+# ---------------------------------------------------------------------------
+
+
+class Warning(ReproError):  # noqa: A001 - PEP 249 mandates this name
+    """PEP 249 Warning."""
+
+
+class Error(ReproError):
+    """PEP 249 Error: base class of all driver errors."""
+
+
+class InterfaceError(Error):
+    """Error related to the database interface rather than the database."""
+
+
+class DatabaseError(Error):
+    """Error related to the database."""
+
+
+class DataError(DatabaseError):
+    """Error due to problems with the processed data."""
+
+
+class OperationalError(DatabaseError):
+    """Error related to the database's operation."""
+
+
+class IntegrityError(DatabaseError):
+    """Relational integrity violation."""
+
+
+class InternalError(DatabaseError):
+    """Internal database error (e.g. cursor invalidated)."""
+
+
+class ProgrammingError(DatabaseError):
+    """Programming error: bad SQL, wrong parameter count, etc."""
+
+
+class NotSupportedError(DatabaseError):
+    """A method or API is not supported by the database."""

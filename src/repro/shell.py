@@ -1,0 +1,191 @@
+"""An interactive SQL shell over a DSP runtime — ``python -m repro``.
+
+The closest thing to pointing a reporting tool at the driver: type
+SQL-92, get tabular results. Backslash commands inspect the machinery:
+
+=================  ====================================================
+``\\tables``        list SQL-visible tables (Figure-2 mapping)
+``\\schema T``      columns of table T
+``\\translate SQL`` print the generated XQuery instead of executing
+``\\explain SQL``   print the context/RSN report
+``\\format F``      switch result path: ``delimited`` or ``xml``
+``\\quit``          leave
+=================  ====================================================
+
+Non-interactive: ``python -m repro "SELECT * FROM CUSTOMERS"`` (add
+``--translate`` or ``--explain`` for the inspection forms).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Optional
+
+from .driver import connect
+from .engine.dsp import DSPRuntime
+from .errors import ReproError
+from .translator import explain
+from .workloads import build_runtime
+
+PROMPT = "sql> "
+
+
+def format_table(headers: list[str], rows: list[tuple]) -> str:
+    """Fixed-width text rendering of a result set."""
+    cells = [[("NULL" if value is None else str(value)) for value in row]
+             for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(" | ".join(t.ljust(w) for t, w in zip(row, widths)))
+    lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return "\n".join(lines)
+
+
+class Shell:
+    """One shell session bound to a runtime."""
+
+    def __init__(self, runtime: Optional[DSPRuntime] = None,
+                 out: Callable[[str], None] = print):
+        self._runtime = runtime or build_runtime()
+        self._format = "delimited"
+        self._connection = connect(self._runtime, format=self._format)
+        self._out = out
+
+    # -- command dispatch --------------------------------------------------
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False when the shell should
+        exit."""
+        line = line.strip()
+        if not line:
+            return True
+        if line.startswith("\\"):
+            return self._command(line)
+        self._execute(line)
+        return True
+
+    def _command(self, line: str) -> bool:
+        name, _, argument = line.partition(" ")
+        argument = argument.strip()
+        if name in ("\\quit", "\\q"):
+            return False
+        if name == "\\tables":
+            self._tables()
+        elif name == "\\schema":
+            self._schema(argument)
+        elif name == "\\translate":
+            self._translate(argument)
+        elif name == "\\explain":
+            self._explain(argument)
+        elif name == "\\format":
+            self._set_format(argument)
+        else:
+            self._out(f"unknown command {name}; try \\tables, \\schema, "
+                      f"\\translate, \\explain, \\format, \\quit")
+        return True
+
+    # -- command implementations ----------------------------------------------
+
+    def _execute(self, sql: str) -> None:
+        try:
+            cursor = self._connection.cursor()
+            cursor.execute(sql)
+            headers = [d[0] for d in cursor.description]
+            self._out(format_table(headers, cursor.fetchall()))
+        except ReproError as exc:
+            self._out(f"error: {exc}")
+
+    def _tables(self) -> None:
+        for schema, table in self._connection.metadata.get_tables():
+            self._out(f"{schema}.{table}")
+        for schema, proc in self._connection.metadata.get_procedures():
+            self._out(f"{schema}.{proc}  (procedure)")
+
+    def _schema(self, table: str) -> None:
+        if not table:
+            self._out("usage: \\schema TABLE")
+            return
+        try:
+            columns = self._connection.metadata.get_columns(table)
+        except ReproError as exc:
+            self._out(f"error: {exc}")
+            return
+        for name, type_name, position, nullable in columns:
+            null = "NULL" if nullable else "NOT NULL"
+            self._out(f"{position:>3}  {name}  {type_name}  {null}")
+
+    def _translate(self, sql: str) -> None:
+        if not sql:
+            self._out("usage: \\translate SELECT ...")
+            return
+        try:
+            fmt = "delimited" if self._format == "delimited" \
+                else "recordset"
+            result = self._connection.translator.translate(sql, format=fmt)
+            self._out(result.xquery)
+        except ReproError as exc:
+            self._out(f"error: {exc}")
+
+    def _explain(self, sql: str) -> None:
+        if not sql:
+            self._out("usage: \\explain SELECT ...")
+            return
+        try:
+            translator = self._connection.translator
+            unit = translator.stage2(translator.stage1(sql))
+            self._out(explain(unit))
+        except ReproError as exc:
+            self._out(f"error: {exc}")
+
+    def _set_format(self, fmt: str) -> None:
+        if fmt not in ("delimited", "xml"):
+            self._out("usage: \\format delimited|xml")
+            return
+        self._format = fmt
+        self._connection = connect(self._runtime, format=fmt)
+        self._out(f"result format: {fmt}")
+
+    # -- loops --------------------------------------------------------------
+
+    def run_interactive(self, stdin=None) -> None:
+        stdin = stdin or sys.stdin
+        self._out("repro SQL shell — \\tables to explore, \\quit to exit")
+        while True:
+            self._out(PROMPT)
+            line = stdin.readline()
+            if not line or not self.handle(line):
+                return
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    mode = "execute"
+    if "--translate" in argv:
+        argv.remove("--translate")
+        mode = "translate"
+    if "--explain" in argv:
+        argv.remove("--explain")
+        mode = "explain"
+    shell = Shell()
+    if not argv:
+        shell.run_interactive()
+        return 0
+    sql = " ".join(argv)
+    if mode == "translate":
+        shell.handle(f"\\translate {sql}")
+    elif mode == "explain":
+        shell.handle(f"\\explain {sql}")
+    else:
+        shell.handle(sql)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""SQL-92 SELECT frontend (S2 in DESIGN.md).
+
+Lexer, recursive-descent parser, typed AST (the stage-one output of the
+paper's translator), pretty-printer, type system with promotion rules, and
+the scalar function registry.
+"""
+
+from . import ast
+from .functions import REGISTRY as FUNCTION_REGISTRY
+from .functions import FunctionSpec, lookup as lookup_function
+from .lexer import Lexer, tokenize
+from .parser import AGGREGATE_NAMES, Parser, parse_expression, parse_statement
+from .printer import print_expr, print_query
+from .tokens import RESERVED_WORDS, Token, TokenType
+from .types import SQLType, literal_type, promote, type_from_name
+
+__all__ = [
+    "AGGREGATE_NAMES",
+    "FUNCTION_REGISTRY",
+    "FunctionSpec",
+    "Lexer",
+    "Parser",
+    "RESERVED_WORDS",
+    "SQLType",
+    "Token",
+    "TokenType",
+    "ast",
+    "literal_type",
+    "lookup_function",
+    "parse_expression",
+    "parse_statement",
+    "print_expr",
+    "print_query",
+    "promote",
+    "tokenize",
+    "type_from_name",
+]

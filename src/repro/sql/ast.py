@@ -1,0 +1,456 @@
+"""Typed AST nodes for SQL-92 SELECT statements.
+
+The paper (section 3.4.2): "When the translator parses the input SQL in
+stage-one, it generates an AST where each node is a typed node ... whose
+type is designed to correspond to some SQL abstraction."
+
+The *resultset-node* (RSN) abstraction — "queries on tables, join
+operations between two queries or tables, set operations involving two
+queries, and even the tables themselves are all treated as views" — is
+realized here as the ``TableExpr``/``QueryBody`` node families; the
+translator wraps each of them in an RSN object that knows how to emit
+XQuery (``repro.translator.rsn``).
+
+All nodes are immutable-by-convention dataclasses. Stage two of the
+translator produces *rewritten copies* rather than mutating parser output,
+so a parsed AST can be reused (e.g. by the reference executor) safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .types import SQLType
+
+
+class Node:
+    """Marker base class for all SQL AST nodes."""
+
+    __slots__ = ()
+
+
+class Expr(Node):
+    """Marker base class for value and predicate expressions."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Value expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A typed literal. ``value`` is int, Decimal, float, str, or a
+    date/time/datetime object for the datetime literals."""
+
+    value: object
+    type: SQLType
+
+
+@dataclass(frozen=True)
+class NullLiteral(Expr):
+    """The NULL keyword used as a value."""
+
+
+@dataclass(frozen=True)
+class Parameter(Expr):
+    """A positional ``?`` parameter marker (1-based index)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly-qualified column reference.
+
+    ``qualifier`` holds the leading name parts (range variable, or
+    schema-qualified table name); empty tuple for an unqualified column.
+    """
+
+    qualifier: tuple[str, ...]
+    column: str
+
+    def display(self) -> str:
+        return ".".join(self.qualifier + (self.column,))
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary ``+`` or ``-``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Dyadic arithmetic (``+ - * /``) or string concatenation (``||``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """A scalar function call with positional arguments.
+
+    Special SQL-92 syntaxes are canonicalized by the parser:
+    ``SUBSTRING(x FROM s FOR n)`` becomes ``FunctionCall("SUBSTRING",
+    (x, s, n))`` and ``POSITION(a IN b)`` becomes
+    ``FunctionCall("POSITION", (a, b))``.
+    """
+
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expr):
+    """A set function: COUNT/SUM/AVG/MIN/MAX, optionally DISTINCT.
+
+    ``COUNT(*)`` is represented with ``star=True`` and ``arg=None``.
+    """
+
+    func: str
+    arg: Optional[Expr]
+    distinct: bool = False
+    star: bool = False
+
+    def display(self) -> str:
+        inner = "*" if self.star else ""
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    """Simple (with operand) or searched CASE expression."""
+
+    operand: Optional[Expr]
+    whens: tuple[tuple[Expr, Expr], ...]
+    else_: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """``CAST(expr AS type)``."""
+
+    operand: Expr
+    target: SQLType
+
+
+@dataclass(frozen=True)
+class ExtractExpr(Expr):
+    """``EXTRACT(field FROM source)``; field is YEAR/MONTH/DAY/HOUR/..."""
+
+    field: str
+    source: Expr
+
+
+@dataclass(frozen=True)
+class TrimExpr(Expr):
+    """``TRIM([LEADING|TRAILING|BOTH] [chars] FROM source)``."""
+
+    mode: str  # "LEADING" | "TRAILING" | "BOTH"
+    chars: Optional[Expr]
+    source: Expr
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    """A parenthesized subquery used as a scalar value."""
+
+    query: "Query"
+
+
+# ---------------------------------------------------------------------------
+# Predicates (boolean-valued expressions)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """``left op right`` with op one of = <> < <= > >=."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class QuantifiedComparison(Expr):
+    """``left op ANY|ALL (subquery)`` (SOME is normalized to ANY)."""
+
+    op: str
+    left: Expr
+    quantifier: str  # "ANY" | "ALL"
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (subquery)``."""
+
+    operand: Expr
+    query: "Query"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """``expr [NOT] LIKE pattern [ESCAPE esc]``."""
+
+    operand: Expr
+    pattern: Expr
+    escape: Optional[Expr] = None
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    """``EXISTS (subquery)``."""
+
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    left: Expr
+    right: Expr
+
+
+# ---------------------------------------------------------------------------
+# Table expressions (FROM clause) — each of these is an RSN in the paper's
+# terminology: "a typed view node is created ... for each table", "each
+# join operation on two views", etc.
+# ---------------------------------------------------------------------------
+
+
+class TableExpr(Node):
+    """Marker base for FROM-clause items."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TableRef(TableExpr):
+    """A base-table reference, optionally schema/catalog-qualified and
+    aliased. In the DSP mapping, ``name`` is a data service function."""
+
+    name: str
+    schema: Optional[str] = None
+    catalog: Optional[str] = None
+    alias: Optional[str] = None
+    column_aliases: tuple[str, ...] = ()
+
+    def binding_name(self) -> str:
+        """The range-variable name this table is known by in its query."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class DerivedTable(TableExpr):
+    """A parenthesized subquery in FROM with a mandatory alias."""
+
+    query: "Query"
+    alias: str
+    column_aliases: tuple[str, ...] = ()
+
+    def binding_name(self) -> str:
+        return self.alias
+
+
+@dataclass(frozen=True)
+class Join(TableExpr):
+    """A joined table: CROSS/INNER/LEFT/RIGHT/FULL with ON or USING."""
+
+    kind: str  # "CROSS" | "INNER" | "LEFT" | "RIGHT" | "FULL"
+    left: TableExpr
+    right: TableExpr
+    condition: Optional[Expr] = None
+    using: tuple[str, ...] = ()
+    natural: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Query structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """A single projection expression with an optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class StarItem(Node):
+    """``*`` or ``qualifier.*`` in the select list. Stage two expands
+    these into concrete SelectItems using fetched table metadata."""
+
+    qualifier: tuple[str, ...] = ()
+
+
+class QueryBody(Node):
+    """Marker base: a query body is a Select or a SetOp tree."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Select(QueryBody):
+    """A SELECT ... FROM ... WHERE ... GROUP BY ... HAVING query block."""
+
+    items: tuple[Union[SelectItem, StarItem], ...]
+    from_clause: tuple[TableExpr, ...]
+    where: Optional[Expr] = None
+    group_by: tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class SetOp(QueryBody):
+    """UNION/INTERSECT/EXCEPT [ALL] of two query bodies."""
+
+    op: str  # "UNION" | "INTERSECT" | "EXCEPT"
+    all: bool
+    left: QueryBody
+    right: QueryBody
+
+
+@dataclass(frozen=True)
+class SortItem(Node):
+    """One ORDER BY key: an expression or a 1-based select-list position."""
+
+    key: Union[Expr, int]
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Query(Node):
+    """A complete query expression: body plus optional ORDER BY."""
+
+    body: QueryBody
+    order_by: tuple[SortItem, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def children_of(expr: Expr) -> tuple[Expr, ...]:
+    """Direct sub-expressions of *expr* (not descending into subqueries)."""
+    if isinstance(expr, UnaryOp):
+        return (expr.operand,)
+    if isinstance(expr, BinaryOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, FunctionCall):
+        return expr.args
+    if isinstance(expr, AggregateCall):
+        return (expr.arg,) if expr.arg is not None else ()
+    if isinstance(expr, CaseExpr):
+        parts: list[Expr] = []
+        if expr.operand is not None:
+            parts.append(expr.operand)
+        for when, then in expr.whens:
+            parts.extend((when, then))
+        if expr.else_ is not None:
+            parts.append(expr.else_)
+        return tuple(parts)
+    if isinstance(expr, Cast):
+        return (expr.operand,)
+    if isinstance(expr, ExtractExpr):
+        return (expr.source,)
+    if isinstance(expr, TrimExpr):
+        if expr.chars is not None:
+            return (expr.chars, expr.source)
+        return (expr.source,)
+    if isinstance(expr, Comparison):
+        return (expr.left, expr.right)
+    if isinstance(expr, QuantifiedComparison):
+        return (expr.left,)
+    if isinstance(expr, IsNull):
+        return (expr.operand,)
+    if isinstance(expr, Between):
+        return (expr.operand, expr.low, expr.high)
+    if isinstance(expr, InList):
+        return (expr.operand,) + expr.items
+    if isinstance(expr, InSubquery):
+        return (expr.operand,)
+    if isinstance(expr, Like):
+        parts = [expr.operand, expr.pattern]
+        if expr.escape is not None:
+            parts.append(expr.escape)
+        return tuple(parts)
+    if isinstance(expr, Not):
+        return (expr.operand,)
+    if isinstance(expr, (And, Or)):
+        return (expr.left, expr.right)
+    return ()
+
+
+def walk(expr: Expr):
+    """Yield *expr* and all nested sub-expressions, pre-order, without
+    descending into subqueries (their scopes are separate contexts)."""
+    yield expr
+    for child in children_of(expr):
+        yield from walk(child)
+
+
+def subqueries_of(expr: Expr) -> tuple["Query", ...]:
+    """Immediate subqueries referenced by *expr* (one level)."""
+    if isinstance(expr, ScalarSubquery):
+        return (expr.query,)
+    if isinstance(expr, (InSubquery, Exists, QuantifiedComparison)):
+        return (expr.query,)
+    return ()
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True if *expr* contains a set-function call at this query level."""
+    return any(isinstance(node, AggregateCall) for node in walk(expr))

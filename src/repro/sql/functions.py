@@ -1,0 +1,182 @@
+"""Registry of supported SQL scalar functions and their typing rules.
+
+The paper (section 3.5.iii): "Many SQL functions can be directly mapped to
+functions in the XQuery Functions and Operators library. The translator
+uses a preconfigured map of SQL and XQuery functions." The XQuery side of
+that map lives in ``repro.translator.funcmap``; this module is the SQL
+side: which functions exist, their arities, and their result types —
+needed both for stage-two semantic validation/typing and by the reference
+executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import SQLSemanticError
+from .types import (
+    DATE,
+    DOUBLE,
+    INTEGER,
+    TIME,
+    TIMESTAMP,
+    VARCHAR,
+    SQLType,
+    is_character,
+    is_numeric,
+    promote,
+)
+
+#: Signature: given the argument types, return the result type (raising
+#: SQLSemanticError for invalid argument types).
+TypeRule = Callable[[Sequence[SQLType]], SQLType]
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Static description of a scalar function."""
+
+    name: str
+    min_args: int
+    max_args: int
+    result_type: TypeRule
+
+    def check_arity(self, count: int) -> None:
+        if not (self.min_args <= count <= self.max_args):
+            if self.min_args == self.max_args:
+                expected = str(self.min_args)
+            else:
+                expected = f"{self.min_args}..{self.max_args}"
+            raise SQLSemanticError(
+                f"function {self.name} expects {expected} argument(s), "
+                f"got {count}")
+
+
+def _require_numeric(name: str, args: Sequence[SQLType], index: int) -> None:
+    if not is_numeric(args[index]):
+        raise SQLSemanticError(
+            f"argument {index + 1} of {name} must be numeric, "
+            f"got {args[index]}")
+
+
+def _require_character(name: str, args: Sequence[SQLType],
+                       index: int) -> None:
+    if not is_character(args[index]):
+        raise SQLSemanticError(
+            f"argument {index + 1} of {name} must be a character string, "
+            f"got {args[index]}")
+
+
+def _string_result(name: str, checked: Sequence[int]) -> TypeRule:
+    def rule(args: Sequence[SQLType]) -> SQLType:
+        for index in checked:
+            if index < len(args):
+                _require_character(name, args, index)
+        return VARCHAR
+    return rule
+
+
+def _numeric_passthrough(name: str) -> TypeRule:
+    def rule(args: Sequence[SQLType]) -> SQLType:
+        _require_numeric(name, args, 0)
+        return SQLType(args[0].kind)
+    return rule
+
+
+def _abs_rule(args: Sequence[SQLType]) -> SQLType:
+    _require_numeric("ABS", args, 0)
+    return SQLType(args[0].kind)
+
+
+def _mod_rule(args: Sequence[SQLType]) -> SQLType:
+    _require_numeric("MOD", args, 0)
+    _require_numeric("MOD", args, 1)
+    return promote(args[0], args[1])
+
+
+def _round_rule(args: Sequence[SQLType]) -> SQLType:
+    _require_numeric("ROUND", args, 0)
+    if len(args) == 2:
+        _require_numeric("ROUND", args, 1)
+    return SQLType(args[0].kind)
+
+
+def _sqrt_rule(args: Sequence[SQLType]) -> SQLType:
+    _require_numeric("SQRT", args, 0)
+    return DOUBLE
+
+
+def _length_rule(args: Sequence[SQLType]) -> SQLType:
+    _require_character("CHAR_LENGTH", args, 0)
+    return INTEGER
+
+
+def _position_rule(args: Sequence[SQLType]) -> SQLType:
+    _require_character("POSITION", args, 0)
+    _require_character("POSITION", args, 1)
+    return INTEGER
+
+
+def _substring_rule(args: Sequence[SQLType]) -> SQLType:
+    _require_character("SUBSTRING", args, 0)
+    _require_numeric("SUBSTRING", args, 1)
+    if len(args) == 3:
+        _require_numeric("SUBSTRING", args, 2)
+    return VARCHAR
+
+
+def _coalesce_rule(args: Sequence[SQLType]) -> SQLType:
+    result = args[0]
+    for arg in args[1:]:
+        if is_numeric(result) and is_numeric(arg):
+            result = promote(result, arg)
+        elif result.kind != arg.kind and not (
+                is_character(result) and is_character(arg)):
+            raise SQLSemanticError(
+                f"COALESCE arguments have incompatible types "
+                f"{result} and {arg}")
+    return result
+
+
+def _nullif_rule(args: Sequence[SQLType]) -> SQLType:
+    return args[0]
+
+
+def _const_type(t: SQLType) -> TypeRule:
+    def rule(args: Sequence[SQLType]) -> SQLType:
+        return t
+    return rule
+
+
+_SPECS = [
+    FunctionSpec("UPPER", 1, 1, _string_result("UPPER", [0])),
+    FunctionSpec("LOWER", 1, 1, _string_result("LOWER", [0])),
+    FunctionSpec("CONCAT", 2, 2, _string_result("CONCAT", [0, 1])),
+    FunctionSpec("SUBSTRING", 2, 3, _substring_rule),
+    FunctionSpec("CHAR_LENGTH", 1, 1, _length_rule),
+    FunctionSpec("CHARACTER_LENGTH", 1, 1, _length_rule),
+    FunctionSpec("LENGTH", 1, 1, _length_rule),
+    FunctionSpec("POSITION", 2, 2, _position_rule),
+    FunctionSpec("ABS", 1, 1, _abs_rule),
+    FunctionSpec("MOD", 2, 2, _mod_rule),
+    FunctionSpec("ROUND", 1, 2, _round_rule),
+    FunctionSpec("FLOOR", 1, 1, _numeric_passthrough("FLOOR")),
+    FunctionSpec("CEILING", 1, 1, _numeric_passthrough("CEILING")),
+    FunctionSpec("SQRT", 1, 1, _sqrt_rule),
+    FunctionSpec("COALESCE", 1, 64, _coalesce_rule),
+    FunctionSpec("NULLIF", 2, 2, _nullif_rule),
+    FunctionSpec("CURRENT_DATE", 0, 0, _const_type(DATE)),
+    FunctionSpec("CURRENT_TIME", 0, 0, _const_type(TIME)),
+    FunctionSpec("CURRENT_TIMESTAMP", 0, 0, _const_type(TIMESTAMP)),
+]
+
+REGISTRY: dict[str, FunctionSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def lookup(name: str) -> FunctionSpec:
+    """Find the spec for *name*, raising SQLSemanticError if unknown."""
+    try:
+        return REGISTRY[name.upper()]
+    except KeyError:
+        raise SQLSemanticError(f"unknown function {name}") from None

@@ -1,0 +1,202 @@
+"""SQL-92 lexer: the lexical-analysis half of the translator's stage one.
+
+The paper (section 3.5): "Stage-one of the query translation process
+performs lexical analysis on the SQL statement, parses the tokens generated
+by the lexical analysis, and creates an AST".
+
+Lexical conventions implemented:
+
+* regular identifiers are case-insensitive and normalized to upper case;
+* delimited identifiers (``"Mixed/Case.Name"``) preserve case and may
+  contain any character except an unescaped double quote (doubled quotes
+  escape); they are how DSP's path-like schema names are spelled in SQL;
+* character string literals use single quotes with ``''`` escaping;
+* exact numerics without a fraction are INTEGER tokens, with a fraction
+  DECIMAL tokens, and E-notation numerics are APPROX (double) tokens;
+* ``--`` starts a comment running to end of line, ``/* */`` is a block
+  comment;
+* ``?`` is a positional parameter marker (JDBC prepared statements).
+"""
+
+from __future__ import annotations
+
+from ..errors import SQLSyntaxError
+from .tokens import (
+    MULTI_CHAR_SYMBOLS,
+    RESERVED_WORDS,
+    SINGLE_CHAR_SYMBOLS,
+    Token,
+    TokenType,
+)
+
+_IDENT_START = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+_WHITESPACE = frozenset(" \t\r\n")
+
+
+class Lexer:
+    """Converts SQL text into a token list (EOF-terminated)."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    # -- internals ----------------------------------------------------
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        return SQLSyntaxError(message, self._line, self._col)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._text):
+            return self._text[index]
+        return ""
+
+    def _advance(self, n: int = 1) -> str:
+        chunk = self._text[self._pos:self._pos + n]
+        for ch in chunk:
+            if ch == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+        self._pos += n
+        return chunk
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch in _WHITESPACE and ch:
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self._line, self._col
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if not self._peek():
+                        raise SQLSyntaxError("unterminated block comment",
+                                             start_line, start_col)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, col = self._line, self._col
+        ch = self._peek()
+        if not ch:
+            return Token(TokenType.EOF, "", line, col)
+        if ch in _IDENT_START:
+            return self._lex_word(line, col)
+        if ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
+            return self._lex_number(line, col)
+        if ch == "'":
+            return self._lex_string(line, col)
+        if ch == '"':
+            return self._lex_quoted_ident(line, col)
+        if ch == "?":
+            self._advance()
+            return Token(TokenType.PARAM, "?", line, col)
+        for symbol in MULTI_CHAR_SYMBOLS:
+            if self._text.startswith(symbol, self._pos):
+                self._advance(len(symbol))
+                return Token(TokenType.SYMBOL, symbol, line, col)
+        if ch in SINGLE_CHAR_SYMBOLS:
+            self._advance()
+            return Token(TokenType.SYMBOL, ch, line, col)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_word(self, line: int, col: int) -> Token:
+        start = self._pos
+        while self._peek() in _IDENT_CONT and self._peek():
+            self._advance()
+        word = self._text[start:self._pos].upper()
+        if word in RESERVED_WORDS:
+            return Token(TokenType.KEYWORD, word, line, col)
+        return Token(TokenType.IDENT, word, line, col)
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self._pos
+        seen_dot = False
+        while self._peek() in _DIGITS and self._peek():
+            self._advance()
+        if self._peek() == ".":
+            seen_dot = True
+            self._advance()
+            while self._peek() in _DIGITS and self._peek():
+                self._advance()
+        if self._peek() in ("e", "E"):
+            mark = self._pos
+            self._advance()
+            if self._peek() in ("+", "-"):
+                self._advance()
+            if self._peek() not in _DIGITS:
+                # Not an exponent after all (e.g. "1e" followed by a name);
+                # SQL-92 does not allow that adjacency, so report it.
+                self._pos = mark
+                raise self._error("malformed numeric literal")
+            while self._peek() in _DIGITS and self._peek():
+                self._advance()
+            return Token(TokenType.APPROX, self._text[start:self._pos],
+                         line, col)
+        text = self._text[start:self._pos]
+        if seen_dot:
+            return Token(TokenType.DECIMAL, text, line, col)
+        return Token(TokenType.INTEGER, text, line, col)
+
+    def _lex_string(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise SQLSyntaxError("unterminated string literal", line, col)
+            if ch == "'":
+                if self._peek(1) == "'":
+                    parts.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                return Token(TokenType.STRING, "".join(parts), line, col)
+            parts.append(self._advance())
+
+    def _lex_quoted_ident(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise SQLSyntaxError("unterminated delimited identifier",
+                                     line, col)
+            if ch == '"':
+                if self._peek(1) == '"':
+                    parts.append('"')
+                    self._advance(2)
+                    continue
+                self._advance()
+                if not parts:
+                    raise SQLSyntaxError("empty delimited identifier",
+                                         line, col)
+                return Token(TokenType.QUOTED_IDENT, "".join(parts),
+                             line, col)
+            parts.append(self._advance())
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*, returning an EOF-terminated token list."""
+    return Lexer(text).tokenize()

@@ -1,0 +1,724 @@
+"""Recursive-descent parser for SQL-92 SELECT statements (stage one).
+
+The parser performs the syntactic half of the paper's stage one: "The input
+SQL query is verified for syntactical correctness, and syntactically
+invalid SQL is rejected immediately. The result of the first stage of
+translation is an abstract syntax tree representing the input SQL query."
+
+Grammar coverage (see DESIGN.md section 5 for the full list): query
+expressions with UNION/INTERSECT/EXCEPT [ALL], SELECT [DISTINCT], derived
+tables, the five join flavors with ON/USING/NATURAL, WHERE/GROUP BY/HAVING/
+ORDER BY, all SQL-92 predicate forms, CASE/CAST/EXTRACT/TRIM/SUBSTRING/
+POSITION special syntax, datetime literals, and ``?`` parameter markers.
+"""
+
+from __future__ import annotations
+
+import datetime
+from decimal import Decimal
+
+from ..errors import SQLSyntaxError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenType
+from .types import (
+    DATE,
+    DOUBLE,
+    INTEGER,
+    TIME,
+    TIMESTAMP,
+    VARCHAR,
+    SQLType,
+    type_from_name,
+)
+
+#: Set functions recognized in a select list or expression.
+AGGREGATE_NAMES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+_COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+_EXTRACT_FIELDS = frozenset({
+    "YEAR", "MONTH", "DAY", "HOUR", "MINUTE", "SECOND",
+})
+
+
+def parse_statement(text: str) -> ast.Query:
+    """Parse a complete SQL SELECT statement into a Query AST."""
+    parser = Parser(text)
+    query = parser.parse_query(top_level=True)
+    parser.expect_eof()
+    return query
+
+
+def parse_expression(text: str) -> ast.Expr:
+    """Parse a standalone expression (used by tests and tools)."""
+    parser = Parser(text)
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class Parser:
+    """Token-stream parser. One instance parses one statement."""
+
+    def __init__(self, text: str):
+        self._tokens = tokenize(text)
+        self._pos = 0
+        self._param_count = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> SQLSyntaxError:
+        token = token or self._current
+        found = token.text or "<end of input>"
+        return SQLSyntaxError(f"{message}, found {found!r}",
+                              token.line, token.column)
+
+    def _accept_keyword(self, *words: str) -> Token | None:
+        if self._current.is_keyword(*words):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._current.is_keyword(word):
+            raise self._error(f"expected {word}")
+        return self._advance()
+
+    def _accept_symbol(self, *symbols: str) -> Token | None:
+        if self._current.is_symbol(*symbols):
+            return self._advance()
+        return None
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        if not self._current.is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}")
+        return self._advance()
+
+    def expect_eof(self) -> None:
+        self._accept_symbol(";")
+        if self._current.type is not TokenType.EOF:
+            raise self._error("unexpected trailing input")
+
+    def _identifier(self, what: str = "identifier") -> str:
+        token = self._current
+        if token.type in (TokenType.IDENT, TokenType.QUOTED_IDENT):
+            self._advance()
+            return token.text
+        raise self._error(f"expected {what}")
+
+    # -- query expressions ----------------------------------------------
+
+    def parse_query(self, top_level: bool = False) -> ast.Query:
+        body = self._parse_query_body()
+        order_by: tuple[ast.SortItem, ...] = ()
+        if self._current.is_keyword("ORDER"):
+            if not top_level:
+                raise self._error(
+                    "ORDER BY is only allowed on the outermost query "
+                    "(SQL-92 13.1)")
+            self._advance()
+            self._expect_keyword("BY")
+            order_by = self._parse_sort_items()
+        return ast.Query(body=body, order_by=order_by)
+
+    def _parse_query_body(self) -> ast.QueryBody:
+        left = self._parse_query_term()
+        while True:
+            token = self._accept_keyword("UNION", "EXCEPT")
+            if token is None:
+                return left
+            all_flag = bool(self._accept_keyword("ALL"))
+            if not all_flag:
+                self._accept_keyword("DISTINCT")
+            right = self._parse_query_term()
+            left = ast.SetOp(op=token.text, all=all_flag,
+                             left=left, right=right)
+
+    def _parse_query_term(self) -> ast.QueryBody:
+        left = self._parse_query_primary()
+        while self._accept_keyword("INTERSECT"):
+            all_flag = bool(self._accept_keyword("ALL"))
+            if not all_flag:
+                self._accept_keyword("DISTINCT")
+            right = self._parse_query_primary()
+            left = ast.SetOp(op="INTERSECT", all=all_flag,
+                             left=left, right=right)
+        return left
+
+    def _parse_query_primary(self) -> ast.QueryBody:
+        if self._accept_symbol("("):
+            body = self._parse_query_body()
+            self._expect_symbol(")")
+            return body
+        return self._parse_select_core()
+
+    def _parse_select_core(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self._accept_keyword("ALL")
+        items = self._parse_select_list()
+        self._expect_keyword("FROM")
+        from_clause = self._parse_table_reference_list()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.parse_expr()
+        group_by: tuple[ast.Expr, ...] = ()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = self._parse_expr_list()
+        having = None
+        if self._accept_keyword("HAVING"):
+            having = self.parse_expr()
+        return ast.Select(items=items, from_clause=from_clause, where=where,
+                          group_by=group_by, having=having, distinct=distinct)
+
+    def _parse_select_list(self) -> tuple[ast.SelectItem | ast.StarItem, ...]:
+        items: list[ast.SelectItem | ast.StarItem] = []
+        while True:
+            items.append(self._parse_select_item())
+            if not self._accept_symbol(","):
+                return tuple(items)
+
+    def _parse_select_item(self) -> ast.SelectItem | ast.StarItem:
+        if self._accept_symbol("*"):
+            return ast.StarItem()
+        star = self._try_parse_qualified_star()
+        if star is not None:
+            return star
+        expr = self.parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._identifier("alias after AS")
+        elif self._current.type in (TokenType.IDENT, TokenType.QUOTED_IDENT):
+            alias = self._identifier()
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def _try_parse_qualified_star(self) -> ast.StarItem | None:
+        """Recognize ``name(.name)*.*`` without consuming on failure."""
+        if self._current.type not in (TokenType.IDENT, TokenType.QUOTED_IDENT):
+            return None
+        offset = 0
+        parts = 0
+        while True:
+            token = self._peek(offset)
+            if token.type not in (TokenType.IDENT, TokenType.QUOTED_IDENT):
+                return None
+            parts += 1
+            dot = self._peek(offset + 1)
+            if not dot.is_symbol("."):
+                return None
+            after = self._peek(offset + 2)
+            if after.is_symbol("*"):
+                qualifier = tuple(
+                    self._peek(i * 2).text for i in range(parts))
+                for _ in range(parts * 2 + 1):
+                    self._advance()
+                return ast.StarItem(qualifier=qualifier)
+            offset += 2
+
+    def _parse_sort_items(self) -> tuple[ast.SortItem, ...]:
+        items: list[ast.SortItem] = []
+        while True:
+            if self._current.type is TokenType.INTEGER:
+                key: ast.Expr | int = int(self._advance().text)
+            else:
+                key = self.parse_expr()
+            ascending = True
+            if self._accept_keyword("DESC"):
+                ascending = False
+            else:
+                self._accept_keyword("ASC")
+            items.append(ast.SortItem(key=key, ascending=ascending))
+            if not self._accept_symbol(","):
+                return tuple(items)
+
+    # -- table references -------------------------------------------------
+
+    def _parse_table_reference_list(self) -> tuple[ast.TableExpr, ...]:
+        refs = [self._parse_table_reference()]
+        while self._accept_symbol(","):
+            refs.append(self._parse_table_reference())
+        return tuple(refs)
+
+    def _parse_table_reference(self) -> ast.TableExpr:
+        left = self._parse_table_primary()
+        while True:
+            join = self._try_parse_join(left)
+            if join is None:
+                return left
+            left = join
+
+    def _try_parse_join(self, left: ast.TableExpr) -> ast.Join | None:
+        natural = False
+        kind = None
+        start = self._pos
+        if self._accept_keyword("NATURAL"):
+            natural = True
+        if self._accept_keyword("CROSS"):
+            kind = "CROSS"
+        elif self._accept_keyword("INNER"):
+            kind = "INNER"
+        elif self._accept_keyword("LEFT"):
+            self._accept_keyword("OUTER")
+            kind = "LEFT"
+        elif self._accept_keyword("RIGHT"):
+            self._accept_keyword("OUTER")
+            kind = "RIGHT"
+        elif self._accept_keyword("FULL"):
+            self._accept_keyword("OUTER")
+            kind = "FULL"
+        if not self._current.is_keyword("JOIN"):
+            if kind is not None or natural:
+                raise self._error("expected JOIN")
+            self._pos = start
+            return None
+        self._advance()
+        if kind is None:
+            kind = "INNER"
+        if natural and kind == "CROSS":
+            raise self._error("NATURAL cannot be combined with CROSS JOIN")
+        right = self._parse_table_primary()
+        condition = None
+        using: tuple[str, ...] = ()
+        if kind != "CROSS" and not natural:
+            if self._accept_keyword("ON"):
+                condition = self.parse_expr()
+            elif self._accept_keyword("USING"):
+                self._expect_symbol("(")
+                names = [self._identifier("column name")]
+                while self._accept_symbol(","):
+                    names.append(self._identifier("column name"))
+                self._expect_symbol(")")
+                using = tuple(names)
+            else:
+                raise self._error("expected ON or USING after JOIN")
+        return ast.Join(kind=kind, left=left, right=right,
+                        condition=condition, using=using, natural=natural)
+
+    def _parse_table_primary(self) -> ast.TableExpr:
+        if self._accept_symbol("("):
+            if self._current.is_keyword("SELECT") or self._looks_like_query():
+                query = self.parse_query()
+                self._expect_symbol(")")
+                self._accept_keyword("AS")
+                alias = self._identifier("alias for derived table")
+                column_aliases = self._parse_optional_column_aliases()
+                return ast.DerivedTable(query=query, alias=alias,
+                                        column_aliases=column_aliases)
+            inner = self._parse_table_reference()
+            self._expect_symbol(")")
+            return inner
+        parts = [self._identifier("table name")]
+        while self._accept_symbol("."):
+            parts.append(self._identifier("name after '.'"))
+        if len(parts) > 3:
+            raise self._error(
+                "too many qualifiers in table name (max catalog.schema.table)")
+        name = parts[-1]
+        schema = parts[-2] if len(parts) >= 2 else None
+        catalog = parts[-3] if len(parts) >= 3 else None
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._identifier("alias after AS")
+        elif self._current.type in (TokenType.IDENT, TokenType.QUOTED_IDENT):
+            alias = self._identifier()
+        column_aliases = self._parse_optional_column_aliases()
+        return ast.TableRef(name=name, schema=schema, catalog=catalog,
+                            alias=alias, column_aliases=column_aliases)
+
+    def _looks_like_query(self) -> bool:
+        """After an opening paren: does a (possibly nested) query follow?"""
+        offset = 0
+        while self._peek(offset).is_symbol("("):
+            offset += 1
+        return self._peek(offset).is_keyword("SELECT")
+
+    def _parse_optional_column_aliases(self) -> tuple[str, ...]:
+        if not self._current.is_symbol("("):
+            return ()
+        # Only a column-alias list can follow an alias here.
+        self._advance()
+        names = [self._identifier("column alias")]
+        while self._accept_symbol(","):
+            names.append(self._identifier("column alias"))
+        self._expect_symbol(")")
+        return tuple(names)
+
+    # -- expressions -------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_expr_list(self) -> tuple[ast.Expr, ...]:
+        exprs = [self.parse_expr()]
+        while self._accept_symbol(","):
+            exprs.append(self.parse_expr())
+        return tuple(exprs)
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            left = ast.Or(left=left, right=self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = ast.And(left=left, right=self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept_keyword("NOT"):
+            return ast.Not(operand=self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expr:
+        if self._current.is_keyword("EXISTS"):
+            self._advance()
+            self._expect_symbol("(")
+            query = self.parse_query()
+            self._expect_symbol(")")
+            return ast.Exists(query=query)
+        left = self._parse_additive()
+        return self._parse_predicate_suffix(left)
+
+    def _parse_predicate_suffix(self, left: ast.Expr) -> ast.Expr:
+        token = self._current
+        if token.is_symbol(*_COMPARISON_OPS):
+            op = self._advance().text
+            if op == "!=":
+                op = "<>"
+            quantifier = self._accept_keyword("ANY", "SOME", "ALL")
+            if quantifier is not None:
+                self._expect_symbol("(")
+                query = self.parse_query()
+                self._expect_symbol(")")
+                quant = "ANY" if quantifier.text in ("ANY", "SOME") else "ALL"
+                return ast.QuantifiedComparison(op=op, left=left,
+                                                quantifier=quant, query=query)
+            right = self._parse_additive()
+            return ast.Comparison(op=op, left=left, right=right)
+        negated = False
+        if token.is_keyword("NOT"):
+            follower = self._peek(1)
+            if follower.is_keyword("BETWEEN", "IN", "LIKE"):
+                self._advance()
+                negated = True
+                token = self._current
+        if token.is_keyword("IS"):
+            self._advance()
+            is_not = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("NULL")
+            return ast.IsNull(operand=left, negated=is_not)
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.Between(operand=left, low=low, high=high,
+                               negated=negated)
+        if token.is_keyword("IN"):
+            self._advance()
+            self._expect_symbol("(")
+            if self._current.is_keyword("SELECT") or self._looks_like_query():
+                query = self.parse_query()
+                self._expect_symbol(")")
+                return ast.InSubquery(operand=left, query=query,
+                                      negated=negated)
+            items = self._parse_expr_list()
+            self._expect_symbol(")")
+            return ast.InList(operand=left, items=items, negated=negated)
+        if token.is_keyword("LIKE"):
+            self._advance()
+            pattern = self._parse_additive()
+            escape = None
+            if self._accept_keyword("ESCAPE"):
+                escape = self._parse_additive()
+            return ast.Like(operand=left, pattern=pattern, escape=escape,
+                            negated=negated)
+        if negated:
+            raise self._error("expected BETWEEN, IN, or LIKE after NOT")
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            if self._accept_symbol("+"):
+                left = ast.BinaryOp(op="+", left=left,
+                                    right=self._parse_multiplicative())
+            elif self._accept_symbol("-"):
+                left = ast.BinaryOp(op="-", left=left,
+                                    right=self._parse_multiplicative())
+            elif self._accept_symbol("||"):
+                left = ast.BinaryOp(op="||", left=left,
+                                    right=self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            if self._accept_symbol("*"):
+                left = ast.BinaryOp(op="*", left=left,
+                                    right=self._parse_unary())
+            elif self._accept_symbol("/"):
+                left = ast.BinaryOp(op="/", left=left,
+                                    right=self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._accept_symbol("-"):
+            return ast.UnaryOp(op="-", operand=self._parse_unary())
+        if self._accept_symbol("+"):
+            return ast.UnaryOp(op="+", operand=self._parse_unary())
+        return self._parse_primary()
+
+    # -- primary expressions ------------------------------------------------
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(value=token.text, type=VARCHAR)
+        if token.type is TokenType.INTEGER:
+            self._advance()
+            return ast.Literal(value=int(token.text), type=INTEGER)
+        if token.type is TokenType.DECIMAL:
+            self._advance()
+            return ast.Literal(value=Decimal(token.text),
+                               type=SQLType("DECIMAL"))
+        if token.type is TokenType.APPROX:
+            self._advance()
+            return ast.Literal(value=float(token.text), type=DOUBLE)
+        if token.type is TokenType.PARAM:
+            self._advance()
+            self._param_count += 1
+            return ast.Parameter(index=self._param_count)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.NullLiteral()
+        if token.is_keyword("DATE", "TIME", "TIMESTAMP"):
+            if self._peek(1).type is TokenType.STRING:
+                return self._parse_datetime_literal()
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("CAST"):
+            return self._parse_cast()
+        if token.is_keyword("EXTRACT"):
+            return self._parse_extract()
+        if token.is_keyword("TRIM"):
+            return self._parse_trim()
+        if token.is_keyword("SUBSTRING"):
+            return self._parse_substring()
+        if token.is_keyword("POSITION"):
+            return self._parse_position()
+        if token.is_keyword("COALESCE", "NULLIF"):
+            name = self._advance().text
+            self._expect_symbol("(")
+            args = self._parse_expr_list()
+            self._expect_symbol(")")
+            return ast.FunctionCall(name=name, args=args)
+        if token.is_keyword("CURRENT_DATE", "CURRENT_TIME",
+                            "CURRENT_TIMESTAMP"):
+            self._advance()
+            return ast.FunctionCall(name=token.text, args=())
+        if token.is_keyword(*AGGREGATE_NAMES):
+            return self._parse_aggregate()
+        if token.is_symbol("("):
+            self._advance()
+            if self._current.is_keyword("SELECT") or self._looks_like_query():
+                query = self.parse_query()
+                self._expect_symbol(")")
+                return ast.ScalarSubquery(query=query)
+            expr = self.parse_expr()
+            self._expect_symbol(")")
+            return expr
+        if token.type in (TokenType.IDENT, TokenType.QUOTED_IDENT):
+            return self._parse_name_or_call()
+        raise self._error("expected an expression")
+
+    def _parse_datetime_literal(self) -> ast.Expr:
+        kind = self._advance().text
+        raw = self._advance().text
+        try:
+            if kind == "DATE":
+                value: object = datetime.date.fromisoformat(raw)
+                return ast.Literal(value=value, type=DATE)
+            if kind == "TIME":
+                value = datetime.time.fromisoformat(raw)
+                return ast.Literal(value=value, type=TIME)
+            value = datetime.datetime.fromisoformat(raw)
+            return ast.Literal(value=value, type=TIMESTAMP)
+        except ValueError:
+            raise self._error(f"malformed {kind} literal {raw!r}") from None
+
+    def _parse_case(self) -> ast.Expr:
+        self._expect_keyword("CASE")
+        operand = None
+        if not self._current.is_keyword("WHEN"):
+            operand = self.parse_expr()
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        while self._accept_keyword("WHEN"):
+            when = self.parse_expr()
+            self._expect_keyword("THEN")
+            then = self.parse_expr()
+            whens.append((when, then))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN branch")
+        else_ = None
+        if self._accept_keyword("ELSE"):
+            else_ = self.parse_expr()
+        self._expect_keyword("END")
+        return ast.CaseExpr(operand=operand, whens=tuple(whens), else_=else_)
+
+    def _parse_cast(self) -> ast.Expr:
+        self._expect_keyword("CAST")
+        self._expect_symbol("(")
+        operand = self.parse_expr()
+        self._expect_keyword("AS")
+        target = self._parse_type_name()
+        self._expect_symbol(")")
+        return ast.Cast(operand=operand, target=target)
+
+    def _parse_type_name(self) -> SQLType:
+        token = self._current
+        if not (token.type is TokenType.KEYWORD or
+                token.type is TokenType.IDENT):
+            raise self._error("expected a type name")
+        name = self._advance().text
+        if name == "DOUBLE":
+            self._accept_keyword("PRECISION")
+        varying = False
+        if name in ("CHAR", "CHARACTER") and self._accept_keyword("VARYING"):
+            varying = True
+        precision = scale = length = None
+        if self._accept_symbol("("):
+            first = self._current
+            if first.type is not TokenType.INTEGER:
+                raise self._error("expected a precision/length")
+            precision = int(self._advance().text)
+            if self._accept_symbol(","):
+                second = self._current
+                if second.type is not TokenType.INTEGER:
+                    raise self._error("expected a scale")
+                scale = int(self._advance().text)
+            self._expect_symbol(")")
+            length = precision
+        if varying:
+            name = "VARCHAR"
+        try:
+            return type_from_name(name, precision=precision, scale=scale,
+                                  length=length)
+        except Exception:
+            raise self._error(f"unknown type name {name!r}") from None
+
+    def _parse_extract(self) -> ast.Expr:
+        self._expect_keyword("EXTRACT")
+        self._expect_symbol("(")
+        token = self._current
+        field = token.text
+        if field not in _EXTRACT_FIELDS:
+            raise self._error("expected YEAR/MONTH/DAY/HOUR/MINUTE/SECOND")
+        self._advance()
+        self._expect_keyword("FROM")
+        source = self.parse_expr()
+        self._expect_symbol(")")
+        return ast.ExtractExpr(field=field, source=source)
+
+    def _parse_trim(self) -> ast.Expr:
+        self._expect_keyword("TRIM")
+        self._expect_symbol("(")
+        mode = "BOTH"
+        chars = None
+        token = self._accept_keyword("LEADING", "TRAILING", "BOTH")
+        if token is not None:
+            mode = token.text
+            if not self._current.is_keyword("FROM"):
+                chars = self.parse_expr()
+            self._expect_keyword("FROM")
+            source = self.parse_expr()
+        else:
+            first = self.parse_expr()
+            if self._accept_keyword("FROM"):
+                chars = first
+                source = self.parse_expr()
+            else:
+                source = first
+        self._expect_symbol(")")
+        return ast.TrimExpr(mode=mode, chars=chars, source=source)
+
+    def _parse_substring(self) -> ast.Expr:
+        self._expect_keyword("SUBSTRING")
+        self._expect_symbol("(")
+        source = self.parse_expr()
+        args: list[ast.Expr] = [source]
+        if self._accept_keyword("FROM"):
+            args.append(self.parse_expr())
+            if self._accept_keyword("FOR"):
+                args.append(self.parse_expr())
+        elif self._accept_symbol(","):
+            args.append(self.parse_expr())
+            if self._accept_symbol(","):
+                args.append(self.parse_expr())
+        else:
+            raise self._error("expected FROM or ',' in SUBSTRING")
+        self._expect_symbol(")")
+        return ast.FunctionCall(name="SUBSTRING", args=tuple(args))
+
+    def _parse_position(self) -> ast.Expr:
+        self._expect_keyword("POSITION")
+        self._expect_symbol("(")
+        needle = self._parse_additive()
+        self._expect_keyword("IN")
+        haystack = self.parse_expr()
+        self._expect_symbol(")")
+        return ast.FunctionCall(name="POSITION", args=(needle, haystack))
+
+    def _parse_aggregate(self) -> ast.Expr:
+        func = self._advance().text
+        self._expect_symbol("(")
+        if func == "COUNT" and self._accept_symbol("*"):
+            self._expect_symbol(")")
+            return ast.AggregateCall(func="COUNT", arg=None, star=True)
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self._accept_keyword("ALL")
+        arg = self.parse_expr()
+        self._expect_symbol(")")
+        return ast.AggregateCall(func=func, arg=arg, distinct=distinct)
+
+    def _parse_name_or_call(self) -> ast.Expr:
+        parts = [self._identifier()]
+        while self._current.is_symbol(".") and not self._peek(1).is_symbol("*"):
+            self._advance()
+            parts.append(self._identifier("name after '.'"))
+        if len(parts) == 1 and self._current.is_symbol("("):
+            self._advance()
+            if self._accept_symbol(")"):
+                return ast.FunctionCall(name=parts[0], args=())
+            args = self._parse_expr_list()
+            self._expect_symbol(")")
+            return ast.FunctionCall(name=parts[0], args=tuple(args))
+        if len(parts) > 4:
+            raise self._error("too many qualifiers in column reference")
+        return ast.ColumnRef(qualifier=tuple(parts[:-1]), column=parts[-1])

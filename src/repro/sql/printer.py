@@ -1,0 +1,271 @@
+"""Render SQL ASTs back to SQL-92 text.
+
+Used for debugging, error messages, and the parser round-trip property
+tests (parse → print → parse must reach a fixed point).
+"""
+
+from __future__ import annotations
+
+import datetime
+from decimal import Decimal
+
+from . import ast
+from .tokens import RESERVED_WORDS
+from .types import SQLType
+
+
+def print_query(query: ast.Query) -> str:
+    parts = [print_body(query.body)]
+    if query.order_by:
+        keys = ", ".join(_sort_item(item) for item in query.order_by)
+        parts.append(f"ORDER BY {keys}")
+    return " ".join(parts)
+
+
+def print_body(body: ast.QueryBody) -> str:
+    if isinstance(body, ast.SetOp):
+        left = print_body(body.left)
+        right = print_body(body.right)
+        if isinstance(body.right, ast.SetOp):
+            right = f"({right})"
+        all_kw = " ALL" if body.all else ""
+        return f"{left} {body.op}{all_kw} {right}"
+    return _select(body)
+
+
+def _select(select: ast.Select) -> str:
+    parts = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_select_item(item) for item in select.items))
+    parts.append("FROM")
+    parts.append(", ".join(_table(t) for t in select.from_clause))
+    if select.where is not None:
+        parts.append(f"WHERE {print_expr(select.where)}")
+    if select.group_by:
+        keys = ", ".join(print_expr(e) for e in select.group_by)
+        parts.append(f"GROUP BY {keys}")
+    if select.having is not None:
+        parts.append(f"HAVING {print_expr(select.having)}")
+    return " ".join(parts)
+
+
+def _select_item(item: ast.SelectItem | ast.StarItem) -> str:
+    if isinstance(item, ast.StarItem):
+        if item.qualifier:
+            return ".".join(_ident(p) for p in item.qualifier) + ".*"
+        return "*"
+    text = print_expr(item.expr)
+    if item.alias:
+        return f"{text} AS {_ident(item.alias)}"
+    return text
+
+
+def _sort_item(item: ast.SortItem) -> str:
+    key = str(item.key) if isinstance(item.key, int) else print_expr(item.key)
+    return key if item.ascending else f"{key} DESC"
+
+
+def _table(table: ast.TableExpr) -> str:
+    if isinstance(table, ast.TableRef):
+        parts = [p for p in (table.catalog, table.schema, table.name) if p]
+        text = ".".join(_ident(p) for p in parts)
+        if table.alias:
+            text += f" AS {_ident(table.alias)}"
+        if table.column_aliases:
+            cols = ", ".join(_ident(c) for c in table.column_aliases)
+            text += f" ({cols})"
+        return text
+    if isinstance(table, ast.DerivedTable):
+        text = f"({print_query(table.query)}) AS {_ident(table.alias)}"
+        if table.column_aliases:
+            cols = ", ".join(_ident(c) for c in table.column_aliases)
+            text += f" ({cols})"
+        return text
+    assert isinstance(table, ast.Join)
+    left = _table(table.left)
+    right = _table(table.right)
+    if isinstance(table.right, ast.Join):
+        right = f"({right})"
+    natural = "NATURAL " if table.natural else ""
+    if table.kind == "CROSS":
+        text = f"{left} CROSS JOIN {right}"
+    elif table.kind == "INNER":
+        text = f"{left} {natural}INNER JOIN {right}"
+    else:
+        text = f"{left} {natural}{table.kind} OUTER JOIN {right}"
+    if table.condition is not None:
+        text += f" ON {print_expr(table.condition)}"
+    elif table.using:
+        cols = ", ".join(_ident(c) for c in table.using)
+        text += f" USING ({cols})"
+    return text
+
+
+def _ident(name: str) -> str:
+    """Quote an identifier when it is not a regular SQL identifier."""
+    if (name.isidentifier() and name == name.upper()
+            and name not in RESERVED_WORDS):
+        return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "NOT": 3,
+    "CMP": 4,
+    "+": 5,
+    "-": 5,
+    "||": 5,
+    "*": 6,
+    "/": 6,
+    "UNARY": 7,
+}
+
+
+def print_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    text, prec = _expr(expr)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _literal(value: object, sql_type: SQLType) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, datetime.datetime):
+        return f"TIMESTAMP '{value.isoformat(sep=' ')}'"
+    if isinstance(value, datetime.date):
+        return f"DATE '{value.isoformat()}'"
+    if isinstance(value, datetime.time):
+        return f"TIME '{value.isoformat()}'"
+    if isinstance(value, Decimal):
+        text = str(value)
+        return text if "." in text else text + ".0"
+    if isinstance(value, float):
+        return repr(value) if "e" in repr(value) or "E" in repr(value) \
+            else f"{value!r}E0"
+    return str(value)
+
+
+def _expr(expr: ast.Expr) -> tuple[str, int]:
+    atom = 100
+    if isinstance(expr, ast.Literal):
+        return _literal(expr.value, expr.type), atom
+    if isinstance(expr, ast.NullLiteral):
+        return "NULL", atom
+    if isinstance(expr, ast.Parameter):
+        return "?", atom
+    if isinstance(expr, ast.ColumnRef):
+        parts = expr.qualifier + (expr.column,)
+        return ".".join(_ident(p) for p in parts), atom
+    if isinstance(expr, ast.UnaryOp):
+        prec = _PRECEDENCE["UNARY"]
+        return f"{expr.op}{print_expr(expr.operand, prec)}", prec
+    if isinstance(expr, ast.BinaryOp):
+        prec = _PRECEDENCE[expr.op]
+        left = print_expr(expr.left, prec)
+        right = print_expr(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}", prec
+    if isinstance(expr, ast.FunctionCall):
+        return _function_call(expr), atom
+    if isinstance(expr, ast.AggregateCall):
+        if expr.star:
+            return "COUNT(*)", atom
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.func}({distinct}{print_expr(expr.arg)})", atom
+    if isinstance(expr, ast.CaseExpr):
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(print_expr(expr.operand))
+        for when, then in expr.whens:
+            parts.append(f"WHEN {print_expr(when)} THEN {print_expr(then)}")
+        if expr.else_ is not None:
+            parts.append(f"ELSE {print_expr(expr.else_)}")
+        parts.append("END")
+        return " ".join(parts), atom
+    if isinstance(expr, ast.Cast):
+        return f"CAST({print_expr(expr.operand)} AS {expr.target})", atom
+    if isinstance(expr, ast.ExtractExpr):
+        return f"EXTRACT({expr.field} FROM {print_expr(expr.source)})", atom
+    if isinstance(expr, ast.TrimExpr):
+        inner = expr.mode
+        if expr.chars is not None:
+            inner += f" {print_expr(expr.chars)}"
+        inner += f" FROM {print_expr(expr.source)}"
+        return f"TRIM({inner})", atom
+    if isinstance(expr, ast.ScalarSubquery):
+        return f"({print_query(expr.query)})", atom
+    if isinstance(expr, ast.Comparison):
+        prec = _PRECEDENCE["CMP"]
+        left = print_expr(expr.left, prec + 1)
+        right = print_expr(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}", prec
+    if isinstance(expr, ast.QuantifiedComparison):
+        prec = _PRECEDENCE["CMP"]
+        left = print_expr(expr.left, prec + 1)
+        return (f"{left} {expr.op} {expr.quantifier} "
+                f"({print_query(expr.query)})", prec)
+    if isinstance(expr, ast.IsNull):
+        prec = _PRECEDENCE["CMP"]
+        not_kw = " NOT" if expr.negated else ""
+        return f"{print_expr(expr.operand, prec + 1)} IS{not_kw} NULL", prec
+    if isinstance(expr, ast.Between):
+        prec = _PRECEDENCE["CMP"]
+        not_kw = "NOT " if expr.negated else ""
+        return (f"{print_expr(expr.operand, prec + 1)} {not_kw}BETWEEN "
+                f"{print_expr(expr.low, prec + 1)} AND "
+                f"{print_expr(expr.high, prec + 1)}", prec)
+    if isinstance(expr, ast.InList):
+        prec = _PRECEDENCE["CMP"]
+        not_kw = "NOT " if expr.negated else ""
+        items = ", ".join(print_expr(i) for i in expr.items)
+        return (f"{print_expr(expr.operand, prec + 1)} {not_kw}IN ({items})",
+                prec)
+    if isinstance(expr, ast.InSubquery):
+        prec = _PRECEDENCE["CMP"]
+        not_kw = "NOT " if expr.negated else ""
+        return (f"{print_expr(expr.operand, prec + 1)} {not_kw}IN "
+                f"({print_query(expr.query)})", prec)
+    if isinstance(expr, ast.Like):
+        prec = _PRECEDENCE["CMP"]
+        not_kw = "NOT " if expr.negated else ""
+        text = (f"{print_expr(expr.operand, prec + 1)} {not_kw}LIKE "
+                f"{print_expr(expr.pattern, prec + 1)}")
+        if expr.escape is not None:
+            text += f" ESCAPE {print_expr(expr.escape, prec + 1)}"
+        return text, prec
+    if isinstance(expr, ast.Exists):
+        return f"EXISTS ({print_query(expr.query)})", atom
+    if isinstance(expr, ast.Not):
+        prec = _PRECEDENCE["NOT"]
+        return f"NOT {print_expr(expr.operand, prec)}", prec
+    if isinstance(expr, ast.And):
+        prec = _PRECEDENCE["AND"]
+        left = print_expr(expr.left, prec)
+        right = print_expr(expr.right, prec + 1)
+        return f"{left} AND {right}", prec
+    if isinstance(expr, ast.Or):
+        prec = _PRECEDENCE["OR"]
+        left = print_expr(expr.left, prec)
+        right = print_expr(expr.right, prec + 1)
+        return f"{left} OR {right}", prec
+    raise TypeError(f"cannot print expression {expr!r}")
+
+
+def _function_call(call: ast.FunctionCall) -> str:
+    if call.name == "SUBSTRING":
+        parts = [print_expr(call.args[0]), "FROM", print_expr(call.args[1])]
+        if len(call.args) == 3:
+            parts.extend(["FOR", print_expr(call.args[2])])
+        return f"SUBSTRING({' '.join(parts)})"
+    if call.name == "POSITION":
+        return (f"POSITION({print_expr(call.args[0])} IN "
+                f"{print_expr(call.args[1])})")
+    if not call.args and call.name.startswith("CURRENT_"):
+        return call.name
+    args = ", ".join(print_expr(a) for a in call.args)
+    return f"{call.name}({args})"

@@ -1,0 +1,64 @@
+"""Token definitions for the SQL-92 lexer (stage one, lexical analysis)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    """Lexical categories produced by the SQL lexer."""
+
+    KEYWORD = auto()        # reserved word (text is uppercased)
+    IDENT = auto()          # regular identifier (text is uppercased)
+    QUOTED_IDENT = auto()   # delimited identifier (case preserved)
+    STRING = auto()         # character string literal (text is the value)
+    INTEGER = auto()        # exact numeric literal without fraction
+    DECIMAL = auto()        # exact numeric literal with fraction
+    APPROX = auto()         # approximate numeric literal (E notation)
+    PARAM = auto()          # positional parameter marker '?'
+    SYMBOL = auto()         # operator or punctuation
+    EOF = auto()
+
+
+#: SQL-92 reserved words used by the supported SELECT grammar, plus the few
+#: common extensions the translator accepts. Regular identifiers matching
+#: one of these are tokenized as keywords.
+RESERVED_WORDS = frozenset({
+    "ALL", "AND", "ANY", "AS", "ASC", "AVG", "BETWEEN", "BIGINT", "BOTH",
+    "BY", "CASE", "CAST", "CHAR", "CHARACTER", "COALESCE", "COUNT", "CROSS",
+    "CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP", "DATE", "DEC",
+    "DECIMAL", "DESC", "DISTINCT", "DOUBLE", "ELSE", "END", "ESCAPE",
+    "EXCEPT", "EXISTS", "EXTRACT", "FALSE", "FLOAT", "FOR", "FROM", "FULL",
+    "GROUP", "HAVING", "IN", "INNER", "INT", "INTEGER", "INTERSECT", "IS",
+    "JOIN", "LEADING", "LEFT", "LIKE", "MAX", "MIN", "NATURAL", "NOT",
+    "NULL", "NULLIF", "NUMERIC", "ON", "OR", "ORDER", "OUTER", "POSITION",
+    "PRECISION", "REAL", "RIGHT", "SELECT", "SMALLINT", "SOME", "SUBSTRING",
+    "SUM", "THEN", "TIME", "TIMESTAMP", "TRAILING", "TRIM", "TRUE", "UNION",
+    "UNKNOWN", "USING", "VARCHAR", "VARYING", "WHEN", "WHERE",
+})
+
+#: Multi-character operator symbols, longest first so the lexer can use
+#: greedy matching.
+MULTI_CHAR_SYMBOLS = ("<>", "<=", ">=", "!=", "||")
+
+SINGLE_CHAR_SYMBOLS = frozenset("()+-*/,.<>=;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text in words
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.text in symbols
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Token({self.type.name}, {self.text!r})"

@@ -1,0 +1,51 @@
+"""The SQL-to-XQuery translator (S5 in DESIGN.md) — the paper's core
+contribution: progressive three-stage translation with typed resultset
+nodes (RSNs), query contexts, paper-style variable naming, SQL→XQuery
+function mapping, type-directed cast generation, and the section-4
+delimited-text result wrapper."""
+
+from .explain import explain
+from .rsn import (
+    ColumnResolution,
+    DerivedRSN,
+    JoinRSN,
+    QueryScope,
+    ResultColumn,
+    RSN,
+    RSNColumn,
+    TableRSN,
+)
+from .stage1 import QueryContext, Stage1Result, run_stage1
+from .stage2 import Binder, BoundQuery, BoundSelect, BoundSetOp, TranslationUnit
+from .stage3 import Generator
+from .translator import FORMATS, SQLToXQueryTranslator, TranslationResult
+from .varnames import VariableAllocator
+from .wrapper import NULL_MARK, VALUE_MARK, wrap_delimited
+
+__all__ = [
+    "Binder",
+    "BoundQuery",
+    "BoundSelect",
+    "BoundSetOp",
+    "ColumnResolution",
+    "DerivedRSN",
+    "FORMATS",
+    "Generator",
+    "JoinRSN",
+    "NULL_MARK",
+    "QueryContext",
+    "QueryScope",
+    "RSN",
+    "RSNColumn",
+    "ResultColumn",
+    "SQLToXQueryTranslator",
+    "Stage1Result",
+    "TableRSN",
+    "TranslationResult",
+    "TranslationUnit",
+    "VALUE_MARK",
+    "VariableAllocator",
+    "explain",
+    "run_stage1",
+    "wrap_delimited",
+]

@@ -1,0 +1,68 @@
+"""The preconfigured SQL-function → XQuery-function map.
+
+Paper section 3.5(iii): "Many SQL functions can be directly mapped to
+functions in the XQuery Functions and Operators library. The translator
+uses a preconfigured map of SQL and XQuery functions."
+
+Functions whose XQuery counterparts do not propagate NULL (the F&O string
+functions treat () as "") map onto the null-tolerant ``fn-bea:sql-*``
+variants instead (see repro.xquery.functions); this mirrors the extension
+function library the BEA engine shipped.
+"""
+
+from __future__ import annotations
+
+from ..errors import UnsupportedSQLError
+
+#: SQL function name -> (XQuery function QName, fixed leading arguments).
+SQL_TO_XQUERY_FUNCTIONS: dict[str, str] = {
+    "UPPER": "fn-bea:sql-upper",
+    "LOWER": "fn-bea:sql-lower",
+    "CONCAT": "fn-bea:sql-concat",
+    "SUBSTRING": "fn-bea:sql-substring",
+    "CHAR_LENGTH": "fn-bea:sql-char-length",
+    "CHARACTER_LENGTH": "fn-bea:sql-char-length",
+    "LENGTH": "fn-bea:sql-char-length",
+    "POSITION": "fn-bea:sql-position",
+    "ABS": "fn:abs",
+    "FLOOR": "fn:floor",
+    "CEILING": "fn:ceiling",
+    "SQRT": "fn-bea:sqrt",
+    "CURRENT_DATE": "fn:current-date",
+    "CURRENT_TIME": "fn:current-time",
+    "CURRENT_TIMESTAMP": "fn:current-dateTime",
+}
+
+#: EXTRACT field -> XQuery accessor by source kind.
+EXTRACT_FUNCTIONS = {
+    ("YEAR", "DATE"): "fn:year-from-date",
+    ("MONTH", "DATE"): "fn:month-from-date",
+    ("DAY", "DATE"): "fn:day-from-date",
+    ("YEAR", "TIMESTAMP"): "fn:year-from-dateTime",
+    ("MONTH", "TIMESTAMP"): "fn:month-from-dateTime",
+    ("DAY", "TIMESTAMP"): "fn:day-from-dateTime",
+    ("HOUR", "TIMESTAMP"): "fn:hours-from-dateTime",
+    ("MINUTE", "TIMESTAMP"): "fn:minutes-from-dateTime",
+    ("SECOND", "TIMESTAMP"): "fn:seconds-from-dateTime",
+    ("HOUR", "TIME"): "fn:hours-from-time",
+    ("MINUTE", "TIME"): "fn:minutes-from-time",
+    ("SECOND", "TIME"): "fn:seconds-from-time",
+}
+
+
+def xquery_function_for(sql_name: str) -> str:
+    """Look up the XQuery function for a plain SQL scalar function."""
+    try:
+        return SQL_TO_XQUERY_FUNCTIONS[sql_name.upper()]
+    except KeyError:
+        raise UnsupportedSQLError(
+            f"no XQuery mapping for SQL function {sql_name}") from None
+
+
+def extract_function_for(field: str, source_kind: str) -> str:
+    """Look up the accessor for EXTRACT(field FROM <source_kind>)."""
+    try:
+        return EXTRACT_FUNCTIONS[(field, source_kind)]
+    except KeyError:
+        raise UnsupportedSQLError(
+            f"cannot EXTRACT {field} from a {source_kind} value") from None

@@ -1,0 +1,244 @@
+"""Resultset nodes (RSNs) — the translator's typed view components.
+
+Paper section 3.4.2: "Queries on tables, join operations between two
+queries or tables, set operations involving two queries, and even the
+tables themselves are all treated as views ... A typed view node is
+created for each query (or subquery), each join operation on two views,
+each set operation on two queries, and each table. We will refer to this
+typed view node as a resultset-node (RSN)."
+
+Each RSN knows its columns, answers qualifier-based column resolution
+requests delegated by its query context (section 3.4.3), and — in stage
+three — emits its own XQuery fragment ("distribution of intelligence among
+components").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..catalog import TableMetadata, sql_to_xs
+from ..errors import SQLSemanticError
+from ..sql import ast
+from ..sql.types import SQLType
+
+
+@dataclass(frozen=True)
+class RSNColumn:
+    """One column of an RSN's tabular view.
+
+    ``typed`` records whether accessing the column yields schema-typed
+    atomic values (physical table elements) or untyped constructor output
+    (derived/join/set-op RECORD trees) that stage three must wrap in an
+    ``xs:`` cast.
+    """
+
+    name: str
+    sql_type: SQLType
+    nullable: bool = True
+    typed: bool = False
+
+    @property
+    def xs_type(self) -> str:
+        return sql_to_xs(self.sql_type)
+
+
+@dataclass(frozen=True)
+class ResultColumn:
+    """One column of a translated query's result.
+
+    ``label`` is the JDBC-visible column label; ``element`` is the (unique,
+    NCName-safe) XML element name used inside ``<RECORD>`` construction.
+    """
+
+    label: str
+    element: str
+    sql_type: SQLType
+    nullable: bool = True
+
+
+class RSN:
+    """Base resultset node."""
+
+    binding_name: str
+
+    def columns(self) -> list[RSNColumn]:
+        raise NotImplementedError
+
+    def column(self, name: str) -> RSNColumn | None:
+        for col in self.columns():
+            if col.name == name:
+                return col
+        return None
+
+    def leaf_bindings(self) -> Iterator["RSN"]:
+        """The addressable range variables under this RSN (joins expose
+        their children; tables/deriveds expose themselves)."""
+        yield self
+
+    def matches_qualifier(self, qualifier: tuple[str, ...]) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(eq=False)
+class TableRSN(RSN):
+    """A base table: a parameterless data service function (Figure 2)."""
+
+    metadata: TableMetadata
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.metadata.table
+
+    def columns(self) -> list[RSNColumn]:
+        return [RSNColumn(name=c.name, sql_type=c.sql_type,
+                          nullable=c.nullable, typed=True)
+                for c in self.metadata.columns]
+
+    def matches_qualifier(self, qualifier: tuple[str, ...]) -> bool:
+        if len(qualifier) == 1:
+            return qualifier[0] == self.binding_name
+        if self.alias is not None:
+            return False  # aliased tables hide their qualified names
+        if len(qualifier) == 2:
+            return (qualifier[0] == self.metadata.schema
+                    and qualifier[1] == self.metadata.table)
+        if len(qualifier) == 3:
+            return (qualifier[0] == self.metadata.catalog
+                    and qualifier[1] == self.metadata.schema
+                    and qualifier[2] == self.metadata.table)
+        return False
+
+
+@dataclass(eq=False)
+class DerivedRSN(RSN):
+    """A derived table: a subquery in FROM, translated to a let-bound
+    RECORDSET (paper Example 8)."""
+
+    bound_query: "object"  # BoundQuery (stage2); typed loosely to avoid cycle
+    alias: str = ""
+    column_aliases: tuple[str, ...] = ()
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias
+
+    def columns(self) -> list[RSNColumn]:
+        result_columns = self.bound_query.result_columns
+        if self.column_aliases:
+            if len(self.column_aliases) != len(result_columns):
+                raise SQLSemanticError(
+                    f"{self.alias}: {len(self.column_aliases)} column "
+                    f"aliases for {len(result_columns)} columns")
+            names = self.column_aliases
+        else:
+            names = tuple(c.label for c in result_columns)
+        return [RSNColumn(name=name, sql_type=col.sql_type,
+                          nullable=col.nullable, typed=False)
+                for name, col in zip(names, result_columns)]
+
+    def element_for(self, name: str) -> str:
+        """RECORD child element holding column *name*."""
+        for rsn_col, res_col in zip(self.columns(),
+                                    self.bound_query.result_columns):
+            if rsn_col.name == name:
+                return res_col.element
+        raise SQLSemanticError(
+            f"column {name} does not exist in {self.alias}")
+
+    def matches_qualifier(self, qualifier: tuple[str, ...]) -> bool:
+        return len(qualifier) == 1 and qualifier[0] == self.alias
+
+
+@dataclass(eq=False)
+class JoinRSN(RSN):
+    """A join of two views. Owns its condition and, in stage three,
+    generates its own join expression (if-empty pattern for outer joins)."""
+
+    kind: str  # INNER | LEFT | RIGHT | FULL | CROSS
+    left: RSN
+    right: RSN
+    condition: Optional[ast.Expr] = None
+
+    binding_name = "<join>"
+
+    def columns(self) -> list[RSNColumn]:
+        return self.left.columns() + self.right.columns()
+
+    def leaf_bindings(self) -> Iterator[RSN]:
+        yield from self.left.leaf_bindings()
+        yield from self.right.leaf_bindings()
+
+    def matches_qualifier(self, qualifier: tuple[str, ...]) -> bool:
+        return False
+
+    def contains_outer(self) -> bool:
+        if self.kind in ("LEFT", "RIGHT", "FULL"):
+            return True
+        for child in (self.left, self.right):
+            if isinstance(child, JoinRSN) and child.contains_outer():
+                return True
+        return False
+
+
+@dataclass
+class ColumnResolution:
+    """The answer to an XPath-resolution request (paper section 3.5.iv)."""
+
+    rsn: RSN              # the leaf RSN owning the column
+    column: RSNColumn
+    depth: int = 0        # 0 = this query's scope; >0 = outer (correlated)
+
+
+@dataclass
+class QueryScope:
+    """A query context's name-resolution view: its FROM RSNs plus a link
+    to the parent query's scope for correlated subqueries."""
+
+    rsns: list[RSN] = field(default_factory=list)
+    parent: Optional["QueryScope"] = None
+
+    def leaf_bindings(self) -> list[RSN]:
+        leaves: list[RSN] = []
+        for rsn in self.rsns:
+            leaves.extend(rsn.leaf_bindings())
+        return leaves
+
+    def check_duplicate_bindings(self) -> None:
+        names = [leaf.binding_name for leaf in self.leaf_bindings()]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SQLSemanticError(
+                "duplicate range variable(s) in FROM: "
+                + ", ".join(sorted(duplicates)))
+
+    def resolve(self, ref: ast.ColumnRef) -> ColumnResolution:
+        """SQL-92 column resolution with correlation to outer scopes."""
+        depth = 0
+        scope: QueryScope | None = self
+        while scope is not None:
+            matches: list[ColumnResolution] = []
+            for leaf in scope.leaf_bindings():
+                if ref.qualifier:
+                    if not leaf.matches_qualifier(ref.qualifier):
+                        continue
+                    column = leaf.column(ref.column)
+                    if column is None:
+                        raise SQLSemanticError(
+                            f"column {ref.display()} does not exist in "
+                            f"{leaf.binding_name}")
+                    matches.append(ColumnResolution(leaf, column, depth))
+                else:
+                    column = leaf.column(ref.column)
+                    if column is not None:
+                        matches.append(ColumnResolution(leaf, column, depth))
+            if len(matches) > 1:
+                raise SQLSemanticError(
+                    f"ambiguous column reference {ref.display()}")
+            if matches:
+                return matches[0]
+            scope = scope.parent
+            depth += 1
+        raise SQLSemanticError(f"unknown column {ref.display()}")

@@ -1,0 +1,908 @@
+"""Stage three: XQuery generation.
+
+Paper section 3.4.1: "In stage-three, this transformed AST is traversed
+and, based on the context information in the nodes, the XQuery is
+generated piece by piece. Translated query snippets are stored in
+intermediate buffers and assembled as the translation proceeds."
+
+Generation follows the paper's patterns:
+
+* FROM items → ``for`` clauses over data service functions (Fig. 7);
+* derived tables → ``let``-bound ``<RECORDSET>`` trees, iterated with
+  ``$temp/RECORD`` (Example 8);
+* outer joins → ``let`` + ``if (fn:empty(...)) then ... else ...``
+  (Example 10);
+* GROUP BY → the BEA ``group`` extension over a (possibly materialized)
+  row stream, aggregates over the partition variable (Example 12);
+* generated variables follow the ``var<ctx><ZONE><n>`` naming (§3.5.iv);
+* expression datatypes computed in stage two become ``xs:`` casts
+  (§3.5.v).
+
+SQL three-valued logic is preserved by emitting value comparisons (which
+yield the empty sequence on NULL) and the ``fn-bea:`` 3VL combinators; see
+DESIGN.md section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from decimal import Decimal
+from typing import Callable, Optional
+
+from ..errors import SQLSemanticError, UnsupportedSQLError
+from ..sql import ast
+from ..sql.types import SQLType
+from ..catalog import sql_to_xs
+from .funcmap import extract_function_for, xquery_function_for
+from .rsn import DerivedRSN, JoinRSN, RSN, TableRSN
+from .stage2 import (
+    BoundItem,
+    BoundQuery,
+    BoundSelect,
+    BoundSetOp,
+    BoundSortItem,
+    TranslationUnit,
+)
+from .varnames import VariableAllocator
+
+_EXACT_INT_KINDS = frozenset({"SMALLINT", "INTEGER", "BIGINT"})
+
+_VALUE_COMP_OPS = {"=": "eq", "<>": "ne", "<": "lt", "<=": "le",
+                   ">": "gt", ">=": "ge"}
+
+
+@dataclass
+class Accessor:
+    """How a leaf RSN's rows are reached at a given point in generation.
+
+    Modes: ``direct`` — the leaf's own typed row elements;
+    ``record`` — a derived table's RECORDSET rows (children named by the
+    inner query's result elements); ``join-record`` — rows of a
+    materialized join (children qualified ``binding.column``, whatever
+    kind of leaf the column came from).
+    """
+
+    var: str
+    mode: str            # "direct" | "record" | "join-record"
+    rsn: RSN
+
+    def column_path(self, column_name: str) -> str:
+        if self.mode == "direct":
+            return f"${self.var}/{column_name}"
+        if self.mode == "record" and isinstance(self.rsn, DerivedRSN):
+            return f"${self.var}/{self.rsn.element_for(column_name)}"
+        element = record_element(self.rsn.binding_name, column_name)
+        return f"${self.var}/{element}"
+
+    def is_typed(self) -> bool:
+        return self.mode == "direct"
+
+
+def record_element(binding: str, column: str) -> str:
+    """Element name for a column inside an internal join RECORD."""
+    raw = f"{binding}.{column}"
+    return "".join(ch if ch.isalnum() or ch in "._-" else "_"
+                   for ch in raw)
+
+
+@dataclass
+class GenContext:
+    """Accessors in scope during generation, chained outward for
+    correlated references. ``group`` is set while generating post-group
+    expressions."""
+
+    accessors: dict[int, Accessor] = field(default_factory=dict)
+    parent: Optional["GenContext"] = None
+    group: Optional["GroupContext"] = None
+
+    def child(self) -> "GenContext":
+        return GenContext(parent=self)
+
+    def register(self, rsn: RSN, accessor: Accessor) -> None:
+        self.accessors[id(rsn)] = accessor
+
+    def lookup(self, rsn: RSN) -> Accessor:
+        ctx: GenContext | None = self
+        while ctx is not None:
+            accessor = ctx.accessors.get(id(rsn))
+            if accessor is not None:
+                return accessor
+            ctx = ctx.parent
+        # Group contexts deliberately bypass their own query's row
+        # variables (invalid after grouping), so a reference landing here
+        # crossed a grouped boundary.
+        raise UnsupportedSQLError(
+            "correlated reference crosses a grouped query boundary or "
+            "is otherwise out of scope")
+
+
+@dataclass
+class GroupContext:
+    """Post-group evaluation state (paper Example 12)."""
+
+    partition_var: str
+    keys: list[tuple[ast.Expr, str]]          # (group-by expr, key var)
+    make_row_context: Callable[[str], GenContext]
+
+    def key_var_for(self, expr: ast.Expr) -> Optional[str]:
+        for key_expr, var in self.keys:
+            if expr == key_expr:
+                return var
+        return None
+
+
+@dataclass
+class _GroupRows:
+    """The row stream feeding a group stage."""
+
+    source: str
+    factory: Callable[[str], GenContext]
+    lets: list[tuple[str, str]]
+    where_pending: bool
+
+
+@dataclass
+class _SourcePlan:
+    """The FLWOR clauses a FROM clause compiles to."""
+
+    lets: list[tuple[str, str]] = field(default_factory=list)
+    fors: list[tuple[str, str]] = field(default_factory=list)
+    conditions: list[ast.Expr] = field(default_factory=list)
+
+
+class Generator:
+    """Serializes a TranslationUnit into XQuery text."""
+
+    def __init__(self, unit: TranslationUnit):
+        self._unit = unit
+        self._alloc = VariableAllocator()
+        self._imports: dict[tuple[str, str | None], str] = {}
+
+    # -- entry points ----------------------------------------------------
+
+    def generate(self) -> str:
+        """The complete query: prolog + <RECORDSET> body."""
+        body = self.generate_body()
+        return self._prolog() + f"<RECORDSET>{{\n{body}\n}}</RECORDSET>"
+
+    def generate_body(self) -> str:
+        """The RECORD-stream expression without prolog or RECORDSET."""
+        self._collect_imports()
+        root = GenContext()
+        return self._gen_query(self._unit.bound, root)
+
+    def prolog(self) -> str:
+        self._collect_imports()
+        return self._prolog()
+
+    def _collect_imports(self) -> None:
+        for rsn in self._unit.table_rsns:
+            key = (rsn.metadata.namespace, rsn.metadata.schema_location)
+            if key not in self._imports:
+                self._imports[key] = f"ns{len(self._imports)}"
+
+    def _prolog(self) -> str:
+        lines = []
+        for (uri, location), prefix in self._imports.items():
+            line = f'import schema namespace {prefix} = "{uri}"'
+            if location:
+                line += f' at "{location}"'
+            lines.append(line + ";")
+        for index in sorted(self._unit.param_types):
+            lines.append(f"declare variable $p{index} external;")
+        if lines:
+            return "\n".join(lines) + "\n"
+        return ""
+
+    def _prefix_for(self, rsn: TableRSN) -> str:
+        return self._imports[(rsn.metadata.namespace,
+                              rsn.metadata.schema_location)]
+
+    # -- query / set operations -----------------------------------------------
+
+    def _gen_query(self, bound: BoundQuery, outer: GenContext,
+                   element_names: list[str] | None = None) -> str:
+        if isinstance(bound.body, BoundSetOp):
+            stream = self._gen_setop(bound.body, outer, element_names)
+            if bound.order_by:
+                stream = self._order_record_stream(
+                    stream, bound, bound.order_by)
+            return stream
+        return self._gen_select(bound.body, bound.order_by, outer,
+                                element_names)
+
+    def _gen_setop(self, setop: BoundSetOp, outer: GenContext,
+                   element_names: list[str] | None) -> str:
+        names = element_names or [c.element for c in setop.result_columns]
+        left = self._gen_body(setop.left, outer, names)
+        right = self._gen_body(setop.right, outer, names)
+        if setop.op == "UNION":
+            if setop.all:
+                return f"({left},\n{right})"
+            return f"fn-bea:distinct-records(({left},\n{right}))"
+        flag = "fn:true()" if setop.all else "fn:false()"
+        function = "fn-bea:intersect-records" if setop.op == "INTERSECT" \
+            else "fn-bea:except-records"
+        return f"{function}(({left}),\n({right}), {flag})"
+
+    def _gen_body(self, body, outer: GenContext,
+                  element_names: list[str]) -> str:
+        if isinstance(body, BoundSetOp):
+            return self._gen_setop(body, outer, element_names)
+        return self._gen_select(body, [], outer, element_names)
+
+    def _order_record_stream(self, stream: str, bound: BoundQuery,
+                             order_by: list[BoundSortItem]) -> str:
+        """ORDER BY over an opaque RECORD stream (set operations)."""
+        var = self._alloc.var(0, "OB")
+        keys = []
+        for sort in order_by:
+            if sort.item_index is None:
+                raise SQLSemanticError(
+                    "ORDER BY over a set operation must use result "
+                    "columns or positions")
+            column = bound.result_columns[sort.item_index]
+            key = self._cast(f"fn:data(${var}/{column.element})",
+                             column.sql_type)
+            keys.append(key + ("" if sort.ascending else " descending"))
+        return (f"for ${var} in ({stream})\n"
+                f"order by {', '.join(keys)}\n"
+                f"return ${var}")
+
+    # -- SELECT generation ---------------------------------------------------------
+
+    def _gen_select(self, bound: BoundSelect,
+                    order_by: list[BoundSortItem], outer: GenContext,
+                    element_names: list[str] | None = None) -> str:
+        ctx_id = bound.context.id
+        ctx = outer.child()
+        plan = _SourcePlan()
+        for rsn in bound.scope.rsns:
+            self._plan_source(rsn, ctx, ctx_id, plan)
+
+        names = element_names or [item.element for item in bound.items]
+        if bound.is_grouped:
+            text = self._gen_grouped(bound, order_by, ctx, outer, ctx_id,
+                                     plan, names)
+        else:
+            text = self._gen_plain(bound, order_by, ctx, ctx_id, plan,
+                                   names)
+        if bound.distinct:
+            text = f"fn-bea:distinct-records(({text}))"
+        return text
+
+    def _gen_plain(self, bound: BoundSelect,
+                   order_by: list[BoundSortItem], ctx: GenContext,
+                   ctx_id: int, plan: _SourcePlan,
+                   names: list[str]) -> str:
+        lines = []
+        for var, expr in plan.lets:
+            lines.append(f"let ${var} :=\n{expr}")
+        for var, expr in plan.fors:
+            lines.append(f"for ${var} in {expr}")
+        for condition in plan.conditions:
+            lines.append(f"where {self._gen_pred(condition, ctx)}")
+        if bound.where is not None:
+            lines.append(f"where {self._gen_pred(bound.where, ctx)}")
+        if order_by:
+            lines.append(self._order_clause(order_by, bound, ctx))
+        lines.append("return")
+        lines.append(self._gen_record(bound.items, names, ctx))
+        return "\n".join(lines)
+
+    def _order_clause(self, order_by: list[BoundSortItem],
+                      bound: BoundSelect, ctx: GenContext) -> str:
+        keys = []
+        for sort in order_by:
+            if sort.item_index is not None:
+                expr = bound.items[sort.item_index].expr
+            else:
+                expr = sort.expr
+            key = self._gen_value(expr, ctx)
+            keys.append(key + ("" if sort.ascending else " descending"))
+        return f"order by {', '.join(keys)}"
+
+    def _gen_record(self, items: list[BoundItem], names: list[str],
+                    ctx: GenContext) -> str:
+        parts = ["<RECORD>"]
+        for item, element in zip(items, names):
+            value = self._gen_value(item.expr, ctx)
+            parts.append(f"  <{element}>{{{value}}}</{element}>")
+        parts.append("</RECORD>")
+        return "\n".join(parts)
+
+    # -- grouped SELECT ---------------------------------------------------------------
+
+    def _gen_grouped(self, bound: BoundSelect,
+                     order_by: list[BoundSortItem], ctx: GenContext,
+                     outer: GenContext, ctx_id: int, plan: _SourcePlan,
+                     names: list[str]) -> str:
+        rows = self._rows_for_grouping(bound, ctx, ctx_id, plan)
+        if bound.group_by:
+            return self._gen_group_by(bound, order_by, outer, ctx_id,
+                                      rows, names)
+        return self._gen_implicit_group(bound, outer, ctx_id, rows, names)
+
+    def _rows_for_grouping(self, bound: BoundSelect, ctx: GenContext,
+                           ctx_id: int, plan: _SourcePlan) \
+            -> "_GroupRows":
+        """A single row stream for the group stage, plus a factory that
+        binds a row variable to accessors (the paper's $inter pattern for
+        multi-table grouped queries). ``where_pending`` reports whether
+        the WHERE clause still has to be applied before grouping."""
+        lets = list(plan.lets)
+        leaves = bound.scope.leaf_bindings()
+        if len(plan.fors) == 1 and not plan.conditions and \
+                len(leaves) == 1:
+            _var, expr = plan.fors[0]
+            source_rsn = leaves[0]
+            mode = "direct" if isinstance(source_rsn, TableRSN) \
+                else "record"
+
+            def factory(row_var: str,
+                        rsn=source_rsn, m=mode) -> GenContext:
+                inner = ctx.child()
+                inner.register(rsn, Accessor(var=row_var, mode=m, rsn=rsn))
+                return inner
+
+            return _GroupRows(source=expr, factory=factory, lets=lets,
+                              where_pending=bound.where is not None)
+        # General case: materialize the (filtered, joined) rows into an
+        # intermediate RECORDSET, as the paper does with $inter.
+        inner_lines = []
+        for var, expr in plan.fors:
+            inner_lines.append(f"for ${var} in {expr}")
+        for condition in plan.conditions:
+            inner_lines.append(f"where {self._gen_pred(condition, ctx)}")
+        if bound.where is not None:
+            inner_lines.append(f"where {self._gen_pred(bound.where, ctx)}")
+        record = self._all_columns_record(leaves, ctx)
+        inner_lines.append(f"return\n{record}")
+        inter = self._alloc.tempvar(ctx_id, "GB")
+        lets.append((inter,
+                     "<RECORDSET>{\n" + "\n".join(inner_lines)
+                     + "\n}</RECORDSET>"))
+
+        def factory(row_var: str) -> GenContext:
+            inner = ctx.child()
+            for leaf in leaves:
+                inner.register(leaf, Accessor(var=row_var,
+                                              mode="join-record",
+                                              rsn=leaf))
+            return inner
+
+        return _GroupRows(source=f"${inter}/RECORD", factory=factory,
+                          lets=lets, where_pending=False)
+
+    def _all_columns_record(self, leaves: list[RSN],
+                            ctx: GenContext) -> str:
+        parts = ["<RECORD>"]
+        for leaf in leaves:
+            accessor = ctx.lookup(leaf)
+            for column in leaf.columns():
+                element = record_element(leaf.binding_name, column.name)
+                value = f"fn:data({accessor.column_path(column.name)})"
+                parts.append(f"  <{element}>{{{value}}}</{element}>")
+        parts.append("</RECORD>")
+        return "\n".join(parts)
+
+    def _gen_group_by(self, bound, order_by, outer, ctx_id, rows,
+                      names) -> str:
+        row_var = self._alloc.var(ctx_id, "GB")
+        row_ctx = rows.factory(row_var)
+        partition_var = self._alloc.partition(ctx_id)
+        keys: list[tuple[ast.Expr, str]] = []
+        key_clauses = []
+        for key_expr in bound.group_by:
+            key_var = self._alloc.var(ctx_id, "GB")
+            keys.append((key_expr, key_var))
+            key_clauses.append(
+                f"{self._gen_value(key_expr, row_ctx)} as ${key_var}")
+        # Post-group expressions must not see this query's row variables;
+        # the group context chains straight to the *outer* scope so
+        # correlated references still resolve.
+        group_ctx = GenContext(parent=outer)
+        group_ctx.group = GroupContext(
+            partition_var=partition_var, keys=keys,
+            make_row_context=rows.factory)
+
+        lines = []
+        for var, expr in rows.lets:
+            lines.append(f"let ${var} :=\n{expr}")
+        lines.append(f"for ${row_var} in {rows.source}")
+        if rows.where_pending and bound.where is not None:
+            lines.append(f"where {self._gen_pred(bound.where, row_ctx)}")
+        lines.append(f"group ${row_var} as ${partition_var} by "
+                     + ", ".join(key_clauses))
+        if bound.having is not None:
+            lines.append(
+                f"where {self._gen_pred(bound.having, group_ctx)}")
+        if order_by:
+            lines.append(self._order_clause_grouped(order_by, bound,
+                                                    group_ctx))
+        lines.append("return")
+        lines.append(self._gen_record(bound.items, names, group_ctx))
+        return "\n".join(lines)
+
+    def _order_clause_grouped(self, order_by, bound, group_ctx) -> str:
+        keys = []
+        for sort in order_by:
+            if sort.item_index is not None:
+                expr = bound.items[sort.item_index].expr
+            else:
+                expr = sort.expr
+            key = self._gen_value(expr, group_ctx)
+            keys.append(key + ("" if sort.ascending else " descending"))
+        return f"order by {', '.join(keys)}"
+
+    def _gen_implicit_group(self, bound, outer, ctx_id, rows,
+                            names) -> str:
+        """Aggregates without GROUP BY: one group over all rows."""
+        partition_var = self._alloc.partition(ctx_id)
+        group_ctx = GenContext(parent=outer)
+        group_ctx.group = GroupContext(
+            partition_var=partition_var, keys=[],
+            make_row_context=rows.factory)
+        lines = []
+        for var, expr in rows.lets:
+            lines.append(f"let ${var} :=\n{expr}")
+        source = rows.source
+        if rows.where_pending and bound.where is not None:
+            row_var = self._alloc.var(ctx_id, "GB")
+            row_ctx = rows.factory(row_var)
+            source = (f"(for ${row_var} in {rows.source}\n"
+                      f"where {self._gen_pred(bound.where, row_ctx)}\n"
+                      f"return ${row_var})")
+        lines.append(f"let ${partition_var} := {source}")
+        record = self._gen_record(bound.items, names, group_ctx)
+        if bound.having is not None:
+            having = self._gen_pred(bound.having, group_ctx)
+            lines.append("return")
+            lines.append(f"if ({having}) then\n{record}\nelse ()")
+        else:
+            lines.append("return")
+            lines.append(record)
+        return "\n".join(lines)
+
+    # -- FROM planning -----------------------------------------------------------------
+
+    def _plan_source(self, rsn: RSN, ctx: GenContext, ctx_id: int,
+                     plan: _SourcePlan) -> None:
+        if isinstance(rsn, TableRSN):
+            var = self._alloc.var(ctx_id, "FR")
+            ctx.register(rsn, Accessor(var=var, mode="direct", rsn=rsn))
+            plan.fors.append((var, self._table_call(rsn)))
+            return
+        if isinstance(rsn, DerivedRSN):
+            temp = self._alloc.tempvar(ctx_id, "FR")
+            inner = self._gen_query(rsn.bound_query, ctx)
+            plan.lets.append(
+                (temp, "<RECORDSET>{\n" + inner + "\n}</RECORDSET>"))
+            var = self._alloc.var(ctx_id, "FR")
+            ctx.register(rsn, Accessor(var=var, mode="record", rsn=rsn))
+            plan.fors.append((var, f"${temp}/RECORD"))
+            return
+        assert isinstance(rsn, JoinRSN)
+        if rsn.contains_outer():
+            temp = self._alloc.tempvar(ctx_id, "FR")
+            join_expr, join_lets = self._gen_join(rsn, ctx, ctx_id)
+            plan.lets.extend(join_lets)
+            plan.lets.append(
+                (temp, "<RECORDSET>{\n" + join_expr + "\n}</RECORDSET>"))
+            var = self._alloc.var(ctx_id, "FR")
+            for leaf in rsn.leaf_bindings():
+                ctx.register(leaf, Accessor(var=var, mode="join-record",
+                                            rsn=leaf))
+            plan.fors.append((var, f"${temp}/RECORD"))
+            return
+        # Inner/cross joins flatten into for clauses plus conditions.
+        self._plan_source(rsn.left, ctx, ctx_id, plan)
+        self._plan_source(rsn.right, ctx, ctx_id, plan)
+        if rsn.condition is not None:
+            plan.conditions.append(rsn.condition)
+
+    def _table_call(self, rsn: TableRSN) -> str:
+        prefix = self._prefix_for(rsn)
+        return f"{prefix}:{rsn.metadata.function_name}()"
+
+    # -- join materialization -------------------------------------------------------------
+
+    def _gen_join(self, join: JoinRSN, outer_ctx: GenContext,
+                  ctx_id: int) -> tuple[str, list[tuple[str, str]]]:
+        """An outer-join RECORD stream per the paper's Example 10."""
+        lets: list[tuple[str, str]] = []
+        ctx = outer_ctx.child()
+        kind = join.kind
+        left, right = join.left, join.right
+        if kind == "RIGHT":
+            left, right = right, left
+            kind = "LEFT"
+        left_var, left_source = self._join_side_source(
+            left, ctx, ctx_id, lets)
+        right_rows = self._join_side_rows(right, ctx, ctx_id, lets)
+        right_var = self._alloc.var(ctx_id, "FR")
+        self._register_join_side(right, ctx, right_var)
+
+        left_cols = self._join_record_columns(left, ctx)
+        right_cols = self._join_record_columns(right, ctx)
+        all_record = self._record_of(left_cols + right_cols)
+        left_record = self._record_of(left_cols)
+        right_record = self._record_of(right_cols)
+
+        if kind == "CROSS" or kind == "INNER":
+            condition = ""
+            if join.condition is not None:
+                condition = f"where {self._gen_pred(join.condition, ctx)}\n"
+            expr = (f"for ${left_var} in {left_source}\n"
+                    f"for ${right_var} in {right_rows}\n"
+                    f"{condition}return\n{all_record}")
+            return expr, lets
+
+        assert kind in ("LEFT", "FULL")
+        temp = self._alloc.tempvar(ctx_id, "FR")
+        condition = self._gen_pred(join.condition, ctx) \
+            if join.condition is not None else "fn:true()"
+        matched = (f"(for ${right_var} in {right_rows}\n"
+                   f"where {condition}\n"
+                   f"return ${right_var})")
+        left_outer = (
+            f"for ${left_var} in {left_source}\n"
+            f"let ${temp} := {matched}\n"
+            f"return\n"
+            f"if (fn:empty(${temp})) then\n"
+            f"{left_record}\n"
+            f"else\n"
+            f"for ${right_var} in ${temp}\n"
+            f"return\n{all_record}")
+        if kind == "LEFT":
+            return left_outer, lets
+        # FULL OUTER: append right-side rows with no left match.
+        anti_left_var = self._alloc.var(ctx_id, "FR")
+        anti_temp = self._alloc.tempvar(ctx_id, "FR")
+        anti_condition = self._rebind_condition(join, left, anti_left_var,
+                                                ctx)
+        anti = (f"for ${right_var} in {right_rows}\n"
+                f"let ${anti_temp} := (for ${anti_left_var} in "
+                f"{left_source}\n"
+                f"where {anti_condition}\n"
+                f"return ${anti_left_var})\n"
+                f"where fn:empty(${anti_temp})\n"
+                f"return\n{right_record}")
+        return f"({left_outer},\n{anti})", lets
+
+    def _rebind_condition(self, join: JoinRSN, left: RSN,
+                          new_left_var: str, ctx: GenContext) -> str:
+        """Regenerate the join condition with the left side bound to a
+        fresh variable (for the FULL OUTER anti-join pass)."""
+        anti_ctx = ctx.child()
+        for leaf in left.leaf_bindings():
+            old = ctx.lookup(leaf)
+            anti_ctx.register(leaf, Accessor(var=new_left_var,
+                                             mode=old.mode, rsn=leaf))
+        if join.condition is None:
+            return "fn:true()"
+        return self._gen_pred(join.condition, anti_ctx)
+
+    def _join_side_source(self, side: RSN, ctx: GenContext, ctx_id: int,
+                          lets: list) -> tuple[str, str]:
+        """(iteration variable, row-source expression) for a join side,
+        registering accessors for its leaves."""
+        rows = self._join_side_rows(side, ctx, ctx_id, lets)
+        var = self._alloc.var(ctx_id, "FR")
+        self._register_join_side(side, ctx, var)
+        return var, rows
+
+    def _join_side_rows(self, side: RSN, ctx: GenContext, ctx_id: int,
+                        lets: list) -> str:
+        if isinstance(side, TableRSN):
+            return self._table_call(side)
+        if isinstance(side, DerivedRSN):
+            temp = self._alloc.tempvar(ctx_id, "FR")
+            inner = self._gen_query(side.bound_query, ctx)
+            lets.append((temp,
+                         "<RECORDSET>{\n" + inner + "\n}</RECORDSET>"))
+            return f"${temp}/RECORD"
+        assert isinstance(side, JoinRSN)
+        inner_expr, inner_lets = self._gen_join(side, ctx, ctx_id)
+        lets.extend(inner_lets)
+        temp = self._alloc.tempvar(ctx_id, "FR")
+        lets.append((temp,
+                     "<RECORDSET>{\n" + inner_expr + "\n}</RECORDSET>"))
+        return f"${temp}/RECORD"
+
+    def _register_join_side(self, side: RSN, ctx: GenContext,
+                            var: str) -> None:
+        if isinstance(side, TableRSN):
+            ctx.register(side, Accessor(var=var, mode="direct", rsn=side))
+            return
+        if isinstance(side, DerivedRSN):
+            # The side's rows are the derived table's own RECORDs.
+            ctx.register(side, Accessor(var=var, mode="record", rsn=side))
+            return
+        # A nested, materialized join: rows carry binding.column names.
+        for leaf in side.leaf_bindings():
+            ctx.register(leaf, Accessor(var=var, mode="join-record",
+                                        rsn=leaf))
+
+    def _join_record_columns(self, side: RSN,
+                             ctx: GenContext) -> list[tuple[str, str]]:
+        columns = []
+        for leaf in side.leaf_bindings():
+            accessor = ctx.lookup(leaf)
+            for column in leaf.columns():
+                element = record_element(leaf.binding_name, column.name)
+                value = f"fn:data({accessor.column_path(column.name)})"
+                columns.append((element, value))
+        return columns
+
+    def _record_of(self, columns: list[tuple[str, str]]) -> str:
+        parts = ["<RECORD>"]
+        for element, value in columns:
+            parts.append(f"  <{element}>{{{value}}}</{element}>")
+        parts.append("</RECORD>")
+        return "\n".join(parts)
+
+    # -- predicates (three-valued logic) ---------------------------------------------------
+
+    def _gen_pred(self, expr: ast.Expr, ctx: GenContext) -> str:
+        if isinstance(expr, ast.Comparison):
+            op = _VALUE_COMP_OPS[expr.op]
+            left = self._gen_value(expr.left, ctx)
+            right = self._gen_value(expr.right, ctx)
+            return f"({left} {op} {right})"
+        if isinstance(expr, ast.And):
+            return (f"fn-bea:and3({self._gen_pred(expr.left, ctx)}, "
+                    f"{self._gen_pred(expr.right, ctx)})")
+        if isinstance(expr, ast.Or):
+            return (f"fn-bea:or3({self._gen_pred(expr.left, ctx)}, "
+                    f"{self._gen_pred(expr.right, ctx)})")
+        if isinstance(expr, ast.Not):
+            return f"fn-bea:not3({self._gen_pred(expr.operand, ctx)})"
+        if isinstance(expr, ast.IsNull):
+            test = "fn:exists" if expr.negated else "fn:empty"
+            return f"{test}({self._gen_value(expr.operand, ctx)})"
+        if isinstance(expr, ast.Between):
+            operand = self._gen_value(expr.operand, ctx)
+            low = self._gen_value(expr.low, ctx)
+            high = self._gen_value(expr.high, ctx)
+            body = (f"fn-bea:and3(({operand} ge {low}), "
+                    f"({operand} le {high}))")
+            return f"fn-bea:not3({body})" if expr.negated else body
+        if isinstance(expr, ast.InList):
+            operand = self._gen_value(expr.operand, ctx)
+            if all(isinstance(item, ast.Literal) for item in expr.items):
+                # Literal lists (the common reporting shape, sometimes
+                # hundreds of values) translate to one flat membership
+                # test: no item can be NULL, so fn-bea:in3 is exactly the
+                # OR-chain's semantics without its nesting depth.
+                values = ", ".join(self._gen_value(item, ctx)
+                                   for item in expr.items)
+                body = f"fn-bea:in3({operand}, ({values}))"
+                return f"fn-bea:not3({body})" if expr.negated else body
+            clauses = [f"({operand} eq {self._gen_value(item, ctx)})"
+                       for item in expr.items]
+            body = clauses[0]
+            for clause in clauses[1:]:
+                body = f"fn-bea:or3({body}, {clause})"
+            return f"fn-bea:not3({body})" if expr.negated else body
+        if isinstance(expr, ast.InSubquery):
+            operand = self._gen_value(expr.operand, ctx)
+            stream = self._subquery_column_stream(expr.query, ctx)
+            body = f"fn-bea:in3({operand}, {stream})"
+            return f"fn-bea:not3({body})" if expr.negated else body
+        if isinstance(expr, ast.QuantifiedComparison):
+            operand = self._gen_value(expr.left, ctx)
+            stream = self._subquery_column_stream(expr.query, ctx)
+            op = _VALUE_COMP_OPS[expr.op]
+            function = "fn-bea:any3" if expr.quantifier == "ANY" \
+                else "fn-bea:all3"
+            return f'{function}({operand}, {stream}, "{op}")'
+        if isinstance(expr, ast.Like):
+            operand = self._gen_value(expr.operand, ctx)
+            pattern = self._gen_value(expr.pattern, ctx)
+            args = f"{operand}, {pattern}"
+            if expr.escape is not None:
+                args += f", {self._gen_value(expr.escape, ctx)}"
+            body = f"fn-bea:sql-like({args})"
+            return f"fn-bea:not3({body})" if expr.negated else body
+        if isinstance(expr, ast.Exists):
+            stream = self._gen_subquery(expr.query, ctx)
+            return f"fn:exists(({stream}))"
+        raise UnsupportedSQLError(
+            f"unsupported predicate {type(expr).__name__}")
+
+    def _gen_subquery(self, query: ast.Query, ctx: GenContext) -> str:
+        bound = self._unit.subqueries[id(query)]
+        return self._gen_query(bound, ctx)
+
+    def _subquery_column_stream(self, query: ast.Query,
+                                ctx: GenContext) -> str:
+        bound = self._unit.subqueries[id(query)]
+        stream = self._gen_query(bound, ctx)
+        element = bound.result_columns[0].element
+        return f"(({stream})/{element})"
+
+    # -- value expressions ----------------------------------------------------------------
+
+    def _cast(self, text: str, sql_type: Optional[SQLType]) -> str:
+        if sql_type is None:
+            return text
+        return f"xs:{sql_to_xs(sql_type)}({text})"
+
+    def _gen_value(self, expr: ast.Expr, ctx: GenContext) -> str:
+        if ctx.group is not None:
+            key_var = ctx.group.key_var_for(expr)
+            if key_var is not None:
+                return f"${key_var}"
+            if isinstance(expr, ast.AggregateCall):
+                return self._gen_aggregate(expr, ctx)
+        if isinstance(expr, ast.Literal):
+            return self._gen_literal(expr)
+        if isinstance(expr, ast.NullLiteral):
+            return "()"
+        if isinstance(expr, ast.Parameter):
+            return f"$p{expr.index}"
+        if isinstance(expr, ast.ColumnRef):
+            return self._gen_column(expr, ctx)
+        if isinstance(expr, ast.UnaryOp):
+            value = self._gen_value(expr.operand, ctx)
+            return f"(-{value})" if expr.op == "-" else value
+        if isinstance(expr, ast.BinaryOp):
+            return self._gen_binary(expr, ctx)
+        if isinstance(expr, ast.FunctionCall):
+            return self._gen_function(expr, ctx)
+        if isinstance(expr, ast.AggregateCall):
+            raise SQLSemanticError(
+                f"aggregate {expr.func} used outside a grouped query")
+        if isinstance(expr, ast.CaseExpr):
+            return self._gen_case(expr, ctx)
+        if isinstance(expr, ast.Cast):
+            return self._gen_cast(expr, ctx)
+        if isinstance(expr, ast.ExtractExpr):
+            return self._gen_extract(expr, ctx)
+        if isinstance(expr, ast.TrimExpr):
+            return self._gen_trim(expr, ctx)
+        if isinstance(expr, ast.ScalarSubquery):
+            stream = self._gen_subquery(expr.query, ctx)
+            sql_type = self._unit.type_of(expr)
+            return self._cast(f"fn-bea:scalar(({stream}))", sql_type)
+        raise UnsupportedSQLError(
+            f"unsupported value expression {type(expr).__name__}")
+
+    def _gen_literal(self, literal: ast.Literal) -> str:
+        value = literal.value
+        if isinstance(value, str):
+            escaped = value.replace("&", "&amp;").replace('"', "&quot;")
+            return f'"{escaped}"'
+        if isinstance(value, bool):
+            return "fn:true()" if value else "fn:false()"
+        if isinstance(value, int):
+            return f"xs:int({value})" if -2147483648 <= value < 2147483648 \
+                else f"xs:long({value})"
+        if isinstance(value, Decimal):
+            return f"xs:decimal({value})"
+        if isinstance(value, float):
+            return f'xs:double("{value!r}")'
+        kind = literal.type.kind
+        if kind == "DATE":
+            return f'xs:date("{value.isoformat()}")'
+        if kind == "TIME":
+            return f'xs:time("{value.isoformat()}")'
+        if kind == "TIMESTAMP":
+            return f'xs:dateTime("{value.isoformat(sep="T")}")'
+        raise UnsupportedSQLError(f"cannot render literal {value!r}")
+
+    def _gen_column(self, ref: ast.ColumnRef, ctx: GenContext) -> str:
+        resolution = self._unit.resolution_of(ref)
+        accessor = ctx.lookup(resolution.rsn)
+        path = accessor.column_path(resolution.column.name)
+        data = f"fn:data({path})"
+        if accessor.is_typed():
+            return data
+        return self._cast(data, resolution.column.sql_type)
+
+    def _gen_binary(self, expr: ast.BinaryOp, ctx: GenContext) -> str:
+        left = self._gen_value(expr.left, ctx)
+        right = self._gen_value(expr.right, ctx)
+        if expr.op == "||":
+            return f"fn-bea:sql-concat({left}, {right})"
+        op = expr.op
+        if op == "/":
+            left_type = self._unit.type_of(expr.left)
+            right_type = self._unit.type_of(expr.right)
+            if left_type is not None and right_type is not None and \
+                    left_type.kind in _EXACT_INT_KINDS and \
+                    right_type.kind in _EXACT_INT_KINDS:
+                op = "idiv"
+            else:
+                op = "div"
+        return f"({left} {op} {right})"
+
+    def _gen_function(self, expr: ast.FunctionCall,
+                      ctx: GenContext) -> str:
+        name = expr.name.upper()
+        args = [self._gen_value(arg, ctx) for arg in expr.args]
+        if name == "COALESCE":
+            body = args[-1]
+            for arg in reversed(args[:-1]):
+                body = f"fn-bea:if-empty({arg}, {body})"
+            return body
+        if name == "NULLIF":
+            return (f"(if ({args[0]} eq {args[1]}) then () "
+                    f"else {args[0]})")
+        if name == "MOD":
+            return f"({args[0]} mod {args[1]})"
+        if name == "ROUND":
+            if len(args) == 1:
+                return f"fn:round({args[0]})"
+            return f"fn-bea:sql-round({args[0]}, {args[1]})"
+        function = xquery_function_for(name)
+        return f"{function}({', '.join(args)})"
+
+    def _gen_case(self, expr: ast.CaseExpr, ctx: GenContext) -> str:
+        branches = []
+        for when, then in expr.whens:
+            if expr.operand is not None:
+                condition = (f"({self._gen_value(expr.operand, ctx)} eq "
+                             f"{self._gen_value(when, ctx)})")
+            else:
+                condition = self._gen_pred(when, ctx)
+            branches.append((condition, self._gen_value(then, ctx)))
+        else_value = self._gen_value(expr.else_, ctx) \
+            if expr.else_ is not None else "()"
+        text = else_value
+        for condition, value in reversed(branches):
+            text = f"(if ({condition}) then {value} else {text})"
+        return text
+
+    def _gen_cast(self, expr: ast.Cast, ctx: GenContext) -> str:
+        value = self._gen_value(expr.operand, ctx)
+        target = expr.target
+        if target.kind in ("CHAR", "VARCHAR") and target.length is not None:
+            return (f"fn-bea:sql-substring(xs:string({value}), 1, "
+                    f"{target.length})")
+        if target.kind == "DECIMAL" and target.scale is not None:
+            return (f"fn-bea:sql-round(xs:decimal({value}), "
+                    f"{target.scale})")
+        return self._cast(value, target)
+
+    def _gen_extract(self, expr: ast.ExtractExpr, ctx: GenContext) -> str:
+        source_type = self._unit.type_of(expr.source)
+        kind = source_type.kind if source_type is not None else "TIMESTAMP"
+        function = extract_function_for(expr.field, kind)
+        return f"{function}({self._gen_value(expr.source, ctx)})"
+
+    def _gen_trim(self, expr: ast.TrimExpr, ctx: GenContext) -> str:
+        chars = self._gen_value(expr.chars, ctx) \
+            if expr.chars is not None else '" "'
+        source = self._gen_value(expr.source, ctx)
+        return f'fn-bea:sql-trim("{expr.mode}", {chars}, {source})'
+
+    # -- aggregates ----------------------------------------------------------------------
+
+    def _gen_aggregate(self, expr: ast.AggregateCall,
+                       ctx: GenContext) -> str:
+        group = ctx.group
+        assert group is not None
+        partition = f"${group.partition_var}"
+        if expr.star:
+            return f"fn:count({partition})"
+        row_var = self._alloc.var(0, "SL")
+        row_ctx = group.make_row_context(row_var)
+        value = self._gen_value(expr.arg, row_ctx)
+        values = f"for ${row_var} in {partition} return {value}"
+        if expr.distinct:
+            values = f"fn:distinct-values(({values}))"
+        else:
+            values = f"({values})"
+        if expr.func == "COUNT":
+            return f"fn:count({values})"
+        if expr.func == "SUM":
+            return f"fn:sum({values}, ())"
+        if expr.func == "AVG":
+            return f"fn:avg({values})"
+        if expr.func == "MIN":
+            return f"fn:min({values})"
+        if expr.func == "MAX":
+            return f"fn:max({values})"
+        raise UnsupportedSQLError(f"unknown aggregate {expr.func}")

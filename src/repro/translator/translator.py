@@ -1,0 +1,99 @@
+"""The SQL-to-XQuery translator facade.
+
+Runs the three stages of section 3.4.1 — (i) validate the SQL and capture
+semantic information, (ii) move it to XQuery-relevant locations, (iii)
+generate the XQuery — and packages the result with the computed result
+schema the driver needs to build result sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..catalog import MetadataAPI, MetadataCache
+from ..sql.types import SQLType
+from .rsn import ResultColumn
+from .stage1 import Stage1Result, run_stage1
+from .stage2 import Binder, TranslationUnit
+from .stage3 import Generator
+from .wrapper import wrap_delimited
+
+#: Result formats (section 4): "recordset" materializes XML, "delimited"
+#: uses the text wrapper query.
+FORMATS = ("recordset", "delimited")
+
+
+@dataclass
+class TranslationResult:
+    """The product of a translation."""
+
+    sql: str
+    xquery: str
+    format: str
+    columns: list[ResultColumn]
+    parameter_types: dict[int, SQLType] = field(default_factory=dict)
+    unit: TranslationUnit | None = None
+
+    @property
+    def column_labels(self) -> list[str]:
+        return [c.label for c in self.columns]
+
+    def parameter_variables(self, values) -> dict[str, object]:
+        """Bind positional parameter values to the generated external
+        variables ($p1, $p2, ...)."""
+        expected = len(self.parameter_types)
+        values = list(values)
+        if len(values) != expected:
+            from ..errors import ProgrammingError
+            raise ProgrammingError(
+                f"statement takes {expected} parameters, "
+                f"{len(values)} given")
+        return {f"p{index}": value
+                for index, value in enumerate(values, start=1)}
+
+
+class SQLToXQueryTranslator:
+    """Translates SQL-92 SELECT statements into XQuery (sections 3.4-3.5).
+
+    The translator owns a driver-side metadata cache over the remote
+    metadata API ("Fetched table metadata is cached locally for further
+    use").
+    """
+
+    def __init__(self, metadata: MetadataAPI | MetadataCache):
+        if isinstance(metadata, MetadataAPI):
+            metadata = MetadataCache(metadata)
+        self.metadata = metadata
+
+    # Individual stages are exposed for tests, tools, and the stage
+    # breakdown benchmark (experiment E13).
+
+    def stage1(self, sql: str) -> Stage1Result:
+        return run_stage1(sql)
+
+    def stage2(self, stage1: Stage1Result) -> TranslationUnit:
+        return Binder(stage1, self.metadata).bind()
+
+    def stage3(self, unit: TranslationUnit,
+               format: str = "recordset") -> TranslationResult:
+        generator = Generator(unit)
+        columns = unit.bound.result_columns
+        if format == "recordset":
+            xquery = generator.generate()
+        elif format == "delimited":
+            body = generator.generate_body()
+            xquery = wrap_delimited(generator.prolog(), body, columns)
+        else:
+            raise ValueError(
+                f"unknown format {format!r}; expected one of {FORMATS}")
+        return TranslationResult(
+            sql="", xquery=xquery, format=format, columns=columns,
+            parameter_types=dict(unit.param_types), unit=unit)
+
+    def translate(self, sql: str,
+                  format: str = "recordset") -> TranslationResult:
+        """Full pipeline: SQL text in, XQuery text + result schema out."""
+        unit = self.stage2(self.stage1(sql))
+        result = self.stage3(unit, format=format)
+        result.sql = sql
+        return result

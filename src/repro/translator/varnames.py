@@ -1,0 +1,50 @@
+"""Generated-variable naming, per the paper's nomenclature.
+
+Section 3.5: "the nomenclature of variable naming is based on the
+following: var — a common prefix, followed by the query context id
+(computed during stage-one), followed by the query zone and a unique
+number within that zone." ``tempvar`` names let-bound intermediates the
+same way (Examples 8 and 10: ``$var1FR2``, ``$tempvar1FR4``).
+
+Query zones: FR (FROM), WH (WHERE), GB (GROUP BY), OB (ORDER BY),
+SL (SELECT).
+"""
+
+from __future__ import annotations
+
+ZONES = ("FR", "WH", "GB", "OB", "SL")
+
+
+class VariableAllocator:
+    """Allocates globally unique, paper-style variable names.
+
+    One allocator is shared across a whole translation; uniqueness comes
+    from the (context id, zone, counter) triple.
+    """
+
+    def __init__(self):
+        self._counters: dict[tuple[int, str, str], int] = {}
+
+    def _next(self, prefix: str, context_id: int, zone: str) -> str:
+        if zone not in ZONES:
+            raise ValueError(f"unknown query zone {zone!r}")
+        key = (context_id, zone, prefix)
+        number = self._counters.get(key, -1) + 1
+        self._counters[key] = number
+        return f"{prefix}{context_id}{zone}{number}"
+
+    def var(self, context_id: int, zone: str) -> str:
+        """A ``for``-bound row variable, e.g. ``var1FR0``."""
+        return self._next("var", context_id, zone)
+
+    def tempvar(self, context_id: int, zone: str) -> str:
+        """A ``let``-bound intermediate, e.g. ``tempvar1FR2``."""
+        return self._next("tempvar", context_id, zone)
+
+    def partition(self, context_id: int) -> str:
+        """The group-by partition variable (Example 12's
+        ``$var1Partition1``)."""
+        key = (context_id, "GB", "partition")
+        number = self._counters.get(key, 0) + 1
+        self._counters[key] = number
+        return f"var{context_id}Partition{number}"

@@ -1,0 +1,27 @@
+"""Workload generators (S9 in DESIGN.md): the demo application used by
+tests/examples, synthetic data scaling, and the random SQL query
+generator for property-based equivalence testing."""
+
+from .demo import APPLICATION, PROJECT, build_runtime, build_storage
+from .scaling import build_scaled_runtime, build_scaled_storage
+from .generator import (
+    COMPLEXITY_CLASSES,
+    DEMO_SHAPES,
+    QueryGenerator,
+    TableShape,
+    generate_query,
+)
+
+__all__ = [
+    "APPLICATION",
+    "COMPLEXITY_CLASSES",
+    "DEMO_SHAPES",
+    "PROJECT",
+    "QueryGenerator",
+    "TableShape",
+    "build_runtime",
+    "build_scaled_runtime",
+    "build_scaled_storage",
+    "build_storage",
+    "generate_query",
+]

@@ -1,0 +1,283 @@
+"""Random SQL-92 query generation for equivalence testing and benchmarks.
+
+Generates syntactically and semantically valid SELECT statements over a
+set of table schemas, spanning the translator's feature surface:
+projections with expressions, joins of every flavor, derived tables,
+predicate subqueries, grouping/aggregation, set operations, DISTINCT, and
+ORDER BY. Queries are guaranteed runtime-safe (no division by zero, no
+invalid casts), so any disagreement between the translated XQuery and the
+reference executor is a genuine translation bug.
+
+Also defines the five query complexity classes (C1..C5) used by the
+translation-throughput benchmark (experiment E8 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+
+@dataclass(frozen=True)
+class TableShape:
+    """What the generator needs to know about one table."""
+
+    name: str
+    int_columns: tuple[str, ...]
+    string_columns: tuple[str, ...]
+    decimal_columns: tuple[str, ...] = ()
+    date_columns: tuple[str, ...] = ()
+
+    def all_columns(self) -> tuple[str, ...]:
+        return (self.int_columns + self.string_columns
+                + self.decimal_columns + self.date_columns)
+
+
+#: The demo application's tables (see repro.workloads.demo).
+DEMO_SHAPES = (
+    TableShape("CUSTOMERS", ("CUSTOMERID",),
+               ("CUSTOMERNAME", "REGION"), ("CREDITLIMIT",)),
+    TableShape("PAYMENTS", ("PAYMENTID", "CUSTID"), (),
+               ("PAYMENT",), ("PAYDATE",)),
+    TableShape("PO_CUSTOMERS", ("ORDERID", "CUSTOMERID"), ()),
+    TableShape("ORDERS", ("ORDERID", "CUSTID"), ("STATUS",),
+               ("AMOUNT",), ("ORDERDATE",)),
+)
+
+_REGIONS = ("WEST", "EAST", "NORTH", "SOUTH")
+_NAMES = ("Joe", "Sue", "Ann", "Bob", "Eve", "Dan", "Zed")
+
+
+class QueryGenerator:
+    """Seeded random SELECT generator over a set of table shapes."""
+
+    def __init__(self, seed: int, shapes: tuple[TableShape, ...] = DEMO_SHAPES):
+        self._rng = random.Random(seed)
+        self._shapes = shapes
+        self._alias_counter = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def query(self) -> str:
+        """One random top-level query (possibly a set operation), with a
+        deterministic ORDER BY so results are comparable as lists."""
+        roll = self._rng.random()
+        if roll < 0.12:
+            # Both sides project the same number of integer columns so
+            # the corresponding-column types are always compatible.
+            arity = self._rng.randint(1, 2)
+            left = self.select(allow_order=False, arity_like=(None, arity))
+            right = self.select(allow_order=False, arity_like=(None, arity))
+            op = self._rng.choice(["UNION", "UNION ALL", "INTERSECT",
+                                   "EXCEPT"])
+            return f"{left[0]} {op} {right[0]}"
+        return self.select(allow_order=False)[0]
+
+    def select(self, allow_order: bool = True, arity_like=None,
+               depth: int = 0):
+        """Build one SELECT; returns (sql, arity)."""
+        rng = self._rng
+        table, alias = self._pick_table(depth)
+        items, arity = self._projection(table, alias, arity_like, depth)
+        sql = [f"SELECT {'DISTINCT ' if rng.random() < 0.15 else ''}"
+               f"{items}"]
+        from_clause, join_alias, join_table = self._from(table, alias,
+                                                         depth)
+        sql.append(f"FROM {from_clause}")
+        if rng.random() < 0.75:
+            sql.append("WHERE " + self._predicate(
+                table, alias, depth, join_table, join_alias))
+        return " ".join(sql), arity
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _next_alias(self) -> str:
+        self._alias_counter += 1
+        return f"T{self._alias_counter}"
+
+    def _pick_table(self, depth: int) -> tuple[TableShape, str]:
+        table = self._rng.choice(self._shapes)
+        return table, self._next_alias()
+
+    def _column(self, table: TableShape, alias: str,
+                kind: str | None = None) -> str:
+        rng = self._rng
+        if kind == "int" or (kind is None and (table.string_columns == ()
+                                               or rng.random() < 0.5)):
+            name = rng.choice(table.int_columns)
+        elif kind == "string" and table.string_columns:
+            name = rng.choice(table.string_columns)
+        elif kind == "decimal" and table.decimal_columns:
+            name = rng.choice(table.decimal_columns)
+        else:
+            name = rng.choice(table.all_columns())
+        return f"{alias}.{name}"
+
+    def _int_value(self) -> str:
+        return str(self._rng.randint(0, 60))
+
+    def _string_value(self) -> str:
+        pool = _REGIONS + _NAMES + ("OPEN", "SHIPPED", "CANCELLED")
+        return f"'{self._rng.choice(pool)}'"
+
+    def _projection(self, table: TableShape, alias: str, arity_like,
+                    depth: int) -> tuple[str, int]:
+        rng = self._rng
+        if arity_like is not None:
+            # Match a set-operation sibling: project N int columns.
+            _sql, arity = arity_like
+            columns = [self._column(table, alias, "int")
+                       for _ in range(arity)]
+            return ", ".join(columns), arity
+        if rng.random() < 0.18 and depth == 0:
+            key = self._column(table, alias, "int")
+            aggregates = [
+                "COUNT(*)",
+                f"COUNT({self._column(table, alias)})",
+                f"MIN({self._column(table, alias, 'int')})",
+                f"MAX({self._column(table, alias, 'int')})",
+                f"SUM({self._column(table, alias, 'int')})",
+            ]
+            agg = rng.choice(aggregates)
+            self._pending_group_by = key
+            return f"{key}, {agg}", 2
+        self._pending_group_by = None
+        count = rng.randint(1, 3)
+        items = []
+        for index in range(count):
+            roll = rng.random()
+            if roll < 0.6:
+                items.append(self._column(table, alias))
+            elif roll < 0.8:
+                items.append(f"{self._column(table, alias, 'int')} + "
+                             f"{self._int_value()} AS X{index}")
+            elif roll < 0.9 and table.string_columns:
+                items.append(f"UPPER({self._column(table, alias, 'string')})"
+                             f" AS U{index}")
+            else:
+                items.append(
+                    f"CASE WHEN {self._column(table, alias, 'int')} > "
+                    f"{self._int_value()} THEN 'hi' ELSE 'lo' END "
+                    f"AS C{index}")
+        return ", ".join(items), count
+
+    def _from(self, table: TableShape, alias: str, depth: int):
+        rng = self._rng
+        base = f"{table.name} AS {alias}"
+        if depth < 1 and rng.random() < 0.35:
+            other = rng.choice(self._shapes)
+            other_alias = self._next_alias()
+            kind = rng.choice(["INNER JOIN", "LEFT OUTER JOIN",
+                               "RIGHT OUTER JOIN", "FULL OUTER JOIN",
+                               "INNER JOIN"])
+            condition = (f"{self._column(table, alias, 'int')} = "
+                         f"{self._column(other, other_alias, 'int')}")
+            return (f"{base} {kind} {other.name} AS {other_alias} "
+                    f"ON {condition}", other_alias, other)
+        if depth < 1 and rng.random() < 0.18:
+            # Wrap the base table in a derived query exposing the same
+            # columns under the same alias, so the projection's
+            # references stay valid.
+            inner_alias = self._next_alias()
+            inner = f"SELECT {inner_alias}.* FROM {table.name} AS " \
+                    f"{inner_alias}"
+            if rng.random() < 0.5:
+                inner += (f" WHERE {self._column(table, inner_alias, 'int')}"
+                          f" < {self._int_value()}")
+            return f"({inner}) AS {alias}", None, None
+        return base, None, None
+
+    def _predicate(self, table: TableShape, alias: str, depth: int,
+                   join_table, join_alias) -> str:
+        parts = [self._simple_predicate(table, alias, depth)]
+        if self._rng.random() < 0.4:
+            connective = self._rng.choice(["AND", "OR", "AND NOT"])
+            parts.append(connective)
+            parts.append(self._simple_predicate(table, alias, depth))
+        return " ".join(parts)
+
+    def _simple_predicate(self, table: TableShape, alias: str,
+                          depth: int) -> str:
+        rng = self._rng
+        roll = rng.random()
+        int_col = self._column(table, alias, "int")
+        if roll < 0.3:
+            op = rng.choice(["=", "<>", "<", "<=", ">", ">="])
+            return f"{int_col} {op} {self._int_value()}"
+        if roll < 0.4:
+            return (f"{int_col} BETWEEN {self._int_value()} "
+                    f"AND {self._int_value()}")
+        if roll < 0.5:
+            values = ", ".join(self._int_value() for _ in range(3))
+            negated = "NOT " if rng.random() < 0.3 else ""
+            return f"{int_col} {negated}IN ({values})"
+        if roll < 0.6 and table.string_columns:
+            column = self._column(table, alias, "string")
+            negated = "NOT " if rng.random() < 0.3 else ""
+            pattern = rng.choice(["'%o%'", "'S%'", "'_o_'", "'%T'"])
+            return f"{column} {negated}LIKE {pattern}"
+        if roll < 0.7:
+            column = self._column(table, alias)
+            negated = "NOT " if rng.random() < 0.5 else ""
+            return f"{column} IS {negated}NULL"
+        if roll < 0.8 and depth < 1:
+            other = rng.choice(self._shapes)
+            other_alias = self._next_alias()
+            negated = "NOT " if rng.random() < 0.3 else ""
+            return (f"{int_col} {negated}IN (SELECT "
+                    f"{self._column(other, other_alias, 'int')} FROM "
+                    f"{other.name} AS {other_alias})")
+        if roll < 0.9 and depth < 1:
+            other = rng.choice(self._shapes)
+            other_alias = self._next_alias()
+            negated = "NOT " if rng.random() < 0.3 else ""
+            return (f"{negated}EXISTS (SELECT * FROM {other.name} AS "
+                    f"{other_alias} WHERE "
+                    f"{self._column(other, other_alias, 'int')} = "
+                    f"{int_col})")
+        if table.string_columns:
+            column = self._column(table, alias, "string")
+            return f"{column} = {self._string_value()}"
+        return f"{int_col} > {self._int_value()}"
+
+
+def generate_query(seed: int) -> str:
+    """One random query for *seed* (with GROUP BY attached if the
+    projection chose an aggregate form, and sometimes an ORDER BY so
+    order-sensitive comparison paths are exercised too)."""
+    generator = QueryGenerator(seed)
+    sql = generator.query()
+    pending = getattr(generator, "_pending_group_by", None)
+    is_setop = any(op in sql for op in ("UNION", "INTERSECT", "EXCEPT"))
+    if pending and " GROUP BY " not in sql and not is_setop:
+        sql += f" GROUP BY {pending}"
+    if generator._rng.random() < 0.3:
+        sql += " ORDER BY 1"
+    return sql
+
+
+# -- complexity classes for the translation benchmark (experiment E8) ----
+
+COMPLEXITY_CLASSES: dict[str, str] = {
+    "C1-simple": "SELECT * FROM CUSTOMERS",
+    "C2-filter": (
+        "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS "
+        "WHERE REGION = 'WEST' AND CREDITLIMIT > 500"),
+    "C3-join": (
+        "SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C "
+        "INNER JOIN PAYMENTS P ON C.CUSTOMERID = P.CUSTID "
+        "WHERE P.PAYMENT > 50 ORDER BY P.PAYMENT DESC"),
+    "C4-group": (
+        "SELECT C.REGION, COUNT(*), SUM(P.PAYMENT) FROM CUSTOMERS C "
+        "INNER JOIN PAYMENTS P ON C.CUSTOMERID = P.CUSTID "
+        "GROUP BY C.REGION HAVING COUNT(*) > 1 ORDER BY 2 DESC"),
+    "C5-nested": (
+        "SELECT INFO.NAME, INFO.TOTAL FROM "
+        "(SELECT C.CUSTOMERNAME NAME, SUM(P.PAYMENT) TOTAL "
+        "FROM CUSTOMERS C LEFT OUTER JOIN PAYMENTS P "
+        "ON C.CUSTOMERID = P.CUSTID GROUP BY C.CUSTOMERNAME) AS INFO "
+        "WHERE INFO.TOTAL > (SELECT AVG(PAYMENT) FROM PAYMENTS) "
+        "OR INFO.NAME IN (SELECT CUSTOMERNAME FROM CUSTOMERS "
+        "WHERE REGION = 'WEST') ORDER BY INFO.NAME"),
+}

@@ -1,0 +1,78 @@
+"""Parameterized synthetic workloads for the performance experiments.
+
+``build_scaled_runtime(rows, extra_columns)`` creates a DSP runtime whose
+FACTS table has a configurable row count and width, with deterministic
+values and a fixed NULL rate — the knobs the result-path and end-to-end
+benchmarks sweep (experiments E6/E12/E14 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import datetime
+from decimal import Decimal
+
+from ..catalog import Application
+from ..engine import DSPRuntime, Storage, import_tables
+from ..sql.types import SQLType
+
+PROJECT = "Bench"
+APPLICATION = "BenchApp"
+
+_NAMES = ("Acme Widget Stores", "Supermart", "Ajax Distributors",
+          "Zenith Parts and Service", "Omega Retail", "Delta Trading")
+_REGIONS = ("WEST", "EAST", "NORTH", "SOUTH")
+
+
+def build_scaled_storage(rows: int, extra_columns: int = 0,
+                         null_rate: int = 10) -> Storage:
+    """A FACTS table with *rows* rows and ``4 + extra_columns`` columns.
+
+    Every ``null_rate``-th value of the nullable AMOUNT column is NULL,
+    so NULL handling is always on the measured path.
+    """
+    storage = Storage()
+    columns: list[tuple[str, SQLType]] = [
+        ("ID", SQLType("INTEGER")),
+        ("NAME", SQLType("VARCHAR")),
+        ("REGION", SQLType("VARCHAR")),
+        ("AMOUNT", SQLType("DECIMAL")),
+    ]
+    for index in range(extra_columns):
+        columns.append((f"EXTRA{index}", SQLType("INTEGER")))
+    facts = storage.create_table("FACTS", columns)
+    for row_id in range(rows):
+        amount = None if null_rate and row_id % null_rate == 0 \
+            else Decimal(row_id * 7 % 10_000) / 100
+        row: list = [
+            row_id,
+            _NAMES[row_id % len(_NAMES)],
+            _REGIONS[row_id % len(_REGIONS)],
+            amount,
+        ]
+        row.extend((row_id * (index + 3)) % 1000
+                   for index in range(extra_columns))
+        facts.insert(*row)
+
+    details = storage.create_table("DETAILS", [
+        ("DETAILID", SQLType("INTEGER")),
+        ("FACTID", SQLType("INTEGER")),
+        ("QTY", SQLType("INTEGER")),
+        ("SHIPDATE", SQLType("DATE")),
+    ])
+    base = datetime.date(2005, 1, 1)
+    for detail_id in range(rows * 2):
+        details.insert(
+            detail_id,
+            detail_id % max(rows, 1),
+            detail_id % 17,
+            base + datetime.timedelta(days=detail_id % 365),
+        )
+    return storage
+
+
+def build_scaled_runtime(rows: int, extra_columns: int = 0,
+                         null_rate: int = 10) -> DSPRuntime:
+    storage = build_scaled_storage(rows, extra_columns, null_rate)
+    application = Application(APPLICATION)
+    import_tables(application, PROJECT, storage)
+    return DSPRuntime(application, storage)

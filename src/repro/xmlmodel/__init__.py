@@ -1,0 +1,43 @@
+"""XML data model substrate (S1 in DESIGN.md).
+
+Ordered-tree XML infoset with QNames, optional simple-type annotations,
+well-formed parsing, escaping, and serialization. This is the data model
+the XQuery engine (``repro.xquery``) evaluates over and the driver's XML
+result path parses.
+"""
+
+from .escape import escape_attribute, escape_text, unescape
+from .model import (
+    Attribute,
+    Document,
+    Element,
+    Node,
+    Text,
+    copy_node,
+    deep_equal,
+    element,
+)
+from .names import QName, is_ncname
+from .parser import parse_document, parse_element, parse_fragment
+from .serializer import serialize, serialize_sequence
+
+__all__ = [
+    "Attribute",
+    "Document",
+    "Element",
+    "Node",
+    "QName",
+    "Text",
+    "copy_node",
+    "deep_equal",
+    "element",
+    "escape_attribute",
+    "escape_text",
+    "is_ncname",
+    "parse_document",
+    "parse_element",
+    "parse_fragment",
+    "serialize",
+    "serialize_sequence",
+    "unescape",
+]

@@ -1,0 +1,202 @@
+"""The XML node model underlying the XQuery data model.
+
+The XQuery data model is based on ordered trees (paper section 2.1). We
+implement the node kinds the AquaLogic translation pipeline needs: document,
+element, attribute, and text nodes. Elements carry an optional *type
+annotation* — the name of the XML Schema simple type of their content — which
+the DSP runtime sets when a physical data service materializes rows from a
+typed source. Untyped (constructor-built) elements atomize to untyped
+atomics.
+
+NULL representation
+-------------------
+A SQL NULL column value is represented as an element that is present but has
+no children (``<PAYMENT/>``). Atomizing such an element yields the *empty
+sequence*, matching the schema-aware (nillable) behaviour of the AquaLogic
+engine and giving end-to-end NULL propagation through nested views. This is
+the one deliberate deviation from vanilla XQuery 1.0 untyped-data semantics
+(which would yield a zero-length string) and is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+from .names import QName
+
+#: Atomic content values that may appear as typed element content.
+AtomicContent = Union[str, int, float, bool]
+
+
+@dataclass
+class Text:
+    """A text node."""
+
+    value: str
+
+    def string_value(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Text({self.value!r})"
+
+
+@dataclass
+class Attribute:
+    """An attribute node (name/value; attributes are unordered)."""
+
+    name: QName
+    value: str
+
+    def string_value(self) -> str:
+        return self.value
+
+
+@dataclass
+class Element:
+    """An element node: a QName, attributes, and an ordered child list.
+
+    ``type_annotation`` is the local name of the ``xs:`` simple type of the
+    element's content (e.g. ``"integer"``), or None for untyped elements.
+    """
+
+    name: QName
+    attributes: list[Attribute] = field(default_factory=list)
+    children: list[Union["Element", Text]] = field(default_factory=list)
+    type_annotation: str | None = None
+
+    def string_value(self) -> str:
+        """Concatenated string value of all descendant text nodes."""
+        parts: list[str] = []
+        for child in self.children:
+            parts.append(child.string_value())
+        return "".join(parts)
+
+    def child_elements(self, local: str | None = None) -> Iterator["Element"]:
+        """Iterate child elements, optionally filtered by local name.
+
+        Name matching is by local name only: the translator's generated
+        paths (``$var/CUSTOMERID``) address children of schema-imported
+        elements whose children are in no namespace, and the RECORD trees it
+        builds are namespace-free, so local-name matching is the correct and
+        convenient rule for this dialect.
+        """
+        for child in self.children:
+            if isinstance(child, Element):
+                if local is None or child.name.local == local:
+                    yield child
+
+    def attribute(self, local: str) -> Attribute | None:
+        for attr in self.attributes:
+            if attr.name.local == local:
+                return attr
+        return None
+
+    def append(self, node: Union["Element", Text]) -> None:
+        self.children.append(node)
+
+    def is_empty(self) -> bool:
+        """True when the element has no children (the SQL NULL encoding)."""
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Element(<{self.name.lexical}> {len(self.children)} children)"
+
+
+@dataclass
+class Document:
+    """A document node wrapping a sequence of top-level children."""
+
+    children: list[Union[Element, Text]] = field(default_factory=list)
+
+    def string_value(self) -> str:
+        return "".join(child.string_value() for child in self.children)
+
+    def root(self) -> Element:
+        """The single root element; raises ValueError if absent."""
+        roots = [c for c in self.children if isinstance(c, Element)]
+        if len(roots) != 1:
+            raise ValueError(f"document has {len(roots)} root elements")
+        return roots[0]
+
+
+Node = Union[Document, Element, Attribute, Text]
+
+
+def element(name: str, *children: Union[Element, Text, str],
+            uri: str = "", prefix: str = "",
+            type_annotation: str | None = None) -> Element:
+    """Convenience constructor: build an element from name and children.
+
+    Plain strings become text nodes. Intended for tests and examples.
+    """
+    elem = Element(QName(name, uri, prefix), type_annotation=type_annotation)
+    for child in children:
+        if isinstance(child, str):
+            elem.append(Text(child))
+        else:
+            elem.append(child)
+    return elem
+
+
+def deep_equal(a: Node | str, b: Node | str) -> bool:
+    """Structural equality of two nodes, per fn:deep-equal.
+
+    Compares expanded names, attribute sets, and ordered child sequences.
+    Text content is compared as strings. Type annotations are ignored, as in
+    fn:deep-equal over untyped comparison.
+    """
+    if isinstance(a, str) or isinstance(b, str):
+        return isinstance(a, str) and isinstance(b, str) and a == b
+    if isinstance(a, Text) or isinstance(b, Text):
+        return (isinstance(a, Text) and isinstance(b, Text)
+                and a.value == b.value)
+    if isinstance(a, Attribute) or isinstance(b, Attribute):
+        return (isinstance(a, Attribute) and isinstance(b, Attribute)
+                and a.name == b.name and a.value == b.value)
+    if isinstance(a, Document) or isinstance(b, Document):
+        if not (isinstance(a, Document) and isinstance(b, Document)):
+            return False
+        return _children_equal(a.children, b.children)
+    assert isinstance(a, Element) and isinstance(b, Element)
+    if a.name != b.name:
+        return False
+    if len(a.attributes) != len(b.attributes):
+        return False
+    b_attrs = {(attr.name.uri, attr.name.local): attr.value
+               for attr in b.attributes}
+    for attr in a.attributes:
+        if b_attrs.get((attr.name.uri, attr.name.local)) != attr.value:
+            return False
+    return _children_equal(a.children, b.children)
+
+
+def _children_equal(xs: Iterable[Element | Text], ys: Iterable[Element | Text]) -> bool:
+    xs = _merge_text(list(xs))
+    ys = _merge_text(list(ys))
+    if len(xs) != len(ys):
+        return False
+    return all(deep_equal(x, y) for x, y in zip(xs, ys))
+
+
+def _merge_text(children: list[Element | Text]) -> list[Element | Text]:
+    """Normalize a child list by merging adjacent text nodes."""
+    merged: list[Element | Text] = []
+    for child in children:
+        if (isinstance(child, Text) and merged
+                and isinstance(merged[-1], Text)):
+            merged[-1] = Text(merged[-1].value + child.value)
+        else:
+            merged.append(child)
+    return [c for c in merged if not (isinstance(c, Text) and c.value == "")]
+
+
+def copy_node(node: Element | Text) -> Element | Text:
+    """Deep-copy a node (used by element constructors in the evaluator)."""
+    if isinstance(node, Text):
+        return Text(node.value)
+    clone = Element(node.name, type_annotation=node.type_annotation)
+    clone.attributes = [Attribute(a.name, a.value) for a in node.attributes]
+    clone.children = [copy_node(c) for c in node.children]
+    return clone

@@ -1,0 +1,64 @@
+"""Qualified names (QNames) for the XML data model.
+
+The XQuery data model identifies elements and attributes by expanded names:
+a (namespace URI, local name) pair, optionally carrying the lexical prefix
+used in the source document. Two QNames are equal when their URI and local
+name are equal; the prefix is presentation only.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_NCNAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
+def is_ncname(text: str) -> bool:
+    """Return True if *text* is a valid NCName (no-colon XML name).
+
+    We accept the pragmatic ASCII subset used throughout the paper's
+    examples (letters, digits, ``_``, ``-``, ``.``; the name must not start
+    with a digit, ``-`` or ``.``).
+    """
+    return bool(_NCNAME_RE.match(text))
+
+
+@dataclass(frozen=True)
+class QName:
+    """An expanded XML name: (namespace URI, local part) plus lexical prefix.
+
+    ``uri`` is the empty string for names in no namespace. ``prefix`` takes
+    part in serialization but not in equality or hashing.
+    """
+
+    local: str
+    uri: str = ""
+    prefix: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.local:
+            raise ValueError("QName local part must be non-empty")
+
+    @property
+    def lexical(self) -> str:
+        """The prefixed lexical form, e.g. ``ns0:CUSTOMERS``."""
+        if self.prefix:
+            return f"{self.prefix}:{self.local}"
+        return self.local
+
+    @classmethod
+    def parse(cls, lexical: str, namespaces: dict[str, str] | None = None) -> "QName":
+        """Parse a lexical QName, resolving its prefix via *namespaces*.
+
+        *namespaces* maps prefixes to URIs; the empty-string key supplies
+        the default element namespace. An unknown prefix raises KeyError.
+        """
+        namespaces = namespaces or {}
+        if ":" in lexical:
+            prefix, local = lexical.split(":", 1)
+            return cls(local=local, uri=namespaces[prefix], prefix=prefix)
+        return cls(local=lexical, uri=namespaces.get("", ""))
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.lexical

@@ -1,0 +1,232 @@
+"""A small, namespace-aware XML parser for the model in this package.
+
+The driver's XML result path parses ``<RECORDSET>`` documents coming back
+from the server, so the parser needs to be correct for the XML subset the
+engine emits: elements, attributes, namespace declarations, character data
+with entity references, CDATA sections, comments, and processing
+instructions. DTDs are not supported (the data services world is
+XML-Schema-typed, not DTD-typed).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import XMLParseError
+from .escape import unescape
+from .model import Attribute, Document, Element, Text
+from .names import QName
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*(:[A-Za-z_][A-Za-z0-9_.\-]*)?")
+_WS_RE = re.compile(r"[ \t\r\n]+")
+
+
+class _Scanner:
+    """Cursor over the input text with error-position reporting."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, n: int = 1) -> str:
+        return self.text[self.pos:self.pos + n]
+
+    def advance(self, n: int = 1) -> str:
+        chunk = self.text[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise XMLParseError(f"expected {literal!r}", self.pos)
+        self.pos += len(literal)
+
+    def skip_ws(self) -> None:
+        match = _WS_RE.match(self.text, self.pos)
+        if match:
+            self.pos = match.end()
+
+    def name(self) -> str:
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise XMLParseError("expected an XML name", self.pos)
+        self.pos = match.end()
+        return match.group(0)
+
+
+def parse_document(text: str) -> Document:
+    """Parse *text* into a Document with a single root element."""
+    scanner = _Scanner(text)
+    _skip_misc(scanner)
+    root = _parse_element(scanner, namespaces={"": ""})
+    _skip_misc(scanner)
+    if not scanner.eof():
+        raise XMLParseError("content after document root", scanner.pos)
+    return Document(children=[root])
+
+
+def parse_element(text: str) -> Element:
+    """Parse a single element (fragment parse; convenience for tests)."""
+    return parse_document(text).root()
+
+
+def parse_fragment(text: str) -> list[Element | Text]:
+    """Parse a sequence of sibling elements and text (an XQuery result)."""
+    scanner = _Scanner(text)
+    children = _parse_content(scanner, namespaces={"": ""}, closing=None)
+    if not scanner.eof():
+        raise XMLParseError("unparsed trailing content", scanner.pos)
+    return children
+
+
+def _skip_misc(scanner: _Scanner) -> None:
+    """Skip whitespace, comments, PIs and the XML declaration."""
+    while True:
+        scanner.skip_ws()
+        if scanner.peek(4) == "<!--":
+            _skip_comment(scanner)
+        elif scanner.peek(2) == "<?":
+            _skip_pi(scanner)
+        else:
+            return
+
+
+def _skip_comment(scanner: _Scanner) -> None:
+    end = scanner.text.find("-->", scanner.pos + 4)
+    if end < 0:
+        raise XMLParseError("unterminated comment", scanner.pos)
+    scanner.pos = end + 3
+
+
+def _skip_pi(scanner: _Scanner) -> None:
+    end = scanner.text.find("?>", scanner.pos + 2)
+    if end < 0:
+        raise XMLParseError("unterminated processing instruction", scanner.pos)
+    scanner.pos = end + 2
+
+
+def _parse_element(scanner: _Scanner, namespaces: dict[str, str]) -> Element:
+    scanner.expect("<")
+    tag = scanner.name()
+    raw_attrs: list[tuple[str, str]] = []
+    while True:
+        scanner.skip_ws()
+        if scanner.peek(2) == "/>":
+            scanner.advance(2)
+            return _build_element(tag, raw_attrs, [], namespaces, scanner)
+        if scanner.peek() == ">":
+            scanner.advance()
+            break
+        attr_name = scanner.name()
+        scanner.skip_ws()
+        scanner.expect("=")
+        scanner.skip_ws()
+        raw_attrs.append((attr_name, _parse_attr_value(scanner)))
+    scope = _extend_namespaces(namespaces, raw_attrs)
+    children = _parse_content(scanner, scope, closing=tag)
+    return _build_element(tag, raw_attrs, children, namespaces, scanner)
+
+
+def _parse_attr_value(scanner: _Scanner) -> str:
+    quote = scanner.advance()
+    if quote not in ('"', "'"):
+        raise XMLParseError("expected quoted attribute value", scanner.pos - 1)
+    end = scanner.text.find(quote, scanner.pos)
+    if end < 0:
+        raise XMLParseError("unterminated attribute value", scanner.pos)
+    raw = scanner.text[scanner.pos:end]
+    scanner.pos = end + 1
+    return unescape(raw)
+
+
+def _extend_namespaces(namespaces: dict[str, str],
+                       raw_attrs: list[tuple[str, str]]) -> dict[str, str]:
+    scope = namespaces
+    for name, value in raw_attrs:
+        if name == "xmlns":
+            scope = {**scope, "": value}
+        elif name.startswith("xmlns:"):
+            scope = {**scope, name[6:]: value}
+    return scope
+
+
+def _build_element(tag: str, raw_attrs: list[tuple[str, str]],
+                   children: list[Element | Text],
+                   outer_namespaces: dict[str, str],
+                   scanner: _Scanner) -> Element:
+    scope = _extend_namespaces(outer_namespaces, raw_attrs)
+    try:
+        name = QName.parse(tag, scope)
+    except KeyError as exc:
+        raise XMLParseError(f"undeclared namespace prefix in <{tag}>",
+                            scanner.pos) from exc
+    attributes = []
+    for attr_name, value in raw_attrs:
+        if attr_name == "xmlns" or attr_name.startswith("xmlns:"):
+            continue
+        if ":" in attr_name:
+            try:
+                qname = QName.parse(attr_name, scope)
+            except KeyError as exc:
+                raise XMLParseError(
+                    f"undeclared namespace prefix in @{attr_name}",
+                    scanner.pos) from exc
+        else:
+            # Unprefixed attributes are in no namespace, not the default one.
+            qname = QName(attr_name)
+        attributes.append(Attribute(qname, value))
+    return Element(name, attributes=attributes, children=children)
+
+
+def _parse_content(scanner: _Scanner, namespaces: dict[str, str],
+                   closing: str | None) -> list[Element | Text]:
+    children: list[Element | Text] = []
+    buffer: list[str] = []
+
+    def flush_text() -> None:
+        if buffer:
+            children.append(Text(unescape("".join(buffer))))
+            buffer.clear()
+
+    while True:
+        if scanner.eof():
+            if closing is None:
+                flush_text()
+                return children
+            raise XMLParseError(f"unterminated element <{closing}>",
+                                scanner.pos)
+        ch = scanner.peek()
+        if ch == "<":
+            if scanner.peek(4) == "<!--":
+                flush_text()
+                _skip_comment(scanner)
+            elif scanner.peek(9) == "<![CDATA[":
+                end = scanner.text.find("]]>", scanner.pos + 9)
+                if end < 0:
+                    raise XMLParseError("unterminated CDATA", scanner.pos)
+                buffer.append(scanner.text[scanner.pos + 9:end])
+                scanner.pos = end + 3
+            elif scanner.peek(2) == "<?":
+                flush_text()
+                _skip_pi(scanner)
+            elif scanner.peek(2) == "</":
+                flush_text()
+                if closing is None:
+                    raise XMLParseError("unexpected close tag", scanner.pos)
+                scanner.advance(2)
+                tag = scanner.name()
+                if tag != closing:
+                    raise XMLParseError(
+                        f"mismatched close tag </{tag}>, expected "
+                        f"</{closing}>", scanner.pos)
+                scanner.skip_ws()
+                scanner.expect(">")
+                return children
+            else:
+                flush_text()
+                children.append(_parse_element(scanner, namespaces))
+        else:
+            buffer.append(scanner.advance())

@@ -1,0 +1,82 @@
+"""Serialization of XML node trees to text.
+
+Used by the driver's XML result path (materialize `<RECORDSET>` trees and
+re-parse them client-side, the configuration the paper found slow) and by
+debugging/pretty-printing helpers.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import Union
+
+from .escape import escape_attribute, escape_text
+from .model import Attribute, Document, Element, Text
+
+
+def serialize(node: Union[Document, Element, Text, Attribute],
+              indent: int | None = None) -> str:
+    """Serialize *node* to a string.
+
+    With ``indent=None`` (default) the output is compact, with no
+    whitespace between tags — the on-the-wire form. With an integer
+    ``indent`` the output is pretty-printed for human consumption.
+    """
+    out = StringIO()
+    _write(node, out, indent, 0)
+    return out.getvalue()
+
+
+def serialize_sequence(nodes: list[Union[Element, Text]],
+                       indent: int | None = None) -> str:
+    """Serialize a sequence of sibling nodes (an XQuery result sequence)."""
+    out = StringIO()
+    for i, node in enumerate(nodes):
+        if indent is not None and i:
+            out.write("\n")
+        _write(node, out, indent, 0)
+    return out.getvalue()
+
+
+def _write(node: Union[Document, Element, Text, Attribute],
+           out: StringIO, indent: int | None, depth: int) -> None:
+    if isinstance(node, Document):
+        for i, child in enumerate(node.children):
+            if indent is not None and i:
+                out.write("\n")
+            _write(child, out, indent, depth)
+        return
+    if isinstance(node, Text):
+        out.write(escape_text(node.value))
+        return
+    if isinstance(node, Attribute):
+        out.write(f'{node.name.lexical}="{escape_attribute(node.value)}"')
+        return
+    _write_element(node, out, indent, depth)
+
+
+def _write_element(elem: Element, out: StringIO,
+                   indent: int | None, depth: int) -> None:
+    pad = "" if indent is None else " " * (indent * depth)
+    out.write(f"{pad}<{elem.name.lexical}")
+    for attr in elem.attributes:
+        out.write(" ")
+        _write(attr, out, None, depth)
+    if not elem.children:
+        out.write("/>")
+        return
+    out.write(">")
+    text_only = all(isinstance(c, Text) for c in elem.children)
+    if indent is None or text_only:
+        for child in elem.children:
+            _write(child, out, None, depth)
+        out.write(f"</{elem.name.lexical}>")
+        return
+    for child in elem.children:
+        out.write("\n")
+        if isinstance(child, Text):
+            out.write(" " * (indent * (depth + 1)))
+            out.write(escape_text(child.value))
+        else:
+            _write_element(child, out, indent, depth + 1)
+    out.write(f"\n{pad}</{elem.name.lexical}>")

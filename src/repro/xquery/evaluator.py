@@ -1,0 +1,730 @@
+"""Dynamic evaluation of the XQuery dialect.
+
+A tree-walking evaluator over the AST in ``repro.xquery.ast``. FLWOR
+expressions are evaluated as tuple streams (lists of variable
+environments), the model the XQuery formal semantics uses, which makes the
+BEA ``group`` clause a natural stream transformation.
+
+Function calls into non-builtin namespaces (the data service functions,
+``ns0:CUSTOMERS()``) are delegated to a *function resolver* supplied by the
+host — in this package, the DSP runtime (``repro.engine.dsp``).
+"""
+
+from __future__ import annotations
+
+import datetime
+from decimal import Decimal
+from typing import Callable, Optional
+
+from ..errors import XQueryDynamicError, XQueryStaticError, XQueryTypeError
+from ..xmlmodel import Attribute, Document, Element, QName, Text, copy_node
+from . import ast
+from .atomic import (
+    Sequence,
+    arithmetic,
+    effective_boolean_value,
+    general_comparison,
+    is_node,
+    is_numeric_value,
+    negate,
+    order_key,
+    serialize_atomic,
+    single_atomic,
+    value_comparison,
+)
+from .functions import DEFAULT_NAMESPACES, call_builtin, is_builtin_namespace
+
+#: Host-supplied resolver for module-level (data service) functions:
+#: (namespace_uri, local_name, evaluated_argument_sequences) -> sequence.
+FunctionResolver = Callable[[str, str, list], list]
+
+
+class StaticContext:
+    """Namespaces in scope plus the host function resolver."""
+
+    def __init__(self, resolver: Optional[FunctionResolver] = None):
+        self.namespaces: dict[str, str] = dict(DEFAULT_NAMESPACES)
+        self.resolver = resolver
+
+    def declare(self, prefix: str, uri: str) -> None:
+        self.namespaces[prefix] = uri
+
+    def resolve_prefix(self, prefix: str) -> str:
+        try:
+            return self.namespaces[prefix]
+        except KeyError:
+            raise XQueryStaticError(
+                f"undeclared namespace prefix {prefix!r}",
+                code="XPST0081") from None
+
+
+class _Frame:
+    """A variable environment with optional context item/position."""
+
+    __slots__ = ("variables", "context_item", "context_position")
+
+    def __init__(self, variables: dict[str, Sequence],
+                 context_item=None, context_position: int = 0):
+        self.variables = variables
+        self.context_item = context_item
+        self.context_position = context_position
+
+    def bind(self, name: str, value: Sequence) -> "_Frame":
+        variables = dict(self.variables)
+        variables[name] = value
+        return _Frame(variables, self.context_item, self.context_position)
+
+    def with_context(self, item, position: int) -> "_Frame":
+        return _Frame(self.variables, item, position)
+
+    def lookup(self, name: str) -> Sequence:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise XQueryStaticError(f"unbound variable ${name}",
+                                    code="XPST0008") from None
+
+
+def _as_sequence(value) -> Sequence:
+    """Normalize a host-supplied variable value into a sequence."""
+    if value is None:
+        return []
+    if isinstance(value, list):
+        return value
+    return [value]
+
+
+class Evaluator:
+    """Evaluates one parsed module (or standalone expression)."""
+
+    def __init__(self, module: ast.Module,
+                 resolver: Optional[FunctionResolver] = None,
+                 variables: Optional[dict[str, object]] = None,
+                 optimize: bool = True):
+        self._module = module
+        self._static = StaticContext(resolver)
+        self._optimize = optimize
+        bindings: dict[str, Sequence] = {}
+        supplied = variables or {}
+        for decl in module.prolog:
+            if isinstance(decl, (ast.SchemaImport, ast.NamespaceDecl)):
+                self._static.declare(decl.prefix, decl.uri)
+            elif isinstance(decl, ast.VarDecl):
+                if decl.name not in supplied:
+                    raise XQueryDynamicError(
+                        f"no value supplied for external variable "
+                        f"${decl.name}", code="XPDY0002")
+                bindings[decl.name] = _as_sequence(supplied[decl.name])
+        for name, value in supplied.items():
+            bindings.setdefault(name, _as_sequence(value))
+        self._root = _Frame(bindings)
+
+    def evaluate(self) -> Sequence:
+        return self._eval(self._module.body, self._root)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _eval(self, expr: ast.XExpr, frame: _Frame) -> Sequence:
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise XQueryStaticError(
+                f"cannot evaluate node {type(expr).__name__}")
+        return method(self, expr, frame)
+
+    def _eval_literal(self, expr: ast.XLiteral, frame: _Frame) -> Sequence:
+        return [expr.value]
+
+    def _eval_varref(self, expr: ast.VarRef, frame: _Frame) -> Sequence:
+        return frame.lookup(expr.name)
+
+    def _eval_sequence(self, expr: ast.SequenceExpr,
+                       frame: _Frame) -> Sequence:
+        result: list = []
+        for item in expr.items:
+            result.extend(self._eval(item, frame))
+        return result
+
+    def _eval_context(self, expr: ast.ContextItem,
+                      frame: _Frame) -> Sequence:
+        if frame.context_item is None:
+            raise XQueryDynamicError("context item is undefined here",
+                                     code="XPDY0002")
+        return [frame.context_item]
+
+    def _eval_if(self, expr: ast.IfExpr, frame: _Frame) -> Sequence:
+        if effective_boolean_value(self._eval(expr.condition, frame)):
+            return self._eval(expr.then, frame)
+        return self._eval(expr.else_, frame)
+
+    def _eval_or(self, expr: ast.OrExpr, frame: _Frame) -> Sequence:
+        if effective_boolean_value(self._eval(expr.left, frame)):
+            return [True]
+        return [effective_boolean_value(self._eval(expr.right, frame))]
+
+    def _eval_and(self, expr: ast.AndExpr, frame: _Frame) -> Sequence:
+        if not effective_boolean_value(self._eval(expr.left, frame)):
+            return [False]
+        return [effective_boolean_value(self._eval(expr.right, frame))]
+
+    def _eval_value_comparison(self, expr: ast.ValueComparison,
+                               frame: _Frame) -> Sequence:
+        return value_comparison(expr.op, self._eval(expr.left, frame),
+                                self._eval(expr.right, frame))
+
+    def _eval_general_comparison(self, expr: ast.GeneralComparison,
+                                 frame: _Frame) -> Sequence:
+        return [general_comparison(expr.op, self._eval(expr.left, frame),
+                                   self._eval(expr.right, frame))]
+
+    def _eval_range(self, expr: ast.RangeExpr, frame: _Frame) -> Sequence:
+        low = single_atomic(self._eval(expr.low, frame), "range start")
+        high = single_atomic(self._eval(expr.high, frame), "range end")
+        if low is None or high is None:
+            return []
+        if not isinstance(low, int) or not isinstance(high, int):
+            raise XQueryTypeError("range bounds must be integers",
+                                  code="XPTY0004")
+        return list(range(low, high + 1))
+
+    def _eval_arithmetic(self, expr: ast.Arithmetic,
+                         frame: _Frame) -> Sequence:
+        return arithmetic(expr.op, self._eval(expr.left, frame),
+                          self._eval(expr.right, frame))
+
+    def _eval_unary(self, expr: ast.UnaryMinus, frame: _Frame) -> Sequence:
+        return negate(self._eval(expr.operand, frame))
+
+    def _eval_quantified(self, expr: ast.QuantifiedExpr,
+                         frame: _Frame) -> Sequence:
+        source = self._eval(expr.source, frame)
+        for item in source:
+            inner = frame.bind(expr.var, [item])
+            holds = effective_boolean_value(self._eval(expr.condition, inner))
+            if expr.kind == "some" and holds:
+                return [True]
+            if expr.kind == "every" and not holds:
+                return [False]
+        return [expr.kind == "every"]
+
+    # -- paths -------------------------------------------------------------
+
+    def _eval_path(self, expr: ast.PathExpr, frame: _Frame) -> Sequence:
+        current = self._eval(expr.base, frame)
+        for step in expr.steps:
+            matched: list = []
+            for item in current:
+                if isinstance(item, Document):
+                    children = [c for c in item.children
+                                if isinstance(c, Element)]
+                elif isinstance(item, Element):
+                    children = list(item.child_elements())
+                else:
+                    raise XQueryTypeError(
+                        "path step applied to a non-node item",
+                        code="XPTY0019")
+                for child in children:
+                    if step.name is None or child.name.local == step.name:
+                        matched.append(child)
+            current = self._apply_predicates(matched, step.predicates, frame)
+        return current
+
+    def _eval_filter(self, expr: ast.FilterExpr, frame: _Frame) -> Sequence:
+        base = self._eval(expr.base, frame)
+        return self._apply_predicates(base, expr.predicates, frame)
+
+    def _apply_predicates(self, items: Sequence,
+                          predicates: tuple[ast.XExpr, ...],
+                          frame: _Frame) -> Sequence:
+        for predicate in predicates:
+            kept: list = []
+            size = len(items)
+            for position, item in enumerate(items, start=1):
+                inner = frame.with_context(item, position)
+                result = self._eval(predicate, inner)
+                if (len(result) == 1 and is_numeric_value(result[0])
+                        and not isinstance(result[0], bool)):
+                    if float(result[0]) == position:
+                        kept.append(item)
+                elif effective_boolean_value(result):
+                    kept.append(item)
+            items = kept
+            del size
+        return items
+
+    # -- function calls -------------------------------------------------------
+
+    def _eval_function_call(self, expr: ast.XFunctionCall,
+                            frame: _Frame) -> Sequence:
+        uri = self._static.resolve_prefix(expr.prefix)
+        args = [self._eval(arg, frame) for arg in expr.args]
+        if is_builtin_namespace(uri):
+            return call_builtin(uri, expr.local, args)
+        if self._static.resolver is None:
+            raise XQueryStaticError(
+                f"no resolver for function {expr.display}", code="XPST0017")
+        return self._static.resolver(uri, expr.local, args)
+
+    # -- constructors ------------------------------------------------------------
+
+    def _eval_constructor(self, expr: ast.ElementConstructor,
+                          frame: _Frame) -> Sequence:
+        if expr.prefix:
+            uri = self._static.resolve_prefix(expr.prefix)
+        else:
+            uri = ""
+        element = Element(QName(expr.name, uri, expr.prefix))
+        for attr in expr.attributes:
+            element.attributes.append(
+                Attribute(QName(attr.name),
+                          self._attribute_value(attr, frame)))
+        for part in expr.content:
+            if isinstance(part, str):
+                element.append(Text(part))
+            else:
+                self._append_content(element, self._eval(part, frame))
+        return [element]
+
+    def _attribute_value(self, attr: ast.AttributeConstructor,
+                         frame: _Frame) -> str:
+        parts: list[str] = []
+        for part in attr.parts:
+            if isinstance(part, str):
+                parts.append(part)
+            else:
+                values = self._eval(part, frame)
+                parts.append(" ".join(
+                    serialize_atomic(v) if not is_node(v)
+                    else v.string_value() for v in values))
+        return "".join(parts)
+
+    def _append_content(self, element: Element, values: Sequence) -> None:
+        """Append an enclosed expression's result: nodes are copied,
+        adjacent atomic values are joined with single spaces."""
+        pending: list[str] = []
+
+        def flush() -> None:
+            if pending:
+                element.append(Text(" ".join(pending)))
+                pending.clear()
+
+        for value in values:
+            if isinstance(value, (Element, Text)):
+                flush()
+                element.append(copy_node(value))
+            elif isinstance(value, Document):
+                flush()
+                for child in value.children:
+                    element.append(copy_node(child))
+            elif isinstance(value, Attribute):
+                raise XQueryTypeError(
+                    "attribute nodes cannot appear in element content here",
+                    code="XQTY0024")
+            else:
+                pending.append(serialize_atomic(value))
+        flush()
+
+    # -- FLWOR --------------------------------------------------------------------
+
+    def _eval_flwor(self, expr: ast.FLWOR, frame: _Frame) -> Sequence:
+        tuples: list[_Frame] = [frame]
+        clauses = self._plan_clauses(expr.clauses) if self._optimize \
+            else list(expr.clauses)
+        for clause in clauses:
+            if isinstance(clause, _HashJoinClause):
+                tuples = self._apply_hash_join(clause, tuples)
+            elif isinstance(clause, ast.ForClause):
+                tuples = self._apply_for(clause, tuples)
+            elif isinstance(clause, ast.LetClause):
+                tuples = [t.bind(clause.var, self._eval(clause.value, t))
+                          for t in tuples]
+            elif isinstance(clause, ast.WhereClause):
+                tuples = [t for t in tuples
+                          if effective_boolean_value(
+                              self._eval(clause.condition, t))]
+            elif isinstance(clause, ast.GroupClause):
+                tuples = self._apply_group(clause, tuples)
+            elif isinstance(clause, ast.OrderClause):
+                tuples = self._apply_order(clause, tuples)
+            else:  # pragma: no cover - parser prevents this
+                raise XQueryStaticError(
+                    f"unknown FLWOR clause {type(clause).__name__}")
+        result: list = []
+        for t in tuples:
+            result.extend(self._eval(expr.return_expr, t))
+        return result
+
+    def _apply_for(self, clause: ast.ForClause,
+                   tuples: list[_Frame]) -> list[_Frame]:
+        output = []
+        for t in tuples:
+            for item in self._eval(clause.source, t):
+                output.append(t.bind(clause.var, [item]))
+        return output
+
+    # -- hash equi-join optimization ------------------------------------
+    #
+    # The paper delegates "any/all optimizations ... to the XQuery
+    # processor" (section 3.2); this is that processor's contribution.
+    # The translator's inner joins have the shape
+    #
+    #     for $a in <left>  for $b in <right>  where ($ka eq $kb)
+    #
+    # which evaluates as a filtered Cartesian product. When the where
+    # clause immediately follows a for clause and is a value-equality
+    # whose sides split cleanly between the new variable and the earlier
+    # stream — and the new source is independent of the stream — the pair
+    # is replaced by a hash join. Correctness is preserved exactly: NULL
+    # (empty) keys never match, cross-category key comparisons fall back
+    # to pairwise evaluation so type errors still surface, and NaN never
+    # matches itself.
+
+    def _hoist_filters(self, clauses):
+        """Move each where clause to the earliest point at which all of
+        its variables are bound.
+
+        A where clause is a pure filter, so it commutes with any for/let
+        over variables it does not read: both orders evaluate the same
+        condition over the same bindings and drop the same tuples. The
+        translator emits all fors before all wheres, so without hoisting
+        only the final (for, where) pair of an N-way join would be
+        adjacent and hash-joinable.
+        """
+        from .analysis import free_vars
+        # Segments are delimited by group/order clauses: filters never
+        # move across those boundaries. Within a segment, every where
+        # conjunct attaches to the earliest point at which all the
+        # variables it reads (among those this FLWOR declares) are bound.
+        declared: set[str] = set()
+        for clause in clauses:
+            if isinstance(clause, (ast.ForClause, ast.LetClause)):
+                declared.add(clause.var)
+            elif isinstance(clause, ast.GroupClause):
+                declared.add(clause.partition_var)
+                declared.update(var for _e, var in clause.keys)
+
+        segments: list[tuple[list, list]] = [([], [])]  # (binders, filters)
+        boundaries: list = []
+        for clause in clauses:
+            if isinstance(clause, ast.WhereClause):
+                # Split conjunctions (and / fn-bea:and3): a row passes
+                # and3(a, b) exactly when it passes both, so
+                # per-conjunct wheres keep the same rows while each
+                # conjunct places independently.
+                for conjunct in _split_conjuncts(clause.condition):
+                    needed = frozenset(free_vars(conjunct) & declared)
+                    segments[-1][1].append(
+                        (ast.WhereClause(condition=conjunct), needed))
+            elif isinstance(clause, (ast.GroupClause, ast.OrderClause)):
+                boundaries.append(clause)
+                segments.append(([], []))
+            else:
+                segments[-1][0].append(clause)
+
+        bound: set[str] = set()
+        hoisted: list = []
+        for index, (binders, filters) in enumerate(segments):
+            filters = list(filters)
+
+            def release() -> None:
+                remaining = []
+                for where, needed in filters:
+                    if needed <= bound:
+                        hoisted.append(where)
+                    else:
+                        remaining.append((where, needed))
+                filters[:] = remaining
+
+            release()
+            for clause in binders:
+                hoisted.append(clause)
+                if isinstance(clause, (ast.ForClause, ast.LetClause)):
+                    bound.add(clause.var)
+                release()
+            # Anything still pending reads group/partition variables of
+            # a later boundary (or is unplaceable); emit it here, in
+            # source order, before the boundary clause.
+            hoisted.extend(where for where, _n in filters)
+            if index < len(boundaries):
+                boundary = boundaries[index]
+                hoisted.append(boundary)
+                if isinstance(boundary, ast.GroupClause):
+                    bound.add(boundary.partition_var)
+                    bound.update(var for _e, var in boundary.keys)
+        return hoisted
+
+    def _plan_clauses(self, clauses):
+        planned: list = []
+        bound_here: set[str] = set()
+        index = 0
+        clauses = self._hoist_filters(clauses)
+        while index < len(clauses):
+            clause = clauses[index]
+            follower = clauses[index + 1] if index + 1 < len(clauses) \
+                else None
+            if isinstance(clause, ast.ForClause) and \
+                    isinstance(follower, ast.WhereClause):
+                join = self._match_hash_join(clause, follower, bound_here)
+                if join is not None:
+                    planned.append(join)
+                    bound_here.add(clause.var)
+                    index += 2
+                    continue
+            if isinstance(clause, (ast.ForClause, ast.LetClause)):
+                bound_here.add(clause.var)
+            elif isinstance(clause, ast.GroupClause):
+                bound_here.add(clause.partition_var)
+                bound_here.update(var for _e, var in clause.keys)
+            planned.append(clause)
+            index += 1
+        return planned
+
+    def _match_hash_join(self, for_clause: ast.ForClause,
+                         where: ast.WhereClause,
+                         bound_here: set[str]):
+        from .analysis import free_vars
+        condition = where.condition
+        if not (isinstance(condition, ast.ValueComparison)
+                and condition.op == "eq"):
+            return None
+        if bound_here & free_vars(for_clause.source):
+            return None  # correlated source: hash table is not reusable
+        var = for_clause.var
+        left_free = free_vars(condition.left)
+        right_free = free_vars(condition.right)
+        if var in left_free and var not in right_free \
+                and left_free <= {var}:
+            build_key, probe_key = condition.left, condition.right
+        elif var in right_free and var not in left_free \
+                and right_free <= {var}:
+            build_key, probe_key = condition.right, condition.left
+        else:
+            return None
+        return _HashJoinClause(for_clause=for_clause,
+                               build_key=build_key, probe_key=probe_key,
+                               condition=condition)
+
+    def _apply_hash_join(self, join: "_HashJoinClause",
+                         tuples: list[_Frame]) -> list[_Frame]:
+        if not tuples:
+            return []
+        var = join.for_clause.var
+        items = self._eval(join.for_clause.source, tuples[0])
+        table: dict[object, list] = {}
+        categories: set[str] = set()
+        hashable = True
+        for item in items:
+            inner = tuples[0].bind(var, [item])
+            key_value = single_atomic(self._eval(join.build_key, inner),
+                                      "join key")
+            if key_value is None:
+                continue  # eq against NULL never matches
+            category, canon = _join_key(key_value)
+            if category is None:
+                hashable = False
+                break
+            categories.add(category)
+            table.setdefault(canon, []).append(item)
+        # Mixed-category build keys would make a cross-category probe
+        # silently skip the pair that should raise a type error; fall
+        # back to pairwise evaluation (exact semantics) in that case.
+        if not hashable or len(categories) > 1:
+            output = []
+            for t in tuples:
+                for item in self._pairwise_matches(join, t, items):
+                    output.append(t.bind(var, [item]))
+            return output
+        output = []
+        for t in tuples:
+            probe_value = single_atomic(self._eval(join.probe_key, t),
+                                        "join key")
+            if probe_value is None:
+                continue  # NULL probe matches nothing under eq
+            category, canon = _join_key(probe_value)
+            if category is None or (categories
+                                    and category not in categories):
+                # Cross-category eq raises in the unoptimized plan;
+                # pairwise evaluation surfaces the same error.
+                matched = self._pairwise_matches(join, t, items)
+            else:
+                matched = table.get(canon, [])
+            for item in matched:
+                output.append(t.bind(var, [item]))
+        return output
+
+    def _pairwise_matches(self, join: "_HashJoinClause", t: _Frame,
+                          items: Sequence) -> list:
+        var = join.for_clause.var
+        matched = []
+        for item in items:
+            inner = t.bind(var, [item])
+            if effective_boolean_value(self._eval(join.condition, inner)):
+                matched.append(item)
+        return matched
+
+    def _apply_group(self, clause: ast.GroupClause,
+                     tuples: list[_Frame]) -> list[_Frame]:
+        groups: dict[tuple, dict] = {}
+        order: list[tuple] = []
+        for t in tuples:
+            key_values = []
+            for key_expr, _key_var in clause.keys:
+                key_values.append(single_atomic(
+                    self._eval(key_expr, t), "group key"))
+            key = tuple(_grouping_key(v) for v in key_values)
+            if key not in groups:
+                groups[key] = {
+                    "first": t,
+                    "keys": key_values,
+                    "partition": [],
+                }
+                order.append(key)
+            groups[key]["partition"].extend(
+                t.variables.get(clause.source_var, []))
+        output = []
+        for key in order:
+            info = groups[key]
+            frame = info["first"]
+            frame = frame.bind(clause.partition_var, info["partition"])
+            for (key_expr, key_var), value in zip(clause.keys, info["keys"]):
+                frame = frame.bind(key_var,
+                                   [] if value is None else [value])
+            output.append(frame)
+        return output
+
+    def _apply_order(self, clause: ast.OrderClause,
+                     tuples: list[_Frame]) -> list[_Frame]:
+        def sort_key(t: _Frame):
+            keys = []
+            for spec in clause.specs:
+                value = single_atomic(self._eval(spec.key, t), "order key")
+                key = order_key(value)
+                if value is None and not spec.empty_least:
+                    key = (2, 0, 0)  # empty greatest
+                keys.append(_Directional(key, spec.ascending))
+            return keys
+
+        return sorted(tuples, key=sort_key)
+
+    _DISPATCH = {
+        ast.XLiteral: _eval_literal,
+        ast.VarRef: _eval_varref,
+        ast.SequenceExpr: _eval_sequence,
+        ast.ContextItem: _eval_context,
+        ast.IfExpr: _eval_if,
+        ast.OrExpr: _eval_or,
+        ast.AndExpr: _eval_and,
+        ast.ValueComparison: _eval_value_comparison,
+        ast.GeneralComparison: _eval_general_comparison,
+        ast.RangeExpr: _eval_range,
+        ast.Arithmetic: _eval_arithmetic,
+        ast.UnaryMinus: _eval_unary,
+        ast.QuantifiedExpr: _eval_quantified,
+        ast.PathExpr: _eval_path,
+        ast.FilterExpr: _eval_filter,
+        ast.XFunctionCall: _eval_function_call,
+        ast.ElementConstructor: _eval_constructor,
+        ast.FLWOR: _eval_flwor,
+    }
+
+
+def _split_conjuncts(condition: ast.XExpr) -> list:
+    """Flatten nested ``and`` / ``fn-bea:and3`` conjunctions."""
+    if isinstance(condition, ast.AndExpr):
+        return (_split_conjuncts(condition.left)
+                + _split_conjuncts(condition.right))
+    if isinstance(condition, ast.XFunctionCall) and \
+            condition.prefix == "fn-bea" and condition.local == "and3" \
+            and len(condition.args) == 2:
+        return (_split_conjuncts(condition.args[0])
+                + _split_conjuncts(condition.args[1]))
+    return [condition]
+
+
+class _HashJoinClause:
+    """A (for, where-eq) pair replaced by the hash-join planner."""
+
+    __slots__ = ("for_clause", "build_key", "probe_key", "condition")
+
+    def __init__(self, for_clause: ast.ForClause, build_key: ast.XExpr,
+                 probe_key: ast.XExpr, condition: ast.XExpr):
+        self.for_clause = for_clause
+        self.build_key = build_key
+        self.probe_key = probe_key
+        self.condition = condition
+
+
+def _join_key(value) -> tuple[Optional[str], object]:
+    """(comparison category, canonical hash key) for an eq join key.
+
+    Categories mirror ``compare_values``: values that eq would refuse to
+    compare get different categories; values eq treats as equal get the
+    same canonical key. UntypedAtomic follows the value-comparison rule
+    (cast to string). Returns (None, None) for uncanonicalizable types.
+    """
+    if isinstance(value, bool):
+        return "b", ("b", value)
+    if is_numeric_value(value):
+        if isinstance(value, float):
+            if value != value:  # NaN never equals anything
+                return "n", ("nan", id(object()))
+            dec = Decimal(repr(value))
+        else:
+            dec = Decimal(value)
+        return "n", ("n", dec.normalize())
+    if isinstance(value, str):  # includes UntypedAtomic
+        return "s", ("s", str(value))
+    if isinstance(value, datetime.datetime):
+        return "dt", ("dt", value)
+    if isinstance(value, datetime.date):
+        return "d", ("d", value)
+    if isinstance(value, datetime.time):
+        return "t", ("t", value)
+    return None, None
+
+
+class _Directional:
+    """Wraps a sort key, inverting comparisons for descending specs."""
+
+    __slots__ = ("key", "ascending")
+
+    def __init__(self, key, ascending: bool):
+        self.key = key
+        self.ascending = ascending
+
+    def __lt__(self, other: "_Directional") -> bool:
+        if self.ascending:
+            return self.key < other.key
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Directional) and self.key == other.key
+
+
+def _grouping_key(value) -> tuple:
+    """Canonical hashable form of a group-by key value.
+
+    NULL (None) forms its own group, as SQL GROUP BY requires. Numeric
+    values of different representations (2, 2.0, Decimal("2")) group
+    together via Decimal canonicalization.
+    """
+    if value is None:
+        return ("null",)
+    if isinstance(value, bool):
+        return ("b", value)
+    if is_numeric_value(value):
+        if isinstance(value, float):
+            dec = Decimal(repr(value))
+        else:
+            dec = Decimal(value)
+        return ("n", dec.normalize())
+    if isinstance(value, str):
+        return ("s", str(value))
+    if isinstance(value, datetime.datetime):
+        return ("dt", value.isoformat())
+    if isinstance(value, datetime.date):
+        return ("d", value.isoformat())
+    if isinstance(value, datetime.time):
+        return ("t", value.isoformat())
+    raise XQueryTypeError(
+        f"cannot group by values of type {type(value).__name__}",
+        code="XPTY0004")

@@ -1,0 +1,699 @@
+"""Recursive-descent parser for the supported XQuery dialect.
+
+Because XQuery embeds XML syntax (direct constructors), the parser owns a
+character-level scanner and lexes on demand rather than pre-tokenizing:
+``<`` is a comparison operator after an operand but starts a constructor
+at primary-expression position, and constructor content is scanned in raw
+mode. XQuery has no reserved words, so keywords are recognized purely by
+context.
+
+Boundary whitespace in element constructors is stripped (the default
+``declare boundary-space strip;`` policy), which is what the translator's
+pretty-printed output expects.
+"""
+
+from __future__ import annotations
+
+import re
+from decimal import Decimal
+
+from ..errors import XQuerySyntaxError
+from ..xmlmodel.escape import unescape
+from . import ast
+
+_NCNAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
+_NUMBER_RE = re.compile(
+    r"(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?")
+_WS_RE = re.compile(r"[ \t\r\n]+")
+
+_VALUE_COMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+_GENERAL_COMP_OPS = ("!=", "<=", ">=", "=", "<", ">")
+
+
+class _Scanner:
+    """Character cursor with comment-aware whitespace skipping."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> XQuerySyntaxError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        col = self.pos - self.text.rfind("\n", 0, self.pos)
+        return XQuerySyntaxError(f"{message} (line {line}, column {col})",
+                                 code="XPST0003")
+
+    def eof(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def skip_ws(self) -> None:
+        while True:
+            match = _WS_RE.match(self.text, self.pos)
+            if match:
+                self.pos = match.end()
+            if self.text.startswith("(:", self.pos):
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        depth = 0
+        while self.pos < len(self.text):
+            if self.text.startswith("(:", self.pos):
+                depth += 1
+                self.pos += 2
+            elif self.text.startswith(":)", self.pos):
+                depth -= 1
+                self.pos += 2
+                if depth == 0:
+                    return
+            else:
+                self.pos += 1
+        raise self.error("unterminated comment")
+
+    def peek_char(self, offset: int = 0) -> str:
+        self.skip_ws()
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def raw_char(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def match_symbol(self, symbol: str) -> bool:
+        """Consume *symbol* if present (after whitespace)."""
+        self.skip_ws()
+        if self.text.startswith(symbol, self.pos):
+            self.pos += len(symbol)
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.match_symbol(symbol):
+            raise self.error(f"expected {symbol!r}")
+
+    def peek_keyword(self, word: str) -> bool:
+        """Is *word* next, as a whole NCName?"""
+        self.skip_ws()
+        end = self.pos + len(word)
+        if not self.text.startswith(word, self.pos):
+            return False
+        if end < len(self.text) and _NCNAME_RE.match(self.text[end]):
+            # Next char continues the name (e.g. "orderly" vs "order").
+            if re.match(r"[A-Za-z0-9_.\-]", self.text[end]):
+                return False
+        return True
+
+    def match_keyword(self, word: str) -> bool:
+        if self.peek_keyword(word):
+            self.pos += len(word)
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.match_keyword(word):
+            raise self.error(f"expected keyword {word!r}")
+
+    def read_ncname(self, what: str = "name") -> str:
+        self.skip_ws()
+        match = _NCNAME_RE.match(self.text, self.pos)
+        if not match:
+            raise self.error(f"expected {what}")
+        self.pos = match.end()
+        return match.group(0)
+
+    def read_qname(self) -> tuple[str, str]:
+        """Read ``[prefix:]local``, returning (prefix, local)."""
+        first = self.read_ncname()
+        if self.raw_char() == ":" and _NCNAME_RE.match(self.raw_char(1) or " "):
+            self.pos += 1
+            local = _NCNAME_RE.match(self.text, self.pos)
+            assert local is not None
+            self.pos = local.end()
+            return first, local.group(0)
+        return "", first
+
+    def read_string_literal(self) -> str:
+        self.skip_ws()
+        quote = self.raw_char()
+        if quote not in ('"', "'"):
+            raise self.error("expected a string literal")
+        self.pos += 1
+        parts: list[str] = []
+        while True:
+            ch = self.raw_char()
+            if not ch:
+                raise self.error("unterminated string literal")
+            if ch == quote:
+                if self.raw_char(1) == quote:
+                    parts.append(quote)
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return unescape("".join(parts))
+            parts.append(ch)
+            self.pos += 1
+
+
+class Parser:
+    """Parses one XQuery module."""
+
+    def __init__(self, text: str):
+        self._s = _Scanner(text)
+
+    # -- module & prolog --------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        prolog = self._parse_prolog()
+        body = self._parse_expr()
+        if not self._s.eof():
+            raise self._s.error("unexpected trailing input")
+        return ast.Module(prolog=tuple(prolog), body=body)
+
+    def _parse_prolog(self) -> list:
+        decls = []
+        while True:
+            start = self._s.pos
+            if self._s.match_keyword("import"):
+                self._s.expect_keyword("schema")
+                self._s.expect_keyword("namespace")
+                prefix = self._s.read_ncname("namespace prefix")
+                self._s.expect_symbol("=")
+                uri = self._s.read_string_literal()
+                location = None
+                if self._s.match_keyword("at"):
+                    location = self._s.read_string_literal()
+                self._s.expect_symbol(";")
+                decls.append(ast.SchemaImport(prefix=prefix, uri=uri,
+                                              location=location))
+            elif self._s.peek_keyword("declare"):
+                mark = self._s.pos
+                self._s.match_keyword("declare")
+                if self._s.match_keyword("namespace"):
+                    prefix = self._s.read_ncname("namespace prefix")
+                    self._s.expect_symbol("=")
+                    uri = self._s.read_string_literal()
+                    self._s.expect_symbol(";")
+                    decls.append(ast.NamespaceDecl(prefix=prefix, uri=uri))
+                elif self._s.match_keyword("variable"):
+                    self._s.expect_symbol("$")
+                    name = self._s.read_ncname("variable name")
+                    type_name = None
+                    if self._s.match_keyword("as"):
+                        prefix, local = self._s.read_qname()
+                        type_name = local
+                    self._s.expect_keyword("external")
+                    self._s.expect_symbol(";")
+                    decls.append(ast.VarDecl(name=name, type_name=type_name))
+                else:
+                    # Not a prolog declaration we know; rewind and stop.
+                    self._s.pos = mark
+                    break
+            else:
+                self._s.pos = start
+                break
+        return decls
+
+    # -- expressions --------------------------------------------------------
+
+    def _parse_expr(self) -> ast.XExpr:
+        items = [self._parse_expr_single()]
+        while self._s.match_symbol(","):
+            items.append(self._parse_expr_single())
+        if len(items) == 1:
+            return items[0]
+        return ast.SequenceExpr(items=tuple(items))
+
+    def _parse_expr_single(self) -> ast.XExpr:
+        if self._peek_flwor_start():
+            return self._parse_flwor()
+        if self._peek_keyword_then_dollar("some"):
+            return self._parse_quantified("some")
+        if self._peek_keyword_then_dollar("every"):
+            return self._parse_quantified("every")
+        if self._peek_if():
+            return self._parse_if()
+        return self._parse_or()
+
+    def _peek_flwor_start(self) -> bool:
+        return (self._peek_keyword_then_dollar("for")
+                or self._peek_keyword_then_dollar("let"))
+
+    def _peek_keyword_then_dollar(self, word: str) -> bool:
+        if not self._s.peek_keyword(word):
+            return False
+        mark = self._s.pos
+        self._s.match_keyword(word)
+        result = self._s.peek_char() == "$"
+        self._s.pos = mark
+        return result
+
+    def _peek_if(self) -> bool:
+        if not self._s.peek_keyword("if"):
+            return False
+        mark = self._s.pos
+        self._s.match_keyword("if")
+        result = self._s.peek_char() == "("
+        self._s.pos = mark
+        return result
+
+    # -- FLWOR ---------------------------------------------------------------
+
+    def _parse_flwor(self) -> ast.FLWOR:
+        clauses: list[ast.FLWORClause] = []
+        while True:
+            if self._peek_keyword_then_dollar("for"):
+                self._s.match_keyword("for")
+                clauses.extend(self._parse_for_bindings())
+            elif self._peek_keyword_then_dollar("let"):
+                self._s.match_keyword("let")
+                clauses.extend(self._parse_let_bindings())
+            elif self._s.match_keyword("where"):
+                clauses.append(ast.WhereClause(
+                    condition=self._parse_expr_single()))
+            elif self._peek_keyword_then_dollar("group"):
+                self._s.match_keyword("group")
+                clauses.append(self._parse_group_clause())
+            elif self._s.peek_keyword("stable") or \
+                    self._s.peek_keyword("order"):
+                self._s.match_keyword("stable")
+                self._s.expect_keyword("order")
+                self._s.expect_keyword("by")
+                clauses.append(self._parse_order_clause())
+            elif self._s.match_keyword("return"):
+                if not clauses:
+                    raise self._s.error("FLWOR requires at least one clause")
+                return ast.FLWOR(clauses=tuple(clauses),
+                                 return_expr=self._parse_expr_single())
+            else:
+                raise self._s.error(
+                    "expected for/let/where/group/order by/return")
+
+    def _parse_for_bindings(self) -> list[ast.ForClause]:
+        bindings = []
+        while True:
+            self._s.expect_symbol("$")
+            var = self._s.read_ncname("variable name")
+            self._s.expect_keyword("in")
+            bindings.append(ast.ForClause(
+                var=var, source=self._parse_expr_single()))
+            if not self._match_binding_comma():
+                return bindings
+
+    def _parse_let_bindings(self) -> list[ast.LetClause]:
+        bindings = []
+        while True:
+            self._s.expect_symbol("$")
+            var = self._s.read_ncname("variable name")
+            self._s.expect_symbol(":=")
+            bindings.append(ast.LetClause(
+                var=var, value=self._parse_expr_single()))
+            if not self._match_binding_comma():
+                return bindings
+
+    def _match_binding_comma(self) -> bool:
+        """A comma continues the binding list only if followed by '$'."""
+        mark = self._s.pos
+        if self._s.match_symbol(","):
+            if self._s.peek_char() == "$":
+                return True
+            self._s.pos = mark
+        return False
+
+    def _parse_group_clause(self) -> ast.GroupClause:
+        self._s.expect_symbol("$")
+        source_var = self._s.read_ncname("grouped variable")
+        self._s.expect_keyword("as")
+        self._s.expect_symbol("$")
+        partition_var = self._s.read_ncname("partition variable")
+        self._s.expect_keyword("by")
+        keys = []
+        while True:
+            key_expr = self._parse_expr_single()
+            self._s.expect_keyword("as")
+            self._s.expect_symbol("$")
+            key_var = self._s.read_ncname("group key variable")
+            keys.append((key_expr, key_var))
+            if not self._s.match_symbol(","):
+                return ast.GroupClause(source_var=source_var,
+                                       partition_var=partition_var,
+                                       keys=tuple(keys))
+
+    def _parse_order_clause(self) -> ast.OrderClause:
+        specs = []
+        while True:
+            key = self._parse_expr_single()
+            ascending = True
+            if self._s.match_keyword("descending"):
+                ascending = False
+            else:
+                self._s.match_keyword("ascending")
+            empty_least = True
+            if self._s.match_keyword("empty"):
+                if self._s.match_keyword("greatest"):
+                    empty_least = False
+                else:
+                    self._s.expect_keyword("least")
+            specs.append(ast.OrderSpec(key=key, ascending=ascending,
+                                       empty_least=empty_least))
+            if not self._s.match_symbol(","):
+                return ast.OrderClause(specs=tuple(specs))
+
+    def _parse_quantified(self, kind: str) -> ast.QuantifiedExpr:
+        self._s.expect_keyword(kind)
+        self._s.expect_symbol("$")
+        var = self._s.read_ncname("variable name")
+        self._s.expect_keyword("in")
+        source = self._parse_expr_single()
+        self._s.expect_keyword("satisfies")
+        condition = self._parse_expr_single()
+        return ast.QuantifiedExpr(kind=kind, var=var, source=source,
+                                  condition=condition)
+
+    def _parse_if(self) -> ast.IfExpr:
+        self._s.expect_keyword("if")
+        self._s.expect_symbol("(")
+        condition = self._parse_expr()
+        self._s.expect_symbol(")")
+        self._s.expect_keyword("then")
+        then = self._parse_expr_single()
+        self._s.expect_keyword("else")
+        else_ = self._parse_expr_single()
+        return ast.IfExpr(condition=condition, then=then, else_=else_)
+
+    # -- operator precedence ---------------------------------------------------
+
+    def _parse_or(self) -> ast.XExpr:
+        left = self._parse_and()
+        while self._match_operator_keyword("or"):
+            left = ast.OrExpr(left=left, right=self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.XExpr:
+        left = self._parse_comparison()
+        while self._match_operator_keyword("and"):
+            left = ast.AndExpr(left=left, right=self._parse_comparison())
+        return left
+
+    def _match_operator_keyword(self, word: str) -> bool:
+        """Match a keyword operator, requiring it to be followed by the
+        start of an operand (so a bare name is not eaten)."""
+        if not self._s.peek_keyword(word):
+            return False
+        self._s.match_keyword(word)
+        return True
+
+    def _parse_comparison(self) -> ast.XExpr:
+        left = self._parse_range()
+        for op in _VALUE_COMP_OPS:
+            if self._s.peek_keyword(op):
+                self._s.match_keyword(op)
+                return ast.ValueComparison(op=op, left=left,
+                                           right=self._parse_range())
+        self._s.skip_ws()
+        for op in _GENERAL_COMP_OPS:
+            if self._s.text.startswith(op, self._s.pos):
+                # '<' followed by a name char would be a constructor only
+                # at primary position; here it is always a comparison.
+                self._s.pos += len(op)
+                return ast.GeneralComparison(op=op, left=left,
+                                             right=self._parse_range())
+        return left
+
+    def _parse_range(self) -> ast.XExpr:
+        left = self._parse_additive()
+        if self._s.match_keyword("to"):
+            return ast.RangeExpr(low=left, high=self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.XExpr:
+        left = self._parse_multiplicative()
+        while True:
+            self._s.skip_ws()
+            if self._s.match_symbol("+"):
+                left = ast.Arithmetic(op="+", left=left,
+                                      right=self._parse_multiplicative())
+            elif self._s.raw_char() == "-" and not \
+                    self._s.text.startswith("->", self._s.pos):
+                self._s.pos += 1
+                left = ast.Arithmetic(op="-", left=left,
+                                      right=self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.XExpr:
+        left = self._parse_unary()
+        while True:
+            if self._s.match_symbol("*"):
+                left = ast.Arithmetic(op="*", left=left,
+                                      right=self._parse_unary())
+            elif self._s.match_keyword("idiv"):
+                left = ast.Arithmetic(op="idiv", left=left,
+                                      right=self._parse_unary())
+            elif self._s.match_keyword("div"):
+                left = ast.Arithmetic(op="div", left=left,
+                                      right=self._parse_unary())
+            elif self._s.match_keyword("mod"):
+                left = ast.Arithmetic(op="mod", left=left,
+                                      right=self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.XExpr:
+        if self._s.match_symbol("-"):
+            return ast.UnaryMinus(operand=self._parse_unary())
+        self._s.match_symbol("+")
+        return self._parse_path()
+
+    # -- paths and primaries ------------------------------------------------
+
+    def _parse_path(self) -> ast.XExpr:
+        base = self._parse_primary_with_predicates()
+        steps = []
+        while True:
+            self._s.skip_ws()
+            if self._s.raw_char() == "/" and self._s.raw_char(1) != "/":
+                self._s.pos += 1
+                steps.append(self._parse_step())
+            else:
+                break
+        if steps:
+            return ast.PathExpr(base=base, steps=tuple(steps))
+        return base
+
+    def _parse_step(self) -> ast.PathStep:
+        self._s.skip_ws()
+        if self._s.match_symbol("*"):
+            name = None
+        else:
+            name = self._s.read_ncname("a step name")
+        predicates = self._parse_predicates()
+        return ast.PathStep(name=name, predicates=predicates)
+
+    def _parse_predicates(self) -> tuple[ast.XExpr, ...]:
+        predicates = []
+        while self._s.match_symbol("["):
+            predicates.append(self._parse_expr())
+            self._s.expect_symbol("]")
+        return tuple(predicates)
+
+    def _parse_primary_with_predicates(self) -> ast.XExpr:
+        primary = self._parse_primary()
+        predicates = self._parse_predicates()
+        if predicates:
+            return ast.FilterExpr(base=primary, predicates=predicates)
+        return primary
+
+    def _parse_primary(self) -> ast.XExpr:
+        self._s.skip_ws()
+        ch = self._s.raw_char()
+        if not ch:
+            raise self._s.error("expected an expression")
+        if ch == "$":
+            self._s.pos += 1
+            return ast.VarRef(name=self._s.read_ncname("variable name"))
+        if ch in ('"', "'"):
+            return ast.XLiteral(value=self._s.read_string_literal())
+        if ch.isdigit() or (ch == "." and (self._s.raw_char(1) or "").isdigit()):
+            return self._parse_number()
+        if ch == ".":
+            self._s.pos += 1
+            return ast.ContextItem()
+        if ch == "(":
+            self._s.pos += 1
+            if self._s.match_symbol(")"):
+                return ast.SequenceExpr(items=())
+            inner = self._parse_expr()
+            self._s.expect_symbol(")")
+            return inner
+        if ch == "<":
+            return self._parse_constructor()
+        if _NCNAME_RE.match(ch):
+            return self._parse_name_expr()
+        raise self._s.error(f"unexpected character {ch!r}")
+
+    def _parse_number(self) -> ast.XLiteral:
+        match = _NUMBER_RE.match(self._s.text, self._s.pos)
+        if not match:
+            raise self._s.error("malformed numeric literal")
+        self._s.pos = match.end()
+        text = match.group(0)
+        if match.group(2):
+            return ast.XLiteral(value=float(text))
+        if "." in text:
+            return ast.XLiteral(value=Decimal(text))
+        return ast.XLiteral(value=int(text))
+
+    def _parse_name_expr(self) -> ast.XExpr:
+        prefix, local = self._s.read_qname()
+        self._s.skip_ws()
+        if self._s.raw_char() == "(" and not \
+                self._s.text.startswith("(:", self._s.pos):
+            self._s.pos += 1
+            args: list[ast.XExpr] = []
+            if not self._s.match_symbol(")"):
+                args.append(self._parse_expr_single())
+                while self._s.match_symbol(","):
+                    args.append(self._parse_expr_single())
+                self._s.expect_symbol(")")
+            return ast.XFunctionCall(prefix=prefix, local=local,
+                                     args=tuple(args))
+        if prefix:
+            raise self._s.error(
+                f"prefixed name {prefix}:{local} must be a function call")
+        # A bare name is a child step relative to the context item
+        # (valid only inside predicates).
+        return ast.PathExpr(base=ast.ContextItem(),
+                            steps=(ast.PathStep(name=local),))
+
+    # -- direct constructors --------------------------------------------------
+
+    def _parse_constructor(self) -> ast.ElementConstructor:
+        assert self._s.raw_char() == "<"
+        self._s.pos += 1
+        prefix, local = self._s.read_qname()
+        attributes = []
+        while True:
+            self._s.skip_ws()
+            if self._s.text.startswith("/>", self._s.pos):
+                self._s.pos += 2
+                return ast.ElementConstructor(
+                    name=local, prefix=prefix,
+                    attributes=tuple(attributes), content=())
+            if self._s.raw_char() == ">":
+                self._s.pos += 1
+                break
+            attributes.append(self._parse_attribute())
+        content = self._parse_constructor_content(prefix, local)
+        return ast.ElementConstructor(name=local, prefix=prefix,
+                                      attributes=tuple(attributes),
+                                      content=tuple(content))
+
+    def _parse_attribute(self) -> ast.AttributeConstructor:
+        aprefix, alocal = self._s.read_qname()
+        name = f"{aprefix}:{alocal}" if aprefix else alocal
+        self._s.expect_symbol("=")
+        self._s.skip_ws()
+        quote = self._s.raw_char()
+        if quote not in ('"', "'"):
+            raise self._s.error("expected a quoted attribute value")
+        self._s.pos += 1
+        parts: list[str | ast.XExpr] = []
+        buffer: list[str] = []
+        while True:
+            ch = self._s.raw_char()
+            if not ch:
+                raise self._s.error("unterminated attribute value")
+            if ch == quote:
+                self._s.pos += 1
+                break
+            if ch == "{":
+                if self._s.raw_char(1) == "{":
+                    buffer.append("{")
+                    self._s.pos += 2
+                    continue
+                if buffer:
+                    parts.append(unescape("".join(buffer)))
+                    buffer.clear()
+                self._s.pos += 1
+                parts.append(self._parse_expr())
+                self._s.expect_symbol("}")
+                continue
+            if ch == "}" and self._s.raw_char(1) == "}":
+                buffer.append("}")
+                self._s.pos += 2
+                continue
+            buffer.append(ch)
+            self._s.pos += 1
+        if buffer:
+            parts.append(unescape("".join(buffer)))
+        return ast.AttributeConstructor(name=name, parts=tuple(parts))
+
+    def _parse_constructor_content(self, prefix: str, local: str) \
+            -> list[str | ast.XExpr]:
+        content: list[str | ast.XExpr] = []
+        buffer: list[str] = []
+
+        def flush(boundary: bool) -> None:
+            if not buffer:
+                return
+            text = unescape("".join(buffer))
+            buffer.clear()
+            # Boundary-space strip: drop whitespace-only runs between tags
+            # and enclosed expressions.
+            if boundary and not text.strip():
+                return
+            content.append(text)
+
+        while True:
+            ch = self._s.raw_char()
+            if not ch:
+                raise self._s.error(f"unterminated element <{local}>")
+            if ch == "<":
+                if self._s.text.startswith("</", self._s.pos):
+                    flush(boundary=True)
+                    self._s.pos += 2
+                    cprefix, clocal = self._s.read_qname()
+                    if (cprefix, clocal) != (prefix, local):
+                        opened = f"{prefix}:{local}" if prefix else local
+                        closed = f"{cprefix}:{clocal}" if cprefix else clocal
+                        raise self._s.error(
+                            f"mismatched close tag </{closed}> for "
+                            f"<{opened}>")
+                    self._s.skip_ws()
+                    self._s.expect_symbol(">")
+                    return content
+                flush(boundary=True)
+                content.append(self._parse_constructor())
+                continue
+            if ch == "{":
+                if self._s.raw_char(1) == "{":
+                    buffer.append("{")
+                    self._s.pos += 2
+                    continue
+                flush(boundary=True)
+                self._s.pos += 1
+                content.append(self._parse_expr())
+                self._s.expect_symbol("}")
+                continue
+            if ch == "}" and self._s.raw_char(1) == "}":
+                buffer.append("}")
+                self._s.pos += 2
+                continue
+            buffer.append(ch)
+            self._s.pos += 1
+
+
+def parse_xquery(text: str) -> ast.Module:
+    """Parse XQuery text into a Module."""
+    return Parser(text).parse_module()
+
+
+def parse_xquery_expr(text: str) -> ast.XExpr:
+    """Parse a standalone XQuery expression (no prolog)."""
+    parser = Parser(text)
+    expr = parser._parse_expr()
+    if not parser._s.eof():
+        raise parser._s.error("unexpected trailing input")
+    return expr

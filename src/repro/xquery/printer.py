@@ -1,0 +1,172 @@
+"""Render XQuery ASTs back to query text.
+
+Primarily a development/debugging aid, the printer also powers the
+parser round-trip property tests: ``parse(print(parse(q)))`` must equal
+``parse(q)`` for every query the translator can emit.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+
+from . import ast
+
+
+def print_module(module: ast.Module) -> str:
+    lines = []
+    for decl in module.prolog:
+        if isinstance(decl, ast.SchemaImport):
+            line = f'import schema namespace {decl.prefix} = "{decl.uri}"'
+            if decl.location:
+                line += f' at "{decl.location}"'
+            lines.append(line + ";")
+        elif isinstance(decl, ast.NamespaceDecl):
+            lines.append(f'declare namespace {decl.prefix} = '
+                         f'"{decl.uri}";')
+        else:
+            assert isinstance(decl, ast.VarDecl)
+            type_part = f" as xs:{decl.type_name}" if decl.type_name else ""
+            lines.append(f"declare variable ${decl.name}{type_part} "
+                         f"external;")
+    lines.append(print_expr(module.body))
+    return "\n".join(lines)
+
+
+def print_expr(expr: ast.XExpr) -> str:
+    return _expr(expr)
+
+
+def _string_literal(value: str) -> str:
+    escaped = value.replace("&", "&amp;").replace('"', '""')
+    return f'"{escaped}"'
+
+
+def _expr(expr: ast.XExpr) -> str:  # noqa: C901 - exhaustive dispatch
+    if isinstance(expr, ast.XLiteral):
+        value = expr.value
+        if isinstance(value, str):
+            return _string_literal(value)
+        if isinstance(value, bool):
+            return "fn:true()" if value else "fn:false()"
+        if isinstance(value, Decimal):
+            text = str(value)
+            return text if "." in text else text + ".0"
+        if isinstance(value, float):
+            return repr(value) if "e" in repr(value) else f"{value!r}e0"
+        return str(value)
+    if isinstance(expr, ast.VarRef):
+        return f"${expr.name}"
+    if isinstance(expr, ast.ContextItem):
+        return "."
+    if isinstance(expr, ast.SequenceExpr):
+        return "(" + ", ".join(_expr(item) for item in expr.items) + ")"
+    if isinstance(expr, ast.IfExpr):
+        return (f"if ({_expr(expr.condition)}) then "
+                f"{_paren(expr.then)} else {_paren(expr.else_)}")
+    if isinstance(expr, ast.QuantifiedExpr):
+        return (f"{expr.kind} ${expr.var} in {_paren(expr.source)} "
+                f"satisfies {_paren(expr.condition)}")
+    if isinstance(expr, ast.OrExpr):
+        return f"{_paren(expr.left)} or {_paren(expr.right)}"
+    if isinstance(expr, ast.AndExpr):
+        return f"{_paren(expr.left)} and {_paren(expr.right)}"
+    if isinstance(expr, (ast.ValueComparison, ast.GeneralComparison)):
+        return f"{_paren(expr.left)} {expr.op} {_paren(expr.right)}"
+    if isinstance(expr, ast.RangeExpr):
+        return f"{_paren(expr.low)} to {_paren(expr.high)}"
+    if isinstance(expr, ast.Arithmetic):
+        return f"{_paren(expr.left)} {expr.op} {_paren(expr.right)}"
+    if isinstance(expr, ast.UnaryMinus):
+        return f"-{_paren(expr.operand)}"
+    if isinstance(expr, ast.PathExpr):
+        steps = []
+        for step in expr.steps:
+            name = step.name if step.name is not None else "*"
+            predicates = "".join(f"[{_expr(p)}]"
+                                 for p in step.predicates)
+            steps.append(f"{name}{predicates}")
+        if isinstance(expr.base, ast.ContextItem):
+            # A bare relative path (valid inside predicates).
+            return "/".join(steps) if steps else "."
+        return _paren(expr.base) + "/" + "/".join(steps)
+    if isinstance(expr, ast.FilterExpr):
+        predicates = "".join(f"[{_expr(p)}]" for p in expr.predicates)
+        return f"{_paren(expr.base)}{predicates}"
+    if isinstance(expr, ast.XFunctionCall):
+        name = f"{expr.prefix}:{expr.local}" if expr.prefix else expr.local
+        return f"{name}(" + ", ".join(_expr(a) for a in expr.args) + ")"
+    if isinstance(expr, ast.ElementConstructor):
+        return _constructor(expr)
+    if isinstance(expr, ast.FLWOR):
+        return _flwor(expr)
+    raise TypeError(f"cannot print {type(expr).__name__}")
+
+
+_ATOMS = (ast.XLiteral, ast.VarRef, ast.SequenceExpr, ast.XFunctionCall,
+          ast.ElementConstructor, ast.PathExpr, ast.FilterExpr,
+          ast.ContextItem)
+
+
+def _paren(expr: ast.XExpr) -> str:
+    text = _expr(expr)
+    if isinstance(expr, _ATOMS):
+        return text
+    return f"({text})"
+
+
+def _flwor(expr: ast.FLWOR) -> str:
+    lines = []
+    for clause in expr.clauses:
+        if isinstance(clause, ast.ForClause):
+            lines.append(f"for ${clause.var} in {_paren(clause.source)}")
+        elif isinstance(clause, ast.LetClause):
+            lines.append(f"let ${clause.var} := {_paren(clause.value)}")
+        elif isinstance(clause, ast.WhereClause):
+            lines.append(f"where {_paren(clause.condition)}")
+        elif isinstance(clause, ast.GroupClause):
+            keys = ", ".join(f"{_paren(key)} as ${var}"
+                             for key, var in clause.keys)
+            lines.append(f"group ${clause.source_var} as "
+                         f"${clause.partition_var} by {keys}")
+        else:
+            assert isinstance(clause, ast.OrderClause)
+            specs = []
+            for spec in clause.specs:
+                text = _paren(spec.key)
+                if not spec.ascending:
+                    text += " descending"
+                if not spec.empty_least:
+                    text += " empty greatest"
+                specs.append(text)
+            lines.append("order by " + ", ".join(specs))
+    lines.append(f"return {_paren(expr.return_expr)}")
+    return "\n".join(lines)
+
+
+def _constructor(expr: ast.ElementConstructor) -> str:
+    name = f"{expr.prefix}:{expr.name}" if expr.prefix else expr.name
+    attrs = []
+    for attr in expr.attributes:
+        parts = []
+        for part in attr.parts:
+            if isinstance(part, str):
+                parts.append(part.replace("&", "&amp;")
+                             .replace('"', "&quot;")
+                             .replace("{", "{{").replace("}", "}}"))
+            else:
+                parts.append("{" + _expr(part) + "}")
+        attrs.append(f' {attr.name}="{"".join(parts)}"')
+    open_tag = f"<{name}{''.join(attrs)}"
+    if not expr.content:
+        return open_tag + "/>"
+    chunks = [open_tag + ">"]
+    for part in expr.content:
+        if isinstance(part, str):
+            chunks.append(part.replace("&", "&amp;").replace("<", "&lt;")
+                          .replace("{", "{{").replace("}", "}}"))
+        elif isinstance(part, ast.ElementConstructor):
+            chunks.append(_constructor(part))
+        else:
+            chunks.append("{" + _expr(part) + "}")
+    chunks.append(f"</{name}>")
+    return "".join(chunks)

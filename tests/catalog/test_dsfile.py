@@ -1,0 +1,154 @@
+"""Tests for .ds and .xsd artifact rendering/parsing (paper Example 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog import (
+    DataService,
+    DataServiceFunction,
+    FunctionParameter,
+    TableBinding,
+    XQueryBinding,
+    flat_schema,
+    parse_xsd,
+    render_ds_file,
+    render_xsd,
+)
+from repro.catalog.schema import ColumnDecl, ComplexChildDecl, RowSchema
+from repro.errors import CatalogError
+from repro.workloads import PROJECT, build_runtime
+from repro.xquery import parse_xquery
+
+
+def customers_service():
+    service = DataService("CUSTOMERS")
+    service.add_function(DataServiceFunction(
+        name="CUSTOMERS",
+        return_schema=flat_schema(
+            "CUSTOMERS", "ld:TestDataServices/CUSTOMERS",
+            "ld:TestDataServices/schemas/CUSTOMERS.xsd",
+            [("CUSTOMERID", "int"), ("CUSTOMERNAME", "string")]),
+        binding=TableBinding("CUSTOMERS"),
+    ))
+    return service
+
+
+class TestRenderDsFile:
+    def test_example2_shape(self):
+        text = render_ds_file(customers_service())
+        assert 'xquery version "1.0";' in text
+        assert ('import schema namespace t1 = '
+                '"ld:TestDataServices/CUSTOMERS"') in text
+        assert '    at "ld:TestDataServices/schemas/CUSTOMERS.xsd";' \
+            in text
+        assert "declare function f1:CUSTOMERS()" in text
+        assert "    as schema-element(t1:CUSTOMERS)*" in text
+        assert "    external;" in text
+
+    def test_parameterized_function(self):
+        service = customers_service()
+        service.add_function(DataServiceFunction(
+            name="getCustomerById",
+            return_schema=service.function("CUSTOMERS").return_schema,
+            parameters=(FunctionParameter("id", "int"),),
+            binding=TableBinding("CUSTOMERS"),
+        ))
+        text = render_ds_file(service)
+        assert "declare function f1:getCustomerById($id as xs:int)" \
+            in text
+
+    def test_logical_function_body_inline(self):
+        service = DataService("views/WEST")
+        body = ('for $c in c:CUSTOMERS() return '
+                "<WEST><ID>{fn:data($c/CUSTOMERID)}</ID></WEST>")
+        service.add_function(DataServiceFunction(
+            name="WEST",
+            return_schema=flat_schema("WEST", "ld:P/views/WEST",
+                                      "ld:P/schemas/WEST.xsd",
+                                      [("ID", "int")]),
+            binding=XQueryBinding(body),
+        ))
+        text = render_ds_file(service)
+        assert "{" in text and "};" in text
+        assert "for $c in c:CUSTOMERS()" in text
+
+    def test_empty_service_rejected(self):
+        with pytest.raises(CatalogError):
+            render_ds_file(DataService("EMPTY"))
+
+    def test_ds_file_prolog_and_externals_parse_as_xquery(self):
+        """A physical .ds file is an XQuery document; our parser accepts
+        its prolog (declarations beyond 'external' are DSP-specific)."""
+        text = render_ds_file(customers_service())
+        prolog_end = text.index("declare function")
+        parseable = text[:prolog_end] + "1"
+        parseable = parseable.replace('xquery version "1.0";', "")
+        module = parse_xquery(parseable)
+        assert module.prolog
+
+
+class TestXsdRoundTrip:
+    def test_render_shape(self):
+        schema = flat_schema(
+            "CUSTOMERS", "ld:TestDataServices/CUSTOMERS",
+            "ld:TestDataServices/schemas/CUSTOMERS.xsd",
+            [("CUSTOMERID", "int"), ("CUSTOMERNAME", "string")])
+        text = render_xsd(schema)
+        assert 'targetNamespace="ld:TestDataServices/CUSTOMERS"' in text
+        assert '<xs:element name="CUSTOMERID" type="xs:int" ' \
+               'nillable="true"/>' in text
+
+    def test_roundtrip_flat(self):
+        schema = flat_schema("T", "ld:ns", "loc",
+                             [("A", "int"), ("B", "string"),
+                              ("C", "decimal"), ("D", "date")])
+        parsed = parse_xsd(render_xsd(schema), schema_location="loc")
+        assert parsed == schema
+
+    def test_roundtrip_non_flat(self):
+        schema = RowSchema(
+            element_name="CUSTOMER", target_namespace="ld:ns",
+            schema_location="loc",
+            children=(ColumnDecl("ID", "int"),
+                      ComplexChildDecl("ORDERS", ("ORDERID", "AMOUNT"))))
+        parsed = parse_xsd(render_xsd(schema), schema_location="loc")
+        assert parsed == schema
+        assert not parsed.is_flat()
+
+    def test_non_nillable_column(self):
+        schema = RowSchema(
+            element_name="T", target_namespace="ns", schema_location="l",
+            children=(ColumnDecl("A", "int", nillable=False),))
+        parsed = parse_xsd(render_xsd(schema), schema_location="l")
+        assert parsed.columns[0].nillable is False
+
+    @pytest.mark.parametrize("bad", [
+        "<notaschema/>",
+        f'<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>',
+    ])
+    def test_bad_documents_rejected(self, bad):
+        with pytest.raises(CatalogError):
+            parse_xsd(bad)
+
+    @given(st.lists(
+        st.tuples(st.sampled_from(["A", "B", "C", "D", "E"]),
+                  st.sampled_from(["int", "string", "decimal", "date",
+                                   "double", "dateTime"])),
+        min_size=1, max_size=5, unique_by=lambda t: t[0]))
+    def test_roundtrip_property(self, columns):
+        schema = flat_schema("ROW", "ld:prop", "ld:prop.xsd", columns)
+        assert parse_xsd(render_xsd(schema), "ld:prop.xsd") == schema
+
+
+class TestDemoApplicationArtifacts:
+    def test_every_demo_service_renders(self):
+        runtime = build_runtime()
+        for project, service in runtime.application.all_data_services():
+            ds_text = render_ds_file(service)
+            assert f"f1:{service.name}" in ds_text
+            for function in service.functions.values():
+                xsd = render_xsd(function.return_schema)
+                parsed = parse_xsd(
+                    xsd, function.return_schema.schema_location)
+                assert parsed == function.return_schema

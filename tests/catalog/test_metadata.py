@@ -1,0 +1,229 @@
+"""Tests for the artifact model, Fig-2 naming, metadata API, and cache."""
+
+import pytest
+
+from repro.catalog import (
+    Application,
+    DataService,
+    DataServiceFunction,
+    FunctionParameter,
+    MetadataAPI,
+    MetadataCache,
+    Project,
+    TableBinding,
+    catalog_name,
+    flat_schema,
+    function_namespace,
+    schema_location,
+    schema_name,
+    split_schema_name,
+)
+from repro.catalog.schema import ColumnDecl, ComplexChildDecl, RowSchema
+from repro.errors import FlatnessError, UnknownArtifactError
+
+
+def build_app():
+    app = Application("RTLApp")
+    project = Project("TestDataServices")
+    customers = DataService("CUSTOMERS")
+    customers.add_function(DataServiceFunction(
+        name="CUSTOMERS",
+        return_schema=flat_schema(
+            "CUSTOMERS", "ld:TestDataServices/CUSTOMERS",
+            "ld:TestDataServices/schemas/CUSTOMERS.xsd",
+            [("CUSTOMERID", "int"), ("CUSTOMERNAME", "string")]),
+        binding=TableBinding("CUSTOMERS"),
+    ))
+    customers.add_function(DataServiceFunction(
+        name="getCustomerById",
+        return_schema=flat_schema(
+            "CUSTOMERS", "ld:TestDataServices/CUSTOMERS",
+            "ld:TestDataServices/schemas/CUSTOMERS.xsd",
+            [("CUSTOMERID", "int"), ("CUSTOMERNAME", "string")]),
+        parameters=(FunctionParameter("id", "int"),),
+        binding=TableBinding("CUSTOMERS"),
+    ))
+    nested = DataService("folder/NESTED")
+    nested.add_function(DataServiceFunction(
+        name="CUSTOMER_TREE",
+        return_schema=RowSchema(
+            element_name="CUSTOMER",
+            target_namespace="ld:TestDataServices/folder/NESTED",
+            schema_location="ld:TestDataServices/schemas/NESTED.xsd",
+            children=(ColumnDecl("ID", "int"),
+                      ComplexChildDecl("ORDERS"))),
+    ))
+    project.add_data_service(customers)
+    project.add_data_service(nested)
+    app.add_project(project)
+    return app
+
+
+class TestArtifactModel:
+    def test_duplicate_function_rejected(self):
+        service = DataService("X")
+        func = DataServiceFunction(
+            "F", flat_schema("F", "ns", "loc", {"A": "int"}))
+        service.add_function(func)
+        with pytest.raises(ValueError):
+            service.add_function(func)
+
+    def test_duplicate_service_rejected(self):
+        project = Project("P")
+        project.add_data_service(DataService("X"))
+        with pytest.raises(ValueError):
+            project.add_data_service(DataService("X"))
+
+    def test_unknown_lookups(self):
+        app = build_app()
+        with pytest.raises(UnknownArtifactError):
+            app.project("NOPE")
+        project = app.project("TestDataServices")
+        with pytest.raises(UnknownArtifactError):
+            project.data_service("NOPE")
+        with pytest.raises(UnknownArtifactError):
+            project.data_service("CUSTOMERS").function("NOPE")
+
+    def test_function_kinds(self):
+        app = build_app()
+        service = app.project("TestDataServices").data_service("CUSTOMERS")
+        assert service.function("CUSTOMERS").kind == "physical"
+        assert service.function("CUSTOMERS").is_table_candidate()
+        by_id = service.function("getCustomerById")
+        assert by_id.is_procedure_candidate()
+        assert not by_id.is_table_candidate()
+
+    def test_ds_name_from_path(self):
+        assert DataService("folder/sub/THING").name == "THING"
+
+
+class TestNaming:
+    def test_fig2_mapping(self):
+        app = build_app()
+        project = app.project("TestDataServices")
+        service = project.data_service("CUSTOMERS")
+        assert catalog_name(app) == "RTLApp"
+        assert schema_name(project, service) == \
+            "TestDataServices/CUSTOMERS"
+        assert function_namespace(project, service) == \
+            "ld:TestDataServices/CUSTOMERS"
+        assert schema_location(project, service) == \
+            "ld:TestDataServices/schemas/CUSTOMERS.xsd"
+
+    def test_nested_folder_schema_name(self):
+        app = build_app()
+        project = app.project("TestDataServices")
+        service = project.data_service("folder/NESTED")
+        assert schema_name(project, service) == \
+            "TestDataServices/folder/NESTED"
+
+    def test_split_schema_name(self):
+        assert split_schema_name("P/a/b") == ("P", "a/b")
+        with pytest.raises(ValueError):
+            split_schema_name("JustProject")
+
+
+class TestMetadataAPI:
+    def test_fetch_table(self):
+        api = MetadataAPI(build_app())
+        meta = api.fetch_table("CUSTOMERS")
+        assert meta.catalog == "RTLApp"
+        assert meta.schema == "TestDataServices/CUSTOMERS"
+        assert meta.column_names() == ("CUSTOMERID", "CUSTOMERNAME")
+        assert meta.column("CUSTOMERID").sql_type.kind == "INTEGER"
+        assert meta.column("CUSTOMERID").position == 1
+        assert meta.namespace == "ld:TestDataServices/CUSTOMERS"
+
+    def test_fetch_table_with_schema(self):
+        api = MetadataAPI(build_app())
+        meta = api.fetch_table("CUSTOMERS",
+                               schema="TestDataServices/CUSTOMERS")
+        assert meta.table == "CUSTOMERS"
+
+    def test_unknown_table(self):
+        api = MetadataAPI(build_app())
+        with pytest.raises(UnknownArtifactError):
+            api.fetch_table("NOPE")
+
+    def test_wrong_schema(self):
+        api = MetadataAPI(build_app())
+        with pytest.raises(UnknownArtifactError):
+            api.fetch_table("CUSTOMERS", schema="Wrong/Schema")
+
+    def test_wrong_catalog(self):
+        api = MetadataAPI(build_app())
+        with pytest.raises(UnknownArtifactError):
+            api.fetch_table("CUSTOMERS", catalog="OTHER")
+
+    def test_procedure_not_a_table(self):
+        api = MetadataAPI(build_app())
+        with pytest.raises(UnknownArtifactError):
+            api.fetch_table("getCustomerById")
+
+    def test_non_flat_function_rejected(self):
+        api = MetadataAPI(build_app())
+        with pytest.raises(FlatnessError):
+            api.fetch_table("CUSTOMER_TREE")
+
+    def test_fetch_procedure(self):
+        api = MetadataAPI(build_app())
+        proc = api.fetch_procedure("getCustomerById")
+        assert proc.parameters == (("id", "int"),)
+        assert proc.columns[0].name == "CUSTOMERID"
+
+    def test_table_not_a_procedure(self):
+        api = MetadataAPI(build_app())
+        with pytest.raises(UnknownArtifactError):
+            api.fetch_procedure("CUSTOMERS")
+
+    def test_listings(self):
+        api = MetadataAPI(build_app())
+        assert ("TestDataServices/CUSTOMERS", "CUSTOMERS") in \
+            api.list_tables()
+        assert ("TestDataServices/CUSTOMERS", "getCustomerById") in \
+            api.list_procedures()
+        assert "TestDataServices/folder/NESTED" in api.list_schemas()
+        # Non-flat functions never appear as tables.
+        assert all(t != "CUSTOMER_TREE" for _, t in api.list_tables())
+
+    def test_call_count_increments(self):
+        api = MetadataAPI(build_app())
+        api.fetch_table("CUSTOMERS")
+        api.fetch_table("CUSTOMERS")
+        assert api.call_count == 2
+
+
+class TestMetadataCache:
+    def test_cache_avoids_remote_calls(self):
+        api = MetadataAPI(build_app())
+        cache = MetadataCache(api)
+        first = cache.fetch_table("CUSTOMERS")
+        second = cache.fetch_table("CUSTOMERS")
+        assert first is second
+        assert api.call_count == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_qualified_lookup_primed_by_unqualified(self):
+        api = MetadataAPI(build_app())
+        cache = MetadataCache(api)
+        meta = cache.fetch_table("CUSTOMERS")
+        again = cache.fetch_table("CUSTOMERS", schema=meta.schema,
+                                  catalog=meta.catalog)
+        assert again is meta
+        assert api.call_count == 1
+
+    def test_invalidate(self):
+        api = MetadataAPI(build_app())
+        cache = MetadataCache(api)
+        cache.fetch_table("CUSTOMERS")
+        cache.invalidate()
+        cache.fetch_table("CUSTOMERS")
+        assert api.call_count == 2
+
+    def test_procedures_cached(self):
+        api = MetadataAPI(build_app())
+        cache = MetadataCache(api)
+        cache.fetch_procedure("getCustomerById")
+        cache.fetch_procedure("getCustomerById")
+        assert api.call_count == 1

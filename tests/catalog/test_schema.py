@@ -1,0 +1,80 @@
+"""Tests for XSD row schemas, flatness, and type mappings."""
+
+import pytest
+
+from repro.catalog import (
+    ColumnDecl,
+    ComplexChildDecl,
+    RowSchema,
+    flat_schema,
+    sql_to_xs,
+    xs_to_sql,
+)
+from repro.errors import FlatnessError
+from repro.sql.types import SQLType
+
+
+def customers_schema():
+    return flat_schema(
+        "CUSTOMERS", "ld:Demo/CUSTOMERS", "ld:Demo/schemas/CUSTOMERS.xsd",
+        [("CUSTOMERID", "int"), ("CUSTOMERNAME", "string")])
+
+
+class TestTypeMapping:
+    @pytest.mark.parametrize("xs,sql", [
+        ("string", "VARCHAR"), ("int", "INTEGER"), ("short", "SMALLINT"),
+        ("long", "BIGINT"), ("decimal", "DECIMAL"), ("integer", "DECIMAL"),
+        ("float", "REAL"), ("double", "DOUBLE"), ("date", "DATE"),
+        ("time", "TIME"), ("dateTime", "TIMESTAMP"),
+    ])
+    def test_xs_to_sql(self, xs, sql):
+        assert xs_to_sql(xs).kind == sql
+
+    @pytest.mark.parametrize("sql,xs", [
+        ("VARCHAR", "string"), ("CHAR", "string"), ("INTEGER", "int"),
+        ("SMALLINT", "short"), ("BIGINT", "long"), ("DECIMAL", "decimal"),
+        ("REAL", "float"), ("DOUBLE", "double"), ("DATE", "date"),
+        ("TIMESTAMP", "dateTime"),
+    ])
+    def test_sql_to_xs(self, sql, xs):
+        assert sql_to_xs(SQLType(sql)) == xs
+
+    def test_unknown_xs_type_raises(self):
+        with pytest.raises(FlatnessError):
+            xs_to_sql("anyURI")
+
+    def test_unknown_sql_kind_raises(self):
+        with pytest.raises(FlatnessError):
+            sql_to_xs(SQLType("BOOLEAN"))
+
+
+class TestRowSchema:
+    def test_flat_schema_columns(self):
+        schema = customers_schema()
+        assert schema.is_flat()
+        assert schema.column_names() == ("CUSTOMERID", "CUSTOMERNAME")
+        assert schema.column("CUSTOMERID").sql_type.kind == "INTEGER"
+        assert schema.column("NOPE") is None
+
+    def test_column_decl_rejects_bad_type(self):
+        with pytest.raises(FlatnessError):
+            ColumnDecl("X", "notatype")
+
+    def test_nested_schema_not_flat(self):
+        schema = RowSchema(
+            element_name="CUSTOMER",
+            target_namespace="ld:Demo/CUSTOMER",
+            schema_location="ld:Demo/schemas/CUSTOMER.xsd",
+            children=(ColumnDecl("ID", "int"),
+                      ComplexChildDecl("ORDERS", ("ORDERID",))))
+        assert not schema.is_flat()
+        with pytest.raises(FlatnessError) as exc:
+            _ = schema.columns
+        assert "ORDERS" in str(exc.value)
+
+    def test_flat_schema_builder_accepts_dict(self):
+        schema = flat_schema("T", "ns", "loc", {"A": "int"})
+        assert schema.column_names() == ("A",)
+
+    def test_nillable_default_true(self):
+        assert customers_schema().columns[0].nillable

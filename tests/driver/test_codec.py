@@ -1,0 +1,126 @@
+"""Experiment E5: the delimited text encoding and both decode paths."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.driver import convert_cell, decode_delimited, decode_xml
+from repro.errors import DataError
+from repro.sql.types import SQLType
+from repro.translator import ResultColumn
+from repro.xmlmodel import escape_text
+
+
+def cols(*kinds):
+    return [ResultColumn(label=f"C{i}", element=f"C{i}",
+                         sql_type=SQLType(kind))
+            for i, kind in enumerate(kinds)]
+
+
+class TestConvertCell:
+    @pytest.mark.parametrize("text,kind,expected", [
+        ("42", "INTEGER", 42),
+        ("-7", "SMALLINT", -7),
+        ("4.50", "DECIMAL", Decimal("4.50")),
+        ("1.5", "DOUBLE", 1.5),
+        ("x", "VARCHAR", "x"),
+        ("2020-01-31", "DATE", datetime.date(2020, 1, 31)),
+        ("10:30:00", "TIME", datetime.time(10, 30)),
+        ("2020-01-31T10:30:00", "TIMESTAMP",
+         datetime.datetime(2020, 1, 31, 10, 30)),
+    ])
+    def test_conversions(self, text, kind, expected):
+        assert convert_cell(text, SQLType(kind)) == expected
+
+    def test_bad_value(self):
+        with pytest.raises(DataError):
+            convert_cell("xyz", SQLType("INTEGER"))
+
+    def test_unsupported_kind(self):
+        with pytest.raises(DataError):
+            convert_cell("x", SQLType("BLOB"))
+
+
+class TestDecodeDelimited:
+    def test_simple_rows(self):
+        stream = ">55>Joe>23>Sue"
+        rows = decode_delimited(stream, cols("INTEGER", "VARCHAR"))
+        assert rows == [(55, "Joe"), (23, "Sue")]
+
+    def test_null_cells(self):
+        stream = ">55<>23>EAST"
+        rows = decode_delimited(stream, cols("INTEGER", "VARCHAR"))
+        assert rows == [(55, None), (23, "EAST")]
+
+    def test_all_null_row(self):
+        rows = decode_delimited("<<", cols("INTEGER", "VARCHAR"))
+        assert rows == [(None, None)]
+
+    def test_empty_stream_is_zero_rows(self):
+        assert decode_delimited("", cols("INTEGER")) == []
+
+    def test_empty_string_cell_distinct_from_null(self):
+        rows = decode_delimited(">>x", cols("VARCHAR", "VARCHAR"))
+        assert rows == [("", "x")]
+
+    def test_escaped_content(self):
+        value = "a<b>&c"
+        stream = ">" + escape_text(value)
+        rows = decode_delimited(stream, cols("VARCHAR"))
+        assert rows == [(value,)]
+
+    def test_truncated_stream_rejected(self):
+        with pytest.raises(DataError):
+            decode_delimited(">55", cols("INTEGER", "VARCHAR"))
+
+    def test_garbage_marker_rejected(self):
+        with pytest.raises(DataError):
+            decode_delimited("x55", cols("INTEGER"))
+
+    @given(st.lists(st.tuples(
+        st.one_of(st.none(), st.integers(-10**9, 10**9)),
+        st.one_of(st.none(), st.text(max_size=30))), max_size=8))
+    def test_roundtrip_property(self, rows):
+        """Encoding then decoding arbitrary (int, text) rows is lossless
+        — including the NULL/empty-string distinction."""
+        parts = []
+        for number, text in rows:
+            parts.append("<" if number is None else f">{number}")
+            parts.append("<" if text is None else ">" + escape_text(text))
+        decoded = decode_delimited("".join(parts),
+                                   cols("INTEGER", "VARCHAR"))
+        assert decoded == [tuple(r) for r in rows]
+
+
+class TestDecodeXML:
+    def test_simple_document(self):
+        text = ("<RECORDSET><RECORD><C0>55</C0><C1>Joe</C1></RECORD>"
+                "<RECORD><C0>23</C0><C1>Sue</C1></RECORD></RECORDSET>")
+        rows = decode_xml(text, cols("INTEGER", "VARCHAR"))
+        assert rows == [(55, "Joe"), (23, "Sue")]
+
+    def test_empty_element_is_null(self):
+        text = "<RECORDSET><RECORD><C0/><C1>x</C1></RECORD></RECORDSET>"
+        rows = decode_xml(text, cols("INTEGER", "VARCHAR"))
+        assert rows == [(None, "x")]
+
+    def test_positional_decode_ignores_names(self):
+        text = ("<RECORDSET><RECORD><INFO.ID>5</INFO.ID>"
+                "<INFO.NAME>x</INFO.NAME></RECORD></RECORDSET>")
+        rows = decode_xml(text, cols("INTEGER", "VARCHAR"))
+        assert rows == [(5, "x")]
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(DataError):
+            decode_xml("<WRONG/>", cols("INTEGER"))
+
+    def test_column_count_mismatch_rejected(self):
+        text = "<RECORDSET><RECORD><C0>5</C0></RECORD></RECORDSET>"
+        with pytest.raises(DataError):
+            decode_xml(text, cols("INTEGER", "VARCHAR"))
+
+    def test_zero_rows(self):
+        assert decode_xml("<RECORDSET/>", cols("INTEGER")) == []

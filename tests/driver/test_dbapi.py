@@ -1,0 +1,301 @@
+"""Tests for the PEP 249 driver: connections, cursors, procedures,
+metadata (experiment E10)."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.catalog import (
+    DataService,
+    DataServiceFunction,
+    FunctionParameter,
+    TableBinding,
+    flat_schema,
+)
+from repro.driver import (
+    DATETIME,
+    NUMBER,
+    STRING,
+    InterfaceError,
+    NotSupportedError,
+    ProgrammingError,
+    connect,
+)
+from repro.engine import DSPRuntime
+from repro.workloads import PROJECT, build_runtime
+import repro.driver as driver_module
+
+
+def runtime_with_procedure():
+    runtime = build_runtime()
+    project = runtime.application.project(PROJECT)
+    service = project.data_service("CUSTOMERS")
+    service.add_function(DataServiceFunction(
+        name="getCustomerById",
+        return_schema=flat_schema(
+            "CUSTOMERS", f"ld:{PROJECT}/CUSTOMERS",
+            f"ld:{PROJECT}/schemas/CUSTOMERS.xsd",
+            [("CUSTOMERID", "int"), ("CUSTOMERNAME", "string"),
+             ("REGION", "string"), ("CREDITLIMIT", "decimal")]),
+        parameters=(FunctionParameter("id", "int"),),
+        binding=TableBinding("CUSTOMERS"),
+    ))
+    return DSPRuntime(runtime.application, runtime.storage)
+
+
+@pytest.fixture()
+def conn():
+    connection = connect(build_runtime())
+    yield connection
+    connection.close()
+
+
+class TestModuleGlobals:
+    def test_pep249_globals(self):
+        assert driver_module.apilevel == "2.0"
+        assert driver_module.paramstyle == "qmark"
+        assert driver_module.threadsafety == 1
+
+    def test_type_objects(self):
+        assert "VARCHAR" == STRING
+        assert "INTEGER" == NUMBER
+        assert "DATE" == DATETIME
+        assert not ("VARCHAR" == NUMBER)
+
+
+class TestConnection:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(InterfaceError):
+            connect(build_runtime(), format="fancy")
+
+    def test_commit_is_noop(self, conn):
+        conn.commit()
+
+    def test_rollback_not_supported(self, conn):
+        with pytest.raises(NotSupportedError):
+            conn.rollback()
+
+    def test_closed_connection_rejects_use(self):
+        connection = connect(build_runtime())
+        connection.close()
+        with pytest.raises(InterfaceError):
+            connection.cursor()
+
+    def test_context_manager(self):
+        with connect(build_runtime()) as connection:
+            cursor = connection.cursor()
+            cursor.execute("SELECT COUNT(*) FROM CUSTOMERS")
+            assert cursor.fetchone() == (6,)
+        with pytest.raises(InterfaceError):
+            connection.cursor()
+
+    def test_statement_cache(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT COUNT(*) FROM CUSTOMERS")
+        first = conn._statement_cache.copy()
+        cursor.execute("SELECT COUNT(*) FROM CUSTOMERS")
+        assert conn._statement_cache.keys() == first.keys()
+
+
+class TestCursorExecution:
+    def test_typed_row_values(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT CUSTOMERID, CUSTOMERNAME, CREDITLIMIT "
+                       "FROM CUSTOMERS WHERE CUSTOMERID = 55")
+        row = cursor.fetchone()
+        assert row == (55, "Joe", Decimal("1000.00"))
+        assert isinstance(row[0], int)
+        assert isinstance(row[2], Decimal)
+
+    def test_date_values(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT PAYDATE FROM PAYMENTS WHERE PAYMENTID = 1")
+        assert cursor.fetchone() == (datetime.date(2005, 1, 10),)
+
+    def test_null_values(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT REGION, CREDITLIMIT FROM CUSTOMERS "
+                       "WHERE CUSTOMERID = 44")
+        assert cursor.fetchone() == (None, Decimal("750.25"))
+
+    def test_rowcount(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT * FROM CUSTOMERS")
+        assert cursor.rowcount == 6
+
+    def test_description(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT CUSTOMERID, CUSTOMERNAME, CREDITLIMIT, "
+                       "PAYDATE FROM CUSTOMERS, PAYMENTS "
+                       "WHERE CUSTOMERID = CUSTID")
+        names = [d[0] for d in cursor.description]
+        types = [d[1] for d in cursor.description]
+        assert names == ["CUSTOMERID", "CUSTOMERNAME", "CREDITLIMIT",
+                         "PAYDATE"]
+        assert types == [NUMBER, STRING, NUMBER, DATETIME]
+
+    def test_description_nullability(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT COUNT(*), REGION FROM CUSTOMERS "
+                       "GROUP BY REGION")
+        assert cursor.description[0][6] is False  # COUNT never NULL
+        assert cursor.description[1][6] is True
+
+    def test_parameters(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE "
+                       "CUSTOMERID = ?", [23])
+        assert cursor.fetchall() == [("Sue",)]
+
+    def test_wrong_parameter_count(self, conn):
+        cursor = conn.cursor()
+        with pytest.raises(ProgrammingError):
+            cursor.execute("SELECT * FROM CUSTOMERS WHERE "
+                           "CUSTOMERID = ?", [])
+
+    def test_executemany(self, conn):
+        cursor = conn.cursor()
+        cursor.executemany("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE "
+                           "CUSTOMERID = ?", [[23], [55]])
+        # Last execution's results are current (PEP 249 leaves this open).
+        assert cursor.fetchall() == [("Joe",)]
+
+    def test_syntax_error_wrapped(self, conn):
+        cursor = conn.cursor()
+        with pytest.raises(ProgrammingError):
+            cursor.execute("SELEC * FROM CUSTOMERS")
+
+    def test_semantic_error_wrapped(self, conn):
+        cursor = conn.cursor()
+        with pytest.raises(ProgrammingError):
+            cursor.execute("SELECT NOPE FROM CUSTOMERS")
+
+
+class TestFetching:
+    def test_fetchone_then_none(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS WHERE "
+                       "CUSTOMERID = 7")
+        assert cursor.fetchone() == (7,)
+        assert cursor.fetchone() is None
+
+    def test_fetchmany_default_arraysize(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        assert len(cursor.fetchmany()) == 1
+
+    def test_fetchmany_size(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        assert len(cursor.fetchmany(4)) == 4
+        assert len(cursor.fetchmany(4)) == 2
+
+    def test_fetchall_after_partial(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        cursor.fetchone()
+        assert len(cursor.fetchall()) == 5
+
+    def test_iteration(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS "
+                       "ORDER BY CUSTOMERID")
+        assert [row[0] for row in cursor] == [7, 12, 23, 31, 44, 55]
+
+    def test_fetch_before_execute_rejected(self, conn):
+        cursor = conn.cursor()
+        with pytest.raises(ProgrammingError):
+            cursor.fetchall()
+
+    def test_closed_cursor_rejected(self, conn):
+        cursor = conn.cursor()
+        cursor.close()
+        with pytest.raises(InterfaceError):
+            cursor.execute("SELECT * FROM CUSTOMERS")
+
+
+class TestProcedures:
+    def test_callproc(self):
+        conn = connect(runtime_with_procedure())
+        cursor = conn.cursor()
+        cursor.callproc("getCustomerById", [55])
+        rows = cursor.fetchall()
+        # The demo binding returns the whole table; the call shape and
+        # typed decoding are what is under test here.
+        assert (55, "Joe", "WEST", Decimal("1000.00")) in rows
+        assert cursor.description[0][0] == "CUSTOMERID"
+
+    def test_callproc_wrong_arity(self):
+        conn = connect(runtime_with_procedure())
+        cursor = conn.cursor()
+        with pytest.raises(ProgrammingError):
+            cursor.callproc("getCustomerById", [])
+
+    def test_callproc_unknown(self, conn):
+        cursor = conn.cursor()
+        with pytest.raises(Exception):
+            cursor.callproc("noSuchProc", [])
+
+    def test_jdbc_call_escape_syntax(self):
+        conn = connect(runtime_with_procedure())
+        cursor = conn.cursor()
+        cursor.execute("{call getCustomerById(?)}", [55])
+        assert cursor.rowcount > 0
+        assert cursor.description[0][0] == "CUSTOMERID"
+
+    def test_bare_call_syntax(self):
+        conn = connect(runtime_with_procedure())
+        cursor = conn.cursor()
+        cursor.execute("CALL getCustomerById(?);", [55])
+        assert cursor.rowcount > 0
+
+    def test_call_marker_count_checked(self):
+        conn = connect(runtime_with_procedure())
+        cursor = conn.cursor()
+        with pytest.raises(ProgrammingError):
+            cursor.execute("{call getCustomerById(?)}", [])
+
+    def test_call_literal_arguments_rejected(self):
+        conn = connect(runtime_with_procedure())
+        cursor = conn.cursor()
+        with pytest.raises(ProgrammingError):
+            cursor.execute("{call getCustomerById(55)}")
+
+
+class TestDatabaseMetaData:
+    def test_catalogs(self, conn):
+        assert conn.metadata.get_catalogs() == ["RTLApp"]
+
+    def test_schemas(self, conn):
+        schemas = conn.metadata.get_schemas()
+        assert f"{PROJECT}/CUSTOMERS" in schemas
+        assert f"{PROJECT}/PAYMENTS" in schemas
+
+    def test_tables(self, conn):
+        tables = conn.metadata.get_tables()
+        assert (f"{PROJECT}/CUSTOMERS", "CUSTOMERS") in tables
+
+    def test_columns(self, conn):
+        columns = conn.metadata.get_columns("CUSTOMERS")
+        assert columns[0] == ("CUSTOMERID", "INTEGER", 1, True)
+
+    def test_procedures(self):
+        conn = connect(runtime_with_procedure())
+        procs = conn.metadata.get_procedures()
+        assert (f"{PROJECT}/CUSTOMERS", "getCustomerById") in procs
+        columns = conn.metadata.get_procedure_columns("getCustomerById")
+        assert ("id", "IN", "int") in columns
+        assert ("CUSTOMERID", "RESULT", "INTEGER") in columns
+
+
+class TestXMLFormatPath:
+    def test_same_rows_as_delimited(self):
+        runtime = build_runtime()
+        sql = ("SELECT CUSTOMERID, REGION, CREDITLIMIT FROM CUSTOMERS "
+               "ORDER BY CUSTOMERID")
+        delimited = connect(runtime, format="delimited").cursor()
+        xml = connect(runtime, format="xml").cursor()
+        delimited.execute(sql)
+        xml.execute(sql)
+        assert delimited.fetchall() == xml.fetchall()

@@ -1,0 +1,107 @@
+"""Driver edge cases: NULL parameters, empty results, re-execution, and
+procedure NULL arguments."""
+
+import pytest
+
+from repro.catalog import DataService, FunctionParameter, Project, Application
+from repro.driver import ProgrammingError, connect
+from repro.engine import DSPRuntime, Storage, callable_function
+from repro.workloads import build_runtime
+
+
+@pytest.fixture()
+def conn():
+    return connect(build_runtime())
+
+
+class TestEmptyResults:
+    def test_zero_rows_fetchall(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT * FROM CUSTOMERS WHERE CUSTOMERID = -1")
+        assert cursor.fetchall() == []
+        assert cursor.rowcount == 0
+        assert cursor.fetchone() is None
+
+    def test_zero_rows_keeps_description(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS WHERE 1 = 2")
+        assert [d[0] for d in cursor.description] == ["CUSTOMERID"]
+
+    def test_aggregate_over_empty_still_one_row(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT COUNT(*), SUM(CUSTOMERID) FROM CUSTOMERS "
+                       "WHERE 1 = 2")
+        assert cursor.fetchall() == [(0, None)]
+
+
+class TestParameterEdges:
+    def test_null_parameter(self, conn):
+        cursor = conn.cursor()
+        # x = NULL is UNKNOWN for every row: no results, no crash.
+        cursor.execute("SELECT * FROM CUSTOMERS WHERE CUSTOMERID = ?",
+                       [None])
+        assert cursor.fetchall() == []
+
+    def test_parameter_reuse_with_new_values(self, conn):
+        cursor = conn.cursor()
+        sql = "SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = ?"
+        cursor.execute(sql, [23])
+        first = cursor.fetchall()
+        cursor.execute(sql, [55])
+        second = cursor.fetchall()
+        assert (first, second) == ([("Sue",)], [("Joe",)])
+
+    def test_parameter_in_select_list_position(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE "
+                       "CUSTOMERNAME = ? AND CUSTOMERID BETWEEN ? AND ?",
+                       ["Sue", 1, 100])
+        assert cursor.fetchall() == [("Sue",)]
+
+    def test_too_many_parameters(self, conn):
+        cursor = conn.cursor()
+        with pytest.raises(ProgrammingError):
+            cursor.execute("SELECT * FROM CUSTOMERS", [1])
+
+
+class TestReExecution:
+    def test_cursor_resets_between_executes(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        cursor.fetchmany(2)
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        assert len(cursor.fetchall()) == 6
+
+    def test_multiple_cursors_independent(self, conn):
+        first = conn.cursor()
+        second = conn.cursor()
+        first.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        second.execute("SELECT PAYMENTID FROM PAYMENTS")
+        assert first.rowcount == 6
+        assert second.rowcount == 6
+        first.fetchone()
+        assert len(second.fetchall()) == 6
+
+
+class TestProcedureNullArguments:
+    def test_null_argument_passed_as_empty(self):
+        captured = {}
+
+        def provider(region):
+            captured["value"] = region
+            return [("X", 1)]
+
+        application = Application("NullProc")
+        project = Project("P")
+        service = DataService("S")
+        service.add_function(callable_function(
+            "probe", provider, "P", "S",
+            [("NAME", "string"), ("N", "int")],
+            parameters=(FunctionParameter("region", "string"),)))
+        project.add_data_service(service)
+        application.add_project(project)
+        cursor = connect(DSPRuntime(application, Storage())).cursor()
+        cursor.callproc("probe", [None])
+        assert captured["value"] is None
+        cursor.callproc("probe", ["EAST"])
+        assert captured["value"] == "EAST"

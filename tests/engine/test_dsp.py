@@ -1,0 +1,140 @@
+"""Tests for the DSP runtime: function materialization and XQuery hosting."""
+
+import pytest
+
+from repro.catalog import DataService, FunctionParameter
+from repro.engine import DSPRuntime, logical_function
+from repro.errors import UnknownArtifactError, XQueryDynamicError
+from repro.workloads import PROJECT, build_runtime
+from repro.xquery import UntypedAtomic
+
+NS = f"ld:{PROJECT}/CUSTOMERS"
+
+
+@pytest.fixture()
+def runtime():
+    return build_runtime()
+
+
+class TestPhysicalFunctions:
+    def test_materializes_flat_rows(self, runtime):
+        rows = runtime.call_function(NS, "CUSTOMERS", [])
+        assert len(rows) == 6
+        first = rows[0]
+        assert first.name.local == "CUSTOMERS"
+        assert first.name.uri == NS
+        names = [c.name.local for c in first.child_elements()]
+        assert names == ["CUSTOMERID", "CUSTOMERNAME", "REGION",
+                         "CREDITLIMIT"]
+
+    def test_columns_are_typed(self, runtime):
+        rows = runtime.call_function(NS, "CUSTOMERS", [])
+        cid = next(rows[0].child_elements("CUSTOMERID"))
+        assert cid.type_annotation == "int"
+
+    def test_null_becomes_empty_element(self, runtime):
+        rows = runtime.call_function(NS, "CUSTOMERS", [])
+        dan = [r for r in rows
+               if r.string_value().startswith("44")][0]
+        region = next(dan.child_elements("REGION"))
+        assert region.is_empty()
+
+    def test_unknown_function(self, runtime):
+        with pytest.raises(UnknownArtifactError):
+            runtime.call_function(NS, "NOPE", [])
+
+    def test_wrong_arity(self, runtime):
+        with pytest.raises(XQueryDynamicError):
+            runtime.call_function(NS, "CUSTOMERS", [[1]])
+
+
+class TestXQueryExecution:
+    def test_paper_example_3(self, runtime):
+        result = runtime.execute(f'''
+            import schema namespace ns0 = "{NS}"
+                at "ld:{PROJECT}/schemas/CUSTOMERS.xsd";
+            for $c in ns0:CUSTOMERS()
+            where $c/CUSTOMERNAME eq "Sue"
+            return
+            <RECORD>
+              <CUSTOMERS.CUSTOMERID>{{fn:data($c/CUSTOMERID)}}</CUSTOMERS.CUSTOMERID>
+              <CUSTOMERS.CUSTOMERNAME>{{fn:data($c/CUSTOMERNAME)}}</CUSTOMERS.CUSTOMERNAME>
+            </RECORD>''')
+        assert len(result) == 1
+        assert result[0].string_value() == "23Sue"
+
+    def test_module_cache_reused(self, runtime):
+        text = f'import schema namespace ns0 = "{NS}";\n' \
+               "fn:count(ns0:CUSTOMERS())"
+        assert runtime.execute(text) == [6]
+        assert runtime.execute(text) == [6]
+        assert len(runtime._module_cache) == 1
+
+    def test_function_call_count(self, runtime):
+        text = f'import schema namespace ns0 = "{NS}";\n' \
+               "fn:count(ns0:CUSTOMERS())"
+        before = runtime.function_call_count
+        runtime.execute(text)
+        assert runtime.function_call_count == before + 1
+
+
+class TestLogicalFunctions:
+    def add_logical(self, runtime, parameters=(), body=None):
+        project = runtime.application.project(PROJECT)
+        body = body or f'''
+            import schema namespace c = "{NS}";
+            for $c in c:CUSTOMERS()
+            where $c/REGION eq "WEST"
+            return
+            <WEST_CUSTOMERS>
+              <ID>{{fn:data($c/CUSTOMERID)}}</ID>
+              <NAME>{{fn:data($c/CUSTOMERNAME)}}</NAME>
+            </WEST_CUSTOMERS>'''
+        service = DataService("logical/WEST")
+        service.add_function(logical_function(
+            "WEST_CUSTOMERS", body, PROJECT, "logical/WEST",
+            [("ID", "int"), ("NAME", "string")],
+            parameters=parameters))
+        project.add_data_service(service)
+        # Rebuild the runtime function index.
+        return DSPRuntime(runtime.application, runtime.storage)
+
+    def test_logical_function_runs_its_body(self, runtime):
+        runtime = self.add_logical(runtime)
+        rows = runtime.call_function(f"ld:{PROJECT}/logical/WEST",
+                                     "WEST_CUSTOMERS", [])
+        assert len(rows) == 2
+        assert {r.string_value() for r in rows} == {"55Joe", "7Ann"}
+
+    def test_logical_function_with_parameter(self, runtime):
+        body = f'''
+            import schema namespace c = "{NS}";
+            for $c in c:CUSTOMERS()
+            where $c/REGION eq $region
+            return
+            <BY_REGION>
+              <ID>{{fn:data($c/CUSTOMERID)}}</ID>
+            </BY_REGION>'''
+        runtime = self.add_logical(
+            runtime, parameters=(FunctionParameter("region", "string"),),
+            body=body)
+        rows = runtime.call_function(f"ld:{PROJECT}/logical/WEST",
+                                     "WEST_CUSTOMERS", [["EAST"]])
+        assert len(rows) == 2
+
+    def test_queries_over_logical_functions(self, runtime):
+        runtime = self.add_logical(runtime)
+        result = runtime.execute(f'''
+            import schema namespace w = "ld:{PROJECT}/logical/WEST";
+            fn:count(w:WEST_CUSTOMERS())''')
+        assert result == [2]
+
+
+class TestMetadataEndpoint:
+    def test_metadata_api_serves_imported_tables(self, runtime):
+        api = runtime.metadata_api()
+        meta = api.fetch_table("CUSTOMERS")
+        assert meta.schema == f"{PROJECT}/CUSTOMERS"
+        assert meta.namespace == NS
+        assert meta.column_names() == (
+            "CUSTOMERID", "CUSTOMERNAME", "REGION", "CREDITLIMIT")

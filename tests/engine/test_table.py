@@ -1,0 +1,88 @@
+"""Tests for in-memory table storage and value coercion."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.engine import Storage, coerce_value
+from repro.errors import CatalogError, UnknownArtifactError
+from repro.sql.types import SQLType
+
+
+class TestCoercion:
+    def test_none_passes(self):
+        assert coerce_value(None, SQLType("INTEGER")) is None
+
+    def test_int_to_decimal_widened(self):
+        result = coerce_value(5, SQLType("DECIMAL"))
+        assert result == Decimal(5)
+        assert isinstance(result, Decimal)
+
+    def test_int_to_double_widened(self):
+        assert coerce_value(5, SQLType("DOUBLE")) == 5.0
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(CatalogError):
+            coerce_value("x", SQLType("INTEGER"))
+
+    def test_bool_rejected_for_integer(self):
+        with pytest.raises(CatalogError):
+            coerce_value(True, SQLType("INTEGER"))
+
+    def test_datetime_not_a_date(self):
+        with pytest.raises(CatalogError):
+            coerce_value(datetime.datetime(2020, 1, 1), SQLType("DATE"))
+
+    def test_date_not_a_timestamp(self):
+        with pytest.raises(CatalogError):
+            coerce_value(datetime.date(2020, 1, 1), SQLType("TIMESTAMP"))
+
+    def test_unsupported_type(self):
+        with pytest.raises(CatalogError):
+            coerce_value(1, SQLType("BLOB"))
+
+
+class TestStorage:
+    def make(self):
+        storage = Storage()
+        table = storage.create_table("T", [
+            ("A", SQLType("INTEGER")), ("B", SQLType("VARCHAR"))])
+        return storage, table
+
+    def test_insert_and_read(self):
+        _storage, table = self.make()
+        table.insert(1, "x")
+        table.insert(2, None)
+        assert table.rows == [(1, "x"), (2, None)]
+
+    def test_insert_arity_checked(self):
+        _storage, table = self.make()
+        with pytest.raises(CatalogError):
+            table.insert(1)
+
+    def test_insert_type_checked(self):
+        _storage, table = self.make()
+        with pytest.raises(CatalogError):
+            table.insert("no", "x")
+
+    def test_duplicate_table(self):
+        storage, _table = self.make()
+        with pytest.raises(CatalogError):
+            storage.create_table("T", [("A", SQLType("INTEGER"))])
+
+    def test_duplicate_column(self):
+        storage = Storage()
+        with pytest.raises(CatalogError):
+            storage.create_table("U", [("A", SQLType("INTEGER")),
+                                       ("A", SQLType("INTEGER"))])
+
+    def test_unknown_table(self):
+        storage, _table = self.make()
+        with pytest.raises(UnknownArtifactError):
+            storage.table("NOPE")
+
+    def test_contains_and_names(self):
+        storage, _table = self.make()
+        assert "T" in storage
+        assert storage.table_names() == ["T"]

@@ -1,0 +1,95 @@
+"""Tests for the SQL scalar function registry and its typing rules."""
+
+import pytest
+
+from repro.errors import SQLSemanticError
+from repro.sql import FUNCTION_REGISTRY, lookup_function
+from repro.sql.types import DECIMAL, DOUBLE, INTEGER, VARCHAR, SQLType
+
+
+class TestRegistry:
+    def test_known_functions_present(self):
+        for name in ("UPPER", "LOWER", "CONCAT", "SUBSTRING",
+                     "CHAR_LENGTH", "POSITION", "ABS", "MOD", "ROUND",
+                     "FLOOR", "CEILING", "SQRT", "COALESCE", "NULLIF",
+                     "CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP"):
+            assert name in FUNCTION_REGISTRY
+
+    def test_lookup_case_insensitive(self):
+        assert lookup_function("upper") is FUNCTION_REGISTRY["UPPER"]
+
+    def test_lookup_unknown(self):
+        with pytest.raises(SQLSemanticError):
+            lookup_function("NO_SUCH_FN")
+
+    def test_arity_check(self):
+        spec = lookup_function("UPPER")
+        spec.check_arity(1)
+        with pytest.raises(SQLSemanticError):
+            spec.check_arity(2)
+        with pytest.raises(SQLSemanticError):
+            spec.check_arity(0)
+
+    def test_arity_range_message(self):
+        spec = lookup_function("ROUND")
+        spec.check_arity(1)
+        spec.check_arity(2)
+        with pytest.raises(SQLSemanticError) as exc:
+            spec.check_arity(3)
+        assert "1..2" in str(exc.value)
+
+
+class TestTypingRules:
+    def result(self, name, *types):
+        spec = lookup_function(name)
+        return spec.result_type(list(types))
+
+    def test_string_functions(self):
+        assert self.result("UPPER", VARCHAR) == VARCHAR
+        assert self.result("CONCAT", VARCHAR, VARCHAR) == VARCHAR
+        with pytest.raises(SQLSemanticError):
+            self.result("UPPER", INTEGER)
+
+    def test_length_functions(self):
+        assert self.result("CHAR_LENGTH", VARCHAR) == INTEGER
+        with pytest.raises(SQLSemanticError):
+            self.result("CHAR_LENGTH", DOUBLE)
+
+    def test_numeric_passthrough(self):
+        assert self.result("ABS", DECIMAL).kind == "DECIMAL"
+        assert self.result("FLOOR", INTEGER).kind == "INTEGER"
+        with pytest.raises(SQLSemanticError):
+            self.result("ABS", VARCHAR)
+
+    def test_mod_promotes(self):
+        assert self.result("MOD", INTEGER, DECIMAL).kind == "DECIMAL"
+
+    def test_sqrt_is_double(self):
+        assert self.result("SQRT", INTEGER) == DOUBLE
+
+    def test_substring_typing(self):
+        assert self.result("SUBSTRING", VARCHAR, INTEGER) == VARCHAR
+        assert self.result("SUBSTRING", VARCHAR, INTEGER,
+                           INTEGER) == VARCHAR
+        with pytest.raises(SQLSemanticError):
+            self.result("SUBSTRING", VARCHAR, VARCHAR)
+
+    def test_position_typing(self):
+        assert self.result("POSITION", VARCHAR, VARCHAR) == INTEGER
+
+    def test_coalesce_promotes(self):
+        assert self.result("COALESCE", INTEGER, DECIMAL).kind == "DECIMAL"
+        assert self.result("COALESCE", VARCHAR,
+                           SQLType("CHAR", length=3)) == VARCHAR
+
+    def test_coalesce_incompatible(self):
+        with pytest.raises(SQLSemanticError):
+            self.result("COALESCE", INTEGER, VARCHAR)
+
+    def test_nullif_keeps_first(self):
+        assert self.result("NULLIF", DECIMAL, INTEGER).kind == "DECIMAL"
+
+    def test_niladic_datetimes(self):
+        assert self.result("CURRENT_DATE").kind == "DATE"
+        assert self.result("CURRENT_TIME").kind == "TIME"
+        assert self.result("CURRENT_TIMESTAMP").kind == "TIMESTAMP"

@@ -1,0 +1,132 @@
+"""Tests for the SQL-92 lexer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)[:-1]]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestWords:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+        assert texts("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+
+    def test_regular_identifier_uppercased(self):
+        token = tokenize("customers")[0]
+        assert token.type is TokenType.IDENT
+        assert token.text == "CUSTOMERS"
+
+    def test_identifier_with_digits_and_dollar(self):
+        assert texts("tab1$x") == ["TAB1$X"]
+
+    def test_delimited_identifier_preserves_case(self):
+        token = tokenize('"TestDataServices/CUSTOMERS"')[0]
+        assert token.type is TokenType.QUOTED_IDENT
+        assert token.text == "TestDataServices/CUSTOMERS"
+
+    def test_delimited_identifier_doubled_quote(self):
+        assert tokenize('"a""b"')[0].text == 'a"b'
+
+    def test_empty_delimited_identifier_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('""')
+
+    def test_unterminated_delimited_identifier(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('"abc')
+
+
+class TestLiterals:
+    def test_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.type is TokenType.STRING
+        assert token.text == "hello"
+
+    def test_string_with_escaped_quote(self):
+        assert tokenize("'it''s'")[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'abc")
+
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.INTEGER
+        assert token.text == "42"
+
+    def test_decimal(self):
+        assert tokenize("5.6")[0].type is TokenType.DECIMAL
+        assert tokenize(".5")[0].type is TokenType.DECIMAL
+        assert tokenize("5.")[0].type is TokenType.DECIMAL
+
+    def test_approx(self):
+        for text in ("1e3", "1.5E-2", "2E+10"):
+            assert tokenize(text)[0].type is TokenType.APPROX
+
+    def test_malformed_exponent(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("1e")
+
+
+class TestSymbolsAndParams:
+    def test_multi_char_symbols(self):
+        assert texts("<> <= >= != ||") == ["<>", "<=", ">=", "!=", "||"]
+
+    def test_single_char_symbols(self):
+        assert texts("( ) , . * + - / < > = ;") == list("(),.*+-/<>=;")
+
+    def test_param_marker(self):
+        assert kinds("?") == [TokenType.PARAM]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("a @ b")
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert texts("a -- comment\n b") == ["A", "B"]
+
+    def test_block_comment(self):
+        assert texts("a /* x \n y */ b") == ["A", "B"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("a /* never closed")
+
+    def test_eof_token_terminates(self):
+        tokens = tokenize("a")
+        assert tokens[-1].type is TokenType.EOF
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("SELECT\n  X")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("SELECT\n @")
+        except SQLSyntaxError as exc:
+            assert exc.line == 2
+            assert exc.column == 2
+        else:
+            raise AssertionError("expected SQLSyntaxError")
+
+    def test_token_helpers(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 1, 1)
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("WHERE")
+        sym = Token(TokenType.SYMBOL, "(", 1, 1)
+        assert sym.is_symbol("(")
+        assert not sym.is_symbol(")")

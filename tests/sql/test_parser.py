@@ -1,0 +1,466 @@
+"""Tests for the SQL-92 parser (stage one of the translator)."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast, parse_expression, parse_statement
+
+
+def select_of(query):
+    assert isinstance(query.body, ast.Select)
+    return query.body
+
+
+class TestBasicSelect:
+    def test_select_star(self):
+        body = select_of(parse_statement("SELECT * FROM CUSTOMERS"))
+        assert body.items == (ast.StarItem(),)
+        table = body.from_clause[0]
+        assert isinstance(table, ast.TableRef)
+        assert table.name == "CUSTOMERS"
+
+    def test_select_columns_with_aliases(self):
+        sql = "SELECT CUSTOMERID ID, CUSTOMERNAME AS NAME FROM CUSTOMERS"
+        body = select_of(parse_statement(sql))
+        assert body.items[0].alias == "ID"
+        assert body.items[1].alias == "NAME"
+        assert body.items[0].expr == ast.ColumnRef((), "CUSTOMERID")
+
+    def test_qualified_star(self):
+        body = select_of(parse_statement("SELECT C.* FROM CUSTOMERS C"))
+        assert body.items == (ast.StarItem(qualifier=("C",)),)
+
+    def test_schema_qualified_star(self):
+        body = select_of(parse_statement("SELECT S.T.* FROM S.T"))
+        assert body.items == (ast.StarItem(qualifier=("S", "T")),)
+
+    def test_distinct(self):
+        assert select_of(parse_statement(
+            "SELECT DISTINCT A FROM T")).distinct
+        assert not select_of(parse_statement("SELECT ALL A FROM T")).distinct
+
+    def test_qualified_table_names(self):
+        body = select_of(parse_statement("SELECT * FROM CAT.SCH.T"))
+        table = body.from_clause[0]
+        assert (table.catalog, table.schema, table.name) == ("CAT", "SCH", "T")
+
+    def test_delimited_schema_name(self):
+        sql = 'SELECT * FROM "TestDataServices/CUSTOMERS".CUSTOMERS'
+        table = select_of(parse_statement(sql)).from_clause[0]
+        assert table.schema == "TestDataServices/CUSTOMERS"
+        assert table.name == "CUSTOMERS"
+
+    def test_table_alias_forms(self):
+        for sql in ("SELECT * FROM T AS X", "SELECT * FROM T X"):
+            assert select_of(
+                parse_statement(sql)).from_clause[0].alias == "X"
+
+    def test_where_clause(self):
+        body = select_of(parse_statement(
+            "SELECT * FROM T WHERE A = 1 AND B < 2"))
+        assert isinstance(body.where, ast.And)
+
+    def test_multiple_from_items(self):
+        body = select_of(parse_statement("SELECT * FROM A, B, C"))
+        assert len(body.from_clause) == 3
+
+    def test_semicolon_accepted(self):
+        parse_statement("SELECT * FROM T;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT * FROM T garbage()")
+
+
+class TestJoins:
+    def test_inner_join_on(self):
+        sql = ("SELECT * FROM CUSTOMERS INNER JOIN ORDERS "
+               "ON CUSTOMERS.CUSTOMERID = ORDERS.CUSTID")
+        join = select_of(parse_statement(sql)).from_clause[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "INNER"
+        assert isinstance(join.condition, ast.Comparison)
+
+    def test_bare_join_is_inner(self):
+        join = select_of(parse_statement(
+            "SELECT * FROM A JOIN B ON A.X = B.X")).from_clause[0]
+        assert join.kind == "INNER"
+
+    @pytest.mark.parametrize("kw,kind", [
+        ("LEFT OUTER JOIN", "LEFT"), ("LEFT JOIN", "LEFT"),
+        ("RIGHT OUTER JOIN", "RIGHT"), ("RIGHT JOIN", "RIGHT"),
+        ("FULL OUTER JOIN", "FULL"), ("FULL JOIN", "FULL"),
+    ])
+    def test_outer_joins(self, kw, kind):
+        join = select_of(parse_statement(
+            f"SELECT * FROM A {kw} B ON A.X = B.X")).from_clause[0]
+        assert join.kind == kind
+
+    def test_cross_join_has_no_condition(self):
+        join = select_of(parse_statement(
+            "SELECT * FROM A CROSS JOIN B")).from_clause[0]
+        assert join.kind == "CROSS"
+        assert join.condition is None
+
+    def test_join_using(self):
+        join = select_of(parse_statement(
+            "SELECT * FROM A JOIN B USING (X, Y)")).from_clause[0]
+        assert join.using == ("X", "Y")
+
+    def test_natural_join(self):
+        join = select_of(parse_statement(
+            "SELECT * FROM A NATURAL JOIN B")).from_clause[0]
+        assert join.natural
+
+    def test_nested_join_parenthesized(self):
+        sql = ("SELECT * FROM A JOIN (B JOIN C ON B.C1 = C.C2) "
+               "ON A.C1 = B.C1")
+        join = select_of(parse_statement(sql)).from_clause[0]
+        assert isinstance(join.right, ast.Join)
+
+    def test_left_assoc_chain(self):
+        sql = "SELECT * FROM A JOIN B ON A.X=B.X JOIN C ON B.Y=C.Y"
+        join = select_of(parse_statement(sql)).from_clause[0]
+        assert isinstance(join.left, ast.Join)
+        assert isinstance(join.right, ast.TableRef)
+
+    def test_join_requires_on_or_using(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT * FROM A JOIN B")
+
+    def test_natural_cross_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT * FROM A NATURAL CROSS JOIN B")
+
+
+class TestSubqueries:
+    def test_derived_table(self):
+        sql = ("SELECT INFO.ID FROM (SELECT CUSTOMERID ID FROM CUSTOMERS) "
+               "AS INFO WHERE INFO.ID > 10")
+        body = select_of(parse_statement(sql))
+        derived = body.from_clause[0]
+        assert isinstance(derived, ast.DerivedTable)
+        assert derived.alias == "INFO"
+
+    def test_derived_table_alias_required(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT * FROM (SELECT A FROM T)")
+
+    def test_derived_table_column_aliases(self):
+        sql = "SELECT * FROM (SELECT A, B FROM T) AS D (X, Y)"
+        derived = select_of(parse_statement(sql)).from_clause[0]
+        assert derived.column_aliases == ("X", "Y")
+
+    def test_scalar_subquery(self):
+        body = select_of(parse_statement(
+            "SELECT (SELECT MAX(A) FROM T2) FROM T1"))
+        assert isinstance(body.items[0].expr, ast.ScalarSubquery)
+
+    def test_exists(self):
+        body = select_of(parse_statement(
+            "SELECT * FROM T WHERE EXISTS (SELECT A FROM U)"))
+        assert isinstance(body.where, ast.Exists)
+
+    def test_in_subquery(self):
+        body = select_of(parse_statement(
+            "SELECT * FROM T WHERE A IN (SELECT B FROM U)"))
+        assert isinstance(body.where, ast.InSubquery)
+
+    def test_not_in_subquery(self):
+        body = select_of(parse_statement(
+            "SELECT * FROM T WHERE A NOT IN (SELECT B FROM U)"))
+        assert body.where.negated
+
+    def test_quantified_comparison(self):
+        body = select_of(parse_statement(
+            "SELECT * FROM T WHERE A > ALL (SELECT B FROM U)"))
+        pred = body.where
+        assert isinstance(pred, ast.QuantifiedComparison)
+        assert pred.quantifier == "ALL"
+
+    def test_some_normalized_to_any(self):
+        body = select_of(parse_statement(
+            "SELECT * FROM T WHERE A = SOME (SELECT B FROM U)"))
+        assert body.where.quantifier == "ANY"
+
+    def test_order_by_in_subquery_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement(
+                "SELECT * FROM (SELECT A FROM T ORDER BY A) AS D")
+
+
+class TestGroupingAndOrdering:
+    def test_group_by_and_having(self):
+        sql = ("SELECT CUSTOMERID, COUNT(*) FROM ORDERS "
+               "GROUP BY CUSTOMERID HAVING COUNT(*) > 2")
+        body = select_of(parse_statement(sql))
+        assert body.group_by == (ast.ColumnRef((), "CUSTOMERID"),)
+        assert isinstance(body.having, ast.Comparison)
+
+    def test_order_by_expressions_and_positions(self):
+        query = parse_statement("SELECT A, B FROM T ORDER BY B DESC, 1")
+        assert query.order_by[0].ascending is False
+        assert query.order_by[1].key == 1
+
+    def test_order_by_asc_default(self):
+        query = parse_statement("SELECT A FROM T ORDER BY A ASC")
+        assert query.order_by[0].ascending
+
+
+class TestSetOperations:
+    def test_union(self):
+        query = parse_statement("SELECT A FROM T UNION SELECT A FROM U")
+        assert isinstance(query.body, ast.SetOp)
+        assert query.body.op == "UNION"
+        assert not query.body.all
+
+    def test_union_all(self):
+        query = parse_statement("SELECT A FROM T UNION ALL SELECT A FROM U")
+        assert query.body.all
+
+    def test_intersect_binds_tighter(self):
+        query = parse_statement(
+            "SELECT A FROM T UNION SELECT A FROM U "
+            "INTERSECT SELECT A FROM V")
+        assert query.body.op == "UNION"
+        assert query.body.right.op == "INTERSECT"
+
+    def test_except(self):
+        query = parse_statement("SELECT A FROM T EXCEPT SELECT A FROM U")
+        assert query.body.op == "EXCEPT"
+
+    def test_union_left_associative(self):
+        query = parse_statement(
+            "SELECT A FROM T UNION SELECT A FROM U EXCEPT SELECT A FROM V")
+        assert query.body.op == "EXCEPT"
+        assert query.body.left.op == "UNION"
+
+    def test_parenthesized_query_body(self):
+        query = parse_statement(
+            "(SELECT A FROM T UNION SELECT A FROM U) EXCEPT SELECT A FROM V")
+        assert query.body.op == "EXCEPT"
+        assert query.body.left.op == "UNION"
+
+    def test_order_by_applies_to_whole_union(self):
+        query = parse_statement(
+            "SELECT A FROM T UNION SELECT A FROM U ORDER BY 1")
+        assert isinstance(query.body, ast.SetOp)
+        assert query.order_by
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == ast.BinaryOp(
+            "+", ast.Literal(1, expr.left.type),
+            ast.BinaryOp("*", ast.Literal(2, expr.left.type),
+                         ast.Literal(3, expr.left.type)))
+
+    def test_parenthesized_grouping(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-A")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_concat_operator(self):
+        expr = parse_expression("A || B")
+        assert expr.op == "||"
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("A = 1 OR B = 2 AND C = 3")
+        assert isinstance(expr, ast.Or)
+        assert isinstance(expr.right, ast.And)
+
+    def test_not_precedence(self):
+        expr = parse_expression("NOT A = 1 AND B = 2")
+        assert isinstance(expr, ast.And)
+        assert isinstance(expr.left, ast.Not)
+
+    def test_between(self):
+        expr = parse_expression("A BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        assert parse_expression("A NOT BETWEEN 1 AND 2").negated
+
+    def test_in_list(self):
+        expr = parse_expression("A IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_like_with_escape(self):
+        expr = parse_expression("A LIKE 'x%_' ESCAPE '\\'")
+        assert isinstance(expr, ast.Like)
+        assert expr.escape is not None
+
+    def test_is_null_and_is_not_null(self):
+        assert not parse_expression("A IS NULL").negated
+        assert parse_expression("A IS NOT NULL").negated
+
+    def test_neq_normalized(self):
+        assert parse_expression("A != 1").op == "<>"
+
+    def test_case_searched(self):
+        expr = parse_expression(
+            "CASE WHEN A > 1 THEN 'big' ELSE 'small' END")
+        assert expr.operand is None
+        assert len(expr.whens) == 1
+        assert expr.else_ is not None
+
+    def test_case_simple(self):
+        expr = parse_expression("CASE A WHEN 1 THEN 'one' END")
+        assert expr.operand is not None
+        assert expr.else_ is None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_cast(self):
+        expr = parse_expression("CAST(A AS INTEGER)")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target.kind == "INTEGER"
+
+    def test_cast_decimal_with_precision(self):
+        expr = parse_expression("CAST(A AS DECIMAL(10, 2))")
+        assert expr.target.precision == 10
+        assert expr.target.scale == 2
+
+    def test_cast_varchar_length(self):
+        expr = parse_expression("CAST(A AS VARCHAR(20))")
+        assert expr.target.length == 20
+
+    def test_cast_character_varying(self):
+        expr = parse_expression("CAST(A AS CHARACTER VARYING(5))")
+        assert expr.target.kind == "VARCHAR"
+
+    def test_cast_double_precision(self):
+        expr = parse_expression("CAST(A AS DOUBLE PRECISION)")
+        assert expr.target.kind == "DOUBLE"
+
+    def test_extract(self):
+        expr = parse_expression("EXTRACT(YEAR FROM D)")
+        assert isinstance(expr, ast.ExtractExpr)
+        assert expr.field == "YEAR"
+
+    def test_trim_forms(self):
+        simple = parse_expression("TRIM(A)")
+        assert simple.mode == "BOTH" and simple.chars is None
+        leading = parse_expression("TRIM(LEADING FROM A)")
+        assert leading.mode == "LEADING"
+        chars = parse_expression("TRIM(BOTH 'x' FROM A)")
+        assert chars.chars is not None
+        from_form = parse_expression("TRIM('x' FROM A)")
+        assert from_form.chars is not None
+
+    def test_substring_from_for(self):
+        expr = parse_expression("SUBSTRING(A FROM 2 FOR 3)")
+        assert expr.name == "SUBSTRING"
+        assert len(expr.args) == 3
+
+    def test_substring_comma_form(self):
+        assert len(parse_expression("SUBSTRING(A, 2)").args) == 2
+
+    def test_position(self):
+        expr = parse_expression("POSITION('x' IN A)")
+        assert expr.name == "POSITION"
+
+    def test_function_call(self):
+        expr = parse_expression("UPPER(NAME)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "UPPER"
+
+    def test_niladic_datetime(self):
+        expr = parse_expression("CURRENT_DATE")
+        assert expr == ast.FunctionCall("CURRENT_DATE", ())
+
+    def test_coalesce_nullif(self):
+        assert parse_expression("COALESCE(A, B, 0)").name == "COALESCE"
+        assert parse_expression("NULLIF(A, 0)").name == "NULLIF"
+
+
+class TestLiterals:
+    def test_integer_literal(self):
+        expr = parse_expression("42")
+        assert expr.value == 42
+        assert expr.type.kind == "INTEGER"
+
+    def test_decimal_literal(self):
+        expr = parse_expression("5.60")
+        assert expr.value == Decimal("5.60")
+        assert expr.type.kind == "DECIMAL"
+
+    def test_approx_literal(self):
+        expr = parse_expression("1.5E2")
+        assert expr.value == 150.0
+        assert expr.type.kind == "DOUBLE"
+
+    def test_string_literal(self):
+        assert parse_expression("'Sue'").value == "Sue"
+
+    def test_null_literal(self):
+        assert isinstance(parse_expression("NULL"), ast.NullLiteral)
+
+    def test_date_literal(self):
+        expr = parse_expression("DATE '2020-01-31'")
+        assert expr.value == datetime.date(2020, 1, 31)
+
+    def test_time_literal(self):
+        expr = parse_expression("TIME '10:30:00'")
+        assert expr.value == datetime.time(10, 30)
+
+    def test_timestamp_literal(self):
+        expr = parse_expression("TIMESTAMP '2020-01-31 10:30:00'")
+        assert expr.value == datetime.datetime(2020, 1, 31, 10, 30)
+
+    def test_malformed_date_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("DATE '2020-13-99'")
+
+    def test_parameters_numbered_in_order(self):
+        body = select_of(parse_statement(
+            "SELECT * FROM T WHERE A = ? AND B = ?"))
+        params = []
+
+        def collect(expr):
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Parameter):
+                    params.append(node.index)
+
+        collect(body.where)
+        assert params == [1, 2]
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("sql", [
+        "SELECT",
+        "SELECT FROM T",
+        "SELECT * FROM",
+        "SELECT * WHERE A = 1",
+        "SELECT * FROM T WHERE",
+        "SELECT * FROM T GROUP A",
+        "SELECT * FROM T ORDER A",
+        "SELECT A B C FROM T",
+        "SELECT * FROM T WHERE A NOT 5",
+        "SELECT * FROM A.B.C.D",
+        "SELECT A..B FROM T",
+        "SELECT CAST(A AS) FROM T",
+        "SELECT EXTRACT(CENTURY FROM D) FROM T",
+    ])
+    def test_rejected(self, sql):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement(sql)
+
+    def test_error_reports_position(self):
+        try:
+            parse_statement("SELECT *\nFROM")
+        except SQLSyntaxError as exc:
+            assert exc.line == 2
+        else:
+            raise AssertionError("expected SQLSyntaxError")

@@ -1,0 +1,102 @@
+"""Tests for the SQL pretty-printer, including parse→print round-trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sql import parse_statement, print_query
+
+ROUND_TRIP_QUERIES = [
+    "SELECT * FROM CUSTOMERS",
+    "SELECT CUSTOMERID AS ID, CUSTOMERNAME AS NAME FROM CUSTOMERS",
+    "SELECT C.* FROM CUSTOMERS AS C",
+    "SELECT DISTINCT A FROM T",
+    "SELECT * FROM CAT.SCH.T",
+    'SELECT * FROM "TestDataServices/CUSTOMERS".CUSTOMERS',
+    "SELECT * FROM A INNER JOIN B ON A.X = B.X",
+    "SELECT * FROM A LEFT OUTER JOIN B ON A.X = B.X",
+    "SELECT * FROM A RIGHT OUTER JOIN B ON A.X = B.X",
+    "SELECT * FROM A FULL OUTER JOIN B ON A.X = B.X",
+    "SELECT * FROM A CROSS JOIN B",
+    "SELECT * FROM A INNER JOIN B USING (X, Y)",
+    "SELECT * FROM A NATURAL INNER JOIN B",
+    "SELECT * FROM (SELECT A FROM T) AS D",
+    "SELECT * FROM (SELECT A, B FROM T) AS D (X, Y)",
+    "SELECT * FROM T WHERE A = 1 AND B < 2 OR C > 3",
+    "SELECT * FROM T WHERE NOT A = 1",
+    "SELECT * FROM T WHERE A BETWEEN 1 AND 10",
+    "SELECT * FROM T WHERE A NOT BETWEEN 1 AND 10",
+    "SELECT * FROM T WHERE A IN (1, 2, 3)",
+    "SELECT * FROM T WHERE A NOT IN (SELECT B FROM U)",
+    "SELECT * FROM T WHERE A LIKE 'x%' ESCAPE '!'",
+    "SELECT * FROM T WHERE A IS NOT NULL",
+    "SELECT * FROM T WHERE EXISTS (SELECT B FROM U)",
+    "SELECT * FROM T WHERE A > ALL (SELECT B FROM U)",
+    "SELECT * FROM T WHERE A = ANY (SELECT B FROM U)",
+    "SELECT A + B * C - D / E FROM T",
+    "SELECT -A FROM T",
+    "SELECT A || B FROM T",
+    "SELECT CASE WHEN A > 1 THEN 'big' ELSE 'small' END FROM T",
+    "SELECT CASE A WHEN 1 THEN 'one' END FROM T",
+    "SELECT CAST(A AS INTEGER) FROM T",
+    "SELECT CAST(A AS DECIMAL(10,2)) FROM T",
+    "SELECT CAST(A AS VARCHAR(20)) FROM T",
+    "SELECT EXTRACT(YEAR FROM D) FROM T",
+    "SELECT TRIM(BOTH 'x' FROM A) FROM T",
+    "SELECT SUBSTRING(A FROM 2 FOR 3) FROM T",
+    "SELECT POSITION('x' IN A) FROM T",
+    "SELECT UPPER(NAME), COALESCE(A, 0) FROM T",
+    "SELECT CURRENT_DATE FROM T",
+    "SELECT COUNT(*), COUNT(DISTINCT A), SUM(B) FROM T",
+    "SELECT A, COUNT(*) FROM T GROUP BY A HAVING COUNT(*) > 2",
+    "SELECT A FROM T ORDER BY A DESC, 2",
+    "SELECT A FROM T UNION SELECT A FROM U",
+    "SELECT A FROM T UNION ALL SELECT A FROM U",
+    "SELECT A FROM T INTERSECT SELECT A FROM U",
+    "SELECT A FROM T EXCEPT SELECT A FROM U ORDER BY 1",
+    "SELECT (SELECT MAX(A) FROM U) FROM T",
+    "SELECT * FROM T WHERE A = ?",
+    "SELECT * FROM T WHERE D = DATE '2020-01-31'",
+    "SELECT * FROM T WHERE TS = TIMESTAMP '2020-01-31 10:30:00'",
+    "SELECT 5.60 FROM T",
+    "SELECT 'it''s' FROM T",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+def test_parse_print_fixed_point(sql):
+    """print(parse(sql)) must itself parse back to an identical AST."""
+    query = parse_statement(sql)
+    printed = print_query(query)
+    assert parse_statement(printed) == query
+
+
+def test_printed_sql_is_readable():
+    printed = print_query(parse_statement(
+        "select customerid id from customers where customername = 'Sue'"))
+    assert printed == ("SELECT CUSTOMERID AS ID FROM CUSTOMERS "
+                       "WHERE CUSTOMERNAME = 'Sue'")
+
+
+def test_reserved_word_alias_quoted():
+    printed = print_query(parse_statement('SELECT A AS "SELECT" FROM T'))
+    assert '"SELECT"' in printed
+
+
+def test_mixed_case_identifier_quoted():
+    printed = print_query(parse_statement('SELECT "MixedCase" FROM T'))
+    assert '"MixedCase"' in printed
+
+
+@given(st.integers(min_value=0, max_value=10 ** 12))
+def test_integer_literal_roundtrip(n):
+    query = parse_statement(f"SELECT {n} FROM T")
+    assert parse_statement(print_query(query)) == query
+
+
+@given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)),
+               max_size=40))
+def test_string_literal_roundtrip(text):
+    literal = text.replace("'", "''")
+    query = parse_statement(f"SELECT '{literal}' FROM T")
+    assert parse_statement(print_query(query)) == query

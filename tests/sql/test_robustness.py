@@ -1,0 +1,89 @@
+"""Robustness properties of the SQL frontend.
+
+The paper (stage one): "syntactically invalid SQL is rejected
+immediately" — i.e. with a clean SQLSyntaxError, never a crash. These
+properties fuzz the lexer/parser with garbage and with mutations of
+valid queries, and pin the print round-trip over the whole random query
+space.
+"""
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SQLError
+from repro.sql import parse_statement, print_query, tokenize
+from repro.workloads import generate_query
+
+_TOKEN_SOUP = st.lists(st.sampled_from([
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "JOIN", "ON",
+    "AND", "OR", "NOT", "NULL", "IN", "LIKE", "BETWEEN", "UNION",
+    "CUSTOMERS", "A", "B", "X1", "(", ")", ",", ".", "*", "+", "-", "/",
+    "=", "<", ">", "<=", ">=", "<>", "||", "'str'", "42", "4.5", "?",
+    '"Q"', ";",
+]), min_size=1, max_size=25)
+
+
+class TestLexerRobustness:
+    @given(st.text(max_size=80))
+    @example("SELECT \x00 FROM T")
+    @example("'unterminated")
+    @example('"')
+    def test_tokenize_never_crashes(self, text):
+        try:
+            tokenize(text)
+        except SQLError:
+            pass  # clean rejection is the contract
+
+    @given(st.text(alphabet="'\"-/*\\%_", max_size=30))
+    def test_quote_like_garbage(self, text):
+        try:
+            tokenize(text)
+        except SQLError:
+            pass
+
+
+class TestParserRobustness:
+    @given(_TOKEN_SOUP)
+    def test_token_soup_never_crashes(self, tokens):
+        sql = " ".join(tokens)
+        try:
+            parse_statement(sql)
+        except SQLError:
+            pass
+
+    @given(seed=st.integers(min_value=0, max_value=50_000),
+           cut=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=120, deadline=None)
+    def test_truncated_valid_queries(self, seed, cut):
+        """Any prefix of a valid query either parses or raises cleanly."""
+        sql = generate_query(seed)
+        truncated = sql[:min(cut, len(sql))]
+        try:
+            parse_statement(truncated)
+        except SQLError:
+            pass
+
+
+class TestRoundTripProperty:
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=150, deadline=None)
+    def test_generated_queries_roundtrip(self, seed):
+        """parse → print → parse is a fixed point over the entire random
+        query space (not just the curated list in test_printer)."""
+        query = parse_statement(generate_query(seed))
+        assert parse_statement(print_query(query)) == query
+
+
+class TestErrorQuality:
+    @pytest.mark.parametrize("sql,fragment", [
+        ("SELECT FROM T", "expected an expression"),
+        ("SELECT * FROM", "expected table name"),
+        ("SELECT * FROM T WHERE", "expected an expression"),
+        ("SELECT * FROM T ORDER", "expected BY"),
+        ("SELECT * FROM (SELECT A FROM T)", "alias"),
+    ])
+    def test_messages_name_the_problem(self, sql, fragment):
+        with pytest.raises(SQLError) as exc:
+            parse_statement(sql)
+        assert fragment in str(exc.value)

@@ -1,0 +1,121 @@
+"""Tests for the SQL type system and promotion rules."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import SQLSemanticError
+from repro.sql.types import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DECIMAL,
+    DOUBLE,
+    INTEGER,
+    REAL,
+    SMALLINT,
+    VARCHAR,
+    SQLType,
+    comparable,
+    is_character,
+    is_datetime,
+    is_exact_numeric,
+    is_numeric,
+    literal_type,
+    promote,
+    type_from_name,
+)
+
+
+class TestPredicates:
+    def test_numeric_kinds(self):
+        for t in (SMALLINT, INTEGER, BIGINT, DECIMAL, REAL, DOUBLE):
+            assert is_numeric(t)
+        assert not is_numeric(VARCHAR)
+
+    def test_exact_numeric(self):
+        assert is_exact_numeric(DECIMAL)
+        assert not is_exact_numeric(DOUBLE)
+
+    def test_character(self):
+        assert is_character(VARCHAR)
+        assert is_character(SQLType("CHAR", length=3))
+        assert not is_character(INTEGER)
+
+    def test_datetime(self):
+        assert is_datetime(DATE)
+        assert not is_datetime(VARCHAR)
+
+
+class TestPromotion:
+    @pytest.mark.parametrize("a,b,result", [
+        (SMALLINT, INTEGER, "INTEGER"),
+        (INTEGER, INTEGER, "INTEGER"),
+        (INTEGER, DECIMAL, "DECIMAL"),
+        (DECIMAL, DOUBLE, "DOUBLE"),
+        (REAL, INTEGER, "REAL"),
+        (DOUBLE, SMALLINT, "DOUBLE"),
+    ])
+    def test_promote(self, a, b, result):
+        assert promote(a, b).kind == result
+        assert promote(b, a).kind == result
+
+    def test_promote_non_numeric_raises(self):
+        with pytest.raises(SQLSemanticError):
+            promote(VARCHAR, INTEGER)
+
+
+class TestComparable:
+    def test_numeric_cross_kind(self):
+        assert comparable(INTEGER, DOUBLE)
+
+    def test_char_varchar(self):
+        assert comparable(SQLType("CHAR", length=3), VARCHAR)
+
+    def test_datetime_same_kind_only(self):
+        assert comparable(DATE, DATE)
+        assert not comparable(DATE, SQLType("TIME"))
+
+    def test_mixed_categories(self):
+        assert not comparable(INTEGER, VARCHAR)
+
+
+class TestLiteralTyping:
+    @pytest.mark.parametrize("value,kind", [
+        (5, "INTEGER"),
+        (Decimal("5.6"), "DECIMAL"),
+        (5.6, "DOUBLE"),
+        ("x", "VARCHAR"),
+        (True, "BOOLEAN"),
+    ])
+    def test_literal_type(self, value, kind):
+        assert literal_type(value).kind == kind
+
+    def test_unknown_literal(self):
+        with pytest.raises(TypeError):
+            literal_type(object())
+
+
+class TestTypeNames:
+    @pytest.mark.parametrize("name,kind", [
+        ("INT", "INTEGER"), ("INTEGER", "INTEGER"), ("NUMERIC", "DECIMAL"),
+        ("DEC", "DECIMAL"), ("FLOAT", "DOUBLE"), ("CHARACTER", "CHAR"),
+        ("varchar", "VARCHAR"),
+    ])
+    def test_aliases(self, name, kind):
+        assert type_from_name(name).kind == kind
+
+    def test_decimal_keeps_precision(self):
+        t = type_from_name("DECIMAL", precision=10, scale=2)
+        assert (t.precision, t.scale) == (10, 2)
+        assert str(t) == "DECIMAL(10,2)"
+
+    def test_varchar_keeps_length(self):
+        assert str(type_from_name("VARCHAR", length=20)) == "VARCHAR(20)"
+
+    def test_unknown_name(self):
+        with pytest.raises(SQLSemanticError):
+            type_from_name("BLOB")
+
+    def test_str_plain(self):
+        assert str(BOOLEAN) == "BOOLEAN"

@@ -1,0 +1,55 @@
+"""Tests for the top-level package facade (repro/__init__.py)."""
+
+import pytest
+
+import repro
+
+
+class TestFacade:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        conn = repro.connect(repro.build_demo_runtime())
+        cur = conn.cursor()
+        cur.execute("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE "
+                    "CUSTOMERID = ?", [23])
+        assert cur.fetchall() == [("Sue",)]
+
+    def test_translate_default_runtime(self):
+        result = repro.translate("SELECT * FROM CUSTOMERS")
+        assert "ns0:CUSTOMERS()" in result.xquery
+        assert result.column_labels == [
+            "CUSTOMERID", "CUSTOMERNAME", "REGION", "CREDITLIMIT"]
+
+    def test_translate_explicit_runtime_and_format(self):
+        runtime = repro.build_demo_runtime()
+        result = repro.translate("SELECT CUSTOMERID FROM CUSTOMERS",
+                                 runtime=runtime, format="delimited")
+        assert result.format == "delimited"
+        assert "fn:string-join(" in result.xquery
+
+    def test_execute_xquery_export(self):
+        assert repro.execute_xquery("1 + 1") == [2]
+
+    def test_sql_executor_export(self):
+        from repro.sql import parse_statement
+        from repro.workloads import build_storage
+        executor = repro.SQLExecutor(
+            repro.TableProvider(build_storage()))
+        result = executor.execute(
+            parse_statement("SELECT COUNT(*) FROM CUSTOMERS"))
+        assert result.rows == [(6,)]
+
+    def test_translation_result_parameter_binding(self):
+        result = repro.translate(
+            "SELECT * FROM CUSTOMERS WHERE CUSTOMERID = ?")
+        variables = result.parameter_variables([55])
+        assert variables == {"p1": 55}
+        from repro.errors import ProgrammingError
+        with pytest.raises(ProgrammingError):
+            result.parameter_variables([])

@@ -1,0 +1,82 @@
+"""Tests for the EXPLAIN report (Figure 3/4 artifacts)."""
+
+import pytest
+
+from repro.translator import SQLToXQueryTranslator, explain
+from repro.workloads import build_runtime
+
+
+@pytest.fixture(scope="module")
+def translator():
+    return SQLToXQueryTranslator(build_runtime().metadata_api())
+
+
+def report(translator, sql):
+    return explain(translator.stage2(translator.stage1(sql)))
+
+
+class TestExplain:
+    def test_simple_query(self, translator):
+        text = report(translator, "SELECT * FROM CUSTOMERS")
+        assert "CTX0 (marker)" in text
+        assert "CTX1 (query)" in text
+        assert "table RSN: TestDataServices/CUSTOMERS.CUSTOMERS" in text
+        assert "-> CUSTOMERS()" in text
+        assert "1. CUSTOMERID INTEGER NULL" in text
+
+    def test_figure3_shape(self, translator):
+        """Three tables, a join, two subqueries, and a union — the
+        Figure-3 RSN inventory."""
+        sql = ("SELECT D.CUSTOMERID FROM (SELECT C.CUSTOMERID FROM "
+               "CUSTOMERS C INNER JOIN PO_CUSTOMERS P "
+               "ON C.CUSTOMERID = P.CUSTOMERID) AS D "
+               "UNION SELECT E.CUSTID FROM (SELECT CUSTID FROM "
+               "PAYMENTS) AS E")
+        text = report(translator, sql)
+        assert "set-op RSN: UNION" in text
+        assert text.count("subquery RSN") == 2
+        assert text.count("table RSN") == 3
+        assert "join RSN: INNER" in text
+
+    def test_context_flags(self, translator):
+        text = report(translator,
+                      "SELECT REGION, COUNT(*) FROM CUSTOMERS "
+                      "GROUP BY REGION")
+        assert "[aggregates, grouped]" in text
+        assert "grouped(1 key(s))" in text
+
+    def test_derived_table_flagged_no_correlation(self, translator):
+        text = report(translator,
+                      "SELECT * FROM (SELECT CUSTOMERID FROM CUSTOMERS) "
+                      "AS D")
+        assert "no-correlation" in text
+
+    def test_order_by_rendered(self, translator):
+        text = report(translator,
+                      "SELECT CUSTOMERID FROM CUSTOMERS ORDER BY 1 DESC")
+        assert "order by: #1 DESC" in text
+
+    def test_parameters_rendered(self, translator):
+        text = report(translator,
+                      "SELECT * FROM CUSTOMERS WHERE CUSTOMERID = ?")
+        assert "?1 -> $p1 (INTEGER)" in text
+
+    def test_alias_rendered(self, translator):
+        text = report(translator, "SELECT C.* FROM CUSTOMERS C")
+        assert "AS C" in text
+
+    def test_outer_join_kind(self, translator):
+        text = report(translator,
+                      "SELECT CUSTOMERS.CUSTOMERID FROM CUSTOMERS "
+                      "LEFT OUTER JOIN PAYMENTS "
+                      "ON CUSTOMERS.CUSTOMERID = PAYMENTS.CUSTID")
+        assert "join RSN: LEFT" in text
+
+    def test_distinct_flag(self, translator):
+        text = report(translator, "SELECT DISTINCT REGION FROM CUSTOMERS")
+        assert "[DISTINCT]" in text
+
+    def test_element_names_shown(self, translator):
+        text = report(translator,
+                      "SELECT CUSTOMERID AS ID FROM CUSTOMERS")
+        assert "(element <ID>)" in text

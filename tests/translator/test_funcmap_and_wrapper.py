@@ -1,0 +1,79 @@
+"""Tests for the SQL→XQuery function map and the wrapper module."""
+
+import pytest
+
+from repro.errors import UnsupportedSQLError
+from repro.sql.types import SQLType
+from repro.translator import ResultColumn, wrap_delimited
+from repro.translator.funcmap import (
+    extract_function_for,
+    xquery_function_for,
+)
+
+
+class TestFunctionMap:
+    @pytest.mark.parametrize("sql_name,xquery_name", [
+        ("UPPER", "fn-bea:sql-upper"),
+        ("lower", "fn-bea:sql-lower"),
+        ("CONCAT", "fn-bea:sql-concat"),
+        ("SUBSTRING", "fn-bea:sql-substring"),
+        ("CHAR_LENGTH", "fn-bea:sql-char-length"),
+        ("LENGTH", "fn-bea:sql-char-length"),
+        ("POSITION", "fn-bea:sql-position"),
+        ("ABS", "fn:abs"),
+        ("FLOOR", "fn:floor"),
+        ("CEILING", "fn:ceiling"),
+        ("SQRT", "fn-bea:sqrt"),
+        ("CURRENT_DATE", "fn:current-date"),
+    ])
+    def test_mapping(self, sql_name, xquery_name):
+        assert xquery_function_for(sql_name) == xquery_name
+
+    def test_unknown_function(self):
+        with pytest.raises(UnsupportedSQLError):
+            xquery_function_for("FROBNICATE")
+
+    @pytest.mark.parametrize("field,kind,expected", [
+        ("YEAR", "DATE", "fn:year-from-date"),
+        ("MONTH", "DATE", "fn:month-from-date"),
+        ("DAY", "TIMESTAMP", "fn:day-from-dateTime"),
+        ("HOUR", "TIMESTAMP", "fn:hours-from-dateTime"),
+        ("MINUTE", "TIME", "fn:minutes-from-time"),
+        ("SECOND", "TIME", "fn:seconds-from-time"),
+    ])
+    def test_extract_mapping(self, field, kind, expected):
+        assert extract_function_for(field, kind) == expected
+
+    def test_extract_invalid_combination(self):
+        with pytest.raises(UnsupportedSQLError):
+            extract_function_for("HOUR", "DATE")
+
+
+class TestWrapperGeneration:
+    def columns(self):
+        return [
+            ResultColumn("ID", "ID", SQLType("INTEGER")),
+            ResultColumn("NAME", "NAME", SQLType("VARCHAR")),
+        ]
+
+    def test_structure(self):
+        text = wrap_delimited("PROLOG;\n", "BODY", self.columns())
+        assert text.startswith("PROLOG;\n")
+        assert "let $actualQuery := (\nBODY\n)" in text
+        assert "for $tokenQuery in $actualQuery" in text
+        assert text.rstrip().endswith('), "")')
+
+    def test_one_cell_binding_per_column(self):
+        text = wrap_delimited("", "BODY", self.columns())
+        assert "let $cell0 := fn:data($tokenQuery/ID)" in text
+        assert "let $cell1 := fn:data($tokenQuery/NAME)" in text
+
+    def test_null_and_value_marks(self):
+        text = wrap_delimited("", "BODY", self.columns())
+        assert 'then "<"' in text
+        assert 'fn:concat(">", fn-bea:xml-escape(' in text
+
+    def test_body_unmodified(self):
+        """Clean separation: the body is embedded verbatim."""
+        body = "for $x in ns0:T() return <RECORD/>"
+        assert body in wrap_delimited("", body, self.columns())

@@ -1,0 +1,169 @@
+"""Structural assertions on generated XQuery beyond the paper examples:
+3VL combinators, casts, function mapping, and prolog assembly."""
+
+import pytest
+
+from repro.translator import SQLToXQueryTranslator
+from repro.workloads import build_runtime
+
+
+@pytest.fixture(scope="module")
+def translator():
+    return SQLToXQueryTranslator(build_runtime().metadata_api())
+
+
+def xq(translator, sql):
+    return translator.translate(sql).xquery
+
+
+class TestThreeValuedGeneration:
+    def test_not_uses_not3(self, translator):
+        text = xq(translator, "SELECT * FROM CUSTOMERS WHERE NOT "
+                              "REGION = 'WEST'")
+        assert "fn-bea:not3((" in text
+        assert "fn:not(" not in text
+
+    def test_and_or_use_combinators(self, translator):
+        text = xq(translator, "SELECT * FROM CUSTOMERS WHERE "
+                              "REGION = 'WEST' AND CUSTOMERID > 1 OR "
+                              "CUSTOMERID = 44")
+        assert "fn-bea:or3(fn-bea:and3(" in text
+
+    def test_comparisons_are_value_comparisons(self, translator):
+        text = xq(translator, "SELECT * FROM CUSTOMERS WHERE "
+                              "CUSTOMERID <> 5")
+        assert " ne " in text
+
+    def test_is_null_uses_empty(self, translator):
+        text = xq(translator,
+                  "SELECT * FROM CUSTOMERS WHERE REGION IS NULL")
+        assert "where fn:empty(fn:data($var1FR0/REGION))" in text
+
+    def test_like_uses_sql_like(self, translator):
+        text = xq(translator, "SELECT * FROM CUSTOMERS WHERE "
+                              "CUSTOMERNAME LIKE 'J%' ESCAPE '!'")
+        assert 'fn-bea:sql-like(fn:data($var1FR0/CUSTOMERNAME), ' \
+               '"J%", "!")' in text
+
+    def test_in_subquery_uses_in3_over_elements(self, translator):
+        text = xq(translator, "SELECT * FROM CUSTOMERS WHERE CUSTOMERID "
+                              "IN (SELECT CUSTID FROM PAYMENTS)")
+        assert "fn-bea:in3(fn:data($var1FR0/CUSTOMERID)" in text
+        assert ")/CUSTID)" in text
+
+    def test_quantified_ops_pass_operator_name(self, translator):
+        text = xq(translator, "SELECT * FROM CUSTOMERS WHERE CUSTOMERID "
+                              "> ALL (SELECT CUSTID FROM PAYMENTS)")
+        assert 'fn-bea:all3(' in text
+        assert '"gt"' in text
+
+    def test_literal_in_list_uses_flat_in3(self, translator):
+        text = xq(translator, "SELECT * FROM CUSTOMERS WHERE CUSTOMERID "
+                              "IN (1, 2, 3)")
+        assert "fn-bea:in3(fn:data($var1FR0/CUSTOMERID), (xs:int(1), " \
+               "xs:int(2), xs:int(3)))" in text
+
+
+class TestCastGeneration:
+    def test_typed_table_columns_not_cast(self, translator):
+        text = xq(translator, "SELECT CUSTOMERID FROM CUSTOMERS")
+        assert "{fn:data($var1FR0/CUSTOMERID)}" in text
+        assert "xs:int(fn:data($var1FR0/CUSTOMERID))" not in text
+
+    def test_derived_columns_cast_on_access(self, translator):
+        text = xq(translator, "SELECT D.ID FROM (SELECT CUSTOMERID ID "
+                              "FROM CUSTOMERS) AS D WHERE D.ID = 5")
+        assert "(xs:int(fn:data($var1FR0/ID)) eq xs:int(5))" in text
+
+    def test_date_literal_cast(self, translator):
+        text = xq(translator, "SELECT * FROM ORDERS WHERE ORDERDATE > "
+                              "DATE '2005-01-01'")
+        assert 'xs:date("2005-01-01")' in text
+
+    def test_cast_varchar_truncates(self, translator):
+        text = xq(translator, "SELECT CAST(CUSTOMERID AS VARCHAR(3)) "
+                              "FROM CUSTOMERS")
+        assert "fn-bea:sql-substring(xs:string(" in text
+
+    def test_cast_decimal_scale(self, translator):
+        text = xq(translator, "SELECT CAST(CREDITLIMIT AS DECIMAL(8,1)) "
+                              "FROM CUSTOMERS")
+        assert "fn-bea:sql-round(xs:decimal(" in text
+
+    def test_scalar_subquery_cast_to_column_type(self, translator):
+        text = xq(translator, "SELECT (SELECT MAX(CREDITLIMIT) FROM "
+                              "CUSTOMERS) FROM PO_CUSTOMERS")
+        assert "xs:decimal(fn-bea:scalar((" in text
+
+
+class TestFunctionGeneration:
+    def test_division_of_integers_uses_idiv(self, translator):
+        text = xq(translator,
+                  "SELECT CUSTOMERID / 2 FROM CUSTOMERS")
+        assert " idiv " in text
+
+    def test_division_of_decimals_uses_div(self, translator):
+        text = xq(translator,
+                  "SELECT CREDITLIMIT / 2 FROM CUSTOMERS")
+        assert " div " in text
+        assert " idiv " not in text
+
+    def test_concat_operator(self, translator):
+        text = xq(translator,
+                  "SELECT CUSTOMERNAME || '!' FROM CUSTOMERS")
+        assert "fn-bea:sql-concat(" in text
+
+    def test_coalesce_nests_if_empty(self, translator):
+        text = xq(translator, "SELECT COALESCE(REGION, CUSTOMERNAME, "
+                              "'x') FROM CUSTOMERS")
+        assert text.count("fn-bea:if-empty(") == 2
+
+    def test_extract_by_source_kind(self, translator):
+        text = xq(translator, "SELECT EXTRACT(YEAR FROM PAYDATE) FROM "
+                              "PAYMENTS")
+        assert "fn:year-from-date(" in text
+
+    def test_trim_modes(self, translator):
+        text = xq(translator, "SELECT TRIM(LEADING 'x' FROM "
+                              "CUSTOMERNAME) FROM CUSTOMERS")
+        assert 'fn-bea:sql-trim("LEADING", "x", ' in text
+
+    def test_case_as_nested_ifs(self, translator):
+        text = xq(translator,
+                  "SELECT CASE WHEN CUSTOMERID > 1 THEN 'a' "
+                  "WHEN CUSTOMERID > 0 THEN 'b' ELSE 'c' END "
+                  "FROM CUSTOMERS")
+        assert text.count("(if (") == 2
+        assert 'else "c"' in text
+
+    def test_current_date_maps_to_fn(self, translator):
+        text = xq(translator, "SELECT CURRENT_DATE FROM CUSTOMERS")
+        assert "fn:current-date()" in text
+
+
+class TestPrologAssembly:
+    def test_one_import_per_schema(self, translator):
+        text = xq(translator,
+                  "SELECT C.CUSTOMERID, P.PAYMENT, O.ORDERID FROM "
+                  "CUSTOMERS C, PAYMENTS P, PO_CUSTOMERS O "
+                  "WHERE C.CUSTOMERID = P.CUSTID "
+                  "AND C.CUSTOMERID = O.CUSTOMERID")
+        assert text.count("import schema namespace") == 3
+        assert "ns0" in text and "ns1" in text and "ns2" in text
+
+    def test_parameters_declared_external(self, translator):
+        text = xq(translator, "SELECT * FROM CUSTOMERS WHERE "
+                              "CUSTOMERID = ? AND REGION = ?")
+        assert "declare variable $p1 external;" in text
+        assert "declare variable $p2 external;" in text
+        assert "$p1" in text and "$p2" in text
+
+    def test_same_table_twice_one_import(self, translator):
+        text = xq(translator,
+                  "SELECT A.CUSTOMERID FROM CUSTOMERS A, CUSTOMERS B "
+                  "WHERE A.CUSTOMERID = B.CUSTOMERID")
+        assert text.count("import schema namespace") == 1
+
+    def test_distinct_wraps_stream(self, translator):
+        text = xq(translator, "SELECT DISTINCT REGION FROM CUSTOMERS")
+        assert "fn-bea:distinct-records((" in text

@@ -1,0 +1,171 @@
+"""Unit tests for resultset nodes and scope resolution."""
+
+import pytest
+
+from repro.catalog import ColumnMetadata, TableMetadata
+from repro.errors import SQLSemanticError
+from repro.sql import ast
+from repro.sql.types import SQLType
+from repro.translator import (
+    DerivedRSN,
+    JoinRSN,
+    QueryScope,
+    ResultColumn,
+    TableRSN,
+)
+
+
+def table_meta(table="CUSTOMERS", schema="P/CUSTOMERS",
+               columns=("CUSTOMERID", "CUSTOMERNAME")):
+    return TableMetadata(
+        catalog="APP", schema=schema, table=table,
+        columns=tuple(
+            ColumnMetadata(name=name, sql_type=SQLType("INTEGER"),
+                           xs_type="int", nullable=True, position=i + 1)
+            for i, name in enumerate(columns)),
+        element_name=table, namespace=f"ld:{schema}",
+        schema_location=f"ld:{schema}.xsd", function_name=table)
+
+
+class FakeBoundQuery:
+    def __init__(self, columns):
+        self.result_columns = [
+            ResultColumn(label=label, element=element,
+                         sql_type=SQLType("INTEGER"))
+            for label, element in columns]
+
+
+class TestTableRSN:
+    def test_binding_name(self):
+        assert TableRSN(table_meta()).binding_name == "CUSTOMERS"
+        assert TableRSN(table_meta(), alias="C").binding_name == "C"
+
+    def test_columns_are_typed(self):
+        rsn = TableRSN(table_meta())
+        assert all(col.typed for col in rsn.columns())
+        assert rsn.column("CUSTOMERID").xs_type == "int"
+        assert rsn.column("NOPE") is None
+
+    def test_qualifier_matching(self):
+        rsn = TableRSN(table_meta())
+        assert rsn.matches_qualifier(("CUSTOMERS",))
+        assert rsn.matches_qualifier(("P/CUSTOMERS", "CUSTOMERS"))
+        assert rsn.matches_qualifier(("APP", "P/CUSTOMERS", "CUSTOMERS"))
+        assert not rsn.matches_qualifier(("OTHER",))
+        assert not rsn.matches_qualifier(("WRONG", "CUSTOMERS"))
+
+    def test_alias_hides_qualified_names(self):
+        rsn = TableRSN(table_meta(), alias="C")
+        assert rsn.matches_qualifier(("C",))
+        assert not rsn.matches_qualifier(("CUSTOMERS",))
+        assert not rsn.matches_qualifier(("P/CUSTOMERS", "CUSTOMERS"))
+
+
+class TestDerivedRSN:
+    def test_columns_from_inner_query(self):
+        rsn = DerivedRSN(FakeBoundQuery([("A", "A"), ("B", "B_2")]),
+                         alias="D")
+        assert [c.name for c in rsn.columns()] == ["A", "B"]
+        assert not rsn.columns()[0].typed
+        assert rsn.element_for("B") == "B_2"
+
+    def test_column_aliases_rename(self):
+        rsn = DerivedRSN(FakeBoundQuery([("A", "A"), ("B", "B")]),
+                         alias="D", column_aliases=("X", "Y"))
+        assert [c.name for c in rsn.columns()] == ["X", "Y"]
+        assert rsn.element_for("X") == "A"
+
+    def test_column_alias_arity_checked(self):
+        rsn = DerivedRSN(FakeBoundQuery([("A", "A")]), alias="D",
+                         column_aliases=("X", "Y"))
+        with pytest.raises(SQLSemanticError):
+            rsn.columns()
+
+    def test_element_for_unknown(self):
+        rsn = DerivedRSN(FakeBoundQuery([("A", "A")]), alias="D")
+        with pytest.raises(SQLSemanticError):
+            rsn.element_for("NOPE")
+
+    def test_qualifier(self):
+        rsn = DerivedRSN(FakeBoundQuery([("A", "A")]), alias="D")
+        assert rsn.matches_qualifier(("D",))
+        assert not rsn.matches_qualifier(("E",))
+
+
+class TestJoinRSN:
+    def make(self, kind="INNER"):
+        left = TableRSN(table_meta("T1", "P/T1", ("A", "K")))
+        right = TableRSN(table_meta("T2", "P/T2", ("B", "K")))
+        return JoinRSN(kind=kind, left=left, right=right), left, right
+
+    def test_columns_concatenate(self):
+        join, _l, _r = self.make()
+        assert [c.name for c in join.columns()] == ["A", "K", "B", "K"]
+
+    def test_leaf_bindings(self):
+        join, left, right = self.make()
+        assert list(join.leaf_bindings()) == [left, right]
+
+    def test_nested_leaves(self):
+        join, left, right = self.make()
+        outer = JoinRSN(kind="INNER", left=join,
+                        right=TableRSN(table_meta("T3", "P/T3", ("C",))))
+        assert len(list(outer.leaf_bindings())) == 3
+
+    def test_contains_outer(self):
+        inner, _l, _r = self.make("INNER")
+        assert not inner.contains_outer()
+        left_join, _l, _r = self.make("LEFT")
+        assert left_join.contains_outer()
+        nested = JoinRSN(kind="INNER", left=left_join,
+                         right=TableRSN(table_meta("T3", "P/T3", ("C",))))
+        assert nested.contains_outer()
+
+    def test_join_not_addressable(self):
+        join, _l, _r = self.make()
+        assert not join.matches_qualifier(("T1",))
+
+
+class TestQueryScope:
+    def scope(self):
+        scope = QueryScope()
+        scope.rsns.append(TableRSN(table_meta("T1", "P/T1", ("A", "K"))))
+        scope.rsns.append(TableRSN(table_meta("T2", "P/T2", ("B", "K"))))
+        return scope
+
+    def test_unqualified_unique(self):
+        resolution = self.scope().resolve(ast.ColumnRef((), "A"))
+        assert resolution.rsn.binding_name == "T1"
+        assert resolution.depth == 0
+
+    def test_unqualified_ambiguous(self):
+        with pytest.raises(SQLSemanticError):
+            self.scope().resolve(ast.ColumnRef((), "K"))
+
+    def test_qualified(self):
+        resolution = self.scope().resolve(ast.ColumnRef(("T2",), "K"))
+        assert resolution.rsn.binding_name == "T2"
+
+    def test_qualified_missing_column(self):
+        with pytest.raises(SQLSemanticError):
+            self.scope().resolve(ast.ColumnRef(("T1",), "B"))
+
+    def test_unknown_column(self):
+        with pytest.raises(SQLSemanticError):
+            self.scope().resolve(ast.ColumnRef((), "NOPE"))
+
+    def test_correlation_depth(self):
+        outer = self.scope()
+        inner = QueryScope(parent=outer)
+        inner.rsns.append(TableRSN(table_meta("T3", "P/T3", ("C",))))
+        resolution = inner.resolve(ast.ColumnRef(("T1",), "A"))
+        assert resolution.depth == 1
+        local = inner.resolve(ast.ColumnRef((), "C"))
+        assert local.depth == 0
+
+    def test_duplicate_bindings_checked(self):
+        scope = QueryScope()
+        scope.rsns.append(TableRSN(table_meta("T1", "P/T1", ("A",))))
+        scope.rsns.append(TableRSN(table_meta("T1", "P/T1", ("A",))))
+        with pytest.raises(SQLSemanticError):
+            scope.check_duplicate_bindings()

@@ -1,0 +1,268 @@
+"""Tests for the individual translation stages: context capture (stage 1),
+semantic validation and typing (stage 2), and variable naming."""
+
+import pytest
+
+from repro.errors import (
+    FlatnessError,
+    SQLSemanticError,
+    UnknownArtifactError,
+    UnsupportedSQLError,
+)
+from repro.translator import (
+    SQLToXQueryTranslator,
+    VariableAllocator,
+    run_stage1,
+)
+from repro.workloads import build_runtime
+
+
+@pytest.fixture(scope="module")
+def translator():
+    return SQLToXQueryTranslator(build_runtime().metadata_api())
+
+
+class TestVariableNaming:
+    def test_paper_nomenclature(self):
+        alloc = VariableAllocator()
+        assert alloc.var(1, "FR") == "var1FR0"
+        assert alloc.var(1, "FR") == "var1FR1"
+        assert alloc.var(2, "FR") == "var2FR0"
+        assert alloc.var(1, "GB") == "var1GB0"
+
+    def test_tempvar_counter_independent(self):
+        alloc = VariableAllocator()
+        assert alloc.tempvar(1, "FR") == "tempvar1FR0"
+        assert alloc.var(1, "FR") == "var1FR0"
+
+    def test_partition_naming(self):
+        alloc = VariableAllocator()
+        assert alloc.partition(1) == "var1Partition1"
+        assert alloc.partition(1) == "var1Partition2"
+
+    def test_unknown_zone_rejected(self):
+        with pytest.raises(ValueError):
+            VariableAllocator().var(1, "XX")
+
+
+class TestStage1Contexts:
+    def test_marker_context_is_ctx0(self):
+        result = run_stage1("SELECT A FROM T")
+        assert result.root_context.id == 0
+        assert result.root_context.describe() == "CTX0 (marker)"
+
+    def test_simple_query_has_one_context(self):
+        result = run_stage1("SELECT A FROM T")
+        assert len(result.contexts) == 2  # marker + query
+
+    def test_figure4_three_contexts(self):
+        """The paper's Figure 4: a query over a subquery over CUSTOMERS
+        has three (non-marker) contexts."""
+        sql = ("SELECT * FROM (SELECT ID FROM "
+               "(SELECT CUSTOMERID ID FROM CUSTOMERS) AS INNER1) AS MID")
+        result = run_stage1(sql)
+        assert len(result.contexts) == 4  # marker + 3 query contexts
+
+    def test_context_parent_links(self):
+        sql = "SELECT * FROM (SELECT A FROM T) AS D"
+        result = run_stage1(sql)
+        outer = result.contexts[1]
+        inner = result.contexts[2]
+        assert inner.parent is outer
+        assert inner in outer.children
+
+    def test_aggregate_presence_captured(self):
+        result = run_stage1("SELECT COUNT(*) FROM T")
+        assert result.contexts[1].has_aggregates
+        assert result.contexts[1].is_grouped
+
+    def test_group_by_captured(self):
+        result = run_stage1("SELECT A FROM T GROUP BY A")
+        assert result.contexts[1].is_grouped
+        assert not result.contexts[1].has_aggregates
+
+    def test_predicate_subquery_correlatable(self):
+        sql = "SELECT A FROM T WHERE EXISTS (SELECT B FROM U)"
+        result = run_stage1(sql)
+        assert result.contexts[2].correlatable
+
+    def test_derived_table_not_correlatable(self):
+        sql = "SELECT * FROM (SELECT B FROM U) AS D"
+        result = run_stage1(sql)
+        assert not result.contexts[2].correlatable
+
+    def test_setop_sides_share_parent(self):
+        result = run_stage1("SELECT A FROM T UNION SELECT B FROM U")
+        assert len(result.contexts) == 3
+        assert result.contexts[1].parent is result.root_context
+        assert result.contexts[2].parent is result.root_context
+
+
+class TestStage2Validation:
+    @pytest.mark.parametrize("sql,error", [
+        # unknown artifacts
+        ("SELECT * FROM NO_SUCH_TABLE", UnknownArtifactError),
+        ("SELECT NOPE FROM CUSTOMERS", SQLSemanticError),
+        ("SELECT C.NOPE FROM CUSTOMERS C", SQLSemanticError),
+        ("SELECT X.* FROM CUSTOMERS C", SQLSemanticError),
+        # ambiguity / duplicates
+        ("SELECT CUSTOMERID FROM CUSTOMERS, PO_CUSTOMERS",
+         SQLSemanticError),
+        ("SELECT 1 FROM CUSTOMERS, CUSTOMERS", SQLSemanticError),
+        # the paper's group-by rule (section 3.4.3)
+        ("SELECT CUSTOMERID FROM CUSTOMERS GROUP BY CUSTOMERNAME",
+         SQLSemanticError),
+        ("SELECT CUSTOMERNAME, COUNT(*) FROM CUSTOMERS GROUP BY REGION",
+         SQLSemanticError),
+        # aggregates in wrong places
+        ("SELECT CUSTOMERID FROM CUSTOMERS WHERE COUNT(*) > 1",
+         SQLSemanticError),
+        ("SELECT COUNT(SUM(CUSTOMERID)) FROM CUSTOMERS",
+         SQLSemanticError),
+        ("SELECT CUSTOMERID FROM CUSTOMERS GROUP BY COUNT(*)",
+         SQLSemanticError),
+        # type errors
+        ("SELECT CUSTOMERNAME + 1 FROM CUSTOMERS", SQLSemanticError),
+        ("SELECT * FROM CUSTOMERS WHERE CUSTOMERNAME > 5",
+         SQLSemanticError),
+        ("SELECT * FROM CUSTOMERS WHERE CUSTOMERID LIKE 'x%'",
+         SQLSemanticError),
+        ("SELECT CUSTOMERID || 'x' FROM CUSTOMERS", SQLSemanticError),
+        ("SELECT SUM(CUSTOMERNAME) FROM CUSTOMERS", SQLSemanticError),
+        ("SELECT EXTRACT(YEAR FROM CUSTOMERNAME) FROM CUSTOMERS",
+         SQLSemanticError),
+        ("SELECT UPPER(CUSTOMERID) FROM CUSTOMERS", SQLSemanticError),
+        ("SELECT UPPER() FROM CUSTOMERS", SQLSemanticError),
+        ("SELECT UNKNOWN_FUNC(CUSTOMERID) FROM CUSTOMERS",
+         SQLSemanticError),
+        # predicates as values / values as predicates
+        ("SELECT CUSTOMERID = 1 FROM CUSTOMERS", UnsupportedSQLError),
+        ("SELECT * FROM CUSTOMERS WHERE CUSTOMERID", SQLSemanticError),
+        ("SELECT * FROM CUSTOMERS WHERE NOT CUSTOMERID",
+         SQLSemanticError),
+        # subquery arity
+        ("SELECT * FROM CUSTOMERS WHERE CUSTOMERID IN "
+         "(SELECT CUSTID, PAYMENT FROM PAYMENTS)", SQLSemanticError),
+        ("SELECT (SELECT CUSTID, PAYMENT FROM PAYMENTS) FROM CUSTOMERS",
+         SQLSemanticError),
+        # set operations
+        ("SELECT CUSTOMERID, REGION FROM CUSTOMERS UNION "
+         "SELECT CUSTID FROM PAYMENTS", SQLSemanticError),
+        ("SELECT CUSTOMERID FROM CUSTOMERS UNION "
+         "SELECT REGION FROM CUSTOMERS", SQLSemanticError),
+        # ORDER BY restrictions
+        ("SELECT CUSTOMERID FROM CUSTOMERS ORDER BY 5", SQLSemanticError),
+        ("SELECT CUSTOMERID FROM CUSTOMERS UNION SELECT CUSTID FROM "
+         "PAYMENTS ORDER BY CREDITLIMIT", SQLSemanticError),
+        ("SELECT DISTINCT CUSTOMERID FROM CUSTOMERS ORDER BY "
+         "CREDITLIMIT", SQLSemanticError),
+        # derived table column aliases
+        ("SELECT * FROM (SELECT CUSTOMERID FROM CUSTOMERS) AS D (X, Y)",
+         SQLSemanticError),
+        # join conditions
+        ("SELECT * FROM CUSTOMERS NATURAL INNER JOIN ORDERS",
+         SQLSemanticError),
+    ])
+    def test_rejected(self, translator, sql, error):
+        with pytest.raises(error):
+            translator.translate(sql)
+
+    def test_non_flat_function_rejected(self, translator):
+        from repro.catalog import DataService, DataServiceFunction
+        from repro.catalog.schema import (
+            ColumnDecl,
+            ComplexChildDecl,
+            RowSchema,
+        )
+        runtime = build_runtime()
+        project = runtime.application.project("TestDataServices")
+        service = DataService("NESTED")
+        service.add_function(DataServiceFunction(
+            name="NESTED",
+            return_schema=RowSchema(
+                element_name="NESTED", target_namespace="ld:x",
+                schema_location="ld:x.xsd",
+                children=(ColumnDecl("ID", "int"),
+                          ComplexChildDecl("KIDS"))),
+        ))
+        project.add_data_service(service)
+        fresh = SQLToXQueryTranslator(runtime.metadata_api())
+        with pytest.raises(FlatnessError):
+            fresh.translate("SELECT * FROM NESTED")
+
+    def test_correlated_ref_through_group_rejected_at_generation(
+            self, translator):
+        sql = ("SELECT REGION, COUNT(*) FROM CUSTOMERS GROUP BY REGION "
+               "HAVING EXISTS (SELECT 1 FROM PAYMENTS WHERE "
+               "PAYMENTS.CUSTID = CUSTOMERS.CUSTOMERID)")
+        with pytest.raises((UnsupportedSQLError, SQLSemanticError)):
+            translator.translate(sql)
+
+
+class TestStage2Typing:
+    def type_of_item(self, translator, sql, index=0):
+        unit = translator.stage2(translator.stage1(sql))
+        return unit.bound.result_columns[index].sql_type
+
+    @pytest.mark.parametrize("expr,kind", [
+        ("CUSTOMERID", "INTEGER"),
+        ("CUSTOMERNAME", "VARCHAR"),
+        ("CREDITLIMIT", "DECIMAL"),
+        ("CUSTOMERID + 1", "INTEGER"),
+        ("CUSTOMERID + CREDITLIMIT", "DECIMAL"),
+        ("CUSTOMERID / 2", "INTEGER"),
+        ("CREDITLIMIT / 2", "DECIMAL"),
+        ("CUSTOMERNAME || 'x'", "VARCHAR"),
+        ("COUNT(*)", "INTEGER"),
+        ("SUM(CREDITLIMIT)", "DECIMAL"),
+        ("AVG(CUSTOMERID)", "DECIMAL"),
+        ("MAX(CUSTOMERNAME)", "VARCHAR"),
+        ("CAST(CUSTOMERID AS DOUBLE PRECISION)", "DOUBLE"),
+        ("CHAR_LENGTH(CUSTOMERNAME)", "INTEGER"),
+        ("COALESCE(CREDITLIMIT, 0)", "DECIMAL"),
+        ("CASE WHEN CUSTOMERID > 1 THEN 1 ELSE 2.5 END", "DECIMAL"),
+        ("NULL", "VARCHAR"),  # untyped NULL defaults
+    ])
+    def test_expression_types(self, translator, expr, kind):
+        sql = f"SELECT {expr} FROM CUSTOMERS"
+        assert self.type_of_item(translator, sql).kind == kind
+
+    def test_parameter_type_inferred_from_comparison(self, translator):
+        unit = translator.stage2(translator.stage1(
+            "SELECT * FROM CUSTOMERS WHERE CUSTOMERID = ? AND "
+            "CUSTOMERNAME = ?"))
+        assert unit.param_types[1].kind == "INTEGER"
+        assert unit.param_types[2].kind == "VARCHAR"
+
+    def test_uninferred_parameter_defaults_to_varchar(self, translator):
+        unit = translator.stage2(translator.stage1(
+            "SELECT * FROM CUSTOMERS WHERE CUSTOMERNAME LIKE ?"))
+        assert unit.param_types[1].kind == "VARCHAR"
+
+    def test_result_labels(self, translator):
+        unit = translator.stage2(translator.stage1(
+            "SELECT CUSTOMERID AS ID, CUSTOMERNAME, CUSTOMERID + 1 "
+            "FROM CUSTOMERS"))
+        assert [c.label for c in unit.bound.result_columns] == \
+            ["ID", "CUSTOMERNAME", "EXPR$3"]
+
+    def test_duplicate_labels_get_unique_elements(self, translator):
+        unit = translator.stage2(translator.stage1(
+            "SELECT CUSTOMERID, CUSTOMERID FROM CUSTOMERS"))
+        elements = [c.element for c in unit.bound.result_columns]
+        assert len(set(elements)) == 2
+
+    def test_nullability(self, translator):
+        unit = translator.stage2(translator.stage1(
+            "SELECT CUSTOMERID, COUNT(*), SUM(CREDITLIMIT), 5 "
+            "FROM CUSTOMERS GROUP BY CUSTOMERID"))
+        nullable = [c.nullable for c in unit.bound.result_columns]
+        assert nullable == [True, False, True, False]
+
+    def test_metadata_cached_across_translations(self):
+        runtime = build_runtime()
+        api = runtime.metadata_api()
+        translator = SQLToXQueryTranslator(api)
+        translator.translate("SELECT * FROM CUSTOMERS")
+        translator.translate("SELECT CUSTOMERID FROM CUSTOMERS")
+        assert api.call_count == 1

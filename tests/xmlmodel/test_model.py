@@ -1,0 +1,138 @@
+"""Tests for the XML node model: string values, deep-equal, copying."""
+
+from repro.xmlmodel import (
+    Attribute,
+    Document,
+    Element,
+    QName,
+    Text,
+    copy_node,
+    deep_equal,
+    element,
+)
+
+
+def customers_row(cid="55", name="Joe"):
+    return element("CUSTOMERS",
+                   element("CUSTOMERID", cid),
+                   element("CUSTOMERNAME", name))
+
+
+class TestElement:
+    def test_string_value_concatenates_descendants(self):
+        row = customers_row()
+        assert row.string_value() == "55Joe"
+
+    def test_child_elements_by_name(self):
+        row = customers_row()
+        kids = list(row.child_elements("CUSTOMERID"))
+        assert len(kids) == 1
+        assert kids[0].string_value() == "55"
+
+    def test_child_elements_all(self):
+        assert len(list(customers_row().child_elements())) == 2
+
+    def test_child_elements_skips_text(self):
+        elem = element("X", "text", element("Y"))
+        assert [c.name.local for c in elem.child_elements()] == ["Y"]
+
+    def test_empty_element_is_null_marker(self):
+        assert element("PAYMENT").is_empty()
+        assert not customers_row().is_empty()
+
+    def test_attribute_lookup(self):
+        elem = Element(QName("X"), attributes=[Attribute(QName("a"), "1")])
+        assert elem.attribute("a").value == "1"
+        assert elem.attribute("b") is None
+
+    def test_append(self):
+        elem = element("X")
+        elem.append(Text("hi"))
+        assert elem.string_value() == "hi"
+
+
+class TestDocument:
+    def test_root(self):
+        doc = Document(children=[element("R")])
+        assert doc.root().name.local == "R"
+
+    def test_root_requires_single_element(self):
+        doc = Document(children=[element("A"), element("B")])
+        try:
+            doc.root()
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestDeepEqual:
+    def test_equal_trees(self):
+        assert deep_equal(customers_row(), customers_row())
+
+    def test_unequal_text(self):
+        assert not deep_equal(customers_row("55"), customers_row("56"))
+
+    def test_unequal_structure(self):
+        a = element("X", element("Y"))
+        b = element("X")
+        assert not deep_equal(a, b)
+
+    def test_name_mismatch(self):
+        assert not deep_equal(element("X"), element("Z"))
+
+    def test_namespace_mismatch(self):
+        a = Element(QName("X", "u1"))
+        b = Element(QName("X", "u2"))
+        assert not deep_equal(a, b)
+
+    def test_prefix_ignored(self):
+        a = Element(QName("X", "u", prefix="p"))
+        b = Element(QName("X", "u", prefix="q"))
+        assert deep_equal(a, b)
+
+    def test_attributes_unordered(self):
+        a = Element(QName("X"), attributes=[Attribute(QName("a"), "1"),
+                                            Attribute(QName("b"), "2")])
+        b = Element(QName("X"), attributes=[Attribute(QName("b"), "2"),
+                                            Attribute(QName("a"), "1")])
+        assert deep_equal(a, b)
+
+    def test_attribute_value_mismatch(self):
+        a = Element(QName("X"), attributes=[Attribute(QName("a"), "1")])
+        b = Element(QName("X"), attributes=[Attribute(QName("a"), "2")])
+        assert not deep_equal(a, b)
+
+    def test_adjacent_text_nodes_merge(self):
+        a = element("X", "ab")
+        b = element("X", "a", "b")
+        assert deep_equal(a, b)
+
+    def test_type_annotation_ignored(self):
+        a = element("X", "1", type_annotation="integer")
+        b = element("X", "1")
+        assert deep_equal(a, b)
+
+    def test_documents(self):
+        assert deep_equal(Document([element("X")]), Document([element("X")]))
+        assert not deep_equal(Document([element("X")]),
+                              Document([element("Y")]))
+
+    def test_mixed_kinds_unequal(self):
+        assert not deep_equal(element("X"), Text("X"))
+
+
+class TestCopyNode:
+    def test_copy_is_deep(self):
+        original = customers_row()
+        clone = copy_node(original)
+        assert deep_equal(original, clone)
+        clone.children[0].children[0] = Text("99")
+        assert original.children[0].string_value() == "55"
+
+    def test_copy_preserves_annotation_and_attrs(self):
+        elem = Element(QName("X"), attributes=[Attribute(QName("a"), "1")],
+                       children=[Text("v")], type_annotation="integer")
+        clone = copy_node(elem)
+        assert clone.type_annotation == "integer"
+        assert clone.attribute("a").value == "1"

@@ -1,0 +1,60 @@
+"""Tests for QName parsing, equality, and NCName validation."""
+
+import pytest
+
+from repro.xmlmodel import QName, is_ncname
+
+
+class TestQName:
+    def test_equality_ignores_prefix(self):
+        a = QName("CUSTOMERS", "ld:App/CUSTOMERS", prefix="ns0")
+        b = QName("CUSTOMERS", "ld:App/CUSTOMERS", prefix="other")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_uri(self):
+        a = QName("CUSTOMERS", "uri-a")
+        b = QName("CUSTOMERS", "uri-b")
+        assert a != b
+
+    def test_inequality_on_local(self):
+        assert QName("A") != QName("B")
+
+    def test_lexical_with_prefix(self):
+        assert QName("CUSTOMERS", "u", prefix="ns0").lexical == "ns0:CUSTOMERS"
+
+    def test_lexical_without_prefix(self):
+        assert QName("RECORD").lexical == "RECORD"
+
+    def test_parse_prefixed(self):
+        q = QName.parse("ns0:CUSTOMERS", {"ns0": "ld:App/CUSTOMERS"})
+        assert q.local == "CUSTOMERS"
+        assert q.uri == "ld:App/CUSTOMERS"
+        assert q.prefix == "ns0"
+
+    def test_parse_default_namespace(self):
+        q = QName.parse("RECORD", {"": "default-uri"})
+        assert q.uri == "default-uri"
+        assert q.prefix == ""
+
+    def test_parse_no_default(self):
+        q = QName.parse("RECORD", {})
+        assert q.uri == ""
+
+    def test_parse_unknown_prefix_raises(self):
+        with pytest.raises(KeyError):
+            QName.parse("nope:X", {})
+
+    def test_empty_local_rejected(self):
+        with pytest.raises(ValueError):
+            QName("")
+
+
+class TestNCName:
+    @pytest.mark.parametrize("name", ["A", "_x", "CUSTOMER_ID", "a-b.c1"])
+    def test_valid(self, name):
+        assert is_ncname(name)
+
+    @pytest.mark.parametrize("name", ["", "1a", "-a", "a:b", "a b"])
+    def test_invalid(self, name):
+        assert not is_ncname(name)

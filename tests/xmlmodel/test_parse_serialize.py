@@ -1,0 +1,153 @@
+"""Tests for XML parsing, serialization, and escaping round-trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import XMLParseError
+from repro.xmlmodel import (
+    deep_equal,
+    element,
+    escape_attribute,
+    escape_text,
+    parse_document,
+    parse_element,
+    parse_fragment,
+    serialize,
+    unescape,
+)
+
+
+class TestParser:
+    def test_simple_element(self):
+        elem = parse_element("<A>hi</A>")
+        assert elem.name.local == "A"
+        assert elem.string_value() == "hi"
+
+    def test_self_closing(self):
+        assert parse_element("<A/>").is_empty()
+
+    def test_nested(self):
+        elem = parse_element("<CUSTOMERS><CUSTOMERID>55</CUSTOMERID>"
+                             "<CUSTOMERNAME>Joe</CUSTOMERNAME></CUSTOMERS>")
+        assert [c.name.local for c in elem.child_elements()] == [
+            "CUSTOMERID", "CUSTOMERNAME"]
+
+    def test_attributes(self):
+        elem = parse_element('<A x="1" y=\'2\'/>')
+        assert elem.attribute("x").value == "1"
+        assert elem.attribute("y").value == "2"
+
+    def test_namespace_declaration(self):
+        elem = parse_element('<ns0:CUSTOMERS xmlns:ns0="ld:App/CUSTOMERS"/>')
+        assert elem.name.uri == "ld:App/CUSTOMERS"
+        assert elem.name.prefix == "ns0"
+
+    def test_default_namespace_inherited(self):
+        elem = parse_element('<A xmlns="u"><B/></A>')
+        child = next(elem.child_elements())
+        assert child.name.uri == "u"
+
+    def test_unprefixed_attribute_in_no_namespace(self):
+        elem = parse_element('<A xmlns="u" x="1"/>')
+        assert elem.attribute("x").name.uri == ""
+
+    def test_entities(self):
+        elem = parse_element("<A>&lt;a &amp; b&gt; &#65;&#x42;</A>")
+        assert elem.string_value() == "<a & b> AB"
+
+    def test_cdata(self):
+        elem = parse_element("<A><![CDATA[<raw & stuff>]]></A>")
+        assert elem.string_value() == "<raw & stuff>"
+
+    def test_comment_and_pi_skipped(self):
+        doc = parse_document("<?xml version='1.0'?><!-- hi --><A><!--x-->"
+                             "<?pi data?>t</A>")
+        assert doc.root().string_value() == "t"
+
+    def test_fragment_sequence(self):
+        nodes = parse_fragment("<A/><B/>")
+        assert [n.name.local for n in nodes] == ["A", "B"]
+
+    @pytest.mark.parametrize("bad", [
+        "<A>",                      # unterminated
+        "<A></B>",                  # mismatched close
+        "<A x=1/>",                 # unquoted attribute
+        "<A/><B/>",                 # two roots for parse_document
+        "<A>&bogus;</A>",           # unknown entity
+        "<p:A/>",                   # undeclared prefix
+        "",                         # nothing
+        "<A><![CDATA[x</A>",        # unterminated CDATA
+        "<!-- x <A/>",              # unterminated comment
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(XMLParseError):
+            parse_document(bad)
+
+
+class TestSerializer:
+    def test_compact_roundtrip(self):
+        elem = element("CUSTOMERS",
+                       element("CUSTOMERID", "55"),
+                       element("CUSTOMERNAME", "Joe & Sons <Ltd>"))
+        text = serialize(elem)
+        assert deep_equal(parse_element(text), elem)
+
+    def test_empty_element_serialized_self_closed(self):
+        assert serialize(element("PAYMENT")) == "<PAYMENT/>"
+
+    def test_attribute_escaping(self):
+        text = serialize(parse_element('<A x="a&quot;b&amp;c"/>'))
+        assert 'x="a&quot;b&amp;c"' in text
+
+    def test_pretty_print_has_newlines(self):
+        elem = element("R", element("A", "1"), element("B", "2"))
+        pretty = serialize(elem, indent=2)
+        assert "\n  <A>1</A>" in pretty
+
+    def test_namespaced_roundtrip(self):
+        src = ('<ns0:CUSTOMERS xmlns:ns0="ld:App/CUSTOMERS">'
+               "<CUSTOMERID>55</CUSTOMERID></ns0:CUSTOMERS>")
+        parsed = parse_element(src)
+        # Prefix survives serialization; note xmlns decls are not re-emitted
+        # by the serializer (the engine works with expanded names).
+        assert "ns0:CUSTOMERS" in serialize(parsed)
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("<a> & b") == "&lt;a&gt; &amp; b"
+
+    def test_escape_attribute_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+    def test_unescape_inverse(self):
+        assert unescape("&lt;&gt;&amp;&quot;&apos;") == "<>&\"'"
+
+    @given(st.text())
+    def test_text_escape_roundtrip(self, text):
+        assert unescape(escape_text(text)) == text
+
+    @given(st.text())
+    def test_attribute_escape_roundtrip(self, text):
+        assert unescape(escape_attribute(text)) == text
+
+
+@given(st.recursive(
+    st.text(alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+            min_size=1).map(lambda s: ("text", s)),
+    lambda children: st.tuples(
+        st.sampled_from(["A", "B", "ROW", "COL_1"]),
+        st.lists(children, max_size=4)).map(lambda t: ("elem",) + t),
+    max_leaves=12).filter(lambda n: n[0] == "elem"))
+def test_tree_serialize_parse_roundtrip(tree):
+    """Property: any tree we can build serializes and parses back equal."""
+
+    def build(node):
+        if node[0] == "text":
+            return node[1]
+        name, kids = node[1], node[2]
+        return element(name, *[build(k) for k in kids])
+
+    root = build(tree)
+    assert deep_equal(parse_element(serialize(root)), root)

@@ -1,0 +1,73 @@
+"""Serializer edge cases: node kinds, pretty printing, documents."""
+
+from repro.xmlmodel import (
+    Attribute,
+    Document,
+    QName,
+    Text,
+    element,
+    serialize,
+    serialize_sequence,
+)
+
+
+class TestNodeKinds:
+    def test_text_node(self):
+        assert serialize(Text("a<b")) == "a&lt;b"
+
+    def test_attribute_node(self):
+        attr = Attribute(QName("x"), 'v"w')
+        assert serialize(attr) == 'x="v&quot;w"'
+
+    def test_document_with_multiple_children(self):
+        doc = Document(children=[element("A"), element("B")])
+        assert serialize(doc) == "<A/><B/>"
+
+    def test_sequence_compact(self):
+        nodes = [element("A", "1"), Text("mid"), element("B")]
+        assert serialize_sequence(nodes) == "<A>1</A>mid<B/>"
+
+    def test_sequence_pretty_separates_lines(self):
+        nodes = [element("A"), element("B")]
+        assert serialize_sequence(nodes, indent=2) == "<A/>\n<B/>"
+
+
+class TestPrettyPrinting:
+    def test_text_only_elements_stay_inline(self):
+        tree = element("R", element("A", "text"))
+        pretty = serialize(tree, indent=2)
+        assert "<A>text</A>" in pretty
+
+    def test_nested_structure_indents(self):
+        tree = element("R", element("S", element("T", "v")))
+        pretty = serialize(tree, indent=2)
+        assert "\n  <S>" in pretty
+        assert "\n    <T>v</T>" in pretty
+        assert pretty.endswith("</R>")
+
+    def test_mixed_content_text_indented(self):
+        tree = element("R", "words", element("A"))
+        pretty = serialize(tree, indent=2)
+        assert "\n  words" in pretty
+
+    def test_document_pretty(self):
+        doc = Document(children=[element("R", element("A", "1"))])
+        pretty = serialize(doc, indent=2)
+        assert pretty.startswith("<R>")
+
+
+class TestEscapingInSerialization:
+    def test_text_children_escaped(self):
+        assert serialize(element("A", "a & b < c")) == \
+            "<A>a &amp; b &lt; c</A>"
+
+    def test_attribute_values_escaped(self):
+        from repro.xmlmodel import Element
+        elem = Element(QName("A"),
+                       attributes=[Attribute(QName("x"), "<&\">")])
+        assert serialize(elem) == '<A x="&lt;&amp;&quot;&gt;"/>'
+
+    def test_prefixed_names_serialized(self):
+        from repro.xmlmodel import Element
+        elem = Element(QName("T", "urn:x", prefix="p"))
+        assert serialize(elem) == "<p:T/>"

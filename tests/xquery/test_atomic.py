@@ -1,0 +1,261 @@
+"""Tests for atomic values: atomization, EBV, arithmetic, comparisons."""
+
+import datetime
+import math
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import XQueryDynamicError, XQueryTypeError
+from repro.xmlmodel import Text, element
+from repro.xquery.atomic import (
+    UntypedAtomic,
+    arithmetic,
+    atomize,
+    cast_to,
+    effective_boolean_value,
+    general_comparison,
+    negate,
+    order_key,
+    serialize_atomic,
+    value_comparison,
+)
+
+
+class TestAtomization:
+    def test_untyped_element(self):
+        values = atomize([element("X", "abc")])
+        assert values == ["abc"]
+        assert isinstance(values[0], UntypedAtomic)
+
+    def test_typed_element(self):
+        elem = element("X", "42", type_annotation="int")
+        assert atomize([elem]) == [42]
+
+    def test_typed_decimal(self):
+        elem = element("X", " 4.50 ", type_annotation="decimal")
+        assert atomize([elem]) == [Decimal("4.50")]
+
+    def test_typed_date(self):
+        elem = element("X", "2020-01-31", type_annotation="date")
+        assert atomize([elem]) == [datetime.date(2020, 1, 31)]
+
+    def test_empty_element_is_null(self):
+        assert atomize([element("X")]) == []
+
+    def test_text_node(self):
+        assert atomize([Text("hi")]) == ["hi"]
+
+    def test_atomic_passthrough(self):
+        assert atomize([5, "x"]) == [5, "x"]
+
+    def test_bad_typed_content(self):
+        elem = element("X", "notanint", type_annotation="int")
+        with pytest.raises(XQueryDynamicError):
+            atomize([elem])
+
+
+class TestEBV:
+    @pytest.mark.parametrize("seq,expected", [
+        ([], False),
+        ([True], True),
+        ([False], False),
+        ([0], False),
+        ([3], True),
+        ([0.0], False),
+        ([float("nan")], False),
+        ([""], False),
+        (["x"], True),
+        ([UntypedAtomic("")], False),
+        ([element("X")], True),               # node -> true even if empty
+        ([element("X"), element("Y")], True),
+    ])
+    def test_ebv(self, seq, expected):
+        assert effective_boolean_value(seq) is expected
+
+    def test_multi_atomic_errors(self):
+        with pytest.raises(XQueryTypeError):
+            effective_boolean_value([1, 2])
+
+
+class TestArithmetic:
+    def test_int_addition(self):
+        assert arithmetic("+", [2], [3]) == [5]
+
+    def test_empty_propagates(self):
+        assert arithmetic("+", [], [3]) == []
+        assert arithmetic("*", [3], []) == []
+
+    def test_int_div_is_decimal(self):
+        assert arithmetic("div", [7], [2]) == [Decimal("3.5")]
+
+    def test_idiv_truncates_toward_zero(self):
+        assert arithmetic("idiv", [7], [2]) == [3]
+        assert arithmetic("idiv", [-7], [2]) == [-3]
+
+    def test_mod_sign_follows_dividend(self):
+        assert arithmetic("mod", [7], [3]) == [1]
+        assert arithmetic("mod", [-7], [3]) == [-1]
+
+    def test_decimal_promotion(self):
+        result = arithmetic("+", [Decimal("1.5")], [2])
+        assert result == [Decimal("3.5")]
+        assert isinstance(result[0], Decimal)
+
+    def test_float_promotion(self):
+        result = arithmetic("*", [2.0], [Decimal("1.5")])
+        assert result == [3.0]
+        assert isinstance(result[0], float)
+
+    def test_untyped_coerced_to_double(self):
+        result = arithmetic("+", [UntypedAtomic("2")], [3])
+        assert result == [5.0]
+
+    def test_untyped_non_numeric_errors(self):
+        with pytest.raises(XQueryDynamicError):
+            arithmetic("+", [UntypedAtomic("abc")], [3])
+
+    def test_non_numeric_errors(self):
+        with pytest.raises(XQueryTypeError):
+            arithmetic("+", ["x"], [3])
+
+    def test_integer_division_by_zero(self):
+        with pytest.raises(XQueryDynamicError):
+            arithmetic("div", [1], [0])
+
+    def test_float_division_by_zero_is_inf(self):
+        assert arithmetic("div", [1.0], [0.0]) == [math.inf]
+        assert math.isnan(arithmetic("div", [0.0], [0.0])[0])
+
+    def test_negate(self):
+        assert negate([5]) == [-5]
+        assert negate([]) == []
+
+    def test_sequence_operand_errors(self):
+        with pytest.raises(XQueryTypeError):
+            arithmetic("+", [1, 2], [3])
+
+
+class TestValueComparison:
+    def test_numeric(self):
+        assert value_comparison("lt", [2], [3]) == [True]
+        assert value_comparison("ge", [2], [3]) == [False]
+
+    def test_empty_yields_empty(self):
+        assert value_comparison("eq", [], [3]) == []
+        assert value_comparison("eq", [3], []) == []
+
+    def test_cross_numeric_kinds(self):
+        assert value_comparison("eq", [2], [Decimal("2.0")]) == [True]
+        assert value_comparison("eq", [2], [2.0]) == [True]
+
+    def test_untyped_compares_as_string(self):
+        assert value_comparison("eq", [UntypedAtomic("10")], ["10"]) == [True]
+
+    def test_strings(self):
+        assert value_comparison("lt", ["abc"], ["abd"]) == [True]
+
+    def test_dates(self):
+        a = datetime.date(2020, 1, 1)
+        b = datetime.date(2021, 1, 1)
+        assert value_comparison("lt", [a], [b]) == [True]
+
+    def test_incomparable_types(self):
+        with pytest.raises(XQueryTypeError):
+            value_comparison("eq", [1], ["x"])
+
+    def test_bool_vs_int_incomparable(self):
+        with pytest.raises(XQueryTypeError):
+            value_comparison("eq", [True], [1])
+
+
+class TestGeneralComparison:
+    def test_existential(self):
+        assert general_comparison("=", [1, 2, 3], [3, 9]) is True
+        assert general_comparison("=", [1, 2], [5]) is False
+
+    def test_empty_is_false(self):
+        assert general_comparison("=", [], [1]) is False
+
+    def test_untyped_coerced_to_numeric(self):
+        assert general_comparison(">", [UntypedAtomic("11")], [9]) is True
+        # As strings, "11" < "9"; numeric coercion must win.
+
+    def test_untyped_vs_untyped_as_strings(self):
+        assert general_comparison("=", [UntypedAtomic("a")],
+                                  [UntypedAtomic("a")]) is True
+
+    def test_untyped_vs_date(self):
+        d = datetime.date(2020, 5, 1)
+        assert general_comparison("=", [UntypedAtomic("2020-05-01")],
+                                  [d]) is True
+
+
+class TestSerializeAtomic:
+    @pytest.mark.parametrize("value,expected", [
+        (12, "12"),
+        (12.0, "12"),            # SQL-friendly, not canonical 1.2E1
+        (1.5, "1.5"),
+        (Decimal("4.50"), "4.50"),
+        (True, "true"),
+        (False, "false"),
+        ("x", "x"),
+        (datetime.date(2020, 1, 31), "2020-01-31"),
+        (datetime.time(10, 30), "10:30:00"),
+        (datetime.datetime(2020, 1, 31, 10, 30), "2020-01-31T10:30:00"),
+        (math.inf, "INF"),
+        (-math.inf, "-INF"),
+    ])
+    def test_forms(self, value, expected):
+        assert serialize_atomic(value) == expected
+
+    def test_nan(self):
+        assert serialize_atomic(float("nan")) == "NaN"
+
+
+class TestCasts:
+    def test_cast_empty_yields_empty(self):
+        assert cast_to("integer", []) == []
+
+    def test_cast_untyped_to_int(self):
+        assert cast_to("int", [UntypedAtomic(" 42 ")]) == [42]
+
+    def test_cast_string(self):
+        assert cast_to("string", [12]) == ["12"]
+
+    def test_cast_decimal_from_float(self):
+        assert cast_to("decimal", [0.1]) == [Decimal("0.1")]
+
+    def test_cast_boolean(self):
+        assert cast_to("boolean", [UntypedAtomic("1")]) == [True]
+        assert cast_to("boolean", [0]) == [False]
+
+    def test_cast_date(self):
+        assert cast_to("date", ["2020-01-31"]) == \
+            [datetime.date(2020, 1, 31)]
+
+    def test_cast_datetime_from_date(self):
+        assert cast_to("dateTime", [datetime.date(2020, 1, 31)]) == \
+            [datetime.datetime(2020, 1, 31)]
+
+    def test_cast_failure(self):
+        with pytest.raises(XQueryDynamicError):
+            cast_to("integer", ["notanumber"])
+
+    def test_unknown_target(self):
+        with pytest.raises(XQueryTypeError):
+            cast_to("anyURI", ["x"])
+
+
+class TestOrderKey:
+    def test_none_sorts_least(self):
+        values = [5, None, 2]
+        ordered = sorted(values, key=order_key)
+        assert ordered[0] is None
+
+    def test_numeric_order(self):
+        assert order_key(2) < order_key(Decimal(3))
+
+    def test_unorderable(self):
+        with pytest.raises(XQueryTypeError):
+            order_key(object())

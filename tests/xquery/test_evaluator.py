@@ -1,0 +1,450 @@
+"""Tests for the XQuery evaluator: FLWOR, paths, constructors, functions."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import (
+    XQueryDynamicError,
+    XQueryStaticError,
+    XQueryTypeError,
+)
+from repro.xmlmodel import Element, Text, element, serialize
+from repro.xquery import UntypedAtomic, execute_xquery
+from repro.xquery.functions import BEA_URI
+
+
+def run(text, variables=None, resolver=None):
+    return execute_xquery(text, resolver=resolver, variables=variables)
+
+
+def customers_rows():
+    """Typed rows as the DSP runtime would produce them."""
+    rows = []
+    for cid, name in [(55, "Joe"), (23, "Sue"), (7, "Ann")]:
+        rows.append(element(
+            "CUSTOMERS",
+            element("CUSTOMERID", str(cid), type_annotation="int"),
+            element("CUSTOMERNAME", name, type_annotation="string")))
+    return rows
+
+
+class TestBasics:
+    def test_literal(self):
+        assert run("42") == [42]
+
+    def test_arithmetic(self):
+        assert run("(1 + 2) * 3") == [9]
+
+    def test_sequence_flattening(self):
+        assert run("(1, (2, 3), ())") == [1, 2, 3]
+
+    def test_variable_binding(self):
+        assert run("$x + 1", variables={"x": 41}) == [42]
+
+    def test_unbound_variable(self):
+        with pytest.raises(XQueryStaticError):
+            run("$nope")
+
+    def test_external_variable_declared(self):
+        result = run('declare variable $p1 as xs:int external;\n$p1 * 2',
+                     variables={"p1": 21})
+        assert result == [42]
+
+    def test_external_variable_missing(self):
+        with pytest.raises(XQueryDynamicError):
+            run('declare variable $p1 external;\n$p1')
+
+    def test_if_else(self):
+        assert run("if (1 eq 1) then 'y' else 'n'") == ["y"]
+        assert run("if (fn:empty((1))) then 'y' else 'n'") == ["n"]
+
+    def test_range(self):
+        assert run("1 to 4") == [1, 2, 3, 4]
+        assert run("3 to 2") == []
+
+    def test_quantified(self):
+        assert run("some $x in (1, 2, 3) satisfies $x eq 2") == [True]
+        assert run("every $x in (1, 2, 3) satisfies $x > 0") == [True]
+        assert run("every $x in (1, 2, 3) satisfies $x > 1") == [False]
+        assert run("some $x in () satisfies $x eq 1") == [False]
+
+    def test_and_or_ebv(self):
+        assert run("1 eq 1 and 2 eq 2") == [True]
+        assert run("1 eq 2 or 2 eq 2") == [True]
+        # Short-circuit: the right side would error if evaluated.
+        assert run("1 eq 2 and (1 div 0) eq 1") == [False]
+
+
+class TestPathsAndPredicates:
+    def test_child_step(self):
+        rows = customers_rows()
+        result = run("$rows/CUSTOMERID", variables={"rows": rows})
+        assert [e.string_value() for e in result] == ["55", "23", "7"]
+
+    def test_wildcard(self):
+        rows = customers_rows()
+        result = run("$rows/*", variables={"rows": rows})
+        assert len(result) == 6
+
+    def test_typed_atomization_through_fn_data(self):
+        rows = customers_rows()
+        assert run("fn:data($rows/CUSTOMERID)",
+                   variables={"rows": rows}) == [55, 23, 7]
+
+    def test_predicate_boolean(self):
+        rows = customers_rows()
+        result = run('$rows[CUSTOMERNAME eq "Sue"]/CUSTOMERID',
+                     variables={"rows": rows})
+        assert run("fn:data($r)", variables={"r": result}) == [23]
+
+    def test_predicate_positional(self):
+        rows = customers_rows()
+        result = run("fn:data($rows[2]/CUSTOMERNAME)",
+                     variables={"rows": rows})
+        assert result == ["Sue"]
+
+    def test_filter_general_comparison_against_context(self):
+        rows = customers_rows()
+        result = run("$rows[(CUSTOMERID = 55)]",
+                     variables={"rows": rows})
+        assert len(result) == 1
+
+    def test_path_on_atomic_errors(self):
+        with pytest.raises(XQueryTypeError):
+            run("$x/Y", variables={"x": 5})
+
+    def test_context_item_undefined_outside_predicate(self):
+        with pytest.raises(XQueryDynamicError):
+            run(".")
+
+
+class TestConstructors:
+    def test_simple(self):
+        result = run("<A>hi</A>")
+        assert serialize(result[0]) == "<A>hi</A>"
+
+    def test_enclosed_atomics_space_joined(self):
+        result = run("<A>{(1, 2, 3)}</A>")
+        assert serialize(result[0]) == "<A>1 2 3</A>"
+
+    def test_enclosed_empty_makes_empty_element(self):
+        result = run("<A>{()}</A>")
+        assert result[0].is_empty()
+
+    def test_nodes_copied_into_content(self):
+        rows = customers_rows()
+        result = run("<WRAP>{$rows[1]}</WRAP>", variables={"rows": rows})
+        inner = next(result[0].child_elements("CUSTOMERS"))
+        assert inner.string_value() == "55Joe"
+        # It must be a copy, not the original node.
+        inner.children.clear()
+        assert rows[0].string_value() == "55Joe"
+
+    def test_adjacent_literal_and_enclosed(self):
+        result = run("<A>x{1}y</A>")
+        assert result[0].string_value() == "x1y"
+
+    def test_attribute_constructor(self):
+        result = run('<A id="r{1 + 1}"/>')
+        assert result[0].attribute("id").value == "r2"
+
+    def test_constructed_elements_untyped(self):
+        result = run("<A>{5}</A>")
+        values = run("fn:data($a)", variables={"a": result})
+        assert values == ["5"]
+        assert isinstance(values[0], UntypedAtomic)
+
+
+class TestFLWOR:
+    def test_for_iteration(self):
+        assert run("for $x in (1, 2, 3) return $x * 10") == [10, 20, 30]
+
+    def test_cartesian_product(self):
+        result = run("for $a in (1, 2), $b in (10, 20) return $a + $b")
+        assert result == [11, 21, 12, 22]
+
+    def test_let_binds_whole_sequence(self):
+        assert run("let $s := (1, 2, 3) return fn:count($s)") == [3]
+
+    def test_where_filters(self):
+        assert run("for $x in (1, 2, 3, 4) where $x mod 2 eq 0 "
+                   "return $x") == [2, 4]
+
+    def test_order_by(self):
+        assert run("for $x in (3, 1, 2) order by $x return $x") == [1, 2, 3]
+
+    def test_order_by_descending(self):
+        assert run("for $x in (3, 1, 2) order by $x descending "
+                   "return $x") == [3, 2, 1]
+
+    def test_order_by_empty_least(self):
+        rows = [element("R", element("K", "2", type_annotation="int")),
+                element("R", element("K")),
+                element("R", element("K", "1", type_annotation="int"))]
+        result = run("for $r in $rows order by fn:data($r/K) return "
+                     "fn:count(fn:data($r/K))", variables={"rows": rows})
+        assert result == [0, 1, 1]
+
+    def test_order_by_stable(self):
+        rows = [("a", 1), ("b", 1), ("c", 0)]
+        elems = [element("R", element("N", n),
+                         element("K", str(k), type_annotation="int"))
+                 for n, k in rows]
+        result = run(
+            "for $r in $rows order by fn:data($r/K) return "
+            "fn:string(fn:data($r/N))", variables={"rows": elems})
+        assert result == ["c", "a", "b"]
+
+    def test_nested_flwor(self):
+        result = run("for $x in (1, 2) return (for $y in (10, 20) "
+                     "return $x * $y)")
+        assert result == [10, 20, 20, 40]
+
+    def test_paper_example_3(self):
+        """The paper's Example 3 query shape over sample data."""
+        rows = customers_rows()
+        result = run('''
+            for $c in $rows
+            where $c/CUSTOMERNAME eq "Sue"
+            return
+            <RECORD>
+              <CUSTOMERS.CUSTOMERID>{fn:data($c/CUSTOMERID)}
+              </CUSTOMERS.CUSTOMERID>
+              <CUSTOMERS.CUSTOMERNAME>{fn:data($c/CUSTOMERNAME)}
+              </CUSTOMERS.CUSTOMERNAME>
+            </RECORD>''', variables={"rows": rows})
+        assert len(result) == 1
+        record = result[0]
+        assert record.name.local == "RECORD"
+        kids = list(record.child_elements())
+        assert kids[0].string_value().strip() == "23"
+        assert kids[1].string_value().strip() == "Sue"
+
+
+class TestGroupClause:
+    ROWS = [("x", 1), ("y", 1), ("x", 2), ("x", 1)]
+
+    def rows(self):
+        return [element("R",
+                        element("K", k, type_annotation="string"),
+                        element("V", str(v), type_annotation="int"))
+                for k, v in self.ROWS]
+
+    def test_group_partitions(self):
+        result = run(
+            "for $r in $rows group $r as $p by fn:data($r/K) as $k "
+            "return fn:count($p)", variables={"rows": self.rows()})
+        assert result == [3, 1]  # x appears 3 times, y once
+
+    def test_group_key_binding(self):
+        result = run(
+            "for $r in $rows group $r as $p by fn:data($r/K) as $k "
+            "return $k", variables={"rows": self.rows()})
+        assert result == ["x", "y"]
+
+    def test_group_by_two_keys(self):
+        result = run(
+            "for $r in $rows group $r as $p by fn:data($r/K) as $k, "
+            "fn:data($r/V) as $v return fn:count($p)",
+            variables={"rows": self.rows()})
+        assert result == [2, 1, 1]
+
+    def test_group_aggregate_over_partition(self):
+        result = run(
+            "for $r in $rows group $r as $p by fn:data($r/K) as $k "
+            "return fn:sum(fn:data($p/V), ())",
+            variables={"rows": self.rows()})
+        assert result == [4, 1]
+
+    def test_null_keys_group_together(self):
+        rows = [element("R", element("K")),
+                element("R", element("K")),
+                element("R", element("K", "a", type_annotation="string"))]
+        result = run(
+            "for $r in $rows group $r as $p by fn:data($r/K) as $k "
+            "return fn:count($p)", variables={"rows": rows})
+        assert result == [2, 1]
+
+    def test_numeric_keys_cross_representation(self):
+        rows = [element("R", element("K", "2", type_annotation="int")),
+                element("R", element("K", "2.0",
+                                     type_annotation="decimal"))]
+        result = run(
+            "for $r in $rows group $r as $p by fn:data($r/K) as $k "
+            "return fn:count($p)", variables={"rows": rows})
+        assert result == [2]
+
+    def test_having_shape(self):
+        result = run(
+            "for $r in $rows group $r as $p by fn:data($r/K) as $k "
+            "where fn:count($p) > 1 return $k",
+            variables={"rows": self.rows()})
+        assert result == ["x"]
+
+
+class TestFunctionLibrary:
+    def test_string_functions(self):
+        assert run('fn:upper-case("abc")') == ["ABC"]
+        assert run('fn:lower-case("ABC")') == ["abc"]
+        assert run('fn:concat("a", "b", "c")') == ["abc"]
+        assert run('fn:substring("hello", 2, 3)') == ["ell"]
+        assert run('fn:substring("hello", 3)') == ["llo"]
+        assert run('fn:string-length("abc")') == [3]
+        assert run('fn:contains("abc", "b")') == [True]
+        assert run('fn:starts-with("abc", "a")') == [True]
+        assert run('fn:ends-with("abc", "c")') == [True]
+        assert run('fn:string-join(("a", "b"), "-")') == ["a-b"]
+
+    def test_numeric_functions(self):
+        assert run("fn:abs(-4)") == [4]
+        assert run("fn:round(2.5)") == [Decimal("3")]
+        assert run("fn:floor(2.7)") == [Decimal("2")]
+        assert run("fn:ceiling(2.1)") == [Decimal("3")]
+
+    def test_aggregates(self):
+        assert run("fn:count((1, 2, 3))") == [3]
+        assert run("fn:sum((1, 2, 3))") == [6]
+        assert run("fn:sum((), ())") == []
+        assert run("fn:avg((1, 2, 3))") == [Decimal(2)]
+        assert run("fn:avg(())") == []
+        assert run("fn:min((3, 1, 2))") == [1]
+        assert run("fn:max((3, 1, 2))") == [3]
+        assert run("fn:min(())") == []
+
+    def test_distinct_values(self):
+        assert run("fn:distinct-values((1, 2, 1, 3, 2))") == [1, 2, 3]
+
+    def test_empty_exists_not(self):
+        assert run("fn:empty(())") == [True]
+        assert run("fn:exists((1))") == [True]
+        assert run("fn:not(1 eq 1)") == [False]
+
+    def test_datetime_components(self):
+        assert run('fn:year-from-date(xs:date("2020-05-17"))') == [2020]
+        assert run('fn:month-from-date(xs:date("2020-05-17"))') == [5]
+        assert run('fn:day-from-date(xs:date("2020-05-17"))') == [17]
+        assert run('fn:hours-from-time(xs:time("10:30:00"))') == [10]
+
+    def test_xs_constructors(self):
+        assert run("xs:integer('42')") == [42]
+        assert run("xs:string(42)") == ["42"]
+        assert run("xs:double('1.5')") == [1.5]
+        assert run("xs:date('2020-01-31')") == [datetime.date(2020, 1, 31)]
+        assert run("xs:integer(())") == []
+
+    def test_unknown_function(self):
+        with pytest.raises(XQueryStaticError):
+            run("fn:no-such-function(1)")
+
+    def test_wrong_arity(self):
+        with pytest.raises(XQueryStaticError):
+            run("fn:count(1, 2)")
+
+    def test_undeclared_prefix(self):
+        with pytest.raises(XQueryStaticError):
+            run("nope:f()")
+
+
+class TestBeaFunctions:
+    def test_if_empty(self):
+        assert run('fn-bea:if-empty((), "d")') == ["d"]
+        assert run('fn-bea:if-empty("v", "d")') == ["v"]
+
+    def test_xml_escape(self):
+        assert run('fn-bea:xml-escape("<a>&")') == ["&lt;a&gt;&amp;"]
+
+    def test_serialize_atomic(self):
+        assert run("fn-bea:serialize-atomic(4.0e0)") == ["4"]
+        assert run("fn-bea:serialize-atomic(4.0)") == ["4.0"]  # decimal scale
+        assert run("fn-bea:serialize-atomic(())") == []
+
+    def test_trim(self):
+        assert run('fn-bea:trim("  x  ")') == ["x"]
+
+    def test_three_valued_logic(self):
+        assert run("fn-bea:not3(())") == []
+        assert run("fn-bea:not3(fn:true())") == [False]
+        assert run("fn-bea:and3(fn:false(), ())") == [False]
+        assert run("fn-bea:and3(fn:true(), ())") == []
+        assert run("fn-bea:or3(fn:true(), ())") == [True]
+        assert run("fn-bea:or3(fn:false(), ())") == []
+        assert run("fn-bea:and3(fn:true(), fn:true())") == [True]
+
+    def test_sql_like(self):
+        assert run('fn-bea:sql-like("hello", "h%o")') == [True]
+        assert run('fn-bea:sql-like("hello", "h_llo")') == [True]
+        assert run('fn-bea:sql-like("hello", "H%")') == [False]
+        assert run('fn-bea:sql-like("50%", "50!%", "!")') == [True]
+        assert run('fn-bea:sql-like((), "x")') == []
+
+    def test_in3(self):
+        items = [element("C", "1", type_annotation="int"),
+                 element("C", "2", type_annotation="int")]
+        null_item = [element("C")]
+        assert run("fn-bea:in3(2, $s)", variables={"s": items}) == [True]
+        assert run("fn-bea:in3(9, $s)", variables={"s": items}) == [False]
+        assert run("fn-bea:in3(9, $s)",
+                   variables={"s": items + null_item}) == []
+        assert run("fn-bea:in3((), $s)", variables={"s": items}) == []
+
+    def test_distinct_records(self):
+        rows = [element("R", element("A", "1")),
+                element("R", element("A", "1")),
+                element("R", element("A", "2"))]
+        result = run("fn-bea:distinct-records($r)", variables={"r": rows})
+        assert len(result) == 2
+
+    def test_intersect_records(self):
+        def r(v):
+            return element("R", element("A", v))
+
+        left = [r("1"), r("1"), r("2")]
+        right = [r("1"), r("3")]
+        distinct = run("fn-bea:intersect-records($l, $r, fn:false())",
+                       variables={"l": left, "r": right})
+        assert [x.string_value() for x in distinct] == ["1"]
+        bag = run("fn-bea:intersect-records($l, $r, fn:true())",
+                  variables={"l": left, "r": right})
+        assert [x.string_value() for x in bag] == ["1"]
+
+    def test_except_records(self):
+        def r(v):
+            return element("R", element("A", v))
+
+        left = [r("1"), r("1"), r("2")]
+        right = [r("1")]
+        distinct = run("fn-bea:except-records($l, $r, fn:false())",
+                       variables={"l": left, "r": right})
+        assert [x.string_value() for x in distinct] == ["2"]
+        bag = run("fn-bea:except-records($l, $r, fn:true())",
+                  variables={"l": left, "r": right})
+        assert [x.string_value() for x in bag] == ["1", "2"]
+
+    def test_scalar(self):
+        one = [element("RECORD", element("V", "7", type_annotation="int"))]
+        assert run("fn-bea:scalar($r)", variables={"r": one}) == [7]
+        assert run("fn-bea:scalar(())") == []
+        with pytest.raises(XQueryDynamicError):
+            run("fn-bea:scalar($r)", variables={"r": one + one})
+
+
+class TestResolver:
+    def test_data_service_function_resolution(self):
+        calls = []
+
+        def resolver(uri, local, args):
+            calls.append((uri, local))
+            return customers_rows()
+
+        result = run(
+            'import schema namespace ns0 = "ld:T/CUSTOMERS";\n'
+            "for $c in ns0:CUSTOMERS() return fn:data($c/CUSTOMERID)",
+            resolver=resolver)
+        assert result == [55, 23, 7]
+        assert calls == [("ld:T/CUSTOMERS", "CUSTOMERS")]
+
+    def test_no_resolver_errors(self):
+        with pytest.raises(XQueryStaticError):
+            run('import schema namespace ns0 = "u";\nns0:F()')

@@ -1,0 +1,156 @@
+"""Edge-case tests for the XQuery evaluator: error paths, clause
+interleavings, document nodes, and constructor corner cases."""
+
+import pytest
+
+from repro.errors import (
+    XQueryDynamicError,
+    XQueryStaticError,
+    XQueryTypeError,
+)
+from repro.xmlmodel import Attribute, Document, QName, element
+from repro.xquery import execute_xquery
+
+
+def run(text, variables=None):
+    return execute_xquery(text, variables=variables)
+
+
+class TestClauseInterleavings:
+    def test_let_between_fors(self):
+        result = run("for $a in (1, 2) let $d := $a * 10 "
+                     "for $b in (1, 2) return $d + $b")
+        assert result == [11, 12, 21, 22]
+
+    def test_multiple_where_clauses(self):
+        result = run("for $x in (1, 2, 3, 4, 5) where $x > 1 "
+                     "where $x < 5 where $x ne 3 return $x")
+        assert result == [2, 4]
+
+    def test_order_by_then_where_is_rejected_order(self):
+        # where after order by is accepted by the grammar and filters
+        # the ordered stream.
+        result = run("for $x in (3, 1, 2) order by $x where $x > 1 "
+                     "return $x")
+        assert result == [2, 3]
+
+    def test_group_then_order_by_key(self):
+        rows = [element("R", element("K", k)) for k in "bab"]
+        result = run(
+            "for $r in $rows group $r as $p by fn:string(fn:data($r/K)) "
+            "as $k order by $k return fn:concat($k, fn:string("
+            "fn:count($p)))", variables={"rows": rows})
+        assert result == ["a1", "b2"]
+
+    def test_let_shadows_outer_binding(self):
+        assert run("let $x := 1 return (let $x := 2 return $x)") == [2]
+
+    def test_for_over_let_bound_sequence(self):
+        assert run("let $s := (1 to 3) for $x in $s return $x * $x") \
+            == [1, 4, 9]
+
+
+class TestDocumentNodes:
+    def test_path_through_document(self):
+        doc = Document(children=[element("ROOT", element("A", "1"))])
+        assert run("fn:data($d/ROOT/A)", variables={"d": [doc]}) == ["1"]
+
+    def test_document_in_constructor_unwraps(self):
+        doc = Document(children=[element("A", "x")])
+        result = run("<W>{$d}</W>", variables={"d": [doc]})
+        assert result[0].string_value() == "x"
+
+
+class TestPredicates:
+    def test_last_position(self):
+        assert run("(10, 20, 30)[3]") == [30]
+
+    def test_out_of_range_position(self):
+        assert run("(10, 20)[5]") == []
+
+    def test_predicate_on_atomics(self):
+        assert run("(1, 2, 3)[. > 1]") == [2, 3]
+
+    def test_chained_predicates(self):
+        assert run("(1, 2, 3, 4)[. > 1][2]") == [3]
+
+    def test_decimal_position_matches_exact(self):
+        assert run("(10, 20)[1.0]") == [10]
+
+
+class TestErrors:
+    def test_attribute_in_content_rejected(self):
+        attr = Attribute(QName("a"), "1")
+        with pytest.raises(XQueryTypeError):
+            run("<A>{$x}</A>", variables={"x": [attr]})
+
+    def test_range_non_integer(self):
+        with pytest.raises(XQueryTypeError):
+            run('"a" to "b"')
+
+    def test_range_with_empty_is_empty(self):
+        assert run("() to 3") == []
+
+    def test_unknown_function_in_default_namespace(self):
+        # Unprefixed names resolve to fn:, which lacks the function.
+        with pytest.raises(XQueryStaticError):
+            run("unknown-fn(1)")
+
+    def test_division_by_zero_in_flwor(self):
+        with pytest.raises(XQueryDynamicError):
+            run("for $x in (1, 0) return 10 idiv $x")
+
+    def test_order_by_sequence_key_errors(self):
+        with pytest.raises(XQueryTypeError):
+            run("for $x in (1, 2) order by (1, 2) return $x")
+
+    def test_arith_on_nodes_uses_atomization(self):
+        rows = [element("K", "3", type_annotation="int")]
+        assert run("$r + 1", variables={"r": rows}) == [4]
+
+    def test_arith_on_multi_item_errors(self):
+        rows = [element("K", "3", type_annotation="int"),
+                element("K", "4", type_annotation="int")]
+        with pytest.raises(XQueryTypeError):
+            run("$r + 1", variables={"r": rows})
+
+
+class TestConstructorsEdge:
+    def test_nested_namespaced(self):
+        result = run(
+            'declare namespace p = "urn:p";\n'
+            "<p:OUTER><INNER>{1}</INNER></p:OUTER>")
+        outer = result[0]
+        assert outer.name.uri == "urn:p"
+        inner = next(outer.child_elements("INNER"))
+        assert inner.name.uri == ""
+
+    def test_sequence_of_constructors(self):
+        result = run("(<A/>, <B/>)")
+        assert [e.name.local for e in result] == ["A", "B"]
+
+    def test_constructor_inside_if(self):
+        result = run("if (1 eq 1) then <Y/> else <N/>")
+        assert result[0].name.local == "Y"
+
+    def test_deep_nesting(self):
+        result = run("<A><B><C>{40 + 2}</C></B></A>")
+        assert result[0].string_value() == "42"
+
+    def test_attribute_value_from_sequence(self):
+        result = run("<A k=\"{(1, 2)}\"/>")
+        assert result[0].attribute("k").value == "1 2"
+
+
+class TestExternalVariables:
+    def test_scalar_value_wrapped(self):
+        assert run("$x", variables={"x": 5}) == [5]
+
+    def test_none_is_empty_sequence(self):
+        assert run("fn:empty($x)", variables={"x": None}) == [True]
+
+    def test_list_passed_through(self):
+        assert run("fn:count($x)", variables={"x": [1, 2, 3]}) == [3]
+
+    def test_extra_variables_available_undeclared(self):
+        assert run("$y + 1", variables={"y": 1}) == [2]

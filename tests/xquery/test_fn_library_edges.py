@@ -1,0 +1,125 @@
+"""Coverage for fn: library functions not exercised elsewhere."""
+
+import math
+from decimal import Decimal
+
+import pytest
+
+from repro.xmlmodel import element
+from repro.xquery import execute_xquery
+
+
+def run(text, variables=None):
+    return execute_xquery(text, variables=variables)
+
+
+class TestSequenceFunctions:
+    def test_subsequence_two_args(self):
+        assert run("fn:subsequence((1, 2, 3, 4), 3)") == [3, 4]
+
+    def test_subsequence_three_args(self):
+        assert run("fn:subsequence((1, 2, 3, 4), 2, 2)") == [2, 3]
+
+    def test_subsequence_bounds(self):
+        assert run("fn:subsequence((1, 2), 0, 2)") == [1]
+        assert run("fn:subsequence((1, 2), 9)") == []
+
+    def test_reverse(self):
+        assert run("fn:reverse((1, 2, 3))") == [3, 2, 1]
+        assert run("fn:reverse(())") == []
+
+
+class TestStringEdges:
+    def test_normalize_space(self):
+        assert run('fn:normalize-space("  a   b  ")') == ["a b"]
+
+    def test_string_of_node(self):
+        rows = [element("X", "abc")]
+        assert run("fn:string($r)", variables={"r": rows}) == ["abc"]
+
+    def test_string_of_number(self):
+        assert run("fn:string(12.5)") == ["12.5"]
+
+    def test_concat_skips_empty(self):
+        assert run('fn:concat("a", (), "b")') == ["ab"]
+
+    def test_string_join_empty_sequence(self):
+        assert run('fn:string-join((), "-")') == [""]
+
+
+class TestNumberAndBoolean:
+    def test_number_of_numeric_string(self):
+        assert run('fn:number("3.5")') == [3.5]
+
+    def test_number_of_garbage_is_nan(self):
+        assert math.isnan(run('fn:number("abc")')[0])
+
+    def test_number_of_empty_is_nan(self):
+        assert math.isnan(run("fn:number(())")[0])
+
+    def test_boolean_function(self):
+        assert run('fn:boolean("x")') == [True]
+        assert run('fn:boolean("")') == [False]
+        assert run("fn:boolean(0)") == [False]
+        assert run("fn:boolean(())") == [False]
+
+    def test_boolean_multi_atomic_errors(self):
+        from repro.errors import XQueryTypeError
+        with pytest.raises(XQueryTypeError):
+            run("fn:boolean((1, 2))")
+
+
+class TestDeepEqual:
+    def test_equal_elements(self):
+        a = [element("R", element("A", "1"))]
+        b = [element("R", element("A", "1"))]
+        assert run("fn:deep-equal($a, $b)",
+                   variables={"a": a, "b": b}) == [True]
+
+    def test_unequal_elements(self):
+        a = [element("R", element("A", "1"))]
+        b = [element("R", element("A", "2"))]
+        assert run("fn:deep-equal($a, $b)",
+                   variables={"a": a, "b": b}) == [False]
+
+    def test_atomic_sequences(self):
+        assert run("fn:deep-equal((1, 2), (1, 2))") == [True]
+        assert run("fn:deep-equal((1, 2), (2, 1))") == [False]
+
+    def test_length_mismatch(self):
+        assert run("fn:deep-equal((1), (1, 1))") == [False]
+
+    def test_node_vs_atomic(self):
+        a = [element("R")]
+        assert run("fn:deep-equal($a, (1))",
+                   variables={"a": a}) == [False]
+
+    def test_mixed_incomparable_is_false(self):
+        assert run('fn:deep-equal((1), ("x"))') == [False]
+
+
+class TestDistinctValuesEdges:
+    def test_mixed_types_kept_separately(self):
+        assert run('fn:distinct-values((1, "1"))') == [1, "1"]
+
+    def test_cross_numeric_dedup(self):
+        result = run("fn:distinct-values((1, 1.0, xs:decimal(1)))")
+        assert len(result) == 1
+
+    def test_untyped_dedup_as_string(self):
+        rows = [element("K", "a"), element("K", "a"), element("K", "b")]
+        assert len(run("fn:distinct-values(fn:data($r))",
+                       variables={"r": rows})) == 2
+
+
+class TestMinMaxEdges:
+    def test_min_strings(self):
+        assert run('fn:min(("b", "a", "c"))') == ["a"]
+
+    def test_max_decimal_vs_int(self):
+        result = run("fn:max((1, 2.5, 2))")
+        assert result == [Decimal("2.5")]
+
+    def test_untyped_values_as_doubles(self):
+        rows = [element("K", "10"), element("K", "9")]
+        assert run("fn:max(fn:data($r))", variables={"r": rows}) == [10.0]

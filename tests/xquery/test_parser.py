@@ -1,0 +1,357 @@
+"""Tests for the XQuery parser."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery import ast, parse_xquery, parse_xquery_expr
+
+
+class TestProlog:
+    def test_schema_import(self):
+        module = parse_xquery(
+            'import schema namespace ns0 = "ld:T/CUSTOMERS" at '
+            '"ld:T/schemas/CUSTOMERS.xsd";\n1')
+        decl = module.prolog[0]
+        assert isinstance(decl, ast.SchemaImport)
+        assert decl.prefix == "ns0"
+        assert decl.uri == "ld:T/CUSTOMERS"
+        assert decl.location == "ld:T/schemas/CUSTOMERS.xsd"
+
+    def test_schema_import_without_location(self):
+        module = parse_xquery('import schema namespace a = "u";\n1')
+        assert module.prolog[0].location is None
+
+    def test_namespace_decl(self):
+        module = parse_xquery('declare namespace p = "uri";\n1')
+        assert module.prolog[0] == ast.NamespaceDecl("p", "uri")
+
+    def test_external_variable(self):
+        module = parse_xquery(
+            'declare variable $p1 as xs:int external;\n$p1')
+        decl = module.prolog[0]
+        assert decl.name == "p1"
+        assert decl.type_name == "int"
+
+    def test_multiple_prolog_entries(self):
+        module = parse_xquery(
+            'import schema namespace a = "u1";\n'
+            'import schema namespace b = "u2";\n'
+            'declare namespace c = "u3";\n1')
+        assert len(module.prolog) == 3
+
+
+class TestLiteralsAndPrimaries:
+    def test_integer(self):
+        assert parse_xquery_expr("42") == ast.XLiteral(42)
+
+    def test_decimal(self):
+        assert parse_xquery_expr("4.5") == ast.XLiteral(Decimal("4.5"))
+
+    def test_double(self):
+        assert parse_xquery_expr("1e3") == ast.XLiteral(1000.0)
+
+    def test_string_double_quoted(self):
+        assert parse_xquery_expr('"hi"') == ast.XLiteral("hi")
+
+    def test_string_single_quoted_with_doubling(self):
+        assert parse_xquery_expr("'it''s'") == ast.XLiteral("it's")
+
+    def test_string_entity(self):
+        assert parse_xquery_expr('"&lt;&amp;&gt;"') == ast.XLiteral("<&>")
+
+    def test_variable(self):
+        assert parse_xquery_expr("$var1FR0") == ast.VarRef("var1FR0")
+
+    def test_empty_sequence(self):
+        assert parse_xquery_expr("()") == ast.SequenceExpr(())
+
+    def test_comma_sequence(self):
+        expr = parse_xquery_expr('(1, "a", $x)')
+        assert isinstance(expr, ast.SequenceExpr)
+        assert len(expr.items) == 3
+
+    def test_comment_skipped(self):
+        assert parse_xquery_expr("(: a (: nested :) comment :) 5") == \
+            ast.XLiteral(5)
+
+    def test_context_item(self):
+        assert parse_xquery_expr(".") == ast.ContextItem()
+
+
+class TestOperators:
+    def test_precedence(self):
+        expr = parse_xquery_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_div_idiv_mod(self):
+        assert parse_xquery_expr("4 div 2").op == "div"
+        assert parse_xquery_expr("4 idiv 2").op == "idiv"
+        assert parse_xquery_expr("4 mod 2").op == "mod"
+
+    def test_unary_minus(self):
+        assert isinstance(parse_xquery_expr("-$x"), ast.UnaryMinus)
+
+    def test_value_comparison(self):
+        expr = parse_xquery_expr('$c/CUSTOMERNAME eq "Sue"')
+        assert isinstance(expr, ast.ValueComparison)
+        assert expr.op == "eq"
+
+    def test_general_comparison(self):
+        expr = parse_xquery_expr("$x > 10")
+        assert isinstance(expr, ast.GeneralComparison)
+        assert expr.op == ">"
+
+    def test_and_or(self):
+        expr = parse_xquery_expr("$a eq 1 or $b eq 2 and $c eq 3")
+        assert isinstance(expr, ast.OrExpr)
+        assert isinstance(expr.right, ast.AndExpr)
+
+    def test_range(self):
+        expr = parse_xquery_expr("1 to 10")
+        assert isinstance(expr, ast.RangeExpr)
+
+    def test_minus_inside_name_not_operator(self):
+        expr = parse_xquery_expr("fn-bea:if-empty($x, 0)")
+        assert isinstance(expr, ast.XFunctionCall)
+        assert expr.prefix == "fn-bea"
+        assert expr.local == "if-empty"
+
+
+class TestPaths:
+    def test_simple_path(self):
+        expr = parse_xquery_expr("$var1FR0/CUSTOMERID")
+        assert isinstance(expr, ast.PathExpr)
+        assert expr.steps[0].name == "CUSTOMERID"
+
+    def test_wildcard_step(self):
+        expr = parse_xquery_expr("$x/*")
+        assert expr.steps[0].name is None
+
+    def test_dotted_child_name(self):
+        expr = parse_xquery_expr("$r/CUSTOMERS.CUSTOMERID")
+        assert expr.steps[0].name == "CUSTOMERS.CUSTOMERID"
+
+    def test_multi_step(self):
+        expr = parse_xquery_expr("$t/RECORD/ID")
+        assert [s.name for s in expr.steps] == ["RECORD", "ID"]
+
+    def test_predicate_on_step(self):
+        expr = parse_xquery_expr("$t/RECORD[ID eq 1]")
+        assert len(expr.steps[0].predicates) == 1
+
+    def test_filter_on_function_result(self):
+        expr = parse_xquery_expr(
+            "ns1:PAYMENTS()[($var1FR2/CUSTOMERID = CUSTID)]")
+        assert isinstance(expr, ast.FilterExpr)
+        assert isinstance(expr.base, ast.XFunctionCall)
+        # The bare CUSTID is a context-relative child step.
+        pred = expr.predicates[0]
+        assert isinstance(pred, ast.GeneralComparison)
+        assert isinstance(pred.right, ast.PathExpr)
+        assert isinstance(pred.right.base, ast.ContextItem)
+
+    def test_positional_predicate(self):
+        expr = parse_xquery_expr("$t/RECORD[1]")
+        assert expr.steps[0].predicates == (ast.XLiteral(1),)
+
+
+class TestFunctionCalls:
+    def test_prefixed(self):
+        expr = parse_xquery_expr("fn:data($x)")
+        assert expr.prefix == "fn"
+        assert expr.local == "data"
+
+    def test_unprefixed_is_default_fn(self):
+        expr = parse_xquery_expr("count($x)")
+        assert expr.prefix == ""
+        assert expr.local == "count"
+
+    def test_zero_args(self):
+        assert parse_xquery_expr("ns0:CUSTOMERS()").args == ()
+
+    def test_nested_calls(self):
+        expr = parse_xquery_expr("fn:count(fn:data($x))")
+        assert expr.args[0].local == "data"
+
+    def test_xs_constructor(self):
+        expr = parse_xquery_expr("xs:integer(10)")
+        assert (expr.prefix, expr.local) == ("xs", "integer")
+
+    def test_bare_prefixed_name_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery_expr("ns0:CUSTOMERS")
+
+
+class TestFLWOR:
+    def test_paper_example_3_shape(self):
+        text = '''
+            for $c in ns0:CUSTOMERS()
+            where $c/CUSTOMERNAME eq "Sue"
+            return
+            <RECORD>
+              <CUSTOMERS.CUSTOMERID>
+                {fn:data($c/CUSTOMERID)}
+              </CUSTOMERS.CUSTOMERID>
+            </RECORD>'''
+        expr = parse_xquery_expr(text)
+        assert isinstance(expr, ast.FLWOR)
+        kinds = [type(c).__name__ for c in expr.clauses]
+        assert kinds == ["ForClause", "WhereClause"]
+        assert isinstance(expr.return_expr, ast.ElementConstructor)
+
+    def test_multiple_for_bindings(self):
+        expr = parse_xquery_expr(
+            "for $a in $x, $b in $y return ($a, $b)")
+        assert [c.var for c in expr.clauses] == ["a", "b"]
+
+    def test_let_clause(self):
+        expr = parse_xquery_expr("let $t := 5 return $t")
+        assert isinstance(expr.clauses[0], ast.LetClause)
+
+    def test_mixed_for_let(self):
+        expr = parse_xquery_expr(
+            "for $a in $x let $b := $a return $b")
+        kinds = [type(c).__name__ for c in expr.clauses]
+        assert kinds == ["ForClause", "LetClause"]
+
+    def test_order_by(self):
+        expr = parse_xquery_expr(
+            "for $a in $x order by $a descending, $a/B return $a")
+        order = expr.clauses[1]
+        assert isinstance(order, ast.OrderClause)
+        assert order.specs[0].ascending is False
+        assert order.specs[1].ascending is True
+
+    def test_order_by_empty_greatest(self):
+        expr = parse_xquery_expr(
+            "for $a in $x order by $a empty greatest return $a")
+        assert expr.clauses[1].specs[0].empty_least is False
+
+    def test_group_clause(self):
+        expr = parse_xquery_expr(
+            "for $r in $rows group $r as $part by $r/K1 as $k1, "
+            "$r/K2 as $k2 return $part")
+        group = expr.clauses[1]
+        assert isinstance(group, ast.GroupClause)
+        assert group.source_var == "r"
+        assert group.partition_var == "part"
+        assert [k[1] for k in group.keys] == ["k1", "k2"]
+
+    def test_where_after_group(self):
+        expr = parse_xquery_expr(
+            "for $r in $rows group $r as $p by $r/K as $k "
+            "where fn:count($p) > 1 return $k")
+        kinds = [type(c).__name__ for c in expr.clauses]
+        assert kinds == ["ForClause", "GroupClause", "WhereClause"]
+
+    def test_flwor_requires_return(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery_expr("for $a in $x")
+
+    def test_quantified_some(self):
+        expr = parse_xquery_expr("some $v in $s satisfies $v eq 1")
+        assert expr.kind == "some"
+
+    def test_quantified_every(self):
+        expr = parse_xquery_expr("every $v in $s satisfies $v > 0")
+        assert expr.kind == "every"
+
+    def test_if_then_else(self):
+        expr = parse_xquery_expr(
+            "if (fn:empty($t)) then 1 else 2")
+        assert isinstance(expr, ast.IfExpr)
+
+    def test_for_variable_named_for_like_word(self):
+        # 'format' starts with 'for' — keyword matching must not split it.
+        expr = parse_xquery_expr("$format")
+        assert expr == ast.VarRef("format")
+
+
+class TestConstructors:
+    def test_empty_element(self):
+        expr = parse_xquery_expr("<RECORD/>")
+        assert expr == ast.ElementConstructor(name="RECORD")
+
+    def test_static_content(self):
+        expr = parse_xquery_expr("<A>hello</A>")
+        assert expr.content == ("hello",)
+
+    def test_entity_in_content(self):
+        expr = parse_xquery_expr("<A>a &amp; b</A>")
+        assert expr.content == ("a & b",)
+
+    def test_enclosed_expression(self):
+        expr = parse_xquery_expr("<ID>{fn:data($c/CUSTOMERID)}</ID>")
+        assert isinstance(expr.content[0], ast.XFunctionCall)
+
+    def test_mixed_content(self):
+        expr = parse_xquery_expr("<A>x{1}y</A>")
+        assert expr.content == ("x", ast.XLiteral(1), "y")
+
+    def test_boundary_whitespace_stripped(self):
+        expr = parse_xquery_expr("<A>\n  <B/>\n  {1}\n</A>")
+        assert expr.content == (ast.ElementConstructor(name="B"),
+                                ast.XLiteral(1))
+
+    def test_inner_whitespace_kept(self):
+        expr = parse_xquery_expr("<A>  x  </A>")
+        assert expr.content == ("  x  ",)
+
+    def test_nested_elements(self):
+        expr = parse_xquery_expr("<R><A>1</A><B>2</B></R>")
+        assert [c.name for c in expr.content] == ["A", "B"]
+
+    def test_prefixed_element(self):
+        expr = parse_xquery_expr('<ns0:CUSTOMERS>x</ns0:CUSTOMERS>')
+        assert expr.prefix == "ns0"
+
+    def test_attributes(self):
+        expr = parse_xquery_expr('<A x="1" y="b{2}c"/>')
+        assert expr.attributes[0] == ast.AttributeConstructor("x", ("1",))
+        assert expr.attributes[1].parts == ("b", ast.XLiteral(2), "c")
+
+    def test_curly_escapes(self):
+        expr = parse_xquery_expr("<A>{{literal}}</A>")
+        assert expr.content == ("{literal}",)
+
+    def test_mismatched_close_tag(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery_expr("<A>x</B>")
+
+    def test_unterminated_constructor(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery_expr("<A>x")
+
+    def test_constructor_vs_comparison(self):
+        # '<' after an operand is a comparison, at primary position a
+        # constructor.
+        comparison = parse_xquery_expr("$a < 5")
+        assert isinstance(comparison, ast.GeneralComparison)
+        constructor = parse_xquery_expr("<A/>")
+        assert isinstance(constructor, ast.ElementConstructor)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("text", [
+        "",
+        "let $x 5 return $x",
+        "for $x in return $x",
+        "if ($x) then 1",
+        "some $x in $y",
+        "1 +",
+        "$",
+        "fn:data($x",
+        "group $r as $p by",
+        "(1, )",
+        "declare variable $x external",  # missing semicolon, then junk
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery(text)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery_expr("1 1")

@@ -1,0 +1,95 @@
+"""Tests for the XQuery pretty-printer, including the translator-output
+round-trip property: parse(print(parse(q))) == parse(q)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.translator import SQLToXQueryTranslator
+from repro.workloads import COMPLEXITY_CLASSES, build_runtime, generate_query
+from repro.xquery import parse_xquery, parse_xquery_expr
+from repro.xquery.printer import print_expr, print_module
+
+SNIPPETS = [
+    "42",
+    "4.5",
+    '"a string with ""quotes"" and &amp;"',
+    "$var1FR0",
+    "()",
+    "(1, 2, 3)",
+    "1 + 2 * 3",
+    "-$x",
+    "7 idiv 2",
+    "7 mod 2",
+    "1 to 10",
+    '$c/CUSTOMERNAME eq "Sue"',
+    "$a > 10 or $b <= 2 and $c != 0",
+    "fn:data($x/CUSTOMERID)",
+    "xs:integer(10)",
+    "fn-bea:if-empty($x, 0)",
+    "ns1:PAYMENTS()[($v/CUSTOMERID = CUSTID)]",
+    "$t/RECORD[2]/ID",
+    "$rows/*",
+    "if (fn:empty($t)) then 1 else 2",
+    "some $x in (1, 2) satisfies $x eq 2",
+    "every $x in $s satisfies $x > 0",
+    "for $x in (1, 2, 3) where $x > 1 return $x * 2",
+    "let $t := ns0:CUSTOMERS() return fn:count($t)",
+    "for $a in $x, $b in $y return ($a, $b)",
+    "for $r in $rows group $r as $p by fn:data($r/K) as $k "
+    "return fn:count($p)",
+    "for $x in $s order by $x descending, fn:data($x/B) return $x",
+    "for $x in $s order by $x empty greatest return $x",
+    "<RECORD/>",
+    "<RECORD><ID>{fn:data($c/CUSTOMERID)}</ID></RECORD>",
+    "<A>literal {1} more</A>",
+    "<A>{{escaped braces}}</A>",
+    '<A x="1" y="b{2}c"/>',
+    "<ns0:WRAP>{$x}</ns0:WRAP>",
+    "<A>a &amp; b &lt; c</A>",
+]
+
+
+@pytest.mark.parametrize("snippet", SNIPPETS)
+def test_expression_roundtrip(snippet):
+    parsed = parse_xquery_expr(snippet)
+    printed = print_expr(parsed)
+    assert parse_xquery_expr(printed) == parsed, printed
+
+
+MODULES = [
+    'import schema namespace ns0 = "ld:T/CUSTOMERS" at "ld:x.xsd";\n'
+    "for $c in ns0:CUSTOMERS() return $c",
+    'declare namespace p = "uri";\n1',
+    "declare variable $p1 as xs:int external;\n$p1 + 1",
+]
+
+
+@pytest.mark.parametrize("text", MODULES)
+def test_module_roundtrip(text):
+    parsed = parse_xquery(text)
+    printed = print_module(parsed)
+    assert parse_xquery(printed) == parsed, printed
+
+
+@pytest.fixture(scope="module")
+def translator():
+    return SQLToXQueryTranslator(build_runtime().metadata_api())
+
+
+@pytest.mark.parametrize("klass", sorted(COMPLEXITY_CLASSES))
+@pytest.mark.parametrize("fmt", ["recordset", "delimited"])
+def test_translator_output_roundtrips(translator, klass, fmt):
+    """Everything the translator emits survives print→reparse."""
+    xquery = translator.translate(COMPLEXITY_CLASSES[klass],
+                                  format=fmt).xquery
+    parsed = parse_xquery(xquery)
+    assert parse_xquery(print_module(parsed)) == parsed
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_random_translator_output_roundtrips(translator, seed):
+    xquery = translator.translate(generate_query(seed)).xquery
+    parsed = parse_xquery(xquery)
+    assert parse_xquery(print_module(parsed)) == parsed

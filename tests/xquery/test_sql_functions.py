@@ -1,0 +1,154 @@
+"""Tests for the fn-bea:sql-* NULL-propagating function library and the
+3VL quantified comparison helpers."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import XQueryDynamicError
+from repro.xmlmodel import element
+from repro.xquery import execute_xquery
+
+
+def run(text, variables=None):
+    return execute_xquery(text, variables=variables)
+
+
+NULL = "()"
+
+
+class TestNullPropagation:
+    @pytest.mark.parametrize("call", [
+        f"fn-bea:sql-concat({NULL}, 'x')",
+        f"fn-bea:sql-concat('x', {NULL})",
+        f"fn-bea:sql-upper({NULL})",
+        f"fn-bea:sql-lower({NULL})",
+        f"fn-bea:sql-char-length({NULL})",
+        f"fn-bea:sql-substring({NULL}, 1)",
+        f"fn-bea:sql-substring('abc', {NULL})",
+        f"fn-bea:sql-position({NULL}, 'abc')",
+        f"fn-bea:sql-position('a', {NULL})",
+        f"fn-bea:sql-trim('BOTH', ' ', {NULL})",
+        f"fn-bea:sql-round({NULL}, 2)",
+        f"fn-bea:sqrt({NULL})",
+    ])
+    def test_null_in_null_out(self, call):
+        assert run(call) == []
+
+
+class TestSqlStringFunctions:
+    def test_concat(self):
+        assert run("fn-bea:sql-concat('foo', 'bar')") == ["foobar"]
+
+    def test_upper_lower(self):
+        assert run("fn-bea:sql-upper('aBc')") == ["ABC"]
+        assert run("fn-bea:sql-lower('aBc')") == ["abc"]
+
+    def test_char_length(self):
+        assert run("fn-bea:sql-char-length('abc')") == [3]
+        assert run("fn-bea:sql-char-length('')") == [0]
+
+    def test_substring(self):
+        assert run("fn-bea:sql-substring('hello', 2, 3)") == ["ell"]
+        assert run("fn-bea:sql-substring('hello', 2)") == ["ello"]
+        assert run("fn-bea:sql-substring('hello', 0, 3)") == ["he"]
+        assert run("fn-bea:sql-substring('hello', 10)") == [""]
+
+    def test_substring_negative_length(self):
+        with pytest.raises(XQueryDynamicError):
+            run("fn-bea:sql-substring('hello', 1, -1)")
+
+    def test_position(self):
+        assert run("fn-bea:sql-position('ll', 'hello')") == [3]
+        assert run("fn-bea:sql-position('z', 'hello')") == [0]
+        assert run("fn-bea:sql-position('', 'hello')") == [1]
+
+    def test_trim_modes(self):
+        assert run("fn-bea:sql-trim('BOTH', ' ', '  x  ')") == ["x"]
+        assert run("fn-bea:sql-trim('LEADING', ' ', '  x  ')") == ["x  "]
+        assert run("fn-bea:sql-trim('TRAILING', ' ', '  x  ')") == ["  x"]
+        assert run("fn-bea:sql-trim('BOTH', 'x', 'xxaxx')") == ["a"]
+
+    def test_trim_multi_char_rejected(self):
+        with pytest.raises(XQueryDynamicError):
+            run("fn-bea:sql-trim('BOTH', 'ab', 'x')")
+
+
+class TestSqlNumericFunctions:
+    def test_round_decimal_places(self):
+        assert run("fn-bea:sql-round(2.345, 2)") == [Decimal("2.35")]
+        assert run("fn-bea:sql-round(2.5, 0)") == [Decimal("3")]
+
+    def test_round_negative_places(self):
+        assert run("fn-bea:sql-round(1234, -2)") == [1200]
+
+    def test_round_float(self):
+        assert run("fn-bea:sql-round(2.345e0, 2)") == [2.35]
+
+    def test_sqrt(self):
+        assert run("fn-bea:sqrt(9)") == [3.0]
+
+    def test_sqrt_negative(self):
+        with pytest.raises(XQueryDynamicError):
+            run("fn-bea:sqrt(-1)")
+
+
+class TestQuantified3:
+    def items(self, *values, with_null=False):
+        elems = [element("C", str(v), type_annotation="int")
+                 for v in values]
+        if with_null:
+            elems.append(element("C"))
+        return elems
+
+    def test_any3_true(self):
+        assert run("fn-bea:any3(5, $s, 'gt')",
+                   variables={"s": self.items(1, 9)}) == [True]
+
+    def test_any3_false(self):
+        assert run("fn-bea:any3(5, $s, 'gt')",
+                   variables={"s": self.items(9, 10)}) == [False]
+
+    def test_any3_unknown_from_null_member(self):
+        assert run("fn-bea:any3(5, $s, 'gt')",
+                   variables={"s": self.items(9, with_null=True)}) == []
+
+    def test_any3_true_wins_over_null(self):
+        assert run("fn-bea:any3(5, $s, 'gt')",
+                   variables={"s": self.items(1, with_null=True)}) == [True]
+
+    def test_any3_null_needle(self):
+        assert run("fn-bea:any3((), $s, 'eq')",
+                   variables={"s": self.items(1)}) == []
+
+    def test_any3_empty_sequence_is_false(self):
+        assert run("fn-bea:any3(5, (), 'eq')") == [False]
+
+    def test_all3_true(self):
+        assert run("fn-bea:all3(5, $s, 'gt')",
+                   variables={"s": self.items(1, 2)}) == [True]
+
+    def test_all3_false(self):
+        assert run("fn-bea:all3(5, $s, 'gt')",
+                   variables={"s": self.items(1, 9)}) == [False]
+
+    def test_all3_unknown(self):
+        assert run("fn-bea:all3(5, $s, 'gt')",
+                   variables={"s": self.items(1, with_null=True)}) == []
+
+    def test_all3_false_wins_over_null(self):
+        assert run("fn-bea:all3(5, $s, 'gt')",
+                   variables={"s": self.items(9, with_null=True)}) == [False]
+
+    def test_all3_empty_sequence_is_true(self):
+        assert run("fn-bea:all3(5, (), 'eq')") == [True]
+
+    def test_all3_null_needle_empty_sequence(self):
+        # SQL: NULL op ALL (empty) is TRUE.
+        assert run("fn-bea:all3((), (), 'eq')") == [True]
+
+    def test_untyped_members_coerced(self):
+        # Constructed (untyped) RECORD columns compare numerically.
+        items = [element("C", "10")]
+        assert run("fn-bea:any3(9, $s, 'lt')",
+                   variables={"s": items}) == [True]
