@@ -16,6 +16,8 @@ The package provides:
 * ``repro.catalog`` — applications/projects/data services, XSD row
   schemas, and the remote metadata API with driver-side caching;
 * ``repro.xmlmodel`` — the ordered-tree XML data model;
+* ``repro.obs`` — observability: nested-span tracing, a metrics
+  registry, and the bounded thread-safe LRU behind the driver caches;
 * ``repro.workloads`` — demo application, scaling workloads, and the
   random query generator.
 
@@ -32,6 +34,7 @@ Quickstart::
 
 from .driver import connect
 from .engine import DSPRuntime, SQLExecutor, Storage, TableProvider
+from .obs import LRUCache, MetricsRegistry, Tracer
 from .translator import SQLToXQueryTranslator, TranslationResult
 from .workloads import build_runtime as build_demo_runtime
 from .xquery import execute_xquery
@@ -40,10 +43,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DSPRuntime",
+    "LRUCache",
+    "MetricsRegistry",
     "SQLExecutor",
     "SQLToXQueryTranslator",
     "Storage",
     "TableProvider",
+    "Tracer",
     "TranslationResult",
     "__version__",
     "build_demo_runtime",

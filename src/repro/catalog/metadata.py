@@ -19,7 +19,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from .. import clock
 from ..errors import FlatnessError, UnknownArtifactError
+from ..obs import NULL_TRACER, LRUCache
 from ..sql.types import SQLType
 from .dataservice import Application, DataServiceFunction
 from .naming import schema_name as make_schema_name
@@ -221,6 +223,11 @@ class MetadataAPI:
 class CacheStats:
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
+
+
+#: Default bound on cached (table + procedure) metadata entries.
+DEFAULT_METADATA_CACHE_CAPACITY = 1024
 
 
 class MetadataCache:
@@ -229,42 +236,93 @@ class MetadataCache:
     The paper: "Fetched table metadata is cached locally for further use."
     Keys are (catalog, schema, table) with None wildcards resolved at fetch
     time, so the same unqualified name is only resolved remotely once.
+
+    Both sides of the cache are bounded, thread-safe, single-flight
+    LRUs (``repro.obs.lru.LRUCache``): concurrent misses on the same
+    table perform exactly one remote fetch, and a shared ``Connection``
+    can be used from many threads. Each actual remote fetch is recorded
+    as a ``metadata.fetch`` span on *tracer* and, when a *registry* is
+    given, in the ``metadata.fetch.seconds`` histogram and
+    ``metadata.cache.*`` counters.
     """
 
-    def __init__(self, api: MetadataAPI):
+    def __init__(self, api: MetadataAPI,
+                 capacity: int = DEFAULT_METADATA_CACHE_CAPACITY,
+                 tracer=None, registry=None):
         self._api = api
-        self._tables: dict[tuple[str | None, str | None, str],
-                           TableMetadata] = {}
-        self._procedures: dict[tuple[str | None, str | None, str],
-                               ProcedureMetadata] = {}
-        self.stats = CacheStats()
+        self._tracer = NULL_TRACER if tracer is None else tracer
+        self._tables = LRUCache(capacity, registry=registry,
+                                prefix="metadata.cache")
+        self._procedures = LRUCache(capacity, registry=registry,
+                                    prefix="metadata.cache")
+        if registry is not None:
+            self._fetch_seconds = registry.histogram(
+                "metadata.fetch.seconds")
+            self._fetch_counter = registry.counter("metadata.fetches")
+        else:
+            self._fetch_seconds = None
+            self._fetch_counter = None
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate hit/miss/eviction counts across both cache sides."""
+        tables = self._tables.stats()
+        procedures = self._procedures.stats()
+        return CacheStats(
+            hits=tables["hits"] + procedures["hits"],
+            misses=tables["misses"] + procedures["misses"],
+            evictions=tables["evictions"] + procedures["evictions"])
+
+    def stats_dict(self) -> dict:
+        """The ``Connection.stats()`` snapshot for this cache."""
+        stats = self.stats
+        return {"hits": stats.hits, "misses": stats.misses,
+                "evictions": stats.evictions,
+                "size": len(self._tables) + len(self._procedures),
+                "capacity": self._tables.capacity}
+
+    def _remote(self, kind: str, name: str, call):
+        """Run one remote fetch inside a ``metadata.fetch`` span."""
+        with self._tracer.span("metadata.fetch", kind=kind, name=name):
+            started = clock.monotonic()
+            meta = call()
+            elapsed = clock.monotonic() - started
+        if self._fetch_seconds is not None:
+            self._fetch_seconds.observe(elapsed)
+            self._fetch_counter.increment()
+        return meta
 
     def fetch_table(self, table: str, schema: str | None = None,
                     catalog: str | None = None) -> TableMetadata:
         key = (catalog, schema, table)
-        cached = self._tables.get(key)
-        if cached is not None:
-            self.stats.hits += 1
-            return cached
-        self.stats.misses += 1
-        meta = self._api.fetch_table(table, schema=schema, catalog=catalog)
-        self._tables[key] = meta
+
+        def load() -> TableMetadata:
+            return self._remote(
+                "table", table,
+                lambda: self._api.fetch_table(table, schema=schema,
+                                              catalog=catalog))
+
+        meta = self._tables.get_or_load(key, load)
         # Also prime the fully-qualified key so later qualified lookups hit.
-        self._tables[(meta.catalog, meta.schema, meta.table)] = meta
+        qualified = (meta.catalog, meta.schema, meta.table)
+        if qualified != key:
+            self._tables.put(qualified, meta)
         return meta
 
     def fetch_procedure(self, name: str, schema: str | None = None,
                         catalog: str | None = None) -> ProcedureMetadata:
         key = (catalog, schema, name)
-        cached = self._procedures.get(key)
-        if cached is not None:
-            self.stats.hits += 1
-            return cached
-        self.stats.misses += 1
-        meta = self._api.fetch_procedure(name, schema=schema,
-                                         catalog=catalog)
-        self._procedures[key] = meta
-        self._procedures[(meta.catalog, meta.schema, meta.name)] = meta
+
+        def load() -> ProcedureMetadata:
+            return self._remote(
+                "procedure", name,
+                lambda: self._api.fetch_procedure(name, schema=schema,
+                                                  catalog=catalog))
+
+        meta = self._procedures.get_or_load(key, load)
+        qualified = (meta.catalog, meta.schema, meta.name)
+        if qualified != key:
+            self._procedures.put(qualified, meta)
         return meta
 
     def invalidate(self) -> None:

@@ -9,8 +9,11 @@ queries, so both read this clock. Tests pin it with ``set_fixed``.
 from __future__ import annotations
 
 import datetime
+import time
+from typing import Callable
 
 _fixed: datetime.datetime | None = None
+_monotonic_source: Callable[[], float] | None = None
 
 
 def set_fixed(moment: datetime.datetime | None) -> None:
@@ -31,3 +34,18 @@ def today() -> datetime.date:
 
 def current_time() -> datetime.time:
     return now().time().replace(microsecond=0)
+
+
+def set_monotonic(source: Callable[[], float] | None) -> None:
+    """Install a deterministic tick source for span timings (or unpin
+    with None). Used by the observability tests."""
+    global _monotonic_source
+    _monotonic_source = source
+
+
+def monotonic() -> float:
+    """The timestamp source for repro.obs spans and stage timings:
+    ``time.perf_counter`` unless a test installed a fake ticker."""
+    if _monotonic_source is not None:
+        return _monotonic_source()
+    return time.perf_counter()

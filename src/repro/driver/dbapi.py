@@ -15,9 +15,10 @@ from __future__ import annotations
 import re
 from typing import Iterable, Iterator, Optional, Sequence
 
-from .. import errors
+from .. import clock, errors
 from ..catalog import MetadataCache, ProcedureMetadata
 from ..engine.dsp import DSPRuntime
+from ..obs import LRUCache, MetricsRegistry, Tracer
 from ..errors import (
     DatabaseError,
     Error,
@@ -36,10 +37,16 @@ from .codec import decode_delimited, decode_xml
 from .metadata import DatabaseMetaData
 
 apilevel = "2.0"
-threadsafety = 1
+#: Threads may share the module and connections (each thread should
+#: still use its own cursor): the statement and metadata caches are
+#: thread-safe single-flight LRUs (repro.obs).
+threadsafety = 2
 paramstyle = "qmark"
 
 FORMATS = ("delimited", "xml")
+
+#: Default bound on cached translations per connection.
+DEFAULT_STATEMENT_CACHE_CAPACITY = 256
 
 #: PEP 249 type objects.
 
@@ -77,10 +84,18 @@ def _type_object_for(kind: str) -> _TypeObject:
 
 
 def connect(runtime: DSPRuntime, format: str = "delimited",
-            metadata_latency: float = 0.0) -> "Connection":
+            metadata_latency: float = 0.0,
+            tracer: Optional[Tracer] = None,
+            metrics: Optional[MetricsRegistry] = None,
+            statement_cache_capacity: int =
+            DEFAULT_STATEMENT_CACHE_CAPACITY,
+            metadata_cache_capacity: int = 1024) -> "Connection":
     """Open a connection to a DSP runtime (the JDBC ``getConnection``)."""
     return Connection(runtime, format=format,
-                      metadata_latency=metadata_latency)
+                      metadata_latency=metadata_latency,
+                      tracer=tracer, metrics=metrics,
+                      statement_cache_capacity=statement_cache_capacity,
+                      metadata_cache_capacity=metadata_cache_capacity)
 
 
 class Connection:
@@ -90,17 +105,36 @@ class Connection:
     ProgrammingError = ProgrammingError
 
     def __init__(self, runtime: DSPRuntime, format: str = "delimited",
-                 metadata_latency: float = 0.0):
+                 metadata_latency: float = 0.0,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 statement_cache_capacity: int =
+                 DEFAULT_STATEMENT_CACHE_CAPACITY,
+                 metadata_cache_capacity: int = 1024):
         if format not in FORMATS:
             raise InterfaceError(
                 f"unknown result format {format!r}; expected one of "
                 f"{FORMATS}")
         self._runtime = runtime
         self.format = format
+        #: Per-connection observability: a tracer (off by default — the
+        #: no-op path is one attribute check) and a metrics registry
+        #: shared by the translator, both caches, and every cursor.
+        self.tracer = Tracer(enabled=False) if tracer is None else tracer
+        self.metrics = MetricsRegistry() if metrics is None else metrics
         self._metadata_api = runtime.metadata_api(latency=metadata_latency)
-        self._metadata_cache = MetadataCache(self._metadata_api)
-        self._translator = SQLToXQueryTranslator(self._metadata_cache)
-        self._statement_cache: dict[str, TranslationResult] = {}
+        self._metadata_cache = MetadataCache(
+            self._metadata_api, capacity=metadata_cache_capacity,
+            tracer=self.tracer, registry=self.metrics)
+        self._translator = SQLToXQueryTranslator(
+            self._metadata_cache, tracer=self.tracer,
+            registry=self.metrics)
+        self._statement_cache: LRUCache = LRUCache(
+            statement_cache_capacity, registry=self.metrics,
+            prefix="statement.cache")
+        self._queries_executed = self.metrics.counter("queries.executed")
+        self._rows_materialized = self.metrics.counter("rows.materialized")
+        self._execute_seconds = self.metrics.histogram("execute.seconds")
         self._closed = False
 
     # -- PEP 249 surface ---------------------------------------------------
@@ -118,7 +152,12 @@ class Connection:
             "the data services driver is read-only; nothing to roll back")
 
     def close(self) -> None:
+        """Close the connection and release the memory its caches hold:
+        cached translations are dropped and the metadata cache is
+        invalidated. Idempotent."""
         self._closed = True
+        self._statement_cache.clear()
+        self._metadata_cache.invalidate()
 
     def __enter__(self) -> "Connection":
         return self
@@ -139,15 +178,27 @@ class Connection:
         return self._translator
 
     def translate(self, sql: str) -> TranslationResult:
-        """Translate *sql* (with statement caching) without executing."""
+        """Translate *sql* (with statement caching) without executing.
+
+        The cache key includes the translation format, so a connection
+        whose ``format`` changes never serves a ``delimited`` wrapper
+        query where a ``recordset`` one is expected (or vice versa).
+        Concurrent first translations of the same statement run once
+        (single-flight).
+        """
         self._check_open()
         fmt = "delimited" if self.format == "delimited" else "recordset"
-        key = f"{fmt}:{sql}"
-        cached = self._statement_cache.get(key)
-        if cached is None:
-            cached = self._translator.translate(sql, format=fmt)
-            self._statement_cache[key] = cached
-        return cached
+        return self._statement_cache.get_or_load(
+            (fmt, sql),
+            lambda: self._translator.translate(sql, format=fmt))
+
+    def stats(self) -> dict:
+        """A point-in-time observability snapshot: every named counter
+        and histogram plus both caches' hit/miss/eviction/size stats."""
+        snapshot = self.metrics.snapshot()
+        snapshot["statement_cache"] = self._statement_cache.stats()
+        snapshot["metadata_cache"] = self._metadata_cache.stats_dict()
+        return snapshot
 
     def _check_open(self) -> None:
         if self._closed:
@@ -209,18 +260,30 @@ class Cursor:
                     f"{len(parameters)} parameters given")
             self.callproc(name, parameters)
             return self
+        connection = self.connection
+        tracer = connection.tracer
+        started = clock.monotonic()
         try:
-            translation = self.connection.translate(operation)
-            variables = translation.parameter_variables(parameters)
-            result = self.connection._runtime.execute(
-                translation.xquery, variables=variables)
-            self._rows = self._decode(result, translation.columns)
+            with tracer.span("execute", sql=operation):
+                # The statement cache's loader opens the nested
+                # "translate" span (with its stage children) on a miss.
+                translation = connection.translate(operation)
+                variables = translation.parameter_variables(parameters)
+                with tracer.span("evaluate"):
+                    result = connection._runtime.execute(
+                        translation.xquery, variables=variables,
+                        tracer=tracer)
+                with tracer.span("materialize"):
+                    self._rows = self._decode(result, translation.columns)
         except errors.SQLError as exc:
             raise ProgrammingError(str(exc)) from exc
         except Error:
             raise
         except ReproError as exc:
             raise DatabaseError(str(exc)) from exc
+        connection._queries_executed.increment()
+        connection._rows_materialized.add(len(self._rows))
+        connection._execute_seconds.observe(clock.monotonic() - started)
         self._set_description(translation.columns)
         self.rowcount = len(self._rows)
         self._index = 0

@@ -29,6 +29,7 @@ from ..catalog import (
     sql_to_xs,
 )
 from ..errors import UnknownArtifactError, XQueryDynamicError
+from ..obs import NULL_TRACER, LRUCache
 from ..xmlmodel import Element, QName, Text
 from ..xquery import Evaluator, parse_xquery
 from ..xquery.atomic import parse_lexical, serialize_atomic
@@ -39,7 +40,7 @@ class DSPRuntime:
     """Hosts one application over one storage backend."""
 
     def __init__(self, application: Application, storage: Storage,
-                 optimize: bool = True):
+                 optimize: bool = True, module_cache_capacity: int = 256):
         self.application = application
         self.storage = storage
         #: Enable the XQuery engine's optimizer (hash equi-joins). The
@@ -47,7 +48,9 @@ class DSPRuntime:
         #: XQuery processor"; this is that processor's knob.
         self.optimize = optimize
         self._functions: dict[tuple[str, str], DataServiceFunction] = {}
-        self._module_cache: dict[str, object] = {}
+        #: Compiled-module cache: bounded, thread-safe, single-flight,
+        #: so concurrent executions of the same XQuery parse it once.
+        self._module_cache = LRUCache(module_cache_capacity)
         self.function_call_count = 0
         for project, service in application.all_data_services():
             uri = function_namespace(project, service)
@@ -171,17 +174,25 @@ class DSPRuntime:
     # -- query execution -----------------------------------------------------
 
     def execute(self, xquery_text: str,
-                variables: dict[str, object] | None = None) -> list:
+                variables: dict[str, object] | None = None,
+                tracer=None) -> list:
         """Compile (with caching) and evaluate an XQuery, returning the
-        result sequence."""
-        module = self._module_cache.get(xquery_text)
-        if module is None:
-            module = parse_xquery(xquery_text)
-            self._module_cache[xquery_text] = module
-        evaluator = Evaluator(module, resolver=self.call_function,
-                              variables=variables,
-                              optimize=self.optimize)
-        return evaluator.evaluate()
+        result sequence. Pass a ``repro.obs.Tracer`` to record
+        ``xquery.parse`` (cold compiles only) and ``xquery.evaluate``
+        spans under the caller's current span."""
+        tracer = NULL_TRACER if tracer is None else tracer
+
+        def compile_module():
+            with tracer.span("xquery.parse"):
+                return parse_xquery(xquery_text)
+
+        module = self._module_cache.get_or_load(xquery_text,
+                                                compile_module)
+        with tracer.span("xquery.evaluate"):
+            evaluator = Evaluator(module, resolver=self.call_function,
+                                  variables=variables,
+                                  optimize=self.optimize)
+            return evaluator.evaluate()
 
     def metadata_api(self, latency: float = 0.0) -> MetadataAPI:
         """The remote metadata API endpoint for this application."""

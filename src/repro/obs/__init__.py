@@ -1,0 +1,36 @@
+"""Driver-wide observability (S9): tracing, metrics, and bounded caches.
+
+The paper's translator is explicitly staged (section 3.4: parse →
+validate/restructure → generate) and its driver caches fetched table
+metadata (section 3.5); this package makes both observable and safe to
+share across threads:
+
+* ``Tracer``/``Span`` — nested spans with monotonic timings
+  (``translate`` → ``stage1``/``stage2``/``stage3`` → per-table
+  ``metadata.fetch``; ``execute`` → ``translate``/``evaluate``/
+  ``materialize``). A disabled tracer is the default and costs one
+  attribute check per instrumentation point.
+* ``MetricsRegistry`` — named ``Counter``s and ``Histogram``s (cache
+  hits/misses/evictions, queries translated, rows materialized,
+  per-stage latency quantiles).
+* ``LRUCache`` — the bounded, thread-safe, single-flight LRU behind the
+  driver's statement cache, the metadata cache, and the runtime's
+  compiled-module cache.
+
+Everything here is dependency-free standard library.
+"""
+
+from .lru import LRUCache
+from .metrics import Counter, Histogram, MetricsRegistry
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "LRUCache",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

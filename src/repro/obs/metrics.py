@@ -1,0 +1,173 @@
+"""Named counters and histograms behind ``Connection.stats()``.
+
+A ``MetricsRegistry`` creates metrics on first use, so instrument code
+never has to pre-declare names. Counters are monotonically increasing
+integers; histograms keep running count/sum/min/max plus a bounded
+window of recent observations for quantiles, so per-stage latency
+distributions stay O(1) in memory under sustained load.
+
+Everything is guarded by locks: a shared ``Connection`` hammered from
+many threads must not lose updates (tests/obs/test_thread_safety.py).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: Observations retained per histogram for quantile estimation.
+DEFAULT_WINDOW = 1024
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def add(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def increment(self) -> None:
+        self.add(1)
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A thread-safe histogram of float observations (seconds).
+
+    Keeps exact count/sum/min/max over the full lifetime and a bounded
+    window of the most recent ``DEFAULT_WINDOW`` observations over
+    which quantiles are computed.
+    """
+
+    __slots__ = ("name", "_lock", "_count", "_sum", "_min", "_max",
+                 "_window")
+
+    def __init__(self, name: str, window: int = DEFAULT_WINDOW):
+        self.name = name
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._window: deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            self._window.append(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float | None:
+        """The *q*-quantile (0 <= q <= 1) of the retained window, by
+        nearest-rank; None before the first observation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        with self._lock:
+            if not self._window:
+                return None
+            ordered = sorted(self._window)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        """A snapshot dict: count, sum, min, max, mean, p50, p95, p99."""
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0}
+            ordered = sorted(self._window)
+            count, total = self._count, self._sum
+            low, high = self._min, self._max
+
+        def rank(q: float) -> float:
+            index = min(len(ordered) - 1,
+                        max(0, round(q * (len(ordered) - 1))))
+            return ordered[index]
+
+        return {
+            "count": count,
+            "sum": total,
+            "min": low,
+            "max": high,
+            "mean": total / count,
+            "p50": rank(0.50),
+            "p95": rank(0.95),
+            "p99": rank(0.99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """A create-on-first-use registry of named counters and histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def histogram(self, name: str,
+                  window: int = DEFAULT_WINDOW) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, window)
+            return metric
+
+    def snapshot(self) -> dict:
+        """All metric values at one moment: ``{"counters": {name: int},
+        "histograms": {name: summary-dict}}``."""
+        with self._lock:
+            counters = list(self._counters.values())
+            histograms = list(self._histograms.values())
+        return {
+            "counters": {c.name: c.value for c in counters},
+            "histograms": {h.name: h.summary() for h in histograms},
+        }
+
+    def reset(self) -> None:
+        """Zero every metric in place. Instrumented code caches Counter
+        and Histogram references, so the objects must survive a reset."""
+        with self._lock:
+            counters = list(self._counters.values())
+            histograms = list(self._histograms.values())
+        for counter in counters:
+            with counter._lock:
+                counter._value = 0
+        for histogram in histograms:
+            with histogram._lock:
+                histogram._count = 0
+                histogram._sum = 0.0
+                histogram._min = None
+                histogram._max = None
+                histogram._window.clear()

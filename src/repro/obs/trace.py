@@ -1,0 +1,170 @@
+"""Nested-span tracing with monotonic timings.
+
+A ``Tracer`` hands out context-managed ``Span``s; spans opened while
+another span is active on the same thread become its children, so one
+traced ``Cursor.execute`` yields a tree::
+
+    execute
+      translate
+        stage1
+        stage2
+          metadata.fetch (table=CUSTOMERS)
+          metadata.fetch (table=PAYMENTS)
+        stage3
+      evaluate
+        xquery.evaluate
+      materialize
+
+Span stacks are thread-local: threads sharing one ``Tracer`` (and one
+``Connection``) each build their own trees. Completed root spans are
+kept in a bounded deque guarded by a lock.
+
+Timings come from :func:`repro.clock.monotonic` so tests can install a
+deterministic tick source.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .. import clock
+
+
+@dataclass
+class Span:
+    """One timed operation, possibly with children."""
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+    start: float = 0.0
+    end: float | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (up to now if the span is still open)."""
+        end = clock.monotonic() if self.end is None else self.end
+        return end - self.start
+
+    def find(self, name: str) -> list["Span"]:
+        """All descendant spans (self included) named *name*, preorder."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def render(self, indent: int = 0) -> str:
+        """An indented text tree with millisecond durations."""
+        pad = "  " * indent
+        attrs = ""
+        if self.attributes:
+            inner = ", ".join(f"{k}={v}" for k, v in
+                              self.attributes.items())
+            attrs = f"  ({inner})"
+        lines = [f"{pad}{self.name}  {self.duration * 1000:.3f} ms{attrs}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+class _NullContext:
+    """A reusable no-op context manager — the cost of tracing-off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Tracer:
+    """Produces nested spans; collects completed root spans.
+
+    Disabled by default-constructed driver objects: ``span()`` then
+    returns a shared no-op context manager, so instrumentation points
+    cost one attribute check.
+    """
+
+    def __init__(self, enabled: bool = True, max_roots: int = 64):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots: deque[Span] = deque(maxlen=max_roots)
+
+    # -- switching ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, /, **attributes):
+        """Open a span; a context manager yielding the Span (or None
+        when tracing is off)."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return self._record(name, attributes)
+
+    @contextmanager
+    def _record(self, name: str, attributes: dict):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        span = Span(name=name, attributes=attributes,
+                    start=clock.monotonic())
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            parent.children.append(span)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = clock.monotonic()
+            stack.pop()
+            if parent is None:
+                with self._lock:
+                    self._roots.append(span)
+
+    # -- inspection --------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        """Completed root spans, oldest first."""
+        with self._lock:
+            return list(self._roots)
+
+    def last_root(self) -> Span | None:
+        with self._lock:
+            return self._roots[-1] if self._roots else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+
+class NullTracer(Tracer):
+    """The always-off tracer components fall back to when none is
+    given; ``enable()`` is a no-op so the shared singleton can never be
+    switched on by accident."""
+
+    def __init__(self):
+        super().__init__(enabled=False, max_roots=1)
+
+    def enable(self) -> None:  # pragma: no cover - guard
+        pass
+
+    def span(self, name: str, /, **attributes):
+        return _NULL_CONTEXT
+
+
+NULL_TRACER = NullTracer()

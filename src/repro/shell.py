@@ -7,8 +7,10 @@ SQL-92, get tabular results. Backslash commands inspect the machinery:
 ``\\tables``        list SQL-visible tables (Figure-2 mapping)
 ``\\schema T``      columns of table T
 ``\\translate SQL`` print the generated XQuery instead of executing
-``\\explain SQL``   print the context/RSN report
+``\\explain SQL``   print the context/RSN report with stage timings
 ``\\format F``      switch result path: ``delimited`` or ``xml``
+``\\trace on|off``  print the span tree after each executed query
+``\\stats``         print counters, latency histograms, cache stats
 ``\\quit``          leave
 =================  ====================================================
 
@@ -86,9 +88,14 @@ class Shell:
             self._explain(argument)
         elif name == "\\format":
             self._set_format(argument)
+        elif name == "\\trace":
+            self._set_trace(argument)
+        elif name == "\\stats":
+            self._stats()
         else:
             self._out(f"unknown command {name}; try \\tables, \\schema, "
-                      f"\\translate, \\explain, \\format, \\quit")
+                      f"\\translate, \\explain, \\format, \\trace, "
+                      f"\\stats, \\quit")
         return True
 
     # -- command implementations ----------------------------------------------
@@ -101,6 +108,11 @@ class Shell:
             self._out(format_table(headers, cursor.fetchall()))
         except ReproError as exc:
             self._out(f"error: {exc}")
+            return
+        if self._connection.tracer.enabled:
+            root = self._connection.tracer.last_root()
+            if root is not None:
+                self._out(root.render())
 
     def _tables(self) -> None:
         for schema, table in self._connection.metadata.get_tables():
@@ -138,9 +150,11 @@ class Shell:
             self._out("usage: \\explain SELECT ...")
             return
         try:
-            translator = self._connection.translator
-            unit = translator.stage2(translator.stage1(sql))
-            self._out(explain(unit))
+            fmt = "delimited" if self._format == "delimited" \
+                else "recordset"
+            result = self._connection.translator.translate(sql, format=fmt)
+            self._out(explain(result.unit,
+                              stage_timings=result.stage_timings))
         except ReproError as exc:
             self._out(f"error: {exc}")
 
@@ -149,8 +163,45 @@ class Shell:
             self._out("usage: \\format delimited|xml")
             return
         self._format = fmt
-        self._connection = connect(self._runtime, format=fmt)
+        # Keep the tracer and metrics across the reconnect so \trace
+        # state and \stats history survive a format switch.
+        self._connection = connect(self._runtime, format=fmt,
+                                   tracer=self._connection.tracer,
+                                   metrics=self._connection.metrics)
         self._out(f"result format: {fmt}")
+
+    def _set_trace(self, argument: str) -> None:
+        if argument == "on":
+            self._connection.tracer.enable()
+            self._out("tracing: on")
+        elif argument == "off":
+            self._connection.tracer.disable()
+            self._out("tracing: off")
+        else:
+            self._out("usage: \\trace on|off")
+
+    def _stats(self) -> None:
+        snapshot = self._connection.stats()
+        self._out("COUNTERS")
+        for name, value in sorted(snapshot["counters"].items()):
+            self._out(f"  {name} = {value}")
+        self._out("HISTOGRAMS")
+        for name, summary in sorted(snapshot["histograms"].items()):
+            if summary["count"] == 0:
+                self._out(f"  {name}: no observations")
+                continue
+            self._out(
+                f"  {name}: count={summary['count']} "
+                f"mean={summary['mean'] * 1000:.3f}ms "
+                f"p50={summary['p50'] * 1000:.3f}ms "
+                f"p95={summary['p95'] * 1000:.3f}ms "
+                f"max={summary['max'] * 1000:.3f}ms")
+        for cache in ("statement_cache", "metadata_cache"):
+            stats = snapshot[cache]
+            self._out(f"{cache.upper()}: hits={stats['hits']} "
+                      f"misses={stats['misses']} "
+                      f"evictions={stats['evictions']} "
+                      f"size={stats['size']}/{stats['capacity']}")
 
     # -- loops --------------------------------------------------------------
 

@@ -15,8 +15,11 @@ from .stage1 import QueryContext
 from .stage2 import BoundQuery, BoundSelect, BoundSetOp, TranslationUnit
 
 
-def explain(unit: TranslationUnit) -> str:
-    """A full report: contexts, RSN tree, result schema, parameters."""
+def explain(unit: TranslationUnit,
+            stage_timings: dict[str, float] | None = None) -> str:
+    """A full report: contexts, RSN tree, result schema, parameters,
+    and — when *stage_timings* (``TranslationResult.stage_timings``) is
+    given — the per-stage wall time of the translation."""
     out = StringIO()
     out.write("QUERY CONTEXTS (stage 1)\n")
     _write_context(unit.stage1.root_context, out, indent=0)
@@ -32,6 +35,12 @@ def explain(unit: TranslationUnit) -> str:
         for index in sorted(unit.param_types):
             out.write(f"  ?{index} -> $p{index} "
                       f"({unit.param_types[index]})\n")
+    if stage_timings:
+        out.write("\nSTAGE TIMINGS\n")
+        for stage in ("stage1", "stage2", "stage3", "total"):
+            if stage in stage_timings:
+                out.write(f"  {stage}: "
+                          f"{stage_timings[stage] * 1000:.3f} ms\n")
     return out.getvalue()
 
 

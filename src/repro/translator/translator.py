@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import clock
 from ..catalog import MetadataAPI, MetadataCache
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from ..sql.types import SQLType
 from .rsn import ResultColumn
 from .stage1 import Stage1Result, run_stage1
@@ -33,6 +35,9 @@ class TranslationResult:
     columns: list[ResultColumn]
     parameter_types: dict[int, SQLType] = field(default_factory=dict)
     unit: TranslationUnit | None = None
+    #: Per-stage wall time in seconds ("stage1", "stage2", "stage3",
+    #: "total"), populated by the full ``translate`` pipeline.
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def column_labels(self) -> list[str]:
@@ -60,10 +65,20 @@ class SQLToXQueryTranslator:
     use").
     """
 
-    def __init__(self, metadata: MetadataAPI | MetadataCache):
+    def __init__(self, metadata: MetadataAPI | MetadataCache,
+                 tracer: Tracer | None = None,
+                 registry: MetricsRegistry | None = None):
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = MetricsRegistry() if registry is None else registry
         if isinstance(metadata, MetadataAPI):
-            metadata = MetadataCache(metadata)
+            metadata = MetadataCache(metadata, tracer=self.tracer,
+                                     registry=self.metrics)
         self.metadata = metadata
+        self._translated = self.metrics.counter("queries.translated")
+        self._stage_seconds = {
+            stage: self.metrics.histogram(f"translate.{stage}.seconds")
+            for stage in ("stage1", "stage2", "stage3", "total")
+        }
 
     # Individual stages are exposed for tests, tools, and the stage
     # breakdown benchmark (experiment E13).
@@ -92,8 +107,34 @@ class SQLToXQueryTranslator:
 
     def translate(self, sql: str,
                   format: str = "recordset") -> TranslationResult:
-        """Full pipeline: SQL text in, XQuery text + result schema out."""
-        unit = self.stage2(self.stage1(sql))
-        result = self.stage3(unit, format=format)
+        """Full pipeline: SQL text in, XQuery text + result schema out.
+
+        Opens a ``translate`` span with ``stage1``/``stage2``/``stage3``
+        children (stage two nests one ``metadata.fetch`` span per
+        remote table resolution) and records per-stage wall time both
+        on ``result.stage_timings`` and in the
+        ``translate.<stage>.seconds`` histograms.
+        """
+        ticks = clock.monotonic
+        with self.tracer.span("translate", sql=sql, format=format):
+            started = ticks()
+            with self.tracer.span("stage1"):
+                stage1 = self.stage1(sql)
+            after_stage1 = ticks()
+            with self.tracer.span("stage2"):
+                unit = self.stage2(stage1)
+            after_stage2 = ticks()
+            with self.tracer.span("stage3"):
+                result = self.stage3(unit, format=format)
+            finished = ticks()
         result.sql = sql
+        result.stage_timings = {
+            "stage1": after_stage1 - started,
+            "stage2": after_stage2 - after_stage1,
+            "stage3": finished - after_stage2,
+            "total": finished - started,
+        }
+        self._translated.increment()
+        for stage, seconds in result.stage_timings.items():
+            self._stage_seconds[stage].observe(seconds)
         return result

@@ -55,7 +55,9 @@ class TestModuleGlobals:
     def test_pep249_globals(self):
         assert driver_module.apilevel == "2.0"
         assert driver_module.paramstyle == "qmark"
-        assert driver_module.threadsafety == 1
+        # Level 2 since the observability PR: threads may share the
+        # module and connections (cursors stay per-thread).
+        assert driver_module.threadsafety == 2
 
     def test_type_objects(self):
         assert "VARCHAR" == STRING

@@ -79,6 +79,48 @@ class TestShellCommands:
         shell.handle("\\explain SELECT COUNT(*) FROM CUSTOMERS")
         assert "QUERY CONTEXTS" in output(lines)
         assert "table RSN" in output(lines)
+        assert "STAGE TIMINGS" in output(lines)
+
+    def test_trace_on_prints_span_tree(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("\\trace on")
+        assert "tracing: on" in output(lines)
+        lines.clear()
+        shell.handle("SELECT COUNT(*) FROM CUSTOMERS")
+        text = output(lines)
+        for name in ("execute", "translate", "stage1", "stage2",
+                     "stage3", "evaluate", "materialize"):
+            assert name in text
+        lines.clear()
+        shell.handle("\\trace off")
+        shell.handle("SELECT COUNT(*) FROM CUSTOMERS")
+        assert "stage1" not in output(lines)
+
+    def test_trace_usage(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("\\trace sideways")
+        assert "usage:" in output(lines)
+
+    def test_trace_survives_format_switch(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("\\trace on")
+        shell.handle("\\format xml")
+        lines.clear()
+        shell.handle("SELECT COUNT(*) FROM CUSTOMERS")
+        assert "execute" in output(lines)
+
+    def test_stats(self, shell_io):
+        shell, lines = shell_io
+        shell.handle("SELECT COUNT(*) FROM CUSTOMERS")
+        lines.clear()
+        shell.handle("\\stats")
+        text = output(lines)
+        assert "COUNTERS" in text
+        assert "queries.executed = 1" in text
+        assert "HISTOGRAMS" in text
+        assert "translate.total.seconds" in text
+        assert "STATEMENT_CACHE: hits=0 misses=1" in text
+        assert "METADATA_CACHE:" in text
 
     def test_format_validation(self, shell_io):
         shell, lines = shell_io

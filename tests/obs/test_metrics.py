@@ -1,0 +1,106 @@
+"""MetricsRegistry unit tests: counters, histogram summaries and
+quantiles, snapshots, in-place reset, and concurrent increments."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_add_and_increment(self):
+        counter = MetricsRegistry().counter("c")
+        counter.increment()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_same_name_same_counter(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_concurrent_increments_lose_nothing(self):
+        counter = MetricsRegistry().counter("c")
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            for _ in range(1000):
+                counter.increment()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == 10.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == 2.5
+        assert summary["p50"] in (2.0, 3.0)
+        assert summary["p99"] == 4.0
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().histogram("h").summary() == {"count": 0}
+
+    def test_quantile(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.quantile(0.5) is None
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 100.0
+        assert 49.0 <= histogram.quantile(0.5) <= 52.0
+        assert 94.0 <= histogram.quantile(0.95) <= 97.0
+
+    def test_quantile_range_checked(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_window_is_bounded_but_totals_exact(self):
+        histogram = MetricsRegistry().histogram("h", window=8)
+        for value in range(100):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 0.0
+        assert summary["max"] == 99.0
+        # Quantiles come from the retained (most recent) window.
+        assert summary["p50"] >= 92.0
+
+
+class TestRegistry:
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("queries").add(3)
+        registry.histogram("latency").observe(0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"queries": 3}
+        assert snapshot["histograms"]["latency"]["count"] == 1
+
+    def test_reset_zeroes_in_place(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("queries")
+        histogram = registry.histogram("latency")
+        counter.add(3)
+        histogram.observe(0.25)
+        registry.reset()
+        # The same objects keep working after a reset: instrumented
+        # code caches references to them.
+        assert counter.value == 0
+        assert registry.counter("queries") is counter
+        counter.increment()
+        histogram.observe(1.0)
+        assert counter.value == 1
+        assert histogram.summary()["count"] == 1

@@ -1,0 +1,137 @@
+"""Concurrency suite: N threads hammering one shared ``Connection``.
+
+Asserts the three properties the observability layer's locked caches
+must provide (ISSUE 1):
+
+* no lost updates in cache stats — hits + misses add up exactly;
+* no duplicate metadata fetches beyond the distinct table count
+  (single-flight loading);
+* results identical to serial execution of the same workload.
+"""
+
+import threading
+
+import pytest
+
+from repro.driver import connect
+from repro.workloads import build_runtime
+
+THREADS = 8
+ROUNDS = 4
+
+#: Mixed workload over all four demo tables: scans, filters, a join,
+#: an aggregate, and a parameterless repeat to exercise cache hits.
+QUERIES = [
+    "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS",
+    "SELECT * FROM PAYMENTS",
+    "SELECT ORDERID FROM PO_CUSTOMERS",
+    "SELECT STATUS, AMOUNT FROM ORDERS WHERE AMOUNT > 10",
+    "SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C "
+    "INNER JOIN PAYMENTS P ON C.CUSTOMERID = P.CUSTID",
+    "SELECT COUNT(*) FROM CUSTOMERS",
+    "SELECT REGION, COUNT(*) FROM CUSTOMERS GROUP BY REGION ORDER BY 1",
+]
+
+DISTINCT_TABLES = {"CUSTOMERS", "PAYMENTS", "PO_CUSTOMERS", "ORDERS"}
+
+
+def run_workload(connection, results: dict, failures: list,
+                 barrier=None) -> None:
+    if barrier is not None:
+        barrier.wait()
+    try:
+        for round_index in range(ROUNDS):
+            for sql in QUERIES:
+                cursor = connection.cursor()
+                cursor.execute(sql)
+                rows = cursor.fetchall()
+                previous = results.setdefault(sql, rows)
+                if previous != rows:
+                    failures.append(
+                        f"non-deterministic rows for {sql!r}")
+    except Exception as exc:  # pragma: no cover - failure reporting
+        failures.append(f"{type(exc).__name__}: {exc}")
+
+
+@pytest.fixture
+def shared_connection():
+    connection = connect(build_runtime())
+    yield connection
+    connection.close()
+
+
+class TestSharedConnection:
+    def test_concurrent_mixed_queries(self, shared_connection):
+        connection = shared_connection
+        failures: list[str] = []
+        results: dict[str, list] = {}
+        barrier = threading.Barrier(THREADS)
+        threads = [
+            threading.Thread(target=run_workload,
+                             args=(connection, results, failures,
+                                   barrier))
+            for _ in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+
+        # -- no duplicate metadata fetches beyond the table count ------
+        assert connection._metadata_api.call_count == len(DISTINCT_TABLES)
+        snapshot = connection.stats()
+        assert snapshot["counters"]["metadata.fetches"] == \
+            len(DISTINCT_TABLES)
+
+        # -- no lost updates in cache stats ----------------------------
+        total_executes = THREADS * ROUNDS * len(QUERIES)
+        statement = snapshot["statement_cache"]
+        # Single-flight: each distinct statement translated exactly once.
+        assert statement["misses"] == len(QUERIES)
+        assert statement["hits"] == total_executes - len(QUERIES)
+        assert snapshot["counters"]["queries.translated"] == len(QUERIES)
+        assert snapshot["counters"]["queries.executed"] == total_executes
+
+        metadata = snapshot["metadata_cache"]
+        assert metadata["misses"] == len(DISTINCT_TABLES)
+        # Each distinct statement binds once (single-flight), so the
+        # metadata lookups are exactly the table references across the
+        # distinct queries: 8 (the join query references two tables).
+        table_references = 8
+        assert metadata["hits"] + metadata["misses"] == table_references
+
+        # -- identical results to serial execution ---------------------
+        serial = connect(build_runtime())
+        try:
+            for sql in QUERIES:
+                cursor = serial.cursor()
+                cursor.execute(sql)
+                assert cursor.fetchall() == results[sql], sql
+        finally:
+            serial.close()
+
+    def test_concurrent_rows_materialized_counter(self, shared_connection):
+        connection = shared_connection
+        serial = connect(build_runtime())
+        expected_per_pass = 0
+        for sql in QUERIES:
+            cursor = serial.cursor()
+            cursor.execute(sql)
+            expected_per_pass += len(cursor.fetchall())
+        serial.close()
+
+        failures: list[str] = []
+        threads = [
+            threading.Thread(target=run_workload,
+                             args=(connection, {}, failures))
+            for _ in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        counters = connection.stats()["counters"]
+        assert counters["rows.materialized"] == \
+            expected_per_pass * THREADS * ROUNDS

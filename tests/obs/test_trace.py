@@ -1,0 +1,146 @@
+"""Tracer/Span unit tests: nesting, toggling, rendering, thread
+isolation, deterministic timing via the pinnable clock."""
+
+import threading
+
+from repro import clock
+from repro.obs import NULL_TRACER, Span, Tracer
+
+
+class FakeTicker:
+    """A deterministic monotonic source advancing 1ms per reading."""
+
+    def __init__(self):
+        self.ticks = 0.0
+
+    def __call__(self):
+        self.ticks += 0.001
+        return self.ticks
+
+
+class TestTracer:
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        root = tracer.last_root()
+        assert root.name == "outer"
+        assert [child.name for child in root.children] == \
+            ["middle", "sibling"]
+        assert root.children[0].children[0].name == "inner"
+
+    def test_span_yields_itself_with_attributes(self):
+        tracer = Tracer()
+        with tracer.span("op", table="CUSTOMERS") as span:
+            assert span.name == "op"
+        assert span.attributes == {"table": "CUSTOMERS"}
+
+    def test_durations_are_monotonic_and_nested(self):
+        clock.set_monotonic(FakeTicker())
+        try:
+            tracer = Tracer()
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+            root = tracer.last_root()
+            inner = root.children[0]
+            assert inner.duration > 0
+            assert root.duration > inner.duration
+        finally:
+            clock.set_monotonic(None)
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("op") as span:
+            assert span is None
+        assert tracer.roots() == []
+
+    def test_enable_disable_round_trip(self):
+        tracer = Tracer(enabled=False)
+        tracer.enable()
+        with tracer.span("op"):
+            pass
+        tracer.disable()
+        with tracer.span("ignored"):
+            pass
+        assert [root.name for root in tracer.roots()] == ["op"]
+
+    def test_null_tracer_cannot_be_enabled(self):
+        NULL_TRACER.enable()
+        with NULL_TRACER.span("op") as span:
+            assert span is None
+        assert NULL_TRACER.roots() == []
+
+    def test_roots_bounded(self):
+        tracer = Tracer(max_roots=2)
+        for index in range(5):
+            with tracer.span(f"op{index}"):
+                pass
+        assert [root.name for root in tracer.roots()] == ["op3", "op4"]
+
+    def test_find_descends_the_tree(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("b"):
+                    pass
+        root = tracer.last_root()
+        assert len(root.find("b")) == 2
+        assert root.find("a") == [root]
+        assert root.find("missing") == []
+
+    def test_render_contains_names_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("execute", sql="SELECT 1"):
+            with tracer.span("stage1"):
+                pass
+        text = tracer.last_root().render()
+        assert "execute" in text
+        assert "sql=SELECT 1" in text
+        assert "\n  stage1" in text
+        assert "ms" in text
+
+    def test_threads_build_independent_trees(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def work(index: int):
+            barrier.wait()
+            with tracer.span(f"root{index}"):
+                with tracer.span("child"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        roots = tracer.roots()
+        assert sorted(root.name for root in roots) == \
+            [f"root{i}" for i in range(4)]
+        # No cross-thread adoption: every root has exactly one child.
+        assert all(len(root.children) == 1 for root in roots)
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        tracer.clear()
+        assert tracer.last_root() is None
+
+
+class TestSpan:
+    def test_open_span_duration_uses_now(self):
+        ticker = FakeTicker()
+        clock.set_monotonic(ticker)
+        try:
+            span = Span("op", start=ticker())
+            assert span.end is None
+            assert span.duration > 0
+        finally:
+            clock.set_monotonic(None)

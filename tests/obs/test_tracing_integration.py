@@ -1,0 +1,111 @@
+"""End-to-end tracing acceptance tests (ISSUE 1 criteria).
+
+A traced SELECT with a two-table join must yield a span tree
+containing ``stage1``, ``stage2``, ``stage3``, and exactly one
+``metadata.fetch`` span per distinct table, all with nonzero
+durations, and ``Connection.stats()`` must report matching counters.
+"""
+
+import pytest
+
+from repro.driver import connect
+from repro.translator import explain
+from repro.workloads import build_runtime
+
+JOIN_SQL = ("SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C "
+            "INNER JOIN PAYMENTS P ON C.CUSTOMERID = P.CUSTID")
+
+
+@pytest.fixture
+def traced_connection():
+    connection = connect(build_runtime())
+    connection.tracer.enable()
+    yield connection
+    connection.close()
+
+
+class TestTracedJoin:
+    def test_span_tree_shape(self, traced_connection):
+        cursor = traced_connection.cursor()
+        cursor.execute(JOIN_SQL)
+        root = traced_connection.tracer.last_root()
+        assert root.name == "execute"
+        assert [child.name for child in root.children] == \
+            ["translate", "evaluate", "materialize"]
+        translate = root.children[0]
+        stage_names = [child.name for child in translate.children]
+        assert stage_names == ["stage1", "stage2", "stage3"]
+
+        fetches = root.find("metadata.fetch")
+        assert sorted(span.attributes["name"] for span in fetches) == \
+            ["CUSTOMERS", "PAYMENTS"]
+        # The fetches happen during stage two, nested under it.
+        stage2 = translate.children[1]
+        assert stage2.find("metadata.fetch") == fetches
+
+        for span in root.find("stage1") + root.find("stage2") + \
+                root.find("stage3") + fetches + [root]:
+            assert span.end is not None
+            assert span.duration > 0
+
+    def test_counters_match_span_tree(self, traced_connection):
+        cursor = traced_connection.cursor()
+        cursor.execute(JOIN_SQL)
+        root = traced_connection.tracer.last_root()
+        counters = traced_connection.stats()["counters"]
+        assert counters["metadata.fetches"] == \
+            len(root.find("metadata.fetch")) == 2
+        assert counters["metadata.cache.misses"] == 2
+        assert counters["queries.translated"] == 1
+        assert counters["queries.executed"] == 1
+        assert counters["statement.cache.misses"] == 1
+        assert counters["rows.materialized"] == cursor.rowcount
+
+    def test_repeat_execution_hits_caches_and_skips_fetches(
+            self, traced_connection):
+        cursor = traced_connection.cursor()
+        cursor.execute(JOIN_SQL)
+        cursor.execute(JOIN_SQL)
+        root = traced_connection.tracer.last_root()
+        # Cached translation: no translate span, no metadata fetches.
+        assert [child.name for child in root.children] == \
+            ["evaluate", "materialize"]
+        counters = traced_connection.stats()["counters"]
+        assert counters["statement.cache.hits"] == 1
+        assert counters["metadata.fetches"] == 2
+        assert counters["queries.executed"] == 2
+
+    def test_stage_timings_and_histograms(self, traced_connection):
+        result = traced_connection.translate(JOIN_SQL)
+        timings = result.stage_timings
+        assert set(timings) == {"stage1", "stage2", "stage3", "total"}
+        assert all(value > 0 for value in timings.values())
+        assert timings["total"] >= (timings["stage1"] + timings["stage2"]
+                                    + timings["stage3"]) * 0.99
+        histograms = traced_connection.stats()["histograms"]
+        for stage in ("stage1", "stage2", "stage3", "total"):
+            assert histograms[f"translate.{stage}.seconds"]["count"] == 1
+
+    def test_explain_renders_stage_timings(self, traced_connection):
+        result = traced_connection.translate(JOIN_SQL)
+        report = explain(result.unit, stage_timings=result.stage_timings)
+        assert "STAGE TIMINGS" in report
+        assert "stage2" in report
+        assert "ms" in report
+
+    def test_tracing_off_records_nothing(self):
+        connection = connect(build_runtime())
+        cursor = connection.cursor()
+        cursor.execute(JOIN_SQL)
+        assert connection.tracer.roots() == []
+        # Metrics still accumulate with tracing off.
+        assert connection.stats()["counters"]["queries.executed"] == 1
+        connection.close()
+
+    def test_close_releases_cached_state(self):
+        connection = connect(build_runtime())
+        connection.translate(JOIN_SQL)
+        assert len(connection._statement_cache) == 1
+        connection.close()
+        assert len(connection._statement_cache) == 0
+        assert connection._metadata_cache.stats_dict()["size"] == 0

@@ -1,0 +1,41 @@
+"""Property-style round-trip (ISSUE 1 satellite): every query emitted
+by the workload generator must survive parse → print → re-parse with
+an AST equal to the original.
+
+The SQL AST is built from frozen dataclasses, so equality is deep
+structural equality — a stricter check than the printed-text fixed
+point the printer tests use.
+"""
+
+import pytest
+
+from repro.sql import parse_statement, print_query
+from repro.workloads.generator import COMPLEXITY_CLASSES, generate_query
+
+SEEDS = range(250)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_generated_query_round_trips(seed):
+    sql = generate_query(seed)
+    original = parse_statement(sql)
+    printed = print_query(original)
+    reparsed = parse_statement(printed)
+    assert reparsed == original, (
+        f"round trip changed the AST for seed {seed}:\n"
+        f"  original sql: {sql}\n  printed sql:  {printed}")
+
+
+@pytest.mark.parametrize("klass", sorted(COMPLEXITY_CLASSES))
+def test_complexity_classes_round_trip(klass):
+    sql = COMPLEXITY_CLASSES[klass]
+    original = parse_statement(sql)
+    printed = print_query(original)
+    assert parse_statement(printed) == original
+
+
+def test_round_trip_is_a_fixed_point():
+    """Printing the re-parsed AST reproduces the printed text exactly."""
+    for seed in range(50):
+        printed = print_query(parse_statement(generate_query(seed)))
+        assert print_query(parse_statement(printed)) == printed
