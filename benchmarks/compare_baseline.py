@@ -1,0 +1,120 @@
+"""Gate benchmark results against the committed baseline.
+
+Compares a fresh ``pytest-benchmark`` JSON report against the repo's
+committed baseline (``BENCH_PR2.json``) and exits nonzero when any
+benchmark regressed by more than the tolerance (default 25%).
+
+Comparison uses each benchmark's *min* round time: the best observed
+round is far more robust to scheduler noise on shared CI machines than
+the mean. Benchmarks present on only one side are reported but never
+fail the gate (new benchmarks must be allowed to land).
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_end_to_end.py \\
+        benchmarks/bench_translation.py --benchmark-json=results.json
+    python benchmarks/compare_baseline.py results.json
+
+    # refresh the committed baseline after an intentional change:
+    python benchmarks/compare_baseline.py results.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_results(path: Path) -> dict[str, dict[str, float]]:
+    """Extract {name: {mean_s, min_s}} from a pytest-benchmark report."""
+    data = json.loads(path.read_text())
+    return {
+        bench["name"]: {
+            "mean_s": bench["stats"]["mean"],
+            "min_s": bench["stats"]["min"],
+        }
+        for bench in data["benchmarks"]
+    }
+
+
+def compare(baseline: dict[str, dict[str, float]],
+            results: dict[str, dict[str, float]],
+            tolerance: float) -> list[str]:
+    """Return a list of regression descriptions (empty = pass)."""
+    regressions = []
+    for name in sorted(baseline):
+        if name not in results:
+            print(f"  skipped (not in results): {name}")
+            continue
+        base = baseline[name]["min_s"]
+        got = results[name]["min_s"]
+        if base <= 0:
+            continue
+        ratio = got / base
+        marker = ""
+        if ratio > 1.0 + tolerance:
+            marker = "  << REGRESSION"
+            regressions.append(
+                f"{name}: min {got * 1000:.3f}ms vs baseline "
+                f"{base * 1000:.3f}ms ({ratio:.2f}x, tolerance "
+                f"{1.0 + tolerance:.2f}x)")
+        print(f"  {name:42s} {base * 1000:9.3f}ms -> {got * 1000:9.3f}ms "
+              f"({ratio:5.2f}x){marker}")
+    for name in sorted(set(results) - set(baseline)):
+        print(f"  new benchmark (no baseline): {name}")
+    return regressions
+
+
+def update_baseline(path: Path, results: dict[str, dict[str, float]]) -> None:
+    existing = json.loads(path.read_text()) if path.exists() else {}
+    existing["benchmarks"] = {
+        name: {"mean_s": round(stats["mean_s"], 6),
+               "min_s": round(stats["min_s"], 6)}
+        for name, stats in sorted(results.items())
+    }
+    path.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"baseline updated: {path} ({len(results)} benchmarks)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path,
+                        help="pytest-benchmark JSON report to check")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"committed baseline (default: "
+                             f"{DEFAULT_BASELINE.name})")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed slowdown fraction (default: 0.25 = "
+                             "fail above 1.25x baseline)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the results "
+                             "instead of comparing")
+    args = parser.parse_args(argv)
+
+    results = load_results(args.results)
+    if args.update:
+        update_baseline(args.baseline, results)
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())["benchmarks"]
+    print(f"comparing {len(results)} results against "
+          f"{args.baseline.name} (tolerance {args.tolerance:.0%}):")
+    regressions = compare(baseline, results, args.tolerance)
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed "
+              f"beyond tolerance:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nOK: no benchmark regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Peak-memory comparison: streamed vs materialized scan (experiment E16).
+
+Not a pytest-benchmark module (it measures bytes, not seconds). Run::
+
+    PYTHONPATH=src python benchmarks/measure_streaming_memory.py [ROWS]
+
+For a large scan, a cursor that fetches only a page should allocate
+O(page) — the compiled pipeline pulls rows through on demand — while
+``fetchall`` necessarily materializes all rows. The absolute numbers
+depend on the row width; the shape to look for is the streamed page
+staying flat as ROWS grows.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+
+from repro.driver import connect
+from repro.workloads.scaling import build_scaled_runtime
+
+
+def measure(rows: int, page: int) -> tuple[int, int]:
+    runtime = build_scaled_runtime(rows)
+    sql = "SELECT * FROM FACTS"
+
+    cursor = connect(runtime, format="delimited").cursor()
+    cursor.execute(sql)
+    cursor.fetchall()  # warm the plan cache and the source tree
+
+    cursor.execute(sql)
+    tracemalloc.start()
+    cursor.fetchmany(page)
+    _, streamed_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    cursor.close()
+
+    cursor = connect(runtime, format="delimited").cursor()
+    cursor.execute(sql)
+    tracemalloc.start()
+    cursor.fetchall()
+    _, full_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    cursor.close()
+    return streamed_peak, full_peak
+
+
+def main() -> int:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
+    page = 10
+    streamed, full = measure(rows, page)
+    print(f"scan of {rows} rows (delimited format):")
+    print(f"  fetchmany({page}) peak: {streamed / 1024:10.1f} KiB")
+    print(f"  fetchall peak:     {full / 1024:10.1f} KiB")
+    print(f"  ratio:             {full / max(streamed, 1):10.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

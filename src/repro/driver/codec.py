@@ -46,44 +46,80 @@ def convert_cell(text: str, sql_type: SQLType) -> object:
     raise DataError(f"unsupported result column type {sql_type}")
 
 
-def decode_delimited(stream: str,
-                     columns: list[ResultColumn]) -> list[tuple]:
-    """Parse a delimited result stream into typed rows.
+def iter_decode_delimited(chunks,
+                          columns: list[ResultColumn]):
+    """Incrementally parse a delimited result stream into typed rows.
 
     Each cell is ``>`` + xml-escaped value, or ``<`` for NULL; the column
     count comes from the result schema, so rows need no separator.
+
+    *chunks* is any iterable of text pieces (the streaming executor
+    yields one piece per wrapper cell); rows are yielded as soon as
+    their last cell's end is known, so a lazily-consumed cursor decodes
+    only what it fetches. A value cell ends at the next cell marker —
+    or at end of stream, which is only known once *chunks* is exhausted,
+    so the final value cell is held back until then. Error offsets are
+    absolute positions in the concatenated stream, identical to what a
+    whole-string parse reports.
     """
     if not columns:
         raise DataError("result schema has no columns")
-    rows: list[tuple] = []
+    column_count = len(columns)
     row: list[object] = []
-    pos = 0
-    length = len(stream)
-    while pos < length:
-        mark = stream[pos]
-        pos += 1
-        if mark == NULL_MARK:
-            value: object = None
-        elif mark == VALUE_MARK:
-            end_value = pos
-            while end_value < length and \
-                    stream[end_value] not in (VALUE_MARK, NULL_MARK):
-                end_value += 1
-            raw = unescape(stream[pos:end_value])
-            value = convert_cell(raw, columns[len(row)].sql_type)
-            pos = end_value
-        else:
-            raise DataError(
-                f"malformed delimited stream at offset {pos - 1}: "
-                f"expected a cell marker, got {mark!r}")
-        row.append(value)
-        if len(row) == len(columns):
-            rows.append(tuple(row))
+    tail = ""  # unconsumed text, starting at absolute offset `base`
+    base = 0
+    for chunk in chunks:
+        if not chunk:
+            continue
+        tail += chunk
+        length = len(tail)
+        pos = 0
+        while pos < length:
+            mark = tail[pos]
+            if mark == NULL_MARK:
+                row.append(None)
+                pos += 1
+            elif mark == VALUE_MARK:
+                next_value = tail.find(VALUE_MARK, pos + 1)
+                next_null = tail.find(NULL_MARK, pos + 1)
+                if next_value < 0:
+                    end_value = next_null
+                elif next_null < 0:
+                    end_value = next_value
+                else:
+                    end_value = min(next_value, next_null)
+                if end_value < 0:
+                    break  # the value may continue in the next chunk
+                raw = unescape(tail[pos + 1:end_value])
+                row.append(convert_cell(raw, columns[len(row)].sql_type))
+                pos = end_value
+            else:
+                raise DataError(
+                    f"malformed delimited stream at offset {base + pos}: "
+                    f"expected a cell marker, got {mark!r}")
+            if len(row) == column_count:
+                yield tuple(row)
+                row = []
+        base += pos
+        tail = tail[pos:]
+    if tail:
+        # Only an unterminated value cell can be left pending; end of
+        # stream terminates it.
+        raw = unescape(tail[1:])
+        row.append(convert_cell(raw, columns[len(row)].sql_type))
+        if len(row) == column_count:
+            yield tuple(row)
             row = []
     if row:
         raise DataError(
             f"truncated delimited stream: {len(row)} trailing cell(s)")
-    return rows
+
+
+def decode_delimited(stream: str,
+                     columns: list[ResultColumn]) -> list[tuple]:
+    """Parse a complete delimited result stream into typed rows (the
+    one-shot form of :func:`iter_decode_delimited`)."""
+    return list(iter_decode_delimited((stream,), columns))
 
 
 def decode_xml(document_text: str,

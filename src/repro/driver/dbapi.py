@@ -33,7 +33,7 @@ from ..translator import (
     TranslationResult,
 )
 from ..xmlmodel import Element, serialize
-from .codec import decode_delimited, decode_xml
+from .codec import decode_delimited, decode_xml, iter_decode_delimited
 from .metadata import DatabaseMetaData
 
 apilevel = "2.0"
@@ -134,6 +134,7 @@ class Connection:
             prefix="statement.cache")
         self._queries_executed = self.metrics.counter("queries.executed")
         self._rows_materialized = self.metrics.counter("rows.materialized")
+        self._rows_streamed = self.metrics.counter("rows.streamed")
         self._execute_seconds = self.metrics.histogram("execute.seconds")
         self._closed = False
 
@@ -198,6 +199,7 @@ class Connection:
         snapshot = self.metrics.snapshot()
         snapshot["statement_cache"] = self._statement_cache.stats()
         snapshot["metadata_cache"] = self._metadata_cache.stats_dict()
+        snapshot["plan_cache"] = self._runtime.plan_cache.stats()
         return snapshot
 
     def _check_open(self) -> None:
@@ -206,7 +208,17 @@ class Connection:
 
 
 class Cursor:
-    """A PEP 249 cursor: execute SQL, fetch typed rows."""
+    """A PEP 249 cursor: execute SQL, fetch typed rows.
+
+    With the default ``delimited`` format, ``execute()`` starts a
+    **streaming** result: the compiled query pipeline and the delimited
+    decoder are both lazy, so ``fetchone()``/``fetchmany()`` pull rows
+    on demand and ``rowcount`` stays -1 until the stream is exhausted
+    (PEP 249 permits -1 when the count is not yet known). ``fetchall()``
+    drains the stream and returns exactly what the eager path returned.
+    The ``xml`` format and ``callproc`` still materialize at execute
+    time.
+    """
 
     arraysize = 1
 
@@ -214,6 +226,8 @@ class Cursor:
         self.connection = connection
         self._rows: list[tuple] = []
         self._index = 0
+        self._stream: Optional[Iterator[tuple]] = None
+        self._fetched = 0
         self._description: Optional[list[tuple]] = None
         self._closed = False
         self.rowcount = -1
@@ -262,7 +276,9 @@ class Cursor:
             return self
         connection = self.connection
         tracer = connection.tracer
+        self._release_stream()
         started = clock.monotonic()
+        streamed = False
         try:
             with tracer.span("execute", sql=operation):
                 # The statement cache's loader opens the nested
@@ -270,11 +286,24 @@ class Cursor:
                 translation = connection.translate(operation)
                 variables = translation.parameter_variables(parameters)
                 with tracer.span("evaluate"):
-                    result = connection._runtime.execute(
-                        translation.xquery, variables=variables,
-                        tracer=tracer)
-                with tracer.span("materialize"):
-                    self._rows = self._decode(result, translation.columns)
+                    plan = connection._runtime.prepare(
+                        translation.xquery, tracer=tracer)
+                    translation.stage_timings.setdefault(
+                        "compile", plan.compile_seconds)
+                    if connection.format == "delimited" \
+                            and plan.streams_text:
+                        # Streaming path: set up the lazy pipeline;
+                        # rows are pulled (and decoded) at fetch time.
+                        stream = iter_decode_delimited(
+                            plan.stream_chunks(variables),
+                            translation.columns)
+                        streamed = True
+                    else:
+                        result = plan.evaluate(variables)
+                if not streamed:
+                    with tracer.span("materialize"):
+                        self._rows = self._decode(result,
+                                                  translation.columns)
         except errors.SQLError as exc:
             raise ProgrammingError(str(exc)) from exc
         except Error:
@@ -282,11 +311,17 @@ class Cursor:
         except ReproError as exc:
             raise DatabaseError(str(exc)) from exc
         connection._queries_executed.increment()
-        connection._rows_materialized.add(len(self._rows))
         connection._execute_seconds.observe(clock.monotonic() - started)
         self._set_description(translation.columns)
-        self.rowcount = len(self._rows)
         self._index = 0
+        self._fetched = 0
+        if streamed:
+            self._stream = stream
+            self._rows = []
+            self.rowcount = -1  # unknown until the stream is exhausted
+        else:
+            connection._rows_materialized.add(len(self._rows))
+            self.rowcount = len(self._rows)
         return self
 
     def executemany(self, operation: str,
@@ -301,6 +336,7 @@ class Cursor:
         function has parameters, it becomes a callable SQL stored
         procedure')."""
         self._check_open()
+        self._release_stream()
         try:
             proc = self.connection._metadata_cache.fetch_procedure(procname)
             rows = self._execute_procedure(proc, parameters)
@@ -356,8 +392,52 @@ class Cursor:
 
     # -- fetching ------------------------------------------------------------------
 
+    def _finish_stream(self) -> None:
+        """The stream is exhausted: the row count is now known."""
+        self.rowcount = self._fetched
+        self._stream = None
+
+    def _release_stream(self) -> None:
+        """Close any live pipeline (re-execute, close): generator close
+        propagates through the decoder into the executor stages, so the
+        engine drops its frames immediately."""
+        if self._stream is not None:
+            stream, self._stream = self._stream, None
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+
+    def _pull_streamed(self, limit: Optional[int]) -> list[tuple]:
+        """Pull up to *limit* rows (all remaining when None) from the
+        live stream, wrapping engine errors — which now surface at
+        fetch time — the same way execute() wraps them."""
+        stream = self._stream
+        chunk: list[tuple] = []
+        exhausted = False
+        try:
+            while limit is None or len(chunk) < limit:
+                try:
+                    chunk.append(next(stream))
+                except StopIteration:
+                    exhausted = True
+                    break
+        except Error:
+            raise
+        except ReproError as exc:
+            raise DatabaseError(str(exc)) from exc
+        finally:
+            self._fetched += len(chunk)
+            if chunk:
+                self.connection._rows_streamed.add(len(chunk))
+            if exhausted:
+                self._finish_stream()
+        return chunk
+
     def fetchone(self) -> Optional[tuple]:
         self._check_results()
+        if self._stream is not None:
+            chunk = self._pull_streamed(1)
+            return chunk[0] if chunk else None
         if self._index >= len(self._rows):
             return None
         row = self._rows[self._index]
@@ -368,12 +448,16 @@ class Cursor:
         self._check_results()
         if size is None:
             size = self.arraysize
+        if self._stream is not None:
+            return self._pull_streamed(size)
         chunk = self._rows[self._index:self._index + size]
         self._index += len(chunk)
         return chunk
 
     def fetchall(self) -> list[tuple]:
         self._check_results()
+        if self._stream is not None:
+            return self._pull_streamed(None)
         chunk = self._rows[self._index:]
         self._index = len(self._rows)
         return chunk
@@ -394,6 +478,7 @@ class Cursor:
         self._check_open()
 
     def close(self) -> None:
+        self._release_stream()
         self._closed = True
         self._rows = []
         self._description = None

@@ -14,6 +14,8 @@ variables.
 
 from __future__ import annotations
 
+from typing import Iterator, Optional
+
 from ..catalog import (
     Application,
     CallableBinding,
@@ -29,10 +31,11 @@ from ..catalog import (
     sql_to_xs,
 )
 from ..errors import UnknownArtifactError, XQueryDynamicError
-from ..obs import NULL_TRACER, LRUCache
+from ..obs import NULL_TRACER, LRUCache, MetricsRegistry
 from ..xmlmodel import Element, QName, Text
-from ..xquery import Evaluator, parse_xquery
+from ..xquery import parse_xquery
 from ..xquery.atomic import parse_lexical, serialize_atomic
+from ..xquery.compile import CompiledQuery, compile_module
 from .table import Storage, Table
 
 
@@ -40,17 +43,34 @@ class DSPRuntime:
     """Hosts one application over one storage backend."""
 
     def __init__(self, application: Application, storage: Storage,
-                 optimize: bool = True, module_cache_capacity: int = 256):
+                 optimize: bool = True, plan_cache_capacity: int = 256,
+                 metrics: Optional[MetricsRegistry] = None):
         self.application = application
         self.storage = storage
-        #: Enable the XQuery engine's optimizer (hash equi-joins). The
-        #: paper's translator leaves "any/all optimizations ... to the
-        #: XQuery processor"; this is that processor's knob.
+        #: Enable the XQuery engine's optimizer (hash equi-joins, filter
+        #: hoisting, let/for fusion). The paper's translator leaves
+        #: "any/all optimizations ... to the XQuery processor"; this is
+        #: that processor's knob.
         self.optimize = optimize
+        #: Runtime-side metrics: the plan cache publishes
+        #: ``plan_cache.hits`` / ``plan_cache.misses`` /
+        #: ``plan_cache.evictions`` here.
+        self.metrics = MetricsRegistry() if metrics is None else metrics
         self._functions: dict[tuple[str, str], DataServiceFunction] = {}
-        #: Compiled-module cache: bounded, thread-safe, single-flight,
-        #: so concurrent executions of the same XQuery parse it once.
-        self._module_cache = LRUCache(module_cache_capacity)
+        #: Compiled-plan cache: bounded, thread-safe, single-flight, so
+        #: concurrent executions of the same XQuery parse and compile it
+        #: once. Keyed like the driver's statement cache, by query text
+        #: (plus the optimize flag, so toggling it never reuses a plan
+        #: built under the other setting).
+        self.plan_cache = LRUCache(plan_cache_capacity,
+                                   registry=self.metrics,
+                                   prefix="plan_cache")
+        #: Materialized element trees for table-bound physical functions,
+        #: keyed by function identity. Tables are append-only (Storage
+        #: exposes insert/insert_many but no update or delete), so the
+        #: row count is a sufficient staleness check; query execution
+        #: never mutates source trees (constructors copy nodes).
+        self._table_elements: dict[tuple[str, str], tuple[int, list]] = {}
         self.function_call_count = 0
         for project, service in application.all_data_services():
             uri = function_namespace(project, service)
@@ -78,8 +98,13 @@ class DSPRuntime:
                 raise UnknownArtifactError(
                     f"schema/table column count mismatch for "
                     f"{function.name}")
-            return self._rows_to_elements(function.return_schema,
-                                          table.rows)
+            cached = self._table_elements.get((uri, local))
+            if cached is not None and cached[0] == len(table.rows):
+                return cached[1]
+            elements = self._rows_to_elements(function.return_schema,
+                                              table.rows)
+            self._table_elements[(uri, local)] = (len(table.rows), elements)
+            return elements
         if isinstance(function.binding, CsvBinding):
             return self._rows_to_elements(
                 function.return_schema,
@@ -173,26 +198,45 @@ class DSPRuntime:
 
     # -- query execution -----------------------------------------------------
 
+    def prepare(self, xquery_text: str, tracer=None) -> CompiledQuery:
+        """Parse, plan, and closure-compile an XQuery (with caching).
+
+        The compiled plan is immutable and thread-safe, so one cache
+        entry serves every subsequent execution of the same text. Pass a
+        ``repro.obs.Tracer`` to record ``xquery.parse`` and
+        ``xquery.compile`` spans (cold compiles only) under the caller's
+        current span."""
+        tracer = NULL_TRACER if tracer is None else tracer
+
+        def load() -> CompiledQuery:
+            with tracer.span("xquery.parse"):
+                module = parse_xquery(xquery_text)
+            with tracer.span("xquery.compile"):
+                return compile_module(module, resolver=self.call_function,
+                                      optimize=self.optimize)
+
+        return self.plan_cache.get_or_load((xquery_text, self.optimize),
+                                           load)
+
     def execute(self, xquery_text: str,
                 variables: dict[str, object] | None = None,
                 tracer=None) -> list:
-        """Compile (with caching) and evaluate an XQuery, returning the
-        result sequence. Pass a ``repro.obs.Tracer`` to record
-        ``xquery.parse`` (cold compiles only) and ``xquery.evaluate``
-        spans under the caller's current span."""
+        """Compile (with plan caching) and evaluate an XQuery, returning
+        the materialized result sequence."""
         tracer = NULL_TRACER if tracer is None else tracer
-
-        def compile_module():
-            with tracer.span("xquery.parse"):
-                return parse_xquery(xquery_text)
-
-        module = self._module_cache.get_or_load(xquery_text,
-                                                compile_module)
+        plan = self.prepare(xquery_text, tracer=tracer)
         with tracer.span("xquery.evaluate"):
-            evaluator = Evaluator(module, resolver=self.call_function,
-                                  variables=variables,
-                                  optimize=self.optimize)
-            return evaluator.evaluate()
+            return plan.evaluate(variables)
+
+    def execute_stream(self, xquery_text: str,
+                       variables: dict[str, object] | None = None,
+                       tracer=None) -> Iterator:
+        """Compile (with plan caching) and evaluate an XQuery as a lazy
+        item stream: FLWOR bodies pull source rows through the live
+        pipeline only as the caller consumes items."""
+        tracer = NULL_TRACER if tracer is None else tracer
+        plan = self.prepare(xquery_text, tracer=tracer)
+        return plan.stream_items(variables)
 
     def metadata_api(self, latency: float = 0.0) -> MetadataAPI:
         """The remote metadata API endpoint for this application."""

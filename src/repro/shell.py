@@ -196,7 +196,7 @@ class Shell:
                 f"p50={summary['p50'] * 1000:.3f}ms "
                 f"p95={summary['p95'] * 1000:.3f}ms "
                 f"max={summary['max'] * 1000:.3f}ms")
-        for cache in ("statement_cache", "metadata_cache"):
+        for cache in ("statement_cache", "metadata_cache", "plan_cache"):
             stats = snapshot[cache]
             self._out(f"{cache.upper()}: hits={stats['hits']} "
                       f"misses={stats['misses']} "

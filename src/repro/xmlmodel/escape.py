@@ -30,11 +30,16 @@ _ENTITY_RE = re.compile(r"&(#x[0-9A-Fa-f]+|#[0-9]+|[A-Za-z]+);")
 
 def escape_text(text: str) -> str:
     """Escape character data for use as element content."""
+    if "&" not in text and "<" not in text and ">" not in text:
+        return text
     return "".join(_ESCAPES.get(ch, ch) for ch in text)
 
 
 def escape_attribute(text: str) -> str:
     """Escape character data for use inside a double-quoted attribute."""
+    if "&" not in text and "<" not in text and ">" not in text \
+            and '"' not in text:
+        return text
     return "".join(_ATTR_ESCAPES.get(ch, ch) for ch in text)
 
 

@@ -163,6 +163,8 @@ def serialize_atomic(value: object) -> str:
     an exponent ("12", not "1.2E1") because the driver's text codec parses
     these strings back by SQL column type.
     """
+    if type(value) is str:
+        return value
     if isinstance(value, bool):
         return "true" if value else "false"
     if isinstance(value, float):

@@ -5,6 +5,11 @@ expressions are evaluated as tuple streams (lists of variable
 environments), the model the XQuery formal semantics uses, which makes the
 BEA ``group`` clause a natural stream transformation.
 
+This interpreter is the engine's semantics oracle: the closure compiler
+(``repro.xquery.compile``) is the production executor and is differentially
+tested against it. Clause planning (filter hoisting, hash equi-joins) lives
+in ``repro.xquery.planner`` and is shared by both.
+
 Function calls into non-builtin namespaces (the data service functions,
 ``ns0:CUSTOMERS()``) are delegated to a *function resolver* supplied by the
 host — in this package, the DSP runtime (``repro.engine.dsp``).
@@ -12,8 +17,6 @@ host — in this package, the DSP runtime (``repro.engine.dsp``).
 
 from __future__ import annotations
 
-import datetime
-from decimal import Decimal
 from typing import Callable, Optional
 
 from ..errors import XQueryDynamicError, XQueryStaticError, XQueryTypeError
@@ -33,10 +36,21 @@ from .atomic import (
     value_comparison,
 )
 from .functions import DEFAULT_NAMESPACES, call_builtin, is_builtin_namespace
+from .planner import (
+    HashJoinClause,
+    grouping_key as _grouping_key,
+    hoist_filters,
+    join_key as _join_key,
+    plan_clauses,
+    split_conjuncts as _split_conjuncts,
+)
 
 #: Host-supplied resolver for module-level (data service) functions:
 #: (namespace_uri, local_name, evaluated_argument_sequences) -> sequence.
 FunctionResolver = Callable[[str, str, list], list]
+
+#: Back-compat alias: the planner owns the class since the executor split.
+_HashJoinClause = HashJoinClause
 
 
 class StaticContext:
@@ -94,6 +108,25 @@ def _as_sequence(value) -> Sequence:
     return [value]
 
 
+def bind_module_variables(module: ast.Module,
+                          variables: Optional[dict[str, object]]) \
+        -> dict[str, Sequence]:
+    """Check external variable declarations against supplied values and
+    build the root variable bindings (shared by both executors)."""
+    bindings: dict[str, Sequence] = {}
+    supplied = variables or {}
+    for decl in module.prolog:
+        if isinstance(decl, ast.VarDecl):
+            if decl.name not in supplied:
+                raise XQueryDynamicError(
+                    f"no value supplied for external variable "
+                    f"${decl.name}", code="XPDY0002")
+            bindings[decl.name] = _as_sequence(supplied[decl.name])
+    for name, value in supplied.items():
+        bindings.setdefault(name, _as_sequence(value))
+    return bindings
+
+
 class Evaluator:
     """Evaluates one parsed module (or standalone expression)."""
 
@@ -104,20 +137,14 @@ class Evaluator:
         self._module = module
         self._static = StaticContext(resolver)
         self._optimize = optimize
-        bindings: dict[str, Sequence] = {}
-        supplied = variables or {}
+        #: Per-FLWOR planned clause lists, keyed by node identity: a
+        #: nested FLWOR (e.g. a wrapper cell) is planned once per
+        #: evaluator, not once per tuple.
+        self._plans: dict[int, list] = {}
         for decl in module.prolog:
             if isinstance(decl, (ast.SchemaImport, ast.NamespaceDecl)):
                 self._static.declare(decl.prefix, decl.uri)
-            elif isinstance(decl, ast.VarDecl):
-                if decl.name not in supplied:
-                    raise XQueryDynamicError(
-                        f"no value supplied for external variable "
-                        f"${decl.name}", code="XPDY0002")
-                bindings[decl.name] = _as_sequence(supplied[decl.name])
-        for name, value in supplied.items():
-            bindings.setdefault(name, _as_sequence(value))
-        self._root = _Frame(bindings)
+        self._root = _Frame(bind_module_variables(module, variables))
 
     def evaluate(self) -> Sequence:
         return self._eval(self._module.body, self._root)
@@ -237,7 +264,6 @@ class Evaluator:
                           frame: _Frame) -> Sequence:
         for predicate in predicates:
             kept: list = []
-            size = len(items)
             for position, item in enumerate(items, start=1):
                 inner = frame.with_context(item, position)
                 result = self._eval(predicate, inner)
@@ -248,7 +274,6 @@ class Evaluator:
                 elif effective_boolean_value(result):
                     kept.append(item)
             items = kept
-            del size
         return items
 
     # -- function calls -------------------------------------------------------
@@ -281,7 +306,7 @@ class Evaluator:
             if isinstance(part, str):
                 element.append(Text(part))
             else:
-                self._append_content(element, self._eval(part, frame))
+                _append_content(element, self._eval(part, frame))
         return [element]
 
     def _attribute_value(self, attr: ast.AttributeConstructor,
@@ -297,40 +322,19 @@ class Evaluator:
                     else v.string_value() for v in values))
         return "".join(parts)
 
-    def _append_content(self, element: Element, values: Sequence) -> None:
-        """Append an enclosed expression's result: nodes are copied,
-        adjacent atomic values are joined with single spaces."""
-        pending: list[str] = []
-
-        def flush() -> None:
-            if pending:
-                element.append(Text(" ".join(pending)))
-                pending.clear()
-
-        for value in values:
-            if isinstance(value, (Element, Text)):
-                flush()
-                element.append(copy_node(value))
-            elif isinstance(value, Document):
-                flush()
-                for child in value.children:
-                    element.append(copy_node(child))
-            elif isinstance(value, Attribute):
-                raise XQueryTypeError(
-                    "attribute nodes cannot appear in element content here",
-                    code="XQTY0024")
-            else:
-                pending.append(serialize_atomic(value))
-        flush()
-
     # -- FLWOR --------------------------------------------------------------------
 
     def _eval_flwor(self, expr: ast.FLWOR, frame: _Frame) -> Sequence:
         tuples: list[_Frame] = [frame]
-        clauses = self._plan_clauses(expr.clauses) if self._optimize \
-            else list(expr.clauses)
+        if self._optimize:
+            clauses = self._plans.get(id(expr))
+            if clauses is None:
+                clauses = plan_clauses(expr.clauses, expr.return_expr)
+                self._plans[id(expr)] = clauses
+        else:
+            clauses = list(expr.clauses)
         for clause in clauses:
-            if isinstance(clause, _HashJoinClause):
+            if isinstance(clause, HashJoinClause):
                 tuples = self._apply_hash_join(clause, tuples)
             elif isinstance(clause, ast.ForClause):
                 tuples = self._apply_for(clause, tuples)
@@ -361,203 +365,58 @@ class Evaluator:
                 output.append(t.bind(clause.var, [item]))
         return output
 
-    # -- hash equi-join optimization ------------------------------------
+    # -- hash equi-join application ------------------------------------
     #
-    # The paper delegates "any/all optimizations ... to the XQuery
-    # processor" (section 3.2); this is that processor's contribution.
-    # The translator's inner joins have the shape
-    #
-    #     for $a in <left>  for $b in <right>  where ($ka eq $kb)
-    #
-    # which evaluates as a filtered Cartesian product. When the where
-    # clause immediately follows a for clause and is a value-equality
-    # whose sides split cleanly between the new variable and the earlier
-    # stream — and the new source is independent of the stream — the pair
-    # is replaced by a hash join. Correctness is preserved exactly: NULL
-    # (empty) keys never match, cross-category key comparisons fall back
-    # to pairwise evaluation so type errors still surface, and NaN never
-    # matches itself.
+    # The planner (repro.xquery.planner) replaces (for, where-eq...)
+    # groups with HashJoinClause nodes, possibly multi-key. Correctness
+    # is preserved exactly: NULL (empty) keys never match, cross-
+    # category key comparisons fall back to pairwise evaluation so type
+    # errors still surface, and NaN never matches itself.
 
     def _hoist_filters(self, clauses):
-        """Move each where clause to the earliest point at which all of
-        its variables are bound.
-
-        A where clause is a pure filter, so it commutes with any for/let
-        over variables it does not read: both orders evaluate the same
-        condition over the same bindings and drop the same tuples. The
-        translator emits all fors before all wheres, so without hoisting
-        only the final (for, where) pair of an N-way join would be
-        adjacent and hash-joinable.
-        """
-        from .analysis import free_vars
-        # Segments are delimited by group/order clauses: filters never
-        # move across those boundaries. Within a segment, every where
-        # conjunct attaches to the earliest point at which all the
-        # variables it reads (among those this FLWOR declares) are bound.
-        declared: set[str] = set()
-        for clause in clauses:
-            if isinstance(clause, (ast.ForClause, ast.LetClause)):
-                declared.add(clause.var)
-            elif isinstance(clause, ast.GroupClause):
-                declared.add(clause.partition_var)
-                declared.update(var for _e, var in clause.keys)
-
-        segments: list[tuple[list, list]] = [([], [])]  # (binders, filters)
-        boundaries: list = []
-        for clause in clauses:
-            if isinstance(clause, ast.WhereClause):
-                # Split conjunctions (and / fn-bea:and3): a row passes
-                # and3(a, b) exactly when it passes both, so
-                # per-conjunct wheres keep the same rows while each
-                # conjunct places independently.
-                for conjunct in _split_conjuncts(clause.condition):
-                    needed = frozenset(free_vars(conjunct) & declared)
-                    segments[-1][1].append(
-                        (ast.WhereClause(condition=conjunct), needed))
-            elif isinstance(clause, (ast.GroupClause, ast.OrderClause)):
-                boundaries.append(clause)
-                segments.append(([], []))
-            else:
-                segments[-1][0].append(clause)
-
-        bound: set[str] = set()
-        hoisted: list = []
-        for index, (binders, filters) in enumerate(segments):
-            filters = list(filters)
-
-            def release() -> None:
-                remaining = []
-                for where, needed in filters:
-                    if needed <= bound:
-                        hoisted.append(where)
-                    else:
-                        remaining.append((where, needed))
-                filters[:] = remaining
-
-            release()
-            for clause in binders:
-                hoisted.append(clause)
-                if isinstance(clause, (ast.ForClause, ast.LetClause)):
-                    bound.add(clause.var)
-                release()
-            # Anything still pending reads group/partition variables of
-            # a later boundary (or is unplaceable); emit it here, in
-            # source order, before the boundary clause.
-            hoisted.extend(where for where, _n in filters)
-            if index < len(boundaries):
-                boundary = boundaries[index]
-                hoisted.append(boundary)
-                if isinstance(boundary, ast.GroupClause):
-                    bound.add(boundary.partition_var)
-                    bound.update(var for _e, var in boundary.keys)
-        return hoisted
+        """Back-compat shim over :func:`repro.xquery.planner.hoist_filters`."""
+        return hoist_filters(clauses)
 
     def _plan_clauses(self, clauses):
-        planned: list = []
-        bound_here: set[str] = set()
-        index = 0
-        clauses = self._hoist_filters(clauses)
-        while index < len(clauses):
-            clause = clauses[index]
-            follower = clauses[index + 1] if index + 1 < len(clauses) \
-                else None
-            if isinstance(clause, ast.ForClause) and \
-                    isinstance(follower, ast.WhereClause):
-                join = self._match_hash_join(clause, follower, bound_here)
-                if join is not None:
-                    planned.append(join)
-                    bound_here.add(clause.var)
-                    index += 2
-                    continue
-            if isinstance(clause, (ast.ForClause, ast.LetClause)):
-                bound_here.add(clause.var)
-            elif isinstance(clause, ast.GroupClause):
-                bound_here.add(clause.partition_var)
-                bound_here.update(var for _e, var in clause.keys)
-            planned.append(clause)
-            index += 1
-        return planned
+        """Back-compat shim over :func:`repro.xquery.planner.plan_clauses`."""
+        return plan_clauses(clauses)
 
-    def _match_hash_join(self, for_clause: ast.ForClause,
-                         where: ast.WhereClause,
-                         bound_here: set[str]):
-        from .analysis import free_vars
-        condition = where.condition
-        if not (isinstance(condition, ast.ValueComparison)
-                and condition.op == "eq"):
-            return None
-        if bound_here & free_vars(for_clause.source):
-            return None  # correlated source: hash table is not reusable
-        var = for_clause.var
-        left_free = free_vars(condition.left)
-        right_free = free_vars(condition.right)
-        if var in left_free and var not in right_free \
-                and left_free <= {var}:
-            build_key, probe_key = condition.left, condition.right
-        elif var in right_free and var not in left_free \
-                and right_free <= {var}:
-            build_key, probe_key = condition.right, condition.left
-        else:
-            return None
-        return _HashJoinClause(for_clause=for_clause,
-                               build_key=build_key, probe_key=probe_key,
-                               condition=condition)
-
-    def _apply_hash_join(self, join: "_HashJoinClause",
+    def _apply_hash_join(self, join: HashJoinClause,
                          tuples: list[_Frame]) -> list[_Frame]:
         if not tuples:
             return []
         var = join.for_clause.var
         items = self._eval(join.for_clause.source, tuples[0])
-        table: dict[object, list] = {}
-        categories: set[str] = set()
-        hashable = True
-        for item in items:
-            inner = tuples[0].bind(var, [item])
-            key_value = single_atomic(self._eval(join.build_key, inner),
-                                      "join key")
-            if key_value is None:
-                continue  # eq against NULL never matches
-            category, canon = _join_key(key_value)
-            if category is None:
-                hashable = False
-                break
-            categories.add(category)
-            table.setdefault(canon, []).append(item)
-        # Mixed-category build keys would make a cross-category probe
-        # silently skip the pair that should raise a type error; fall
-        # back to pairwise evaluation (exact semantics) in that case.
-        if not hashable or len(categories) > 1:
+        build = _build_join_table(
+            join, items,
+            lambda expr, item: single_atomic(
+                self._eval(expr, tuples[0].bind(var, [item])), "join key"))
+        if build is None:
             output = []
             for t in tuples:
                 for item in self._pairwise_matches(join, t, items):
                     output.append(t.bind(var, [item]))
             return output
+        table, categories = build
         output = []
         for t in tuples:
-            probe_value = single_atomic(self._eval(join.probe_key, t),
-                                        "join key")
-            if probe_value is None:
-                continue  # NULL probe matches nothing under eq
-            category, canon = _join_key(probe_value)
-            if category is None or (categories
-                                    and category not in categories):
-                # Cross-category eq raises in the unoptimized plan;
-                # pairwise evaluation surfaces the same error.
+            matched = _probe_join_table(
+                join, table, categories,
+                lambda expr: single_atomic(self._eval(expr, t), "join key"))
+            if matched is _PAIRWISE:
                 matched = self._pairwise_matches(join, t, items)
-            else:
-                matched = table.get(canon, [])
             for item in matched:
                 output.append(t.bind(var, [item]))
         return output
 
-    def _pairwise_matches(self, join: "_HashJoinClause", t: _Frame,
+    def _pairwise_matches(self, join: HashJoinClause, t: _Frame,
                           items: Sequence) -> list:
         var = join.for_clause.var
         matched = []
         for item in items:
             inner = t.bind(var, [item])
-            if effective_boolean_value(self._eval(join.condition, inner)):
+            if all(effective_boolean_value(self._eval(condition, inner))
+                   for _b, _p, condition in join.keys):
                 matched.append(item)
         return matched
 
@@ -627,59 +486,91 @@ class Evaluator:
     }
 
 
-def _split_conjuncts(condition: ast.XExpr) -> list:
-    """Flatten nested ``and`` / ``fn-bea:and3`` conjunctions."""
-    if isinstance(condition, ast.AndExpr):
-        return (_split_conjuncts(condition.left)
-                + _split_conjuncts(condition.right))
-    if isinstance(condition, ast.XFunctionCall) and \
-            condition.prefix == "fn-bea" and condition.local == "and3" \
-            and len(condition.args) == 2:
-        return (_split_conjuncts(condition.args[0])
-                + _split_conjuncts(condition.args[1]))
-    return [condition]
+def _append_content(element: Element, values: Sequence) -> None:
+    """Append an enclosed expression's result: nodes are copied,
+    adjacent atomic values are joined with single spaces."""
+    pending: list[str] = []
 
+    def flush() -> None:
+        if pending:
+            element.append(Text(" ".join(pending)))
+            pending.clear()
 
-class _HashJoinClause:
-    """A (for, where-eq) pair replaced by the hash-join planner."""
-
-    __slots__ = ("for_clause", "build_key", "probe_key", "condition")
-
-    def __init__(self, for_clause: ast.ForClause, build_key: ast.XExpr,
-                 probe_key: ast.XExpr, condition: ast.XExpr):
-        self.for_clause = for_clause
-        self.build_key = build_key
-        self.probe_key = probe_key
-        self.condition = condition
-
-
-def _join_key(value) -> tuple[Optional[str], object]:
-    """(comparison category, canonical hash key) for an eq join key.
-
-    Categories mirror ``compare_values``: values that eq would refuse to
-    compare get different categories; values eq treats as equal get the
-    same canonical key. UntypedAtomic follows the value-comparison rule
-    (cast to string). Returns (None, None) for uncanonicalizable types.
-    """
-    if isinstance(value, bool):
-        return "b", ("b", value)
-    if is_numeric_value(value):
-        if isinstance(value, float):
-            if value != value:  # NaN never equals anything
-                return "n", ("nan", id(object()))
-            dec = Decimal(repr(value))
+    for value in values:
+        if isinstance(value, (Element, Text)):
+            flush()
+            element.append(copy_node(value))
+        elif isinstance(value, Document):
+            flush()
+            for child in value.children:
+                element.append(copy_node(child))
+        elif isinstance(value, Attribute):
+            raise XQueryTypeError(
+                "attribute nodes cannot appear in element content here",
+                code="XQTY0024")
         else:
-            dec = Decimal(value)
-        return "n", ("n", dec.normalize())
-    if isinstance(value, str):  # includes UntypedAtomic
-        return "s", ("s", str(value))
-    if isinstance(value, datetime.datetime):
-        return "dt", ("dt", value)
-    if isinstance(value, datetime.date):
-        return "d", ("d", value)
-    if isinstance(value, datetime.time):
-        return "t", ("t", value)
-    return None, None
+            pending.append(serialize_atomic(value))
+    flush()
+
+
+#: Sentinel returned by _probe_join_table when a cross-category probe
+#: requires the exact (pairwise) path.
+_PAIRWISE = object()
+
+
+def _build_join_table(join: HashJoinClause, items: Sequence, eval_key):
+    """Build the composite-key hash table: ``(table, categories)`` or
+    ``None`` when any key value is uncanonicalizable or a key position
+    mixes comparison categories (both force pairwise evaluation, which
+    keeps eq's type-error semantics exact).
+
+    *eval_key(build_expr, item)* evaluates one build key against one
+    build-side item; key positions evaluate in conjunct order and stop
+    at the first NULL, mirroring the split-where plan's short-circuit.
+    """
+    nkeys = len(join.keys)
+    table: dict[tuple, list] = {}
+    categories: list[set] = [set() for _ in range(nkeys)]
+    for item in items:
+        canon_parts: list = []
+        for index, (build_key, _probe, _cond) in enumerate(join.keys):
+            key_value = eval_key(build_key, item)
+            if key_value is None:
+                canon_parts = None
+                break  # eq against NULL never matches
+            category, canon = _join_key(key_value)
+            if category is None:
+                return None
+            categories[index].add(category)
+            canon_parts.append(canon)
+        if canon_parts is None:
+            continue
+        table.setdefault(tuple(canon_parts), []).append(item)
+    if any(len(found) > 1 for found in categories):
+        # Mixed-category build keys would make a cross-category probe
+        # silently skip the pair that should raise a type error; fall
+        # back to pairwise evaluation (exact semantics) in that case.
+        return None
+    return table, categories
+
+
+def _probe_join_table(join: HashJoinClause, table: dict,
+                      categories: list, eval_probe):
+    """Probe with one tuple's composite key: the matching build items,
+    ``[]`` when a NULL probe key rules the tuple out, or ``_PAIRWISE``
+    when a cross-category probe must re-check pairwise (so the type
+    error the unoptimized plan raises still surfaces)."""
+    probe_parts: list = []
+    for index, (_build, probe_key, _cond) in enumerate(join.keys):
+        probe_value = eval_probe(probe_key)
+        if probe_value is None:
+            return []  # NULL probe matches nothing under eq
+        category, canon = _join_key(probe_value)
+        if category is None or (categories[index]
+                                and category not in categories[index]):
+            return _PAIRWISE
+        probe_parts.append(canon)
+    return table.get(tuple(probe_parts), [])
 
 
 class _Directional:
@@ -698,33 +589,3 @@ class _Directional:
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, _Directional) and self.key == other.key
-
-
-def _grouping_key(value) -> tuple:
-    """Canonical hashable form of a group-by key value.
-
-    NULL (None) forms its own group, as SQL GROUP BY requires. Numeric
-    values of different representations (2, 2.0, Decimal("2")) group
-    together via Decimal canonicalization.
-    """
-    if value is None:
-        return ("null",)
-    if isinstance(value, bool):
-        return ("b", value)
-    if is_numeric_value(value):
-        if isinstance(value, float):
-            dec = Decimal(repr(value))
-        else:
-            dec = Decimal(value)
-        return ("n", dec.normalize())
-    if isinstance(value, str):
-        return ("s", str(value))
-    if isinstance(value, datetime.datetime):
-        return ("dt", value.isoformat())
-    if isinstance(value, datetime.date):
-        return ("d", value.isoformat())
-    if isinstance(value, datetime.time):
-        return ("t", value.isoformat())
-    raise XQueryTypeError(
-        f"cannot group by values of type {type(value).__name__}",
-        code="XPTY0004")

@@ -1,0 +1,364 @@
+"""FLWOR clause planning, shared by both XQuery executors.
+
+The paper delegates "any/all optimizations ... to the XQuery processor"
+(section 3.2); this module is that processor's planner, refactored out of
+the tree-walking ``Evaluator`` so the closure compiler
+(``repro.xquery.compile``) can reuse it. Planning is purely structural —
+it rewrites a FLWOR's clause list, never evaluates anything — so one
+plan is valid for every evaluation of the query.
+
+Rewrites, in order:
+
+1. **Filter hoisting** — each ``where`` conjunct moves to the earliest
+   point at which all the variables it reads are bound (never across a
+   group/order boundary).
+2. **Let/for fusion** — ``let $x := E for $y in $x`` collapses to
+   ``for $y in E`` when ``$x`` is referenced nowhere else. The section-4
+   delimited wrapper has exactly this shape (``let $actualQuery := (...)
+   for $tokenQuery in $actualQuery``); fusing it lets the streaming
+   executor pull rows through the wrapper without materializing the
+   inner query's full result.
+3. **Hash equi-joins** — a ``for`` followed by where-conjuncts of the
+   shape ``keyOf($new) eq keyOf(stream)`` becomes a hash join. Multiple
+   such conjuncts on the same new variable fuse into ONE multi-key hash
+   join (a composite-key join probes one table with a key tuple instead
+   of chaining a single-key join with residual pairwise filters). Only
+   the leading prefix of joinable conjuncts fuses, so a non-join guard
+   conjunct keeps its evaluation position and its short-circuit
+   behavior.
+
+Correctness invariants preserved by the join (see the evaluator's and
+compiler's apply sides): NULL (empty) keys never match, cross-category
+key comparisons fall back to pairwise evaluation so type errors still
+surface, and NaN never matches itself.
+"""
+
+from __future__ import annotations
+
+import datetime
+from decimal import Decimal
+from typing import Optional
+
+from . import ast
+from .analysis import free_vars
+from .atomic import is_numeric_value
+
+
+class HashJoinClause:
+    """A (for, where-eq...) group replaced by the planner.
+
+    ``keys`` holds one ``(build_key, probe_key, condition)`` triple per
+    fused equality conjunct, in conjunct order: *build_key* reads only
+    the for clause's new variable, *probe_key* reads only the incoming
+    tuple stream (possibly nothing, for a constant selection), and
+    *condition* is the original ``eq`` comparison kept for the pairwise
+    fallback path.
+    """
+
+    __slots__ = ("for_clause", "keys")
+
+    def __init__(self, for_clause: ast.ForClause,
+                 keys: tuple[tuple[ast.XExpr, ast.XExpr, ast.XExpr], ...]):
+        self.for_clause = for_clause
+        self.keys = keys
+
+    # Single-key accessors, kept for the common case and older callers.
+
+    @property
+    def build_key(self) -> ast.XExpr:
+        return self.keys[0][0]
+
+    @property
+    def probe_key(self) -> ast.XExpr:
+        return self.keys[0][1]
+
+    @property
+    def condition(self) -> ast.XExpr:
+        return self.keys[0][2]
+
+
+def split_conjuncts(condition: ast.XExpr) -> list:
+    """Flatten nested ``and`` / ``fn-bea:and3`` conjunctions."""
+    if isinstance(condition, ast.AndExpr):
+        return (split_conjuncts(condition.left)
+                + split_conjuncts(condition.right))
+    if isinstance(condition, ast.XFunctionCall) and \
+            condition.prefix == "fn-bea" and condition.local == "and3" \
+            and len(condition.args) == 2:
+        return (split_conjuncts(condition.args[0])
+                + split_conjuncts(condition.args[1]))
+    return [condition]
+
+
+def hoist_filters(clauses):
+    """Move each where clause to the earliest point at which all of
+    its variables are bound.
+
+    A where clause is a pure filter, so it commutes with any for/let
+    over variables it does not read: both orders evaluate the same
+    condition over the same bindings and drop the same tuples. The
+    translator emits all fors before all wheres, so without hoisting
+    only the final (for, where) pair of an N-way join would be
+    adjacent and hash-joinable.
+    """
+    # Segments are delimited by group/order clauses: filters never
+    # move across those boundaries. Within a segment, every where
+    # conjunct attaches to the earliest point at which all the
+    # variables it reads (among those this FLWOR declares) are bound.
+    declared: set[str] = set()
+    for clause in clauses:
+        if isinstance(clause, (ast.ForClause, ast.LetClause)):
+            declared.add(clause.var)
+        elif isinstance(clause, ast.GroupClause):
+            declared.add(clause.partition_var)
+            declared.update(var for _e, var in clause.keys)
+
+    segments: list[tuple[list, list]] = [([], [])]  # (binders, filters)
+    boundaries: list = []
+    for clause in clauses:
+        if isinstance(clause, ast.WhereClause):
+            # Split conjunctions (and / fn-bea:and3): a row passes
+            # and3(a, b) exactly when it passes both, so
+            # per-conjunct wheres keep the same rows while each
+            # conjunct places independently.
+            for conjunct in split_conjuncts(clause.condition):
+                needed = frozenset(free_vars(conjunct) & declared)
+                segments[-1][1].append(
+                    (ast.WhereClause(condition=conjunct), needed))
+        elif isinstance(clause, (ast.GroupClause, ast.OrderClause)):
+            boundaries.append(clause)
+            segments.append(([], []))
+        else:
+            segments[-1][0].append(clause)
+
+    bound: set[str] = set()
+    hoisted: list = []
+    for index, (binders, filters) in enumerate(segments):
+        filters = list(filters)
+
+        def release() -> None:
+            remaining = []
+            for where, needed in filters:
+                if needed <= bound:
+                    hoisted.append(where)
+                else:
+                    remaining.append((where, needed))
+            filters[:] = remaining
+
+        release()
+        for clause in binders:
+            hoisted.append(clause)
+            if isinstance(clause, (ast.ForClause, ast.LetClause)):
+                bound.add(clause.var)
+            release()
+        # Anything still pending reads group/partition variables of
+        # a later boundary (or is unplaceable); emit it here, in
+        # source order, before the boundary clause.
+        hoisted.extend(where for where, _n in filters)
+        if index < len(boundaries):
+            boundary = boundaries[index]
+            hoisted.append(boundary)
+            if isinstance(boundary, ast.GroupClause):
+                bound.add(boundary.partition_var)
+                bound.update(var for _e, var in boundary.keys)
+    return hoisted
+
+
+def _fuse_lets(clauses, return_expr: Optional[ast.XExpr]):
+    """Rewrite ``let $x := E for $y in $x`` to ``for $y in E`` when $x
+    is used nowhere else.
+
+    Sound because the only consumer of the let binding is the for
+    clause's source, so inlining E preserves every binding the stream
+    produces; it matters because a for source can be iterated lazily
+    while a let binding is a materialized sequence.
+    """
+    if return_expr is None:
+        return list(clauses)
+    fused: list = []
+    index = 0
+    clauses = list(clauses)
+    while index < len(clauses):
+        clause = clauses[index]
+        follower = clauses[index + 1] if index + 1 < len(clauses) else None
+        if isinstance(clause, ast.LetClause) \
+                and isinstance(follower, ast.ForClause) \
+                and isinstance(follower.source, ast.VarRef) \
+                and follower.source.name == clause.var \
+                and follower.var != clause.var \
+                and not _used_later(clause.var, clauses[index + 2:],
+                                    return_expr):
+            fused.append(ast.ForClause(var=follower.var,
+                                       source=clause.value))
+            index += 2
+            continue
+        fused.append(clause)
+        index += 1
+    return fused
+
+
+def _used_later(name: str, clauses, return_expr: ast.XExpr) -> bool:
+    for clause in clauses:
+        if isinstance(clause, ast.ForClause):
+            if name in free_vars(clause.source):
+                return True
+            if clause.var == name:  # rebound: later uses see the new one
+                return False
+        elif isinstance(clause, ast.LetClause):
+            if name in free_vars(clause.value):
+                return True
+            if clause.var == name:
+                return False
+        elif isinstance(clause, ast.WhereClause):
+            if name in free_vars(clause.condition):
+                return True
+        elif isinstance(clause, ast.GroupClause):
+            if clause.source_var == name:
+                return True
+            if any(name in free_vars(key) for key, _v in clause.keys):
+                return True
+            if clause.partition_var == name or \
+                    name in {var for _e, var in clause.keys}:
+                return False
+        elif isinstance(clause, ast.OrderClause):
+            if any(name in free_vars(spec.key) for spec in clause.specs):
+                return True
+    return name in free_vars(return_expr)
+
+
+def plan_clauses(clauses, return_expr: Optional[ast.XExpr] = None):
+    """Produce the executable clause list: hoist filters, fuse
+    streaming lets, and replace (for, where-eq...) groups with (multi-
+    key) hash joins. ``return_expr`` enables the let/for fusion (it is
+    needed to prove a let binding is dead after the rewrite)."""
+    clauses = _fuse_lets(hoist_filters(clauses), return_expr)
+    planned: list = []
+    bound_here: set[str] = set()
+    index = 0
+    while index < len(clauses):
+        clause = clauses[index]
+        if isinstance(clause, ast.ForClause):
+            keys, consumed = _match_join_prefix(clause, clauses,
+                                                index + 1, bound_here)
+            if keys:
+                planned.append(HashJoinClause(clause, tuple(keys)))
+                bound_here.add(clause.var)
+                index += 1 + consumed
+                continue
+        if isinstance(clause, (ast.ForClause, ast.LetClause)):
+            bound_here.add(clause.var)
+        elif isinstance(clause, ast.GroupClause):
+            bound_here.add(clause.partition_var)
+            bound_here.update(var for _e, var in clause.keys)
+        planned.append(clause)
+        index += 1
+    return planned
+
+
+def _match_join_prefix(for_clause: ast.ForClause, clauses, start: int,
+                       bound_here: set[str]):
+    """The maximal prefix of where clauses following *for_clause* that
+    fuse into one hash join: ``([(build, probe, cond), ...], consumed)``.
+
+    Only a leading prefix fuses — the first non-joinable where ends the
+    scan — so residual conjuncts keep their original position relative
+    to the join and their evaluation order among themselves.
+    """
+    if bound_here & free_vars(for_clause.source):
+        return [], 0  # correlated source: hash table is not reusable
+    keys: list = []
+    index = start
+    while index < len(clauses) and \
+            isinstance(clauses[index], ast.WhereClause):
+        triple = _match_join_conjunct(for_clause,
+                                      clauses[index].condition)
+        if triple is None:
+            break
+        keys.append(triple)
+        index += 1
+    return keys, index - start
+
+
+def _match_join_conjunct(for_clause: ast.ForClause,
+                         condition: ast.XExpr):
+    """Match one ``eq`` conjunct splitting cleanly between the for
+    clause's new variable and the earlier stream."""
+    if not (isinstance(condition, ast.ValueComparison)
+            and condition.op == "eq"):
+        return None
+    var = for_clause.var
+    left_free = free_vars(condition.left)
+    right_free = free_vars(condition.right)
+    if var in left_free and var not in right_free \
+            and left_free <= {var}:
+        return condition.left, condition.right, condition
+    if var in right_free and var not in left_free \
+            and right_free <= {var}:
+        return condition.right, condition.left, condition
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Runtime key canonicalization (shared by both executors' join/group)
+# ---------------------------------------------------------------------------
+
+
+def join_key(value) -> tuple[Optional[str], object]:
+    """(comparison category, canonical hash key) for an eq join key.
+
+    Categories mirror ``compare_values``: values that eq would refuse to
+    compare get different categories; values eq treats as equal get the
+    same canonical key. UntypedAtomic follows the value-comparison rule
+    (cast to string). Returns (None, None) for uncanonicalizable types.
+    """
+    if isinstance(value, bool):
+        return "b", ("b", value)
+    if is_numeric_value(value):
+        if isinstance(value, float):
+            if value != value:  # NaN never equals anything
+                return "n", ("nan", id(object()))
+            dec = Decimal(repr(value))
+        else:
+            dec = Decimal(value)
+        return "n", ("n", dec.normalize())
+    if isinstance(value, str):  # includes UntypedAtomic
+        return "s", ("s", str(value))
+    if isinstance(value, datetime.datetime):
+        return "dt", ("dt", value)
+    if isinstance(value, datetime.date):
+        return "d", ("d", value)
+    if isinstance(value, datetime.time):
+        return "t", ("t", value)
+    return None, None
+
+
+def grouping_key(value) -> tuple:
+    """Canonical hashable form of a group-by key value.
+
+    NULL (None) forms its own group, as SQL GROUP BY requires. Numeric
+    values of different representations (2, 2.0, Decimal("2")) group
+    together via Decimal canonicalization.
+    """
+    from ..errors import XQueryTypeError
+
+    if value is None:
+        return ("null",)
+    if isinstance(value, bool):
+        return ("b", value)
+    if is_numeric_value(value):
+        if isinstance(value, float):
+            dec = Decimal(repr(value))
+        else:
+            dec = Decimal(value)
+        return ("n", dec.normalize())
+    if isinstance(value, str):
+        return ("s", str(value))
+    if isinstance(value, datetime.datetime):
+        return ("dt", value.isoformat())
+    if isinstance(value, datetime.date):
+        return ("d", value.isoformat())
+    if isinstance(value, datetime.time):
+        return ("t", value.isoformat())
+    raise XQueryTypeError(
+        f"cannot group by values of type {type(value).__name__}",
+        code="XPTY0004")

@@ -124,6 +124,10 @@ class TestCursorExecution:
     def test_rowcount(self, conn):
         cursor = conn.cursor()
         cursor.execute("SELECT * FROM CUSTOMERS")
+        # Streaming result: the count is unknown until the stream is
+        # exhausted (PEP 249 allows -1), then reflects the total.
+        assert cursor.rowcount == -1
+        assert len(cursor.fetchall()) == 6
         assert cursor.rowcount == 6
 
     def test_description(self, conn):

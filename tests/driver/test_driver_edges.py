@@ -77,10 +77,10 @@ class TestReExecution:
         second = conn.cursor()
         first.execute("SELECT CUSTOMERID FROM CUSTOMERS")
         second.execute("SELECT PAYMENTID FROM PAYMENTS")
-        assert first.rowcount == 6
-        assert second.rowcount == 6
         first.fetchone()
         assert len(second.fetchall()) == 6
+        assert second.rowcount == 6
+        assert first.rowcount == -1  # still mid-stream
 
 
 class TestProcedureNullArguments:

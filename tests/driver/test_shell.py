@@ -89,7 +89,7 @@ class TestShellCommands:
         shell.handle("SELECT COUNT(*) FROM CUSTOMERS")
         text = output(lines)
         for name in ("execute", "translate", "stage1", "stage2",
-                     "stage3", "evaluate", "materialize"):
+                     "stage3", "evaluate", "xquery.compile"):
             assert name in text
         lines.clear()
         shell.handle("\\trace off")

@@ -67,7 +67,7 @@ class TestCapacityZero:
         cursor = connection.cursor()
         cursor.execute(Q1)
         cursor.execute(Q1)
-        assert cursor.rowcount > 0
+        assert len(cursor.fetchall()) > 0
 
 
 class TestCloseReleases:

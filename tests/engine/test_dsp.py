@@ -63,12 +63,14 @@ class TestXQueryExecution:
         assert len(result) == 1
         assert result[0].string_value() == "23Sue"
 
-    def test_module_cache_reused(self, runtime):
+    def test_plan_cache_reused(self, runtime):
         text = f'import schema namespace ns0 = "{NS}";\n' \
                "fn:count(ns0:CUSTOMERS())"
         assert runtime.execute(text) == [6]
         assert runtime.execute(text) == [6]
-        assert len(runtime._module_cache) == 1
+        assert len(runtime.plan_cache) == 1
+        stats = runtime.plan_cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
 
     def test_function_call_count(self, runtime):
         text = f'import schema namespace ns0 = "{NS}";\n' \

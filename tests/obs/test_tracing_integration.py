@@ -30,8 +30,14 @@ class TestTracedJoin:
         cursor.execute(JOIN_SQL)
         root = traced_connection.tracer.last_root()
         assert root.name == "execute"
+        # Streaming delimited result: no materialize span — rows are
+        # decoded lazily at fetch time, outside the execute() call.
         assert [child.name for child in root.children] == \
-            ["translate", "evaluate", "materialize"]
+            ["translate", "evaluate"]
+        evaluate = root.children[1]
+        # Cold plan: the evaluate span shows the parse + closure-compile.
+        assert [child.name for child in evaluate.children] == \
+            ["xquery.parse", "xquery.compile"]
         translate = root.children[0]
         stage_names = [child.name for child in translate.children]
         assert stage_names == ["stage1", "stage2", "stage3"]
@@ -51,6 +57,7 @@ class TestTracedJoin:
     def test_counters_match_span_tree(self, traced_connection):
         cursor = traced_connection.cursor()
         cursor.execute(JOIN_SQL)
+        fetched = len(cursor.fetchall())
         root = traced_connection.tracer.last_root()
         counters = traced_connection.stats()["counters"]
         assert counters["metadata.fetches"] == \
@@ -59,7 +66,8 @@ class TestTracedJoin:
         assert counters["queries.translated"] == 1
         assert counters["queries.executed"] == 1
         assert counters["statement.cache.misses"] == 1
-        assert counters["rows.materialized"] == cursor.rowcount
+        assert counters["rows.streamed"] == fetched == cursor.rowcount
+        assert counters["rows.materialized"] == 0
 
     def test_repeat_execution_hits_caches_and_skips_fetches(
             self, traced_connection):
@@ -67,13 +75,16 @@ class TestTracedJoin:
         cursor.execute(JOIN_SQL)
         cursor.execute(JOIN_SQL)
         root = traced_connection.tracer.last_root()
-        # Cached translation: no translate span, no metadata fetches.
-        assert [child.name for child in root.children] == \
-            ["evaluate", "materialize"]
+        # Cached translation: no translate span, no metadata fetches;
+        # cached plan: no xquery.parse / xquery.compile either.
+        assert [child.name for child in root.children] == ["evaluate"]
+        assert root.children[0].children == []
         counters = traced_connection.stats()["counters"]
         assert counters["statement.cache.hits"] == 1
         assert counters["metadata.fetches"] == 2
         assert counters["queries.executed"] == 2
+        plan_stats = traced_connection.stats()["plan_cache"]
+        assert plan_stats["hits"] == 1 and plan_stats["misses"] == 1
 
     def test_stage_timings_and_histograms(self, traced_connection):
         result = traced_connection.translate(JOIN_SQL)
