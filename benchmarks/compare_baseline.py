@@ -44,8 +44,16 @@ def load_results(path: Path) -> dict[str, dict[str, float]]:
 
 def compare(baseline: dict[str, dict[str, float]],
             results: dict[str, dict[str, float]],
-            tolerance: float) -> list[str]:
-    """Return a list of regression descriptions (empty = pass)."""
+            tolerance: float,
+            strict: dict[str, float] | None = None) -> list[str]:
+    """Return a list of regression descriptions (empty = pass).
+
+    *strict* maps benchmark names to a tighter per-benchmark tolerance
+    (e.g. ``{"test_demo_complexity_mix": 0.05}`` fails that one
+    benchmark above 1.05x baseline even when the global tolerance is
+    looser).
+    """
+    strict = strict or {}
     regressions = []
     for name in sorted(baseline):
         if name not in results:
@@ -55,14 +63,15 @@ def compare(baseline: dict[str, dict[str, float]],
         got = results[name]["min_s"]
         if base <= 0:
             continue
+        allowed = strict.get(name, tolerance)
         ratio = got / base
         marker = ""
-        if ratio > 1.0 + tolerance:
+        if ratio > 1.0 + allowed:
             marker = "  << REGRESSION"
             regressions.append(
                 f"{name}: min {got * 1000:.3f}ms vs baseline "
                 f"{base * 1000:.3f}ms ({ratio:.2f}x, tolerance "
-                f"{1.0 + tolerance:.2f}x)")
+                f"{1.0 + allowed:.2f}x)")
         print(f"  {name:42s} {base * 1000:9.3f}ms -> {got * 1000:9.3f}ms "
               f"({ratio:5.2f}x){marker}")
     for name in sorted(set(results) - set(baseline)):
@@ -92,10 +101,27 @@ def main(argv: list[str] | None = None) -> int:
                         default=DEFAULT_TOLERANCE,
                         help="allowed slowdown fraction (default: 0.25 = "
                              "fail above 1.25x baseline)")
+    parser.add_argument("--strict", action="append", default=[],
+                        metavar="NAME=TOL",
+                        help="per-benchmark tolerance override, e.g. "
+                             "--strict test_demo_complexity_mix=0.05 "
+                             "(repeatable); used to hold the query "
+                             "lifecycle overhead on the C1-C5 mix "
+                             "under 5%%")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the results "
                              "instead of comparing")
     args = parser.parse_args(argv)
+
+    strict: dict[str, float] = {}
+    for spec in args.strict:
+        name, sep, value = spec.partition("=")
+        if not sep:
+            parser.error(f"--strict takes NAME=TOL, got {spec!r}")
+        try:
+            strict[name] = float(value)
+        except ValueError:
+            parser.error(f"bad tolerance in --strict {spec!r}")
 
     results = load_results(args.results)
     if args.update:
@@ -104,8 +130,9 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = json.loads(args.baseline.read_text())["benchmarks"]
     print(f"comparing {len(results)} results against "
-          f"{args.baseline.name} (tolerance {args.tolerance:.0%}):")
-    regressions = compare(baseline, results, args.tolerance)
+          f"{args.baseline.name} (tolerance {args.tolerance:.0%}"
+          + (f", strict: {strict}" if strict else "") + "):")
+    regressions = compare(baseline, results, args.tolerance, strict)
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed "
               f"beyond tolerance:", file=sys.stderr)

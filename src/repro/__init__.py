@@ -32,8 +32,19 @@ Quickstart::
     print(cur.fetchall())
 """
 
-from .driver import connect
-from .engine import DSPRuntime, SQLExecutor, Storage, TableProvider
+from .driver import connect, register_runtime, unregister_runtime
+from .engine import (
+    AdmissionController,
+    CancellationToken,
+    DSPRuntime,
+    FaultProfile,
+    QueryContext,
+    RetryPolicy,
+    SQLExecutor,
+    Storage,
+    TableProvider,
+    install_fault,
+)
 from .obs import LRUCache, MetricsRegistry, Tracer
 from .translator import SQLToXQueryTranslator, TranslationResult
 from .workloads import build_runtime as build_demo_runtime
@@ -42,9 +53,14 @@ from .xquery import execute_xquery
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
+    "CancellationToken",
     "DSPRuntime",
+    "FaultProfile",
     "LRUCache",
     "MetricsRegistry",
+    "QueryContext",
+    "RetryPolicy",
     "SQLExecutor",
     "SQLToXQueryTranslator",
     "Storage",
@@ -55,7 +71,10 @@ __all__ = [
     "build_demo_runtime",
     "connect",
     "execute_xquery",
+    "install_fault",
+    "register_runtime",
     "translate",
+    "unregister_runtime",
 ]
 
 

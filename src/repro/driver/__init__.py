@@ -1,8 +1,11 @@
 """The JDBC-analog DB-API 2.0 driver (S8 in DESIGN.md).
 
-``connect(runtime)`` gives legacy SQL applications access to the XML data
-services world through the SQL-to-XQuery translator, with the section-4
-delimited-text result path (default) or the XML materialization path.
+``connect(runtime_or_dsn)`` gives legacy SQL applications access to the
+XML data services world through the SQL-to-XQuery translator, with the
+section-4 delimited-text result path (default) or the XML
+materialization path. Connections carry per-statement deadlines,
+cross-thread ``Cursor.cancel()``, and runtime admission control (see
+DESIGN.md "Query lifecycle").
 """
 
 from ..errors import (
@@ -29,7 +32,9 @@ from .dbapi import (
     apilevel,
     connect,
     paramstyle,
+    register_runtime,
     threadsafety,
+    unregister_runtime,
 )
 from .metadata import DatabaseMetaData
 
@@ -58,5 +63,7 @@ __all__ = [
     "decode_delimited",
     "decode_xml",
     "paramstyle",
+    "register_runtime",
     "threadsafety",
+    "unregister_runtime",
 ]

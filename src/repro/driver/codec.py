@@ -47,7 +47,8 @@ def convert_cell(text: str, sql_type: SQLType) -> object:
 
 
 def iter_decode_delimited(chunks,
-                          columns: list[ResultColumn]):
+                          columns: list[ResultColumn],
+                          context=None):
     """Incrementally parse a delimited result stream into typed rows.
 
     Each cell is ``>`` + xml-escaped value, or ``<`` for NULL; the column
@@ -61,6 +62,11 @@ def iter_decode_delimited(chunks,
     so the final value cell is held back until then. Error offsets are
     absolute positions in the concatenated stream, identical to what a
     whole-string parse reports.
+
+    *context* is an optional ``repro.engine.lifecycle.QueryContext``;
+    the decoder ticks it once per decoded row, so cancellation and
+    deadlines abort a fetch loop even when the upstream pipeline is
+    between check points.
     """
     if not columns:
         raise DataError("result schema has no columns")
@@ -98,6 +104,9 @@ def iter_decode_delimited(chunks,
                     f"malformed delimited stream at offset {base + pos}: "
                     f"expected a cell marker, got {mark!r}")
             if len(row) == column_count:
+                if context is not None:
+                    context.tick()
+                    context.rows_emitted += 1
                 yield tuple(row)
                 row = []
         base += pos
@@ -108,6 +117,9 @@ def iter_decode_delimited(chunks,
         raw = unescape(tail[1:])
         row.append(convert_cell(raw, columns[len(row)].sql_type))
         if len(row) == column_count:
+            if context is not None:
+                context.tick()
+                context.rows_emitted += 1
             yield tuple(row)
             row = []
     if row:

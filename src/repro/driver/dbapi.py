@@ -13,19 +13,32 @@ reachable via ``Cursor.callproc``.
 from __future__ import annotations
 
 import re
-from typing import Iterable, Iterator, Optional, Sequence
+import threading
+from typing import Iterable, Iterator, Optional, Sequence, Union
+from urllib.parse import parse_qsl, urlsplit
 
 from .. import clock, errors
 from ..catalog import MetadataCache, ProcedureMetadata
 from ..engine.dsp import DSPRuntime
+from ..engine.lifecycle import AdmissionSlot, QueryContext
 from ..obs import LRUCache, MetricsRegistry, Tracer
 from ..errors import (
+    AdmissionRejectedError,
+    DataError,
     DatabaseError,
     Error,
+    IntegrityError,
     InterfaceError,
+    InternalError,
     NotSupportedError,
+    OperationalError,
     ProgrammingError,
+    QueryCancelledError,
+    QueryLifecycleError,
+    QueryTimeoutError,
     ReproError,
+    Warning,
+    to_driver_error,
 )
 from ..translator import (
     ResultColumn,
@@ -83,26 +96,147 @@ def _type_object_for(kind: str) -> _TypeObject:
     return STRING
 
 
-def connect(runtime: DSPRuntime, format: str = "delimited",
-            metadata_latency: float = 0.0,
+#: Registered runtimes addressable by DSN application name.
+_runtime_registry: dict[str, DSPRuntime] = {}
+_registry_lock = threading.Lock()
+
+
+def register_runtime(application: str, runtime: DSPRuntime) -> None:
+    """Make *runtime* addressable as ``repro://<application>/...`` DSNs.
+
+    Registration is process-wide (the analogue of a JDBC driver
+    manager's URL table); re-registering a name replaces the previous
+    runtime.
+    """
+    with _registry_lock:
+        _runtime_registry[application] = runtime
+
+
+def unregister_runtime(application: str) -> None:
+    with _registry_lock:
+        _runtime_registry.pop(application, None)
+
+
+#: DSN query parameters understood by ``connect`` and their coercions.
+_DSN_PARAMS = {
+    "format": str,
+    "timeout": float,
+    "statement_cache_capacity": int,
+    "metadata_cache_capacity": int,
+    "metadata_latency": float,
+}
+
+
+def _parse_dsn(dsn: str) -> tuple[DSPRuntime, dict]:
+    """Resolve a ``repro://<application>/<project>?k=v`` DSN to a
+    registered runtime plus connect keyword overrides."""
+    parts = urlsplit(dsn)
+    if parts.scheme != "repro":
+        raise InterfaceError(
+            f"unsupported DSN scheme {parts.scheme!r}; expected "
+            f"repro://<application>/<project>")
+    application = parts.netloc
+    if not application:
+        raise InterfaceError(f"DSN {dsn!r} names no application")
+    with _registry_lock:
+        runtime = _runtime_registry.get(application)
+    if runtime is None:
+        # The demo application connects without prior registration, the
+        # way a sample DSN works out of the box in most drivers.
+        from ..workloads import APPLICATION, build_runtime
+        if application == APPLICATION:
+            runtime = build_runtime()
+            register_runtime(application, runtime)
+        else:
+            raise InterfaceError(
+                f"no runtime registered for application "
+                f"{application!r}; call "
+                f"repro.driver.register_runtime({application!r}, runtime) "
+                f"first")
+    project = parts.path.strip("/")
+    if project and project not in runtime.application.projects:
+        raise InterfaceError(
+            f"application {application!r} has no project {project!r}")
+    overrides: dict = {}
+    for key, raw in parse_qsl(parts.query):
+        coerce = _DSN_PARAMS.get(key)
+        if coerce is None:
+            raise InterfaceError(
+                f"unknown DSN parameter {key!r}; expected one of "
+                f"{sorted(_DSN_PARAMS)}")
+        try:
+            overrides["default_timeout" if key == "timeout"
+                      else key] = coerce(raw)
+        except ValueError:
+            raise InterfaceError(
+                f"bad value {raw!r} for DSN parameter {key!r}") from None
+    return runtime, overrides
+
+
+def connect(target: Union[DSPRuntime, str], *,
+            format: Optional[str] = None,
+            metadata_latency: Optional[float] = None,
             tracer: Optional[Tracer] = None,
             metrics: Optional[MetricsRegistry] = None,
-            statement_cache_capacity: int =
-            DEFAULT_STATEMENT_CACHE_CAPACITY,
-            metadata_cache_capacity: int = 1024) -> "Connection":
-    """Open a connection to a DSP runtime (the JDBC ``getConnection``)."""
-    return Connection(runtime, format=format,
-                      metadata_latency=metadata_latency,
-                      tracer=tracer, metrics=metrics,
-                      statement_cache_capacity=statement_cache_capacity,
-                      metadata_cache_capacity=metadata_cache_capacity)
+            statement_cache_capacity: Optional[int] = None,
+            metadata_cache_capacity: Optional[int] = None,
+            default_timeout: Optional[float] = None) -> "Connection":
+    """Open a connection to a DSP runtime (the JDBC ``getConnection``).
+
+    *target* is either a :class:`DSPRuntime` or a DSN string of the form
+    ``repro://<application>/<project>?format=xml&timeout=5`` resolved
+    through :func:`register_runtime` (the demo application ``RTLApp``
+    resolves without registration). All tuning arguments are
+    keyword-only; explicit keywords override DSN query parameters.
+    ``default_timeout`` (seconds) bounds every statement executed on the
+    connection unless ``Cursor.execute(..., timeout=...)`` overrides it.
+    """
+    settings: dict = {}
+    if isinstance(target, str):
+        runtime, settings = _parse_dsn(target)
+    elif isinstance(target, DSPRuntime):
+        runtime = target
+    else:
+        raise InterfaceError(
+            f"connect() takes a DSPRuntime or a repro:// DSN string, "
+            f"got {type(target).__name__}")
+    explicit = {
+        "format": format,
+        "metadata_latency": metadata_latency,
+        "statement_cache_capacity": statement_cache_capacity,
+        "metadata_cache_capacity": metadata_cache_capacity,
+        "default_timeout": default_timeout,
+    }
+    settings.update({key: value for key, value in explicit.items()
+                     if value is not None})
+    return Connection(
+        runtime,
+        format=settings.get("format", "delimited"),
+        metadata_latency=settings.get("metadata_latency", 0.0),
+        tracer=tracer, metrics=metrics,
+        statement_cache_capacity=settings.get(
+            "statement_cache_capacity", DEFAULT_STATEMENT_CACHE_CAPACITY),
+        metadata_cache_capacity=settings.get(
+            "metadata_cache_capacity", 1024),
+        default_timeout=settings.get("default_timeout"))
 
 
 class Connection:
     """A PEP 249 connection bound to one DSP application."""
 
+    #: The full PEP 249 exception set as connection attributes (the
+    #: optional "Connection.Error" extension), so multi-connection code
+    #: can catch errors without importing the driver module.
+    Warning = Warning
     Error = Error
+    InterfaceError = InterfaceError
+    DatabaseError = DatabaseError
+    DataError = DataError
+    OperationalError = OperationalError
+    IntegrityError = IntegrityError
+    InternalError = InternalError
     ProgrammingError = ProgrammingError
+    NotSupportedError = NotSupportedError
 
     def __init__(self, runtime: DSPRuntime, format: str = "delimited",
                  metadata_latency: float = 0.0,
@@ -110,7 +244,8 @@ class Connection:
                  metrics: Optional[MetricsRegistry] = None,
                  statement_cache_capacity: int =
                  DEFAULT_STATEMENT_CACHE_CAPACITY,
-                 metadata_cache_capacity: int = 1024):
+                 metadata_cache_capacity: int = 1024,
+                 default_timeout: Optional[float] = None):
         if format not in FORMATS:
             raise InterfaceError(
                 f"unknown result format {format!r}; expected one of "
@@ -136,6 +271,15 @@ class Connection:
         self._rows_materialized = self.metrics.counter("rows.materialized")
         self._rows_streamed = self.metrics.counter("rows.streamed")
         self._execute_seconds = self.metrics.histogram("execute.seconds")
+        #: Lifecycle outcome counters (ISSUE 3): how often queries on
+        #: this connection timed out, were cancelled, or were refused
+        #: admission.
+        self._queries_timeout = self.metrics.counter("queries.timeout")
+        self._queries_cancelled = self.metrics.counter("queries.cancelled")
+        self._queries_rejected = self.metrics.counter("queries.rejected")
+        #: Default per-statement deadline in seconds (None = unbounded);
+        #: ``Cursor.execute(..., timeout=...)`` overrides per query.
+        self.default_timeout = default_timeout
         self._closed = False
 
     # -- PEP 249 surface ---------------------------------------------------
@@ -195,11 +339,15 @@ class Connection:
 
     def stats(self) -> dict:
         """A point-in-time observability snapshot: every named counter
-        and histogram plus both caches' hit/miss/eviction/size stats."""
+        and histogram, both caches' hit/miss/eviction/size stats, the
+        runtime's admission-controller state, and the runtime-side
+        metrics (plan cache, ``source.retries``/``source.failures``)."""
         snapshot = self.metrics.snapshot()
         snapshot["statement_cache"] = self._statement_cache.stats()
         snapshot["metadata_cache"] = self._metadata_cache.stats_dict()
         snapshot["plan_cache"] = self._runtime.plan_cache.stats()
+        snapshot["admission"] = self._runtime.admission.stats()
+        snapshot["runtime"] = self._runtime.metrics.snapshot()
         return snapshot
 
     def _check_open(self) -> None:
@@ -230,6 +378,10 @@ class Cursor:
         self._fetched = 0
         self._description: Optional[list[tuple]] = None
         self._closed = False
+        #: Lifecycle state for the statement in flight: the QueryContext
+        #: (deadline + token) and the admission slot it holds.
+        self._context: Optional[QueryContext] = None
+        self._slot: Optional[AdmissionSlot] = None
         self.rowcount = -1
         self.lastrowid = None
 
@@ -257,7 +409,11 @@ class Cursor:
         re.IGNORECASE | re.DOTALL)
 
     def execute(self, operation: str,
-                parameters: Sequence = ()) -> "Cursor":
+                parameters: Sequence = (), *,
+                timeout: Optional[float] = None) -> "Cursor":
+        """Execute a statement. *timeout* (seconds, keyword-only)
+        bounds this execution — including its fetch phase for streamed
+        results — overriding the connection's ``default_timeout``."""
         self._check_open()
         call = self._CALL_RE.match(operation)
         if call is not None:
@@ -274,42 +430,77 @@ class Cursor:
                     f"{len(parameters)} parameters given")
             self.callproc(name, parameters)
             return self
+        return self._execute_translated(operation, None, parameters,
+                                        timeout)
+
+    def _execute_translated(self, operation: str,
+                            translation, parameters: Sequence,
+                            timeout: Optional[float]) -> "Cursor":
+        """The shared execution core: *translation* is None for a
+        normal ``execute()`` (loaded through the statement cache inside
+        the span) or a pre-fetched result reused by ``executemany``."""
         connection = self.connection
         tracer = connection.tracer
         self._release_stream()
+        if timeout is None:
+            timeout = connection.default_timeout
+        # The deadline starts now: admission queueing, translation, and
+        # evaluation all spend from the same budget.
+        context = QueryContext(timeout=timeout)
+        self._context = context
         started = clock.monotonic()
         streamed = False
+        slot: Optional[AdmissionSlot] = None
         try:
             with tracer.span("execute", sql=operation):
-                # The statement cache's loader opens the nested
-                # "translate" span (with its stage children) on a miss.
-                translation = connection.translate(operation)
+                if translation is None:
+                    # The statement cache's loader opens the nested
+                    # "translate" span (with its stage children) on a
+                    # miss.
+                    translation = connection.translate(operation)
                 variables = translation.parameter_variables(parameters)
-                with tracer.span("evaluate"):
-                    plan = connection._runtime.prepare(
-                        translation.xquery, tracer=tracer)
-                    translation.stage_timings.setdefault(
-                        "compile", plan.compile_seconds)
-                    if connection.format == "delimited" \
-                            and plan.streams_text:
-                        # Streaming path: set up the lazy pipeline;
-                        # rows are pulled (and decoded) at fetch time.
-                        stream = iter_decode_delimited(
-                            plan.stream_chunks(variables),
-                            translation.columns)
-                        streamed = True
-                    else:
-                        result = plan.evaluate(variables)
-                if not streamed:
-                    with tracer.span("materialize"):
-                        self._rows = self._decode(result,
-                                                  translation.columns)
+                slot = connection._runtime.admission.acquire(context)
+                try:
+                    with tracer.span("evaluate"):
+                        plan = connection._runtime.prepare(
+                            translation.xquery, tracer=tracer)
+                        translation.stage_timings.setdefault(
+                            "compile", plan.compile_seconds)
+                        if connection.format == "delimited" \
+                                and plan.streams_text:
+                            # Streaming path: set up the lazy pipeline;
+                            # rows are pulled (and decoded) at fetch
+                            # time. The slot is held until the stream
+                            # is exhausted or released.
+                            stream = iter_decode_delimited(
+                                plan.stream_chunks(variables,
+                                                   context=context),
+                                translation.columns, context=context)
+                            streamed = True
+                        else:
+                            result = plan.evaluate(variables,
+                                                   context=context)
+                    if not streamed:
+                        with tracer.span("materialize"):
+                            self._rows = self._decode(
+                                result, translation.columns)
+                finally:
+                    if not streamed and slot is not None:
+                        slot.release()
+                        slot = None
         except errors.SQLError as exc:
             raise ProgrammingError(str(exc)) from exc
         except Error:
             raise
         except ReproError as exc:
-            raise DatabaseError(str(exc)) from exc
+            if slot is not None:
+                slot.release()
+            self._note_lifecycle_failure(exc)
+            raise to_driver_error(exc) from exc
+        except BaseException:
+            if slot is not None:
+                slot.release()
+            raise
         connection._queries_executed.increment()
         connection._execute_seconds.observe(clock.monotonic() - started)
         self._set_description(translation.columns)
@@ -317,6 +508,7 @@ class Cursor:
         self._fetched = 0
         if streamed:
             self._stream = stream
+            self._slot = slot
             self._rows = []
             self.rowcount = -1  # unknown until the stream is exhausted
         else:
@@ -325,10 +517,46 @@ class Cursor:
         return self
 
     def executemany(self, operation: str,
-                    seq_of_parameters: Iterable[Sequence]) -> "Cursor":
+                    seq_of_parameters: Iterable[Sequence], *,
+                    timeout: Optional[float] = None) -> "Cursor":
+        """Execute *operation* once per parameter set, translating the
+        statement exactly once: the cached translation is reused across
+        every set instead of re-entering ``execute()``'s cache lookup."""
+        self._check_open()
+        if self._CALL_RE.match(operation):
+            raise ProgrammingError(
+                "executemany() does not accept CALL statements")
+        try:
+            translation = self.connection.translate(operation)
+        except errors.SQLError as exc:
+            raise ProgrammingError(str(exc)) from exc
         for parameters in seq_of_parameters:
-            self.execute(operation, parameters)
+            self._execute_translated(operation, translation, parameters,
+                                     timeout)
         return self
+
+    def cancel(self) -> None:
+        """Cancel the statement in flight (driver extension; safe from
+        any thread). The executing/fetching thread observes the token
+        at its next tuple-batch check and raises ``OperationalError``;
+        idle cursors ignore the call."""
+        context = self._context
+        if context is not None:
+            context.cancel("Cursor.cancel()")
+
+    def _note_lifecycle_failure(self, exc: ReproError) -> None:
+        """Count and trace a lifecycle abort (timeout / cancel /
+        admission-reject) so every outcome shows in stats()."""
+        connection = self.connection
+        if isinstance(exc, QueryTimeoutError):
+            connection._queries_timeout.increment()
+            connection.tracer.event("query.timeout", detail=str(exc))
+        elif isinstance(exc, QueryCancelledError):
+            connection._queries_cancelled.increment()
+            connection.tracer.event("query.cancelled", detail=str(exc))
+        elif isinstance(exc, AdmissionRejectedError):
+            connection._queries_rejected.increment()
+            connection.tracer.event("query.rejected", detail=str(exc))
 
     def callproc(self, procname: str,
                  parameters: Sequence = ()) -> Sequence:
@@ -393,38 +621,60 @@ class Cursor:
     # -- fetching ------------------------------------------------------------------
 
     def _finish_stream(self) -> None:
-        """The stream is exhausted: the row count is now known."""
+        """The stream is exhausted: the row count is now known and the
+        admission slot is returned."""
         self.rowcount = self._fetched
         self._stream = None
+        self._release_slot()
+
+    def _release_slot(self) -> None:
+        if self._slot is not None:
+            slot, self._slot = self._slot, None
+            slot.release()
 
     def _release_stream(self) -> None:
-        """Close any live pipeline (re-execute, close): generator close
-        propagates through the decoder into the executor stages, so the
-        engine drops its frames immediately."""
+        """Close any live pipeline (re-execute, close, abort):
+        generator close propagates through the decoder into the
+        executor stages, so the engine drops its frames immediately,
+        and the admission slot is returned."""
         if self._stream is not None:
             stream, self._stream = self._stream, None
             close = getattr(stream, "close", None)
             if close is not None:
                 close()
+        self._release_slot()
 
     def _pull_streamed(self, limit: Optional[int]) -> list[tuple]:
         """Pull up to *limit* rows (all remaining when None) from the
         live stream, wrapping engine errors — which now surface at
-        fetch time — the same way execute() wraps them."""
+        fetch time — the same way execute() wraps them. The query's
+        deadline/cancellation is checked once per fetch call (in
+        addition to the pipeline's per-batch ticks), and freshly pulled
+        rows are charged against the admission controller's in-flight
+        budget."""
         stream = self._stream
+        context = self._context
         chunk: list[tuple] = []
         exhausted = False
         try:
+            if context is not None:
+                context.check()
             while limit is None or len(chunk) < limit:
                 try:
                     chunk.append(next(stream))
                 except StopIteration:
                     exhausted = True
                     break
+            if chunk and self._slot is not None:
+                self._slot.note_rows(len(chunk))
         except Error:
             raise
         except ReproError as exc:
-            raise DatabaseError(str(exc)) from exc
+            # Abort: tear the pipeline down so the engine's frames (and
+            # the admission slot) are released immediately.
+            self._note_lifecycle_failure(exc)
+            self._release_stream()
+            raise to_driver_error(exc) from exc
         finally:
             self._fetched += len(chunk)
             if chunk:
@@ -463,13 +713,22 @@ class Cursor:
         return chunk
 
     def __iter__(self) -> Iterator[tuple]:
+        """Iterate the result set, pulling ``arraysize`` rows per batch
+        (so ``cursor.arraysize`` tunes the fetch granularity of a
+        ``for`` loop the same way it tunes ``fetchmany()``)."""
         while True:
-            row = self.fetchone()
-            if row is None:
+            chunk = self.fetchmany(self.arraysize)
+            if not chunk:
                 return
-            yield row
+            yield from chunk
 
     # -- lifecycle -----------------------------------------------------------------
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def setinputsizes(self, sizes) -> None:
         self._check_open()

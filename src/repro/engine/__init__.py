@@ -13,6 +13,14 @@ from .dsp import (
     logical_function,
     physical_function,
 )
+from .faults import FaultProfile, FaultyBinding, install_fault, make_faulty
+from .lifecycle import (
+    AdmissionController,
+    AdmissionSlot,
+    CancellationToken,
+    QueryContext,
+    RetryPolicy,
+)
 from .sqlexec import (
     ResultTable,
     SQLExecutor,
@@ -24,8 +32,15 @@ from .sqlexec import (
 from .table import Storage, Table, coerce_value
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionSlot",
+    "CancellationToken",
     "DSPRuntime",
+    "FaultProfile",
+    "FaultyBinding",
+    "QueryContext",
     "ResultTable",
+    "RetryPolicy",
     "SQLExecutor",
     "Storage",
     "Table",
@@ -35,7 +50,9 @@ __all__ = [
     "csv_function",
     "coerce_value",
     "import_tables",
+    "install_fault",
     "logical_function",
+    "make_faulty",
     "physical_function",
     "row_key",
     "sql_cast",

@@ -30,12 +30,19 @@ from ..catalog import (
     function_namespace,
     sql_to_xs,
 )
-from ..errors import UnknownArtifactError, XQueryDynamicError
+from ..errors import (
+    SourceUnavailableError,
+    TransientSourceError,
+    UnknownArtifactError,
+    XQueryDynamicError,
+)
 from ..obs import NULL_TRACER, LRUCache, MetricsRegistry
 from ..xmlmodel import Element, QName, Text
 from ..xquery import parse_xquery
 from ..xquery.atomic import parse_lexical, serialize_atomic
 from ..xquery.compile import CompiledQuery, compile_module
+from .faults import FaultyBinding
+from .lifecycle import AdmissionController, QueryContext, RetryPolicy
 from .table import Storage, Table
 
 
@@ -44,7 +51,11 @@ class DSPRuntime:
 
     def __init__(self, application: Application, storage: Storage,
                  optimize: bool = True, plan_cache_capacity: int = 256,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 max_concurrent_queries: int = 32,
+                 admission_queue_timeout: float = 5.0,
+                 max_inflight_rows: Optional[int] = 1_000_000,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.application = application
         self.storage = storage
         #: Enable the XQuery engine's optimizer (hash equi-joins, filter
@@ -72,6 +83,23 @@ class DSPRuntime:
         #: never mutates source trees (constructors copy nodes).
         self._table_elements: dict[tuple[str, str], tuple[int, list]] = {}
         self.function_call_count = 0
+        #: Admission control for top-level queries: bounded concurrency
+        #: with a queue-with-timeout, plus a global in-flight streamed
+        #: row budget. Enforced at the query entry points (the PEP 249
+        #: driver and the shell), never on nested data-service calls —
+        #: a logical function's body must not deadlock against its own
+        #: parent's slot.
+        self.admission = AdmissionController(
+            max_concurrent=max_concurrent_queries,
+            queue_timeout=admission_queue_timeout,
+            max_inflight_rows=max_inflight_rows)
+        #: Per-source retry with backoff+jitter for TransientSourceError
+        #: from physical bindings; publishes ``source.retries`` /
+        #: ``source.failures`` on this runtime's metrics.
+        self.retry_policy = RetryPolicy() if retry_policy is None \
+            else retry_policy
+        self._source_retries = self.metrics.counter("source.retries")
+        self._source_failures = self.metrics.counter("source.failures")
         for project, service in application.all_data_services():
             uri = function_namespace(project, service)
             for function in service.functions.values():
@@ -79,10 +107,15 @@ class DSPRuntime:
 
     # -- function execution -------------------------------------------------
 
-    def call_function(self, uri: str, local: str, args: list) -> list:
+    def call_function(self, uri: str, local: str, args: list,
+                      context: Optional[QueryContext] = None) -> list:
         """Execute a data service function; this is also the evaluator's
-        FunctionResolver."""
+        FunctionResolver. *context* (threaded down from the executing
+        query's frames) bounds source waits and is consulted by fault
+        wrappers and the retry policy."""
         self.function_call_count += 1
+        if context is not None:
+            context.source_calls += 1
         try:
             function = self._functions[(uri, local)]
         except KeyError:
@@ -92,8 +125,54 @@ class DSPRuntime:
             raise XQueryDynamicError(
                 f"{local} expects {len(function.parameters)} arguments, "
                 f"got {len(args)}", code="XPTY0004")
-        if isinstance(function.binding, TableBinding):
-            table = self.storage.table(function.binding.table_name)
+        binding = function.binding
+        if binding is None:
+            raise UnknownArtifactError(
+                f"data service function {local} has no binding")
+        # Only sources that can raise TransientSourceError (files,
+        # custom functions, fault wrappers) pay for the retry loop.
+        if isinstance(binding, (CsvBinding, CallableBinding,
+                                FaultyBinding)):
+            return self._call_with_retry(uri, local, function, binding,
+                                         args, context)
+        return self._run_binding(uri, local, function, binding, args,
+                                 context)
+
+    def _call_with_retry(self, uri: str, local: str, function, binding,
+                         args: list,
+                         context: Optional[QueryContext]) -> list:
+        """Run a (possibly fault-injected) physical source under the
+        runtime's retry policy: transient failures back off with jitter
+        and retry, bounded by the policy's attempt budget and the
+        query's deadline."""
+        policy = self.retry_policy
+        last: Optional[TransientSourceError] = None
+        for attempt in range(policy.attempts):
+            try:
+                return self._run_binding(uri, local, function, binding,
+                                         args, context)
+            except TransientSourceError as exc:
+                last = exc
+                if attempt + 1 >= policy.attempts:
+                    break
+                self._source_retries.increment()
+                policy.sleep_before_retry(attempt, context)
+        self._source_failures.increment()
+        raise SourceUnavailableError(
+            f"source {local} unavailable: {last}",
+            attempts=policy.attempts) from last
+
+    def _run_binding(self, uri: str, local: str, function, binding,
+                     args: list,
+                     context: Optional[QueryContext]) -> list:
+        """Execute one binding once (faults applied, no retry)."""
+        if context is not None:
+            context.check()
+        if isinstance(binding, FaultyBinding):
+            binding.apply(context)
+            binding = binding.inner
+        if isinstance(binding, TableBinding):
+            table = self.storage.table(binding.table_name)
             if len(function.return_schema.columns) != len(table.columns):
                 raise UnknownArtifactError(
                     f"schema/table column count mismatch for "
@@ -105,22 +184,22 @@ class DSPRuntime:
                                               table.rows)
             self._table_elements[(uri, local)] = (len(table.rows), elements)
             return elements
-        if isinstance(function.binding, CsvBinding):
+        if isinstance(binding, CsvBinding):
             return self._rows_to_elements(
                 function.return_schema,
-                self._read_csv(function.binding, function.return_schema))
-        if isinstance(function.binding, CallableBinding):
+                self._read_csv(binding, function.return_schema))
+        if isinstance(binding, CallableBinding):
             values = [arg[0] if arg else None for arg in args]
-            rows = function.binding.provider(*values)
+            rows = binding.provider(*values)
             return self._rows_to_elements(function.return_schema,
                                           list(rows))
-        if isinstance(function.binding, XQueryBinding):
+        if isinstance(binding, XQueryBinding):
             variables = {
                 param.name: arg
                 for param, arg in zip(function.parameters, args)
             }
-            result = self.execute(function.binding.body,
-                                  variables=variables)
+            result = self.execute(binding.body, variables=variables,
+                                  context=context)
             return self._validate_against_schema(function, result)
         raise UnknownArtifactError(
             f"data service function {local} has no binding")
@@ -220,23 +299,27 @@ class DSPRuntime:
 
     def execute(self, xquery_text: str,
                 variables: dict[str, object] | None = None,
-                tracer=None) -> list:
+                tracer=None,
+                context: Optional[QueryContext] = None) -> list:
         """Compile (with plan caching) and evaluate an XQuery, returning
-        the materialized result sequence."""
+        the materialized result sequence. *context* bounds the run with
+        a deadline/cancellation token checked at tuple-batch granularity
+        inside the compiled pipeline."""
         tracer = NULL_TRACER if tracer is None else tracer
         plan = self.prepare(xquery_text, tracer=tracer)
         with tracer.span("xquery.evaluate"):
-            return plan.evaluate(variables)
+            return plan.evaluate(variables, context=context)
 
     def execute_stream(self, xquery_text: str,
                        variables: dict[str, object] | None = None,
-                       tracer=None) -> Iterator:
+                       tracer=None,
+                       context: Optional[QueryContext] = None) -> Iterator:
         """Compile (with plan caching) and evaluate an XQuery as a lazy
         item stream: FLWOR bodies pull source rows through the live
         pipeline only as the caller consumes items."""
         tracer = NULL_TRACER if tracer is None else tracer
         plan = self.prepare(xquery_text, tracer=tracer)
-        return plan.stream_items(variables)
+        return plan.stream_items(variables, context=context)
 
     def metadata_api(self, latency: float = 0.0) -> MetadataAPI:
         """The remote metadata API endpoint for this application."""

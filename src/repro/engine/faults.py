@@ -1,0 +1,145 @@
+"""Fault injection for physical sources: flaky, slow, and hung backends.
+
+The paper's platform mediates over files, custom functions, and remote
+services — exactly the sources that fail in production. This module
+wraps a physical data service function so tests (and chaos drills) can
+dial in:
+
+* **error-rate** — each call raises ``TransientSourceError`` with
+  probability ``error_rate`` (seeded RNG for reproducibility), or
+  deterministically for the first ``fail_times`` calls (the
+  retry-then-succeed shape);
+* **latency** — a fixed sleep per call, sliced so deadlines and
+  cancellation still abort promptly mid-sleep;
+* **hang** — the call blocks until the query's deadline expires or its
+  token is cancelled (raising the corresponding lifecycle error), or
+  until the ``hang_seconds`` safety cap elapses.
+
+The wrapper is a binding-level shim: ``install_fault(runtime, table,
+profile)`` swaps a registered function's binding for a
+:class:`FaultyBinding` that applies the profile, then delegates to the
+original binding through the runtime's normal execution (including its
+retry policy — which is how retries are exercised end to end).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import TransientSourceError, UnknownArtifactError
+from .lifecycle import QueryContext
+
+#: Sleep slice for interruptible waits: deadline/cancel is observed
+#: within this many seconds even while a source is "hung".
+WAIT_SLICE = 0.01
+
+
+@dataclass
+class FaultProfile:
+    """Configuration for one faulty source."""
+
+    #: Probability in [0, 1] that a call raises TransientSourceError.
+    error_rate: float = 0.0
+    #: Deterministic mode: fail exactly the first N calls, then succeed.
+    fail_times: int = 0
+    #: Seconds of added latency per call (interruptible).
+    latency: float = 0.0
+    #: Block until deadline/cancel instead of returning.
+    hang: bool = False
+    #: Safety cap on a hang when the query has no deadline or token
+    #: trigger; None hangs until the lifecycle aborts it.
+    hang_seconds: Optional[float] = None
+    #: RNG seed for the stochastic error mode.
+    seed: Optional[int] = None
+
+
+class FaultyBinding:
+    """Wraps a real binding; the runtime applies the profile before
+    delegating to the wrapped binding."""
+
+    __slots__ = ("inner", "profile", "calls", "failures", "hangs", "_rng")
+
+    def __init__(self, inner, profile: FaultProfile):
+        self.inner = inner
+        self.profile = profile
+        self.calls = 0
+        self.failures = 0
+        self.hangs = 0
+        self._rng = random.Random(profile.seed)
+
+    def apply(self, context: Optional[QueryContext]) -> None:
+        """Run the configured fault behaviors for one source call.
+
+        Raises ``TransientSourceError`` for injected failures and lets
+        ``context.check()`` raise the lifecycle error during latency or
+        hang waits.
+        """
+        self.calls += 1
+        profile = self.profile
+        if profile.fail_times and self.calls <= profile.fail_times:
+            self.failures += 1
+            raise TransientSourceError(
+                f"injected failure {self.calls}/{profile.fail_times}")
+        if profile.error_rate and self._rng.random() < profile.error_rate:
+            self.failures += 1
+            raise TransientSourceError(
+                f"injected stochastic failure (rate={profile.error_rate})")
+        if profile.latency:
+            _interruptible_sleep(profile.latency, context)
+        if profile.hang:
+            self.hangs += 1
+            _hang(profile.hang_seconds, context)
+
+
+def _interruptible_sleep(seconds: float,
+                         context: Optional[QueryContext]) -> None:
+    """Sleep *seconds* in slices, checking the lifecycle each slice so
+    a slow source still aborts within ~WAIT_SLICE of its deadline."""
+    deadline = time.monotonic() + seconds
+    while True:
+        if context is not None:
+            context.check()
+        left = deadline - time.monotonic()
+        if left <= 0:
+            return
+        time.sleep(min(WAIT_SLICE, left))
+
+
+def _hang(cap: Optional[float], context: Optional[QueryContext]) -> None:
+    """Block until the lifecycle aborts the query (or the cap elapses)."""
+    started = time.monotonic()
+    while True:
+        if context is not None:
+            context.check()
+        if cap is not None and time.monotonic() - started >= cap:
+            return
+        time.sleep(WAIT_SLICE)
+
+
+def make_faulty(function, profile: FaultProfile):
+    """A copy of *function* whose binding injects *profile*'s faults
+    before delegating to the original binding."""
+    from ..catalog import DataServiceFunction
+
+    return DataServiceFunction(
+        name=function.name,
+        return_schema=function.return_schema,
+        parameters=function.parameters,
+        binding=FaultyBinding(function.binding, profile),
+    )
+
+
+def install_fault(runtime, name: str,
+                  profile: FaultProfile) -> FaultyBinding:
+    """Wrap the registered function whose local name is *name* (its SQL
+    table name) in a fault-injecting binding, in place on *runtime*.
+    Returns the binding so tests can assert call/failure counts."""
+    for key, function in runtime._functions.items():
+        if key[1] == name:
+            faulty = make_faulty(function, profile)
+            runtime._functions[key] = faulty
+            return faulty.binding
+    raise UnknownArtifactError(f"no data service function named {name}")

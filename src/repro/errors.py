@@ -122,6 +122,46 @@ class XMLParseError(XMLError):
 
 
 # ---------------------------------------------------------------------------
+# Query lifecycle (deadlines, cancellation, admission, source health)
+# ---------------------------------------------------------------------------
+
+
+class QueryLifecycleError(ReproError):
+    """Base class for lifecycle aborts: the query was stopped by policy
+    (deadline, cancellation, admission control) rather than by a defect
+    in the statement or the data."""
+
+
+class QueryTimeoutError(QueryLifecycleError):
+    """The query's deadline expired before it finished."""
+
+
+class QueryCancelledError(QueryLifecycleError):
+    """The query's cancellation token was triggered (``Cursor.cancel()``
+    or a direct ``CancellationToken.cancel()``)."""
+
+
+class AdmissionRejectedError(QueryLifecycleError):
+    """The admission controller refused the query: the concurrency slot
+    queue timed out, or a resource budget was exhausted."""
+
+
+class TransientSourceError(ReproError):
+    """A physical source failed in a way worth retrying (flaky file
+    handle, intermittent custom-function backend). The runtime's retry
+    policy absorbs these up to its attempt budget."""
+
+
+class SourceUnavailableError(ReproError):
+    """A physical source kept failing after the retry budget was spent;
+    carries the attempt count for diagnostics."""
+
+    def __init__(self, message: str, attempts: int = 1):
+        self.attempts = attempts
+        super().__init__(f"{message} (after {attempts} attempt(s))")
+
+
+# ---------------------------------------------------------------------------
 # Driver (PEP 249 names)
 # ---------------------------------------------------------------------------
 
@@ -164,3 +204,38 @@ class ProgrammingError(DatabaseError):
 
 class NotSupportedError(DatabaseError):
     """A method or API is not supported by the database."""
+
+
+def to_driver_error(exc: ReproError) -> Error:
+    """Map an engine-level error onto the PEP 249 taxonomy.
+
+    The driver calls this at its API boundary so clients see standard
+    DB-API classes regardless of which internal layer failed:
+
+    * lifecycle aborts and flaky-source exhaustion → ``OperationalError``
+      (the database's operation, not the program, is at fault);
+    * XQuery *dynamic* and type errors → ``OperationalError`` (the
+      statement was valid; evaluation failed at runtime);
+    * catalog lookups and SQL statement errors → ``ProgrammingError``;
+    * malformed result data → ``DataError``;
+    * XQuery *static* errors on translator output → ``InternalError``
+      (the translator emitted XQuery the engine rejects — a driver bug,
+      never the client's).
+
+    Errors already inside the PEP 249 hierarchy pass through unchanged.
+    """
+    if isinstance(exc, Error):
+        return exc
+    message = str(exc)
+    if isinstance(exc, (QueryLifecycleError, SourceUnavailableError,
+                        TransientSourceError)):
+        return OperationalError(message)
+    if isinstance(exc, (XQueryDynamicError, XQueryTypeError)):
+        return OperationalError(message)
+    if isinstance(exc, XQuerySyntaxError) or isinstance(exc, XQueryStaticError):
+        return InternalError(message)
+    if isinstance(exc, (SQLError, CatalogError)):
+        return ProgrammingError(message)
+    if isinstance(exc, XMLError):
+        return DataError(message)
+    return DatabaseError(message)

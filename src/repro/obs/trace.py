@@ -42,6 +42,10 @@ class Span:
     start: float = 0.0
     end: float | None = None
     children: list["Span"] = field(default_factory=list)
+    #: Point-in-time annotations (name, offset-seconds, attributes)
+    #: attached via :meth:`Tracer.event` — e.g. a query cancellation
+    #: observed mid-span.
+    events: list[tuple] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -65,6 +69,14 @@ class Span:
                               self.attributes.items())
             attrs = f"  ({inner})"
         lines = [f"{pad}{self.name}  {self.duration * 1000:.3f} ms{attrs}"]
+        for name, offset, attributes in self.events:
+            detail = ""
+            if attributes:
+                inner = ", ".join(f"{k}={v}" for k, v in
+                                  attributes.items())
+                detail = f"  ({inner})"
+            lines.append(f"{pad}  @ {name}  +{offset * 1000:.3f} ms"
+                         f"{detail}")
         for child in self.children:
             lines.append(child.render(indent + 1))
         return "\n".join(lines)
@@ -115,6 +127,25 @@ class Tracer:
         if not self.enabled:
             return _NULL_CONTEXT
         return self._record(name, attributes)
+
+    def event(self, name: str, /, **attributes) -> None:
+        """Attach a point-in-time event to the innermost open span on
+        this thread — or, when none is open (e.g. an error handler
+        running after its span closed), to the most recent completed
+        root. A no-op when tracing is off or no span exists, so
+        instrumentation points never need to guard the call."""
+        if not self.enabled:
+            return
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            span = stack[-1]
+        else:
+            with self._lock:
+                span = self._roots[-1] if self._roots else None
+            if span is None:
+                return
+        span.events.append(
+            (name, clock.monotonic() - span.start, attributes))
 
     @contextmanager
     def _record(self, name: str, attributes: dict):

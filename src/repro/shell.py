@@ -9,8 +9,9 @@ SQL-92, get tabular results. Backslash commands inspect the machinery:
 ``\\translate SQL`` print the generated XQuery instead of executing
 ``\\explain SQL``   print the context/RSN report with stage timings
 ``\\format F``      switch result path: ``delimited`` or ``xml``
+``\\timeout S``     per-statement deadline in seconds (``off`` = none)
 ``\\trace on|off``  print the span tree after each executed query
-``\\stats``         print counters, latency histograms, cache stats
+``\\stats``         print counters, histograms, cache/admission stats
 ``\\quit``          leave
 =================  ====================================================
 
@@ -88,14 +89,16 @@ class Shell:
             self._explain(argument)
         elif name == "\\format":
             self._set_format(argument)
+        elif name == "\\timeout":
+            self._set_timeout(argument)
         elif name == "\\trace":
             self._set_trace(argument)
         elif name == "\\stats":
             self._stats()
         else:
             self._out(f"unknown command {name}; try \\tables, \\schema, "
-                      f"\\translate, \\explain, \\format, \\trace, "
-                      f"\\stats, \\quit")
+                      f"\\translate, \\explain, \\format, \\timeout, "
+                      f"\\trace, \\stats, \\quit")
         return True
 
     # -- command implementations ----------------------------------------------
@@ -163,12 +166,31 @@ class Shell:
             self._out("usage: \\format delimited|xml")
             return
         self._format = fmt
-        # Keep the tracer and metrics across the reconnect so \trace
-        # state and \stats history survive a format switch.
-        self._connection = connect(self._runtime, format=fmt,
-                                   tracer=self._connection.tracer,
-                                   metrics=self._connection.metrics)
+        # Keep the tracer, metrics, and timeout across the reconnect so
+        # \trace state, \stats history, and \timeout survive a format
+        # switch.
+        self._connection = connect(
+            self._runtime, format=fmt,
+            tracer=self._connection.tracer,
+            metrics=self._connection.metrics,
+            default_timeout=self._connection.default_timeout)
         self._out(f"result format: {fmt}")
+
+    def _set_timeout(self, argument: str) -> None:
+        if argument == "off":
+            self._connection.default_timeout = None
+            self._out("statement timeout: off")
+            return
+        try:
+            seconds = float(argument)
+        except ValueError:
+            self._out("usage: \\timeout SECONDS|off")
+            return
+        if seconds <= 0:
+            self._out("usage: \\timeout SECONDS|off")
+            return
+        self._connection.default_timeout = seconds
+        self._out(f"statement timeout: {seconds:g}s")
 
     def _set_trace(self, argument: str) -> None:
         if argument == "on":
@@ -202,6 +224,19 @@ class Shell:
                       f"misses={stats['misses']} "
                       f"evictions={stats['evictions']} "
                       f"size={stats['size']}/{stats['capacity']}")
+        admission = snapshot["admission"]
+        self._out(
+            f"ADMISSION: active={admission['active']}"
+            f"/{admission['max_concurrent']} "
+            f"queued={admission['queued']} "
+            f"admitted={admission['admitted']} "
+            f"rejected={admission['rejected']} "
+            f"inflight_rows={admission['inflight_rows']}"
+            f"/{admission['max_inflight_rows']}")
+        runtime_counters = snapshot["runtime"].get("counters", {})
+        retries = runtime_counters.get("source.retries", 0)
+        failures = runtime_counters.get("source.failures", 0)
+        self._out(f"SOURCES: retries={retries} failures={failures}")
 
     # -- loops --------------------------------------------------------------
 

@@ -85,9 +85,14 @@ def build_storage() -> Storage:
     return storage
 
 
-def build_runtime() -> DSPRuntime:
-    """Demo application with one project importing every demo table."""
+def build_runtime(**runtime_options) -> DSPRuntime:
+    """Demo application with one project importing every demo table.
+
+    Keyword arguments (e.g. ``max_concurrent_queries``,
+    ``admission_queue_timeout``, ``max_inflight_rows``,
+    ``retry_policy``) pass through to :class:`DSPRuntime`.
+    """
     storage = build_storage()
     application = Application(APPLICATION)
     import_tables(application, PROJECT, storage)
-    return DSPRuntime(application, storage)
+    return DSPRuntime(application, storage, **runtime_options)

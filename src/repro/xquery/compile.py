@@ -31,6 +31,7 @@ corpus and compares outputs byte-for-byte.
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from itertools import chain
@@ -56,6 +57,7 @@ from .atomic import (
     value_comparison,
 )
 from .evaluator import (
+    CONTEXT_KEY,
     FunctionResolver,
     StaticContext,
     _append_content,
@@ -122,29 +124,41 @@ class CompiledQuery:
         supports incremental text-chunk streaming."""
         return self._chunks is not None
 
-    def _root(self, variables: Optional[dict[str, object]]) -> _Frame:
-        return _Frame(bind_module_variables(self.module, variables))
+    def _root(self, variables: Optional[dict[str, object]],
+              context=None) -> _Frame:
+        bindings = bind_module_variables(self.module, variables)
+        if context is not None:
+            # The lifecycle context rides through every frame bind()
+            # under a reserved key; the frame-multiplying stages tick it
+            # at tuple granularity so deadlines and cancellation abort
+            # mid-stream.
+            bindings[CONTEXT_KEY] = context
+        return _Frame(bindings)
 
-    def evaluate(self, variables: Optional[dict[str, object]] = None) \
-            -> Sequence:
-        """Materialize the full result sequence (interpreter-compatible)."""
-        return self._run(self._root(variables))
+    def evaluate(self, variables: Optional[dict[str, object]] = None,
+                 context=None) -> Sequence:
+        """Materialize the full result sequence (interpreter-compatible).
+        *context* is an optional ``repro.engine.lifecycle.QueryContext``
+        enforcing deadline/cancellation during evaluation."""
+        if context is not None:
+            context.check()
+        return self._run(self._root(variables, context))
 
-    def stream_items(self, variables: Optional[dict[str, object]] = None) \
-            -> Iterator:
+    def stream_items(self, variables: Optional[dict[str, object]] = None,
+                     context=None) -> Iterator:
         """Lazily yield result items; FLWOR bodies pull rows through the
         live pipeline on demand."""
-        return iter(self._stream(self._root(variables)))
+        return iter(self._stream(self._root(variables, context)))
 
-    def stream_chunks(self, variables: Optional[dict[str, object]] = None) \
-            -> Iterator[str]:
+    def stream_chunks(self, variables: Optional[dict[str, object]] = None,
+                      context=None) -> Iterator[str]:
         """Yield the wrapper's single string result in pieces (only when
         :attr:`streams_text`); ``"".join(...)`` equals the evaluated
         string byte-for-byte."""
         if self._chunks is None:
             raise XQueryStaticError(
                 "query body is not a streamable text wrapper")
-        return self._chunks(self._root(variables))
+        return self._chunks(self._root(variables, context))
 
 
 def compile_module(module: ast.Module,
@@ -156,6 +170,16 @@ def compile_module(module: ast.Module,
     run, stream, chunks = compiler.compile_body()
     return CompiledQuery(module, run, stream, chunks,
                          time.perf_counter() - started)
+
+
+def _resolver_accepts_context(resolver) -> bool:
+    """True when *resolver* declares a ``context`` parameter (the DSP
+    runtime's signature); plain three-argument resolvers — tests, ad-hoc
+    hosts — are called without it."""
+    try:
+        return "context" in inspect.signature(resolver).parameters
+    except (TypeError, ValueError):  # builtins, odd callables
+        return False
 
 
 def _raiser(exc: Exception) -> _Thunk:
@@ -473,6 +497,13 @@ class _Compiler:
         if resolver is None:
             return _raiser(XQueryStaticError(
                 f"no resolver for function {expr.display}", code="XPST0017"))
+        if _resolver_accepts_context(resolver):
+            # The DSP runtime's resolver takes the lifecycle context so
+            # source reads (and fault wrappers) can respect deadlines
+            # and retry budgets. Detected once, at compile time.
+            return lambda frame: resolver(
+                uri, local, [a(frame) for a in args],
+                context=frame.variables.get(CONTEXT_KEY))
         return lambda frame: resolver(uri, local,
                                       [a(frame) for a in args])
 
@@ -588,10 +619,26 @@ class _Compiler:
             stats = STATS
 
             def for_stage(frames: Iterator[_Frame]) -> Iterator[_Frame]:
-                for t in frames:
-                    for item in source(t):
-                        stats.frames += 1
-                        yield t.bind(var, [item])
+                first = next(frames, None)
+                if first is None:
+                    return
+                # The lifecycle context (if any) rides in every frame of
+                # one execution, so resolve it once from the first.
+                ctx = first.variables.get(CONTEXT_KEY)
+                if ctx is None:
+                    for t in chain((first,), frames):
+                        for item in source(t):
+                            stats.frames += 1
+                            yield t.bind(var, [item])
+                else:
+                    # Lifecycle-bounded query: tick per tuple; the
+                    # check itself fires once per batch.
+                    tick = ctx.tick
+                    for t in chain((first,), frames):
+                        for item in source(t):
+                            stats.frames += 1
+                            tick()
+                            yield t.bind(var, [item])
 
             return for_stage
         if isinstance(clause, ast.LetClause):
@@ -644,6 +691,7 @@ class _Compiler:
             first = next(frames, None)
             if first is None:
                 return
+            ctx = first.variables.get(CONTEXT_KEY)
             # The join source is independent of the stream (the planner
             # rejects correlated sources), so build the table once
             # against the first frame's outer bindings.
@@ -663,9 +711,16 @@ class _Compiler:
                                                        "join key"))
                     if matched is _PAIRWISE:
                         matched = pairwise(t, items)
-                for item in matched:
-                    stats.frames += 1
-                    yield t.bind(var, [item])
+                if ctx is None:
+                    for item in matched:
+                        stats.frames += 1
+                        yield t.bind(var, [item])
+                else:
+                    tick = ctx.tick
+                    for item in matched:
+                        stats.frames += 1
+                        tick()
+                        yield t.bind(var, [item])
 
         return join_stage
 

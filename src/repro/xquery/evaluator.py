@@ -47,7 +47,17 @@ from .planner import (
 
 #: Host-supplied resolver for module-level (data service) functions:
 #: (namespace_uri, local_name, evaluated_argument_sequences) -> sequence.
+#: A resolver declaring a keyword parameter named ``context`` (like
+#: ``DSPRuntime.call_function``) additionally receives the executing
+#: query's lifecycle context from the compiled executor.
 FunctionResolver = Callable[[str, str, list], list]
+
+#: Reserved variable-frame key under which the compiled executor threads
+#: the active ``repro.engine.lifecycle.QueryContext`` through per-row
+#: frames. The NUL prefix guarantees it can never collide with a real
+#: XQuery variable name, and it rides along frame ``bind()`` copies for
+#: free. ``repro.engine.lifecycle`` re-exports it as the canonical name.
+CONTEXT_KEY = "\x00lifecycle"
 
 #: Back-compat alias: the planner owns the class since the executor split.
 _HashJoinClause = HashJoinClause

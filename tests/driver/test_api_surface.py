@@ -1,0 +1,195 @@
+"""PEP 249 surface tests: DSN connect, keyword-only tuning, arraysize
+batching, executemany translation reuse, the exception taxonomy, and
+the packages' public ``__all__``."""
+
+import pytest
+
+import repro
+import repro.driver as driver
+from repro.driver import (
+    Connection,
+    InterfaceError,
+    OperationalError,
+    ProgrammingError,
+    connect,
+    register_runtime,
+    unregister_runtime,
+)
+from repro.workloads import APPLICATION, build_runtime
+
+
+class TestConnectDSN:
+    def test_demo_application_resolves_without_registration(self):
+        unregister_runtime(APPLICATION)
+        try:
+            connection = connect("repro://RTLApp/TestDataServices")
+            cursor = connection.cursor()
+            cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+            assert len(cursor.fetchall()) == 6
+        finally:
+            unregister_runtime(APPLICATION)
+
+    def test_dsn_query_parameters(self):
+        connection = connect(
+            "repro://RTLApp/TestDataServices?format=xml&timeout=5"
+            "&statement_cache_capacity=7")
+        try:
+            assert connection.format == "xml"
+            assert connection.default_timeout == 5.0
+            assert connection._statement_cache.stats()["capacity"] == 7
+        finally:
+            unregister_runtime(APPLICATION)
+
+    def test_explicit_keywords_override_dsn(self):
+        connection = connect(
+            "repro://RTLApp/TestDataServices?format=xml&timeout=5",
+            format="delimited", default_timeout=9.0)
+        try:
+            assert connection.format == "delimited"
+            assert connection.default_timeout == 9.0
+        finally:
+            unregister_runtime(APPLICATION)
+
+    def test_registered_runtime_resolves(self):
+        runtime = build_runtime()
+        register_runtime("MyApp", runtime)
+        try:
+            connection = connect("repro://MyApp")
+            assert connection._runtime is runtime
+        finally:
+            unregister_runtime("MyApp")
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(InterfaceError, match="scheme"):
+            connect("postgres://RTLApp/TestDataServices")
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(InterfaceError, match="no runtime registered"):
+            connect("repro://NoSuchApp")
+
+    def test_unknown_project_rejected(self):
+        try:
+            with pytest.raises(InterfaceError, match="no project"):
+                connect("repro://RTLApp/Bogus")
+        finally:
+            unregister_runtime(APPLICATION)
+
+    def test_unknown_dsn_parameter_rejected(self):
+        try:
+            with pytest.raises(InterfaceError, match="unknown DSN"):
+                connect("repro://RTLApp/TestDataServices?bogus=1")
+        finally:
+            unregister_runtime(APPLICATION)
+
+    def test_bad_dsn_parameter_value_rejected(self):
+        try:
+            with pytest.raises(InterfaceError, match="bad value"):
+                connect("repro://RTLApp/TestDataServices?timeout=soon")
+        finally:
+            unregister_runtime(APPLICATION)
+
+    def test_connect_rejects_other_types(self):
+        with pytest.raises(InterfaceError):
+            connect(42)
+
+    def test_tuning_arguments_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            connect(build_runtime(), "xml")
+
+
+class TestCursorSurface:
+    def test_iteration_pulls_arraysize_batches(self):
+        connection = connect(build_runtime())
+        cursor = connection.cursor()
+        cursor.arraysize = 4
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS ORDER BY "
+                       "CUSTOMERID")
+        rows = list(cursor)
+        assert [row[0] for row in rows] == [7, 12, 23, 31, 44, 55]
+        assert cursor.rowcount == 6
+
+    def test_fetchmany_defaults_to_arraysize(self):
+        connection = connect(build_runtime())
+        cursor = connection.cursor()
+        cursor.arraysize = 2
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        assert len(cursor.fetchmany()) == 2
+
+    def test_cursor_context_manager_closes(self):
+        connection = connect(build_runtime())
+        with connection.cursor() as cursor:
+            cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+            assert cursor.fetchone() is not None
+        with pytest.raises(InterfaceError):
+            cursor.fetchone()
+
+    def test_executemany_translates_once(self):
+        connection = connect(build_runtime())
+        cursor = connection.cursor()
+        cursor.executemany(
+            "SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = ?",
+            [[17], [23], [31]])
+        counters = connection.stats()["counters"]
+        assert counters["queries.translated"] == 1
+        assert counters["queries.executed"] == 3
+        assert len(cursor.fetchall()) == 1  # last parameter set's rows
+
+    def test_executemany_rejects_call(self):
+        connection = connect(build_runtime())
+        cursor = connection.cursor()
+        with pytest.raises(ProgrammingError):
+            cursor.executemany("{call getX(?)}", [[1]])
+
+    def test_executemany_bad_sql_is_programming_error(self):
+        connection = connect(build_runtime())
+        cursor = connection.cursor()
+        with pytest.raises(ProgrammingError):
+            cursor.executemany("SELEC bogus", [[1]])
+
+
+class TestErrorTaxonomy:
+    def test_connection_carries_exception_attributes(self):
+        # The PEP 249 optional extension: exceptions as Connection
+        # attributes, so multi-driver code can catch conn.Error.
+        for name in ("Warning", "Error", "InterfaceError",
+                     "DatabaseError", "DataError", "OperationalError",
+                     "IntegrityError", "InternalError",
+                     "ProgrammingError", "NotSupportedError"):
+            assert getattr(Connection, name) is getattr(driver, name)
+
+    def test_driver_reexports_full_exception_set(self):
+        for name in ("Warning", "Error", "InterfaceError",
+                     "DatabaseError", "DataError", "OperationalError",
+                     "IntegrityError", "InternalError",
+                     "ProgrammingError", "NotSupportedError"):
+            assert name in driver.__all__
+
+    def test_xquery_dynamic_error_maps_to_operational(self):
+        connection = connect(build_runtime())
+        cursor = connection.cursor()
+        with pytest.raises(OperationalError, match="FOAR0001"):
+            cursor.execute("SELECT CUSTOMERID / 0 FROM CUSTOMERS")
+            cursor.fetchall()
+
+    def test_exception_hierarchy_shape(self):
+        assert issubclass(driver.OperationalError, driver.DatabaseError)
+        assert issubclass(driver.DatabaseError, driver.Error)
+        assert issubclass(driver.InterfaceError, driver.Error)
+        assert not issubclass(driver.Warning, driver.Error)
+
+
+class TestPublicAll:
+    def test_repro_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_driver_all_resolves(self):
+        for name in driver.__all__:
+            assert getattr(driver, name) is not None
+
+    def test_lifecycle_names_exported(self):
+        for name in ("QueryContext", "CancellationToken", "RetryPolicy",
+                     "AdmissionController", "FaultProfile",
+                     "install_fault", "register_runtime",
+                     "unregister_runtime"):
+            assert name in repro.__all__ or hasattr(repro, name)

@@ -1,0 +1,292 @@
+"""Driver-level lifecycle tests: deadlines, cross-thread cancel,
+admission control, and leak-free aborts — the acceptance scenarios of
+the query lifecycle subsystem."""
+
+import threading
+import time
+
+import pytest
+
+from repro import clock
+from repro.driver import OperationalError, connect
+from repro.engine import FaultProfile, RetryPolicy, install_fault
+from repro.obs import Tracer
+from repro.workloads import build_runtime
+
+#: A cross join big enough (6^3 = 216 rows) that a streamed cursor has
+#: plenty of batches left after the first fetch.
+BIG_QUERY = "SELECT * FROM CUSTOMERS C1, CUSTOMERS C2, CUSTOMERS C3"
+
+
+def fresh_connection(**kwargs):
+    return connect(build_runtime(), **kwargs)
+
+
+class TestDeadlines:
+    def test_deadline_expiry_mid_fetch(self):
+        connection = fresh_connection()
+        cursor = connection.cursor()
+        cursor.execute(BIG_QUERY, timeout=60.0)
+        assert cursor.fetchmany(5)  # the stream is healthy
+        # Force the in-flight deadline into the past: the next pull must
+        # abort with the driver's OperationalError mapping.
+        cursor._context.deadline = clock.monotonic() - 1.0
+        with pytest.raises(OperationalError, match="deadline"):
+            cursor.fetchall()
+        stats = connection.stats()
+        assert stats["counters"]["queries.timeout"] == 1
+        assert stats["admission"]["active"] == 0
+        assert stats["admission"]["inflight_rows"] == 0
+
+    def test_connection_default_timeout_applies(self):
+        runtime = build_runtime()
+        install_fault(runtime, "CUSTOMERS", FaultProfile(hang=True))
+        connection = connect(runtime, default_timeout=0.1)
+        cursor = connection.cursor()
+        start = time.monotonic()
+        with pytest.raises(OperationalError):
+            cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+            cursor.fetchall()
+        assert time.monotonic() - start < 0.2  # within 2x the timeout
+        assert connection.stats()["counters"]["queries.timeout"] == 1
+
+    def test_execute_timeout_overrides_default(self):
+        connection = fresh_connection(default_timeout=0.000001)
+        cursor = connection.cursor()
+        # The per-call timeout wins over the unusably small default.
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS", timeout=60.0)
+        assert len(cursor.fetchall()) == 6
+
+    def test_hung_source_aborts_within_twice_timeout(self):
+        runtime = build_runtime()
+        install_fault(runtime, "CUSTOMERS", FaultProfile(hang=True))
+        connection = connect(runtime)
+        cursor = connection.cursor()
+        timeout = 0.2
+        start = time.monotonic()
+        with pytest.raises(OperationalError):
+            cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS",
+                           timeout=timeout)
+            cursor.fetchall()
+        assert time.monotonic() - start < 2 * timeout
+
+
+class TestCancel:
+    def test_cancel_from_second_thread_stops_stream(self):
+        connection = fresh_connection()
+        cursor = connection.cursor()
+        cursor.execute(BIG_QUERY)
+        assert cursor.fetchmany(5)
+        ready = threading.Event()
+        done = threading.Event()
+
+        def canceller():
+            ready.wait(timeout=5)
+            cursor.cancel()
+            done.set()
+
+        thread = threading.Thread(target=canceller)
+        thread.start()
+        ready.set()
+        done.wait(timeout=5)
+        with pytest.raises(OperationalError, match="cancelled"):
+            while cursor.fetchmany(5):
+                pass
+        thread.join(timeout=5)
+        stats = connection.stats()
+        assert stats["counters"]["queries.cancelled"] == 1
+        assert stats["admission"]["active"] == 0
+
+    def test_cancel_while_blocked_in_hung_source(self):
+        runtime = build_runtime()
+        install_fault(runtime, "CUSTOMERS", FaultProfile(hang=True))
+        connection = connect(runtime)
+        cursor = connection.cursor()
+
+        def canceller():
+            time.sleep(0.05)
+            cursor.cancel()
+
+        thread = threading.Thread(target=canceller)
+        thread.start()
+        start = time.monotonic()
+        with pytest.raises(OperationalError, match="cancelled"):
+            cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+            cursor.fetchall()
+        assert time.monotonic() - start < 2.0
+        thread.join(timeout=5)
+
+    def test_cancel_idle_cursor_is_harmless(self):
+        connection = fresh_connection()
+        cursor = connection.cursor()
+        cursor.cancel()  # nothing in flight
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        assert len(cursor.fetchall()) == 6
+
+    def test_cursor_reusable_after_cancel(self):
+        connection = fresh_connection()
+        cursor = connection.cursor()
+        cursor.execute(BIG_QUERY)
+        cursor.fetchmany(5)
+        cursor.cancel()
+        with pytest.raises(OperationalError):
+            cursor.fetchall()
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        assert len(cursor.fetchall()) == 6
+
+
+class TestAdmission:
+    def test_admission_rejects_under_load(self):
+        runtime = build_runtime(max_concurrent_queries=1,
+                                admission_queue_timeout=0.05)
+        connection = connect(runtime)
+        holder = connection.cursor()
+        holder.execute(BIG_QUERY)  # streamed: holds its slot
+        holder.fetchmany(1)
+        other = connection.cursor()
+        with pytest.raises(OperationalError, match="admission"):
+            other.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        stats = connection.stats()
+        assert stats["counters"]["queries.rejected"] == 1
+        assert stats["admission"]["rejected"] == 1
+        # Draining the holder frees the slot for the next query.
+        holder.fetchall()
+        other.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        assert len(other.fetchall()) == 6
+
+    def test_admission_bounds_concurrency_across_threads(self):
+        runtime = build_runtime(max_concurrent_queries=2,
+                                admission_queue_timeout=10.0)
+        connection = connect(runtime)
+        peak = []
+        lock = threading.Lock()
+
+        def worker():
+            cursor = connection.cursor()
+            cursor.execute(BIG_QUERY)
+            with lock:
+                peak.append(runtime.admission.stats()["active"])
+            cursor.fetchall()
+            cursor.close()
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert max(peak) <= 2
+        assert runtime.admission.stats()["active"] == 0
+        assert runtime.admission.stats()["admitted"] == 6
+
+    def test_inflight_row_budget_rejects_runaway_stream(self):
+        runtime = build_runtime(max_inflight_rows=50)
+        connection = connect(runtime)
+        cursor = connection.cursor()
+        cursor.execute(BIG_QUERY)  # 216 rows > 50-row budget
+        with pytest.raises(OperationalError, match="budget"):
+            cursor.fetchall()
+        stats = connection.stats()
+        assert stats["counters"]["queries.rejected"] == 1
+        assert stats["admission"]["active"] == 0
+        assert stats["admission"]["inflight_rows"] == 0
+
+
+class TestNoLeaks:
+    def test_aborted_queries_leak_nothing(self):
+        connection = fresh_connection()
+        for _ in range(5):
+            cursor = connection.cursor()
+            cursor.execute(BIG_QUERY)
+            cursor.fetchmany(3)
+            cursor.cancel()
+            with pytest.raises(OperationalError):
+                cursor.fetchall()
+        stats = connection.stats()
+        assert stats["admission"]["active"] == 0
+        assert stats["admission"]["inflight_rows"] == 0
+        # The plan cache holds the (reusable) compiled plan, not one
+        # entry per aborted run.
+        assert stats["plan_cache"]["size"] <= 1
+
+    def test_closing_cursor_mid_stream_releases_slot(self):
+        runtime = build_runtime(max_concurrent_queries=1,
+                                admission_queue_timeout=0.05)
+        connection = connect(runtime)
+        cursor = connection.cursor()
+        cursor.execute(BIG_QUERY)
+        cursor.fetchmany(1)
+        cursor.close()
+        assert connection.stats()["admission"]["active"] == 0
+        fresh = connection.cursor()
+        fresh.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        assert len(fresh.fetchall()) == 6
+
+    def test_re_execute_mid_stream_releases_previous_slot(self):
+        runtime = build_runtime(max_concurrent_queries=1,
+                                admission_queue_timeout=0.05)
+        connection = connect(runtime)
+        cursor = connection.cursor()
+        cursor.execute(BIG_QUERY)
+        cursor.fetchmany(1)
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        assert len(cursor.fetchall()) == 6
+        assert connection.stats()["admission"]["active"] == 0
+
+
+class TestLifecycleObservability:
+    def test_timeout_event_lands_on_execute_span(self):
+        runtime = build_runtime()
+        install_fault(runtime, "CUSTOMERS", FaultProfile(hang=True))
+        tracer = Tracer(enabled=True)
+        connection = connect(runtime, tracer=tracer)
+        cursor = connection.cursor()
+        with pytest.raises(OperationalError):
+            cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS",
+                           timeout=0.05)
+            cursor.fetchall()
+        root = tracer.last_root()
+        assert root is not None and root.name == "execute"
+        assert any(name == "query.timeout" for name, _, _ in root.events)
+
+    def test_all_outcomes_visible_in_stats(self):
+        runtime = build_runtime(max_concurrent_queries=1,
+                                admission_queue_timeout=0.05)
+        connection = connect(runtime)
+        # timeout
+        hang_runtime_cursor = connection.cursor()
+        hang_runtime_cursor.execute(BIG_QUERY, timeout=60.0)
+        hang_runtime_cursor.fetchmany(1)
+        hang_runtime_cursor._context.deadline = clock.monotonic() - 1.0
+        with pytest.raises(OperationalError):
+            hang_runtime_cursor.fetchall()
+        # cancelled
+        cancelled = connection.cursor()
+        cancelled.execute(BIG_QUERY)
+        cancelled.fetchmany(1)
+        cancelled.cancel()
+        with pytest.raises(OperationalError):
+            cancelled.fetchall()
+        # rejected
+        holder = connection.cursor()
+        holder.execute(BIG_QUERY)
+        holder.fetchmany(1)
+        rejected = connection.cursor()
+        with pytest.raises(OperationalError):
+            rejected.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        holder.close()
+        counters = connection.stats()["counters"]
+        assert counters["queries.timeout"] == 1
+        assert counters["queries.cancelled"] == 1
+        assert counters["queries.rejected"] == 1
+
+    def test_source_retries_visible_in_connection_stats(self):
+        runtime = build_runtime()
+        runtime.retry_policy = RetryPolicy(attempts=3, base=0.001,
+                                           sleep=lambda seconds: None)
+        install_fault(runtime, "CUSTOMERS", FaultProfile(fail_times=2))
+        connection = connect(runtime)
+        cursor = connection.cursor()
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        assert len(cursor.fetchall()) == 6
+        runtime_counters = connection.stats()["runtime"]["counters"]
+        assert runtime_counters["source.retries"] == 2

@@ -1,0 +1,137 @@
+"""Fault injection + retry: flaky, slow, and hung sources exercised
+end to end through the DSP runtime's retry policy and the lifecycle
+deadline/cancel machinery."""
+
+import time
+
+import pytest
+
+from repro.engine import FaultProfile, QueryContext, RetryPolicy, install_fault
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    SourceUnavailableError,
+    TransientSourceError,
+    UnknownArtifactError,
+)
+from repro.workloads import build_runtime
+
+QUERY = """
+declare namespace t = "ld:TestDataServices/CUSTOMERS";
+for $c in t:CUSTOMERS()
+return $c/CUSTOMERID
+"""
+
+
+def no_sleep_policy(attempts):
+    return RetryPolicy(attempts=attempts, base=0.001,
+                       sleep=lambda seconds: None)
+
+
+def test_retry_then_succeed():
+    runtime = build_runtime()
+    runtime.retry_policy = no_sleep_policy(3)
+    binding = install_fault(runtime, "CUSTOMERS",
+                            FaultProfile(fail_times=2))
+    result = runtime.execute(QUERY)
+    assert len(result) == 6
+    assert binding.calls == 3
+    assert binding.failures == 2
+    counters = runtime.metrics.snapshot()["counters"]
+    assert counters["source.retries"] == 2
+    assert "source.failures" not in counters or \
+        counters["source.failures"] == 0
+
+
+def test_retry_exhausted_raises_source_unavailable():
+    runtime = build_runtime()
+    runtime.retry_policy = no_sleep_policy(2)
+    binding = install_fault(runtime, "CUSTOMERS",
+                            FaultProfile(fail_times=10))
+    with pytest.raises(SourceUnavailableError) as excinfo:
+        runtime.execute(QUERY)
+    assert excinfo.value.attempts == 2
+    assert binding.calls == 2
+    counters = runtime.metrics.snapshot()["counters"]
+    assert counters["source.retries"] == 1  # one retry between 2 attempts
+    assert counters["source.failures"] == 1
+
+
+def test_stochastic_error_rate_is_reproducible():
+    profile = FaultProfile(error_rate=1.0, seed=42)
+    runtime = build_runtime()
+    runtime.retry_policy = no_sleep_policy(1)
+    install_fault(runtime, "CUSTOMERS", profile)
+    with pytest.raises(SourceUnavailableError):
+        runtime.execute(QUERY)
+
+
+def test_zero_error_rate_never_fires():
+    runtime = build_runtime()
+    binding = install_fault(runtime, "CUSTOMERS",
+                            FaultProfile(error_rate=0.0, seed=1))
+    result = runtime.execute(QUERY)
+    assert len(result) == 6
+    assert binding.failures == 0
+
+
+def test_latency_is_interruptible_by_deadline():
+    runtime = build_runtime()
+    install_fault(runtime, "CUSTOMERS", FaultProfile(latency=30.0))
+    context = QueryContext(timeout=0.1)
+    start = time.monotonic()
+    with pytest.raises(QueryTimeoutError):
+        runtime.execute(QUERY, context=context)
+    # Aborted within 2x the timeout, nowhere near the 30s latency.
+    assert time.monotonic() - start < 0.2
+
+
+def test_hang_aborts_within_twice_the_timeout():
+    runtime = build_runtime()
+    binding = install_fault(runtime, "CUSTOMERS", FaultProfile(hang=True))
+    context = QueryContext(timeout=0.15)
+    start = time.monotonic()
+    with pytest.raises(QueryTimeoutError):
+        runtime.execute(QUERY, context=context)
+    assert time.monotonic() - start < 0.3
+    assert binding.hangs == 1
+
+
+def test_hang_aborts_on_cancel():
+    runtime = build_runtime()
+    install_fault(runtime, "CUSTOMERS",
+                  FaultProfile(hang=True, hang_seconds=30.0))
+    context = QueryContext()
+    context.cancel("test abort")
+    with pytest.raises(QueryCancelledError):
+        runtime.execute(QUERY, context=context)
+
+
+def test_hang_safety_cap_returns():
+    runtime = build_runtime()
+    install_fault(runtime, "CUSTOMERS",
+                  FaultProfile(hang=True, hang_seconds=0.03))
+    result = runtime.execute(QUERY)  # no deadline: the cap ends the hang
+    assert len(result) == 6
+
+
+def test_transient_error_without_policy_retries_by_default():
+    # The runtime's default policy retries; a TransientSourceError from
+    # a source that keeps failing becomes SourceUnavailableError, never
+    # leaks raw.
+    runtime = build_runtime()
+    runtime.retry_policy = no_sleep_policy(3)
+    install_fault(runtime, "CUSTOMERS", FaultProfile(fail_times=100))
+    with pytest.raises(SourceUnavailableError):
+        runtime.execute(QUERY)
+    with pytest.raises(SourceUnavailableError):
+        try:
+            runtime.execute(QUERY)
+        except TransientSourceError:  # pragma: no cover - guard
+            pytest.fail("raw TransientSourceError leaked")
+
+
+def test_install_fault_unknown_name():
+    runtime = build_runtime()
+    with pytest.raises(UnknownArtifactError):
+        install_fault(runtime, "NO_SUCH_TABLE", FaultProfile())

@@ -1,0 +1,219 @@
+"""Unit tests for the query lifecycle control plane: QueryContext,
+CancellationToken, AdmissionController, RetryPolicy."""
+
+import threading
+
+import pytest
+
+from repro import clock
+from repro.engine.lifecycle import (
+    AdmissionController,
+    CancellationToken,
+    QueryContext,
+    RetryPolicy,
+)
+from repro.errors import (
+    AdmissionRejectedError,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
+
+
+class TestCancellationToken:
+    def test_starts_uncancelled(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        assert token.reason is None
+
+    def test_cancel_is_one_way(self):
+        token = CancellationToken()
+        token.cancel("because")
+        assert token.cancelled
+        assert token.reason == "because"
+        token.cancel()  # idempotent; stays cancelled
+        assert token.cancelled
+
+
+class TestQueryContext:
+    def test_no_timeout_never_expires(self):
+        context = QueryContext()
+        assert context.deadline is None
+        assert context.remaining() is None
+        context.check()  # no exception
+
+    def test_timeout_becomes_absolute_deadline(self):
+        context = QueryContext(timeout=100.0)
+        remaining = context.remaining()
+        assert 0 < remaining <= 100.0
+        context.check()  # far from the deadline
+
+    def test_expired_deadline_raises(self):
+        context = QueryContext(timeout=0.0)
+        # Force the deadline strictly into the past.
+        context.deadline = clock.monotonic() - 1.0
+        with pytest.raises(QueryTimeoutError):
+            context.check()
+        assert context.remaining() == 0.0
+
+    def test_cancel_raises_with_reason(self):
+        context = QueryContext()
+        context.cancel("user hit ^C")
+        assert context.cancelled
+        with pytest.raises(QueryCancelledError, match="user hit"):
+            context.check()
+
+    def test_cancel_takes_priority_over_timeout(self):
+        context = QueryContext(timeout=0.0)
+        context.deadline = clock.monotonic() - 1.0
+        context.cancel()
+        with pytest.raises(QueryCancelledError):
+            context.check()
+
+    def test_tick_checks_once_per_batch(self):
+        context = QueryContext(check_interval=4)
+        context.cancel()
+        # Ticks 1..3 are within the batch: no check yet.
+        for _ in range(3):
+            context.tick()
+        with pytest.raises(QueryCancelledError):
+            context.tick()  # the 4th tick runs the check
+
+    def test_check_interval_rounds_down_to_power_of_two(self):
+        context = QueryContext(check_interval=100)
+        assert context._mask == 63  # 64 is the next power of two down
+
+    def test_check_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QueryContext(check_interval=0)
+
+    def test_cancel_visible_across_threads(self):
+        context = QueryContext()
+        seen = threading.Event()
+
+        def watcher():
+            while not context.cancelled:
+                pass
+            seen.set()
+
+        thread = threading.Thread(target=watcher)
+        thread.start()
+        context.cancel()
+        thread.join(timeout=5)
+        assert seen.is_set()
+
+
+class TestAdmissionController:
+    def test_admits_up_to_max_concurrent(self):
+        controller = AdmissionController(max_concurrent=2,
+                                         queue_timeout=0.01)
+        first = controller.acquire()
+        second = controller.acquire()
+        stats = controller.stats()
+        assert stats["active"] == 2
+        assert stats["admitted"] == 2
+        with pytest.raises(AdmissionRejectedError):
+            controller.acquire()
+        assert controller.stats()["rejected"] == 1
+        first.release()
+        second.release()
+        assert controller.stats()["active"] == 0
+
+    def test_release_is_idempotent(self):
+        controller = AdmissionController(max_concurrent=1,
+                                         queue_timeout=0.01)
+        slot = controller.acquire()
+        slot.release()
+        slot.release()  # double release must not free a phantom slot
+        assert controller.stats()["active"] == 0
+        again = controller.acquire()  # exactly one slot exists again
+        with pytest.raises(AdmissionRejectedError):
+            controller.acquire()
+        again.release()
+
+    def test_queue_wait_bounded_by_deadline(self):
+        controller = AdmissionController(max_concurrent=1,
+                                         queue_timeout=60.0)
+        held = controller.acquire()
+        context = QueryContext(timeout=0.05)
+        start = clock.monotonic()
+        with pytest.raises(AdmissionRejectedError):
+            controller.acquire(context)
+        # Waited the deadline, not the 60s queue timeout.
+        assert clock.monotonic() - start < 5.0
+        held.release()
+
+    def test_queued_query_admitted_when_slot_frees(self):
+        controller = AdmissionController(max_concurrent=1,
+                                         queue_timeout=10.0)
+        held = controller.acquire()
+        admitted = []
+
+        def waiter():
+            slot = controller.acquire()
+            admitted.append(slot)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        held.release()
+        thread.join(timeout=5)
+        assert len(admitted) == 1
+        admitted[0].release()
+
+    def test_inflight_row_budget(self):
+        controller = AdmissionController(max_concurrent=4,
+                                         queue_timeout=0.01,
+                                         max_inflight_rows=100)
+        slot = controller.acquire()
+        slot.note_rows(60)
+        assert controller.stats()["inflight_rows"] == 60
+        with pytest.raises(AdmissionRejectedError):
+            slot.note_rows(50)
+        slot.release()
+        # Releasing the slot refunds its rows.
+        assert controller.stats()["inflight_rows"] == 0
+
+    def test_max_concurrent_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrent=0)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(attempts=5, base=0.1, max_backoff=0.3,
+                             jitter=0.0)
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(2) == pytest.approx(0.3)  # capped
+        assert policy.backoff(3) == pytest.approx(0.3)
+
+    def test_jitter_shrinks_delay_within_band(self):
+        import random
+        policy = RetryPolicy(attempts=3, base=1.0, jitter=0.5,
+                             rng=random.Random(7))
+        for attempt in range(3):
+            delay = policy.backoff(attempt)
+            full = min(policy.max_backoff, policy.base * 2 ** attempt)
+            assert full * 0.5 <= delay <= full
+
+    def test_sleep_capped_by_remaining_deadline(self):
+        slept = []
+        policy = RetryPolicy(attempts=2, base=10.0, jitter=0.0,
+                             sleep=slept.append)
+        context = QueryContext(timeout=0.5)
+        policy.sleep_before_retry(0, context)
+        assert len(slept) == 1
+        assert slept[0] <= 0.5
+
+    def test_sleep_raises_when_deadline_already_passed(self):
+        slept = []
+        policy = RetryPolicy(attempts=2, base=10.0, jitter=0.0,
+                             sleep=slept.append)
+        context = QueryContext(timeout=0.0)
+        context.deadline = clock.monotonic() - 1.0
+        with pytest.raises(QueryTimeoutError):
+            policy.sleep_before_retry(0, context)
+        assert slept == []
+
+    def test_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
