@@ -17,6 +17,11 @@ Usage::
 
     # refresh the committed baseline after an intentional change:
     python benchmarks/compare_baseline.py results.json --update
+
+    # pushdown effectiveness gate (no results file needed): a selective
+    # filter over a SQLite-backed table must scan >=5x fewer rows with
+    # pushdown on than off, with byte-identical results either way:
+    python benchmarks/compare_baseline.py --pushdown
 """
 
 from __future__ import annotations
@@ -90,10 +95,95 @@ def update_baseline(path: Path, results: dict[str, dict[str, float]]) -> None:
     print(f"baseline updated: {path} ({len(results)} benchmarks)")
 
 
+def run_pushdown_gate(min_ratio: float) -> int:
+    """Measure rows scanned with pushdown on vs off over a SQLite
+    source and fail unless the reduction is at least *min_ratio* with
+    identical query results."""
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+    from repro.catalog import Application
+    from repro.config import RuntimeConfig
+    from repro.engine import DSPRuntime, import_source
+    from repro.sources.sqlite import SQLiteSource
+    from repro.sql.types import SQLType
+    from repro.translator import SQLToXQueryTranslator
+    from repro.xmlmodel import Element, serialize
+
+    total_rows = 20_000
+    source = SQLiteSource(name="bench")
+    source.create_table("BIG", [
+        ("ID", SQLType("INTEGER")),
+        ("GRP", SQLType("VARCHAR")),
+        ("VAL", SQLType("INTEGER")),
+    ])
+    source.insert_rows("BIG", [
+        (i, f"G{i % 40}", (i * 7) % 1000) for i in range(total_rows)])
+
+    sql = "SELECT ID, VAL FROM BIG WHERE GRP = 'G7' AND VAL < 500"
+
+    def run(pushdown: bool):
+        application = Application("Bench")
+        import_source(application, "BenchData", source, tables=["BIG"])
+        runtime = DSPRuntime(application, source,
+                             config=RuntimeConfig(pushdown=pushdown))
+        translator = SQLToXQueryTranslator(runtime.metadata_api())
+        result = runtime.execute(
+            translator.translate(sql, format="recordset").xquery)
+        rendered = [serialize(item) if isinstance(item, Element)
+                    else repr(item) for item in result]
+        counters = runtime.metrics.snapshot()["counters"]
+        return (rendered, counters.get("sources.rows_scanned", 0),
+                counters.get("sources.rows_pushed", 0))
+
+    pushed_result, pushed_scanned, pushed_pushed = run(True)
+    plain_result, plain_scanned, plain_pushed = run(False)
+
+    print(f"pushdown gate: {sql!r} over {total_rows} rows")
+    print(f"  pushdown on : rows_scanned={pushed_scanned:6d} "
+          f"rows_pushed={pushed_pushed}")
+    print(f"  pushdown off: rows_scanned={plain_scanned:6d} "
+          f"rows_pushed={plain_pushed}")
+
+    failures = []
+    if pushed_result != plain_result:
+        failures.append("results differ between pushdown on and off")
+    if plain_pushed != 0:
+        failures.append(f"pushdown=False still pushed {plain_pushed} rows")
+    if pushed_pushed == 0:
+        failures.append("pushdown=True never engaged (rows_pushed=0)")
+    if pushed_scanned <= 0:
+        failures.append("pushed run scanned no rows")
+    else:
+        ratio = plain_scanned / pushed_scanned
+        print(f"  reduction   : {ratio:.1f}x (required >= "
+              f"{min_ratio:.1f}x)")
+        if ratio < min_ratio:
+            failures.append(
+                f"scan reduction {ratio:.1f}x below required "
+                f"{min_ratio:.1f}x")
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nOK: pushdown gate passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("results", type=Path,
-                        help="pytest-benchmark JSON report to check")
+    parser.add_argument("results", type=Path, nargs="?",
+                        help="pytest-benchmark JSON report to check "
+                             "(not needed with --pushdown)")
+    parser.add_argument("--pushdown", action="store_true",
+                        help="run the pushdown effectiveness gate "
+                             "instead of comparing benchmark timings")
+    parser.add_argument("--min-ratio", type=float, default=5.0,
+                        help="required scan-rows reduction for "
+                             "--pushdown (default: 5x)")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
                         help=f"committed baseline (default: "
                              f"{DEFAULT_BASELINE.name})")
@@ -112,6 +202,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="rewrite the baseline from the results "
                              "instead of comparing")
     args = parser.parse_args(argv)
+
+    if args.pushdown:
+        return run_pushdown_gate(args.min_ratio)
+    if args.results is None:
+        parser.error("a results file is required unless --pushdown is "
+                     "given")
 
     strict: dict[str, float] = {}
     for spec in args.strict:

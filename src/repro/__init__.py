@@ -1,89 +1,170 @@
 """repro — SQL to XQuery Translation in the AquaLogic Data Services
 Platform (ICDE 2006), reproduced in pure Python.
 
-The package provides:
+The public surface is deliberately small — a PEP 249 driver plus the
+pluggable physical-source SPI:
 
-* ``repro.translator`` — the paper's core contribution: a three-stage
-  SQL-92-to-XQuery translator with typed resultset nodes, query contexts,
-  and the section-4 delimited-text result wrapper;
-* ``repro.driver`` — a PEP 249 (DB-API 2.0) driver, the JDBC analogue,
-  with ``connect(runtime)``;
-* ``repro.engine`` — the DSP runtime hosting data services, in-memory
-  relational storage, and the reference SQL executor used as the
-  correctness oracle;
-* ``repro.xquery`` — an XQuery subset engine (FLWOR + BEA group-by
-  extension, fn:/xs:/fn-bea: libraries);
-* ``repro.catalog`` — applications/projects/data services, XSD row
-  schemas, and the remote metadata API with driver-side caching;
-* ``repro.xmlmodel`` — the ordered-tree XML data model;
-* ``repro.obs`` — observability: nested-span tracing, a metrics
-  registry, and the bounded thread-safe LRU behind the driver caches;
-* ``repro.workloads`` — demo application, scaling workloads, and the
-  random query generator.
+* :func:`connect` / :func:`register_runtime` — open DB-API 2.0
+  connections over a DSP runtime (the JDBC analogue), addressable by
+  ``repro://`` DSNs;
+* ``apilevel`` / ``threadsafety`` / ``paramstyle`` and the PEP 249
+  exception hierarchy (:class:`Error`, :class:`OperationalError`, ...);
+* :class:`RuntimeConfig` — every engine and driver tuning knob in one
+  frozen dataclass, accepted by both ``DSPRuntime(config=...)`` and
+  ``connect(config=...)``;
+* the sources SPI — :class:`DataSource`, :class:`SourceCapabilities`,
+  :class:`ScanRequest`, :class:`Predicate`, :class:`Scan` — and its
+  three backends: :class:`TableSource` (in-memory),
+  :class:`SQLiteSource` (relational, with predicate/projection
+  pushdown), :class:`XMLFileSource` (read-only XML files).
+
+Everything else (the translator, the XQuery engine, storage, the
+observability toolkit) lives in its subpackage; the pre-1.1 top-level
+aliases still resolve for one release with a ``DeprecationWarning``.
 
 Quickstart::
 
-    from repro import connect, build_demo_runtime
+    import repro
+    from repro.workloads import build_runtime
 
-    conn = connect(build_demo_runtime())
+    conn = repro.connect(build_runtime())
     cur = conn.cursor()
     cur.execute("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = ?",
                 [23])
     print(cur.fetchall())
 """
 
-from .driver import connect, register_runtime, unregister_runtime
-from .engine import (
-    AdmissionController,
-    CancellationToken,
-    DSPRuntime,
-    FaultProfile,
-    QueryContext,
-    RetryPolicy,
-    SQLExecutor,
-    Storage,
-    TableProvider,
-    install_fault,
-)
-from .obs import LRUCache, MetricsRegistry, Tracer
-from .translator import SQLToXQueryTranslator, TranslationResult
-from .workloads import build_runtime as build_demo_runtime
-from .xquery import execute_xquery
+import warnings as _warnings
 
-__version__ = "1.0.0"
+from .config import RuntimeConfig
+from .driver import (
+    apilevel,
+    connect,
+    paramstyle,
+    register_runtime,
+    threadsafety,
+    unregister_runtime,
+)
+from .errors import (
+    DataError,
+    DatabaseError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    ReproError,
+    Warning,
+)
+from .sources import (
+    DataSource,
+    Predicate,
+    Scan,
+    ScanRequest,
+    SourceCapabilities,
+)
+from .sources.memory import TableSource
+from .sources.sqlite import SQLiteSource
+from .sources.xmlfile import XMLFileSource
+
+__version__ = "1.1.0"
 
 __all__ = [
-    "AdmissionController",
-    "CancellationToken",
-    "DSPRuntime",
-    "FaultProfile",
-    "LRUCache",
-    "MetricsRegistry",
-    "QueryContext",
-    "RetryPolicy",
-    "SQLExecutor",
-    "SQLToXQueryTranslator",
-    "Storage",
-    "TableProvider",
-    "Tracer",
-    "TranslationResult",
-    "__version__",
-    "build_demo_runtime",
+    # driver entry points
     "connect",
-    "execute_xquery",
-    "install_fault",
     "register_runtime",
-    "translate",
     "unregister_runtime",
+    # PEP 249 module globals
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    # exception set
+    "Warning",
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
+    "ReproError",
+    # configuration
+    "RuntimeConfig",
+    # sources SPI
+    "DataSource",
+    "SourceCapabilities",
+    "ScanRequest",
+    "Predicate",
+    "Scan",
+    "TableSource",
+    "SQLiteSource",
+    "XMLFileSource",
+    "__version__",
 ]
 
 
-def translate(sql: str, runtime: DSPRuntime | None = None,
-              format: str = "recordset") -> TranslationResult:
-    """Translate a SQL-92 SELECT into XQuery against *runtime*'s catalog
-    (the demo application when omitted). Convenience wrapper around
-    :class:`SQLToXQueryTranslator`."""
+def _translate(sql, runtime=None, format="recordset"):
+    from .translator import SQLToXQueryTranslator
+    from .workloads import build_runtime
+
     if runtime is None:
-        runtime = build_demo_runtime()
+        runtime = build_runtime()
     translator = SQLToXQueryTranslator(runtime.metadata_api())
     return translator.translate(sql, format=format)
+
+
+def _build_demo_runtime():
+    from .workloads import build_runtime
+
+    return build_runtime()
+
+
+#: Pre-1.1 top-level names and where they live now. Resolved lazily via
+#: module ``__getattr__`` with a DeprecationWarning (and deliberately
+#: not cached, so every access points migrating code at the new home).
+_LEGACY = {
+    "DSPRuntime": ("repro.engine", "DSPRuntime"),
+    "Storage": ("repro.engine", "Storage"),
+    "SQLExecutor": ("repro.engine", "SQLExecutor"),
+    "TableProvider": ("repro.engine", "TableProvider"),
+    "QueryContext": ("repro.engine", "QueryContext"),
+    "CancellationToken": ("repro.engine", "CancellationToken"),
+    "AdmissionController": ("repro.engine", "AdmissionController"),
+    "RetryPolicy": ("repro.engine", "RetryPolicy"),
+    "FaultProfile": ("repro.engine", "FaultProfile"),
+    "install_fault": ("repro.engine", "install_fault"),
+    "Tracer": ("repro.obs", "Tracer"),
+    "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
+    "LRUCache": ("repro.obs", "LRUCache"),
+    "SQLToXQueryTranslator": ("repro.translator", "SQLToXQueryTranslator"),
+    "TranslationResult": ("repro.translator", "TranslationResult"),
+    "execute_xquery": ("repro.xquery", "execute_xquery"),
+}
+
+_LEGACY_LOCAL = {
+    "translate": _translate,
+    "build_demo_runtime": _build_demo_runtime,
+}
+
+
+def __getattr__(name):
+    if name in _LEGACY:
+        module_name, attr = _LEGACY[name]
+        _warnings.warn(
+            f"repro.{name} is deprecated; import {attr} from "
+            f"{module_name} instead",
+            DeprecationWarning, stacklevel=2)
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attr)
+    if name in _LEGACY_LOCAL:
+        _warnings.warn(
+            f"repro.{name} is deprecated; see the module docstring for "
+            f"the supported entry points",
+            DeprecationWarning, stacklevel=2)
+        return _LEGACY_LOCAL[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -14,6 +14,7 @@ from .dataservice import (
     DataServiceFunction,
     FunctionParameter,
     Project,
+    SourceBinding,
     TableBinding,
     XQueryBinding,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "ProcedureMetadata",
     "Project",
     "RowSchema",
+    "SourceBinding",
     "TableBinding",
     "TableMetadata",
     "XQueryBinding",

@@ -43,6 +43,18 @@ class TableBinding:
 
 
 @dataclass(frozen=True)
+class SourceBinding:
+    """Physical binding to a table of a *registered* data source: the
+    function materializes rows scanned through the ``repro.sources``
+    SPI from the runtime source registered under ``source``. This is
+    the federation-era sibling of :class:`TableBinding` (which always
+    addresses the runtime's default source)."""
+
+    source: str
+    table: str
+
+
+@dataclass(frozen=True)
 class XQueryBinding:
     """Logical binding: the function body is an XQuery over other
     data service functions (authored in the .ds file)."""
@@ -83,8 +95,8 @@ class DataServiceFunction:
     name: str
     return_schema: RowSchema
     parameters: tuple[FunctionParameter, ...] = ()
-    binding: "TableBinding | XQueryBinding | CsvBinding | " \
-             "CallableBinding | None" = None
+    binding: "TableBinding | SourceBinding | XQueryBinding | " \
+             "CsvBinding | CallableBinding | None" = None
 
     @property
     def kind(self) -> str:

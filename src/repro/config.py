@@ -1,0 +1,96 @@
+"""One configuration surface for the runtime and the driver.
+
+Historically ``DSPRuntime(...)`` grew engine knobs (optimizer, plan
+cache, admission control, retries) while ``connect(...)`` grew driver
+knobs (result format, caches, default timeout) — two overlapping kwarg
+lists for one logical thing: how this DSP instance should behave.
+:class:`RuntimeConfig` collapses both into a single frozen dataclass
+accepted by ``DSPRuntime(config=...)`` and ``connect(config=...)``.
+
+The old keyword arguments still work for one release; they are funneled
+through :func:`merge_legacy_kwargs`, which folds them into a config and
+emits a ``DeprecationWarning`` per kwarg.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Every tuning knob of the runtime and the driver, in one place.
+
+    Engine side: ``optimize`` (the XQuery optimizer), ``pushdown``
+    (source predicate/projection pushdown), the plan cache bound,
+    admission control, and the transient-source retry policy.
+    Driver side: the result ``format``, simulated metadata latency,
+    the statement/metadata cache bounds, and the per-statement default
+    deadline.
+    """
+
+    # -- engine ------------------------------------------------------------
+    optimize: bool = True
+    pushdown: bool = True
+    plan_cache_capacity: int = 256
+    max_concurrent_queries: int = 32
+    admission_queue_timeout: float = 5.0
+    max_inflight_rows: Optional[int] = 1_000_000
+    retry_policy: Optional[object] = None  # engine.lifecycle.RetryPolicy
+
+    # -- driver ------------------------------------------------------------
+    format: str = "delimited"
+    metadata_latency: float = 0.0
+    statement_cache_capacity: int = 256
+    metadata_cache_capacity: int = 1024
+    default_timeout: Optional[float] = None
+
+    def replace(self, **changes) -> "RuntimeConfig":
+        """A copy with *changes* applied (unknown names raise)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: Field names accepted as legacy keyword arguments, per call site.
+ENGINE_FIELDS = frozenset({
+    "optimize", "pushdown", "plan_cache_capacity",
+    "max_concurrent_queries", "admission_queue_timeout",
+    "max_inflight_rows", "retry_policy",
+})
+DRIVER_FIELDS = frozenset({
+    "format", "metadata_latency", "statement_cache_capacity",
+    "metadata_cache_capacity", "default_timeout",
+})
+ALL_FIELDS = ENGINE_FIELDS | DRIVER_FIELDS
+
+
+def merge_legacy_kwargs(config: RuntimeConfig, legacy: dict, what: str,
+                        allowed: frozenset = ALL_FIELDS,
+                        ignore_none: bool = False,
+                        warn: bool = True) -> RuntimeConfig:
+    """Fold pre-RuntimeConfig keyword arguments into *config*.
+
+    Unknown names raise ``TypeError`` (matching normal keyword
+    behaviour); each accepted kwarg emits a ``DeprecationWarning``
+    naming the replacement. ``ignore_none`` reproduces the old
+    ``connect()`` semantics where ``None`` meant "use the default".
+    """
+    changes = {}
+    for key, value in legacy.items():
+        if key not in allowed:
+            raise TypeError(
+                f"{what} got an unexpected keyword argument {key!r}")
+        if ignore_none and value is None:
+            continue
+        changes[key] = value
+    if not changes:
+        return config
+    if warn:
+        names = ", ".join(sorted(changes))
+        warnings.warn(
+            f"passing {names} to {what} directly is deprecated; "
+            f"pass config=RuntimeConfig(...) instead",
+            DeprecationWarning, stacklevel=3)
+    return config.replace(**changes)

@@ -19,6 +19,7 @@ from urllib.parse import parse_qsl, urlsplit
 
 from .. import clock, errors
 from ..catalog import MetadataCache, ProcedureMetadata
+from ..config import DRIVER_FIELDS, RuntimeConfig, merge_legacy_kwargs
 from ..engine.dsp import DSPRuntime
 from ..engine.lifecycle import AdmissionSlot, QueryContext
 from ..obs import LRUCache, MetricsRegistry, Tracer
@@ -175,21 +176,25 @@ def _parse_dsn(dsn: str) -> tuple[DSPRuntime, dict]:
 
 def connect(target: Union[DSPRuntime, str], *,
             format: Optional[str] = None,
-            metadata_latency: Optional[float] = None,
+            config: Optional[RuntimeConfig] = None,
             tracer: Optional[Tracer] = None,
             metrics: Optional[MetricsRegistry] = None,
-            statement_cache_capacity: Optional[int] = None,
-            metadata_cache_capacity: Optional[int] = None,
-            default_timeout: Optional[float] = None) -> "Connection":
+            **legacy) -> "Connection":
     """Open a connection to a DSP runtime (the JDBC ``getConnection``).
 
     *target* is either a :class:`DSPRuntime` or a DSN string of the form
     ``repro://<application>/<project>?format=xml&timeout=5`` resolved
     through :func:`register_runtime` (the demo application ``RTLApp``
-    resolves without registration). All tuning arguments are
-    keyword-only; explicit keywords override DSN query parameters.
-    ``default_timeout`` (seconds) bounds every statement executed on the
-    connection unless ``Cursor.execute(..., timeout=...)`` overrides it.
+    resolves without registration). Tuning lives in *config* (a
+    :class:`repro.RuntimeConfig`); precedence, lowest to highest, is
+    config defaults → ``config=`` → DSN query parameters → keyword
+    overrides. ``format`` stays a first-class keyword because callers
+    switch it constantly; the remaining pre-1.1 keyword arguments
+    (``default_timeout``, ``metadata_latency``, the cache capacities)
+    still work for one release and raise a ``DeprecationWarning``.
+    ``config.default_timeout`` (seconds) bounds every statement executed
+    on the connection unless ``Cursor.execute(..., timeout=...)``
+    overrides it.
     """
     settings: dict = {}
     if isinstance(target, str):
@@ -200,25 +205,15 @@ def connect(target: Union[DSPRuntime, str], *,
         raise InterfaceError(
             f"connect() takes a DSPRuntime or a repro:// DSN string, "
             f"got {type(target).__name__}")
-    explicit = {
-        "format": format,
-        "metadata_latency": metadata_latency,
-        "statement_cache_capacity": statement_cache_capacity,
-        "metadata_cache_capacity": metadata_cache_capacity,
-        "default_timeout": default_timeout,
-    }
-    settings.update({key: value for key, value in explicit.items()
-                     if value is not None})
-    return Connection(
-        runtime,
-        format=settings.get("format", "delimited"),
-        metadata_latency=settings.get("metadata_latency", 0.0),
-        tracer=tracer, metrics=metrics,
-        statement_cache_capacity=settings.get(
-            "statement_cache_capacity", DEFAULT_STATEMENT_CACHE_CAPACITY),
-        metadata_cache_capacity=settings.get(
-            "metadata_cache_capacity", 1024),
-        default_timeout=settings.get("default_timeout"))
+    merged = (config or RuntimeConfig())
+    if settings:
+        merged = merged.replace(**settings)
+    merged = merge_legacy_kwargs(merged, legacy, "connect()",
+                                 allowed=DRIVER_FIELDS, ignore_none=True)
+    if format is not None:
+        merged = merged.replace(format=format)
+    return Connection(runtime, config=merged, tracer=tracer,
+                      metrics=metrics)
 
 
 class Connection:
@@ -238,34 +233,38 @@ class Connection:
     ProgrammingError = ProgrammingError
     NotSupportedError = NotSupportedError
 
-    def __init__(self, runtime: DSPRuntime, format: str = "delimited",
-                 metadata_latency: float = 0.0,
+    def __init__(self, runtime: DSPRuntime,
+                 config: Optional[RuntimeConfig] = None, *,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 statement_cache_capacity: int =
-                 DEFAULT_STATEMENT_CACHE_CAPACITY,
-                 metadata_cache_capacity: int = 1024,
-                 default_timeout: Optional[float] = None):
-        if format not in FORMATS:
+                 **legacy):
+        config = merge_legacy_kwargs(
+            config or RuntimeConfig(), legacy, "Connection()",
+            allowed=DRIVER_FIELDS, ignore_none=True)
+        if config.format not in FORMATS:
             raise InterfaceError(
-                f"unknown result format {format!r}; expected one of "
-                f"{FORMATS}")
+                f"unknown result format {config.format!r}; expected one "
+                f"of {FORMATS}")
         self._runtime = runtime
-        self.format = format
+        #: The resolved driver configuration (read-only).
+        self.config = config
+        self.format = config.format
         #: Per-connection observability: a tracer (off by default — the
         #: no-op path is one attribute check) and a metrics registry
         #: shared by the translator, both caches, and every cursor.
         self.tracer = Tracer(enabled=False) if tracer is None else tracer
         self.metrics = MetricsRegistry() if metrics is None else metrics
-        self._metadata_api = runtime.metadata_api(latency=metadata_latency)
+        self._metadata_api = runtime.metadata_api(
+            latency=config.metadata_latency)
         self._metadata_cache = MetadataCache(
-            self._metadata_api, capacity=metadata_cache_capacity,
+            self._metadata_api, capacity=config.metadata_cache_capacity,
             tracer=self.tracer, registry=self.metrics)
+        self._metadata = DatabaseMetaData(self._metadata_api)
         self._translator = SQLToXQueryTranslator(
             self._metadata_cache, tracer=self.tracer,
             registry=self.metrics)
         self._statement_cache: LRUCache = LRUCache(
-            statement_cache_capacity, registry=self.metrics,
+            config.statement_cache_capacity, registry=self.metrics,
             prefix="statement.cache")
         self._queries_executed = self.metrics.counter("queries.executed")
         self._rows_materialized = self.metrics.counter("rows.materialized")
@@ -279,7 +278,7 @@ class Connection:
         self._queries_rejected = self.metrics.counter("queries.rejected")
         #: Default per-statement deadline in seconds (None = unbounded);
         #: ``Cursor.execute(..., timeout=...)`` overrides per query.
-        self.default_timeout = default_timeout
+        self.default_timeout = config.default_timeout
         self._closed = False
 
     # -- PEP 249 surface ---------------------------------------------------
@@ -314,9 +313,11 @@ class Connection:
 
     @property
     def metadata(self) -> DatabaseMetaData:
-        """The java.sql.DatabaseMetaData analogue."""
+        """The java.sql.DatabaseMetaData analogue. The instance is
+        callable (returning itself), so ``conn.metadata.tables()`` and
+        the JDBC-flavored ``conn.metadata().tables()`` both work."""
         self._check_open()
-        return DatabaseMetaData(self._metadata_api)
+        return self._metadata
 
     @property
     def translator(self) -> SQLToXQueryTranslator:

@@ -5,6 +5,12 @@ driver metadata before issuing queries; this class surfaces the Figure-2
 artifact mapping (applications → catalogs, .ds paths → schemas,
 parameterless flat functions → tables, parameterized functions →
 procedures) over the remote metadata API.
+
+``Connection.metadata`` exposes one shared instance; the instance is
+callable and returns itself, so both the property style
+(``conn.metadata.tables()``) and the JDBC-flavored method style
+(``conn.metadata().tables()``) work. The original ``get_``-prefixed
+names remain as aliases.
 """
 
 from __future__ import annotations
@@ -18,31 +24,36 @@ class DatabaseMetaData:
     def __init__(self, api: MetadataAPI):
         self._api = api
 
-    def get_catalogs(self) -> list[str]:
+    def __call__(self) -> "DatabaseMetaData":
+        """JDBC spells it ``connection.getMetaData()``; calling the
+        property is a no-op returning the same instance."""
+        return self
+
+    def catalogs(self) -> list[str]:
         """The single catalog: the application name."""
         return [self._api._application.name]
 
-    def get_schemas(self) -> list[str]:
+    def schemas(self) -> list[str]:
         return self._api.list_schemas()
 
-    def get_tables(self, schema: str | None = None) -> list[tuple[str, str]]:
+    def tables(self, schema: str | None = None) -> list[tuple[str, str]]:
         """(schema, table) pairs of SQL-visible tables."""
         return self._api.list_tables(schema=schema)
 
-    def get_procedures(self, schema: str | None = None) \
+    def procedures(self, schema: str | None = None) \
             -> list[tuple[str, str]]:
         """(schema, procedure) pairs of parameterized functions."""
         return self._api.list_procedures(schema=schema)
 
-    def get_columns(self, table: str, schema: str | None = None) \
+    def columns(self, table: str, schema: str | None = None) \
             -> list[tuple[str, str, int, bool]]:
         """(name, type name, ordinal position, nullable) per column."""
         meta = self._api.fetch_table(table, schema=schema)
         return [(c.name, str(c.sql_type), c.position, c.nullable)
                 for c in meta.columns]
 
-    def get_procedure_columns(self, name: str,
-                              schema: str | None = None) \
+    def procedure_columns(self, name: str,
+                          schema: str | None = None) \
             -> list[tuple[str, str, str]]:
         """(name, kind, type) rows: parameters (IN) then result columns."""
         proc = self._api.fetch_procedure(name, schema=schema)
@@ -51,3 +62,11 @@ class DatabaseMetaData:
         rows.extend((c.name, "RESULT", str(c.sql_type))
                     for c in proc.columns)
         return rows
+
+    # Pre-1.1 spellings.
+    get_catalogs = catalogs
+    get_schemas = schemas
+    get_tables = tables
+    get_procedures = procedures
+    get_columns = columns
+    get_procedure_columns = procedure_columns

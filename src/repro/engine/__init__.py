@@ -9,9 +9,11 @@ from .dsp import (
     DSPRuntime,
     callable_function,
     csv_function,
+    import_source,
     import_tables,
     logical_function,
     physical_function,
+    source_function,
 )
 from .faults import FaultProfile, FaultyBinding, install_fault, make_faulty
 from .lifecycle import (
@@ -49,11 +51,13 @@ __all__ = [
     "canonical_value",
     "csv_function",
     "coerce_value",
+    "import_source",
     "import_tables",
     "install_fault",
     "logical_function",
     "make_faulty",
     "physical_function",
     "row_key",
+    "source_function",
     "sql_cast",
 ]

@@ -24,12 +24,15 @@ from ..catalog import (
     DataServiceFunction,
     FunctionParameter,
     MetadataAPI,
+    RowSchema,
+    SourceBinding,
     TableBinding,
     XQueryBinding,
     flat_schema,
     function_namespace,
     sql_to_xs,
 )
+from ..config import ENGINE_FIELDS, RuntimeConfig, merge_legacy_kwargs
 from ..errors import (
     SourceUnavailableError,
     TransientSourceError,
@@ -37,6 +40,8 @@ from ..errors import (
     XQueryDynamicError,
 )
 from ..obs import NULL_TRACER, LRUCache, MetricsRegistry
+from ..sources import DataSource, ScanRequest, filter_request
+from ..sources.memory import TableSource
 from ..xmlmodel import Element, QName, Text
 from ..xquery import parse_xquery
 from ..xquery.atomic import parse_lexical, serialize_atomic
@@ -47,22 +52,54 @@ from .table import Storage, Table
 
 
 class DSPRuntime:
-    """Hosts one application over one storage backend."""
+    """Hosts one application over its physical sources.
 
-    def __init__(self, application: Application, storage: Storage,
-                 optimize: bool = True, plan_cache_capacity: int = 256,
+    *storage* may be a classic in-memory :class:`Storage` (wrapped in a
+    :class:`TableSource`), any :class:`repro.sources.DataSource` (e.g. a
+    ``SQLiteSource``), or None for an application with no default
+    source. Either way it becomes the runtime's *default source* — the
+    one ``TableBinding`` functions scan; further sources attach through
+    :meth:`register_source` and are addressed by ``SourceBinding``.
+
+    Tuning lives in :class:`repro.RuntimeConfig`; the pre-config
+    keyword arguments (``optimize=``, ``plan_cache_capacity=``, ...)
+    still work for one release with a ``DeprecationWarning``.
+    """
+
+    def __init__(self, application: Application,
+                 storage: "Storage | DataSource | None" = None,
+                 config: Optional[RuntimeConfig] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 max_concurrent_queries: int = 32,
-                 admission_queue_timeout: float = 5.0,
-                 max_inflight_rows: Optional[int] = 1_000_000,
-                 retry_policy: Optional[RetryPolicy] = None):
+                 **legacy):
+        config = merge_legacy_kwargs(
+            config if config is not None else RuntimeConfig(),
+            legacy, "DSPRuntime()", allowed=ENGINE_FIELDS)
         self.application = application
         self.storage = storage
+        self.config = config
+        #: Registered physical sources by name; SourceBinding functions
+        #: address these.
+        self.sources: dict[str, DataSource] = {}
+        if storage is None:
+            self._default_source: Optional[DataSource] = None
+        elif isinstance(storage, DataSource):
+            self._default_source = storage
+        else:
+            self._default_source = TableSource(storage)
+        if self._default_source is not None:
+            self.sources[self._default_source.name] = self._default_source
+        #: TableBinding scans pay for the retry loop only when the
+        #: default source is something that can actually fail
+        #: transiently (not the in-process table wrapper).
+        self._default_source_retryable = not isinstance(
+            self._default_source, (TableSource, type(None)))
         #: Enable the XQuery engine's optimizer (hash equi-joins, filter
         #: hoisting, let/for fusion). The paper's translator leaves
         #: "any/all optimizations ... to the XQuery processor"; this is
         #: that processor's knob.
-        self.optimize = optimize
+        self.optimize = config.optimize
+        #: Enable predicate/projection pushdown into capable sources.
+        self.pushdown = config.pushdown
         #: Runtime-side metrics: the plan cache publishes
         #: ``plan_cache.hits`` / ``plan_cache.misses`` /
         #: ``plan_cache.evictions`` here.
@@ -71,17 +108,19 @@ class DSPRuntime:
         #: Compiled-plan cache: bounded, thread-safe, single-flight, so
         #: concurrent executions of the same XQuery parse and compile it
         #: once. Keyed like the driver's statement cache, by query text
-        #: (plus the optimize flag, so toggling it never reuses a plan
-        #: built under the other setting).
-        self.plan_cache = LRUCache(plan_cache_capacity,
+        #: (plus the optimize/pushdown flags, so toggling either never
+        #: reuses a plan built under the other setting).
+        self.plan_cache = LRUCache(config.plan_cache_capacity,
                                    registry=self.metrics,
                                    prefix="plan_cache")
-        #: Materialized element trees for table-bound physical functions,
-        #: keyed by function identity. Tables are append-only (Storage
-        #: exposes insert/insert_many but no update or delete), so the
-        #: row count is a sufficient staleness check; query execution
-        #: never mutates source trees (constructors copy nodes).
-        self._table_elements: dict[tuple[str, str], tuple[int, list]] = {}
+        #: Materialized element trees for source-bound physical
+        #: functions, keyed by function identity and guarded by the
+        #: source's ``version`` staleness token (row count for in-memory
+        #: tables, data-version counters for SQLite, file mtime/size for
+        #: XML). Pushed scans bypass this cache — their element trees
+        #: are request-specific.
+        self._table_elements: dict[tuple[str, str],
+                                   tuple[object, list]] = {}
         self.function_call_count = 0
         #: Admission control for top-level queries: bounded concurrency
         #: with a queue-with-timeout, plus a global in-flight streamed
@@ -90,29 +129,56 @@ class DSPRuntime:
         #: a logical function's body must not deadlock against its own
         #: parent's slot.
         self.admission = AdmissionController(
-            max_concurrent=max_concurrent_queries,
-            queue_timeout=admission_queue_timeout,
-            max_inflight_rows=max_inflight_rows)
+            max_concurrent=config.max_concurrent_queries,
+            queue_timeout=config.admission_queue_timeout,
+            max_inflight_rows=config.max_inflight_rows)
         #: Per-source retry with backoff+jitter for TransientSourceError
         #: from physical bindings; publishes ``source.retries`` /
         #: ``source.failures`` on this runtime's metrics.
-        self.retry_policy = RetryPolicy() if retry_policy is None \
-            else retry_policy
+        self.retry_policy = RetryPolicy() if config.retry_policy is None \
+            else config.retry_policy
         self._source_retries = self.metrics.counter("source.retries")
         self._source_failures = self.metrics.counter("source.failures")
+        #: Pushdown observability: rows actually pulled out of sources,
+        #: and the subset that came from scans the source pre-filtered.
+        self._rows_scanned = self.metrics.counter("sources.rows_scanned")
+        self._rows_pushed = self.metrics.counter("sources.rows_pushed")
         for project, service in application.all_data_services():
             uri = function_namespace(project, service)
             for function in service.functions.values():
                 self._functions[(uri, function.name)] = function
 
+    # -- source registry -----------------------------------------------------
+
+    def register_source(self, source: DataSource) -> DataSource:
+        """Attach a physical source; ``SourceBinding(source.name, ...)``
+        functions scan it. Re-registering a name replaces the source."""
+        self.sources[source.name] = source
+        return source
+
+    def source(self, name: str) -> DataSource:
+        try:
+            return self.sources[name]
+        except KeyError:
+            raise UnknownArtifactError(
+                f"no data source {name!r} registered") from None
+
+    def close(self) -> None:
+        """Close every registered source (idempotent)."""
+        for source in self.sources.values():
+            source.close()
+
     # -- function execution -------------------------------------------------
 
     def call_function(self, uri: str, local: str, args: list,
-                      context: Optional[QueryContext] = None) -> list:
+                      context: Optional[QueryContext] = None,
+                      scan: Optional[ScanRequest] = None) -> list:
         """Execute a data service function; this is also the evaluator's
         FunctionResolver. *context* (threaded down from the executing
         query's frames) bounds source waits and is consulted by fault
-        wrappers and the retry policy."""
+        wrappers and the retry policy. *scan* is an advisory pushdown
+        request the compiler attaches to source-backed scans; bindings
+        that are not SPI scans ignore it."""
         self.function_call_count += 1
         if context is not None:
             context.source_calls += 1
@@ -130,17 +196,20 @@ class DSPRuntime:
             raise UnknownArtifactError(
                 f"data service function {local} has no binding")
         # Only sources that can raise TransientSourceError (files,
-        # custom functions, fault wrappers) pay for the retry loop.
+        # custom functions, fault wrappers, external SPI sources) pay
+        # for the retry loop.
         if isinstance(binding, (CsvBinding, CallableBinding,
-                                FaultyBinding)):
+                                FaultyBinding, SourceBinding)) or \
+                (isinstance(binding, TableBinding)
+                 and self._default_source_retryable):
             return self._call_with_retry(uri, local, function, binding,
-                                         args, context)
+                                         args, context, scan)
         return self._run_binding(uri, local, function, binding, args,
-                                 context)
+                                 context, scan)
 
     def _call_with_retry(self, uri: str, local: str, function, binding,
-                         args: list,
-                         context: Optional[QueryContext]) -> list:
+                         args: list, context: Optional[QueryContext],
+                         scan: Optional[ScanRequest] = None) -> list:
         """Run a (possibly fault-injected) physical source under the
         runtime's retry policy: transient failures back off with jitter
         and retry, bounded by the policy's attempt budget and the
@@ -150,7 +219,7 @@ class DSPRuntime:
         for attempt in range(policy.attempts):
             try:
                 return self._run_binding(uri, local, function, binding,
-                                         args, context)
+                                         args, context, scan)
             except TransientSourceError as exc:
                 last = exc
                 if attempt + 1 >= policy.attempts:
@@ -163,8 +232,8 @@ class DSPRuntime:
             attempts=policy.attempts) from last
 
     def _run_binding(self, uri: str, local: str, function, binding,
-                     args: list,
-                     context: Optional[QueryContext]) -> list:
+                     args: list, context: Optional[QueryContext],
+                     scan: Optional[ScanRequest] = None) -> list:
         """Execute one binding once (faults applied, no retry)."""
         if context is not None:
             context.check()
@@ -172,18 +241,17 @@ class DSPRuntime:
             binding.apply(context)
             binding = binding.inner
         if isinstance(binding, TableBinding):
-            table = self.storage.table(binding.table_name)
-            if len(function.return_schema.columns) != len(table.columns):
+            if self._default_source is None:
                 raise UnknownArtifactError(
-                    f"schema/table column count mismatch for "
-                    f"{function.name}")
-            cached = self._table_elements.get((uri, local))
-            if cached is not None and cached[0] == len(table.rows):
-                return cached[1]
-            elements = self._rows_to_elements(function.return_schema,
-                                              table.rows)
-            self._table_elements[(uri, local)] = (len(table.rows), elements)
-            return elements
+                    f"data service function {local} is table-bound but "
+                    f"the runtime has no default source")
+            return self._scan_source(uri, local, function,
+                                     self._default_source,
+                                     binding.table_name, scan, context)
+        if isinstance(binding, SourceBinding):
+            return self._scan_source(uri, local, function,
+                                     self.source(binding.source),
+                                     binding.table, scan, context)
         if isinstance(binding, CsvBinding):
             return self._rows_to_elements(
                 function.return_schema,
@@ -203,6 +271,61 @@ class DSPRuntime:
             return self._validate_against_schema(function, result)
         raise UnknownArtifactError(
             f"data service function {local} has no binding")
+
+    def _scan_source(self, uri: str, local: str, function,
+                     source: DataSource, table: str,
+                     request: Optional[ScanRequest],
+                     context: Optional[QueryContext]) -> list:
+        """Materialize a source table scan as typed flat elements.
+
+        The request (if any) is first reduced to what the source's
+        capabilities actually cover; a surviving request bypasses the
+        element-tree cache (its result is request-specific), while a
+        plain scan goes through the cache guarded by the source's
+        ``version`` staleness token."""
+        schema = function.return_schema
+        if len(schema.columns) != len(source.columns(table)):
+            raise UnknownArtifactError(
+                f"schema/table column count mismatch for {function.name}")
+        reduced = None
+        if self.pushdown and request is not None:
+            reduced = filter_request(
+                source, table, request,
+                [decl.name for decl in schema.columns])
+        if reduced is None:
+            token = source.version(table)
+            cached = self._table_elements.get((uri, local))
+            if cached is not None and token is not None \
+                    and cached[0] == token:
+                return cached[1]
+            rows = list(source.scan(table, None, context))
+            self._rows_scanned.add(len(rows))
+            elements = self._rows_to_elements(schema, rows)
+            if token is not None:
+                self._table_elements[(uri, local)] = (token, elements)
+            return elements
+        result = source.scan(table, reduced, context)
+        rows = list(result)
+        self._rows_scanned.add(len(rows))
+        if result.pushed:
+            self._rows_pushed.add(len(rows))
+        return self._rows_to_elements(
+            self._project_schema(schema, result.columns), rows)
+
+    @staticmethod
+    def _project_schema(schema: RowSchema, scan_columns) -> RowSchema:
+        """The row schema matching a (possibly projected) scan's
+        columns, in the scan's column order."""
+        names = [name for name, _t in scan_columns]
+        if names == [decl.name for decl in schema.columns]:
+            return schema
+        by_name = {decl.name: decl for decl in schema.columns}
+        return RowSchema(
+            element_name=schema.element_name,
+            target_namespace=schema.target_namespace,
+            schema_location=schema.schema_location,
+            children=tuple(by_name[name] for name in names
+                           if name in by_name))
 
     def _rows_to_elements(self, schema, rows: list) -> list:
         """Materialize Python-value rows as typed flat XML elements
@@ -292,10 +415,11 @@ class DSPRuntime:
                 module = parse_xquery(xquery_text)
             with tracer.span("xquery.compile"):
                 return compile_module(module, resolver=self.call_function,
-                                      optimize=self.optimize)
+                                      optimize=self.optimize,
+                                      pushdown=self.pushdown)
 
-        return self.plan_cache.get_or_load((xquery_text, self.optimize),
-                                           load)
+        return self.plan_cache.get_or_load(
+            (xquery_text, self.optimize, self.pushdown), load)
 
     def execute(self, xquery_text: str,
                 variables: dict[str, object] | None = None,
@@ -400,19 +524,72 @@ def logical_function(name: str, body: str, project_name: str,
     )
 
 
+def source_function(table_name: str,
+                    columns: list[tuple[str, "SQLType"]],
+                    project_name: str, service_path: str,
+                    source_name: str | None = None) -> DataServiceFunction:
+    """The physical data service function for a table of an SPI source.
+
+    With *source_name* the function is bound to that registered source
+    (:class:`SourceBinding`); without it, to the runtime's default
+    source (:class:`TableBinding`) — the metadata-import shape the
+    paper's relational wizard produces."""
+    service_name = service_path.rsplit("/", 1)[-1]
+    namespace = f"ld:{project_name}/{service_path}"
+    location = f"ld:{project_name}/schemas/{service_name}.xsd"
+    schema_columns = [(name, sql_to_xs(sql_type))
+                      for name, sql_type in columns]
+    binding = (TableBinding(table_name) if source_name is None
+               else SourceBinding(source_name, table_name))
+    return DataServiceFunction(
+        name=table_name,
+        return_schema=flat_schema(table_name, namespace, location,
+                                  schema_columns),
+        binding=binding,
+    )
+
+
 def import_tables(application: Application, project_name: str,
-                  storage: Storage, tables: list[str] | None = None) -> None:
+                  storage: "Storage | DataSource",
+                  tables: list[str] | None = None) -> None:
     """Simulate DSP's relational metadata import: create one physical data
-    service per storage table under *project_name*."""
+    service per table under *project_name*. *storage* may be a classic
+    :class:`Storage` or any :class:`DataSource` (the runtime's default
+    source); either way the functions are table-bound, so the runtime
+    routes them through its default source's scan path."""
     project = application.projects.get(project_name)
     if project is None:
         from ..catalog import Project
         project = Project(project_name)
         application.add_project(project)
-    for table_name in (tables if tables is not None
-                       else storage.table_names()):
-        table = storage.table(table_name)
+    is_source = isinstance(storage, DataSource)
+    names = tables if tables is not None else (
+        storage.tables() if is_source else storage.table_names())
+    for table_name in names:
+        columns = (storage.columns(table_name) if is_source
+                   else list(storage.table(table_name).columns))
         service = DataService(table_name)
         service.add_function(
-            physical_function(table, project_name, table_name))
+            source_function(table_name, columns, project_name,
+                            table_name))
+        project.add_data_service(service)
+
+
+def import_source(application: Application, project_name: str,
+                  source: DataSource,
+                  tables: list[str] | None = None) -> None:
+    """Metadata-import a *registered* (non-default) SPI source: one
+    physical data service per table, bound by source name. The source
+    must also be attached to the runtime with ``register_source``."""
+    project = application.projects.get(project_name)
+    if project is None:
+        from ..catalog import Project
+        project = Project(project_name)
+        application.add_project(project)
+    for table_name in (tables if tables is not None else source.tables()):
+        service = DataService(table_name)
+        service.add_function(
+            source_function(table_name, source.columns(table_name),
+                            project_name, table_name,
+                            source_name=source.name))
         project.add_data_service(service)

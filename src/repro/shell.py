@@ -118,9 +118,9 @@ class Shell:
                 self._out(root.render())
 
     def _tables(self) -> None:
-        for schema, table in self._connection.metadata.get_tables():
+        for schema, table in self._connection.metadata().tables():
             self._out(f"{schema}.{table}")
-        for schema, proc in self._connection.metadata.get_procedures():
+        for schema, proc in self._connection.metadata().procedures():
             self._out(f"{schema}.{proc}  (procedure)")
 
     def _schema(self, table: str) -> None:
@@ -128,7 +128,7 @@ class Shell:
             self._out("usage: \\schema TABLE")
             return
         try:
-            columns = self._connection.metadata.get_columns(table)
+            columns = self._connection.metadata().columns(table)
         except ReproError as exc:
             self._out(f"error: {exc}")
             return

@@ -1,0 +1,55 @@
+"""In-memory table source: the original backend, refactored onto the SPI.
+
+Wraps :class:`repro.engine.table.Storage` so the runtime's scan path is
+uniform across backends. Declares no pushdown — in-memory rows are
+already as close as data gets, so the engine's cached element trees stay
+the fast path (the ``version`` token is the row count, which only ever
+grows through ``Table.insert``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.table import Storage
+from ..sql.types import SQLType
+from .spi import DataSource, Scan, ScanRequest, SourceCapabilities
+
+
+class TableSource(DataSource):
+    """A :class:`DataSource` over an in-process :class:`Storage`."""
+
+    def __init__(self, storage: Storage, name: str = "memory"):
+        super().__init__(name)
+        self.storage = storage
+
+    def tables(self) -> list[str]:
+        self._check_open()
+        return self.storage.table_names()
+
+    def columns(self, table: str) -> list[tuple[str, SQLType]]:
+        self._check_open()
+        return list(self.storage.table(table).columns)
+
+    def version(self, table: str) -> object:
+        # Tables are append-only (Table.insert); the row count is a
+        # sufficient staleness token.
+        return len(self.storage.table(table).rows)
+
+    def capabilities(self) -> SourceCapabilities:
+        return SourceCapabilities()
+
+    def scan(self, table: str, request: Optional[ScanRequest] = None,
+             context=None) -> Scan:
+        self._check_open()
+        physical = self.storage.table(table)
+        return Scan(columns=list(physical.columns),
+                    rows=self._iter_rows(physical, context),
+                    pushed=False)
+
+    def _iter_rows(self, physical, context):
+        for row in physical.rows:
+            self._check_open()
+            if context is not None:
+                context.tick()
+            yield row

@@ -1,0 +1,238 @@
+"""The physical data-source SPI.
+
+The paper's DSP is a federation layer: data services wrap heterogeneous
+enterprise sources (relational databases, web services, files) and the
+JDBC driver's SQL-to-XQuery translation is only useful because those
+sources exist underneath (sections 2 and 3.1). This module defines the
+contract every physical source implements so the runtime can treat an
+in-memory table, a SQLite database, and an XML directory uniformly:
+
+* :class:`DataSource` — the provider interface: table discovery,
+  column metadata, batch row scans honoring ``QueryContext`` deadlines
+  and cancellation, and a staleness token for result caching.
+* :class:`SourceCapabilities` — what the source can evaluate natively.
+  Pushdown is strictly capability-gated: the engine never hands a
+  source a request it has not advertised support for.
+* :class:`ScanRequest` — a projection (column subset) plus sargable
+  conjunctive predicates the engine would like evaluated at the source.
+* :class:`Scan` — the result: the columns actually returned, an
+  iterable of rows, and whether the predicates were applied (``pushed``)
+  or the caller must still filter.
+
+The pushdown contract is *advisory*: pushed predicates always remain in
+the compiled plan as residual filters, so a source may return a superset
+of the matching rows (e.g. by ignoring part of the request) without
+affecting correctness — it must only never *drop* a row the residual
+filter would keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..errors import SourceUnavailableError
+from ..sql.types import SQLType
+
+#: Comparison operators a predicate may carry. ``isnull``/``notnull``
+#: are unary (``value`` is ignored); the rest compare against ``value``.
+PREDICATE_OPS = frozenset(
+    {"eq", "ne", "lt", "le", "gt", "ge", "isnull", "notnull"})
+
+#: Operator subset every comparison-capable source should consider; kept
+#: here so capability declarations and the planner agree on spelling.
+COMPARISON_OPS = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One sargable conjunct: ``column OP value``.
+
+    ``value`` is a plain Python value (int, str, Decimal, date, ...)
+    already decoded from the query literal; sources compare it against
+    their stored representation of the column.
+    """
+
+    column: str
+    op: str
+    value: object = None
+
+    def __post_init__(self) -> None:
+        if self.op not in PREDICATE_OPS:
+            raise ValueError(f"unknown predicate op {self.op!r}")
+
+    @property
+    def unary(self) -> bool:
+        return self.op in ("isnull", "notnull")
+
+
+@dataclass(frozen=True)
+class ScanRequest:
+    """What the engine would like the source to do natively.
+
+    ``columns`` is the projection in source schema order (None = all
+    columns); ``predicates`` are conjuncts (AND semantics). Both are
+    advisory — see the module docstring for the superset rule.
+    """
+
+    columns: Optional[tuple[str, ...]] = None
+    predicates: tuple[Predicate, ...] = ()
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the request asks for a plain full scan."""
+        return self.columns is None and not self.predicates
+
+
+@dataclass
+class Scan:
+    """A scan result: the schema actually produced plus the row stream.
+
+    ``columns`` names (and types) the values in each row, positionally.
+    ``pushed`` is True when the source applied the request's predicates
+    itself; False means the caller's residual filter does all the work.
+    """
+
+    columns: list[tuple[str, SQLType]]
+    rows: Iterable[tuple]
+    pushed: bool = False
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+
+@dataclass(frozen=True)
+class SourceCapabilities:
+    """What a source can evaluate natively.
+
+    ``predicate_ops`` lists the operator spellings the source accepts;
+    an empty set with ``predicate_pushdown=True`` is contradictory and
+    treated as no pushdown.
+    """
+
+    predicate_pushdown: bool = False
+    projection_pushdown: bool = False
+    predicate_ops: frozenset[str] = field(default_factory=frozenset)
+
+    def accepts_op(self, op: str) -> bool:
+        return self.predicate_pushdown and op in self.predicate_ops
+
+
+class DataSource:
+    """Abstract base for physical sources.
+
+    Concrete sources implement :meth:`tables`, :meth:`columns`, and
+    :meth:`scan`; the capability and lifecycle methods have safe
+    defaults (no pushdown, idempotent close).
+
+    Scans must call ``context.tick()`` per yielded row so deadlines and
+    cancellation abort an in-flight scan within one check batch.
+    """
+
+    #: Registry name; used by catalog bindings to address the source.
+    name: str = "source"
+
+    def __init__(self, name: Optional[str] = None):
+        if name is not None:
+            self.name = name
+        self._closed = False
+
+    # -- metadata ----------------------------------------------------------
+
+    def tables(self) -> list[str]:
+        """Sorted names of the tables this source exposes."""
+        raise NotImplementedError
+
+    def columns(self, table: str) -> list[tuple[str, SQLType]]:
+        """Ordered (name, type) pairs for *table*.
+
+        Raises ``UnknownArtifactError`` for a table the source does not
+        have.
+        """
+        raise NotImplementedError
+
+    def version(self, table: str) -> object:
+        """A staleness token: equal tokens mean the table's rows are
+        unchanged, so cached derivations (e.g. element trees) may be
+        reused. ``None`` disables caching for the table."""
+        return None
+
+    # -- capabilities ------------------------------------------------------
+
+    def capabilities(self) -> SourceCapabilities:
+        return SourceCapabilities()
+
+    def supports_predicate(self, table: str, predicate: Predicate) -> bool:
+        """Fine-grained gate: may *predicate* be pushed for *table*?
+
+        Called only for operators the capability set already accepts;
+        lets a source refuse specific (column type, value type) pairs
+        whose native comparison semantics differ from the engine's.
+        """
+        return False
+
+    # -- scanning ----------------------------------------------------------
+
+    def scan(self, table: str, request: Optional[ScanRequest] = None,
+             context=None) -> Scan:
+        """Stream *table*'s rows (stable order across repeated scans).
+
+        *request* is advisory (see module docstring); *context* is an
+        optional ``QueryContext`` whose ``tick()`` must run per row.
+        """
+        raise NotImplementedError
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release handles; idempotent. Scans after close fail."""
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SourceUnavailableError(f"source {self.name!r} is closed")
+
+    def __enter__(self) -> "DataSource":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<{type(self).__name__} {self.name!r} ({state})>"
+
+
+def filter_request(source: DataSource, table: str,
+                   request: Optional[ScanRequest],
+                   all_columns: Sequence[str]) -> Optional[ScanRequest]:
+    """Reduce *request* to what *source* advertises it can handle.
+
+    Predicates are kept only when the capability set accepts the
+    operator **and** ``supports_predicate`` approves the specific
+    conjunct. The projection is kept only under projection pushdown,
+    restricted to known columns, and dropped entirely when it covers
+    the whole table (a full-width scan needs no projection request).
+    Returns None when nothing survives — the caller should run a plain
+    cached scan instead.
+    """
+    if request is None:
+        return None
+    caps = source.capabilities()
+    predicates = tuple(
+        p for p in request.predicates
+        if caps.accepts_op(p.op) and source.supports_predicate(table, p))
+    columns = None
+    if caps.projection_pushdown and request.columns is not None:
+        requested = set(request.columns)
+        # Keep source schema order so projected rows line up with a
+        # same-order projected row schema.
+        wanted = tuple(c for c in all_columns if c in requested)
+        if wanted and len(wanted) < len(all_columns):
+            columns = wanted
+    reduced = ScanRequest(columns=columns, predicates=predicates)
+    return None if reduced.is_trivial else reduced

@@ -85,14 +85,39 @@ def build_storage() -> Storage:
     return storage
 
 
-def build_runtime(**runtime_options) -> DSPRuntime:
+def build_runtime(config=None, backend: str | None = None,
+                  **runtime_options) -> DSPRuntime:
     """Demo application with one project importing every demo table.
 
-    Keyword arguments (e.g. ``max_concurrent_queries``,
-    ``admission_queue_timeout``, ``max_inflight_rows``,
-    ``retry_policy``) pass through to :class:`DSPRuntime`.
+    *backend* picks the physical source the demo tables live in:
+    ``"memory"`` (the default) keeps the in-memory :class:`Storage`,
+    ``"sqlite"`` copies it into an in-memory SQLite database served
+    through :class:`repro.SQLiteSource` (predicate/projection pushdown).
+    When omitted, the ``REPRO_DEFAULT_BACKEND`` environment variable
+    decides — that is how the CI matrix runs the whole suite against
+    the SQLite source. Engine tuning passes via *config* (a
+    :class:`repro.RuntimeConfig`); plain keyword options (e.g.
+    ``max_concurrent_queries``, ``retry_policy``) are folded in on top.
     """
+    import os
+
+    from ..config import RuntimeConfig
+
+    if backend is None:
+        backend = os.environ.get("REPRO_DEFAULT_BACKEND", "memory")
     storage = build_storage()
+    if backend == "sqlite":
+        from ..sources.sqlite import SQLiteSource
+
+        source = SQLiteSource.from_storage(storage, name="sqlite")
+    elif backend == "memory":
+        source = storage
+    else:
+        raise ValueError(
+            f"unknown demo backend {backend!r}; expected 'memory' or "
+            f"'sqlite'")
+    if runtime_options:
+        config = (config or RuntimeConfig()).replace(**runtime_options)
     application = Application(APPLICATION)
-    import_tables(application, PROJECT, storage)
-    return DSPRuntime(application, storage, **runtime_options)
+    import_tables(application, PROJECT, source)
+    return DSPRuntime(application, source, config=config)

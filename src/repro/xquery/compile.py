@@ -76,7 +76,13 @@ from .functions import (
     call_builtin,
     is_builtin_namespace,
 )
-from .planner import HashJoinClause, grouping_key, plan_clauses
+from .planner import (
+    HashJoinClause,
+    ParamRef,
+    grouping_key,
+    plan_clauses,
+    scan_requests,
+)
 
 #: A compiled expression: frame in, item sequence out.
 _Thunk = Callable[[_Frame], Sequence]
@@ -163,23 +169,41 @@ class CompiledQuery:
 
 def compile_module(module: ast.Module,
                    resolver: Optional[FunctionResolver] = None,
-                   optimize: bool = True) -> CompiledQuery:
-    """Plan and lower *module* into a :class:`CompiledQuery`."""
+                   optimize: bool = True,
+                   pushdown: bool = True) -> CompiledQuery:
+    """Plan and lower *module* into a :class:`CompiledQuery`.
+
+    *pushdown* lets the compiler attach advisory
+    :class:`~repro.sources.spi.ScanRequest` hints to data-service scan
+    calls when the resolver's signature accepts them (the DSP runtime's
+    does); each hinted conjunct stays in the plan as a residual filter,
+    so hints can only shrink scans, never change results.
+    """
     started = time.perf_counter()
-    compiler = _Compiler(module, resolver, optimize)
+    compiler = _Compiler(module, resolver, optimize, pushdown)
     run, stream, chunks = compiler.compile_body()
     return CompiledQuery(module, run, stream, chunks,
                          time.perf_counter() - started)
+
+
+def _resolver_params(resolver) -> frozenset:
+    try:
+        return frozenset(inspect.signature(resolver).parameters)
+    except (TypeError, ValueError):  # builtins, odd callables
+        return frozenset()
 
 
 def _resolver_accepts_context(resolver) -> bool:
     """True when *resolver* declares a ``context`` parameter (the DSP
     runtime's signature); plain three-argument resolvers — tests, ad-hoc
     hosts — are called without it."""
-    try:
-        return "context" in inspect.signature(resolver).parameters
-    except (TypeError, ValueError):  # builtins, odd callables
-        return False
+    return "context" in _resolver_params(resolver)
+
+
+def _resolver_accepts_scan(resolver) -> bool:
+    """True when *resolver* also declares a ``scan`` parameter, i.e. it
+    can route advisory pushdown requests to an SPI source."""
+    return "scan" in _resolver_params(resolver)
 
 
 def _raiser(exc: Exception) -> _Thunk:
@@ -195,13 +219,22 @@ def _raiser(exc: Exception) -> _Thunk:
 class _Compiler:
     def __init__(self, module: ast.Module,
                  resolver: Optional[FunctionResolver],
-                 optimize: bool):
+                 optimize: bool, pushdown: bool = True):
         self._static = StaticContext(resolver)
         self._optimize = optimize
+        self._external_vars = frozenset(
+            decl.name for decl in module.prolog
+            if isinstance(decl, ast.VarDecl))
         for decl in module.prolog:
             if isinstance(decl, (ast.SchemaImport, ast.NamespaceDecl)):
                 self._static.declare(decl.prefix, decl.uri)
         self._module = module
+        # Hints require the planner's filter hoisting (conjuncts sit
+        # right after their binder only post-optimization) and a
+        # resolver that can actually route a scan request.
+        self._pushdown = (pushdown and optimize and resolver is not None
+                          and _resolver_accepts_scan(resolver)
+                          and _resolver_accepts_context(resolver))
 
     def compile_body(self):
         body = self._module.body
@@ -224,11 +257,12 @@ class _Compiler:
         """Like :meth:`_compile` but the closure returns a lazy iterable
         for FLWOR bodies; every other node just materializes."""
         if isinstance(expr, ast.FLWOR):
-            clauses, ret = self._flwor_parts(expr)
+            clauses, ret, hints = self._flwor_parts(expr)
             linear = self._compile_linear(clauses, ret)
             if linear is not None:
                 return linear
-            stages = [self._compile_clause(clause) for clause in clauses]
+            stages = [self._compile_clause(clause, hints.get(i))
+                      for i, clause in enumerate(clauses)]
             return _flwor_stream(stages, ret)
         return self._compile(expr)
 
@@ -562,12 +596,17 @@ class _Compiler:
 
     # -- FLWOR: the streaming pipeline ------------------------------------
 
-    def _flwor_parts(self, expr: ast.FLWOR) -> tuple[list, _Thunk]:
+    def _flwor_parts(self, expr: ast.FLWOR) -> tuple[list, _Thunk, dict]:
         if self._optimize:
             clauses = plan_clauses(expr.clauses, expr.return_expr)
         else:
             clauses = list(expr.clauses)
-        return clauses, self._compile(expr.return_expr)
+        hints: dict = {}
+        if self._pushdown:
+            hints = scan_requests(
+                clauses, expr.return_expr, self._external_vars,
+                lambda source: self._scan_call(source) is not None)
+        return clauses, self._compile(expr.return_expr), hints
 
     def _compile_linear(self, clauses, ret: _Thunk) -> Optional[_Thunk]:
         """Straight-line lowering for FLWORs with only let/where clauses
@@ -593,11 +632,12 @@ class _Compiler:
         return body
 
     def _compile_flwor(self, expr: ast.FLWOR) -> _Thunk:
-        clauses, ret = self._flwor_parts(expr)
+        clauses, ret, hints = self._flwor_parts(expr)
         linear = self._compile_linear(clauses, ret)
         if linear is not None:
             return linear
-        stages = [self._compile_clause(clause) for clause in clauses]
+        stages = [self._compile_clause(clause, hints.get(i))
+                  for i, clause in enumerate(clauses)]
 
         def run(frame: _Frame) -> Sequence:
             frames: Iterator[_Frame] = iter((frame,))
@@ -610,11 +650,76 @@ class _Compiler:
 
         return run
 
-    def _compile_clause(self, clause) -> _Stage:
+    def _scan_call(self, expr) -> Optional[tuple[str, str]]:
+        """``(uri, local)`` when *expr* is a zero-argument data-service
+        call the resolver will serve (the translator's scan shape,
+        ``ns0:CUSTOMERS()``), else None."""
+        if not (isinstance(expr, ast.XFunctionCall) and not expr.args):
+            return None
+        try:
+            uri = self._static.resolve_prefix(expr.prefix)
+        except XQueryStaticError:
+            return None
+        if uri == XS_URI or is_builtin_namespace(uri):
+            return None
+        return uri, expr.local
+
+    def _compile_scan(self, expr: ast.XFunctionCall, request) -> _Thunk:
+        """A scan closure that forwards the advisory *request* to the
+        resolver alongside the lifecycle context.
+
+        Predicate values that are :class:`~repro.xquery.planner.ParamRef`
+        placeholders (external ``$p``-style variables) resolve per
+        evaluation from the frame; a parameter that is not exactly one
+        atomic value simply drops its conjunct — the residual filter
+        still decides the row's fate.
+        """
+        uri, local = self._scan_call(expr)
+        resolver = self._static.resolver
+        late = any(isinstance(p.value, ParamRef)
+                   for p in request.predicates)
+        if not late:
+            def scan(frame: _Frame) -> Sequence:
+                return resolver(uri, local, [],
+                                context=frame.variables.get(CONTEXT_KEY),
+                                scan=request)
+
+            return scan
+
+        from ..sources.spi import Predicate, ScanRequest
+
+        columns = request.columns
+        template = request.predicates
+
+        def scan_late(frame: _Frame) -> Sequence:
+            predicates = []
+            for pred in template:
+                if isinstance(pred.value, ParamRef):
+                    bound = frame.lookup(pred.value.name)
+                    if len(bound) != 1 or is_node(bound[0]):
+                        continue
+                    predicates.append(
+                        Predicate(pred.column, pred.op, bound[0]))
+                else:
+                    predicates.append(pred)
+            live = ScanRequest(columns=columns,
+                               predicates=tuple(predicates))
+            return resolver(uri, local, [],
+                            context=frame.variables.get(CONTEXT_KEY),
+                            scan=None if live.is_trivial else live)
+
+        return scan_late
+
+    def _compile_source(self, expr, hint) -> Callable[[_Frame], Iterable]:
+        if hint is not None and self._scan_call(expr) is not None:
+            return self._compile_scan(expr, hint)
+        return self._compile_stream(expr)
+
+    def _compile_clause(self, clause, hint=None) -> _Stage:
         if isinstance(clause, HashJoinClause):
-            return self._compile_hash_join(clause)
+            return self._compile_hash_join(clause, hint)
         if isinstance(clause, ast.ForClause):
-            source = self._compile_stream(clause.source)
+            source = self._compile_source(clause.source, hint)
             var = clause.var
             stats = STATS
 
@@ -666,8 +771,9 @@ class _Compiler:
         raise XQueryStaticError(
             f"unknown FLWOR clause {type(clause).__name__}")
 
-    def _compile_hash_join(self, join: HashJoinClause) -> _Stage:
-        source = self._compile_stream(join.for_clause.source)
+    def _compile_hash_join(self, join: HashJoinClause,
+                           hint=None) -> _Stage:
+        source = self._compile_source(join.for_clause.source, hint)
         var = join.for_clause.var
         build_fns = [self._compile(build) for build, _p, _c in join.keys]
         probe_fns = [self._compile(probe) for _b, probe, _c in join.keys]

@@ -299,6 +299,281 @@ def _match_join_conjunct(for_clause: ast.ForClause,
 
 
 # ---------------------------------------------------------------------------
+# Source pushdown hints (the repro.sources SPI)
+# ---------------------------------------------------------------------------
+
+
+class ParamRef:
+    """A pushdown predicate value that resolves from an external
+    variable at evaluation time (``WHERE COL = ?`` translates to
+    ``$p1``, whose value arrives with each execution)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ParamRef({self.name!r})"
+
+
+#: Operator seen by the column when the comparison is written with the
+#: column on the right (``30 lt $c/COL`` means ``COL gt 30``).
+_MIRROR = {"eq": "eq", "ne": "ne", "lt": "gt", "le": "ge",
+           "gt": "lt", "ge": "le"}
+
+
+def scan_requests(clauses, return_expr, external_vars: frozenset,
+                  is_scan_source) -> dict:
+    """Advisory pushdown requests for the planned *clauses*.
+
+    Returns ``{clause_index: ScanRequest}`` for every for/hash-join
+    clause whose source *is_scan_source* recognizes as a 0-argument
+    data-service scan. Each request carries:
+
+    * the sargable conjuncts over the clause's variable — equality
+      keys of a hash join against constants, plus the contiguous
+      where-conjuncts the filter hoisting placed right after the
+      binder (``COL op literal``, ``fn:empty``/``fn:exists`` for
+      IS [NOT] NULL); constants may be literals, ``xs:`` constructor
+      casts of literals, or external-variable references (emitted as
+      :class:`ParamRef` for late binding);
+    * the projection: the set of columns the rest of the FLWOR reads
+      through the variable (None when the variable escapes whole).
+
+    Requests are *advisory*: every conjunct stays in the plan as a
+    residual filter, so a source honoring a request may only shrink
+    the scan, never change the result.
+    """
+    from ..sources.spi import ScanRequest
+
+    hints: dict = {}
+    for index, clause in enumerate(clauses):
+        if isinstance(clause, HashJoinClause):
+            source, var = clause.for_clause.source, clause.for_clause.var
+        elif isinstance(clause, ast.ForClause):
+            source, var = clause.source, clause.var
+        else:
+            continue
+        if not is_scan_source(source):
+            continue
+        predicates: list = []
+        if isinstance(clause, HashJoinClause):
+            for build, probe, _cond in clause.keys:
+                column = _scan_column(build, var)
+                if column is None:
+                    continue
+                ok, value = _constant_value(probe, external_vars)
+                if ok:
+                    predicates.append(_predicate(column, "eq", value))
+        follow = index + 1
+        while follow < len(clauses) and \
+                isinstance(clauses[follow], ast.WhereClause):
+            predicate = _sargable(clauses[follow].condition, var,
+                                  external_vars)
+            if predicate is not None:
+                predicates.append(predicate)
+            follow += 1
+        columns = _projection(var, clauses, return_expr, index)
+        if predicates or columns is not None:
+            hints[index] = ScanRequest(columns=columns,
+                                       predicates=tuple(predicates))
+    return hints
+
+
+def _predicate(column: str, op: str, value=None):
+    from ..sources.spi import Predicate
+
+    return Predicate(column, op, value)
+
+
+def _scan_column(expr, var: str) -> Optional[str]:
+    """COL when *expr* is ``fn:data($var/COL)`` or ``$var/COL``."""
+    if isinstance(expr, ast.XFunctionCall) and expr.prefix == "fn" \
+            and expr.local == "data" and len(expr.args) == 1:
+        expr = expr.args[0]
+    if isinstance(expr, ast.PathExpr) \
+            and isinstance(expr.base, ast.VarRef) \
+            and expr.base.name == var and len(expr.steps) == 1:
+        step = expr.steps[0]
+        if step.name is not None and not step.predicates:
+            return step.name
+    return None
+
+
+def _constant_value(expr, external_vars: frozenset):
+    """(ok, value) when *expr* is known per-execution: a literal, an
+    ``xs:`` constructor over a literal (``xs:date("2005-03-01")``), or
+    an external-variable reference (→ :class:`ParamRef`)."""
+    if isinstance(expr, ast.XLiteral):
+        return True, expr.value
+    if isinstance(expr, ast.XFunctionCall) and expr.prefix == "xs" \
+            and len(expr.args) == 1 \
+            and isinstance(expr.args[0], ast.XLiteral):
+        from ..errors import XQueryError
+        from .atomic import cast_to
+
+        try:
+            result = cast_to(expr.local, [expr.args[0].value])
+        except XQueryError:
+            return False, None
+        if len(result) == 1:
+            return True, result[0]
+        return False, None
+    if isinstance(expr, ast.VarRef) and expr.name in external_vars:
+        return True, ParamRef(expr.name)
+    return False, None
+
+
+def _sargable(condition, var: str, external_vars: frozenset):
+    """The :class:`Predicate` for a sargable conjunct, else None."""
+    if isinstance(condition, ast.ValueComparison) \
+            and condition.op in _MIRROR:
+        column = _scan_column(condition.left, var)
+        if column is not None:
+            ok, value = _constant_value(condition.right, external_vars)
+            if ok:
+                return _predicate(column, condition.op, value)
+        column = _scan_column(condition.right, var)
+        if column is not None:
+            ok, value = _constant_value(condition.left, external_vars)
+            if ok:
+                return _predicate(column, _MIRROR[condition.op], value)
+        return None
+    if isinstance(condition, ast.XFunctionCall) \
+            and condition.prefix == "fn" \
+            and condition.local in ("empty", "exists") \
+            and len(condition.args) == 1:
+        column = _scan_column(condition.args[0], var)
+        if column is not None:
+            return _predicate(column, "isnull" if condition.local ==
+                              "empty" else "notnull")
+    return None
+
+
+def _projection(var: str, clauses, return_expr,
+                scan_index: int) -> Optional[tuple[str, ...]]:
+    """The columns the FLWOR reads through *var*, or None when the
+    variable is used whole (or not at all) and the scan must stay
+    full-width."""
+    exprs: list = []
+    for index, clause in enumerate(clauses):
+        if isinstance(clause, ast.ForClause):
+            if index != scan_index:
+                exprs.append(clause.source)
+        elif isinstance(clause, HashJoinClause):
+            if index != scan_index:
+                exprs.append(clause.for_clause.source)
+            for build, probe, cond in clause.keys:
+                exprs.extend((build, probe, cond))
+        elif isinstance(clause, ast.LetClause):
+            exprs.append(clause.value)
+        elif isinstance(clause, ast.WhereClause):
+            exprs.append(clause.condition)
+        elif isinstance(clause, ast.GroupClause):
+            if clause.source_var == var:
+                return None  # whole rows flow into the partition
+            exprs.extend(key for key, _v in clause.keys)
+        elif isinstance(clause, ast.OrderClause):
+            exprs.extend(spec.key for spec in clause.specs)
+    if return_expr is not None:
+        exprs.append(return_expr)
+    used = _columns_used(var, exprs)
+    if not used:
+        return None
+    return tuple(sorted(used))
+
+
+def _columns_used(var: str, exprs) -> Optional[set]:
+    """Column names reached via ``$var/COL`` paths across *exprs*;
+    None as soon as any other use of *var* appears (whole-element
+    use, wildcard/predicated step, shadow-prone nesting)."""
+    used: set = set()
+
+    def walk(node) -> bool:
+        if isinstance(node, ast.PathExpr) \
+                and isinstance(node.base, ast.VarRef) \
+                and node.base.name == var:
+            if not node.steps:
+                return False
+            first = node.steps[0]
+            if first.name is None or first.predicates:
+                return False
+            used.add(first.name)
+            for step in node.steps[1:]:
+                for predicate in step.predicates:
+                    if not walk(predicate):
+                        return False
+            return True
+        if isinstance(node, ast.VarRef):
+            return node.name != var
+        for child in _iter_children(node):
+            if not walk(child):
+                return False
+        return True
+
+    for expr in exprs:
+        if not walk(expr):
+            return None
+    return used
+
+
+def _iter_children(node):
+    """Yield the direct sub-expressions of *node* (mirrors the node
+    kinds handled by ``analysis._collect``)."""
+    if isinstance(node, ast.FLWOR):
+        for clause in node.clauses:
+            if isinstance(clause, ast.ForClause):
+                yield clause.source
+            elif isinstance(clause, ast.LetClause):
+                yield clause.value
+            elif isinstance(clause, ast.WhereClause):
+                yield clause.condition
+            elif isinstance(clause, ast.GroupClause):
+                for key_expr, _v in clause.keys:
+                    yield key_expr
+            elif isinstance(clause, ast.OrderClause):
+                for spec in clause.specs:
+                    yield spec.key
+        yield node.return_expr
+    elif isinstance(node, ast.QuantifiedExpr):
+        yield node.source
+        yield node.condition
+    elif isinstance(node, ast.SequenceExpr):
+        yield from node.items
+    elif isinstance(node, ast.IfExpr):
+        yield node.condition
+        yield node.then
+        yield node.else_
+    elif isinstance(node, (ast.OrExpr, ast.AndExpr, ast.ValueComparison,
+                           ast.GeneralComparison, ast.Arithmetic)):
+        yield node.left
+        yield node.right
+    elif isinstance(node, ast.RangeExpr):
+        yield node.low
+        yield node.high
+    elif isinstance(node, ast.UnaryMinus):
+        yield node.operand
+    elif isinstance(node, ast.PathExpr):
+        yield node.base
+        for step in node.steps:
+            yield from step.predicates
+    elif isinstance(node, ast.FilterExpr):
+        yield node.base
+        yield from node.predicates
+    elif isinstance(node, ast.XFunctionCall):
+        yield from node.args
+    elif isinstance(node, ast.ElementConstructor):
+        for attr in node.attributes:
+            for part in attr.parts:
+                if not isinstance(part, str):
+                    yield part
+        for part in node.content:
+            if not isinstance(part, str):
+                yield part
+
+
+# ---------------------------------------------------------------------------
 # Runtime key canonicalization (shared by both executors' join/group)
 # ---------------------------------------------------------------------------
 

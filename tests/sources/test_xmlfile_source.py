@@ -1,0 +1,125 @@
+"""XMLFileSource specifics: file mapping, typing, cache invalidation.
+
+The generic contract lives in test_spi_conformance; these tests pin the
+behavior unique to the read-only file backend — directory-to-table
+mapping, declared-type lexical validation versus VARCHAR inference,
+NULL via empty/missing elements, and the (mtime, size) version token
+driving the parse cache.
+"""
+
+import datetime
+import os
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import UnknownArtifactError, XMLError, XQueryDynamicError
+from repro.sources.xmlfile import XMLFileSource
+from repro.sql.types import SQLType
+
+DOC = """\
+<ACCOUNTS>
+  <ROW><ID>1</ID><OWNER>Ann</OWNER><BAL>10.50</BAL>
+       <OPENED>2001-02-03</OPENED></ROW>
+  <ROW><ID>2</ID><OWNER/><BAL>3.25</BAL><OPENED>1999-12-31</OPENED></ROW>
+  <ROW><ID>3</ID><OWNER>Cat</OWNER><BAL/><OPENED/></ROW>
+</ACCOUNTS>
+"""
+
+DECLARED = [
+    ("ID", SQLType("INTEGER")),
+    ("OWNER", SQLType("VARCHAR")),
+    ("BAL", SQLType("DECIMAL", precision=7, scale=2)),
+    ("OPENED", SQLType("DATE")),
+]
+
+
+@pytest.fixture
+def xml_dir(tmp_path):
+    (tmp_path / "ACCOUNTS.xml").write_text(DOC, encoding="utf-8")
+    (tmp_path / "EMPTY.xml").write_text("<EMPTY/>", encoding="utf-8")
+    (tmp_path / "notes.txt").write_text("ignored", encoding="utf-8")
+    return tmp_path
+
+
+class TestFileMapping:
+    def test_directory_maps_each_xml_file(self, xml_dir):
+        with XMLFileSource(xml_dir) as source:
+            assert source.tables() == ["ACCOUNTS", "EMPTY"]
+
+    def test_single_file_maps_one_table(self, xml_dir):
+        with XMLFileSource(xml_dir / "ACCOUNTS.xml") as source:
+            assert source.tables() == ["ACCOUNTS"]
+
+    def test_missing_path_has_no_tables(self, tmp_path):
+        with XMLFileSource(tmp_path / "nowhere") as source:
+            assert source.tables() == []
+            with pytest.raises(UnknownArtifactError):
+                source.scan("ACCOUNTS")
+
+
+class TestTyping:
+    def test_declared_types_parse_lexically(self, xml_dir):
+        source = XMLFileSource(xml_dir, columns={"ACCOUNTS": DECLARED})
+        rows = list(source.scan("ACCOUNTS"))
+        assert rows[0] == (1, "Ann", Decimal("10.50"),
+                           datetime.date(2001, 2, 3))
+
+    def test_empty_and_missing_elements_are_null(self, xml_dir):
+        source = XMLFileSource(xml_dir, columns={"ACCOUNTS": DECLARED})
+        rows = list(source.scan("ACCOUNTS"))
+        assert rows[1][1] is None  # <OWNER/>
+        assert rows[2][2] is None and rows[2][3] is None
+
+    def test_undeclared_schema_infers_varchar(self, xml_dir):
+        source = XMLFileSource(xml_dir)
+        columns = source.columns("ACCOUNTS")
+        assert [name for name, _t in columns] == [
+            "ID", "OWNER", "BAL", "OPENED"]
+        assert all(t.kind == "VARCHAR" for _n, t in columns)
+        assert list(source.scan("ACCOUNTS"))[0] == (
+            "1", "Ann", "10.50", "2001-02-03")
+
+    def test_bad_cell_raises_forg0001(self, tmp_path):
+        (tmp_path / "T.xml").write_text(
+            "<T><R><ID>not-a-number</ID></R></T>", encoding="utf-8")
+        source = XMLFileSource(tmp_path,
+                               columns={"T": [("ID",
+                                               SQLType("INTEGER"))]})
+        with pytest.raises(XQueryDynamicError) as info:
+            list(source.scan("T"))
+        assert info.value.code == "FORG0001"
+
+    def test_malformed_document_raises_xml_error(self, tmp_path):
+        (tmp_path / "T.xml").write_text("<T><unclosed>",
+                                        encoding="utf-8")
+        with pytest.raises(XMLError, match="cannot read table T"):
+            XMLFileSource(tmp_path).scan("T")
+
+
+class TestVersionToken:
+    def test_edit_invalidates_cache(self, xml_dir):
+        source = XMLFileSource(xml_dir, columns={"ACCOUNTS": DECLARED})
+        before = source.version("ACCOUNTS")
+        assert len(list(source.scan("ACCOUNTS"))) == 3
+        path = xml_dir / "ACCOUNTS.xml"
+        path.write_text(DOC.replace(
+            "</ACCOUNTS>",
+            "<ROW><ID>4</ID><OWNER>Dee</OWNER><BAL>1.00</BAL>"
+            "<OPENED>2004-04-04</OPENED></ROW></ACCOUNTS>"),
+            encoding="utf-8")
+        # Force a distinct mtime even on coarse filesystem clocks.
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+        assert source.version("ACCOUNTS") != before
+        rows = list(source.scan("ACCOUNTS"))
+        assert len(rows) == 4
+        assert rows[3][0] == 4
+
+    def test_unchanged_file_reuses_parse(self, xml_dir):
+        source = XMLFileSource(xml_dir, columns={"ACCOUNTS": DECLARED})
+        list(source.scan("ACCOUNTS"))
+        token, _columns, rows = source._cache["ACCOUNTS"]
+        list(source.scan("ACCOUNTS"))
+        assert source._cache["ACCOUNTS"][2] is rows
+        assert source.version("ACCOUNTS") == token

@@ -1,5 +1,7 @@
 """Tests for the top-level package facade (repro/__init__.py)."""
 
+import warnings
+
 import pytest
 
 import repro
@@ -7,49 +9,179 @@ import repro
 
 class TestFacade:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
             assert hasattr(repro, name), name
 
+    def test_pep249_globals(self):
+        assert repro.apilevel == "2.0"
+        assert repro.threadsafety == 2
+        assert repro.paramstyle == "qmark"
+
+    def test_exception_hierarchy_exported(self):
+        assert issubclass(repro.OperationalError, repro.DatabaseError)
+        assert issubclass(repro.DatabaseError, repro.Error)
+        assert issubclass(repro.InterfaceError, repro.Error)
+
+    def test_config_and_spi_types_exported(self):
+        config = repro.RuntimeConfig(pushdown=False)
+        assert config.pushdown is False
+        assert repro.ScanRequest(columns=("A",)).columns == ("A",)
+        assert issubclass(repro.SQLiteSource, repro.DataSource)
+        assert issubclass(repro.TableSource, repro.DataSource)
+        assert issubclass(repro.XMLFileSource, repro.DataSource)
+
     def test_quickstart_flow(self):
-        conn = repro.connect(repro.build_demo_runtime())
+        from repro.workloads import build_runtime
+
+        conn = repro.connect(build_runtime())
         cur = conn.cursor()
         cur.execute("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE "
                     "CUSTOMERID = ?", [23])
         assert cur.fetchall() == [("Sue",)]
 
-    def test_translate_default_runtime(self):
-        result = repro.translate("SELECT * FROM CUSTOMERS")
+
+class TestLegacyAliases:
+    """Pre-1.1 top-level names keep working for one release, warning."""
+
+    def test_legacy_class_alias_warns_and_resolves(self):
+        from repro.engine import DSPRuntime
+
+        with pytest.warns(DeprecationWarning, match="repro.DSPRuntime"):
+            assert repro.DSPRuntime is DSPRuntime
+
+    def test_legacy_aliases_not_in_all(self):
+        for name in ("DSPRuntime", "Storage", "SQLExecutor", "Tracer",
+                     "translate", "build_demo_runtime", "execute_xquery"):
+            assert name not in repro.__all__
+
+    def test_legacy_translate_works(self):
+        with pytest.warns(DeprecationWarning):
+            result = repro.translate("SELECT * FROM CUSTOMERS")
         assert "ns0:CUSTOMERS()" in result.xquery
         assert result.column_labels == [
             "CUSTOMERID", "CUSTOMERNAME", "REGION", "CREDITLIMIT"]
 
-    def test_translate_explicit_runtime_and_format(self):
-        runtime = repro.build_demo_runtime()
-        result = repro.translate("SELECT CUSTOMERID FROM CUSTOMERS",
-                                 runtime=runtime, format="delimited")
-        assert result.format == "delimited"
-        assert "fn:string-join(" in result.xquery
+    def test_legacy_build_demo_runtime_works(self):
+        with pytest.warns(DeprecationWarning):
+            runtime = repro.build_demo_runtime()
+        conn = repro.connect(runtime)
+        cur = conn.cursor()
+        cur.execute("SELECT COUNT(*) FROM CUSTOMERS")
+        assert cur.fetchall() == [(6,)]
 
-    def test_execute_xquery_export(self):
-        assert repro.execute_xquery("1 + 1") == [2]
+    def test_legacy_execute_xquery(self):
+        with pytest.warns(DeprecationWarning):
+            assert repro.execute_xquery("1 + 1") == [2]
 
-    def test_sql_executor_export(self):
-        from repro.sql import parse_statement
-        from repro.workloads import build_storage
-        executor = repro.SQLExecutor(
-            repro.TableProvider(build_storage()))
-        result = executor.execute(
-            parse_statement("SELECT COUNT(*) FROM CUSTOMERS"))
-        assert result.rows == [(6,)]
+    def test_legacy_warning_every_access(self):
+        # Deliberately uncached: each access nudges migrating code.
+        with pytest.warns(DeprecationWarning):
+            repro.MetricsRegistry
+        with pytest.warns(DeprecationWarning):
+            repro.MetricsRegistry
 
-    def test_translation_result_parameter_binding(self):
-        result = repro.translate(
-            "SELECT * FROM CUSTOMERS WHERE CUSTOMERID = ?")
-        variables = result.parameter_variables([55])
-        assert variables == {"p1": 55}
-        from repro.errors import ProgrammingError
-        with pytest.raises(ProgrammingError):
-            result.parameter_variables([])
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_name
+
+
+class TestRuntimeConfig:
+    def test_replace_returns_new_frozen_copy(self):
+        base = repro.RuntimeConfig()
+        tuned = base.replace(default_timeout=2.5)
+        assert base.default_timeout is None
+        assert tuned.default_timeout == 2.5
+        with pytest.raises(Exception):
+            tuned.default_timeout = 1.0
+
+    def test_replace_unknown_field_raises(self):
+        with pytest.raises(TypeError):
+            repro.RuntimeConfig().replace(bogus=1)
+
+    def test_connect_accepts_config(self):
+        from repro.workloads import build_runtime
+
+        config = repro.RuntimeConfig(format="xml", default_timeout=4.0,
+                                     statement_cache_capacity=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            conn = repro.connect(build_runtime(), config=config)
+        assert conn.format == "xml"
+        assert conn.default_timeout == 4.0
+        assert conn.config.statement_cache_capacity == 3
+        assert conn._statement_cache.stats()["capacity"] == 3
+
+    def test_runtime_accepts_config(self):
+        from repro.engine import DSPRuntime
+        from repro.workloads import build_runtime
+
+        base = build_runtime()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            runtime = DSPRuntime(base.application, base.storage,
+                                 config=repro.RuntimeConfig(
+                                     optimize=False,
+                                     plan_cache_capacity=7))
+        assert runtime.optimize is False
+        assert runtime.plan_cache.stats()["capacity"] == 7
+
+    def test_legacy_runtime_kwargs_warn_and_apply(self):
+        from repro.engine import DSPRuntime
+        from repro.workloads import build_runtime
+
+        base = build_runtime()
+        with pytest.warns(DeprecationWarning, match="optimize"):
+            runtime = DSPRuntime(base.application, base.storage,
+                                 optimize=False)
+        assert runtime.optimize is False
+
+    def test_legacy_connect_kwargs_warn_and_apply(self):
+        from repro.workloads import build_runtime
+
+        with pytest.warns(DeprecationWarning, match="default_timeout"):
+            conn = repro.connect(build_runtime(), default_timeout=1.5)
+        assert conn.default_timeout == 1.5
+
+    def test_unknown_kwarg_still_typeerror(self):
+        from repro.workloads import build_runtime
+
+        with pytest.raises(TypeError, match="bogus"):
+            repro.connect(build_runtime(), bogus=1)
+
+    def test_driver_kwarg_rejected_by_runtime(self):
+        from repro.engine import DSPRuntime
+        from repro.workloads import build_runtime
+
+        base = build_runtime()
+        with pytest.raises(TypeError, match="default_timeout"):
+            DSPRuntime(base.application, base.storage,
+                       default_timeout=1.0)
+
+
+class TestConnectionMetadata:
+    def test_metadata_callable_and_property_styles(self):
+        from repro.workloads import build_runtime
+
+        conn = repro.connect(build_runtime())
+        meta = conn.metadata
+        assert conn.metadata() is meta  # __call__ returns the instance
+        assert meta.catalogs() == ["RTLApp"]
+        assert "TestDataServices/CUSTOMERS" in meta.schemas()
+        tables = meta.tables()
+        assert ("TestDataServices/CUSTOMERS", "CUSTOMERS") in tables
+        columns = meta.columns("CUSTOMERS")
+        assert [c[0] for c in columns] == [
+            "CUSTOMERID", "CUSTOMERNAME", "REGION", "CREDITLIMIT"]
+        assert meta.procedures() == meta.get_procedures()
+
+    def test_get_aliases_preserved(self):
+        from repro.workloads import build_runtime
+
+        conn = repro.connect(build_runtime())
+        meta = conn.metadata()
+        assert meta.get_catalogs() == meta.catalogs()
+        assert meta.get_tables() == meta.tables()
+        assert meta.get_columns("CUSTOMERS") == meta.columns("CUSTOMERS")
