@@ -1,7 +1,7 @@
 """Gate benchmark results against the committed baseline.
 
 Compares a fresh ``pytest-benchmark`` JSON report against the repo's
-committed baseline (``BENCH_PR2.json``) and exits nonzero when any
+committed baseline (``BENCH_PR5.json``) and exits nonzero when any
 benchmark regressed by more than the tolerance (default 25%).
 
 Comparison uses each benchmark's *min* round time: the best observed
@@ -22,6 +22,12 @@ Usage::
     # filter over a SQLite-backed table must scan >=5x fewer rows with
     # pushdown on than off, with byte-identical results either way:
     python benchmarks/compare_baseline.py --pushdown
+
+    # join effectiveness gate (no results file needed): the baseline
+    # executor's hash equi-join and the engine's cost-planned join must
+    # both beat their nested-loop/unoptimized counterparts >=3x with
+    # identical rows:
+    python benchmarks/compare_baseline.py --join
 """
 
 from __future__ import annotations
@@ -31,7 +37,10 @@ import json
 import sys
 from pathlib import Path
 
-DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+_REPO = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = _REPO / "BENCH_PR5.json"
+#: The pre-hash-join executor numbers the --join gate measures against.
+PR2_BASELINE = _REPO / "BENCH_PR2.json"
 DEFAULT_TOLERANCE = 0.25
 
 
@@ -173,6 +182,117 @@ def run_pushdown_gate(min_ratio: float) -> int:
     return 0
 
 
+def run_join_gate(min_ratio: float) -> int:
+    """Check that both join fast paths actually pay off.
+
+    Part A: the baseline ``SQLExecutor`` with its hash equi-join must
+    beat the committed PR2 nested-loop number for
+    ``test_baseline_executor[join]`` by at least *min_ratio*, and must
+    produce exactly the rows the nested loop produces.
+
+    Part B: the translated E15 join at 300 rows through the engine with
+    the optimizer (hash join + cost-based planning) on must beat the
+    unoptimized run, measured in-process on the same machine, by at
+    least *min_ratio* — again with identical rows.
+    """
+    import sys
+    import time
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+    from repro.catalog import Application
+    from repro.config import RuntimeConfig
+    from repro.driver import connect
+    from repro.engine import (DSPRuntime, SQLExecutor, TableProvider,
+                              import_tables)
+    from repro.sql import parse_statement
+    from repro.workloads.scaling import build_scaled_runtime, \
+        build_scaled_storage
+
+    sql = ("SELECT F.NAME, D.QTY FROM FACTS F INNER JOIN DETAILS D "
+           "ON F.ID = D.FACTID WHERE D.QTY > 10")
+    failures = []
+
+    def best_of(fn, rounds):
+        best = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    # -- part A: baseline executor hash join vs committed nested loop --
+    storage = build_scaled_runtime(100).storage
+    query = parse_statement(sql)
+    hashed = SQLExecutor(TableProvider(storage), hash_joins=True)
+    nested = SQLExecutor(TableProvider(storage), hash_joins=False)
+    if hashed.execute(query).rows != nested.execute(query).rows:
+        failures.append("baseline executor: hash join rows differ from "
+                        "nested loop")
+    hashed_s = best_of(lambda: hashed.execute(query), rounds=5)
+    pr2 = json.loads(PR2_BASELINE.read_text())["benchmarks"]
+    committed_s = pr2["test_baseline_executor[join]"]["min_s"]
+    committed_ratio = committed_s / hashed_s
+    nested_s = best_of(lambda: nested.execute(query), rounds=3)
+    local_ratio = nested_s / hashed_s
+    print(f"join gate A: baseline executor, {sql!r} @ 100 rows")
+    print(f"  hash join   : {hashed_s * 1000:9.3f}ms")
+    print(f"  nested loop : {nested_s * 1000:9.3f}ms (this machine)  "
+          f"{committed_s * 1000:9.3f}ms ({PR2_BASELINE.name})")
+    print(f"  speedup     : {local_ratio:.1f}x local, "
+          f"{committed_ratio:.1f}x vs committed (required >= "
+          f"{min_ratio:.1f}x)")
+    if committed_ratio < min_ratio:
+        failures.append(
+            f"baseline executor hash join only {committed_ratio:.1f}x "
+            f"over {PR2_BASELINE.name} (required {min_ratio:.1f}x)")
+    if local_ratio < min_ratio:
+        failures.append(
+            f"baseline executor hash join only {local_ratio:.1f}x over "
+            f"in-process nested loop (required {min_ratio:.1f}x)")
+
+    # -- part B: translated E15 join, optimizer on vs off, 300 rows ----
+    def make_cursor(optimize: bool):
+        storage = build_scaled_storage(300)
+        application = Application("BenchApp")
+        import_tables(application, "Bench", storage)
+        runtime = DSPRuntime(application, storage,
+                             config=RuntimeConfig(optimize=optimize))
+        cursor = connect(runtime).cursor()
+        cursor.execute(sql)  # warm translation + plan caches
+        return cursor
+
+    def run(cursor):
+        cursor.execute(sql)
+        return cursor.fetchall()
+
+    optimized = make_cursor(True)
+    plain = make_cursor(False)
+    if run(optimized) != run(plain):
+        failures.append("E15 join: optimized rows differ from "
+                        "unoptimized")
+    optimized_s = best_of(lambda: run(optimized), rounds=3)
+    plain_s = best_of(lambda: run(plain), rounds=3)
+    ratio = plain_s / optimized_s
+    print(f"join gate B: translated E15 join @ 300 rows")
+    print(f"  optimizer on : {optimized_s * 1000:9.3f}ms")
+    print(f"  optimizer off: {plain_s * 1000:9.3f}ms")
+    print(f"  speedup      : {ratio:.1f}x (required >= {min_ratio:.1f}x)")
+    if ratio < min_ratio:
+        failures.append(f"E15 join only {ratio:.1f}x with optimizer on "
+                        f"(required {min_ratio:.1f}x)")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nOK: join gate passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", type=Path, nargs="?",
@@ -181,9 +301,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--pushdown", action="store_true",
                         help="run the pushdown effectiveness gate "
                              "instead of comparing benchmark timings")
-    parser.add_argument("--min-ratio", type=float, default=5.0,
-                        help="required scan-rows reduction for "
-                             "--pushdown (default: 5x)")
+    parser.add_argument("--join", action="store_true",
+                        help="run the join effectiveness gate (hash "
+                             "equi-join + cost-based planning >= 3x)")
+    parser.add_argument("--min-ratio", type=float, default=None,
+                        help="required improvement ratio for --pushdown "
+                             "(default: 5x) or --join (default: 3x)")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
                         help=f"committed baseline (default: "
                              f"{DEFAULT_BASELINE.name})")
@@ -204,10 +327,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.pushdown:
-        return run_pushdown_gate(args.min_ratio)
+        return run_pushdown_gate(args.min_ratio or 5.0)
+    if args.join:
+        return run_join_gate(args.min_ratio or 3.0)
     if args.results is None:
-        parser.error("a results file is required unless --pushdown is "
-                     "given")
+        parser.error("a results file is required unless --pushdown or "
+                     "--join is given")
 
     strict: dict[str, float] = {}
     for spec in args.strict:

@@ -35,6 +35,10 @@ class RuntimeConfig:
     # -- engine ------------------------------------------------------------
     optimize: bool = True
     pushdown: bool = True
+    #: Statistics-driven cost-based planning (join build-side choice,
+    #: for-clause reordering, selectivity-ordered conjuncts). Requires
+    #: ``optimize``; also gated by the ``REPRO_COST_PLANNING`` env var.
+    cost: bool = True
     plan_cache_capacity: int = 256
     max_concurrent_queries: int = 32
     admission_queue_timeout: float = 5.0
@@ -55,7 +59,7 @@ class RuntimeConfig:
 
 #: Field names accepted as legacy keyword arguments, per call site.
 ENGINE_FIELDS = frozenset({
-    "optimize", "pushdown", "plan_cache_capacity",
+    "optimize", "pushdown", "cost", "plan_cache_capacity",
     "max_concurrent_queries", "admission_queue_timeout",
     "max_inflight_rows", "retry_policy",
 })

@@ -356,6 +356,30 @@ class Connection:
             raise InterfaceError("connection is closed")
 
 
+def _emit_plan_events(tracer: Tracer, plan, actuals: dict) -> None:
+    """Attach one estimated-vs-actual event per cost-planned node to
+    the current trace (``\\trace`` renders them under the execute
+    span)."""
+    for report in plan.plan_reports:
+        for node in report["nodes"]:
+            estimate = node["estimate"]
+            tracer.event(
+                "plan.node",
+                label=node["label"],
+                estimated="?" if estimate is None
+                else f"{estimate:.1f}",
+                actual=actuals.get(node["id"], 0))
+
+
+def _chunks_then_plan_events(chunks: Iterator[str], tracer: Tracer,
+                             plan, actuals: dict) -> Iterator[str]:
+    """Pass the streamed text through; once the stream drains (so the
+    per-node actual counts are final), emit the plan events — the
+    tracer parents them on the completed execute root."""
+    yield from chunks
+    _emit_plan_events(tracer, plan, actuals)
+
+
 class Cursor:
     """A PEP 249 cursor: execute SQL, fetch typed rows.
 
@@ -467,20 +491,35 @@ class Cursor:
                             translation.xquery, tracer=tracer)
                         translation.stage_timings.setdefault(
                             "compile", plan.compile_seconds)
+                        # With tracing on, a cost-planned statement also
+                        # collects actual rows per plan node; the
+                        # estimated-vs-actual events land on the execute
+                        # span (streamed statements attach them when
+                        # the stream drains).
+                        actuals = {} if (tracer.enabled
+                                         and plan.plan_reports) else None
                         if connection.format == "delimited" \
                                 and plan.streams_text:
                             # Streaming path: set up the lazy pipeline;
                             # rows are pulled (and decoded) at fetch
                             # time. The slot is held until the stream
                             # is exhausted or released.
+                            chunks = plan.stream_chunks(
+                                variables, context=context,
+                                actuals=actuals)
+                            if actuals is not None:
+                                chunks = _chunks_then_plan_events(
+                                    chunks, tracer, plan, actuals)
                             stream = iter_decode_delimited(
-                                plan.stream_chunks(variables,
-                                                   context=context),
-                                translation.columns, context=context)
+                                chunks, translation.columns,
+                                context=context)
                             streamed = True
                         else:
                             result = plan.evaluate(variables,
-                                                   context=context)
+                                                   context=context,
+                                                   actuals=actuals)
+                            if actuals is not None:
+                                _emit_plan_events(tracer, plan, actuals)
                     if not streamed:
                         with tracer.span("materialize"):
                             self._rows = self._decode(

@@ -14,6 +14,7 @@ variables.
 
 from __future__ import annotations
 
+import os
 from typing import Iterator, Optional
 
 from ..catalog import (
@@ -100,6 +101,13 @@ class DSPRuntime:
         self.optimize = config.optimize
         #: Enable predicate/projection pushdown into capable sources.
         self.pushdown = config.pushdown
+        #: Statistics-driven cost-based planning: join build-side
+        #: choice, order-restoring for-clause reordering, and
+        #: most-selective-first conjunct ordering. Needs the optimizer
+        #: (the cost pass rewrites its plans); ``REPRO_COST_PLANNING=0``
+        #: disables it environment-wide for A/B runs.
+        self.cost = (config.cost and config.optimize
+                     and os.environ.get("REPRO_COST_PLANNING", "1") != "0")
         #: Runtime-side metrics: the plan cache publishes
         #: ``plan_cache.hits`` / ``plan_cache.misses`` /
         #: ``plan_cache.evictions`` here.
@@ -143,6 +151,22 @@ class DSPRuntime:
         #: and the subset that came from scans the source pre-filtered.
         self._rows_scanned = self.metrics.counter("sources.rows_scanned")
         self._rows_pushed = self.metrics.counter("sources.rows_pushed")
+        #: Secondary-index observability: scans answered by a source
+        #: hash index, and the (lazy) index builds those scans caused.
+        self._index_hits = self.metrics.counter("sources.index_hits")
+        self._index_builds = self.metrics.counter("sources.index_builds")
+        #: Sum of the cost model's estimated output rows over cold
+        #: compiles; paired with per-node actuals in EXPLAIN output.
+        self._estimated_rows = self.metrics.counter(
+            "planner.estimated_rows")
+        #: Table statistics cache for cost-based planning, keyed by
+        #: function identity and guarded by the source's ``version``
+        #: token. ``_stats_epoch`` counts cache (re)computations and
+        #: source registrations; it is part of the plan-cache key, so a
+        #: plan built over stale statistics is recompiled (once) rather
+        #: than reused forever.
+        self._stats_cache: dict[tuple[str, str], tuple[object, object]] = {}
+        self._stats_epoch = 0
         for project, service in application.all_data_services():
             uri = function_namespace(project, service)
             for function in service.functions.values():
@@ -154,6 +178,10 @@ class DSPRuntime:
         """Attach a physical source; ``SourceBinding(source.name, ...)``
         functions scan it. Re-registering a name replaces the source."""
         self.sources[source.name] = source
+        # New (or replaced) source: cached statistics may describe the
+        # old one, and cached plans may have been costed without it.
+        self._stats_cache.clear()
+        self._stats_epoch += 1
         return source
 
     def source(self, name: str) -> DataSource:
@@ -309,6 +337,10 @@ class DSPRuntime:
         self._rows_scanned.add(len(rows))
         if result.pushed:
             self._rows_pushed.add(len(rows))
+        if result.index_used:
+            self._index_hits.increment()
+        if result.index_built:
+            self._index_builds.increment()
         return self._rows_to_elements(
             self._project_schema(schema, result.columns), rows)
 
@@ -398,6 +430,51 @@ class DSPRuntime:
                     child.type_annotation = annotation
         return result
 
+    # -- statistics ----------------------------------------------------------
+
+    def statistics_for(self, uri: str, local: str):
+        """Table statistics for the data-service scan ``{uri}local()``,
+        or None when the function is not a source-backed scan (or its
+        source declines). This is the cost planner's statistics
+        callback; results are cached under the source's ``version``
+        token, and every (re)computation bumps the stats epoch so plans
+        costed against superseded statistics age out of the plan cache.
+        """
+        function = self._functions.get((uri, local))
+        if function is None:
+            return None
+        binding = function.binding
+        if isinstance(binding, FaultyBinding):
+            binding = binding.inner
+        if isinstance(binding, TableBinding):
+            source, table = self._default_source, binding.table_name
+        elif isinstance(binding, SourceBinding):
+            source, table = self.sources.get(binding.source), binding.table
+        else:
+            return None
+        if source is None:
+            return None
+        try:
+            token = source.version(table)
+            cached = self._stats_cache.get((uri, local))
+            if cached is not None and token is not None \
+                    and cached[0] == token:
+                return cached[1]
+            stats = source.statistics(table)
+        except Exception:
+            # Statistics are advisory: an unreachable or failing source
+            # must degrade to default selectivities, not break compiles.
+            return None
+        # Bump the epoch only when the data actually moved (the version
+        # token changed under cached statistics): a first computation
+        # is consumed by the very compile that triggered it, so the
+        # plan about to be cached is already fresh.
+        changed = cached is not None and cached[0] != token
+        self._stats_cache[(uri, local)] = (token, stats)
+        if changed:
+            self._stats_epoch += 1
+        return stats
+
     # -- query execution -----------------------------------------------------
 
     def prepare(self, xquery_text: str, tracer=None) -> CompiledQuery:
@@ -414,36 +491,52 @@ class DSPRuntime:
             with tracer.span("xquery.parse"):
                 module = parse_xquery(xquery_text)
             with tracer.span("xquery.compile"):
-                return compile_module(module, resolver=self.call_function,
-                                      optimize=self.optimize,
-                                      pushdown=self.pushdown)
+                plan = compile_module(
+                    module, resolver=self.call_function,
+                    optimize=self.optimize, pushdown=self.pushdown,
+                    statistics=self.statistics_for if self.cost else None)
+            estimate = plan.estimated_rows
+            if estimate is not None:
+                self._estimated_rows.add(int(round(estimate)))
+            return plan
 
+        # The stats epoch keys the entry: when a source's data moves
+        # (version token change) or a source is (re)registered, the
+        # epoch bumps and every plan costed under the old statistics
+        # misses, forcing one recompile against fresh numbers.
         return self.plan_cache.get_or_load(
-            (xquery_text, self.optimize, self.pushdown), load)
+            (xquery_text, self.optimize, self.pushdown, self.cost,
+             self._stats_epoch), load)
 
     def execute(self, xquery_text: str,
                 variables: dict[str, object] | None = None,
                 tracer=None,
-                context: Optional[QueryContext] = None) -> list:
+                context: Optional[QueryContext] = None,
+                actuals: Optional[dict] = None) -> list:
         """Compile (with plan caching) and evaluate an XQuery, returning
         the materialized result sequence. *context* bounds the run with
         a deadline/cancellation token checked at tuple-batch granularity
-        inside the compiled pipeline."""
+        inside the compiled pipeline. *actuals* (a dict) collects actual
+        output rows per plan node, keyed to the plan's
+        ``plan_reports``."""
         tracer = NULL_TRACER if tracer is None else tracer
         plan = self.prepare(xquery_text, tracer=tracer)
         with tracer.span("xquery.evaluate"):
-            return plan.evaluate(variables, context=context)
+            return plan.evaluate(variables, context=context,
+                                 actuals=actuals)
 
     def execute_stream(self, xquery_text: str,
                        variables: dict[str, object] | None = None,
                        tracer=None,
-                       context: Optional[QueryContext] = None) -> Iterator:
+                       context: Optional[QueryContext] = None,
+                       actuals: Optional[dict] = None) -> Iterator:
         """Compile (with plan caching) and evaluate an XQuery as a lazy
         item stream: FLWOR bodies pull source rows through the live
         pipeline only as the caller consumes items."""
         tracer = NULL_TRACER if tracer is None else tracer
         plan = self.prepare(xquery_text, tracer=tracer)
-        return plan.stream_items(variables, context=context)
+        return plan.stream_items(variables, context=context,
+                                 actuals=actuals)
 
     def metadata_api(self, latency: float = 0.0) -> MetadataAPI:
         """The remote metadata API endpoint for this application."""

@@ -156,8 +156,12 @@ class Shell:
             fmt = "delimited" if self._format == "delimited" \
                 else "recordset"
             result = self._connection.translator.translate(sql, format=fmt)
+            # The compiled plan (cache-warm after a prior execution)
+            # contributes the cost-based pipeline nodes and estimates.
+            plan = self._runtime.prepare(result.xquery)
             self._out(explain(result.unit,
-                              stage_timings=result.stage_timings))
+                              stage_timings=result.stage_timings,
+                              plan_reports=plan.plan_reports))
         except ReproError as exc:
             self._out(f"error: {exc}")
 
@@ -236,7 +240,12 @@ class Shell:
         runtime_counters = snapshot["runtime"].get("counters", {})
         retries = runtime_counters.get("source.retries", 0)
         failures = runtime_counters.get("source.failures", 0)
-        self._out(f"SOURCES: retries={retries} failures={failures}")
+        index_hits = runtime_counters.get("sources.index_hits", 0)
+        index_builds = runtime_counters.get("sources.index_builds", 0)
+        self._out(f"SOURCES: retries={retries} failures={failures} "
+                  f"index_hits={index_hits} index_builds={index_builds}")
+        estimated = runtime_counters.get("planner.estimated_rows", 0)
+        self._out(f"PLANNER: estimated_rows={estimated}")
 
     # -- loops --------------------------------------------------------------
 

@@ -12,22 +12,28 @@ compile -> planner).
 from .spi import (
     COMPARISON_OPS,
     PREDICATE_OPS,
+    ColumnStats,
     DataSource,
     Predicate,
     Scan,
     ScanRequest,
     SourceCapabilities,
+    TableStatistics,
+    compute_statistics,
     filter_request,
 )
 
 __all__ = [
     "COMPARISON_OPS",
     "PREDICATE_OPS",
+    "ColumnStats",
     "DataSource",
     "Predicate",
     "Scan",
     "ScanRequest",
     "SourceCapabilities",
+    "TableStatistics",
+    "compute_statistics",
     "filter_request",
     "TableSource",
     "SQLiteSource",

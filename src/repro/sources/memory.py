@@ -1,27 +1,103 @@
 """In-memory table source: the original backend, refactored onto the SPI.
 
 Wraps :class:`repro.engine.table.Storage` so the runtime's scan path is
-uniform across backends. Declares no pushdown — in-memory rows are
-already as close as data gets, so the engine's cached element trees stay
-the fast path (the ``version`` token is the row count, which only ever
-grows through ``Table.insert``).
+uniform across backends. The ``version`` token is the row count, which
+only ever grows through ``Table.insert`` (tables are append-only).
+
+Since PR 5 the source supports *secondary hash indexes*: equality and
+IN-list predicates may be pushed down, answered by a lazily-built
+``{value: [row_index, ...]}`` map per (table, column). Index use follows
+the SPI's "sources only shrink scans" contract — pushed predicates stay
+in the compiled plan as residual filters, the index only narrows which
+rows are streamed. Two guards keep this strictly a win:
+
+* **type exactness** — a probe value is only accepted when Python's
+  hash/``==`` agree with the engine's comparison semantics for the
+  column's declared type (int against INTEGER kinds, str against
+  CHAR/VARCHAR, exact date/time/datetime matches, int/Decimal against
+  DECIMAL). Anything else (floats, bools, cross-type probes) is
+  declined so the residual filter — and its type errors — behave
+  exactly as without pushdown.
+* **access-path selection** — when the source's own statistics estimate
+  the probe would match more than ``index_max_fraction`` of the table,
+  the predicate is declined and the engine keeps its cached
+  element-tree full scan, which is faster for unselective predicates.
+
+Indexes and statistics are version-guarded: a stale token drops the
+cached structure and it is rebuilt from current rows on next use.
 """
 
 from __future__ import annotations
 
+import datetime
+from decimal import Decimal
 from typing import Optional
 
 from ..engine.table import Storage
 from ..sql.types import SQLType
-from .spi import DataSource, Scan, ScanRequest, SourceCapabilities
+from .spi import (
+    DataSource,
+    Predicate,
+    Scan,
+    ScanRequest,
+    SourceCapabilities,
+    TableStatistics,
+    compute_statistics,
+)
+
+_INT_KINDS = frozenset({"SMALLINT", "INTEGER", "BIGINT"})
+_CHAR_KINDS = frozenset({"CHAR", "VARCHAR"})
+
+
+def _probe_value_ok(value: object, sql_type: SQLType) -> bool:
+    """True when hashing/comparing *value* against stored values of
+    *sql_type* matches the engine's equality semantics exactly."""
+    if isinstance(value, bool):  # bool is an int subclass; engine treats
+        return False             # it as a distinct category
+    kind = sql_type.kind
+    if kind in _INT_KINDS:
+        return isinstance(value, int)
+    if kind in _CHAR_KINDS:
+        return isinstance(value, str)
+    if kind == "DECIMAL":
+        # int/Decimal hash and compare exactly in Python, matching the
+        # engine's exact-numeric equality; floats do not.
+        return isinstance(value, (int, Decimal))
+    if kind == "DATE":
+        return (isinstance(value, datetime.date)
+                and not isinstance(value, datetime.datetime))
+    if kind == "TIME":
+        return isinstance(value, datetime.time)
+    if kind == "TIMESTAMP":
+        return isinstance(value, datetime.datetime)
+    return False  # REAL/DOUBLE/BOOLEAN: no exact hash-equality story
 
 
 class TableSource(DataSource):
     """A :class:`DataSource` over an in-process :class:`Storage`."""
 
-    def __init__(self, storage: Storage, name: str = "memory"):
+    #: Tables smaller than this are never indexed — the engine's cached
+    #: element trees beat an index build + per-query element rebuild on
+    #: small tables (and the demo benchmarks pin that path's speed).
+    index_min_rows: int = 256
+    #: Decline probes estimated to match more than this fraction of the
+    #: table; a wide scan through the index is slower than the cached
+    #: full scan.
+    index_max_fraction: float = 0.25
+
+    def __init__(self, storage: Storage, name: str = "memory",
+                 index_min_rows: Optional[int] = None,
+                 index_max_fraction: Optional[float] = None):
         super().__init__(name)
         self.storage = storage
+        if index_min_rows is not None:
+            self.index_min_rows = index_min_rows
+        if index_max_fraction is not None:
+            self.index_max_fraction = index_max_fraction
+        # (table, column) -> (version_token, {value: [row_index, ...]})
+        self._indexes: dict[tuple[str, str], tuple[object, dict]] = {}
+        # table -> (version_token, TableStatistics)
+        self._statistics: dict[str, tuple[object, TableStatistics]] = {}
 
     def tables(self) -> list[str]:
         self._check_open()
@@ -36,16 +112,111 @@ class TableSource(DataSource):
         # sufficient staleness token.
         return len(self.storage.table(table).rows)
 
+    def statistics(self, table: str) -> Optional[TableStatistics]:
+        self._check_open()
+        physical = self.storage.table(table)
+        token = len(physical.rows)
+        cached = self._statistics.get(table)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        stats = compute_statistics(physical.columns, physical.rows)
+        self._statistics[table] = (token, stats)
+        return stats
+
     def capabilities(self) -> SourceCapabilities:
-        return SourceCapabilities()
+        return SourceCapabilities(
+            predicate_pushdown=True,
+            predicate_ops=frozenset({"eq", "in"}))
+
+    def supports_predicate(self, table: str, predicate: Predicate) -> bool:
+        if predicate.op not in ("eq", "in"):
+            return False
+        physical = self.storage.table(table)
+        sql_type = dict(physical.columns).get(predicate.column)
+        if sql_type is None:
+            return False
+        if predicate.op == "in":
+            if (not isinstance(predicate.value, (tuple, list))
+                    or not predicate.value):
+                return False
+            values = tuple(predicate.value)
+        else:
+            values = (predicate.value,)
+        if not all(_probe_value_ok(v, sql_type) for v in values):
+            return False
+        if len(physical.rows) < self.index_min_rows:
+            return False
+        stats = self.statistics(table)
+        column = stats.column(predicate.column) if stats else None
+        if column is not None and column.ndv:
+            estimated = stats.row_count / column.ndv * len(values)
+            if estimated > self.index_max_fraction * stats.row_count:
+                return False
+        return True
 
     def scan(self, table: str, request: Optional[ScanRequest] = None,
              context=None) -> Scan:
         self._check_open()
         physical = self.storage.table(table)
+        predicates = tuple(
+            p for p in (request.predicates if request is not None else ())
+            if self.supports_predicate(table, p))
+        if not predicates:
+            return Scan(columns=list(physical.columns),
+                        rows=self._iter_rows(physical, context),
+                        pushed=False)
+        # Probe the index on the most selective conjunct; apply the rest
+        # inline (all accepted conjuncts are exact-typed eq/in, so plain
+        # Python comparison matches engine semantics).
+        probe = self._most_selective(table, predicates)
+        index, built = self._index(table, probe.column, physical)
+        if probe.op == "eq":
+            indices = list(index.get(probe.value, ()))
+        else:
+            hit: set[int] = set()
+            for value in probe.value:
+                hit.update(index.get(value, ()))
+            indices = sorted(hit)  # restore physical scan order
+        remaining = tuple(p for p in predicates if p is not probe)
+        positions = {name: i for i, (name, _) in enumerate(physical.columns)}
         return Scan(columns=list(physical.columns),
-                    rows=self._iter_rows(physical, context),
-                    pushed=False)
+                    rows=self._iter_indexed(physical, indices, remaining,
+                                            positions, context),
+                    pushed=True, index_used=True, index_built=built)
+
+    def _most_selective(self, table: str,
+                        predicates: tuple[Predicate, ...]) -> Predicate:
+        stats = self.statistics(table)
+
+        def rank(predicate: Predicate) -> float:
+            column = stats.column(predicate.column) if stats else None
+            ndv = column.ndv if column is not None else 0
+            if not ndv:
+                return 1.0
+            width = (len(predicate.value)
+                     if predicate.op == "in" else 1)
+            return min(1.0, width / ndv)
+
+        return min(predicates, key=rank)
+
+    def _index(self, table: str, column: str, physical):
+        """Return (value -> sorted row indices, built_now) for *column*,
+        rebuilding when the version token moved."""
+        token = len(physical.rows)
+        key = (table, column)
+        cached = self._indexes.get(key)
+        if cached is not None and cached[0] == token:
+            return cached[1], False
+        position = {name: i
+                    for i, (name, _) in enumerate(physical.columns)}[column]
+        index: dict = {}
+        for row_index, row in enumerate(physical.rows):
+            value = row[position]
+            if value is None:
+                continue  # NULL never matches an equality probe
+            index.setdefault(value, []).append(row_index)
+        self._indexes[key] = (token, index)
+        return index, True
 
     def _iter_rows(self, physical, context):
         for row in physical.rows:
@@ -53,3 +224,28 @@ class TableSource(DataSource):
             if context is not None:
                 context.tick()
             yield row
+
+    def _iter_indexed(self, physical, indices, remaining, positions,
+                      context):
+        rows = physical.rows
+        for row_index in indices:
+            self._check_open()
+            if context is not None:
+                context.tick()
+            row = rows[row_index]
+            ok = True
+            for predicate in remaining:
+                value = row[positions[predicate.column]]
+                if value is None:
+                    ok = False
+                    break
+                if predicate.op == "eq":
+                    if value != predicate.value:
+                        ok = False
+                        break
+                else:  # in
+                    if value not in predicate.value:
+                        ok = False
+                        break
+            if ok:
+                yield row

@@ -35,9 +35,10 @@ from ..errors import SourceUnavailableError
 from ..sql.types import SQLType
 
 #: Comparison operators a predicate may carry. ``isnull``/``notnull``
-#: are unary (``value`` is ignored); the rest compare against ``value``.
+#: are unary (``value`` is ignored); ``in`` carries a tuple of values
+#: (membership); the rest compare against ``value``.
 PREDICATE_OPS = frozenset(
-    {"eq", "ne", "lt", "le", "gt", "ge", "isnull", "notnull"})
+    {"eq", "ne", "lt", "le", "gt", "ge", "in", "isnull", "notnull"})
 
 #: Operator subset every comparison-capable source should consider; kept
 #: here so capability declarations and the planner agree on spelling.
@@ -91,14 +92,106 @@ class Scan:
     ``columns`` names (and types) the values in each row, positionally.
     ``pushed`` is True when the source applied the request's predicates
     itself; False means the caller's residual filter does all the work.
+    ``index_used``/``index_built`` report whether a secondary hash
+    index answered the scan (and whether it was built for this scan),
+    so the engine can publish index metrics without reaching into
+    source internals.
     """
 
     columns: list[tuple[str, SQLType]]
     rows: Iterable[tuple]
     pushed: bool = False
+    index_used: bool = False
+    index_built: bool = False
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics for one column, for the planner's cost model.
+
+    ``ndv`` is the number of distinct non-NULL values; ``low``/``high``
+    bound the non-NULL domain (None when the type has no usable order,
+    e.g. DECIMAL stored as text in SQLite); ``null_fraction`` is the
+    NULL share of the row count (0.0 for an empty table).
+    """
+
+    ndv: int = 0
+    low: object = None
+    high: object = None
+    null_fraction: float = 0.0
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Statistics for one table: row count plus per-column summaries.
+
+    ``sampled`` is True when the numbers come from a bounded row sample
+    rather than a full pass — estimates, not ground truth, either way.
+    Instances are immutable; staleness is governed by the source's
+    ``version`` token (the runtime caches statistics under it).
+    """
+
+    row_count: int = 0
+    columns: "dict[str, ColumnStats]" = field(default_factory=dict)
+    sampled: bool = False
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name)
+
+
+#: Row-sample bound for sources that compute statistics in Python: big
+#: enough to rank selectivities usefully, small enough that the first
+#: costed query does not pay a second full scan of a huge table.
+STATISTICS_SAMPLE_LIMIT = 10_000
+
+
+def compute_statistics(columns: Sequence[tuple[str, SQLType]],
+                       rows: Sequence[tuple],
+                       total_rows: Optional[int] = None,
+                       sample_limit: int = STATISTICS_SAMPLE_LIMIT) \
+        -> TableStatistics:
+    """Statistics from materialized *rows* (shared by the in-memory and
+    XML-file backends). When *rows* exceeds *sample_limit* only the
+    leading sample is summarized and per-column NDV/null counts are
+    scaled to *total_rows* (defaults to ``len(rows)``)."""
+    if total_rows is None:
+        total_rows = len(rows)
+    sampled = len(rows) > sample_limit
+    sample = rows[:sample_limit] if sampled else rows
+    scale = (total_rows / len(sample)) if (sampled and sample) else 1.0
+    stats: dict[str, ColumnStats] = {}
+    for position, (name, _sql_type) in enumerate(columns):
+        distinct: set = set()
+        nulls = 0
+        low = high = None
+        for row in sample:
+            value = row[position]
+            if value is None:
+                nulls += 1
+                continue
+            try:
+                distinct.add(value)
+            except TypeError:  # unhashable value: no usable NDV
+                distinct = set()
+                break
+            try:
+                if low is None or value < low:
+                    low = value
+                if high is None or value > high:
+                    high = value
+            except TypeError:
+                low = high = None
+        # ndv == 0 means "unknown or no non-NULL values"; the planner
+        # falls back to default selectivities for it either way.
+        ndv = min(total_rows, int(len(distinct) * scale)) if distinct else 0
+        null_fraction = (nulls / len(sample)) if sample else 0.0
+        stats[name] = ColumnStats(ndv=ndv, low=low, high=high,
+                                  null_fraction=null_fraction)
+    return TableStatistics(row_count=total_rows, columns=stats,
+                           sampled=sampled)
 
 
 @dataclass(frozen=True)
@@ -155,6 +248,16 @@ class DataSource:
         """A staleness token: equal tokens mean the table's rows are
         unchanged, so cached derivations (e.g. element trees) may be
         reused. ``None`` disables caching for the table."""
+        return None
+
+    def statistics(self, table: str) -> Optional[TableStatistics]:
+        """Optional summary statistics for the planner's cost model.
+
+        None (the default) means the source offers none and the planner
+        plans blind for its tables. Callers must cache the result under
+        :meth:`version` — statistics describe the table as of one
+        staleness token and must never outlive a data change.
+        """
         return None
 
     # -- capabilities ------------------------------------------------------

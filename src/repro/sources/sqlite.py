@@ -51,11 +51,13 @@ from ..sql.types import (
 )
 from .spi import (
     COMPARISON_OPS,
+    ColumnStats,
     DataSource,
     Predicate,
     Scan,
     ScanRequest,
     SourceCapabilities,
+    TableStatistics,
 )
 
 _OP_SQL = {"eq": "=", "ne": "<>", "lt": "<", "le": "<=",
@@ -277,13 +279,43 @@ class SQLiteSource(DataSource):
                 "PRAGMA data_version").fetchone()[0]
             return (data_version, self._connection.total_changes)
 
+    def statistics(self, table: str) -> Optional[TableStatistics]:
+        """Exact statistics via native SQL aggregates (one pass per
+        column inside SQLite, no rows shipped to Python).
+
+        ``low``/``high`` are omitted for DECIMAL columns — they are
+        stored as text and MIN/MAX would compare lexicographically.
+        """
+        columns = self.columns(table)
+        with self._lock:
+            self._check_open()
+            row_count = self._connection.execute(
+                f"SELECT COUNT(*) FROM {_quote(table)}").fetchone()[0]
+            stats: dict[str, ColumnStats] = {}
+            for name, sql_type in columns:
+                quoted = _quote(name)
+                ranged = sql_type.kind != "DECIMAL"
+                extrema = f", MIN({quoted}), MAX({quoted})" if ranged \
+                    else ""
+                non_null, ndv, *bounds = self._connection.execute(
+                    f"SELECT COUNT({quoted}), COUNT(DISTINCT {quoted})"
+                    f"{extrema} FROM {_quote(table)}").fetchone()
+                low = _decode(bounds[0], sql_type) if ranged else None
+                high = _decode(bounds[1], sql_type) if ranged else None
+                null_fraction = ((row_count - non_null) / row_count
+                                 if row_count else 0.0)
+                stats[name] = ColumnStats(ndv=ndv, low=low, high=high,
+                                          null_fraction=null_fraction)
+        return TableStatistics(row_count=row_count, columns=stats,
+                               sampled=False)
+
     # -- capabilities ------------------------------------------------------
 
     def capabilities(self) -> SourceCapabilities:
         return SourceCapabilities(
             predicate_pushdown=True,
             projection_pushdown=True,
-            predicate_ops=COMPARISON_OPS | {"isnull", "notnull"})
+            predicate_ops=COMPARISON_OPS | {"in", "isnull", "notnull"})
 
     def supports_predicate(self, table: str, predicate: Predicate) -> bool:
         try:
@@ -297,6 +329,12 @@ class SQLiteSource(DataSource):
             return True
         if sql_type.kind not in _PUSHABLE_KINDS:
             return False
+        if predicate.op == "in":
+            if (not isinstance(predicate.value, (tuple, list))
+                    or not predicate.value):
+                return False
+            return all(_value_matches(v, sql_type)
+                       for v in predicate.value)
         return _value_matches(predicate.value, sql_type)
 
     # -- scanning ----------------------------------------------------------
@@ -326,6 +364,11 @@ class SQLiteSource(DataSource):
                     clauses.append(f"{_quote(p.column)} IS NULL")
                 elif p.op == "notnull":
                     clauses.append(f"{_quote(p.column)} IS NOT NULL")
+                elif p.op == "in":
+                    marks = ", ".join("?" for _ in p.value)
+                    clauses.append(f"{_quote(p.column)} IN ({marks})")
+                    params.extend(_encode(v, by_name[p.column])
+                                  for v in p.value)
                 else:
                     clauses.append(f"{_quote(p.column)} {_OP_SQL[p.op]} ?")
                     params.append(_encode(p.value, by_name[p.column]))

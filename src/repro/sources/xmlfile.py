@@ -36,7 +36,14 @@ from ..errors import UnknownArtifactError, XMLError
 from ..sql.types import SQLType, VARCHAR
 from ..xmlmodel import parse_document
 from ..xquery.atomic import parse_lexical
-from .spi import DataSource, Scan, ScanRequest, SourceCapabilities
+from .spi import (
+    DataSource,
+    Scan,
+    ScanRequest,
+    SourceCapabilities,
+    TableStatistics,
+    compute_statistics,
+)
 
 
 class XMLFileSource(DataSource):
@@ -83,6 +90,14 @@ class XMLFileSource(DataSource):
     def version(self, table: str) -> object:
         stat = self._file_for(table).stat()
         return (stat.st_mtime_ns, stat.st_size)
+
+    def statistics(self, table: str) -> Optional[TableStatistics]:
+        # The parse cache already holds the materialized rows (version
+        # guarded by the file token), so statistics cost one Python
+        # pass over at most the SPI sample limit.
+        self._check_open()
+        _version, columns, rows = self._load(table)
+        return compute_statistics(columns, rows)
 
     # -- capabilities ------------------------------------------------------
 

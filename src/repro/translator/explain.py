@@ -16,10 +16,17 @@ from .stage2 import BoundQuery, BoundSelect, BoundSetOp, TranslationUnit
 
 
 def explain(unit: TranslationUnit,
-            stage_timings: dict[str, float] | None = None) -> str:
+            stage_timings: dict[str, float] | None = None,
+            plan_reports: list | None = None,
+            actuals: dict | None = None) -> str:
     """A full report: contexts, RSN tree, result schema, parameters,
     and — when *stage_timings* (``TranslationResult.stage_timings``) is
-    given — the per-stage wall time of the translation."""
+    given — the per-stage wall time of the translation.
+
+    *plan_reports* (``CompiledQuery.plan_reports``) adds the cost-based
+    execution plan: one line per pipeline node with its estimated
+    output rows; *actuals* (the dict filled by an execution) adds the
+    observed counts next to the estimates."""
     out = StringIO()
     out.write("QUERY CONTEXTS (stage 1)\n")
     _write_context(unit.stage1.root_context, out, indent=0)
@@ -35,6 +42,18 @@ def explain(unit: TranslationUnit,
         for index in sorted(unit.param_types):
             out.write(f"  ?{index} -> $p{index} "
                       f"({unit.param_types[index]})\n")
+    if plan_reports:
+        out.write("\nEXECUTION PLAN (cost-based)\n")
+        for report in plan_reports:
+            for node in report["nodes"]:
+                estimate = node["estimate"]
+                est = "?" if estimate is None else f"{estimate:.1f}"
+                fid, index = node["id"]
+                line = (f"  [{fid}.{index}] {node['label']}"
+                        f"  est={est} rows")
+                if actuals is not None:
+                    line += f"  actual={actuals.get(node['id'], 0)}"
+                out.write(line + "\n")
     if stage_timings:
         out.write("\nSTAGE TIMINGS\n")
         # "compile" (the XQuery closure-compilation time) is present

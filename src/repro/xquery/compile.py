@@ -77,12 +77,21 @@ from .functions import (
     is_builtin_namespace,
 )
 from .planner import (
+    CostEstimator,
     HashJoinClause,
     ParamRef,
+    RestoreOrderClause,
+    estimate_plan,
     grouping_key,
+    ordinal_key,
     plan_clauses,
     scan_requests,
 )
+
+#: Reserved frame key under which an actual-row-count dict rides when
+#: the caller asked for estimated-vs-actual accounting; stage outputs
+#: are counted per (flwor id, clause index) plan-node id.
+ACTUALS_KEY = "\x00actuals"
 
 #: A compiled expression: frame in, item sequence out.
 _Thunk = Callable[[_Frame], Sequence]
@@ -111,17 +120,34 @@ class CompiledQuery:
     these in a bounded LRU keyed by (query text, optimize flag).
     """
 
-    __slots__ = ("module", "compile_seconds", "_run", "_stream", "_chunks")
+    __slots__ = ("module", "compile_seconds", "plan_reports", "_run",
+                 "_stream", "_chunks")
 
     def __init__(self, module: ast.Module, run: _Thunk,
                  stream: Callable[[_Frame], Iterable],
                  chunks: Optional[Callable[[_Frame], Iterator[str]]],
-                 compile_seconds: float):
+                 compile_seconds: float,
+                 plan_reports: Optional[list] = None):
         self.module = module
         self.compile_seconds = compile_seconds
+        #: Per-FLWOR plan-node reports (labels + estimated rows) when
+        #: the module was compiled with cost-based planning; see
+        #: :data:`ACTUALS_KEY` for the matching actual counts.
+        self.plan_reports = plan_reports or []
         self._run = run
         self._stream = stream
         self._chunks = chunks
+
+    @property
+    def estimated_rows(self) -> Optional[float]:
+        """The outermost FLWOR's estimated output cardinality (frames
+        entering its return clause), or None without statistics."""
+        for report in self.plan_reports:
+            estimates = [node["estimate"] for node in report["nodes"]
+                         if node["estimate"] is not None]
+            if estimates:
+                return estimates[-1]
+        return None
 
     @property
     def streams_text(self) -> bool:
@@ -131,7 +157,7 @@ class CompiledQuery:
         return self._chunks is not None
 
     def _root(self, variables: Optional[dict[str, object]],
-              context=None) -> _Frame:
+              context=None, actuals=None) -> _Frame:
         bindings = bind_module_variables(self.module, variables)
         if context is not None:
             # The lifecycle context rides through every frame bind()
@@ -139,38 +165,43 @@ class CompiledQuery:
             # at tuple granularity so deadlines and cancellation abort
             # mid-stream.
             bindings[CONTEXT_KEY] = context
+        if actuals is not None:
+            bindings[ACTUALS_KEY] = actuals
         return _Frame(bindings)
 
     def evaluate(self, variables: Optional[dict[str, object]] = None,
-                 context=None) -> Sequence:
+                 context=None, actuals=None) -> Sequence:
         """Materialize the full result sequence (interpreter-compatible).
         *context* is an optional ``repro.engine.lifecycle.QueryContext``
-        enforcing deadline/cancellation during evaluation."""
+        enforcing deadline/cancellation during evaluation. *actuals* is
+        an optional dict filled with per-plan-node output row counts
+        (keys match :attr:`plan_reports` node ids)."""
         if context is not None:
             context.check()
-        return self._run(self._root(variables, context))
+        return self._run(self._root(variables, context, actuals))
 
     def stream_items(self, variables: Optional[dict[str, object]] = None,
-                     context=None) -> Iterator:
+                     context=None, actuals=None) -> Iterator:
         """Lazily yield result items; FLWOR bodies pull rows through the
         live pipeline on demand."""
-        return iter(self._stream(self._root(variables, context)))
+        return iter(self._stream(self._root(variables, context, actuals)))
 
     def stream_chunks(self, variables: Optional[dict[str, object]] = None,
-                      context=None) -> Iterator[str]:
+                      context=None, actuals=None) -> Iterator[str]:
         """Yield the wrapper's single string result in pieces (only when
         :attr:`streams_text`); ``"".join(...)`` equals the evaluated
         string byte-for-byte."""
         if self._chunks is None:
             raise XQueryStaticError(
                 "query body is not a streamable text wrapper")
-        return self._chunks(self._root(variables, context))
+        return self._chunks(self._root(variables, context, actuals))
 
 
 def compile_module(module: ast.Module,
                    resolver: Optional[FunctionResolver] = None,
                    optimize: bool = True,
-                   pushdown: bool = True) -> CompiledQuery:
+                   pushdown: bool = True,
+                   statistics=None) -> CompiledQuery:
     """Plan and lower *module* into a :class:`CompiledQuery`.
 
     *pushdown* lets the compiler attach advisory
@@ -178,12 +209,19 @@ def compile_module(module: ast.Module,
     calls when the resolver's signature accepts them (the DSP runtime's
     does); each hinted conjunct stays in the plan as a residual filter,
     so hints can only shrink scans, never change results.
+
+    *statistics* — a ``(uri, local) -> Optional[TableStatistics]``
+    callback for data-service scans — switches cost-based planning on
+    (requires *optimize*): build-side choice/for reorder, build-filter
+    hoisting, and most-selective-first conjunct ordering, all result-
+    preserving (reorders restore original tuple order via ordinals).
     """
     started = time.perf_counter()
-    compiler = _Compiler(module, resolver, optimize, pushdown)
+    compiler = _Compiler(module, resolver, optimize, pushdown, statistics)
     run, stream, chunks = compiler.compile_body()
     return CompiledQuery(module, run, stream, chunks,
-                         time.perf_counter() - started)
+                         time.perf_counter() - started,
+                         compiler.plan_reports)
 
 
 def _resolver_params(resolver) -> frozenset:
@@ -219,7 +257,8 @@ def _raiser(exc: Exception) -> _Thunk:
 class _Compiler:
     def __init__(self, module: ast.Module,
                  resolver: Optional[FunctionResolver],
-                 optimize: bool, pushdown: bool = True):
+                 optimize: bool, pushdown: bool = True,
+                 statistics=None):
         self._static = StaticContext(resolver)
         self._optimize = optimize
         self._external_vars = frozenset(
@@ -235,6 +274,25 @@ class _Compiler:
         self._pushdown = (pushdown and optimize and resolver is not None
                           and _resolver_accepts_scan(resolver)
                           and _resolver_accepts_context(resolver))
+        self._estimator: Optional[CostEstimator] = None
+        if optimize and statistics is not None:
+            self._estimator = CostEstimator(
+                self._source_statistics(statistics),
+                pushdown=self._pushdown)
+        #: id(FLWOR ast node) -> flwor id; the body compiles once for
+        #: the materializing path and once for the streaming path, and
+        #: plan-node ids must agree between the two.
+        self._flwor_ids: dict[int, int] = {}
+        self.plan_reports: list[dict] = []
+
+    def _source_statistics(self, statistics):
+        def lookup(source):
+            call = self._scan_call(source)
+            if call is None:
+                return None
+            return statistics(*call)
+
+        return lookup
 
     def compile_body(self):
         body = self._module.body
@@ -261,9 +319,8 @@ class _Compiler:
             linear = self._compile_linear(clauses, ret)
             if linear is not None:
                 return linear
-            stages = [self._compile_clause(clause, hints.get(i))
-                      for i, clause in enumerate(clauses)]
-            return _flwor_stream(stages, ret)
+            stages, node_ids = self._pipeline_stages(expr, clauses, hints)
+            return _flwor_stream(stages, ret, node_ids)
         return self._compile(expr)
 
     def _compile_chunks(self, body: ast.XExpr) \
@@ -598,7 +655,9 @@ class _Compiler:
 
     def _flwor_parts(self, expr: ast.FLWOR) -> tuple[list, _Thunk, dict]:
         if self._optimize:
-            clauses = plan_clauses(expr.clauses, expr.return_expr)
+            clauses = plan_clauses(expr.clauses, expr.return_expr,
+                                   estimator=self._estimator,
+                                   external_vars=self._external_vars)
         else:
             clauses = list(expr.clauses)
         hints: dict = {}
@@ -607,6 +666,33 @@ class _Compiler:
                 clauses, expr.return_expr, self._external_vars,
                 lambda source: self._scan_call(source) is not None)
         return clauses, self._compile(expr.return_expr), hints
+
+    def _pipeline_stages(self, expr: ast.FLWOR, clauses,
+                         hints: dict) -> tuple[list, list]:
+        """Compile *clauses* into pipeline stages plus their plan-node
+        ids; records the FLWOR's plan report (labels + estimates) once,
+        shared between the materializing and streaming compilations."""
+        ordinal_vars: set[str] = set()
+        for clause in clauses:
+            if isinstance(clause, RestoreOrderClause):
+                ordinal_vars.update(clause.vars)
+        stages = [self._compile_clause(clause, hints.get(i),
+                                       frozenset(ordinal_vars))
+                  for i, clause in enumerate(clauses)]
+        fid = self._flwor_ids.get(id(expr))
+        if fid is None:
+            fid = self._flwor_ids[id(expr)] = len(self._flwor_ids)
+            if self._estimator is not None:
+                estimates = estimate_plan(clauses, self._estimator,
+                                          self._external_vars)
+                self.plan_reports.append({
+                    "flwor": fid,
+                    "nodes": [{"id": (fid, i),
+                               "label": _clause_label(clause),
+                               "estimate": estimates[i]}
+                              for i, clause in enumerate(clauses)],
+                })
+        return stages, [(fid, i) for i in range(len(stages))]
 
     def _compile_linear(self, clauses, ret: _Thunk) -> Optional[_Thunk]:
         """Straight-line lowering for FLWORs with only let/where clauses
@@ -636,13 +722,10 @@ class _Compiler:
         linear = self._compile_linear(clauses, ret)
         if linear is not None:
             return linear
-        stages = [self._compile_clause(clause, hints.get(i))
-                  for i, clause in enumerate(clauses)]
+        stages, node_ids = self._pipeline_stages(expr, clauses, hints)
 
         def run(frame: _Frame) -> Sequence:
-            frames: Iterator[_Frame] = iter((frame,))
-            for stage in stages:
-                frames = stage(frames)
+            frames = _pipeline(stages, node_ids, frame)
             result: list = []
             for t in frames:
                 result.extend(ret(t))
@@ -715,13 +798,27 @@ class _Compiler:
             return self._compile_scan(expr, hint)
         return self._compile_stream(expr)
 
-    def _compile_clause(self, clause, hint=None) -> _Stage:
+    def _compile_clause(self, clause, hint=None,
+                        ordinal_vars: frozenset = frozenset()) -> _Stage:
         if isinstance(clause, HashJoinClause):
-            return self._compile_hash_join(clause, hint)
+            return self._compile_hash_join(clause, hint, ordinal_vars)
+        if isinstance(clause, RestoreOrderClause):
+            # Sort by the ordinal tuple of the original for-var order:
+            # lexicographic original nested-loop order, so a reordered
+            # plan's output is byte-identical to the unreordered one.
+            keys = [ordinal_key(v) for v in clause.vars]
+
+            def restore_stage(frames: Iterator[_Frame]) -> Iterator[_Frame]:
+                yield from sorted(
+                    frames,
+                    key=lambda t: tuple(t.variables[k] for k in keys))
+
+            return restore_stage
         if isinstance(clause, ast.ForClause):
             source = self._compile_source(clause.source, hint)
             var = clause.var
             stats = STATS
+            okey = ordinal_key(var) if clause.var in ordinal_vars else None
 
             def for_stage(frames: Iterator[_Frame]) -> Iterator[_Frame]:
                 first = next(frames, None)
@@ -731,19 +828,38 @@ class _Compiler:
                 # one execution, so resolve it once from the first.
                 ctx = first.variables.get(CONTEXT_KEY)
                 if ctx is None:
-                    for t in chain((first,), frames):
-                        for item in source(t):
-                            stats.frames += 1
-                            yield t.bind(var, [item])
+                    if okey is None:
+                        for t in chain((first,), frames):
+                            for item in source(t):
+                                stats.frames += 1
+                                yield t.bind(var, [item])
+                    else:
+                        for t in chain((first,), frames):
+                            for position, item in enumerate(source(t)):
+                                stats.frames += 1
+                                frame = t.bind(var, [item])
+                                # bind() copied the dict, so stashing the
+                                # ordinal in place is frame-local.
+                                frame.variables[okey] = position
+                                yield frame
                 else:
                     # Lifecycle-bounded query: tick per tuple; the
                     # check itself fires once per batch.
                     tick = ctx.tick
-                    for t in chain((first,), frames):
-                        for item in source(t):
-                            stats.frames += 1
-                            tick()
-                            yield t.bind(var, [item])
+                    if okey is None:
+                        for t in chain((first,), frames):
+                            for item in source(t):
+                                stats.frames += 1
+                                tick()
+                                yield t.bind(var, [item])
+                    else:
+                        for t in chain((first,), frames):
+                            for position, item in enumerate(source(t)):
+                                stats.frames += 1
+                                tick()
+                                frame = t.bind(var, [item])
+                                frame.variables[okey] = position
+                                yield frame
 
             return for_stage
         if isinstance(clause, ast.LetClause):
@@ -771,27 +887,30 @@ class _Compiler:
         raise XQueryStaticError(
             f"unknown FLWOR clause {type(clause).__name__}")
 
-    def _compile_hash_join(self, join: HashJoinClause,
-                           hint=None) -> _Stage:
+    def _compile_hash_join(self, join: HashJoinClause, hint=None,
+                           ordinal_vars: frozenset = frozenset()) -> _Stage:
         source = self._compile_source(join.for_clause.source, hint)
         var = join.for_clause.var
         build_fns = [self._compile(build) for build, _p, _c in join.keys]
         probe_fns = [self._compile(probe) for _b, probe, _c in join.keys]
         cond_fns = [self._compile(cond) for _b, _p, cond in join.keys]
+        filter_fns = [self._compile(f) for f in join.filters]
         triples = list(zip(build_fns, probe_fns, cond_fns))
         stats = STATS
+        okey = ordinal_key(var) if var in ordinal_vars else None
 
         class _CompiledJoin:
             """Adapter giving _build/_probe_join_table compiled key
             evaluators under the planner's (build, probe, cond) shape."""
             keys = triples
 
-        def pairwise(t: _Frame, items: Sequence) -> Iterator:
-            for item in items:
+        def pairwise(t: _Frame, entries) -> Iterator:
+            for entry in entries:
+                item = entry[1] if okey is not None else entry
                 inner = t.bind(var, [item])
                 if all(effective_boolean_value(cond(inner))
                        for cond in cond_fns):
-                    yield item
+                    yield entry
 
         def join_stage(frames: Iterator[_Frame]) -> Iterator[_Frame]:
             first = next(frames, None)
@@ -800,15 +919,36 @@ class _Compiler:
             ctx = first.variables.get(CONTEXT_KEY)
             # The join source is independent of the stream (the planner
             # rejects correlated sources), so build the table once
-            # against the first frame's outer bindings.
+            # against the first frame's outer bindings. Absorbed build
+            # filters (planner-proven independent of the probe side) run
+            # once here, before the table is hashed.
             items = list(source(first))
-            build = _build_join_table(
-                _CompiledJoin, items,
-                lambda build_fn, item: single_atomic(
-                    build_fn(first.bind(var, [item])), "join key"))
+            if filter_fns:
+                items = [
+                    item for item in items
+                    if all(effective_boolean_value(
+                        f(first.bind(var, [item]))) for f in filter_fns)]
+            if okey is None:
+                entries: Sequence = items
+
+                def eval_key(build_fn, entry):
+                    return single_atomic(
+                        build_fn(first.bind(var, [entry])), "join key")
+            else:
+                # Order-restoring plans carry (position, item) pairs so
+                # a downstream RestoreOrderClause can re-sort; positions
+                # within the filtered sequence are monotone in original
+                # row order, which is all the sort needs.
+                entries = list(enumerate(items))
+
+                def eval_key(build_fn, entry):
+                    return single_atomic(
+                        build_fn(first.bind(var, [entry[1]])), "join key")
+
+            build = _build_join_table(_CompiledJoin, entries, eval_key)
             for t in chain((first,), frames):
                 if build is None:
-                    matched: Iterable = pairwise(t, items)
+                    matched: Iterable = pairwise(t, entries)
                 else:
                     table, categories = build
                     matched = _probe_join_table(
@@ -816,17 +956,22 @@ class _Compiler:
                         lambda probe_fn: single_atomic(probe_fn(t),
                                                        "join key"))
                     if matched is _PAIRWISE:
-                        matched = pairwise(t, items)
-                if ctx is None:
+                        matched = pairwise(t, entries)
+                tick = None if ctx is None else ctx.tick
+                if okey is None:
                     for item in matched:
                         stats.frames += 1
+                        if tick is not None:
+                            tick()
                         yield t.bind(var, [item])
                 else:
-                    tick = ctx.tick
-                    for item in matched:
+                    for position, item in matched:
                         stats.frames += 1
-                        tick()
-                        yield t.bind(var, [item])
+                        if tick is not None:
+                            tick()
+                        frame = t.bind(var, [item])
+                        frame.variables[okey] = position
+                        yield frame
 
         return join_stage
 
@@ -907,13 +1052,66 @@ class _Compiler:
     }
 
 
-def _flwor_stream(stages: list[_Stage], ret: _Thunk) \
-        -> Callable[[_Frame], Iterator]:
-    def stream(frame: _Frame) -> Iterator:
-        frames: Iterator[_Frame] = iter((frame,))
+def _count_frames(frames: Iterator[_Frame], actuals: dict,
+                  node_id) -> Iterator[_Frame]:
+    """Pass frames through while tallying the stage's output rows into
+    *actuals* (even on partial consumption or an abort mid-stream)."""
+    count = 0
+    try:
+        for t in frames:
+            count += 1
+            yield t
+    finally:
+        actuals[node_id] = actuals.get(node_id, 0) + count
+
+
+def _pipeline(stages: list[_Stage], node_ids: list,
+              frame: _Frame) -> Iterator[_Frame]:
+    """Thread *frame* through the stage pipeline; when the root frame
+    carries an actuals dict, wrap every stage with an output counter so
+    EXPLAIN can report estimated vs. actual rows per plan node."""
+    frames: Iterator[_Frame] = iter((frame,))
+    actuals = frame.variables.get(ACTUALS_KEY)
+    if actuals is None:
         for stage in stages:
             frames = stage(frames)
-        for t in frames:
+    else:
+        for stage, node_id in zip(stages, node_ids):
+            frames = _count_frames(stage(frames), actuals, node_id)
+    return frames
+
+
+def _clause_label(clause) -> str:
+    """A short human-readable plan-node label for EXPLAIN output."""
+    if isinstance(clause, HashJoinClause):
+        parts = f"{len(clause.keys)} keys"
+        if clause.filters:
+            parts += f", {len(clause.filters)} filters"
+        return f"hash-join ${clause.for_clause.var} ({parts})"
+    if isinstance(clause, RestoreOrderClause):
+        return "restore-order"
+    if isinstance(clause, ast.ForClause):
+        source = clause.source
+        if isinstance(source, ast.XFunctionCall) and not source.args:
+            prefix = f"{source.prefix}:" if source.prefix else ""
+            return (f"for ${clause.var} in "
+                    f"{prefix}{source.local}()")
+        return f"for ${clause.var}"
+    if isinstance(clause, ast.LetClause):
+        return f"let ${clause.var}"
+    if isinstance(clause, ast.WhereClause):
+        return "where"
+    if isinstance(clause, ast.GroupClause):
+        return "group"
+    if isinstance(clause, ast.OrderClause):
+        return "order"
+    return type(clause).__name__
+
+
+def _flwor_stream(stages: list[_Stage], ret: _Thunk,
+                  node_ids: list) -> Callable[[_Frame], Iterator]:
+    def stream(frame: _Frame) -> Iterator:
+        for t in _pipeline(stages, node_ids, frame):
             yield from ret(t)
 
     return stream

@@ -53,14 +53,22 @@ class HashJoinClause:
     tuple stream (possibly nothing, for a constant selection), and
     *condition* is the original ``eq`` comparison kept for the pairwise
     fallback path.
+
+    ``filters`` (cost-based planning only) are conjuncts reading only
+    the join variable, hoisted into the build phase: each build item is
+    filtered once before entering the hash table instead of once per
+    matching output tuple. Safe because such a conjunct evaluates
+    identically on a build item and on any output frame binding it.
     """
 
-    __slots__ = ("for_clause", "keys")
+    __slots__ = ("for_clause", "keys", "filters")
 
     def __init__(self, for_clause: ast.ForClause,
-                 keys: tuple[tuple[ast.XExpr, ast.XExpr, ast.XExpr], ...]):
+                 keys: tuple[tuple[ast.XExpr, ast.XExpr, ast.XExpr], ...],
+                 filters: tuple[ast.XExpr, ...] = ()):
         self.for_clause = for_clause
         self.keys = keys
+        self.filters = filters
 
     # Single-key accessors, kept for the common case and older callers.
 
@@ -226,12 +234,28 @@ def _used_later(name: str, clauses, return_expr: ast.XExpr) -> bool:
     return name in free_vars(return_expr)
 
 
-def plan_clauses(clauses, return_expr: Optional[ast.XExpr] = None):
+def plan_clauses(clauses, return_expr: Optional[ast.XExpr] = None,
+                 estimator: "Optional[CostEstimator]" = None,
+                 external_vars: frozenset = frozenset()):
     """Produce the executable clause list: hoist filters, fuse
     streaming lets, and replace (for, where-eq...) groups with (multi-
     key) hash joins. ``return_expr`` enables the let/for fusion (it is
-    needed to prove a let binding is dead after the rewrite)."""
+    needed to prove a let binding is dead after the rewrite).
+
+    With an *estimator* (cost-based planning), three statistics-driven
+    rewrites run as well: independent for clauses reorder greedily
+    (smallest estimated input first, original tuple order restored via
+    :class:`RestoreOrderClause` ordinals), single-variable conjuncts
+    move into hash-join build filters, and residual conjunct runs sort
+    most-selective-first. Without an estimator the output is exactly
+    the pre-cost plan — the tree-walking evaluator plans that way and
+    stays the differential oracle.
+    """
     clauses = _fuse_lets(hoist_filters(clauses), return_expr)
+    declared = _declared_vars(clauses)
+    if estimator is not None:
+        clauses = _reorder_clauses(clauses, estimator, declared,
+                                   external_vars)
     planned: list = []
     bound_here: set[str] = set()
     index = 0
@@ -252,7 +276,22 @@ def plan_clauses(clauses, return_expr: Optional[ast.XExpr] = None):
             bound_here.update(var for _e, var in clause.keys)
         planned.append(clause)
         index += 1
+    if estimator is not None:
+        planned = _absorb_join_filters(planned, declared, estimator,
+                                       external_vars)
+        planned = _order_conjuncts(planned, estimator, external_vars)
     return planned
+
+
+def _declared_vars(clauses) -> set[str]:
+    declared: set[str] = set()
+    for clause in clauses:
+        if isinstance(clause, (ast.ForClause, ast.LetClause)):
+            declared.add(clause.var)
+        elif isinstance(clause, ast.GroupClause):
+            declared.add(clause.partition_var)
+            declared.update(var for _e, var in clause.keys)
+    return declared
 
 
 def _match_join_prefix(for_clause: ast.ForClause, clauses, start: int,
@@ -296,6 +335,600 @@ def _match_join_conjunct(for_clause: ast.ForClause,
             and right_free <= {var}:
         return condition.right, condition.left, condition
     return None
+
+
+# ---------------------------------------------------------------------------
+# Cost-based planning (statistics-driven, PR 5)
+# ---------------------------------------------------------------------------
+
+#: Frames produced by a reordered for clause also bind the item's
+#: position in the binding sequence under this reserved-prefix key
+#: (invisible to queries, like the lifecycle context's "\x00" key);
+#: a RestoreOrderClause sorts by those ordinals to put the stream back
+#: into original FLWOR order.
+ORDINAL_PREFIX = "\x00ord:"
+
+
+def ordinal_key(var: str) -> str:
+    return ORDINAL_PREFIX + var
+
+
+class RestoreOrderClause:
+    """Planner-emitted pipeline breaker that undoes a cost-based for
+    reorder: sorts the frames by the ordinal tuple of ``vars`` (the for
+    variables in their ORIGINAL clause order). Nested-loop iteration
+    emits frames in lexicographic ordinal order, so the sort restores
+    the pre-reorder stream byte-for-byte regardless of how wrong the
+    statistics were.
+    """
+
+    __slots__ = ("vars",)
+
+    def __init__(self, vars: tuple[str, ...]):
+        self.vars = tuple(vars)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"RestoreOrderClause({self.vars!r})"
+
+
+#: Selinger-style default selectivities, used when statistics cannot
+#: price a conjunct (unknown column, unhashable domain, ParamRef).
+DEFAULT_SELECTIVITY = {
+    "eq": 0.1, "ne": 0.9, "lt": 0.3, "le": 0.3, "gt": 0.3, "ge": 0.3,
+    "in": 0.2, "isnull": 0.1, "notnull": 0.9,
+}
+
+#: A reorder must beat the original order's estimated cost by this
+#: factor before it is applied: the RestoreOrderClause sort is not free
+#: and statistics are estimates, so near-ties keep the SQL text's order.
+REORDER_HYSTERESIS = 1.2
+
+
+class CostEstimator:
+    """Cardinality estimation over source statistics.
+
+    *source_statistics* maps a for-clause source expression to a
+    ``TableStatistics`` (or None when the source is not a statistics-
+    bearing scan); the compiler wires it to the runtime's version-
+    guarded statistics cache. Lookups are memoized per planning pass
+    and failures degrade to "no statistics" — costing must never turn
+    a plannable query into an error.
+
+    ``pushdown`` tells the conjunct-ordering rewrite that sargable
+    conjuncts are also carved off as scan hints (so the residual copy
+    is expected to pass almost everything and sorts last).
+    """
+
+    def __init__(self, source_statistics, pushdown: bool = False):
+        self._source_statistics = source_statistics
+        self.pushdown = pushdown
+        self._cache: dict[int, object] = {}
+
+    def table_stats(self, source: ast.XExpr):
+        key = id(source)
+        if key not in self._cache:
+            try:
+                self._cache[key] = self._source_statistics(source)
+            except Exception:
+                self._cache[key] = None
+        return self._cache[key]
+
+
+def _as_float(value) -> Optional[float]:
+    """Map an orderable domain value onto the real line for range
+    interpolation (day resolution for dates is plenty for estimates)."""
+    if isinstance(value, bool) or value is None:
+        return None
+    if isinstance(value, (int, float, Decimal)):
+        return float(value)
+    if isinstance(value, datetime.datetime):
+        return float(value.toordinal()) \
+            + (value.hour * 3600 + value.minute * 60 + value.second) / 86400
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    if isinstance(value, datetime.time):
+        return value.hour * 3600 + value.minute * 60 + value.second \
+            + value.microsecond / 1e6
+    return None
+
+
+def predicate_selectivity(predicate, stats) -> float:
+    """Estimated pass fraction of one sargable conjunct, from *stats*
+    (a ``TableStatistics``) when they can price it, else a default."""
+    op = predicate.op
+    column = stats.column(predicate.column) if stats is not None else None
+    default = DEFAULT_SELECTIVITY.get(op, 0.5)
+    if column is None or isinstance(predicate.value, ParamRef):
+        return default
+    if op == "isnull":
+        return column.null_fraction
+    if op == "notnull":
+        return 1.0 - column.null_fraction
+    non_null = 1.0 - column.null_fraction
+    ndv = column.ndv
+    if op == "eq":
+        return non_null / ndv if ndv else default
+    if op == "in":
+        width = (len(predicate.value)
+                 if isinstance(predicate.value, (tuple, list)) else 1)
+        return min(1.0, non_null * width / ndv) if ndv else default
+    if op == "ne":
+        return non_null * (1.0 - 1.0 / ndv) if ndv else default
+    low = _as_float(column.low)
+    high = _as_float(column.high)
+    value = _as_float(predicate.value)
+    if low is None or high is None or value is None:
+        return default
+    if high <= low:  # single-valued (or unknown-span) domain
+        if op in ("lt", "gt"):
+            return non_null if (value > low if op == "lt"
+                                else value < low) else 0.0
+        return non_null if (value >= low if op == "le"
+                            else value <= low) else 0.0
+    span = high - low
+    if op in ("lt", "le"):
+        fraction = (value - low) / span
+    else:
+        fraction = (high - value) / span
+    return non_null * min(1.0, max(0.0, fraction))
+
+
+def _shape_selectivity(condition) -> float:
+    """Default selectivity for a conjunct statistics cannot price,
+    keyed on its syntactic shape."""
+    if isinstance(condition, ast.ValueComparison):
+        return DEFAULT_SELECTIVITY.get(condition.op, 0.5)
+    if isinstance(condition, ast.XFunctionCall):
+        if condition.prefix == "fn" and condition.local == "empty":
+            return DEFAULT_SELECTIVITY["isnull"]
+        if condition.prefix == "fn" and condition.local == "exists":
+            return DEFAULT_SELECTIVITY["notnull"]
+        if condition.prefix == "fn-bea" and condition.local == "in3":
+            return DEFAULT_SELECTIVITY["in"]
+    return 0.5
+
+
+def conjunct_selectivity(condition, var: str, stats,
+                         external_vars: frozenset) -> float:
+    """Selectivity of *condition* as a filter over *var*'s rows."""
+    predicate = _sargable(condition, var, external_vars)
+    if predicate is not None:
+        return predicate_selectivity(predicate, stats)
+    return _shape_selectivity(condition)
+
+
+def _column_ndv(stats, column: Optional[str]) -> int:
+    if stats is None or column is None:
+        return 0
+    col = stats.column(column)
+    return col.ndv if col is not None else 0
+
+
+class _Unit:
+    """One reorderable binder: a for/let clause plus the conjuncts
+    local to its variable (which travel with it)."""
+
+    __slots__ = ("clause", "var", "is_for", "pos", "local", "deps",
+                 "stats", "rows", "sel")
+
+    def __init__(self, clause, pos: int):
+        self.clause = clause
+        self.var = clause.var
+        self.is_for = isinstance(clause, ast.ForClause)
+        self.pos = pos
+        self.local: list = []       # [(pos, WhereClause)]
+        self.deps: frozenset = frozenset()
+        self.stats = None
+        self.rows: Optional[float] = None
+        self.sel = 1.0
+
+
+class _Floating:
+    """A conjunct referencing two or more of the run's binders; it
+    places after the last binder it needs in whatever order is chosen
+    (exactly where filter hoisting would have put it)."""
+
+    __slots__ = ("pos", "where", "needs", "sel", "applied")
+
+    def __init__(self, pos: int, where, needs: frozenset, sel: float):
+        self.pos = pos
+        self.where = where
+        self.needs = needs
+        self.sel = sel
+        self.applied = False
+
+
+def _reorder_clauses(clauses, estimator: CostEstimator,
+                     declared: set[str], external_vars: frozenset):
+    """Greedy smallest-first reorder of independent for clauses, run by
+    run (a run is a maximal for/let/where stretch; group/order clauses
+    are hard boundaries)."""
+    out: list = []
+    run: list = []
+    bound: set[str] = set()
+
+    def flush() -> None:
+        nonlocal run
+        if run:
+            out.extend(_reorder_run(run, estimator, declared, set(bound),
+                                    external_vars))
+            for clause in run:
+                if isinstance(clause, (ast.ForClause, ast.LetClause)):
+                    bound.add(clause.var)
+            run = []
+
+    for clause in clauses:
+        if isinstance(clause, (ast.ForClause, ast.LetClause,
+                               ast.WhereClause)):
+            run.append(clause)
+        else:
+            flush()
+            out.append(clause)
+            if isinstance(clause, ast.GroupClause):
+                bound.add(clause.partition_var)
+                bound.update(var for _e, var in clause.keys)
+    flush()
+    return out
+
+
+def _join_eq_selectivity(condition, needs: frozenset, units_by_var: dict,
+                         external_vars: frozenset) -> float:
+    """Selectivity of a floating conjunct; equi-join conjuncts price as
+    ``1/max(ndv)`` over the columns they connect (Selinger)."""
+    if isinstance(condition, ast.ValueComparison) and condition.op == "eq":
+        ndvs = []
+        for side in (condition.left, condition.right):
+            for var in needs:
+                column = _scan_column(side, var)
+                if column is not None:
+                    unit = units_by_var.get(var)
+                    ndvs.append(_column_ndv(
+                        unit.stats if unit is not None else None, column))
+                    break
+        known = [n for n in ndvs if n]
+        if known:
+            return 1.0 / max(known)
+        return DEFAULT_SELECTIVITY["eq"]
+    return _shape_selectivity(condition)
+
+
+def _simulate_cost(order, floating) -> float:
+    """Cost of placing *order*'s units: sum of per-step intermediate
+    cardinalities plus each for clause's scan (build) cost."""
+    card = 1.0
+    cost = 0.0
+    placed: set[str] = set()
+    applied: set[int] = set()
+    for unit in order:
+        placed.add(unit.var)
+        if unit.is_for:
+            card *= unit.rows * unit.sel
+            cost += unit.rows
+        for index, floater in enumerate(floating):
+            if index not in applied and floater.needs <= placed:
+                card *= floater.sel
+                applied.add(index)
+        cost += card
+    return cost
+
+
+def _reorder_run(run, estimator: CostEstimator, declared: set[str],
+                 outer_bound: set[str], external_vars: frozenset):
+    """Reorder one for/let/where run, or return it unchanged when the
+    rewrite is illegal (correlation, shadowing, missing statistics) or
+    not clearly profitable."""
+    binder_vars = [c.var for c in run
+                   if isinstance(c, (ast.ForClause, ast.LetClause))]
+    for_count = sum(1 for c in run if isinstance(c, ast.ForClause))
+    if for_count < 2 or len(set(binder_vars)) != len(binder_vars):
+        return run
+    run_vars = set(binder_vars)
+
+    units: list[_Unit] = []
+    units_by_var: dict[str, _Unit] = {}
+    prefix: list = []    # wheres before any binder (stay first)
+    tail: list = []      # wheres that must stay at the run's end
+    floating: list[_Floating] = []
+    current: Optional[_Unit] = None
+    bound_in_run: set[str] = set()
+
+    for pos, clause in enumerate(run):
+        if isinstance(clause, (ast.ForClause, ast.LetClause)):
+            unit = _Unit(clause, pos)
+            source = clause.source if unit.is_for else clause.value
+            unit.deps = frozenset(free_vars(source) & run_vars)
+            if unit.is_for:
+                if free_vars(source) & declared:
+                    return run  # correlated for: keep the written order
+                unit.stats = estimator.table_stats(source)
+                if unit.stats is None or unit.stats.row_count is None:
+                    return run  # cost model needs every for estimated
+                unit.rows = float(unit.stats.row_count)
+            units.append(unit)
+            units_by_var[unit.var] = unit
+            current = unit
+            bound_in_run.add(clause.var)
+            continue
+        needed = frozenset(free_vars(clause.condition) & declared)
+        if not needed <= (outer_bound | bound_in_run):
+            tail.append(clause)  # reads later-bound vars; do not move
+            continue
+        run_deps = needed & run_vars
+        if len(run_deps) >= 2:
+            floating.append(_Floating(pos, clause, run_deps, 1.0))
+        elif len(run_deps) == 1:
+            units_by_var[next(iter(run_deps))].local.append((pos, clause))
+        elif current is None:
+            prefix.append(clause)
+        else:
+            current.local.append((pos, clause))
+
+    for floater in floating:
+        floater.sel = _join_eq_selectivity(
+            floater.where.condition, floater.needs, units_by_var,
+            external_vars)
+    for unit in units:
+        if unit.is_for:
+            for _pos, where in unit.local:
+                unit.sel *= conjunct_selectivity(
+                    where.condition, unit.var, unit.stats, external_vars)
+
+    # Greedy placement: lets go as soon as their dependencies are
+    # bound (preserving their relative order); among ready fors, pick
+    # the one minimizing the resulting intermediate cardinality.
+    lets = [u for u in units if not u.is_for]
+    fors = [u for u in units if u.is_for]
+    order: list[_Unit] = []
+    placed: set[str] = set()
+    applied: set[int] = set()
+    card = 1.0
+    let_index = 0
+    remaining = list(fors)
+
+    def place(unit: _Unit) -> None:
+        nonlocal card
+        placed.add(unit.var)
+        if unit.is_for:
+            card *= unit.rows * unit.sel
+        for index, floater in enumerate(floating):
+            if index not in applied and floater.needs <= placed:
+                card *= floater.sel
+                applied.add(index)
+        order.append(unit)
+
+    while let_index < len(lets) or remaining:
+        progressed = False
+        while let_index < len(lets) \
+                and lets[let_index].deps <= placed:
+            place(lets[let_index])
+            let_index += 1
+            progressed = True
+        if not remaining:
+            if let_index < len(lets):
+                return run  # a let is stuck (shadowed dep); bail out
+            break
+        best = None
+        best_card = None
+        for unit in remaining:
+            trial = placed | {unit.var}
+            trial_card = card * unit.rows * unit.sel
+            for index, floater in enumerate(floating):
+                if index not in applied and floater.needs <= trial:
+                    trial_card *= floater.sel
+            if best is None or trial_card < best_card \
+                    or (trial_card == best_card and unit.pos < best.pos):
+                best, best_card = unit, trial_card
+        remaining.remove(best)
+        place(best)
+        progressed = True
+        if not progressed:  # pragma: no cover - defensive
+            return run
+
+    original_cost = _simulate_cost(units, floating)
+    chosen_cost = _simulate_cost(order, floating)
+    if original_cost <= chosen_cost * REORDER_HYSTERESIS:
+        return run
+
+    # Emit: prefix, then each unit with its now-placeable conjuncts —
+    # eq comparisons first so the join-fusion pass sees a fusable
+    # prefix — then the pinned tail, then the order-restoring sort.
+    emitted: list = list(prefix)
+    placed = set()
+    pending_floats = list(floating)
+    for unit in order:
+        emitted.append(unit.clause)
+        placed.add(unit.var)
+        ready: list = list(unit.local)
+        for floater in list(pending_floats):
+            if floater.needs <= placed:
+                ready.append((floater.pos, floater.where))
+                pending_floats.remove(floater)
+        ready.sort(key=lambda entry: entry[0])
+        eqs = [w for _p, w in ready
+               if isinstance(w.condition, ast.ValueComparison)
+               and w.condition.op == "eq"]
+        rest = [w for _p, w in ready
+                if not (isinstance(w.condition, ast.ValueComparison)
+                        and w.condition.op == "eq")]
+        emitted.extend(eqs)
+        emitted.extend(rest)
+    emitted.extend(where for _p, where in
+                   sorted(((f.pos, f.where) for f in pending_floats)))
+    emitted.extend(tail)
+    original_for_vars = tuple(u.var for u in units if u.is_for)
+    emitted_for_vars = tuple(u.var for u in order if u.is_for)
+    if emitted_for_vars != original_for_vars:
+        emitted.append(RestoreOrderClause(original_for_vars))
+    return emitted
+
+
+def _absorb_join_filters(planned, declared: set[str],
+                         estimator: CostEstimator,
+                         external_vars: frozenset):
+    """Move residual conjuncts that read only a hash join's variable
+    into the join's build filter — each build item is then tested once
+    instead of once per matching output tuple — when the build side is
+    estimated no larger than the join's output (or sizes are unknown)."""
+    out: list = []
+    card: Optional[float] = 1.0
+    index = 0
+    while index < len(planned):
+        clause = planned[index]
+        if not isinstance(clause, HashJoinClause):
+            out.append(clause)
+            card = _advance_estimate(card, clause, estimator,
+                                     external_vars, {})
+            index += 1
+            continue
+        var = clause.for_clause.var
+        stats = estimator.table_stats(clause.for_clause.source)
+        rows = float(stats.row_count) if stats is not None else None
+        matched_card = None
+        if card is not None and rows is not None:
+            matched_card = card * rows
+            for build, probe, _cond in clause.keys:
+                ndv = _column_ndv(stats, _scan_column(build, var))
+                matched_card *= (1.0 / ndv) if ndv \
+                    else DEFAULT_SELECTIVITY["eq"]
+        absorb = (matched_card is None or rows is None
+                  or rows <= matched_card)
+        filters = list(clause.filters)
+        kept: list = []
+        follow = index + 1
+        while follow < len(planned) \
+                and isinstance(planned[follow], ast.WhereClause):
+            condition = planned[follow].condition
+            if absorb and (free_vars(condition) & declared) <= {var}:
+                filters.append(condition)
+            else:
+                kept.append(planned[follow])
+            follow += 1
+        if len(filters) > len(clause.filters):
+            clause = HashJoinClause(clause.for_clause, clause.keys,
+                                    tuple(filters))
+        out.append(clause)
+        out.extend(kept)
+        card = _advance_estimate(card, clause, estimator, external_vars,
+                                 {})
+        for where in kept:
+            card = _advance_estimate(card, where, estimator,
+                                     external_vars, {})
+        index = follow
+    return out
+
+
+def _order_conjuncts(planned, estimator: CostEstimator,
+                     external_vars: frozenset):
+    """Stable-sort each contiguous run of residual where clauses most-
+    selective-first; conjuncts already carved off as pushdown hints
+    sort last (the source is expected to have applied them)."""
+    var_stats: dict[str, object] = {}
+    for clause in planned:
+        if isinstance(clause, ast.ForClause):
+            var_stats[clause.var] = estimator.table_stats(clause.source)
+        elif isinstance(clause, HashJoinClause):
+            var_stats[clause.for_clause.var] = \
+                estimator.table_stats(clause.for_clause.source)
+
+    def ordering_key(where) -> float:
+        condition = where.condition
+        for var, stats in var_stats.items():
+            if stats is None:
+                continue
+            predicate = _sargable(condition, var, external_vars)
+            if predicate is not None:
+                if estimator.pushdown:
+                    return 1.0  # carved off: the residual passes ~all
+                return predicate_selectivity(predicate, stats)
+        return _shape_selectivity(condition)
+
+    out = list(planned)
+    index = 0
+    while index < len(out):
+        if not isinstance(out[index], ast.WhereClause):
+            index += 1
+            continue
+        end = index
+        while end < len(out) and isinstance(out[end], ast.WhereClause):
+            end += 1
+        if end - index > 1:
+            block = out[index:end]
+            block.sort(key=ordering_key)  # stable: ties keep SQL order
+            out[index:end] = block
+        index = end
+    return out
+
+
+def _advance_estimate(card: Optional[float], clause,
+                      estimator: CostEstimator, external_vars: frozenset,
+                      var_stats: dict) -> Optional[float]:
+    """Fold one planned clause into a running cardinality estimate
+    (None = unknown from here on)."""
+    if isinstance(clause, ast.ForClause):
+        stats = estimator.table_stats(clause.source)
+        var_stats[clause.var] = stats
+        if card is None or stats is None:
+            return None
+        return card * float(stats.row_count)
+    if isinstance(clause, HashJoinClause):
+        var = clause.for_clause.var
+        stats = estimator.table_stats(clause.for_clause.source)
+        var_stats[var] = stats
+        if card is None or stats is None:
+            return None
+        result = card * float(stats.row_count)
+        for build, probe, _cond in clause.keys:
+            ndv = _column_ndv(stats, _scan_column(build, var))
+            probe_ndv = 0
+            for probe_var, probe_stats in var_stats.items():
+                column = _scan_column(probe, probe_var)
+                if column is not None:
+                    probe_ndv = _column_ndv(probe_stats, column)
+                    break
+            ok, _value = _constant_value(probe, external_vars)
+            if ok:
+                result *= (1.0 / ndv) if ndv \
+                    else DEFAULT_SELECTIVITY["eq"]
+            else:
+                known = [n for n in (ndv, probe_ndv) if n]
+                result *= (1.0 / max(known)) if known \
+                    else DEFAULT_SELECTIVITY["eq"]
+        for condition in clause.filters:
+            result *= conjunct_selectivity(condition, var, stats,
+                                           external_vars)
+        return result
+    if isinstance(clause, ast.WhereClause):
+        if card is None:
+            return None
+        condition = clause.condition
+        for var, stats in var_stats.items():
+            if stats is None:
+                continue
+            predicate = _sargable(condition, var, external_vars)
+            if predicate is not None:
+                return card * predicate_selectivity(predicate, stats)
+        return card * _shape_selectivity(condition)
+    if isinstance(clause, (ast.LetClause, RestoreOrderClause,
+                           ast.OrderClause)):
+        return card
+    if isinstance(clause, ast.GroupClause):
+        return None  # group count is not modeled
+    return card
+
+
+def estimate_plan(planned, estimator: CostEstimator,
+                  external_vars: frozenset = frozenset()) \
+        -> list[Optional[float]]:
+    """Estimated frames flowing OUT of each planned clause (aligned
+    with *planned*; None where statistics ran out)."""
+    estimates: list[Optional[float]] = []
+    card: Optional[float] = 1.0
+    var_stats: dict[str, object] = {}
+    for clause in planned:
+        card = _advance_estimate(card, clause, estimator, external_vars,
+                                 var_stats)
+        estimates.append(card)
+    return estimates
 
 
 # ---------------------------------------------------------------------------
@@ -366,6 +999,10 @@ def scan_requests(clauses, return_expr, external_vars: frozenset,
                 ok, value = _constant_value(probe, external_vars)
                 if ok:
                     predicates.append(_predicate(column, "eq", value))
+            for condition in clause.filters:
+                predicate = _sargable(condition, var, external_vars)
+                if predicate is not None:
+                    predicates.append(predicate)
         follow = index + 1
         while follow < len(clauses) and \
                 isinstance(clauses[follow], ast.WhereClause):
@@ -448,6 +1085,26 @@ def _sargable(condition, var: str, external_vars: frozenset):
         if column is not None:
             return _predicate(column, "isnull" if condition.local ==
                               "empty" else "notnull")
+    if isinstance(condition, ast.XFunctionCall) \
+            and condition.prefix == "fn-bea" and condition.local == "in3" \
+            and len(condition.args) == 2:
+        # The translator's literal IN-list shape:
+        # fn-bea:in3($var/COL, (v1, v2, ...)). Literal members can
+        # never be NULL, so membership matches the source's IN exactly.
+        column = _scan_column(condition.args[0], var)
+        if column is None:
+            return None
+        members = condition.args[1]
+        items = members.items if isinstance(members, ast.SequenceExpr) \
+            else [members]
+        values: list = []
+        for item in items:
+            ok, value = _constant_value(item, frozenset())
+            if not ok or isinstance(value, ParamRef):
+                return None
+            values.append(value)
+        if values:
+            return _predicate(column, "in", tuple(values))
     return None
 
 
@@ -466,6 +1123,7 @@ def _projection(var: str, clauses, return_expr,
                 exprs.append(clause.for_clause.source)
             for build, probe, cond in clause.keys:
                 exprs.extend((build, probe, cond))
+            exprs.extend(clause.filters)
         elif isinstance(clause, ast.LetClause):
             exprs.append(clause.value)
         elif isinstance(clause, ast.WhereClause):

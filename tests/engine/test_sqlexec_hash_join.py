@@ -1,0 +1,153 @@
+"""The baseline executor's hash equi-join vs its nested loop.
+
+``SQLExecutor`` is the semantics oracle for the whole repo, so its own
+fast path gets the same treatment the XQuery optimizer gets: every join
+shape runs with ``hash_joins`` on and off and the rows must be
+identical — including outer-join padding order, NULL keys, and
+residual (non-equality) ON conjuncts.
+"""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.engine import SQLExecutor, TableProvider
+from repro.engine.table import Storage
+from repro.sql import parse_statement
+from repro.sql.types import SQLType
+from repro.workloads import build_storage
+
+
+def run(storage, sql, hash_joins):
+    executor = SQLExecutor(TableProvider(storage), hash_joins=hash_joins)
+    result = executor.execute(parse_statement(sql))
+    return result.columns, result.rows
+
+
+def assert_parity(storage, sql):
+    assert run(storage, sql, True) == run(storage, sql, False), sql
+
+
+DEMO_JOINS = [
+    "SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C INNER JOIN "
+    "PAYMENTS P ON C.CUSTOMERID = P.CUSTID",
+    "SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C LEFT OUTER JOIN "
+    "PAYMENTS P ON C.CUSTOMERID = P.CUSTID",
+    "SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C RIGHT OUTER JOIN "
+    "PAYMENTS P ON C.CUSTOMERID = P.CUSTID",
+    "SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C FULL OUTER JOIN "
+    "PAYMENTS P ON C.CUSTOMERID = P.CUSTID",
+    # Residual conjunct next to the equality: evaluated per matching
+    # pair, in the written order, with SQL three-valued logic.
+    "SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C LEFT OUTER JOIN "
+    "PAYMENTS P ON C.CUSTOMERID = P.CUSTID AND P.PAYMENT > 50",
+    # Two equality conjuncts (composite key).
+    "SELECT C.CUSTOMERNAME, O.ORDERID FROM CUSTOMERS C INNER JOIN "
+    "PO_CUSTOMERS O ON C.CUSTOMERID = O.CUSTOMERID "
+    "AND C.CUSTOMERID = O.CUSTOMERID",
+    # Three-way chain: the upper join's left side is itself a join.
+    "SELECT C.CUSTOMERNAME, P.PAYMENT, O.ORDERID FROM CUSTOMERS C "
+    "INNER JOIN PAYMENTS P ON C.CUSTOMERID = P.CUSTID "
+    "INNER JOIN PO_CUSTOMERS O ON C.CUSTOMERID = O.CUSTOMERID",
+    # DECIMAL keys: the type gate declines them (Python hashes 100.00
+    # and 100 together but the engine compares exactly), so this must
+    # silently take the nested loop — parity still holds.
+    "SELECT C.CUSTOMERNAME FROM CUSTOMERS C INNER JOIN PAYMENTS P "
+    "ON C.CREDITLIMIT = P.PAYMENT",
+    # Date keys hash fine (exact-type equality).
+    "SELECT A.PAYMENTID, B.PAYMENTID FROM PAYMENTS A INNER JOIN "
+    "PAYMENTS B ON A.PAYDATE = B.PAYDATE",
+]
+
+
+@pytest.mark.parametrize("sql", DEMO_JOINS)
+def test_demo_join_parity(sql):
+    assert_parity(build_storage(), sql)
+
+
+@pytest.fixture()
+def null_key_storage():
+    """Tables whose join keys include NULLs on both sides."""
+    storage = Storage()
+    left = storage.create_table("L", [
+        ("K", SQLType("INTEGER")), ("LV", SQLType("VARCHAR"))])
+    left.insert_many([(1, "a"), (None, "b"), (2, "c"), (1, "d"),
+                      (None, "e"), (3, "f")])
+    right = storage.create_table("R", [
+        ("K", SQLType("INTEGER")), ("RV", SQLType("VARCHAR"))])
+    right.insert_many([(1, "x"), (None, "y"), (3, "z"), (1, "w"),
+                       (4, "q")])
+    return storage
+
+
+@pytest.mark.parametrize("kind", ["INNER", "LEFT OUTER", "RIGHT OUTER",
+                                  "FULL OUTER"])
+def test_null_keys_never_match(null_key_storage, kind):
+    sql = (f"SELECT L.LV, R.RV FROM L {kind} JOIN R ON L.K = R.K")
+    hashed = run(null_key_storage, sql, True)
+    assert hashed == run(null_key_storage, sql, False)
+    # NULL = NULL is UNKNOWN: no ("b"/"e", "y") pairings anywhere.
+    assert ("b", "y") not in hashed[1] and ("e", "y") not in hashed[1]
+
+
+def test_unmatched_padding_order(null_key_storage):
+    """FULL OUTER preserves the nested loop's emission order exactly:
+    left rows in scan order (padded inline), then unmatched right rows
+    in scan order."""
+    sql = "SELECT L.LV, R.RV FROM L FULL OUTER JOIN R ON L.K = R.K"
+    columns, rows = run(null_key_storage, sql, True)
+    assert rows == [
+        ("a", "x"), ("a", "w"), ("b", None), ("c", None), ("d", "x"),
+        ("d", "w"), ("e", None), ("f", "z"), (None, "y"), (None, "q")]
+
+
+def test_hash_path_actually_engages(monkeypatch):
+    """Guard against the suite silently degrading to nested-loop-vs-
+    nested-loop: the equi-join must take the hash path."""
+    calls = []
+    original = SQLExecutor._hash_equi_join
+
+    def spy(self, *args, **kwargs):
+        result = original(self, *args, **kwargs)
+        calls.append(result is not None)
+        return result
+
+    monkeypatch.setattr(SQLExecutor, "_hash_equi_join", spy)
+    run(build_storage(),
+        "SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C INNER JOIN "
+        "PAYMENTS P ON C.CUSTOMERID = P.CUSTID", True)
+    assert calls == [True]
+    # ... and the DECIMAL-keyed join declines (falls back):
+    calls.clear()
+    run(build_storage(),
+        "SELECT C.CUSTOMERNAME FROM CUSTOMERS C INNER JOIN PAYMENTS P "
+        "ON C.CREDITLIMIT = P.PAYMENT", True)
+    assert calls == [False]
+
+
+def test_residual_three_valued_logic():
+    """A residual conjunct evaluating to UNKNOWN drops the pair but
+    keeps outer padding — identically on both paths."""
+    storage = Storage()
+    left = storage.create_table("A", [
+        ("K", SQLType("INTEGER")), ("N", SQLType("INTEGER"))])
+    left.insert_many([(1, 10), (2, None), (3, 30)])
+    right = storage.create_table("B", [
+        ("K", SQLType("INTEGER")), ("M", SQLType("INTEGER"))])
+    right.insert_many([(1, 5), (2, 7), (3, 99)])
+    sql = ("SELECT A.K, B.M FROM A LEFT OUTER JOIN B "
+           "ON A.K = B.K AND A.N > B.M")
+    hashed = run(storage, sql, True)
+    assert hashed == run(storage, sql, False)
+    # K=2 pairs key-wise but N > M is UNKNOWN -> padded, not matched.
+    assert (2, None) in hashed[1] and (2, 7) not in hashed[1]
+
+
+def test_correlated_subquery_join_stays_correct():
+    """Joins referencing outer query variables in ON must not be
+    hashed against a stale environment."""
+    assert_parity(build_storage(),
+                  "SELECT CUSTOMERNAME, (SELECT COUNT(*) FROM PAYMENTS P "
+                  "INNER JOIN PO_CUSTOMERS O ON P.CUSTID = O.CUSTOMERID "
+                  "WHERE P.CUSTID = C.CUSTOMERID) FROM CUSTOMERS C")

@@ -1,0 +1,137 @@
+"""Secondary hash indexes on the in-memory source.
+
+``TableSource`` answers pushed-down equality and IN-list probes from a
+lazily-built, version-guarded ``{value: [row_index, ...]}`` map. These
+tests pin the superset contract (index scans only shrink, residual
+filters still apply), the build/reuse/invalidation lifecycle, and the
+three decline gates: small tables, unselective probes, and inexact
+probe types.
+"""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.engine.table import Storage
+from repro.sources.memory import TableSource, _probe_value_ok
+from repro.sources.spi import Predicate, ScanRequest
+from repro.sql.types import SQLType
+
+
+def make_source(rows=1000, **options):
+    storage = Storage()
+    table = storage.create_table("T", [
+        ("ID", SQLType("INTEGER")),
+        ("GRP", SQLType("VARCHAR")),
+        ("VAL", SQLType("INTEGER")),
+    ])
+    table.insert_many([
+        (i, f"G{i % 100}", (i * 7) % 500) for i in range(rows)])
+    return storage, TableSource(storage, **options)
+
+
+def scan(source, *predicates):
+    return source.scan("T", ScanRequest(predicates=tuple(predicates)))
+
+
+class TestIndexProbes:
+    def test_eq_probe_uses_index(self):
+        _storage, source = make_source()
+        result = scan(source, Predicate("GRP", "eq", "G7"))
+        rows = list(result)
+        assert result.pushed and result.index_used and result.index_built
+        assert [r[0] for r in rows] == [7 + 100 * k for k in range(10)]
+
+    def test_in_probe_restores_scan_order(self):
+        _storage, source = make_source()
+        result = scan(source, Predicate("ID", "in", (990, 3, 500)))
+        assert result.index_used
+        assert [r[0] for r in result] == [3, 500, 990]
+
+    def test_second_probe_reuses_index(self):
+        _storage, source = make_source()
+        assert scan(source, Predicate("GRP", "eq", "G1")).index_built
+        follow = scan(source, Predicate("GRP", "eq", "G2"))
+        assert follow.index_used and not follow.index_built
+
+    def test_insert_invalidates_index(self):
+        storage, source = make_source()
+        list(scan(source, Predicate("GRP", "eq", "G1")))
+        storage.table("T").insert(5000, "G1", 7)
+        result = scan(source, Predicate("GRP", "eq", "G1"))
+        assert result.index_built  # rebuilt under the new token
+        assert 5000 in [r[0] for r in result]
+
+    def test_residual_conjuncts_apply_inline(self):
+        """A multi-conjunct request probes one index and filters the
+        rest in the row stream — never a superset."""
+        _storage, source = make_source()
+        result = scan(source, Predicate("ID", "in", (1, 2, 3, 4)),
+                      Predicate("GRP", "eq", "G2"))
+        assert result.index_used
+        assert [r[0] for r in result] == [2]
+
+    def test_null_rows_never_match(self):
+        storage, source = make_source()
+        storage.table("T").insert(6000, None, 1)
+        result = scan(source, Predicate("GRP", "eq", "G3"))
+        assert None not in {r[1] for r in result}
+
+
+class TestDeclineGates:
+    def test_small_table_declines(self):
+        _storage, source = make_source(rows=100)
+        result = scan(source, Predicate("GRP", "eq", "G7"))
+        assert not result.pushed and not result.index_used
+        assert len(list(result)) == 100  # full scan; engine filters
+
+    def test_unselective_probe_declines(self):
+        """A probe estimated to match most of the table keeps the
+        cached full-scan path."""
+        storage = Storage()
+        table = storage.create_table("T", [
+            ("K", SQLType("VARCHAR"))])
+        table.insert_many([("same",)] * 999 + [("rare",)])
+        source = TableSource(storage)
+        assert not scan(source, Predicate("K", "eq", "same")).pushed
+
+    def test_wide_in_list_declines(self):
+        _storage, source = make_source()
+        values = tuple(f"G{i}" for i in range(60))  # >25% of the table
+        assert not scan(source, Predicate("GRP", "in", values)).pushed
+
+    def test_inexact_probe_type_declines(self):
+        _storage, source = make_source()
+        # float probe against INTEGER: hash semantics differ from the
+        # engine's typed comparison, so the source must decline.
+        assert not scan(source, Predicate("ID", "eq", 3.0)).pushed
+        assert not scan(source, Predicate("ID", "eq", True)).pushed
+
+    def test_unknown_column_declines(self):
+        _storage, source = make_source()
+        assert not scan(source, Predicate("NOPE", "eq", 1)).pushed
+
+    def test_non_equality_op_declines(self):
+        _storage, source = make_source()
+        assert not scan(source, Predicate("VAL", "lt", 100)).pushed
+
+
+class TestProbeTypeGate:
+    @pytest.mark.parametrize("value,kind,ok", [
+        (3, "INTEGER", True),
+        (3.0, "INTEGER", False),
+        (True, "INTEGER", False),
+        ("x", "VARCHAR", True),
+        (3, "VARCHAR", False),
+        (Decimal("1.5"), "DECIMAL", True),
+        (7, "DECIMAL", True),
+        (1.5, "DECIMAL", False),
+        (datetime.date(2005, 1, 1), "DATE", True),
+        (datetime.datetime(2005, 1, 1), "DATE", False),
+        (datetime.datetime(2005, 1, 1, 2), "TIMESTAMP", True),
+        (datetime.time(12, 0), "TIME", True),
+        (0.5, "DOUBLE", False),
+    ])
+    def test_exactness(self, value, kind, ok):
+        assert _probe_value_ok(value, SQLType(kind)) is ok
