@@ -1,7 +1,7 @@
 """Gate benchmark results against the committed baseline.
 
 Compares a fresh ``pytest-benchmark`` JSON report against the repo's
-committed baseline (``BENCH_PR5.json``) and exits nonzero when any
+committed baseline (``BENCH_PR6.json``) and exits nonzero when any
 benchmark regressed by more than the tolerance (default 25%).
 
 Comparison uses each benchmark's *min* round time: the best observed
@@ -28,6 +28,12 @@ Usage::
     # both beat their nested-loop/unoptimized counterparts >=3x with
     # identical rows:
     python benchmarks/compare_baseline.py --join
+
+    # batch executor gate (no results file needed): the reporting-mix
+    # scan query through the full driver must run >=3x faster with the
+    # vectorized batch executor than tuple-at-a-time, with identical
+    # rows:
+    python benchmarks/compare_baseline.py --batch
 """
 
 from __future__ import annotations
@@ -38,7 +44,7 @@ import sys
 from pathlib import Path
 
 _REPO = Path(__file__).resolve().parent.parent
-DEFAULT_BASELINE = _REPO / "BENCH_PR5.json"
+DEFAULT_BASELINE = _REPO / "BENCH_PR6.json"
 #: The pre-hash-join executor numbers the --join gate measures against.
 PR2_BASELINE = _REPO / "BENCH_PR2.json"
 DEFAULT_TOLERANCE = 0.25
@@ -293,6 +299,90 @@ def run_join_gate(min_ratio: float) -> int:
     return 0
 
 
+def run_batch_gate(min_ratio: float) -> int:
+    """The vectorized batch executor must pay for itself end to end.
+
+    Runs the E12 reporting-mix scan query (``SELECT * FROM FACTS`` at
+    500 rows) through the full driver pipeline — translate, XQuery
+    compile+execute, delimited decode — on two otherwise-identical
+    runtimes, one with the default 1024-row batches and one with
+    ``batch_size=0`` (tuple-at-a-time), and fails unless the batched
+    run is at least *min_ratio* faster on its best round with
+    byte-identical rows.
+    """
+    import sys
+    import time
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+    from repro.catalog import Application
+    from repro.config import RuntimeConfig
+    from repro.driver import connect
+    from repro.engine import DSPRuntime, import_tables
+    from repro.workloads.scaling import build_scaled_storage
+    from repro.xquery.vector import VSTATS
+
+    sql = "SELECT * FROM FACTS"
+    rows = 500
+
+    def make_cursor(batch_size: int):
+        storage = build_scaled_storage(rows)
+        application = Application("BenchApp")
+        import_tables(application, "Bench", storage)
+        runtime = DSPRuntime(
+            application, storage,
+            config=RuntimeConfig(batch_size=batch_size))
+        cursor = connect(runtime, format="delimited").cursor()
+        cursor.execute(sql)  # warm translation + plan caches
+        return cursor
+
+    def run(cursor):
+        cursor.execute(sql)
+        return cursor.fetchall()
+
+    def best_of(fn, rounds):
+        best = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    batched = make_cursor(1024)
+    tuple_mode = make_cursor(0)
+
+    failures = []
+    executions = VSTATS.executions
+    if run(batched) != run(tuple_mode):
+        failures.append("batch executor rows differ from tuple "
+                        "executor")
+    if VSTATS.executions == executions:
+        failures.append("vector executor never engaged on the scan "
+                        "query (wholesale fallback?)")
+
+    batched_s = best_of(lambda: run(batched), rounds=9)
+    tuple_s = best_of(lambda: run(tuple_mode), rounds=9)
+    ratio = tuple_s / batched_s
+    print(f"batch gate: {sql!r} @ {rows} rows through the driver")
+    print(f"  batch (1024)    : {batched_s * 1000:9.3f}ms")
+    print(f"  tuple-at-a-time : {tuple_s * 1000:9.3f}ms")
+    print(f"  speedup         : {ratio:.1f}x (required >= "
+          f"{min_ratio:.1f}x)")
+    if ratio < min_ratio:
+        failures.append(f"batch executor only {ratio:.1f}x over tuple "
+                        f"mode (required {min_ratio:.1f}x)")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nOK: batch gate passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", type=Path, nargs="?",
@@ -304,9 +394,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--join", action="store_true",
                         help="run the join effectiveness gate (hash "
                              "equi-join + cost-based planning >= 3x)")
+    parser.add_argument("--batch", action="store_true",
+                        help="run the batch executor gate (vectorized "
+                             "scan >= 3x over tuple-at-a-time)")
     parser.add_argument("--min-ratio", type=float, default=None,
                         help="required improvement ratio for --pushdown "
-                             "(default: 5x) or --join (default: 3x)")
+                             "(default: 5x), --join (default: 3x) or "
+                             "--batch (default: 3x)")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
                         help=f"committed baseline (default: "
                              f"{DEFAULT_BASELINE.name})")
@@ -330,9 +424,11 @@ def main(argv: list[str] | None = None) -> int:
         return run_pushdown_gate(args.min_ratio or 5.0)
     if args.join:
         return run_join_gate(args.min_ratio or 3.0)
+    if args.batch:
+        return run_batch_gate(args.min_ratio or 3.0)
     if args.results is None:
-        parser.error("a results file is required unless --pushdown or "
-                     "--join is given")
+        parser.error("a results file is required unless --pushdown, "
+                     "--join or --batch is given")
 
     strict: dict[str, float] = {}
     for spec in args.strict:

@@ -44,6 +44,10 @@ class RuntimeConfig:
     admission_queue_timeout: float = 5.0
     max_inflight_rows: Optional[int] = 1_000_000
     retry_policy: Optional[object] = None  # engine.lifecycle.RetryPolicy
+    #: Rows per column-oriented batch in the vectorized streaming
+    #: executor. ``0`` disables batching (tuple-at-a-time pipeline).
+    #: Overridable per process with the ``REPRO_BATCH_SIZE`` env var.
+    batch_size: int = 1024
 
     # -- driver ------------------------------------------------------------
     format: str = "delimited"
@@ -61,7 +65,7 @@ class RuntimeConfig:
 ENGINE_FIELDS = frozenset({
     "optimize", "pushdown", "cost", "plan_cache_capacity",
     "max_concurrent_queries", "admission_queue_timeout",
-    "max_inflight_rows", "retry_policy",
+    "max_inflight_rows", "retry_policy", "batch_size",
 })
 DRIVER_FIELDS = frozenset({
     "format", "metadata_latency", "statement_cache_capacity",

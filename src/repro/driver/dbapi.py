@@ -401,6 +401,11 @@ class Cursor:
         self._index = 0
         self._stream: Optional[Iterator[tuple]] = None
         self._fetched = 0
+        #: Rows already charged against the admission slot's in-flight
+        #: budget; with a batched pipeline this tracks rows *buffered*
+        #: by the engine (a whole batch decodes ahead of the fetch
+        #: position), not just rows handed to the application.
+        self._charged_rows = 0
         self._description: Optional[list[tuple]] = None
         self._closed = False
         #: Lifecycle state for the statement in flight: the QueryContext
@@ -546,6 +551,7 @@ class Cursor:
         self._set_description(translation.columns)
         self._index = 0
         self._fetched = 0
+        self._charged_rows = 0
         if streamed:
             self._stream = stream
             self._slot = slot
@@ -705,8 +711,18 @@ class Cursor:
                 except StopIteration:
                     exhausted = True
                     break
-            if chunk and self._slot is not None:
-                self._slot.note_rows(len(chunk))
+            if self._slot is not None:
+                # Charge whichever is further along: rows the engine
+                # has buffered (whole batches decode ahead of the fetch
+                # position) or rows actually handed out. Monotonic, so
+                # each row is charged exactly once.
+                buffered = (context.rows_buffered
+                            if context is not None else 0)
+                total = max(buffered, self._fetched + len(chunk))
+                delta = total - self._charged_rows
+                if delta > 0:
+                    self._slot.note_rows(delta)
+                    self._charged_rows = total
         except Error:
             raise
         except ReproError as exc:

@@ -52,6 +52,22 @@ from .lifecycle import AdmissionController, QueryContext, RetryPolicy
 from .table import Storage, Table
 
 
+def _resolve_batch_size(configured: int) -> int:
+    """The effective batch size: ``REPRO_BATCH_SIZE`` wins over the
+    config when it parses as a non-negative int; junk is ignored."""
+    raw = os.environ.get("REPRO_BATCH_SIZE")
+    if raw is not None:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = configured
+        else:
+            if value < 0:
+                value = configured
+        return value
+    return max(0, int(configured))
+
+
 class DSPRuntime:
     """Hosts one application over its physical sources.
 
@@ -108,6 +124,10 @@ class DSPRuntime:
         #: disables it environment-wide for A/B runs.
         self.cost = (config.cost and config.optimize
                      and os.environ.get("REPRO_COST_PLANNING", "1") != "0")
+        #: Rows per column-oriented batch in the vectorized streaming
+        #: executor; 0 keeps the tuple-at-a-time pipeline everywhere.
+        #: ``REPRO_BATCH_SIZE`` overrides the config for A/B runs.
+        self.batch_size = _resolve_batch_size(config.batch_size)
         #: Runtime-side metrics: the plan cache publishes
         #: ``plan_cache.hits`` / ``plan_cache.misses`` /
         #: ``plan_cache.evictions`` here.
@@ -129,6 +149,12 @@ class DSPRuntime:
         #: are request-specific.
         self._table_elements: dict[tuple[str, str],
                                    tuple[object, list]] = {}
+        #: Columnar twin of ``_table_elements``: materialized column
+        #: lists for unpushed scans, guarded by the same version token.
+        #: Column lists handed to the vectorized executor are read-only
+        #: by contract (operators always build fresh output lists).
+        self._table_columns: dict[tuple[str, str],
+                                  tuple[object, list, int]] = {}
         self.function_call_count = 0
         #: Admission control for top-level queries: bounded concurrency
         #: with a queue-with-timeout, plus a global in-flight streamed
@@ -242,12 +268,21 @@ class DSPRuntime:
         runtime's retry policy: transient failures back off with jitter
         and retry, bounded by the policy's attempt budget and the
         query's deadline."""
+        return self._retry_loop(
+            local, context,
+            lambda: self._run_binding(uri, local, function, binding,
+                                      args, context, scan))
+
+    def _retry_loop(self, local: str, context: Optional[QueryContext],
+                    operation):
+        """The retry policy around one source operation (row or
+        columnar scan): transient failures back off and retry, bounded
+        by the attempt budget and the query's remaining deadline."""
         policy = self.retry_policy
         last: Optional[TransientSourceError] = None
         for attempt in range(policy.attempts):
             try:
-                return self._run_binding(uri, local, function, binding,
-                                         args, context, scan)
+                return operation()
             except TransientSourceError as exc:
                 last = exc
                 if attempt + 1 >= policy.attempts:
@@ -343,6 +378,128 @@ class DSPRuntime:
             self._index_builds.increment()
         return self._rows_to_elements(
             self._project_schema(schema, result.columns), rows)
+
+    # -- columnar scans (vectorized executor) -------------------------------
+
+    def _columnar_target(self, uri: str, local: str):
+        """(function, faulty_binding_or_None, source, table) when the
+        data service function ``{uri}local`` is a zero-arg scan over an
+        SPI source — the only shape the vectorized executor reads in
+        column form. None for every other binding kind."""
+        function = self._functions.get((uri, local))
+        if function is None or function.parameters:
+            return None
+        binding = function.binding
+        faulty = None
+        if isinstance(binding, FaultyBinding):
+            faulty = binding
+            binding = binding.inner
+        if isinstance(binding, TableBinding):
+            source, table = self._default_source, binding.table_name
+        elif isinstance(binding, SourceBinding):
+            source, table = self.sources.get(binding.source), binding.table
+        else:
+            return None
+        if source is None:
+            return None
+        return function, faulty, source, table
+
+    def column_scan_schema(self, uri: str, local: str):
+        """Ordered (column name, xs type) pairs for a columnar-scannable
+        function, or None when the function cannot be scanned in column
+        form (non-source binding, parameters, unknown name)."""
+        target = self._columnar_target(uri, local)
+        if target is None:
+            return None
+        schema = target[0].return_schema
+        return [(decl.name, decl.xs_type) for decl in schema.columns]
+
+    def scan_columns(self, uri: str, local: str,
+                     context: Optional[QueryContext] = None,
+                     scan: Optional[ScanRequest] = None):
+        """The columnar twin of a zero-arg :meth:`call_function`:
+        returns ``(columns, values, row_count)`` where *columns* is the
+        (possibly projected) ``(name, xs_type)`` schema and *values* is
+        one Python-value list per column. Counters, fault injection,
+        retries, and pushdown reduction all match the row path; the
+        returned lists are shared (cached) and must not be mutated."""
+        target = self._columnar_target(uri, local)
+        if target is None:
+            raise UnknownArtifactError(
+                f"data service function {{{uri}}}{local} is not a "
+                f"columnar-scannable source")
+        function, faulty, source, table = target
+        self.function_call_count += 1
+        if context is not None:
+            context.source_calls += 1
+
+        def run():
+            if context is not None:
+                context.check()
+            if faulty is not None:
+                faulty.apply(context)
+            return self._scan_source_columns(uri, local, function, source,
+                                             table, scan, context)
+
+        retryable = (faulty is not None
+                     or isinstance(function.binding, SourceBinding)
+                     or self._default_source_retryable)
+        if retryable:
+            return self._retry_loop(local, context, run)
+        return run()
+
+    def _scan_source_columns(self, uri: str, local: str, function,
+                             source: DataSource, table: str,
+                             request: Optional[ScanRequest],
+                             context: Optional[QueryContext]):
+        """Materialize a source table scan as column lists, mirroring
+        :meth:`_scan_source`'s cache/pushdown/metrics behavior."""
+        schema = function.return_schema
+        if len(schema.columns) != len(source.columns(table)):
+            raise UnknownArtifactError(
+                f"schema/table column count mismatch for {function.name}")
+        reduced = None
+        if self.pushdown and request is not None:
+            reduced = filter_request(
+                source, table, request,
+                [decl.name for decl in schema.columns])
+        batch = self.batch_size or 1024
+        if reduced is None:
+            token = source.version(table)
+            cached = self._table_columns.get((uri, local))
+            if cached is not None and token is not None \
+                    and cached[0] == token:
+                return ([(decl.name, decl.xs_type)
+                         for decl in schema.columns],
+                        cached[1], cached[2])
+            result = source.scan_batches(table, None, context, batch)
+            values = [[] for _ in schema.columns]
+            for block in result:
+                for acc, col in zip(values, block):
+                    acc.extend(col)
+            row_count = len(values[0]) if values else 0
+            self._rows_scanned.add(row_count)
+            if token is not None:
+                self._table_columns[(uri, local)] = (token, values,
+                                                     row_count)
+            return ([(decl.name, decl.xs_type)
+                     for decl in schema.columns], values, row_count)
+        result = source.scan_batches(table, reduced, context, batch)
+        values = [[] for _ in result.columns]
+        for block in result:
+            for acc, col in zip(values, block):
+                acc.extend(col)
+        row_count = len(values[0]) if values else 0
+        self._rows_scanned.add(row_count)
+        if result.pushed:
+            self._rows_pushed.add(row_count)
+        if result.index_used:
+            self._index_hits.increment()
+        if result.index_built:
+            self._index_builds.increment()
+        projected = self._project_schema(schema, result.columns)
+        return ([(decl.name, decl.xs_type)
+                 for decl in projected.columns], values, row_count)
 
     @staticmethod
     def _project_schema(schema: RowSchema, scan_columns) -> RowSchema:
@@ -494,7 +651,8 @@ class DSPRuntime:
                 plan = compile_module(
                     module, resolver=self.call_function,
                     optimize=self.optimize, pushdown=self.pushdown,
-                    statistics=self.statistics_for if self.cost else None)
+                    statistics=self.statistics_for if self.cost else None,
+                    batch_size=self.batch_size, columnar=self)
             estimate = plan.estimated_rows
             if estimate is not None:
                 self._estimated_rows.add(int(round(estimate)))
@@ -506,7 +664,7 @@ class DSPRuntime:
         # misses, forcing one recompile against fresh numbers.
         return self.plan_cache.get_or_load(
             (xquery_text, self.optimize, self.pushdown, self.cost,
-             self._stats_epoch), load)
+             self.batch_size, self._stats_epoch), load)
 
     def execute(self, xquery_text: str,
                 variables: dict[str, object] | None = None,

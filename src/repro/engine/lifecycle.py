@@ -82,7 +82,7 @@ class QueryContext:
     """
 
     __slots__ = ("deadline", "timeout", "token", "rows_emitted",
-                 "source_calls", "_ticks", "_mask")
+                 "source_calls", "rows_buffered", "_ticks", "_mask")
 
     def __init__(self, timeout: Optional[float] = None,
                  token: Optional[CancellationToken] = None,
@@ -97,6 +97,10 @@ class QueryContext:
         self.token = CancellationToken() if token is None else token
         self.rows_emitted = 0
         self.source_calls = 0
+        #: Rows materialized inside the executor ahead of the client's
+        #: fetch position (whole batches buffered by the vectorized
+        #: pipeline). Admission charges max(buffered, fetched).
+        self.rows_buffered = 0
         self._ticks = 0
         # Round the interval down to a power of two so the batch test is
         # a single mask.
@@ -109,6 +113,13 @@ class QueryContext:
         self._ticks += 1
         if (self._ticks & self._mask) == 0:
             self.check()
+
+    def tick_rows(self, count: int) -> None:
+        """Count *count* tuples at once (one columnar batch) and run the
+        full check — batch granularity is the vectorized executor's tick
+        granularity, so cancellation latency is bounded by one batch."""
+        self._ticks += count
+        self.check()
 
     def check(self) -> None:
         """Raise if the query has been cancelled or timed out."""

@@ -16,6 +16,7 @@ from .spi import (
     DataSource,
     Predicate,
     Scan,
+    ScanBatches,
     ScanRequest,
     SourceCapabilities,
     TableStatistics,
@@ -30,6 +31,7 @@ __all__ = [
     "DataSource",
     "Predicate",
     "Scan",
+    "ScanBatches",
     "ScanRequest",
     "SourceCapabilities",
     "TableStatistics",

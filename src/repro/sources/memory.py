@@ -39,6 +39,7 @@ from .spi import (
     DataSource,
     Predicate,
     Scan,
+    ScanBatches,
     ScanRequest,
     SourceCapabilities,
     TableStatistics,
@@ -183,6 +184,38 @@ class TableSource(DataSource):
                     rows=self._iter_indexed(physical, indices, remaining,
                                             positions, context),
                     pushed=True, index_used=True, index_built=built)
+
+    def scan_batches(self, table: str,
+                     request: Optional[ScanRequest] = None,
+                     context=None, batch_size: int = 1024) -> ScanBatches:
+        """Columnar fast path: slice the stored row list directly.
+
+        Only the no-pushdown shape is specialized — an indexed scan
+        already narrows the row set, so the generic adapter's transpose
+        costs little there. Ticks run at batch granularity via
+        ``tick_rows``; staleness (``close()`` mid-scan) is re-checked
+        per batch, matching the row path's per-row ``_check_open``.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self._check_open()
+        physical = self.storage.table(table)
+        predicates = tuple(
+            p for p in (request.predicates if request is not None else ())
+            if self.supports_predicate(table, p))
+        if predicates:
+            return super().scan_batches(table, request, context, batch_size)
+
+        def batches(rows=physical.rows):
+            for start in range(0, len(rows), batch_size):
+                self._check_open()
+                block = rows[start:start + batch_size]
+                if context is not None:
+                    context.tick_rows(len(block))
+                yield [list(col) for col in zip(*block)]
+
+        return ScanBatches(columns=list(physical.columns),
+                           batches=batches(), pushed=False)
 
     def _most_selective(self, table: str,
                         predicates: tuple[Predicate, ...]) -> Predicate:

@@ -108,6 +108,26 @@ class Scan:
         return iter(self.rows)
 
 
+@dataclass
+class ScanBatches:
+    """A columnar scan result: the schema plus a stream of batches.
+
+    Each batch is a list of column value-lists, one list per entry in
+    ``columns`` (positionally aligned), all the same length — the batch
+    row count. ``pushed``/``index_used``/``index_built`` carry the same
+    meaning as on :class:`Scan`.
+    """
+
+    columns: list[tuple[str, SQLType]]
+    batches: Iterable[list[list]]
+    pushed: bool = False
+    index_used: bool = False
+    index_built: bool = False
+
+    def __iter__(self) -> Iterator[list[list]]:
+        return iter(self.batches)
+
+
 @dataclass(frozen=True)
 class ColumnStats:
     """Summary statistics for one column, for the planner's cost model.
@@ -284,6 +304,37 @@ class DataSource:
         optional ``QueryContext`` whose ``tick()`` must run per row.
         """
         raise NotImplementedError
+
+    def scan_batches(self, table: str,
+                     request: Optional[ScanRequest] = None,
+                     context=None, batch_size: int = 1024) -> ScanBatches:
+        """Stream *table* as column-oriented batches of *batch_size* rows.
+
+        The default adapter transposes :meth:`scan`'s row stream, so
+        every source gets a batch surface for free; sources with a
+        columnar fast path (e.g. in-memory lists) override it. The
+        row-level ``tick()`` contract still applies — the adapter relies
+        on :meth:`scan` ticking per row, and overrides must call
+        ``context.tick_rows(n)`` per emitted batch instead.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        result = self.scan(table, request, context)
+
+        def batches(rows=result.rows):
+            block: list[tuple] = []
+            for row in rows:
+                block.append(row)
+                if len(block) >= batch_size:
+                    yield [list(col) for col in zip(*block)]
+                    block = []
+            if block:
+                yield [list(col) for col in zip(*block)]
+
+        return ScanBatches(columns=result.columns, batches=batches(),
+                           pushed=result.pushed,
+                           index_used=result.index_used,
+                           index_built=result.index_built)
 
     # -- lifecycle ---------------------------------------------------------
 

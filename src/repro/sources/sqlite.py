@@ -55,6 +55,7 @@ from .spi import (
     DataSource,
     Predicate,
     Scan,
+    ScanBatches,
     ScanRequest,
     SourceCapabilities,
     TableStatistics,
@@ -378,6 +379,33 @@ class SQLiteSource(DataSource):
         return Scan(columns=list(out_columns),
                     rows=self._iter_rows(sql, params, out_types, context),
                     pushed=bool(predicates))
+
+    def scan_batches(self, table: str,
+                     request: Optional[ScanRequest] = None,
+                     context=None, batch_size: int = 1024) -> ScanBatches:
+        """Batched scan: same SQL/decode path as :meth:`scan`, but rows
+        are transposed into column lists and the lifecycle tick runs
+        once per batch (``tick_rows``) instead of once per row."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        result = self.scan(table, request, None)
+
+        def batches(rows=result.rows):
+            block: list[tuple] = []
+            for row in rows:
+                block.append(row)
+                if len(block) >= batch_size:
+                    if context is not None:
+                        context.tick_rows(len(block))
+                    yield [list(col) for col in zip(*block)]
+                    block = []
+            if block:
+                if context is not None:
+                    context.tick_rows(len(block))
+                yield [list(col) for col in zip(*block)]
+
+        return ScanBatches(columns=result.columns, batches=batches(),
+                           pushed=result.pushed)
 
     def _iter_rows(self, sql, params, out_types, context):
         with self._lock:

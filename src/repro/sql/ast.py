@@ -372,10 +372,14 @@ class SortItem(Node):
 
 @dataclass(frozen=True)
 class Query(Node):
-    """A complete query expression: body plus optional ORDER BY."""
+    """A complete query expression: body plus optional ORDER BY and
+    LIMIT/OFFSET (the common pagination extension; top-level only, like
+    ORDER BY)."""
 
     body: QueryBody
     order_by: tuple[SortItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
 
 
 # ---------------------------------------------------------------------------

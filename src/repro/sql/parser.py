@@ -133,7 +133,31 @@ class Parser:
             self._advance()
             self._expect_keyword("BY")
             order_by = self._parse_sort_items()
-        return ast.Query(body=body, order_by=order_by)
+        limit: int | None = None
+        offset: int | None = None
+        while self._current.is_keyword("LIMIT", "OFFSET"):
+            if not top_level:
+                raise self._error(
+                    f"{self._current.text} is only allowed on the "
+                    f"outermost query")
+            keyword = self._advance().text
+            if keyword == "LIMIT":
+                if limit is not None:
+                    raise self._error("duplicate LIMIT clause")
+                limit = self._unsigned_integer("LIMIT row count")
+            else:
+                if offset is not None:
+                    raise self._error("duplicate OFFSET clause")
+                offset = self._unsigned_integer("OFFSET row count")
+        return ast.Query(body=body, order_by=order_by,
+                         limit=limit, offset=offset)
+
+    def _unsigned_integer(self, what: str) -> int:
+        token = self._current
+        if token.type is not TokenType.INTEGER:
+            raise self._error(f"expected non-negative integer {what}")
+        self._advance()
+        return int(token.text)
 
     def _parse_query_body(self) -> ast.QueryBody:
         left = self._parse_query_term()

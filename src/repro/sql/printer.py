@@ -19,6 +19,10 @@ def print_query(query: ast.Query) -> str:
     if query.order_by:
         keys = ", ".join(_sort_item(item) for item in query.order_by)
         parts.append(f"ORDER BY {keys}")
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    if query.offset is not None:
+        parts.append(f"OFFSET {query.offset}")
     return " ".join(parts)
 
 

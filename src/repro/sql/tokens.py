@@ -31,8 +31,9 @@ RESERVED_WORDS = frozenset({
     "DECIMAL", "DESC", "DISTINCT", "DOUBLE", "ELSE", "END", "ESCAPE",
     "EXCEPT", "EXISTS", "EXTRACT", "FALSE", "FLOAT", "FOR", "FROM", "FULL",
     "GROUP", "HAVING", "IN", "INNER", "INT", "INTEGER", "INTERSECT", "IS",
-    "JOIN", "LEADING", "LEFT", "LIKE", "MAX", "MIN", "NATURAL", "NOT",
-    "NULL", "NULLIF", "NUMERIC", "ON", "OR", "ORDER", "OUTER", "POSITION",
+    "JOIN", "LEADING", "LEFT", "LIKE", "LIMIT", "MAX", "MIN", "NATURAL",
+    "NOT", "NULL", "NULLIF", "NUMERIC", "OFFSET", "ON", "OR", "ORDER",
+    "OUTER", "POSITION",
     "PRECISION", "REAL", "RIGHT", "SELECT", "SMALLINT", "SOME", "SUBSTRING",
     "SUM", "THEN", "TIME", "TIMESTAMP", "TRAILING", "TRIM", "TRUE", "UNION",
     "UNKNOWN", "USING", "VARCHAR", "VARYING", "WHEN", "WHERE",

@@ -169,7 +169,19 @@ class Generator:
         """The RECORD-stream expression without prolog or RECORDSET."""
         self._collect_imports()
         root = GenContext()
-        return self._gen_query(self._unit.bound, root)
+        stream = self._gen_query(self._unit.bound, root)
+        query = self._unit.bound.query
+        if query.limit is not None or query.offset is not None:
+            # SQL LIMIT/OFFSET maps onto fn:subsequence over the RECORD
+            # stream: OFFSET skips (1-based start), LIMIT bounds the
+            # length. Applied outside ORDER BY, matching SQL semantics.
+            start = (query.offset or 0) + 1
+            if query.limit is not None:
+                stream = (f"fn:subsequence((\n{stream}\n), {start}, "
+                          f"{query.limit})")
+            else:
+                stream = f"fn:subsequence((\n{stream}\n), {start})"
+        return stream
 
     def prolog(self) -> str:
         self._collect_imports()

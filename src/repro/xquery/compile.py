@@ -120,20 +120,25 @@ class CompiledQuery:
     these in a bounded LRU keyed by (query text, optimize flag).
     """
 
-    __slots__ = ("module", "compile_seconds", "plan_reports", "_run",
-                 "_stream", "_chunks")
+    __slots__ = ("module", "compile_seconds", "plan_reports", "batched",
+                 "_run", "_stream", "_chunks")
 
     def __init__(self, module: ast.Module, run: _Thunk,
                  stream: Callable[[_Frame], Iterable],
                  chunks: Optional[Callable[[_Frame], Iterator[str]]],
                  compile_seconds: float,
-                 plan_reports: Optional[list] = None):
+                 plan_reports: Optional[list] = None,
+                 batched: bool = False):
         self.module = module
         self.compile_seconds = compile_seconds
         #: Per-FLWOR plan-node reports (labels + estimated rows) when
         #: the module was compiled with cost-based planning; see
         #: :data:`ACTUALS_KEY` for the matching actual counts.
         self.plan_reports = plan_reports or []
+        #: True when the delimited-wrapper body lowered to the columnar
+        #: batch executor (``repro.xquery.vector``); the tuple pipeline
+        #: remains compiled alongside as the exact-semantics fallback.
+        self.batched = batched
         self._run = run
         self._stream = stream
         self._chunks = chunks
@@ -201,7 +206,9 @@ def compile_module(module: ast.Module,
                    resolver: Optional[FunctionResolver] = None,
                    optimize: bool = True,
                    pushdown: bool = True,
-                   statistics=None) -> CompiledQuery:
+                   statistics=None,
+                   batch_size: int = 0,
+                   columnar=None) -> CompiledQuery:
     """Plan and lower *module* into a :class:`CompiledQuery`.
 
     *pushdown* lets the compiler attach advisory
@@ -215,13 +222,22 @@ def compile_module(module: ast.Module,
     (requires *optimize*): build-side choice/for reorder, build-filter
     hoisting, and most-selective-first conjunct ordering, all result-
     preserving (reorders restore original tuple order via ordinals).
+
+    *batch_size* ≥ 1 together with *columnar* (an object exposing the
+    ``column_scan_schema``/``scan_columns`` columnar-scan API, i.e. the
+    DSP runtime) additionally tries to lower the delimited-wrapper body
+    onto the vectorized batch executor (``repro.xquery.vector``); shapes
+    the vector compiler cannot prove out fall back to the tuple pipeline
+    wholesale, so results are always byte-identical.
     """
     started = time.perf_counter()
-    compiler = _Compiler(module, resolver, optimize, pushdown, statistics)
+    compiler = _Compiler(module, resolver, optimize, pushdown, statistics,
+                         batch_size=batch_size, columnar=columnar)
     run, stream, chunks = compiler.compile_body()
     return CompiledQuery(module, run, stream, chunks,
                          time.perf_counter() - started,
-                         compiler.plan_reports)
+                         compiler.plan_reports,
+                         batched=compiler.batched)
 
 
 def _resolver_params(resolver) -> frozenset:
@@ -258,9 +274,12 @@ class _Compiler:
     def __init__(self, module: ast.Module,
                  resolver: Optional[FunctionResolver],
                  optimize: bool, pushdown: bool = True,
-                 statistics=None):
+                 statistics=None, batch_size: int = 0, columnar=None):
         self._static = StaticContext(resolver)
         self._optimize = optimize
+        self._batch_size = max(0, int(batch_size))
+        self._columnar = columnar
+        self.batched = False
         self._external_vars = frozenset(
             decl.name for decl in module.prolog
             if isinstance(decl, ast.VarDecl))
@@ -321,7 +340,60 @@ class _Compiler:
                 return linear
             stages, node_ids = self._pipeline_stages(expr, clauses, hints)
             return _flwor_stream(stages, ret, node_ids)
+        subsequence = self._subsequence_parts(expr)
+        if subsequence is not None:
+            return self._compile_subsequence_stream(*subsequence)
         return self._compile(expr)
+
+    def _subsequence_parts(self, expr) -> Optional[tuple]:
+        """``(source, start, length|None)`` when *expr* is a
+        ``fn:subsequence`` call (the LIMIT/OFFSET translation), else
+        None."""
+        if not (isinstance(expr, ast.XFunctionCall)
+                and expr.local == "subsequence"
+                and 2 <= len(expr.args) <= 3):
+            return None
+        try:
+            if self._static.resolve_prefix(expr.prefix) != FN_URI:
+                return None
+        except XQueryStaticError:
+            return None
+        length = expr.args[2] if len(expr.args) == 3 else None
+        return expr.args[0], expr.args[1], length
+
+    def _compile_subsequence_stream(self, source, start, length) \
+            -> Callable[[_Frame], Iterable]:
+        """Stream ``fn:subsequence(source, start[, length])`` lazily:
+        the source pipeline is consumed only up to the window's end, so
+        a LIMIT query stops reading rows once satisfied. Position
+        arithmetic mirrors ``fn_subsequence`` exactly."""
+        from .functions import _numeric_arg
+
+        items = self._compile_stream(source)
+        start_fn = self._compile(start)
+        length_fn = None if length is None else self._compile(length)
+
+        def stream(frame: _Frame) -> Iterator:
+            value = _numeric_arg([None, start_fn(frame)], 1,
+                                 "fn:subsequence")
+            if value is None:
+                return
+            begin = int(round(float(value)))
+            end = None
+            if length_fn is not None:
+                size = _numeric_arg([None, None, length_fn(frame)], 2,
+                                    "fn:subsequence")
+                end = begin + int(round(float(size)))
+                if end <= max(begin, 1):
+                    return
+            for position, item in enumerate(items(frame), start=1):
+                if position < begin:
+                    continue
+                if end is not None and position >= end:
+                    return
+                yield item
+
+        return stream
 
     def _compile_chunks(self, body: ast.XExpr) \
             -> Optional[Callable[[_Frame], Iterator[str]]]:
@@ -354,6 +426,18 @@ class _Compiler:
                         yield separator
                     yield string_value(value)
 
+        if (separator == "" and self._batch_size >= 1
+                and self._columnar is not None and self._optimize):
+            # Lazy import: vector imports this module for shared
+            # constants, so the cycle must break here.
+            from .vector import try_compile_wrapper
+
+            vectorized = try_compile_wrapper(self, body.args[0],
+                                             self._batch_size,
+                                             self._columnar, chunks)
+            if vectorized is not None:
+                self.batched = True
+                return vectorized
         return chunks
 
     # -- leaves -----------------------------------------------------------

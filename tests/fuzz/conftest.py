@@ -1,0 +1,16 @@
+"""Neutralize the ``REPRO_BATCH_SIZE`` override for this package.
+
+Every test in here pins ``batch_size`` explicitly on *both* sides of a
+differential (the tuple leg needs a real ``batch_size=0``), so the env
+knob — which wins over the config for A/B runs of the rest of the suite
+— must not leak in. The CI ``REPRO_BATCH_SIZE=1`` leg therefore runs
+the committed batch/tuple differential unchanged while forcing
+single-row batches on everything else.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _pin_batch_size(monkeypatch):
+    monkeypatch.delenv("REPRO_BATCH_SIZE", raising=False)

@@ -1,0 +1,210 @@
+"""Seeded generative SQL fuzzer for the batch-executor differential.
+
+Unlike the workload generator (``repro.workloads.generator``), which
+targets the translator's full SQL-92 surface over the fixed demo schema,
+this fuzzer generates the *schemas and data too* — random tables with
+random column types and NULL-heavy rows — and aims its query grammar at
+the vectorized executor's decision surface: projections, sargable and
+residual predicates, equi-joins, IN lists, IS [NOT] NULL, parameters,
+ORDER BY (ASC/DESC over nullable keys), and LIMIT/OFFSET windows that
+straddle batch boundaries. Everything is derived from one integer seed,
+so any failing case reproduces from its seed alone.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+from decimal import Decimal
+
+KINDS = ("int", "string", "decimal", "date")
+
+SQL_TYPE_NAME = {"int": "INTEGER", "string": "VARCHAR",
+                 "decimal": "DECIMAL", "date": "DATE"}
+
+#: Small value pools keep join/predicate hit rates high and include the
+#: codec's interesting shapes: empty strings, XML specials, negative and
+#: trailing-zero decimals.
+_STRINGS = ("alpha", "beta", "gamma", "", "a<b", "x&y", 'q"z',
+            "it's", "  pad  ", "ZZ")
+_DECIMALS = (Decimal("0"), Decimal("1.50"), Decimal("-3.25"),
+             Decimal("10.00"), Decimal("99.99"), Decimal("0.01"))
+_DATES = (datetime.date(2005, 1, 10), datetime.date(2005, 2, 14),
+          datetime.date(2005, 6, 1), datetime.date(2006, 12, 31))
+
+
+@dataclass(frozen=True)
+class FuzzColumn:
+    name: str
+    kind: str
+
+
+@dataclass(frozen=True)
+class FuzzTable:
+    name: str
+    columns: tuple
+    rows: tuple
+
+
+def _value(rng: random.Random, kind: str, null_rate: float):
+    if rng.random() < null_rate:
+        return None
+    if kind == "int":
+        return rng.randint(0, 15)
+    if kind == "string":
+        return rng.choice(_STRINGS)
+    if kind == "decimal":
+        return rng.choice(_DECIMALS)
+    return rng.choice(_DATES)
+
+
+def generate_schema(seed: int) -> tuple:
+    """A deterministic random schema: 2-3 tables, each with an integer
+    key/reference column ``K0`` (shared value range, so equi-joins hit)
+    plus 1-4 typed payload columns, populated with NULL-heavy rows.
+    Table sizes deliberately cover empty, single-row, and multi-batch
+    extents."""
+    rng = random.Random(("schema", seed).__repr__())
+    tables = []
+    for t in range(rng.randint(2, 3)):
+        columns = [FuzzColumn("K0", "int")]
+        for i in range(rng.randint(1, 4)):
+            columns.append(FuzzColumn(f"C{i}", rng.choice(KINDS)))
+        if t == 0:
+            n_rows = rng.randint(5, 45)
+        else:
+            n_rows = rng.choice((0, 1, rng.randint(2, 12),
+                                 rng.randint(13, 45)))
+        null_rate = rng.choice((0.1, 0.25, 0.4))
+        rows = tuple(
+            tuple(_value(rng, c.kind, null_rate) for c in columns)
+            for _ in range(n_rows))
+        tables.append(FuzzTable(f"F{t}", tuple(columns), rows))
+    return tuple(tables)
+
+
+class QueryFuzzer:
+    """Generates queries (sql, params) over a generated schema."""
+
+    def __init__(self, seed: int, schema: tuple):
+        self._rng = random.Random(("query", seed).__repr__())
+        self._schema = schema
+
+    # -- literals ---------------------------------------------------------
+
+    def _literal(self, kind: str) -> tuple:
+        """(sql_text, python_value) for a literal of *kind*."""
+        value = _value(self._rng, kind, 0.0)
+        if kind == "int":
+            return str(value), value
+        if kind == "string":
+            return "'" + value.replace("'", "''") + "'", value
+        if kind == "decimal":
+            text = str(value)
+            if "." not in text:
+                text += ".0"
+            return text, value
+        return f"DATE '{value.isoformat()}'", value
+
+    def _operand(self, kind: str, params: list) -> str:
+        """A literal or a ``?`` parameter of *kind*."""
+        text, value = self._literal(kind)
+        if self._rng.random() < 0.2:
+            params.append(value)
+            return "?"
+        return text
+
+    # -- predicates -------------------------------------------------------
+
+    def _comparison(self, scope: list, params: list) -> str:
+        rng = self._rng
+        alias, table = rng.choice(scope)
+        column = rng.choice(table.columns)
+        op = rng.choice(("=", "<>", "<", "<=", ">", ">="))
+        roll = rng.random()
+        if roll < 0.2:
+            # column-vs-column, same kind (possibly across tables:
+            # a residual the planner cannot push or hash).
+            others = [(a, t, c) for a, t in scope for c in t.columns
+                      if c.kind == column.kind]
+            o_alias, _o_table, o_column = rng.choice(others)
+            if o_alias == alias and o_column.name == column.name:
+                return f"{alias}.{column.name} {op} {alias}.{column.name}"
+            return (f"{alias}.{column.name} {op} "
+                    f"{o_alias}.{o_column.name}")
+        return (f"{alias}.{column.name} {op} "
+                f"{self._operand(column.kind, params)}")
+
+    def _predicate(self, scope: list, params: list) -> str:
+        rng = self._rng
+        roll = rng.random()
+        alias, table = rng.choice(scope)
+        column = rng.choice(table.columns)
+        if roll < 0.12:
+            return (f"{alias}.{column.name} IS "
+                    f"{'NOT ' if rng.random() < 0.5 else ''}NULL")
+        if roll < 0.24:
+            members = ", ".join(
+                self._literal(column.kind)[0]
+                for _ in range(rng.randint(1, 3)))
+            negated = "NOT " if rng.random() < 0.3 else ""
+            return f"{alias}.{column.name} {negated}IN ({members})"
+        if roll < 0.36:
+            left = self._comparison(scope, params)
+            right = self._comparison(scope, params)
+            return f"({left} OR {right})"
+        if roll < 0.42:
+            return f"NOT ({self._comparison(scope, params)})"
+        return self._comparison(scope, params)
+
+    # -- queries ----------------------------------------------------------
+
+    def query(self) -> tuple:
+        """One (sql, params) pair. Equi-joins on the shared ``K0``
+        columns appear ~40% of the time; predicates, ORDER BY, and
+        LIMIT/OFFSET are layered on independently."""
+        rng = self._rng
+        params: list = []
+        tables = list(self._schema)
+        first = rng.choice(tables)
+        scope = [("A", first)]
+        from_parts = [f"{first.name} A"]
+        where_parts = []
+        if len(tables) >= 2 and rng.random() < 0.4:
+            second = rng.choice([t for t in tables if t is not first]
+                                or tables)
+            scope.append(("B", second))
+            from_parts.append(f"{second.name} B")
+            where_parts.append("A.K0 = B.K0")
+
+        columns = [f"{alias}.{column.name}"
+                   for alias, table in scope
+                   for column in table.columns]
+        rng.shuffle(columns)
+        projection = columns[:rng.randint(1, min(4, len(columns)))]
+
+        for _ in range(rng.randint(0, 2)):
+            where_parts.append(self._predicate(scope, params))
+
+        sql = [f"SELECT {', '.join(projection)}",
+               f"FROM {', '.join(from_parts)}"]
+        if where_parts:
+            sql.append("WHERE " + " AND ".join(where_parts))
+
+        if rng.random() < 0.6:
+            keys = []
+            for _ in range(rng.randint(1, 2)):
+                alias, table = rng.choice(scope)
+                column = rng.choice(table.columns)
+                direction = " DESC" if rng.random() < 0.4 else ""
+                keys.append(f"{alias}.{column.name}{direction}")
+            sql.append("ORDER BY " + ", ".join(keys))
+
+        if rng.random() < 0.4:
+            total = sum(len(t.rows) for _a, t in scope) + 2
+            sql.append(f"LIMIT {rng.randint(0, total)}")
+            if rng.random() < 0.5:
+                sql.append(f"OFFSET {rng.randint(0, total)}")
+
+        return " ".join(sql), tuple(params)

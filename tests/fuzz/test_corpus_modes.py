@@ -1,0 +1,50 @@
+"""The existing translator corpus, replayed batch-vs-tuple.
+
+The equivalence battery (tests/integration/test_equivalence.py) already
+proves the tuple executor against the reference SQL engine; here every
+corpus query must additionally produce byte-identical rows, types, and
+rowcounts under the vectorized batch executor — on the in-memory source
+and on SQLite. Queries outside the vector subset (aggregates, outer
+joins, set ops) exercise the wholesale-fallback contract: ``batched``
+may be False, but results must still agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.driver import connect
+from repro.workloads import build_runtime
+
+from tests.integration.test_equivalence import BATTERY, HARD_BATTERY
+from tests.xquery.test_compile_differential import PAPER_EXAMPLES
+
+from .harness import typed
+
+CORPUS = PAPER_EXAMPLES + BATTERY + HARD_BATTERY
+
+_connections: dict = {}
+
+
+def _connection(backend: str, batch_size: int):
+    key = (backend, batch_size)
+    if key not in _connections:
+        _connections[key] = connect(
+            build_runtime(backend=backend, batch_size=batch_size))
+    return _connections[key]
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+@pytest.mark.parametrize("sql", CORPUS)
+def test_corpus_batch_matches_tuple(backend, sql):
+    rows = {}
+    counts = {}
+    for batch_size in (0, 1024):
+        cursor = _connection(backend, batch_size).cursor()
+        cursor.execute(sql)
+        rows[batch_size] = cursor.fetchall()
+        counts[batch_size] = cursor.rowcount
+        cursor.close()
+    assert typed(rows[1024]) == typed(rows[0]), (
+        f"batch/tuple divergence on {backend} for: {sql!r}")
+    assert counts[1024] == counts[0]

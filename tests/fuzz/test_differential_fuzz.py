@@ -1,0 +1,75 @@
+"""The generative differential fuzz battery (PR 6's headline harness).
+
+Each case derives a schema, data, a batch size, and a query from one
+integer seed, then runs the query on four legs — batch/tuple executor ×
+memory/SQLite source — asserting identical rows, order, value types, and
+rowcounts everywhere (or that every leg errors).
+
+``REPRO_FUZZ_CASES`` scales the battery (default 500; CI's smoke step
+runs 100), ``REPRO_FUZZ_SEED`` shifts the seed base so a nightly run can
+explore fresh territory without touching the checked-in defaults. Any
+failure message carries the seed-derived SQL and parameters, so a case
+reproduces from the test id alone.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.xquery.vector import VSTATS
+
+from .harness import Legs, assert_legs_agree, leg_seed_batch_size
+from .sqlgen import QueryFuzzer, generate_schema
+
+CASES = int(os.environ.get("REPRO_FUZZ_CASES", "500"))
+SEED_BASE = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+
+#: Queries drawn per generated schema: amortizes the four runtimes per
+#: schema while still cycling through many schemas.
+QUERIES_PER_SCHEMA = 20
+
+_legs_cache: dict = {}
+_engagement = {"vectorized": 0, "executed": 0}
+
+
+def _legs_for(schema_seed: int) -> Legs:
+    legs = _legs_cache.get(schema_seed)
+    if legs is None:
+        # One schema's legs at a time: four runtimes per schema would
+        # otherwise accumulate across the whole battery.
+        for old in _legs_cache.values():
+            old.close()
+        _legs_cache.clear()
+        schema = generate_schema(schema_seed)
+        legs = Legs(schema, leg_seed_batch_size(schema_seed))
+        _legs_cache[schema_seed] = legs
+    return legs
+
+
+@pytest.mark.parametrize("case", range(CASES))
+def test_fuzz_differential(case):
+    schema_seed = SEED_BASE + case // QUERIES_PER_SCHEMA
+    legs = _legs_for(schema_seed)
+    schema = generate_schema(schema_seed)
+    fuzzer = QueryFuzzer(SEED_BASE * 1_000_003 + case, schema)
+    sql, params = fuzzer.query()
+    before = VSTATS.executions
+    ran = assert_legs_agree(sql, params, legs)
+    if ran:
+        _engagement["executed"] += 1
+        if VSTATS.executions > before:
+            _engagement["vectorized"] += 1
+
+
+def test_zz_fuzz_engagement():
+    """The battery must actually exercise the vector executor — if the
+    compiler silently fell back everywhere, the differential above
+    would be vacuously green. (Named zz so it runs after the cases.)"""
+    assert _engagement["executed"] >= CASES * 0.8, _engagement
+    assert _engagement["vectorized"] >= _engagement["executed"] * 0.5, \
+        _engagement
+    for legs in _legs_cache.values():
+        legs.close()
+    _legs_cache.clear()

@@ -1,0 +1,139 @@
+"""Query lifecycle under the batch executor.
+
+The batched pipeline must not loosen any lifecycle guarantee: a hung or
+slow source still aborts within a small multiple of the deadline (the
+per-batch tick), cancellation from another thread still lands, the
+``max_inflight_rows`` admission budget now counts rows *buffered* by a
+batch (not just rows fetched), and the row-accounting surfaces —
+``Cursor.rowcount`` and the ``rows.streamed`` counter — keep counting
+rows, never batches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import RuntimeConfig
+from repro.catalog import Application
+from repro.driver import OperationalError, connect
+from repro.engine import DSPRuntime, Storage, import_tables
+from repro.engine.faults import FaultProfile, install_fault
+from repro.sql.types import SQLType
+
+
+def _runtime(n_rows: int = 64, **config) -> DSPRuntime:
+    storage = Storage()
+    table = storage.create_table("EVENTS", [
+        ("ID", SQLType("INTEGER")),
+        ("NOTE", SQLType("VARCHAR")),
+    ])
+    table.insert_many([(i, f"note{i}") for i in range(n_rows)])
+    application = Application("LifecycleApp")
+    import_tables(application, "LifecycleProject", storage)
+    return DSPRuntime(application, storage,
+                      config=RuntimeConfig(**config))
+
+
+class TestDeadlinesUnderBatching:
+    def test_hung_source_aborts_within_twice_timeout(self):
+        runtime = _runtime(batch_size=16)
+        install_fault(runtime, "EVENTS", FaultProfile(hang=True))
+        cursor = connect(runtime).cursor()
+        timeout = 0.2
+        started = time.monotonic()
+        with pytest.raises(OperationalError):
+            cursor.execute("SELECT ID FROM EVENTS", timeout=timeout)
+            cursor.fetchall()
+        elapsed = time.monotonic() - started
+        assert elapsed < 2 * timeout, (
+            f"hung source survived {elapsed:.3f}s past a "
+            f"{timeout}s deadline")
+
+    def test_slow_source_aborts_within_twice_timeout(self):
+        runtime = _runtime(batch_size=16)
+        install_fault(runtime, "EVENTS", FaultProfile(latency=5.0))
+        cursor = connect(runtime).cursor()
+        timeout = 0.2
+        started = time.monotonic()
+        with pytest.raises(OperationalError):
+            cursor.execute("SELECT ID FROM EVENTS", timeout=timeout)
+            cursor.fetchall()
+        assert time.monotonic() - started < 2 * timeout
+
+    def test_cross_thread_cancel_lands_between_batches(self):
+        runtime = _runtime(n_rows=256, batch_size=4)
+        install_fault(runtime, "EVENTS", FaultProfile(latency=0.05))
+        cursor = connect(runtime).cursor()
+
+        def cancel_soon():
+            time.sleep(0.02)
+            cursor.cancel()
+
+        thread = threading.Thread(target=cancel_soon)
+        thread.start()
+        with pytest.raises(OperationalError, match="cancel"):
+            cursor.execute("SELECT ID FROM EVENTS")
+            cursor.fetchall()
+        thread.join()
+
+
+class TestAdmissionCountsBufferedRows:
+    def test_buffered_batch_rows_charge_the_inflight_budget(self):
+        # One batch buffers 32 rows; fetching even a single row must
+        # charge all 32 against a 10-row budget and be rejected.
+        runtime = _runtime(n_rows=64, batch_size=32,
+                           max_inflight_rows=10)
+        cursor = connect(runtime).cursor()
+        cursor.execute("SELECT ID FROM EVENTS")
+        with pytest.raises(OperationalError, match="in-flight"):
+            cursor.fetchone()
+
+    def test_tuple_mode_still_charges_fetched_rows_only(self):
+        runtime = _runtime(n_rows=64, batch_size=0,
+                           max_inflight_rows=10)
+        cursor = connect(runtime).cursor()
+        cursor.execute("SELECT ID FROM EVENTS")
+        for _ in range(10):
+            assert cursor.fetchone() is not None
+        with pytest.raises(OperationalError, match="in-flight"):
+            cursor.fetchmany(10)
+
+    def test_budget_at_batch_size_streams_through(self):
+        # Budget >= one batch: draining between batches keeps the
+        # buffered high-water mark inside the budget... but the slot
+        # charges monotonically, so the budget must cover the total.
+        runtime = _runtime(n_rows=64, batch_size=16,
+                           max_inflight_rows=64)
+        cursor = connect(runtime).cursor()
+        cursor.execute("SELECT ID FROM EVENTS")
+        assert len(cursor.fetchall()) == 64
+
+
+class TestRowAccountingRegression:
+    """``rowcount`` and ``rows.streamed`` count rows, not batches."""
+
+    @pytest.mark.parametrize("batch_size", [0, 1, 7, 1024])
+    def test_rowcount_and_streamed_counter_count_rows(self, batch_size):
+        runtime = _runtime(n_rows=20, batch_size=batch_size)
+        connection = connect(runtime)
+        before = connection.stats()["counters"]["rows.streamed"]
+        cursor = connection.cursor()
+        cursor.execute("SELECT ID, NOTE FROM EVENTS")
+        assert cursor.rowcount == -1  # streaming: unknown until drained
+        rows = cursor.fetchall()
+        assert len(rows) == 20
+        assert cursor.rowcount == 20
+        streamed = connection.stats()["counters"]["rows.streamed"]
+        assert streamed - before == 20
+
+    def test_partial_fetch_rowcount_tracks_fetched_rows(self):
+        runtime = _runtime(n_rows=20, batch_size=7)
+        cursor = connect(runtime).cursor()
+        cursor.execute("SELECT ID FROM EVENTS")
+        assert len(cursor.fetchmany(5)) == 5
+        assert cursor.rowcount == -1  # still streaming
+        cursor.fetchall()
+        assert cursor.rowcount == 20
