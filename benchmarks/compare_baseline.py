@@ -1,7 +1,7 @@
 """Gate benchmark results against the committed baseline.
 
 Compares a fresh ``pytest-benchmark`` JSON report against the repo's
-committed baseline (``BENCH_PR6.json``) and exits nonzero when any
+committed baseline (``BENCH_PR7.json``) and exits nonzero when any
 benchmark regressed by more than the tolerance (default 25%).
 
 Comparison uses each benchmark's *min* round time: the best observed
@@ -32,8 +32,15 @@ Usage::
     # batch executor gate (no results file needed): the reporting-mix
     # scan query through the full driver must run >=3x faster with the
     # vectorized batch executor than tuple-at-a-time, with identical
-    # rows:
+    # rows; filter and join shapes must each hold >=0.9x (the batch
+    # executor is never allowed to lose to the tuple path):
     python benchmarks/compare_baseline.py --batch
+
+    # parallel executor gate (no results file needed): a large scan at
+    # parallelism=4 must beat the serial vectorized run >=2.5x with
+    # identical rows. The requirement scales with the machine: ~1.3x
+    # on 2-3 cores, correctness+engagement only on a single core:
+    python benchmarks/compare_baseline.py --parallel
 """
 
 from __future__ import annotations
@@ -44,7 +51,7 @@ import sys
 from pathlib import Path
 
 _REPO = Path(__file__).resolve().parent.parent
-DEFAULT_BASELINE = _REPO / "BENCH_PR6.json"
+DEFAULT_BASELINE = _REPO / "BENCH_PR7.json"
 #: The pre-hash-join executor numbers the --join gate measures against.
 PR2_BASELINE = _REPO / "BENCH_PR2.json"
 DEFAULT_TOLERANCE = 0.25
@@ -309,6 +316,11 @@ def run_batch_gate(min_ratio: float) -> int:
     ``batch_size=0`` (tuple-at-a-time), and fails unless the batched
     run is at least *min_ratio* faster on its best round with
     byte-identical rows.
+
+    Two more shapes — a range filter and the E15-style hash join —
+    each hold a 0.9x floor: the executor-selection heuristic may route
+    them either way, but the batch path is never allowed to *lose* to
+    tuple-at-a-time by more than measurement noise.
     """
     import sys
     import time
@@ -323,8 +335,12 @@ def run_batch_gate(min_ratio: float) -> int:
     from repro.workloads.scaling import build_scaled_storage
     from repro.xquery.vector import VSTATS
 
-    sql = "SELECT * FROM FACTS"
+    scan_sql = "SELECT * FROM FACTS"
+    filter_sql = "SELECT NAME, AMOUNT FROM FACTS WHERE ID > 250"
+    join_sql = ("SELECT F.NAME, D.QTY FROM FACTS F INNER JOIN "
+                "DETAILS D ON F.ID = D.FACTID WHERE D.QTY > 10")
     rows = 500
+    floor_ratio = 0.9
 
     def make_cursor(batch_size: int):
         storage = build_scaled_storage(rows)
@@ -334,10 +350,11 @@ def run_batch_gate(min_ratio: float) -> int:
             application, storage,
             config=RuntimeConfig(batch_size=batch_size))
         cursor = connect(runtime, format="delimited").cursor()
-        cursor.execute(sql)  # warm translation + plan caches
+        for sql in (scan_sql, filter_sql, join_sql):
+            cursor.execute(sql)  # warm translation + plan caches
         return cursor
 
-    def run(cursor):
+    def run(cursor, sql):
         cursor.execute(sql)
         return cursor.fetchall()
 
@@ -355,17 +372,17 @@ def run_batch_gate(min_ratio: float) -> int:
 
     failures = []
     executions = VSTATS.executions
-    if run(batched) != run(tuple_mode):
+    if run(batched, scan_sql) != run(tuple_mode, scan_sql):
         failures.append("batch executor rows differ from tuple "
                         "executor")
     if VSTATS.executions == executions:
         failures.append("vector executor never engaged on the scan "
                         "query (wholesale fallback?)")
 
-    batched_s = best_of(lambda: run(batched), rounds=9)
-    tuple_s = best_of(lambda: run(tuple_mode), rounds=9)
+    batched_s = best_of(lambda: run(batched, scan_sql), rounds=9)
+    tuple_s = best_of(lambda: run(tuple_mode, scan_sql), rounds=9)
     ratio = tuple_s / batched_s
-    print(f"batch gate: {sql!r} @ {rows} rows through the driver")
+    print(f"batch gate: {scan_sql!r} @ {rows} rows through the driver")
     print(f"  batch (1024)    : {batched_s * 1000:9.3f}ms")
     print(f"  tuple-at-a-time : {tuple_s * 1000:9.3f}ms")
     print(f"  speedup         : {ratio:.1f}x (required >= "
@@ -374,12 +391,146 @@ def run_batch_gate(min_ratio: float) -> int:
         failures.append(f"batch executor only {ratio:.1f}x over tuple "
                         f"mode (required {min_ratio:.1f}x)")
 
+    for label, sql in (("filter", filter_sql), ("join", join_sql)):
+        if run(batched, sql) != run(tuple_mode, sql):
+            failures.append(f"{label} shape: batch rows differ from "
+                            f"tuple rows")
+            continue
+        shape_batched_s = best_of(lambda: run(batched, sql), rounds=9)
+        shape_tuple_s = best_of(lambda: run(tuple_mode, sql), rounds=9)
+        shape_ratio = shape_tuple_s / shape_batched_s
+        print(f"batch gate [{label}]: {sql!r}")
+        print(f"  batch (1024)    : {shape_batched_s * 1000:9.3f}ms")
+        print(f"  tuple-at-a-time : {shape_tuple_s * 1000:9.3f}ms")
+        print(f"  ratio           : {shape_ratio:.2f}x (floor >= "
+              f"{floor_ratio:.1f}x)")
+        if shape_ratio < floor_ratio:
+            failures.append(
+                f"{label} shape: batch path {shape_ratio:.2f}x vs "
+                f"tuple baseline, below the {floor_ratio:.1f}x floor")
+
     if failures:
         print("\nFAIL:", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
     print("\nOK: batch gate passed")
+    return 0
+
+
+def run_parallel_gate(min_ratio: float) -> int:
+    """The partitioned parallel executor must pay for itself — scaled
+    to the machine the gate runs on.
+
+    A large scan (50,000 rows, well over the default
+    ``parallel_min_rows`` threshold) runs through the full driver
+    pipeline on a parallel runtime and a serial one. Rows must be
+    byte-identical and the pool must actually have scattered
+    (``parallel.queries >= 1``). The speedup requirement depends on
+    ``os.cpu_count()``: with 4+ cores, parallelism=4 must reach
+    *min_ratio* (default 2.5x); with 2-3 cores, parallelism=2 must
+    reach 1.3x; on a single core only correctness and engagement are
+    enforced — forked workers cannot beat serial without spare cores.
+    """
+    import os
+    import sys
+    import time
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+    from repro.catalog import Application
+    from repro.config import RuntimeConfig
+    from repro.driver import connect
+    from repro.engine import DSPRuntime, import_tables
+    from repro.workloads.scaling import build_scaled_storage
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        parallelism, required = 4, min_ratio
+    elif cores >= 2:
+        parallelism, required = 2, 1.3
+    else:
+        parallelism, required = 2, None
+        print("WARNING: single-core machine — parallel speedup cannot "
+              "manifest; enforcing correctness and engagement only")
+
+    sql = "SELECT * FROM FACTS"
+    rows = 50_000
+
+    def make(parallelism: int):
+        storage = build_scaled_storage(rows)
+        application = Application("BenchApp")
+        import_tables(application, "Bench", storage)
+        runtime = DSPRuntime(
+            application, storage,
+            config=RuntimeConfig(parallelism=parallelism))
+        cursor = connect(runtime, format="delimited").cursor()
+        cursor.execute(sql)  # warm translation/plan caches + fork pool
+        return runtime, cursor
+
+    def run(cursor):
+        cursor.execute(sql)
+        return cursor.fetchall()
+
+    def best_of(fn, rounds):
+        best = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    parallel_runtime, parallel_cursor = make(parallelism)
+    serial_runtime, serial_cursor = make(0)
+
+    failures = []
+    if run(parallel_cursor) != run(serial_cursor):
+        failures.append("parallel rows differ from serial rows")
+
+    counters = parallel_runtime.metrics.snapshot()["counters"]
+    engaged = counters.get("parallel.queries", 0)
+    fallbacks = counters.get("parallel.fallbacks", 0)
+    print(f"parallel gate: {sql!r} @ {rows} rows, parallelism="
+          f"{parallelism} on {cores} core(s)")
+    print(f"  parallel.queries   : {engaged}")
+    print(f"  parallel.partitions: "
+          f"{counters.get('parallel.partitions', 0)}")
+    print(f"  parallel.fallbacks : {fallbacks}")
+    if engaged < 1:
+        failures.append("parallel executor never engaged "
+                        "(parallel.queries=0)")
+    if fallbacks > 0:
+        failures.append(f"parallel executor fell back {fallbacks} "
+                        f"time(s) on an eligible scan")
+
+    parallel_s = best_of(lambda: run(parallel_cursor), rounds=5)
+    serial_s = best_of(lambda: run(serial_cursor), rounds=5)
+    ratio = serial_s / parallel_s
+    print(f"  parallel ({parallelism} workers): "
+          f"{parallel_s * 1000:9.3f}ms")
+    print(f"  serial             : {serial_s * 1000:9.3f}ms")
+    if required is not None:
+        print(f"  speedup            : {ratio:.2f}x (required >= "
+              f"{required:.1f}x)")
+        if ratio < required:
+            failures.append(
+                f"parallel scan only {ratio:.2f}x over serial "
+                f"(required {required:.1f}x at parallelism="
+                f"{parallelism} on {cores} cores)")
+    else:
+        print(f"  speedup            : {ratio:.2f}x (informational — "
+              f"single core)")
+
+    parallel_runtime.close()
+    serial_runtime.close()
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nOK: parallel gate passed")
     return 0
 
 
@@ -396,11 +547,18 @@ def main(argv: list[str] | None = None) -> int:
                              "equi-join + cost-based planning >= 3x)")
     parser.add_argument("--batch", action="store_true",
                         help="run the batch executor gate (vectorized "
-                             "scan >= 3x over tuple-at-a-time)")
+                             "scan >= 3x over tuple-at-a-time, filter/"
+                             "join shapes never below 0.9x)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="run the parallel executor gate (large "
+                             "scan >= 2.5x at parallelism=4 on a 4+ "
+                             "core machine; scaled down on smaller "
+                             "ones)")
     parser.add_argument("--min-ratio", type=float, default=None,
                         help="required improvement ratio for --pushdown "
-                             "(default: 5x), --join (default: 3x) or "
-                             "--batch (default: 3x)")
+                             "(default: 5x), --join (default: 3x), "
+                             "--batch (default: 3x) or --parallel "
+                             "(default: 2.5x on 4+ cores)")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
                         help=f"committed baseline (default: "
                              f"{DEFAULT_BASELINE.name})")
@@ -426,9 +584,11 @@ def main(argv: list[str] | None = None) -> int:
         return run_join_gate(args.min_ratio or 3.0)
     if args.batch:
         return run_batch_gate(args.min_ratio or 3.0)
+    if args.parallel:
+        return run_parallel_gate(args.min_ratio or 2.5)
     if args.results is None:
         parser.error("a results file is required unless --pushdown, "
-                     "--join or --batch is given")
+                     "--join, --batch or --parallel is given")
 
     strict: dict[str, float] = {}
     for spec in args.strict:

@@ -48,6 +48,15 @@ class RuntimeConfig:
     #: executor. ``0`` disables batching (tuple-at-a-time pipeline).
     #: Overridable per process with the ``REPRO_BATCH_SIZE`` env var.
     batch_size: int = 1024
+    #: Worker processes for partitioned scatter/gather execution of
+    #: vectorized scans. ``0`` (the default) disables parallelism;
+    #: ``N >= 2`` splits eligible scans into up to N partitions run on
+    #: a process pool. Overridable with ``REPRO_PARALLELISM``.
+    parallelism: int = 0
+    #: Minimum estimated row count before a scan is worth scattering
+    #: across the pool — small scans must not pay the fork/IPC tax.
+    #: Overridable with ``REPRO_PARALLEL_MIN_ROWS``.
+    parallel_min_rows: int = 5_000
 
     # -- driver ------------------------------------------------------------
     format: str = "delimited"
@@ -66,6 +75,7 @@ ENGINE_FIELDS = frozenset({
     "optimize", "pushdown", "cost", "plan_cache_capacity",
     "max_concurrent_queries", "admission_queue_timeout",
     "max_inflight_rows", "retry_policy", "batch_size",
+    "parallelism", "parallel_min_rows",
 })
 DRIVER_FIELDS = frozenset({
     "format", "metadata_latency", "statement_cache_capacity",

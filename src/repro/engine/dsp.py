@@ -52,10 +52,10 @@ from .lifecycle import AdmissionController, QueryContext, RetryPolicy
 from .table import Storage, Table
 
 
-def _resolve_batch_size(configured: int) -> int:
-    """The effective batch size: ``REPRO_BATCH_SIZE`` wins over the
-    config when it parses as a non-negative int; junk is ignored."""
-    raw = os.environ.get("REPRO_BATCH_SIZE")
+def _env_int(name: str, configured: int) -> int:
+    """An int knob: the *name* env var wins over the config when it
+    parses as a non-negative int; junk is ignored."""
+    raw = os.environ.get(name)
     if raw is not None:
         try:
             value = int(raw)
@@ -66,6 +66,12 @@ def _resolve_batch_size(configured: int) -> int:
                 value = configured
         return value
     return max(0, int(configured))
+
+
+def _resolve_batch_size(configured: int) -> int:
+    """The effective batch size: ``REPRO_BATCH_SIZE`` wins over the
+    config when it parses as a non-negative int; junk is ignored."""
+    return _env_int("REPRO_BATCH_SIZE", configured)
 
 
 class DSPRuntime:
@@ -128,6 +134,17 @@ class DSPRuntime:
         #: executor; 0 keeps the tuple-at-a-time pipeline everywhere.
         #: ``REPRO_BATCH_SIZE`` overrides the config for A/B runs.
         self.batch_size = _resolve_batch_size(config.batch_size)
+        #: Worker processes for partitioned scatter/gather execution;
+        #: 0 keeps every scan serial. ``REPRO_PARALLELISM`` overrides
+        #: the config, and ``REPRO_PARALLEL_MIN_ROWS`` tunes the
+        #: estimated-row threshold below which scattering is skipped.
+        self.parallelism = _env_int("REPRO_PARALLELISM",
+                                    config.parallelism)
+        self.parallel_min_rows = _env_int("REPRO_PARALLEL_MIN_ROWS",
+                                          config.parallel_min_rows)
+        #: Lazy fork-server state for engine.parallel (created on first
+        #: eligible scatter, torn down in close()).
+        self._pool = None
         #: Runtime-side metrics: the plan cache publishes
         #: ``plan_cache.hits`` / ``plan_cache.misses`` /
         #: ``plan_cache.evictions`` here.
@@ -171,6 +188,24 @@ class DSPRuntime:
         #: ``source.failures`` on this runtime's metrics.
         self.retry_policy = RetryPolicy() if config.retry_policy is None \
             else config.retry_policy
+        self._init_counters()
+        #: Table statistics cache for cost-based planning, keyed by
+        #: function identity and guarded by the source's ``version``
+        #: token. ``_stats_epoch`` counts cache (re)computations and
+        #: source registrations; it is part of the plan-cache key, so a
+        #: plan built over stale statistics is recompiled (once) rather
+        #: than reused forever.
+        self._stats_cache: dict[tuple[str, str], tuple[object, object]] = {}
+        self._stats_epoch = 0
+        for project, service in application.all_data_services():
+            uri = function_namespace(project, service)
+            for function in service.functions.values():
+                self._functions[(uri, function.name)] = function
+
+    def _init_counters(self) -> None:
+        """Bind the runtime's named counters/histograms against the
+        current metrics registry (re-run after a fork swaps it)."""
+        #: Per-source retry with backoff+jitter publishes these.
         self._source_retries = self.metrics.counter("source.retries")
         self._source_failures = self.metrics.counter("source.failures")
         #: Pushdown observability: rows actually pulled out of sources,
@@ -185,18 +220,17 @@ class DSPRuntime:
         #: compiles; paired with per-node actuals in EXPLAIN output.
         self._estimated_rows = self.metrics.counter(
             "planner.estimated_rows")
-        #: Table statistics cache for cost-based planning, keyed by
-        #: function identity and guarded by the source's ``version``
-        #: token. ``_stats_epoch`` counts cache (re)computations and
-        #: source registrations; it is part of the plan-cache key, so a
-        #: plan built over stale statistics is recompiled (once) rather
-        #: than reused forever.
-        self._stats_cache: dict[tuple[str, str], tuple[object, object]] = {}
-        self._stats_epoch = 0
-        for project, service in application.all_data_services():
-            uri = function_namespace(project, service)
-            for function in service.functions.values():
-                self._functions[(uri, function.name)] = function
+        #: Scatter/gather observability: queries that ran partitioned,
+        #: partitions scattered, distinct pool workers used, wholesale
+        #: fallbacks to the serial path, and gather-merge wall time.
+        self._parallel_queries = self.metrics.counter("parallel.queries")
+        self._parallel_partitions = self.metrics.counter(
+            "parallel.partitions")
+        self._parallel_workers = self.metrics.counter("parallel.workers")
+        self._parallel_fallbacks = self.metrics.counter(
+            "parallel.fallbacks")
+        self._gather_seconds = self.metrics.histogram(
+            "parallel.gather_seconds")
 
     # -- source registry -----------------------------------------------------
 
@@ -218,9 +252,55 @@ class DSPRuntime:
                 f"no data source {name!r} registered") from None
 
     def close(self) -> None:
-        """Close every registered source (idempotent)."""
+        """Close every registered source (idempotent) and tear down the
+        worker pool if one was started."""
+        self.shutdown_pool()
         for source in self.sources.values():
             source.close()
+
+    # -- parallel execution --------------------------------------------------
+
+    def try_parallel(self, plan, state):
+        """Scatter an eligible vectorized plan across the process pool;
+        None means "run serially" (ineligible, below threshold, or any
+        worker-side failure — the serial path is the fallback for every
+        parallel problem)."""
+        if self.parallelism < 2:
+            return None
+        from . import parallel
+        return parallel.execute(self, plan, state)
+
+    def shutdown_pool(self) -> None:
+        """Terminate the scatter/gather worker pool (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def reset_after_fork(self) -> None:
+        """Re-initialize process-local state inside a pool worker.
+
+        The fork snapshot shares no execution with the parent from here
+        on: locks may have been captured mid-acquire, so every
+        lock-bearing structure (metrics, plan cache, admission) is
+        rebuilt, sources get their own reset hook, and parallelism is
+        forced off — workers never nest pools. Plain-dict caches
+        (element trees, column lists, statistics) stay: they describe
+        the copy-on-write snapshot the worker scans.
+        """
+        self.parallelism = 0
+        self._pool = None
+        self.metrics = MetricsRegistry()
+        self._init_counters()
+        self.plan_cache = LRUCache(self.config.plan_cache_capacity,
+                                   registry=self.metrics,
+                                   prefix="plan_cache")
+        self.admission = AdmissionController(
+            max_concurrent=self.config.max_concurrent_queries,
+            queue_timeout=self.config.admission_queue_timeout,
+            max_inflight_rows=self.config.max_inflight_rows)
+        for source in self.sources.values():
+            source.reset_after_fork()
 
     # -- function execution -------------------------------------------------
 
@@ -416,13 +496,17 @@ class DSPRuntime:
 
     def scan_columns(self, uri: str, local: str,
                      context: Optional[QueryContext] = None,
-                     scan: Optional[ScanRequest] = None):
+                     scan: Optional[ScanRequest] = None,
+                     partition=None):
         """The columnar twin of a zero-arg :meth:`call_function`:
         returns ``(columns, values, row_count)`` where *columns* is the
         (possibly projected) ``(name, xs_type)`` schema and *values* is
         one Python-value list per column. Counters, fault injection,
         retries, and pushdown reduction all match the row path; the
-        returned lists are shared (cached) and must not be mutated."""
+        returned lists are shared (cached) and must not be mutated.
+        *partition* (a :class:`repro.sources.PartitionSpec`) restricts
+        the scan to one partition; partition scans bypass the column
+        cache — their results are partition-specific."""
         target = self._columnar_target(uri, local)
         if target is None:
             raise UnknownArtifactError(
@@ -439,7 +523,8 @@ class DSPRuntime:
             if faulty is not None:
                 faulty.apply(context)
             return self._scan_source_columns(uri, local, function, source,
-                                             table, scan, context)
+                                             table, scan, context,
+                                             partition)
 
         retryable = (faulty is not None
                      or isinstance(function.binding, SourceBinding)
@@ -451,7 +536,8 @@ class DSPRuntime:
     def _scan_source_columns(self, uri: str, local: str, function,
                              source: DataSource, table: str,
                              request: Optional[ScanRequest],
-                             context: Optional[QueryContext]):
+                             context: Optional[QueryContext],
+                             partition=None):
         """Materialize a source table scan as column lists, mirroring
         :meth:`_scan_source`'s cache/pushdown/metrics behavior."""
         schema = function.return_schema
@@ -464,6 +550,24 @@ class DSPRuntime:
                 source, table, request,
                 [decl.name for decl in schema.columns])
         batch = self.batch_size or 1024
+        if partition is not None:
+            result = source.scan_partition_batches(partition, reduced,
+                                                   context, batch)
+            values = [[] for _ in result.columns]
+            for block in result:
+                for acc, col in zip(values, block):
+                    acc.extend(col)
+            row_count = len(values[0]) if values else 0
+            self._rows_scanned.add(row_count)
+            if result.pushed:
+                self._rows_pushed.add(row_count)
+            if result.index_used:
+                self._index_hits.increment()
+            if result.index_built:
+                self._index_builds.increment()
+            projected = self._project_schema(schema, result.columns)
+            return ([(decl.name, decl.xs_type)
+                     for decl in projected.columns], values, row_count)
         if reduced is None:
             token = source.version(table)
             cached = self._table_columns.get((uri, local))
@@ -653,6 +757,10 @@ class DSPRuntime:
                     optimize=self.optimize, pushdown=self.pushdown,
                     statistics=self.statistics_for if self.cost else None,
                     batch_size=self.batch_size, columnar=self)
+            if plan.vector_plan is not None:
+                # The scatter executor re-prepares the plan by text in
+                # each worker; stamp the text so it can be shipped.
+                plan.vector_plan.xquery_text = xquery_text
             estimate = plan.estimated_rows
             if estimate is not None:
                 self._estimated_rows.add(int(round(estimate)))

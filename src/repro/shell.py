@@ -246,6 +246,14 @@ class Shell:
                   f"index_hits={index_hits} index_builds={index_builds}")
         estimated = runtime_counters.get("planner.estimated_rows", 0)
         self._out(f"PLANNER: estimated_rows={estimated}")
+        self._out(
+            f"PARALLEL: "
+            f"queries={runtime_counters.get('parallel.queries', 0)} "
+            f"partitions="
+            f"{runtime_counters.get('parallel.partitions', 0)} "
+            f"workers={runtime_counters.get('parallel.workers', 0)} "
+            f"fallbacks="
+            f"{runtime_counters.get('parallel.fallbacks', 0)}")
 
     # -- loops --------------------------------------------------------------
 

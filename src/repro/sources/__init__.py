@@ -14,6 +14,7 @@ from .spi import (
     PREDICATE_OPS,
     ColumnStats,
     DataSource,
+    PartitionSpec,
     Predicate,
     Scan,
     ScanBatches,
@@ -29,6 +30,7 @@ __all__ = [
     "PREDICATE_OPS",
     "ColumnStats",
     "DataSource",
+    "PartitionSpec",
     "Predicate",
     "Scan",
     "ScanBatches",

@@ -37,6 +37,7 @@ from ..engine.table import Storage
 from ..sql.types import SQLType
 from .spi import (
     DataSource,
+    PartitionSpec,
     Predicate,
     Scan,
     ScanBatches,
@@ -216,6 +217,99 @@ class TableSource(DataSource):
 
         return ScanBatches(columns=list(physical.columns),
                            batches=batches(), pushed=False)
+
+    def partitions(self, table: str,
+                   request: Optional[ScanRequest] = None,
+                   target: int = 2) -> Optional[list[PartitionSpec]]:
+        """Contiguous row-index ranges: [lower, upper) over the stored
+        row list. Concatenated in index order they replay the physical
+        scan order exactly (append-only storage keeps positions stable
+        for one version token)."""
+        self._check_open()
+        if target < 2:
+            return None
+        total = len(self.storage.table(table).rows)
+        if total < 2:
+            return None
+        count = min(target, total)
+        step = total / count
+        bounds = [round(i * step) for i in range(count + 1)]
+        bounds[-1] = total
+        return [PartitionSpec(table=table, index=i, count=count,
+                              kind="rows", lower=bounds[i],
+                              upper=bounds[i + 1])
+                for i in range(count)]
+
+    def scan_partition(self, spec: PartitionSpec,
+                       request: Optional[ScanRequest] = None,
+                       context=None) -> Scan:
+        self._check_open()
+        if spec.kind != "rows":
+            raise ValueError(f"unsupported partition kind {spec.kind!r}")
+        physical = self.storage.table(spec.table)
+        lower, upper = int(spec.lower), int(spec.upper)
+        predicates = tuple(
+            p for p in (request.predicates if request is not None else ())
+            if self.supports_predicate(spec.table, p))
+        if not predicates:
+            return Scan(columns=list(physical.columns),
+                        rows=self._iter_range(physical, lower, upper,
+                                              context),
+                        pushed=False)
+        probe = self._most_selective(spec.table, predicates)
+        index, built = self._index(spec.table, probe.column, physical)
+        if probe.op == "eq":
+            hits = index.get(probe.value, ())
+        else:
+            merged: set[int] = set()
+            for value in probe.value:
+                merged.update(index.get(value, ()))
+            hits = sorted(merged)
+        indices = [i for i in hits if lower <= i < upper]
+        remaining = tuple(p for p in predicates if p is not probe)
+        positions = {name: i for i, (name, _) in enumerate(physical.columns)}
+        return Scan(columns=list(physical.columns),
+                    rows=self._iter_indexed(physical, indices, remaining,
+                                            positions, context),
+                    pushed=True, index_used=True, index_built=built)
+
+    def scan_partition_batches(self, spec: PartitionSpec,
+                               request: Optional[ScanRequest] = None,
+                               context=None,
+                               batch_size: int = 1024) -> ScanBatches:
+        """Columnar fast path over a row range, mirroring
+        :meth:`scan_batches`' no-pushdown specialization."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self._check_open()
+        if spec.kind != "rows":
+            raise ValueError(f"unsupported partition kind {spec.kind!r}")
+        physical = self.storage.table(spec.table)
+        predicates = tuple(
+            p for p in (request.predicates if request is not None else ())
+            if self.supports_predicate(spec.table, p))
+        if predicates:
+            return super().scan_partition_batches(spec, request, context,
+                                                  batch_size)
+        lower, upper = int(spec.lower), int(spec.upper)
+
+        def batches(rows=physical.rows):
+            for start in range(lower, upper, batch_size):
+                self._check_open()
+                block = rows[start:min(start + batch_size, upper)]
+                if context is not None:
+                    context.tick_rows(len(block))
+                yield [list(col) for col in zip(*block)]
+
+        return ScanBatches(columns=list(physical.columns),
+                           batches=batches(), pushed=False)
+
+    def _iter_range(self, physical, lower, upper, context):
+        for row in physical.rows[lower:upper]:
+            self._check_open()
+            if context is not None:
+                context.tick()
+            yield row
 
     def _most_selective(self, table: str,
                         predicates: tuple[Predicate, ...]) -> Predicate:

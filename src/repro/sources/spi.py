@@ -129,6 +129,33 @@ class ScanBatches:
 
 
 @dataclass(frozen=True)
+class PartitionSpec:
+    """One horizontal slice of a table, for scatter/gather execution.
+
+    The contract binding all partitions of one ``partitions()`` answer:
+    concatenating ``scan_partition(spec)`` row streams in ``index``
+    order yields exactly the rows of a full :meth:`DataSource.scan`
+    with the same request, in the same order, each row exactly once.
+    That makes the parallel gather's order restoration a pure offset
+    computation — no re-sort is needed for the scan's physical order.
+
+    ``kind`` names the carving scheme (``"rows"`` for positional row
+    ranges over materialized tables, ``"rowid"`` for SQLite rowid
+    ranges); ``lower``/``upper`` are the scheme-specific bounds
+    (half-open ``[lower, upper)`` for ``"rows"``, inclusive for
+    ``"rowid"``). Instances must pickle — they are shipped to worker
+    processes verbatim.
+    """
+
+    table: str
+    index: int
+    count: int
+    kind: str = "rows"
+    lower: object = None
+    upper: object = None
+
+
+@dataclass(frozen=True)
 class ColumnStats:
     """Summary statistics for one column, for the planner's cost model.
 
@@ -336,7 +363,72 @@ class DataSource:
                            index_used=result.index_used,
                            index_built=result.index_built)
 
+    # -- partitioning ------------------------------------------------------
+
+    def partitions(self, table: str,
+                   request: Optional[ScanRequest] = None,
+                   target: int = 2) -> Optional[list[PartitionSpec]]:
+        """Split *table* into up to *target* disjoint partitions.
+
+        Returns None (the default) when the source cannot partition the
+        table — the engine then runs the scan serially. A non-None
+        answer must satisfy the :class:`PartitionSpec` concatenation
+        contract for the given *request*; sources should return None
+        rather than a single-element list when splitting is pointless.
+        """
+        return None
+
+    def scan_partition(self, spec: PartitionSpec,
+                       request: Optional[ScanRequest] = None,
+                       context=None) -> Scan:
+        """Scan one partition produced by :meth:`partitions`.
+
+        *request* carries the same advisory semantics as :meth:`scan`;
+        ``pushed`` on the result refers to the request's predicates
+        only, never to the partition carving itself (carving is exact
+        by contract, not advisory).
+        """
+        raise NotImplementedError(
+            f"source {self.name!r} does not support partitioned scans")
+
+    def scan_partition_batches(self, spec: PartitionSpec,
+                               request: Optional[ScanRequest] = None,
+                               context=None,
+                               batch_size: int = 1024) -> ScanBatches:
+        """Stream one partition as column-oriented batches.
+
+        Default adapter transposes :meth:`scan_partition`, mirroring
+        :meth:`scan_batches` over :meth:`scan`.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        result = self.scan_partition(spec, request, context)
+
+        def batches(rows=result.rows):
+            block: list[tuple] = []
+            for row in rows:
+                block.append(row)
+                if len(block) >= batch_size:
+                    yield [list(col) for col in zip(*block)]
+                    block = []
+            if block:
+                yield [list(col) for col in zip(*block)]
+
+        return ScanBatches(columns=result.columns, batches=batches(),
+                           pushed=result.pushed,
+                           index_used=result.index_used,
+                           index_built=result.index_built)
+
     # -- lifecycle ---------------------------------------------------------
+
+    def reset_after_fork(self) -> None:
+        """Re-initialize process-local state in a forked worker.
+
+        Called once in each pool worker before it serves partition
+        scans. The default is a no-op; sources holding locks, file
+        handles, or socket/database connections that must not be shared
+        across a fork boundary override it.
+        """
 
     @property
     def closed(self) -> bool:

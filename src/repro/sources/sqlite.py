@@ -53,6 +53,7 @@ from .spi import (
     COMPARISON_OPS,
     ColumnStats,
     DataSource,
+    PartitionSpec,
     Predicate,
     Scan,
     ScanBatches,
@@ -340,9 +341,12 @@ class SQLiteSource(DataSource):
 
     # -- scanning ----------------------------------------------------------
 
-    def scan(self, table: str, request: Optional[ScanRequest] = None,
-             context=None) -> Scan:
-        self._check_open()
+    def _scan_sql(self, table: str, request: Optional[ScanRequest],
+                  carving: Optional[tuple[int, int]] = None):
+        """Build the scan SELECT. *carving* is an inclusive rowid range
+        appended as an extra WHERE conjunct; it never counts toward
+        ``pushed`` (partition carving is exact by contract, while
+        ``pushed`` reports only the advisory request predicates)."""
         all_columns = self.columns(table)
         by_name = dict(all_columns)
         out_columns = all_columns
@@ -358,27 +362,36 @@ class SQLiteSource(DataSource):
         select_list = ", ".join(_quote(n) for n, _t in out_columns)
         sql = f"SELECT {select_list} FROM {_quote(table)}"
         params: list[object] = []
-        if predicates:
-            clauses = []
-            for p in predicates:
-                if p.op == "isnull":
-                    clauses.append(f"{_quote(p.column)} IS NULL")
-                elif p.op == "notnull":
-                    clauses.append(f"{_quote(p.column)} IS NOT NULL")
-                elif p.op == "in":
-                    marks = ", ".join("?" for _ in p.value)
-                    clauses.append(f"{_quote(p.column)} IN ({marks})")
-                    params.extend(_encode(v, by_name[p.column])
-                                  for v in p.value)
-                else:
-                    clauses.append(f"{_quote(p.column)} {_OP_SQL[p.op]} ?")
-                    params.append(_encode(p.value, by_name[p.column]))
+        clauses = []
+        for p in predicates:
+            if p.op == "isnull":
+                clauses.append(f"{_quote(p.column)} IS NULL")
+            elif p.op == "notnull":
+                clauses.append(f"{_quote(p.column)} IS NOT NULL")
+            elif p.op == "in":
+                marks = ", ".join("?" for _ in p.value)
+                clauses.append(f"{_quote(p.column)} IN ({marks})")
+                params.extend(_encode(v, by_name[p.column])
+                              for v in p.value)
+            else:
+                clauses.append(f"{_quote(p.column)} {_OP_SQL[p.op]} ?")
+                params.append(_encode(p.value, by_name[p.column]))
+        if carving is not None:
+            clauses.append("rowid >= ? AND rowid <= ?")
+            params.extend(carving)
+        if clauses:
             sql += " WHERE " + " AND ".join(clauses)
         sql += " ORDER BY rowid"
+        return sql, params, out_columns, bool(predicates)
+
+    def scan(self, table: str, request: Optional[ScanRequest] = None,
+             context=None) -> Scan:
+        self._check_open()
+        sql, params, out_columns, pushed = self._scan_sql(table, request)
         out_types = [t for _n, t in out_columns]
         return Scan(columns=list(out_columns),
                     rows=self._iter_rows(sql, params, out_types, context),
-                    pushed=bool(predicates))
+                    pushed=pushed)
 
     def scan_batches(self, table: str,
                      request: Optional[ScanRequest] = None,
@@ -389,6 +402,77 @@ class SQLiteSource(DataSource):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         result = self.scan(table, request, None)
+
+        def batches(rows=result.rows):
+            block: list[tuple] = []
+            for row in rows:
+                block.append(row)
+                if len(block) >= batch_size:
+                    if context is not None:
+                        context.tick_rows(len(block))
+                    yield [list(col) for col in zip(*block)]
+                    block = []
+            if block:
+                if context is not None:
+                    context.tick_rows(len(block))
+                yield [list(col) for col in zip(*block)]
+
+        return ScanBatches(columns=result.columns, batches=batches(),
+                           pushed=result.pushed)
+
+    def partitions(self, table: str,
+                   request: Optional[ScanRequest] = None,
+                   target: int = 2) -> Optional[list[PartitionSpec]]:
+        """Inclusive rowid ranges carved from the table's rowid span.
+
+        Rowid gaps (from deletes) only skew partition sizes, never
+        correctness: the ranges tile [MIN(rowid), MAX(rowid)] exactly,
+        and every scan — full or partitioned — orders by rowid, so the
+        concatenation contract holds.
+        """
+        self._check_open()
+        if target < 2:
+            return None
+        with self._lock:
+            self._check_open()
+            low, high, count = self._connection.execute(
+                f"SELECT MIN(rowid), MAX(rowid), COUNT(*) "
+                f"FROM {_quote(table)}").fetchone()
+        if count < 2 or low is None:
+            return None
+        pieces = min(target, count, high - low + 1)
+        if pieces < 2:
+            return None
+        span = high - low + 1
+        step = span / pieces
+        bounds = [low + round(i * step) for i in range(pieces)]
+        bounds.append(high + 1)
+        return [PartitionSpec(table=table, index=i, count=pieces,
+                              kind="rowid", lower=bounds[i],
+                              upper=bounds[i + 1] - 1)
+                for i in range(pieces)]
+
+    def scan_partition(self, spec: PartitionSpec,
+                       request: Optional[ScanRequest] = None,
+                       context=None) -> Scan:
+        self._check_open()
+        if spec.kind != "rowid":
+            raise ValueError(f"unsupported partition kind {spec.kind!r}")
+        sql, params, out_columns, pushed = self._scan_sql(
+            spec.table, request,
+            carving=(int(spec.lower), int(spec.upper)))
+        out_types = [t for _n, t in out_columns]
+        return Scan(columns=list(out_columns),
+                    rows=self._iter_rows(sql, params, out_types, context),
+                    pushed=pushed)
+
+    def scan_partition_batches(self, spec: PartitionSpec,
+                               request: Optional[ScanRequest] = None,
+                               context=None,
+                               batch_size: int = 1024) -> ScanBatches:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        result = self.scan_partition(spec, request, None)
 
         def batches(rows=result.rows):
             block: list[tuple] = []
@@ -432,6 +516,24 @@ class SQLiteSource(DataSource):
                 pass  # connection already closed
 
     # -- lifecycle ---------------------------------------------------------
+
+    def reset_after_fork(self) -> None:
+        """Make the forked copy safe to scan from a worker process.
+
+        The inherited lock may have been held mid-fork, so it is
+        replaced outright. File-backed databases get a fresh connection
+        (SQLite file handles must never be shared across a fork); the
+        inherited handle is abandoned, not closed — closing it could
+        flush shared journal state out from under the parent. For
+        ``:memory:`` the forked pages *are* the database — a fresh
+        connection would be empty — so the copy-on-write snapshot is
+        kept; workers are read-only and staleness is caught by version
+        tokens.
+        """
+        self._lock = threading.RLock()
+        if self.path != ":memory:" and not self._closed:
+            self._connection = sqlite3.connect(
+                self.path, check_same_thread=False)
 
     def close(self) -> None:
         with self._lock:

@@ -38,6 +38,7 @@ from ..xmlmodel import parse_document
 from ..xquery.atomic import parse_lexical
 from .spi import (
     DataSource,
+    PartitionSpec,
     Scan,
     ScanRequest,
     SourceCapabilities,
@@ -120,6 +121,43 @@ class XMLFileSource(DataSource):
             if context is not None:
                 context.tick()
             yield row
+
+    # -- partitioning ------------------------------------------------------
+
+    def partitions(self, table: str,
+                   request: Optional[ScanRequest] = None,
+                   target: int = 2) -> Optional[list[PartitionSpec]]:
+        """Row-index ranges over the materialized parse cache. The
+        whole file is parsed either way, so partitioning buys only
+        downstream (filter/encode) parallelism — still worth it for
+        large documents."""
+        self._check_open()
+        if target < 2:
+            return None
+        _version, _columns, rows = self._load(table)
+        total = len(rows)
+        if total < 2:
+            return None
+        count = min(target, total)
+        step = total / count
+        bounds = [round(i * step) for i in range(count + 1)]
+        bounds[-1] = total
+        return [PartitionSpec(table=table, index=i, count=count,
+                              kind="rows", lower=bounds[i],
+                              upper=bounds[i + 1])
+                for i in range(count)]
+
+    def scan_partition(self, spec: PartitionSpec,
+                       request: Optional[ScanRequest] = None,
+                       context=None) -> Scan:
+        self._check_open()
+        if spec.kind != "rows":
+            raise ValueError(f"unsupported partition kind {spec.kind!r}")
+        _version, columns, rows = self._load(spec.table)
+        window = rows[int(spec.lower):int(spec.upper)]
+        return Scan(columns=list(columns),
+                    rows=self._iter_rows(window, context),
+                    pushed=False)
 
     # -- parsing -----------------------------------------------------------
 

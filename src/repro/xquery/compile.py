@@ -121,14 +121,15 @@ class CompiledQuery:
     """
 
     __slots__ = ("module", "compile_seconds", "plan_reports", "batched",
-                 "_run", "_stream", "_chunks")
+                 "vector_plan", "_run", "_stream", "_chunks")
 
     def __init__(self, module: ast.Module, run: _Thunk,
                  stream: Callable[[_Frame], Iterable],
                  chunks: Optional[Callable[[_Frame], Iterator[str]]],
                  compile_seconds: float,
                  plan_reports: Optional[list] = None,
-                 batched: bool = False):
+                 batched: bool = False,
+                 vector_plan=None):
         self.module = module
         self.compile_seconds = compile_seconds
         #: Per-FLWOR plan-node reports (labels + estimated rows) when
@@ -139,6 +140,10 @@ class CompiledQuery:
         #: batch executor (``repro.xquery.vector``); the tuple pipeline
         #: remains compiled alongside as the exact-semantics fallback.
         self.batched = batched
+        #: The executing ``repro.xquery.vector._VectorPlan`` when
+        #: ``batched`` — the scatter/gather executor reads its shape
+        #: and partition entry points. None on the tuple path.
+        self.vector_plan = vector_plan
         self._run = run
         self._stream = stream
         self._chunks = chunks
@@ -237,7 +242,8 @@ def compile_module(module: ast.Module,
     return CompiledQuery(module, run, stream, chunks,
                          time.perf_counter() - started,
                          compiler.plan_reports,
-                         batched=compiler.batched)
+                         batched=compiler.batched,
+                         vector_plan=compiler.vector_plan)
 
 
 def _resolver_params(resolver) -> frozenset:
@@ -280,6 +286,9 @@ class _Compiler:
         self._batch_size = max(0, int(batch_size))
         self._columnar = columnar
         self.batched = False
+        #: The _VectorPlan when the body lowered to the batch executor;
+        #: carried onto CompiledQuery for the scatter/gather executor.
+        self.vector_plan = None
         self._external_vars = frozenset(
             decl.name for decl in module.prolog
             if isinstance(decl, ast.VarDecl))
@@ -432,12 +441,13 @@ class _Compiler:
             # constants, so the cycle must break here.
             from .vector import try_compile_wrapper
 
-            vectorized = try_compile_wrapper(self, body.args[0],
-                                             self._batch_size,
-                                             self._columnar, chunks)
-            if vectorized is not None:
+            plan = try_compile_wrapper(self, body.args[0],
+                                       self._batch_size,
+                                       self._columnar, chunks)
+            if plan is not None:
                 self.batched = True
-                return vectorized
+                self.vector_plan = plan
+                return plan.chunks
         return chunks
 
     # -- leaves -----------------------------------------------------------

@@ -93,13 +93,15 @@ class _VectorStats(threading.local):
     vector-plan runs, ``fallbacks`` run-time reversions to the tuple
     path, ``batches``/``rows`` the encoded output volume — a lazily
     consumed cursor over a large scan shows O(batches fetched) rows
-    encoded, not O(table)."""
+    encoded, not O(table) — and ``parallel`` the runs that scattered
+    across the process pool."""
 
     def __init__(self):
         self.executions = 0
         self.fallbacks = 0
         self.batches = 0
         self.rows = 0
+        self.parallel = 0
 
 
 VSTATS = _VectorStats()
@@ -650,12 +652,48 @@ class _JoinInfo:
         self.filter_exprs = filter_exprs
 
 
+#: Executor-selection heuristic (estimated rows x operator shape):
+#: below these driving-scan row counts the executor's fixed
+#: per-execution overhead exceeds its per-row win, so the tuple path is
+#: chosen at compile time. Measured on this workload the columnar path
+#: beats the tuple path at every extent for plain scan/filter pipelines
+#: (column slicing is cheaper than per-row frame churn even at one
+#: row), so the scan floor is 0 — i.e. disabled. Join plans pay an
+#: extra full build-side column scan plus hash-table build per
+#: execution, so they keep a small floor. Only active under cost-based
+#: planning (no statistics -> no opinion -> batch).
+_MIN_BATCH_ROWS_SCAN = 0
+_MIN_BATCH_ROWS_JOIN = 4
+
+
+def _prefer_tuple(compiler, clauses) -> bool:
+    """True when the cost model says the driving scan is too small for
+    batch execution to pay for itself (see the constants above)."""
+    has_join = any(isinstance(c, HashJoinClause) for c in clauses)
+    floor = _MIN_BATCH_ROWS_JOIN if has_join else _MIN_BATCH_ROWS_SCAN
+    if floor <= 0:
+        return False
+    estimator = compiler._estimator
+    if estimator is None:
+        return False
+    lead = clauses[0]
+    for_clause = lead.for_clause \
+        if isinstance(lead, HashJoinClause) else lead
+    if not isinstance(for_clause, ast.ForClause):
+        return False
+    stats = estimator.table_stats(for_clause.source)
+    if stats is None:
+        return False
+    return stats.row_count < floor
+
+
 def try_compile_wrapper(compiler, arg, batch_size: int, columnar,
-                        fallback) -> Optional[Callable]:
+                        fallback) -> Optional["_VectorPlan"]:
     """Compile the wrapper's ``fn:string-join`` argument *arg* into a
-    vector plan. Returns a chunks closure or None; *fallback* is the
-    tuple-path closure used when run-time parameter shapes disqualify
-    the plan (results must stay byte-identical)."""
+    vector plan. Returns the :class:`_VectorPlan` (its ``chunks`` bound
+    method is the chunks closure) or None; *fallback* is the tuple-path
+    closure used when run-time parameter shapes disqualify the plan
+    (results must stay byte-identical)."""
     if not isinstance(arg, ast.FLWOR):
         return None
     cc = _Ctx(compiler)
@@ -792,7 +830,10 @@ def try_compile_wrapper(compiler, arg, batch_size: int, columnar,
     if projections is None:
         return None
 
-    plan = _VectorPlan(
+    if _prefer_tuple(compiler, clauses):
+        return None
+
+    return _VectorPlan(
         columnar=columnar,
         batch_size=batch_size,
         stages=stages,
@@ -803,7 +844,6 @@ def try_compile_wrapper(compiler, arg, batch_size: int, columnar,
         outer_fid=compiler._flwor_ids.get(id(arg)),
         fallback=fallback,
     )
-    return plan.chunks
 
 
 # ---------------------------------------------------------------------------
@@ -826,7 +866,9 @@ def _count_rows(batches, actuals: dict, node_id) -> Iterator[_Batch]:
 class _VectorPlan:
     __slots__ = ("columnar", "batch_size", "stages", "window",
                  "projections", "param_names", "inner_fid", "outer_fid",
-                 "fallback", "_escape_flags")
+                 "fallback", "_escape_flags", "xquery_text",
+                 "parallel_ready", "parallel_mode",
+                 "partition_stage_count", "signature")
 
     def __init__(self, columnar, batch_size, stages, window, projections,
                  param_names, inner_fid, outer_fid, fallback):
@@ -841,6 +883,33 @@ class _VectorPlan:
         self.fallback = fallback
         self._escape_flags = [p.vtype not in _NO_ESCAPE_TYPES
                               for p in projections]
+        #: Stamped by DSPRuntime.prepare so the scatter executor can
+        #: re-prepare the identical plan by text in pool workers.
+        self.xquery_text = None
+        #: Scatter/gather shape analysis. Only a plan driven by a plain
+        #: scan can be partitioned (a leading hash join probes the unit
+        #: tuple stream — there is nothing to split). Workers run the
+        #: stage prefix up to the first pipeline breaker (order/restore
+        #: need every row); with no breaker and no window they run the
+        #: whole pipeline including the encode ("encode" mode),
+        #: otherwise they return columns for the parent to finish
+        #: ("batches" mode).
+        self.parallel_ready = bool(stages) and stages[0][0] == "scan"
+        breakers = [i for i, (kind, _p) in enumerate(stages)
+                    if kind in ("order", "restore")]
+        self.partition_stage_count = breakers[0] if breakers \
+            else len(stages)
+        self.parallel_mode = "encode" if not breakers and window is None \
+            else "batches"
+        scan0 = stages[0][1] if self.parallel_ready else None
+        self.signature = (
+            tuple(kind for kind, _p in stages),
+            window,
+            len(projections),
+            tuple(sorted(param_names)),
+            (scan0.uri, scan0.local, scan0.with_ordinal)
+            if scan0 is not None else None,
+        )
 
     # -- entry ------------------------------------------------------------
 
@@ -857,7 +926,94 @@ class _VectorPlan:
         state = _State(frame, frame.variables.get(CONTEXT_KEY), params,
                        frame.variables.get(ACTUALS_KEY))
         VSTATS.executions += 1
+        if self.parallel_ready and state.actuals is None \
+                and self.xquery_text is not None:
+            # EXPLAIN (actuals) stays serial: per-node row accounting
+            # happens inside worker processes and cannot be merged.
+            gathered = self.columnar.try_parallel(self, state)
+            if gathered is not None:
+                VSTATS.parallel += 1
+                return gathered
         return self._encode(state, self._batches(state))
+
+    # -- scatter/gather (engine.parallel) ----------------------------------
+
+    def run_partition(self, frame: _Frame, spec, mode: str):
+        """Worker-side entry: run this plan over one partition.
+
+        In ``"encode"`` mode returns ``(chunk_text, out_rows, scanned)``
+        — the partition's fully encoded output. In ``"batches"`` mode
+        returns ``(cols, out_rows, scanned)`` where *cols* is one
+        column-major dict for the whole partition after the worker-side
+        stage prefix. *scanned* is the partition's scanned (post-
+        pushdown, pre-filter) row count — the parent's ordinal offset.
+        """
+        params: dict = {}
+        for name in self.param_names:
+            bound = frame.variables.get(name, [])
+            if len(bound) > 1 or (bound and is_node(bound[0])):
+                raise XQueryTypeError(
+                    "parameter shape outside the vector subset",
+                    code="FORG0006")
+            params[name] = bound[0] if bound else None
+        state = _State(frame, frame.variables.get(CONTEXT_KEY), params,
+                       None)
+        scanned: list = [0]
+        _head, info = self.stages[0]
+        batches = self._scan(state, info, partition=spec,
+                             scanned=scanned)
+        for kind, payload in self.stages[1:self.partition_stage_count]:
+            if kind == "where":
+                batches = self._where(state, batches, payload)
+            else:  # join (order/restore never sit inside the prefix)
+                batches = self._join(state, batches, payload)
+        if mode == "encode":
+            out_rows = 0
+
+            def counted(source=batches):
+                nonlocal out_rows
+                for b in source:
+                    out_rows += b.n
+                    yield b
+
+            text = "".join(self._encode(state, counted()))
+            return text, out_rows, scanned[0]
+        big = _concat(list(batches))
+        return dict(big.cols), big.n, scanned[0]
+
+    def gather_batches(self, state: _State, parts) -> Iterator[str]:
+        """Parent-side merge for ``"batches"`` mode: *parts* is the
+        per-partition ``(cols, out_rows, scanned)`` list in partition
+        index order. The driving scan's restore-order ordinals were
+        assigned per partition starting at 0; offsetting partition k by
+        the cumulative scanned rows of partitions < k reproduces the
+        serial scan's ordinal assignment exactly, so the downstream
+        order/restore/window stages and the encode are byte-identical.
+        """
+        _head, info = self.stages[0]
+        ord_key = (_ORD, info.var)
+        offset = 0
+        merged = []
+        for cols, n, scanned in parts:
+            column = cols.get(ord_key)
+            if column is not None and offset:
+                cols[ord_key] = [o + offset for o in column]
+            offset += scanned
+            if n:
+                merged.append(_Batch(n, cols))
+        batches: Iterator[_Batch] = iter(merged)
+        for kind, payload in self.stages[self.partition_stage_count:]:
+            if kind == "order":
+                batches = self._order(state, batches, payload)
+            elif kind == "restore":
+                batches = self._restore(state, batches, payload)
+            elif kind == "where":
+                batches = self._where(state, batches, payload)
+            else:
+                batches = self._join(state, batches, payload)
+        if self.window is not None:
+            batches = self._window_batches(batches)
+        return self._encode(state, batches)
 
     def _batches(self, state: _State) -> Iterator[_Batch]:
         head, info = self.stages[0]
@@ -916,16 +1072,21 @@ class _VectorPlan:
                            predicates=tuple(predicates))
         return None if live.is_trivial else live
 
-    def _scan_columns(self, state: _State, info: _ScanInfo):
+    def _scan_columns(self, state: _State, info: _ScanInfo,
+                      partition=None):
         request = self._live_request(info.request, state.frame)
         columns, values, nrows = self.columnar.scan_columns(
-            info.uri, info.local, context=state.ctx, scan=request)
+            info.uri, info.local, context=state.ctx, scan=request,
+            partition=partition)
         colmap = {name: col
                   for (name, _xs), col in zip(columns, values)}
         return colmap, nrows
 
-    def _scan(self, state: _State, info: _ScanInfo) -> Iterator[_Batch]:
-        colmap, nrows = self._scan_columns(state, info)
+    def _scan(self, state: _State, info: _ScanInfo, partition=None,
+              scanned=None) -> Iterator[_Batch]:
+        colmap, nrows = self._scan_columns(state, info, partition)
+        if scanned is not None:
+            scanned[0] = nrows
         var = info.var
         size = self.batch_size
         for start in range(0, nrows, size):

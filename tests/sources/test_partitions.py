@@ -1,0 +1,232 @@
+"""Partition-SPI conformance: one contract, three backends.
+
+The :class:`repro.sources.PartitionSpec` contract — concatenating the
+``scan_partition`` row streams in partition index order replays the
+full ``scan`` with the same request exactly, each row once — is what
+lets the parallel executor restore byte order with plain offset
+arithmetic. Every backend that answers :meth:`DataSource.partitions`
+must satisfy it; this suite is parametrized over all three shipped
+backends so a new partition-capable source only has to add a factory.
+"""
+
+import pickle
+from decimal import Decimal
+
+import pytest
+
+from repro.engine import QueryContext, Storage
+from repro.errors import QueryCancelledError
+from repro.sources import PartitionSpec, Predicate, ScanRequest
+from repro.sources.memory import TableSource
+from repro.sources.sqlite import SQLiteSource
+from repro.sources.xmlfile import XMLFileSource
+from repro.sql.types import SQLType
+
+COLUMNS = [
+    ("ID", SQLType("INTEGER")),
+    ("NAME", SQLType("VARCHAR")),
+    ("AMT", SQLType("DECIMAL", precision=7, scale=2)),
+]
+
+ROWS = [
+    (i,
+     None if i % 5 == 3 else f"name{i}",
+     None if i % 7 == 6 else Decimal(f"{i}.25"))
+    for i in range(11)
+]
+
+
+def _xml_document(rows) -> str:
+    parts = ["<T>"]
+    for row_id, name, amt in rows:
+        parts.append("<R>")
+        parts.append(f"<ID>{row_id}</ID>")
+        parts.append(f"<NAME>{name}</NAME>" if name is not None
+                     else "<NAME/>")
+        parts.append(f"<AMT>{amt}</AMT>" if amt is not None
+                     else "<AMT/>")
+        parts.append("</R>")
+    parts.append("</T>")
+    return "".join(parts)
+
+
+def _make_memory(tmp_path, rows=ROWS):
+    storage = Storage()
+    table = storage.create_table("T", COLUMNS)
+    table.insert_many(rows)
+    return TableSource(storage)
+
+
+def _make_sqlite(tmp_path, rows=ROWS):
+    source = SQLiteSource()
+    source.create_table("T", COLUMNS)
+    source.insert_rows("T", rows)
+    return source
+
+
+def _make_xml(tmp_path, rows=ROWS):
+    path = tmp_path / "T.xml"
+    path.write_text(_xml_document(rows), encoding="utf-8")
+    return XMLFileSource(path, columns={"T": COLUMNS})
+
+
+FACTORIES = {
+    "memory": _make_memory,
+    "sqlite": _make_sqlite,
+    "xml": _make_xml,
+}
+
+
+@pytest.fixture(params=sorted(FACTORIES))
+def source(request, tmp_path):
+    built = FACTORIES[request.param](tmp_path)
+    yield built
+    built.close()
+
+
+def _gather(source, specs, request=None):
+    """Concatenate partition row streams in index order."""
+    rows = []
+    for spec in sorted(specs, key=lambda s: s.index):
+        rows.extend(source.scan_partition(spec, request))
+    return rows
+
+
+class TestConcatenationContract:
+    @pytest.mark.parametrize("target", [2, 3, 4, len(ROWS), 100])
+    def test_union_replays_full_scan(self, source, target):
+        specs = source.partitions("T", None, target)
+        assert specs is not None
+        assert 2 <= len(specs) <= min(target, len(ROWS))
+        assert _gather(source, specs) == list(source.scan("T"))
+
+    def test_partitions_are_disjoint_and_complete(self, source):
+        specs = source.partitions("T", None, 3)
+        rows = _gather(source, specs)
+        assert sorted(r[0] for r in rows) == [r[0] for r in ROWS]
+
+    def test_spec_metadata_consistent(self, source):
+        specs = source.partitions("T", None, 3)
+        assert [s.index for s in specs] == list(range(len(specs)))
+        assert all(s.count == len(specs) for s in specs)
+        assert all(s.table == "T" for s in specs)
+
+    def test_union_with_pushed_request_matches_full_scan(self, source):
+        request = ScanRequest(predicates=(
+            Predicate("ID", "in", (1, 4, 7, 9)),))
+        full = list(source.scan("T", request))
+        specs = source.partitions("T", request, 3)
+        assert _gather(source, specs, request) == full
+
+    def test_union_with_eq_request_matches_full_scan(self, source):
+        request = ScanRequest(predicates=(Predicate("ID", "eq", 6),))
+        full = list(source.scan("T", request))
+        specs = source.partitions("T", request, 2)
+        assert _gather(source, specs, request) == full
+
+
+class TestPushedFlags:
+    def test_pushed_refers_to_request_not_carving(self, source):
+        # No request predicates -> pushed must be False even though
+        # the carving itself restricted the rows.
+        specs = source.partitions("T", None, 2)
+        for spec in specs:
+            assert source.scan_partition(spec).pushed is False
+
+    def test_pushed_matches_full_scan_capability(self, source):
+        # Whatever the source reports for a full pushed scan it must
+        # report per partition: the engine skips residual predicate
+        # re-evaluation based on this flag.
+        request = ScanRequest(predicates=(Predicate("ID", "eq", 4),))
+        expected = source.scan("T", request).pushed
+        specs = source.partitions("T", request, 2)
+        for spec in specs:
+            assert source.scan_partition(spec, request).pushed \
+                == expected
+
+
+class TestDegenerateTargets:
+    def test_target_below_two_declines(self, source):
+        assert source.partitions("T", None, 0) is None
+        assert source.partitions("T", None, 1) is None
+
+    @pytest.mark.parametrize("n_rows", [0, 1])
+    def test_tiny_table_declines(self, tmp_path, n_rows):
+        for name, factory in sorted(FACTORIES.items()):
+            built = factory(tmp_path, ROWS[:n_rows])
+            try:
+                assert built.partitions("T", None, 4) is None, name
+            finally:
+                built.close()
+
+    def test_never_returns_a_single_partition(self, source):
+        for target in (2, 3, 5, 50):
+            specs = source.partitions("T", None, target)
+            assert specs is None or len(specs) >= 2
+
+
+class TestVersionStability:
+    def test_version_stable_across_partitioned_scans(self, source):
+        before = source.version("T")
+        specs = source.partitions("T", None, 3)
+        _gather(source, specs)
+        assert source.version("T") == before
+
+
+class TestBatches:
+    def test_partition_batches_transpose_partition_rows(self, source):
+        specs = source.partitions("T", None, 3)
+        for spec in specs:
+            rows = list(source.scan_partition(spec))
+            result = source.scan_partition_batches(spec, None, None,
+                                                   batch_size=2)
+            flattened = []
+            for block in result.batches:
+                flattened.extend(zip(*block))
+            assert [tuple(r) for r in flattened] \
+                == [tuple(r) for r in rows]
+
+    def test_partition_batches_reject_zero_batch(self, source):
+        specs = source.partitions("T", None, 2)
+        with pytest.raises(ValueError):
+            source.scan_partition_batches(specs[0], batch_size=0)
+
+
+class TestLifecycle:
+    def test_cancellation_aborts_partition_scan(self, source):
+        context = QueryContext(check_interval=1)
+        specs = source.partitions("T", None, 2)
+        rows = iter(source.scan_partition(specs[0], None, context))
+        next(rows)
+        context.cancel("partition conformance")
+        with pytest.raises(QueryCancelledError):
+            list(rows)
+
+
+class TestSQLiteRowidGaps:
+    def test_union_survives_rowid_gaps(self):
+        # Deletes leave holes in the rowid sequence; the carved ranges
+        # tile [MIN(rowid), MAX(rowid)] regardless, so the union must
+        # still replay the full scan exactly.
+        source = _make_sqlite(None)
+        try:
+            source._connection.execute(
+                "DELETE FROM T WHERE ID IN (0, 3, 4, 8)")
+            full = list(source.scan("T"))
+            specs = source.partitions("T", None, 3)
+            assert specs is not None
+            assert _gather(source, specs) == full
+        finally:
+            source.close()
+
+
+class TestPicklability:
+    def test_partition_spec_round_trips(self, source):
+        for spec in source.partitions("T", None, 3):
+            assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_unsupported_kind_rejected(self, source):
+        bogus = PartitionSpec(table="T", index=0, count=1,
+                              kind="nonsense", lower=0, upper=1)
+        with pytest.raises(ValueError):
+            source.scan_partition(bogus)
