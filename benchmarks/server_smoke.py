@@ -1,0 +1,139 @@
+"""Server smoke harness: a real ``python -m repro.server`` subprocess,
+differentially replayed against the embedded driver.
+
+This is the out-of-process complement to tests/server/ (which embeds
+the server on a thread): it proves the CLI entry point boots, serves
+the corpus over TCP with results identical to the embedded driver,
+reports serve latency (the EXPERIMENTS.md E19 numbers), and exits
+cleanly on SIGTERM — a failure here means the process would orphan or
+the wire path diverged.
+
+Usage::
+
+    python benchmarks/server_smoke.py [--queries N] [--clients N]
+
+Exit status is non-zero on any mismatch, on a server that fails to
+come up, or on a server process that outlives its SIGTERM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import statistics
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.driver import connect  # noqa: E402
+from repro.errors import Error  # noqa: E402
+from repro.workloads import build_runtime  # noqa: E402
+
+from tests.xquery.test_compile_differential import CORPUS  # noqa: E402
+
+TOKEN = "smoke-token"
+BOOT_TIMEOUT = 30.0
+SHUTDOWN_TIMEOUT = 10.0
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_port(port: int, process: subprocess.Popen,
+                  timeout: float) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise SystemExit(
+                f"FAIL: server exited during boot "
+                f"(status {process.returncode})")
+        try:
+            with socket.create_connection(("127.0.0.1", port),
+                                          timeout=1.0):
+                return
+        except OSError:
+            time.sleep(0.05)
+    raise SystemExit(f"FAIL: server did not listen within {timeout}s")
+
+
+def run_statement(connection, sql):
+    cursor = connection.cursor()
+    try:
+        cursor.execute(sql)
+        return "ok", (cursor.fetchall(), cursor.description,
+                      cursor.rowcount)
+    except Error as exc:
+        return "error", type(exc).__name__
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=len(CORPUS),
+                        help="corpus prefix to replay (default: all)")
+    parser.add_argument("--clients", type=int, default=2,
+                        help="concurrent remote connections")
+    args = parser.parse_args()
+    corpus = CORPUS[:args.queries]
+
+    port = free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", str(port),
+         "--token", TOKEN],
+        env=env, cwd=os.path.join(os.path.dirname(__file__), ".."),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    failures = 0
+    try:
+        wait_for_port(port, process, BOOT_TIMEOUT)
+        embedded = connect(build_runtime())
+        dsn = (f"repro+tcp://127.0.0.1:{port}/RTLApp/TestDataServices"
+               f"?token={TOKEN}")
+        remotes = [connect(dsn) for _ in range(args.clients)]
+        latencies = []
+        for index, sql in enumerate(corpus):
+            expected = run_statement(embedded, sql)
+            remote = remotes[index % len(remotes)]
+            started = time.perf_counter()
+            actual = run_statement(remote, sql)
+            latencies.append(time.perf_counter() - started)
+            if actual != expected:
+                failures += 1
+                print(f"MISMATCH on {sql!r}:\n  embedded: "
+                      f"{expected[0]}\n  remote:   {actual[0]}")
+        for remote in remotes:
+            remote.close()
+        latencies.sort()
+        p50 = statistics.median(latencies)
+        p95 = latencies[max(0, int(len(latencies) * 0.95) - 1)]
+        print(f"replayed {len(corpus)} corpus statements over "
+              f"{args.clients} connections: {failures} mismatches")
+        print(f"serve latency (execute+fetchall round trips): "
+              f"p50={p50 * 1000:.2f}ms p95={p95 * 1000:.2f}ms "
+              f"max={latencies[-1] * 1000:.2f}ms")
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=SHUTDOWN_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+            print("FAIL: server ignored SIGTERM (orphan risk); killed")
+            return 1
+    if failures:
+        print(f"FAIL: {failures} remote-vs-embedded mismatches")
+        return 1
+    print("OK: remote results identical to embedded; clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,8 +5,12 @@ The public surface is deliberately small — a PEP 249 driver plus the
 pluggable physical-source SPI:
 
 * :func:`connect` / :func:`register_runtime` — open DB-API 2.0
-  connections over a DSP runtime (the JDBC analogue), addressable by
-  ``repro://`` DSNs;
+  connections over a DSP runtime (the JDBC analogue). One connect API,
+  two transports, selected by DSN scheme: ``repro://app/project`` is
+  embedded (in-process), ``repro+tcp://host:port/app/project?token=...``
+  is remote (a ``repro.server`` instance over the wire) — same cursor
+  semantics, same exceptions, same ``stats()`` shape either way;
+* :class:`DSN` / :func:`parse_dsn` — the shared DSN grammar;
 * ``apilevel`` / ``threadsafety`` / ``paramstyle`` and the PEP 249
   exception hierarchy (:class:`Error`, :class:`OperationalError`, ...);
 * :class:`RuntimeConfig` — every engine and driver tuning knob in one
@@ -38,9 +42,12 @@ import warnings as _warnings
 
 from .config import RuntimeConfig
 from .driver import (
+    DSN,
+    STATS_SCHEMA_VERSION,
     apilevel,
     connect,
     paramstyle,
+    parse_dsn,
     register_runtime,
     threadsafety,
     unregister_runtime,
@@ -69,13 +76,18 @@ from .sources.memory import TableSource
 from .sources.sqlite import SQLiteSource
 from .sources.xmlfile import XMLFileSource
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # driver entry points
     "connect",
     "register_runtime",
     "unregister_runtime",
+    # DSN grammar (embedded repro:// and remote repro+tcp://)
+    "DSN",
+    "parse_dsn",
+    # observability contract
+    "STATS_SCHEMA_VERSION",
     # PEP 249 module globals
     "apilevel",
     "threadsafety",
@@ -124,8 +136,11 @@ def _build_demo_runtime():
 
 
 #: Pre-1.1 top-level names and where they live now. Resolved lazily via
-#: module ``__getattr__`` with a DeprecationWarning (and deliberately
-#: not cached, so every access points migrating code at the new home).
+#: module ``__getattr__`` with a DeprecationWarning emitted once per
+#: name per process (the first access points migrating code at the new
+#: home; repeating it for every touch would drown real warnings in any
+#: loop over legacy call sites). Deliberately not cached as a module
+#: attribute, so the resolution logic stays the single chokepoint.
 _LEGACY = {
     "DSPRuntime": ("repro.engine", "DSPRuntime"),
     "Storage": ("repro.engine", "Storage"),
@@ -151,20 +166,28 @@ _LEGACY_LOCAL = {
 }
 
 
+#: Legacy names that have already warned this process.
+_warned_legacy: set = set()
+
+
 def __getattr__(name):
     if name in _LEGACY:
         module_name, attr = _LEGACY[name]
-        _warnings.warn(
-            f"repro.{name} is deprecated; import {attr} from "
-            f"{module_name} instead",
-            DeprecationWarning, stacklevel=2)
+        if name not in _warned_legacy:
+            _warned_legacy.add(name)
+            _warnings.warn(
+                f"repro.{name} is deprecated; import {attr} from "
+                f"{module_name} instead",
+                DeprecationWarning, stacklevel=2)
         import importlib
 
         return getattr(importlib.import_module(module_name), attr)
     if name in _LEGACY_LOCAL:
-        _warnings.warn(
-            f"repro.{name} is deprecated; see the module docstring for "
-            f"the supported entry points",
-            DeprecationWarning, stacklevel=2)
+        if name not in _warned_legacy:
+            _warned_legacy.add(name)
+            _warnings.warn(
+                f"repro.{name} is deprecated; see the module docstring "
+                f"for the supported entry points",
+                DeprecationWarning, stacklevel=2)
         return _LEGACY_LOCAL[name]
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -64,6 +64,9 @@ class RuntimeConfig:
     statement_cache_capacity: int = 256
     metadata_cache_capacity: int = 1024
     default_timeout: Optional[float] = None
+    #: Socket connect + handshake deadline (seconds) for ``repro+tcp``
+    #: remote connections; also the DSN's ``connect_timeout`` parameter.
+    remote_connect_timeout: float = 10.0
 
     def replace(self, **changes) -> "RuntimeConfig":
         """A copy with *changes* applied (unknown names raise)."""
@@ -80,6 +83,7 @@ ENGINE_FIELDS = frozenset({
 DRIVER_FIELDS = frozenset({
     "format", "metadata_latency", "statement_cache_capacity",
     "metadata_cache_capacity", "default_timeout",
+    "remote_connect_timeout",
 })
 ALL_FIELDS = ENGINE_FIELDS | DRIVER_FIELDS
 

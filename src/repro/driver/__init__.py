@@ -26,6 +26,7 @@ from .dbapi import (
     DATETIME,
     NUMBER,
     ROWID,
+    STATS_SCHEMA_VERSION,
     STRING,
     Connection,
     Cursor,
@@ -36,6 +37,7 @@ from .dbapi import (
     threadsafety,
     unregister_runtime,
 )
+from .dsn import DEFAULT_PORT, DSN, parse_dsn
 from .metadata import DatabaseMetaData
 
 __all__ = [
@@ -43,6 +45,8 @@ __all__ = [
     "Connection",
     "Cursor",
     "DATETIME",
+    "DEFAULT_PORT",
+    "DSN",
     "DataError",
     "DatabaseError",
     "DatabaseMetaData",
@@ -55,6 +59,7 @@ __all__ = [
     "OperationalError",
     "ProgrammingError",
     "ROWID",
+    "STATS_SCHEMA_VERSION",
     "STRING",
     "Warning",
     "apilevel",
@@ -63,6 +68,7 @@ __all__ = [
     "decode_delimited",
     "decode_xml",
     "paramstyle",
+    "parse_dsn",
     "register_runtime",
     "threadsafety",
     "unregister_runtime",

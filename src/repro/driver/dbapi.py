@@ -15,7 +15,6 @@ from __future__ import annotations
 import re
 import threading
 from typing import Iterable, Iterator, Optional, Sequence, Union
-from urllib.parse import parse_qsl, urlsplit
 
 from .. import clock, errors
 from ..catalog import MetadataCache, ProcedureMetadata
@@ -48,6 +47,7 @@ from ..translator import (
 )
 from ..xmlmodel import Element, serialize
 from .codec import decode_delimited, decode_xml, iter_decode_delimited
+from .dsn import DSN, parse_dsn
 from .metadata import DatabaseMetaData
 
 apilevel = "2.0"
@@ -61,6 +61,10 @@ FORMATS = ("delimited", "xml")
 
 #: Default bound on cached translations per connection.
 DEFAULT_STATEMENT_CACHE_CAPACITY = 256
+
+#: Version of the ``Connection.stats()`` document shape. Bump on any
+#: breaking change to its sections so dashboards can detect drift.
+STATS_SCHEMA_VERSION = 1
 
 #: PEP 249 type objects.
 
@@ -118,27 +122,9 @@ def unregister_runtime(application: str) -> None:
         _runtime_registry.pop(application, None)
 
 
-#: DSN query parameters understood by ``connect`` and their coercions.
-_DSN_PARAMS = {
-    "format": str,
-    "timeout": float,
-    "statement_cache_capacity": int,
-    "metadata_cache_capacity": int,
-    "metadata_latency": float,
-}
-
-
-def _parse_dsn(dsn: str) -> tuple[DSPRuntime, dict]:
-    """Resolve a ``repro://<application>/<project>?k=v`` DSN to a
-    registered runtime plus connect keyword overrides."""
-    parts = urlsplit(dsn)
-    if parts.scheme != "repro":
-        raise InterfaceError(
-            f"unsupported DSN scheme {parts.scheme!r}; expected "
-            f"repro://<application>/<project>")
-    application = parts.netloc
-    if not application:
-        raise InterfaceError(f"DSN {dsn!r} names no application")
+def _resolve_embedded(dsn: DSN) -> DSPRuntime:
+    """Resolve an embedded (``repro://``) DSN against the registry."""
+    application = dsn.application
     with _registry_lock:
         runtime = _runtime_registry.get(application)
     if runtime is None:
@@ -154,24 +140,11 @@ def _parse_dsn(dsn: str) -> tuple[DSPRuntime, dict]:
                 f"{application!r}; call "
                 f"repro.driver.register_runtime({application!r}, runtime) "
                 f"first")
-    project = parts.path.strip("/")
-    if project and project not in runtime.application.projects:
+    if dsn.project and dsn.project not in runtime.application.projects:
         raise InterfaceError(
-            f"application {application!r} has no project {project!r}")
-    overrides: dict = {}
-    for key, raw in parse_qsl(parts.query):
-        coerce = _DSN_PARAMS.get(key)
-        if coerce is None:
-            raise InterfaceError(
-                f"unknown DSN parameter {key!r}; expected one of "
-                f"{sorted(_DSN_PARAMS)}")
-        try:
-            overrides["default_timeout" if key == "timeout"
-                      else key] = coerce(raw)
-        except ValueError:
-            raise InterfaceError(
-                f"bad value {raw!r} for DSN parameter {key!r}") from None
-    return runtime, overrides
+            f"application {application!r} has no project "
+            f"{dsn.project!r}")
+    return runtime
 
 
 def connect(target: Union[DSPRuntime, str], *,
@@ -179,39 +152,52 @@ def connect(target: Union[DSPRuntime, str], *,
             config: Optional[RuntimeConfig] = None,
             tracer: Optional[Tracer] = None,
             metrics: Optional[MetricsRegistry] = None,
-            **legacy) -> "Connection":
-    """Open a connection to a DSP runtime (the JDBC ``getConnection``).
+            **legacy):
+    """Open a connection to a DSP (the JDBC ``getConnection``).
 
-    *target* is either a :class:`DSPRuntime` or a DSN string of the form
-    ``repro://<application>/<project>?format=xml&timeout=5`` resolved
-    through :func:`register_runtime` (the demo application ``RTLApp``
-    resolves without registration). Tuning lives in *config* (a
-    :class:`repro.RuntimeConfig`); precedence, lowest to highest, is
-    config defaults → ``config=`` → DSN query parameters → keyword
-    overrides. ``format`` stays a first-class keyword because callers
-    switch it constantly; the remaining pre-1.1 keyword arguments
-    (``default_timeout``, ``metadata_latency``, the cache capacities)
-    still work for one release and raise a ``DeprecationWarning``.
+    *target* selects both the destination and the transport:
+
+    * a :class:`DSPRuntime` instance — embedded, in-process;
+    * ``repro://<application>/<project>?format=xml&timeout=5`` —
+      embedded, resolved through :func:`register_runtime` (the demo
+      application ``RTLApp`` resolves without registration);
+    * ``repro+tcp://<host>:<port>/<application>/<project>?token=...`` —
+      remote: the same PEP 249 surface served by a ``repro.server``
+      instance over the wire (cursor semantics, exception classes, and
+      ``stats()`` shape are identical).
+
+    Tuning lives in *config* (a :class:`repro.RuntimeConfig`);
+    precedence, lowest to highest, is config defaults → ``config=`` →
+    DSN query parameters → keyword overrides. ``format`` stays a
+    first-class keyword because callers switch it constantly; the
+    remaining pre-1.1 keyword arguments (``default_timeout``,
+    ``metadata_latency``, the cache capacities) still work for one
+    release and raise a ``DeprecationWarning``.
     ``config.default_timeout`` (seconds) bounds every statement executed
     on the connection unless ``Cursor.execute(..., timeout=...)``
     overrides it.
     """
-    settings: dict = {}
+    parsed: Optional[DSN] = None
     if isinstance(target, str):
-        runtime, settings = _parse_dsn(target)
+        parsed = parse_dsn(target)
+        runtime = None if parsed.remote else _resolve_embedded(parsed)
     elif isinstance(target, DSPRuntime):
         runtime = target
     else:
         raise InterfaceError(
-            f"connect() takes a DSPRuntime or a repro:// DSN string, "
-            f"got {type(target).__name__}")
+            f"connect() takes a DSPRuntime, a repro:// DSN, or a "
+            f"repro+tcp:// DSN string, got {type(target).__name__}")
     merged = (config or RuntimeConfig())
-    if settings:
-        merged = merged.replace(**settings)
+    if parsed is not None and parsed.options:
+        merged = merged.replace(**parsed.options)
     merged = merge_legacy_kwargs(merged, legacy, "connect()",
                                  allowed=DRIVER_FIELDS, ignore_none=True)
     if format is not None:
         merged = merged.replace(format=format)
+    if parsed is not None and parsed.remote:
+        from .remote import RemoteConnection
+        return RemoteConnection(parsed, config=merged, tracer=tracer,
+                                metrics=metrics)
     return Connection(runtime, config=merged, tracer=tracer,
                       metrics=metrics)
 
@@ -342,8 +328,15 @@ class Connection:
         """A point-in-time observability snapshot: every named counter
         and histogram, both caches' hit/miss/eviction/size stats, the
         runtime's admission-controller state, and the runtime-side
-        metrics (plan cache, ``source.retries``/``source.failures``)."""
+        metrics (plan cache, ``source.retries``/``source.failures``).
+
+        The document's shape is a versioned contract
+        (``stats_schema_version``, currently :data:`STATS_SCHEMA_VERSION`
+        = 1); dashboard consumers should pin on it, and any PR that
+        renames or removes a section must bump it (README "Connection
+        stats schema" documents every section)."""
         snapshot = self.metrics.snapshot()
+        snapshot["stats_schema_version"] = STATS_SCHEMA_VERSION
         snapshot["statement_cache"] = self._statement_cache.stats()
         snapshot["metadata_cache"] = self._metadata_cache.stats_dict()
         snapshot["plan_cache"] = self._runtime.plan_cache.stats()

@@ -1,0 +1,476 @@
+"""The remote PEP 249 driver: the embedded surface over a TCP wire.
+
+``repro.connect("repro+tcp://host:port/app/project?token=...")`` lands
+here. The contract is symmetry: a :class:`RemoteConnection` behaves like
+the embedded :class:`repro.driver.dbapi.Connection` — same cursor
+semantics (``arraysize`` paging, ``rowcount`` -1 until a streamed result
+is exhausted, ``description``, per-execute ``timeout``, cross-thread
+``cancel()``), same exception classes — so application code cannot tell
+(and need not care) which side of the network boundary the engine is on.
+
+Transport notes:
+
+* One blocking socket per connection, one request in flight at a time
+  (a lock serializes callers — ``threadsafety`` stays 2 at module
+  level: share the connection, use one cursor per thread).
+* ``Cursor.cancel()`` must work *while* the socket is blocked in an
+  execute/fetch, so it opens a fresh short-lived connection and sends
+  an out-of-band ``cancel`` frame proving the session secret — the
+  Postgres wire-protocol pattern.
+* Rows arrive as tagged lexical values (``repro.server.protocol``), so
+  fetches return exactly the Python objects the embedded cursor would.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .. import clock
+from ..config import RuntimeConfig
+from ..errors import (
+    DataError,
+    DatabaseError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    Warning,
+)
+from ..obs import MetricsRegistry, Tracer
+from ..server.protocol import (
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    decode_row,
+    encode_row,
+    raise_error,
+    recv_frame,
+    send_frame,
+)
+from .dbapi import FORMATS, _type_object_for
+from .dsn import DSN
+
+#: Rows requested per ``fetch`` frame when the caller gives no better
+#: granularity (``fetchall``/iteration with a small ``arraysize``).
+DEFAULT_FETCH_PAGE = 1024
+
+
+class RemoteConnection:
+    """A PEP 249 connection to a ``repro.server`` tenant."""
+
+    Warning = Warning
+    Error = Error
+    InterfaceError = InterfaceError
+    DatabaseError = DatabaseError
+    DataError = DataError
+    OperationalError = OperationalError
+    IntegrityError = IntegrityError
+    InternalError = InternalError
+    ProgrammingError = ProgrammingError
+    NotSupportedError = NotSupportedError
+
+    def __init__(self, dsn: DSN, config: Optional[RuntimeConfig] = None,
+                 *, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        config = config if config is not None else RuntimeConfig()
+        if config.format not in FORMATS:
+            raise InterfaceError(
+                f"unknown result format {config.format!r}; expected one "
+                f"of {FORMATS}")
+        self.dsn = dsn
+        self.config = config
+        self.format = config.format
+        self.default_timeout = config.default_timeout
+        self.tracer = Tracer(enabled=False) if tracer is None else tracer
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        self._queries_executed = self.metrics.counter("queries.executed")
+        self._rows_fetched = self.metrics.counter("rows.fetched")
+        self._roundtrips = self.metrics.counter("wire.roundtrips")
+        self._roundtrip_seconds = self.metrics.histogram(
+            "wire.roundtrip_seconds")
+        self._lock = threading.Lock()
+        self._request_ids = iter(range(1, 1 << 62))
+        self._closed = False
+        self._session: Optional[str] = None
+        self._secret: Optional[str] = None
+        host, port = dsn.address
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=config.remote_connect_timeout)
+        except OSError as exc:
+            raise OperationalError(
+                f"cannot connect to {host}:{port}: {exc}") from exc
+        try:
+            # The handshake stays under the connect timeout; established
+            # traffic is bounded by server-side deadlines instead.
+            reply = self._request({
+                "op": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "tenant": dsn.application,
+                "project": dsn.project,
+                "token": dsn.token,
+                "format": config.format,
+            })
+            self._session = reply["session"]
+            self._secret = reply["secret"]
+            self._sock.settimeout(None)
+        except BaseException:
+            self._sock.close()
+            raise
+
+    # -- wire ----------------------------------------------------------------
+
+    def _request(self, message: dict) -> dict:
+        """One request/response round trip (serialized)."""
+        with self._lock:
+            if self._closed:
+                raise InterfaceError("connection is closed")
+            message["id"] = next(self._request_ids)
+            started = clock.monotonic()
+            with self.tracer.span("wire.request", op=message["op"]):
+                try:
+                    send_frame(self._sock, message)
+                    reply = recv_frame(self._sock, MAX_FRAME)
+                except InterfaceError:
+                    self._abandon()
+                    raise
+                except OSError as exc:
+                    self._abandon()
+                    raise OperationalError(
+                        f"connection to {self.dsn.display()} lost: "
+                        f"{exc}") from exc
+            self._roundtrips.increment()
+            self._roundtrip_seconds.observe(clock.monotonic() - started)
+        if reply.get("id") != message["id"]:
+            with self._lock:
+                self._abandon()
+            raise InterfaceError(
+                f"protocol desync: sent request {message['id']}, "
+                f"got reply for {reply.get('id')!r}")
+        if not reply.get("ok"):
+            raise_error(reply.get("error"))
+        return reply
+
+    def _abandon(self) -> None:
+        """The socket state is unknown (IO error, desync): the
+        connection is unusable from here on. Caller holds the lock."""
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- PEP 249 surface -----------------------------------------------------
+
+    def cursor(self) -> "RemoteCursor":
+        self._check_open()
+        return RemoteCursor(self)
+
+    def commit(self) -> None:
+        self._check_open()  # read-only driver: commit is a no-op
+
+    def rollback(self) -> None:
+        self._check_open()
+        raise NotSupportedError(
+            "the data services driver is read-only; nothing to roll back")
+
+    def close(self) -> None:
+        """Send a best-effort goodbye and close the socket. Idempotent;
+        the server releases the session's cursors, admission slots, and
+        tenant-quota holds either way (a vanished client must never pin
+        server resources)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._sock.settimeout(2.0)
+                send_frame(self._sock, {"op": "close", "id": 0})
+                recv_frame(self._sock, MAX_FRAME)
+            except (OSError, InterfaceError):
+                pass
+            finally:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "RemoteConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- driver extensions ---------------------------------------------------
+
+    @property
+    def metadata(self) -> "RemoteMetaData":
+        """The ``DatabaseMetaData`` analogue, proxied over the wire."""
+        self._check_open()
+        return RemoteMetaData(self)
+
+    def stats(self) -> dict:
+        """The server-side session stats document (the same shape as an
+        embedded ``Connection.stats()``, plus a ``server`` section) with
+        this side's wire metrics under ``client``."""
+        self._check_open()
+        snapshot = self._request({"op": "stats"})["stats"]
+        snapshot["client"] = self.metrics.snapshot()
+        return snapshot
+
+    def server_health(self) -> dict:
+        """The server's unauthenticated ``health`` document."""
+        self._check_open()
+        reply = self._request({"op": "health"})
+        return {key: value for key, value in reply.items()
+                if key not in ("id", "ok")}
+
+    def _cancel_out_of_band(self, cursor_id: Optional[int]) -> None:
+        """Open a fresh connection and cancel a statement on this
+        session; never raises (cancellation is advisory)."""
+        if self._session is None:
+            return
+        try:
+            host, port = self.dsn.address
+            with socket.create_connection(
+                    (host, port),
+                    timeout=self.config.remote_connect_timeout) as sock:
+                send_frame(sock, {"op": "cancel", "id": 1,
+                                  "session": self._session,
+                                  "secret": self._secret,
+                                  "cursor": cursor_id})
+                recv_frame(sock, MAX_FRAME)
+        except (OSError, InterfaceError, Error):
+            pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+
+class RemoteMetaData:
+    """Metadata discovery over the wire (``conn.metadata.tables()``),
+    mirroring :class:`repro.driver.metadata.DatabaseMetaData` including
+    its callable-instance and ``get_`` aliases."""
+
+    def __init__(self, connection: RemoteConnection):
+        self._connection = connection
+
+    def __call__(self) -> "RemoteMetaData":
+        return self
+
+    def _fetch(self, kind: str, **args) -> list:
+        reply = self._connection._request(
+            {"op": "metadata", "kind": kind, **args})
+        return [tuple(item) if isinstance(item, list) else item
+                for item in reply["result"]]
+
+    def catalogs(self) -> list:
+        return self._fetch("catalogs")
+
+    def schemas(self) -> list:
+        return self._fetch("schemas")
+
+    def tables(self, schema: Optional[str] = None) -> list:
+        return self._fetch("tables", schema=schema)
+
+    def procedures(self, schema: Optional[str] = None) -> list:
+        return self._fetch("procedures", schema=schema)
+
+    def columns(self, table: str, schema: Optional[str] = None) -> list:
+        return self._fetch("columns", table=table, schema=schema)
+
+    def procedure_columns(self, name: str) -> list:
+        return self._fetch("procedure_columns", name=name)
+
+    get_catalogs = catalogs
+    get_schemas = schemas
+    get_tables = tables
+    get_procedures = procedures
+    get_columns = columns
+    get_procedure_columns = procedure_columns
+
+
+def _decode_description(wire) -> Optional[list[tuple]]:
+    if wire is None:
+        return None
+    description = []
+    for label, kind, precision, scale, nullable in wire:
+        description.append(
+            (label, _type_object_for(kind), None, None, precision,
+             scale, nullable))
+    return description
+
+
+class RemoteCursor:
+    """A PEP 249 cursor whose result set lives server-side.
+
+    ``execute()`` runs the statement on the server (which starts the
+    lazy stream there); fetches pull pages of at most
+    ``max(arraysize, requested)`` rows per round trip, buffering
+    client-side, so both sides stay O(page) and ``arraysize`` tunes the
+    wire granularity the way it tunes embedded batch decoding.
+    """
+
+    arraysize = 1
+
+    def __init__(self, connection: RemoteConnection):
+        self.connection = connection
+        self._cursor_id: Optional[int] = None
+        self._buffer: list[tuple] = []
+        self._exhausted = True
+        self._description: Optional[list[tuple]] = None
+        self._closed = False
+        self.rowcount = -1
+        self.lastrowid = None
+
+    # -- metadata ------------------------------------------------------------
+
+    @property
+    def description(self) -> Optional[list[tuple]]:
+        return self._description
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, operation: str, parameters: Sequence = (), *,
+                timeout: Optional[float] = None) -> "RemoteCursor":
+        return self._execute_op({
+            "op": "execute",
+            "sql": operation,
+            "params": encode_row(parameters),
+        }, timeout)
+
+    def executemany(self, operation: str,
+                    seq_of_parameters: Iterable[Sequence], *,
+                    timeout: Optional[float] = None) -> "RemoteCursor":
+        return self._execute_op({
+            "op": "executemany",
+            "sql": operation,
+            "param_sets": [encode_row(parameters)
+                           for parameters in seq_of_parameters],
+        }, timeout)
+
+    def callproc(self, procname: str,
+                 parameters: Sequence = ()) -> Sequence:
+        """Call a parameterized data service function; the server routes
+        the JDBC escape form through its embedded ``callproc``."""
+        markers = ", ".join(["?"] * len(parameters))
+        self.execute(f"{{call {procname}({markers})}}", parameters)
+        return parameters
+
+    def _execute_op(self, message: dict,
+                    timeout: Optional[float]) -> "RemoteCursor":
+        self._check_open()
+        connection = self.connection
+        if timeout is None:
+            timeout = connection.default_timeout
+        message["timeout"] = timeout
+        if self._cursor_id is not None:
+            message["cursor"] = self._cursor_id
+        with connection.tracer.span("execute", sql=message["sql"]):
+            reply = connection._request(message)
+        connection._queries_executed.increment()
+        self._cursor_id = reply["cursor"]
+        self._description = _decode_description(reply["description"])
+        self.rowcount = reply["rowcount"]
+        self._buffer = []
+        self._exhausted = False
+        return self
+
+    def cancel(self) -> None:
+        """Cancel the statement in flight (safe from any thread, even
+        while this cursor's connection is blocked inside a fetch): the
+        cancel frame travels out-of-band on its own connection."""
+        if self._cursor_id is not None:
+            self.connection._cancel_out_of_band(self._cursor_id)
+
+    # -- fetching ------------------------------------------------------------
+
+    def _pull(self, rows: int) -> None:
+        """One fetch round trip for up to *rows* more rows."""
+        reply = self.connection._request({
+            "op": "fetch",
+            "cursor": self._cursor_id,
+            "rows": rows,
+        })
+        page = [decode_row(row) for row in reply["rows"]]
+        self._buffer.extend(page)
+        self.connection._rows_fetched.add(len(page))
+        if reply["exhausted"]:
+            self._exhausted = True
+            self.rowcount = reply["rowcount"]
+
+    def fetchone(self) -> Optional[tuple]:
+        self._check_results()
+        if not self._buffer and not self._exhausted:
+            self._pull(max(1, self.arraysize))
+        if self._buffer:
+            return self._buffer.pop(0)
+        return None
+
+    def fetchmany(self, size: Optional[int] = None) -> list[tuple]:
+        self._check_results()
+        if size is None:
+            size = self.arraysize
+        while len(self._buffer) < size and not self._exhausted:
+            self._pull(max(size - len(self._buffer), 1))
+        chunk = self._buffer[:size]
+        del self._buffer[:size]
+        return chunk
+
+    def fetchall(self) -> list[tuple]:
+        self._check_results()
+        while not self._exhausted:
+            self._pull(max(self.arraysize, DEFAULT_FETCH_PAGE))
+        chunk = self._buffer
+        self._buffer = []
+        return chunk
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            chunk = self.fetchmany(self.arraysize)
+            if not chunk:
+                return
+            yield from chunk
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "RemoteCursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def setinputsizes(self, sizes) -> None:
+        self._check_open()
+
+    def setoutputsize(self, size, column=None) -> None:
+        self._check_open()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        cursor_id, self._cursor_id = self._cursor_id, None
+        self._buffer = []
+        self._description = None
+        if cursor_id is not None and not self.connection._closed:
+            try:
+                self.connection._request({"op": "close_cursor",
+                                          "cursor": cursor_id})
+            except (Error, OSError):
+                pass  # best effort: the session teardown also releases
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self.connection._check_open()
+
+    def _check_results(self) -> None:
+        self._check_open()
+        if self._description is None:
+            raise ProgrammingError("no query has been executed")

@@ -22,6 +22,8 @@ from .lifecycle import (
     CancellationToken,
     QueryContext,
     RetryPolicy,
+    TenantQuota,
+    TenantSlot,
 )
 from .sqlexec import (
     ResultTable,
@@ -47,6 +49,8 @@ __all__ = [
     "Storage",
     "Table",
     "TableProvider",
+    "TenantQuota",
+    "TenantSlot",
     "callable_function",
     "canonical_value",
     "csv_function",

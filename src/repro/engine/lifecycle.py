@@ -268,6 +268,116 @@ class AdmissionController:
             }
 
 
+class TenantSlot:
+    """One tenant-admitted query's hold on its :class:`TenantQuota`;
+    mirrors :class:`AdmissionSlot` one layer up — released exactly once,
+    returning the concurrency slot and every charged row."""
+
+    __slots__ = ("_quota", "rows", "released")
+
+    def __init__(self, quota: "TenantQuota"):
+        self._quota = quota
+        self.rows = 0
+        self.released = False
+
+    def note_rows(self, count: int) -> None:
+        """Charge *count* rows served to this tenant against its
+        in-flight budget; raises ``AdmissionRejectedError`` when the
+        tenant's budget is exhausted."""
+        self.rows += count
+        self._quota._charge_rows(count)
+
+    def release(self) -> None:
+        self._quota._release(self)
+
+
+class TenantQuota:
+    """Per-tenant resource bounds, layered *above* the runtime's global
+    :class:`AdmissionController`.
+
+    The global controller protects the runtime as a whole (it queues
+    briefly, then rejects); the tenant quota protects tenants from each
+    other, so it **fails fast** — a tenant at its concurrency cap is
+    rejected immediately rather than allowed to camp on the shared
+    queue. Three knobs, each optional:
+
+    * ``max_concurrent`` — queries a tenant may have live at once (a
+      streamed result counts until exhausted or closed);
+    * ``max_inflight_rows`` — rows served to the tenant and not yet
+      released by cursor exhaustion/close;
+    * ``max_timeout`` — ceiling on any per-execute deadline: a client
+      asking for more (or for no deadline at all) is clamped to this.
+    """
+
+    def __init__(self, max_concurrent: Optional[int] = None,
+                 queue_timeout: float = 0.0,
+                 max_inflight_rows: Optional[int] = None,
+                 max_timeout: Optional[float] = None):
+        if max_concurrent is not None and max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.max_concurrent = max_concurrent
+        self.queue_timeout = queue_timeout
+        self.max_inflight_rows = max_inflight_rows
+        self.max_timeout = max_timeout
+        self._lock = threading.Lock()
+        self._active = 0
+        self._admitted_total = 0
+        self._rejected_total = 0
+        self._inflight_rows = 0
+
+    def clamp_timeout(self, timeout: Optional[float]) -> Optional[float]:
+        """The effective per-execute deadline under this quota."""
+        if self.max_timeout is None:
+            return timeout
+        if timeout is None:
+            return self.max_timeout
+        return min(timeout, self.max_timeout)
+
+    def acquire(self) -> TenantSlot:
+        """Claim a tenant concurrency slot; fail-fast on a full quota."""
+        with self._lock:
+            if (self.max_concurrent is not None
+                    and self._active >= self.max_concurrent):
+                self._rejected_total += 1
+                raise AdmissionRejectedError(
+                    f"tenant quota: {self.max_concurrent} queries "
+                    f"already running for this tenant")
+            self._active += 1
+            self._admitted_total += 1
+        return TenantSlot(self)
+
+    def _charge_rows(self, count: int) -> None:
+        with self._lock:
+            self._inflight_rows += count
+            over = (self.max_inflight_rows is not None
+                    and self._inflight_rows > self.max_inflight_rows)
+        if over:
+            raise AdmissionRejectedError(
+                f"tenant quota: in-flight rows exceeded the "
+                f"{self.max_inflight_rows}-row tenant budget")
+
+    def _release(self, slot: TenantSlot) -> None:
+        with self._lock:
+            if slot.released:
+                return
+            slot.released = True
+            self._active -= 1
+            self._inflight_rows -= slot.rows
+
+    def stats(self) -> dict:
+        """A consistent snapshot for the server's ``stats`` verb."""
+        with self._lock:
+            return {
+                "active": self._active,
+                "admitted": self._admitted_total,
+                "rejected": self._rejected_total,
+                "inflight_rows": self._inflight_rows,
+                "max_concurrent": self.max_concurrent,
+                "max_inflight_rows": self.max_inflight_rows,
+                "max_timeout": self.max_timeout,
+            }
+
+
 class RetryPolicy:
     """Exponential backoff with full jitter for transient source faults.
 

@@ -155,6 +155,26 @@ class MetricsRegistry:
             "histograms": {h.name: h.summary() for h in histograms},
         }
 
+    def section(self, prefix: str) -> dict:
+        """A snapshot of just the metrics whose names start with
+        *prefix*, with the prefix stripped — e.g. ``section("server.")``
+        yields the ``server`` section of a stats document without the
+        caller enumerating counter names."""
+        snapshot = self.snapshot()
+        cut = len(prefix)
+        return {
+            "counters": {
+                name[cut:]: value
+                for name, value in snapshot["counters"].items()
+                if name.startswith(prefix)
+            },
+            "histograms": {
+                name[cut:]: summary
+                for name, summary in snapshot["histograms"].items()
+                if name.startswith(prefix)
+            },
+        }
+
     def reset(self) -> None:
         """Zero every metric in place. Instrumented code caches Counter
         and Histogram references, so the objects must survive a reset."""

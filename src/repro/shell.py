@@ -12,6 +12,9 @@ SQL-92, get tabular results. Backslash commands inspect the machinery:
 ``\\timeout S``     per-statement deadline in seconds (``off`` = none)
 ``\\trace on|off``  print the span tree after each executed query
 ``\\stats``         print counters, histograms, cache/admission stats
+``\\connect DSN``   reconnect: ``repro://app/project`` (embedded) or
+                   ``repro+tcp://host:port/app/project?token=...``
+                   (a remote ``repro.server``)
 ``\\quit``          leave
 =================  ====================================================
 
@@ -58,6 +61,9 @@ class Shell:
                  out: Callable[[str], None] = print):
         self._runtime = runtime or build_runtime()
         self._format = "delimited"
+        #: The active connect target: a DSN string after ``\connect``,
+        #: else the in-process runtime.
+        self._dsn: Optional[str] = None
         self._connection = connect(self._runtime, format=self._format)
         self._out = out
 
@@ -95,10 +101,12 @@ class Shell:
             self._set_trace(argument)
         elif name == "\\stats":
             self._stats()
+        elif name == "\\connect":
+            self._connect(argument)
         else:
             self._out(f"unknown command {name}; try \\tables, \\schema, "
                       f"\\translate, \\explain, \\format, \\timeout, "
-                      f"\\trace, \\stats, \\quit")
+                      f"\\trace, \\stats, \\connect, \\quit")
         return True
 
     # -- command implementations ----------------------------------------------
@@ -136,9 +144,20 @@ class Shell:
             null = "NULL" if nullable else "NOT NULL"
             self._out(f"{position:>3}  {name}  {type_name}  {null}")
 
+    def _local_only(self, command: str) -> bool:
+        """True (and explains why) when *command* needs the in-process
+        translator, which a remote connection does not expose."""
+        if hasattr(self._connection, "translator"):
+            return False
+        self._out(f"{command} needs an embedded connection; "
+                  f"\\connect repro://app/project to go local")
+        return True
+
     def _translate(self, sql: str) -> None:
         if not sql:
             self._out("usage: \\translate SELECT ...")
+            return
+        if self._local_only("\\translate"):
             return
         try:
             fmt = "delimited" if self._format == "delimited" \
@@ -152,13 +171,18 @@ class Shell:
         if not sql:
             self._out("usage: \\explain SELECT ...")
             return
+        if self._local_only("\\explain"):
+            return
         try:
             fmt = "delimited" if self._format == "delimited" \
                 else "recordset"
             result = self._connection.translator.translate(sql, format=fmt)
             # The compiled plan (cache-warm after a prior execution)
             # contributes the cost-based pipeline nodes and estimates.
-            plan = self._runtime.prepare(result.xquery)
+            # Ask the active connection's runtime, which after \connect
+            # may not be the one this shell was constructed over.
+            runtime = getattr(self._connection, "_runtime", self._runtime)
+            plan = runtime.prepare(result.xquery)
             self._out(explain(result.unit,
                               stage_timings=result.stage_timings,
                               plan_reports=plan.plan_reports))
@@ -172,13 +196,40 @@ class Shell:
         self._format = fmt
         # Keep the tracer, metrics, and timeout across the reconnect so
         # \trace state, \stats history, and \timeout survive a format
-        # switch.
-        self._connection = connect(
-            self._runtime, format=fmt,
-            tracer=self._connection.tracer,
-            metrics=self._connection.metrics,
-            default_timeout=self._connection.default_timeout)
+        # switch. The reconnect goes to the active target — the DSN
+        # from \connect if one is set, else the in-process runtime.
+        old = self._connection
+        try:
+            self._connection = connect(
+                self._dsn or self._runtime, format=fmt,
+                tracer=old.tracer,
+                metrics=old.metrics,
+                default_timeout=old.default_timeout)
+        except ReproError as exc:
+            self._out(f"error: {exc}")
+            return
+        old.close()
         self._out(f"result format: {fmt}")
+
+    def _connect(self, dsn: str) -> None:
+        if not dsn:
+            self._out("usage: \\connect repro://app/project | "
+                      "repro+tcp://host:port/app/project?token=...")
+            return
+        old = self._connection
+        try:
+            self._connection = connect(
+                dsn, format=self._format,
+                tracer=old.tracer,
+                metrics=old.metrics,
+                default_timeout=old.default_timeout)
+        except ReproError as exc:
+            self._out(f"error: {exc}")
+            return
+        old.close()
+        self._dsn = dsn
+        from .driver.dsn import parse_dsn
+        self._out(f"connected: {parse_dsn(dsn).display()}")
 
     def _set_timeout(self, argument: str) -> None:
         if argument == "off":
@@ -246,6 +297,14 @@ class Shell:
                   f"index_hits={index_hits} index_builds={index_builds}")
         estimated = runtime_counters.get("planner.estimated_rows", 0)
         self._out(f"PLANNER: estimated_rows={estimated}")
+        server = snapshot.get("server")
+        if server is not None:
+            quota = server.get("tenant", {})
+            self._out(
+                f"SERVER: sessions={server.get('sessions', 0)} "
+                f"tenant_active={quota.get('active', 0)}"
+                f"/{quota.get('max_concurrent')} "
+                f"tenant_rejected={quota.get('rejected', 0)}")
         self._out(
             f"PARALLEL: "
             f"queries={runtime_counters.get('parallel.queries', 0)} "

@@ -193,3 +193,69 @@ class TestPublicAll:
                      "install_fault", "register_runtime",
                      "unregister_runtime"):
             assert name in repro.__all__ or hasattr(repro, name)
+
+
+class TestStatsSchema:
+    """The ``Connection.stats()`` document is a versioned contract —
+    dashboards pin on ``stats_schema_version`` and these section names.
+    Renaming or removing any of them requires bumping
+    ``STATS_SCHEMA_VERSION`` (and this test)."""
+
+    #: Version-1 sections and the keys each must carry.
+    SCHEMA_V1 = {
+        "statement_cache": {"hits", "misses", "evictions", "size",
+                            "capacity"},
+        "metadata_cache": {"hits", "misses", "evictions", "size",
+                           "capacity"},
+        "plan_cache": {"hits", "misses", "evictions", "size", "capacity"},
+        "admission": {"active", "max_concurrent", "queued", "admitted",
+                      "rejected", "inflight_rows", "max_inflight_rows"},
+        "runtime": {"counters", "histograms"},
+    }
+
+    def test_version_key_present(self):
+        snapshot = connect(build_runtime()).stats()
+        assert snapshot["stats_schema_version"] == \
+            repro.STATS_SCHEMA_VERSION == 1
+
+    def test_v1_sections_and_keys(self):
+        connection = connect(build_runtime())
+        cursor = connection.cursor()
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        cursor.fetchall()
+        snapshot = connection.stats()
+        assert isinstance(snapshot["counters"], dict)
+        assert isinstance(snapshot["histograms"], dict)
+        for section, keys in self.SCHEMA_V1.items():
+            assert section in snapshot, section
+            missing = keys - set(snapshot[section])
+            assert not missing, f"{section} lost keys {sorted(missing)}"
+
+    def test_counter_names_stable(self):
+        connection = connect(build_runtime())
+        cursor = connection.cursor()
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        cursor.fetchall()
+        counters = connection.stats()["counters"]
+        for name in ("queries.translated", "queries.executed",
+                     "rows.streamed"):
+            assert name in counters, name
+
+    def test_remote_stats_carries_same_schema(self):
+        from repro.server import TenantConfig, serve_in_thread
+
+        tenant = TenantConfig(name="app", runtime=build_runtime(),
+                              token="t")
+        with serve_in_thread(tenant) as handle:
+            connection = connect(
+                handle.dsn("app", "TestDataServices", token="t"))
+            try:
+                snapshot = connection.stats()
+                assert snapshot["stats_schema_version"] == 1
+                for section in self.SCHEMA_V1:
+                    assert section in snapshot, section
+                # plus the server-only and client-only sections
+                assert "server" in snapshot
+                assert "client" in snapshot
+            finally:
+                connection.close()

@@ -1,0 +1,166 @@
+"""Wire-protocol unit tests: framing, the tagged value codec, and
+error transport (repro.server.protocol)."""
+
+import datetime
+import socket
+import threading
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import (
+    InterfaceError,
+    OperationalError,
+    ProgrammingError,
+)
+from repro.server.protocol import (
+    MAX_FRAME,
+    decode_row,
+    decode_value,
+    encode_error,
+    encode_row,
+    encode_value,
+    pack_frame,
+    raise_error,
+    recv_frame,
+    send_frame,
+    unpack_payload,
+)
+
+
+def frame_over_socketpair(message: dict, max_frame: int = MAX_FRAME):
+    """Send one frame over a real socket pair and read it back."""
+    left, right = socket.socketpair()
+    try:
+        writer = threading.Thread(target=send_frame,
+                                  args=(left, message))
+        writer.start()
+        received = recv_frame(right, max_frame=max_frame)
+        writer.join(timeout=5)
+        return received
+    finally:
+        left.close()
+        right.close()
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "hello", "tenant": "app", "n": 42,
+                   "nested": {"x": [1, 2, 3]}}
+        assert frame_over_socketpair(message) == message
+
+    def test_unicode_payload(self):
+        message = {"sql": "SELECT 'héllo – ☃'"}
+        assert frame_over_socketpair(message) == message
+
+    def test_pack_unpack_inverse(self):
+        message = {"a": None, "b": [1, "x"]}
+        data = pack_frame(message)
+        assert unpack_payload(data[4:]) == message
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(InterfaceError, match="exceeds"):
+            frame_over_socketpair({"pad": "x" * 2048}, max_frame=64)
+
+    def test_eof_reported(self):
+        left, right = socket.socketpair()
+        left.close()
+        with pytest.raises(InterfaceError, match="closed by peer"):
+            recv_frame(right)
+        right.close()
+
+    def test_truncated_frame_reported(self):
+        left, right = socket.socketpair()
+        left.sendall(pack_frame({"op": "x"})[:-3])
+        left.close()
+        with pytest.raises(InterfaceError, match="mid-frame"):
+            recv_frame(right)
+        right.close()
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(InterfaceError, match="JSON object"):
+            unpack_payload(b"[1, 2]")
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(InterfaceError, match="malformed"):
+            unpack_payload(b"\xff\xfe not json")
+
+
+class TestValueCodec:
+    ROUND_TRIP = [
+        None,
+        "",
+        "plain text",
+        "['i', 'looks like a tag']",
+        0,
+        -17,
+        2**63,
+        True,
+        False,
+        3.5,
+        0.1,
+        float("inf"),
+        Decimal("12000.00"),
+        Decimal("-0.010"),
+        datetime.date(2003, 1, 9),
+        datetime.time(23, 59, 59, 999999),
+        datetime.datetime(2003, 1, 9, 12, 30, 45, 1),
+    ]
+
+    @pytest.mark.parametrize("value", ROUND_TRIP,
+                             ids=[repr(v) for v in ROUND_TRIP])
+    def test_round_trip_identity(self, value):
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_bool_not_confused_with_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+    def test_decimal_precision_preserved(self):
+        wire = encode_value(Decimal("1.300"))
+        assert str(decode_value(wire)) == "1.300"
+
+    def test_datetime_not_degraded_to_date(self):
+        decoded = decode_value(
+            encode_value(datetime.datetime(2003, 1, 9)))
+        assert isinstance(decoded, datetime.datetime)
+
+    def test_row_round_trip_is_tuple(self):
+        row = ("Sue", 23, Decimal("5000.00"), None)
+        decoded = decode_row(encode_row(row))
+        assert decoded == row
+        assert isinstance(decoded, tuple)
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(InterfaceError, match="cannot send"):
+            encode_value(object())
+
+    def test_malformed_wire_value_rejected(self):
+        for bad in (17, ["i"], ["i", 5], ["zz", "1"], {"x": 1},
+                    ["i", "not an int"]):
+            with pytest.raises(InterfaceError, match="malformed"):
+                decode_value(bad)
+
+
+class TestErrorTransport:
+    def test_driver_class_round_trips(self):
+        payload = encode_error(ProgrammingError("unknown column NOPE"))
+        with pytest.raises(ProgrammingError, match="unknown column"):
+            raise_error(payload)
+
+    def test_unknown_class_degrades_to_database_error(self):
+        payload = encode_error(RuntimeError("boom"))
+        assert payload["cls"] == "DatabaseError"
+
+    def test_hostile_class_name_not_resolved(self):
+        from repro.errors import DatabaseError
+
+        with pytest.raises(DatabaseError):
+            raise_error({"cls": "SystemExit", "message": "nope"})
+
+    def test_non_dict_payload(self):
+        with pytest.raises(OperationalError, match="server error"):
+            raise_error("garbage")

@@ -1,0 +1,86 @@
+"""Differential testing: the remote driver vs the embedded driver.
+
+Every query in the translator corpus (the paper's worked examples plus
+the E7 equivalence battery) runs through both transports against the
+same runtime; rows, description tuples, rowcount, and — for failing
+statements — the exception class must be identical. The wire protocol
+is only correct if it is invisible."""
+
+import pytest
+
+from repro.driver import connect
+from repro.errors import Error
+from repro.server import TenantConfig, serve_in_thread
+from repro.workloads import build_runtime
+
+from tests.xquery.test_compile_differential import CORPUS
+
+RUNTIME = build_runtime()
+TOKEN = "diff-token"
+
+
+@pytest.fixture(scope="module")
+def transports():
+    """One embedded and one remote connection per format, both over
+    RUNTIME, shared across the corpus (the statement cache mirrors
+    production use)."""
+    tenant = TenantConfig(name="app", runtime=RUNTIME, token=TOKEN)
+    with serve_in_thread(tenant) as handle:
+        pairs = {}
+        for fmt in ("delimited", "xml"):
+            embedded = connect(RUNTIME, format=fmt)
+            remote = connect(
+                handle.dsn("app", "TestDataServices", token=TOKEN),
+                format=fmt)
+            pairs[fmt] = (embedded, remote)
+        yield pairs
+        for embedded, remote in pairs.values():
+            remote.close()
+
+
+def run_statement(connection, sql):
+    """(outcome, payload): rows+description+rowcount on success, the
+    exception class on failure."""
+    cursor = connection.cursor()
+    try:
+        cursor.execute(sql)
+        rows = cursor.fetchall()
+        return "ok", (rows, cursor.description, cursor.rowcount)
+    except Error as exc:
+        return "error", type(exc)
+
+
+@pytest.mark.parametrize("fmt", ["delimited", "xml"])
+@pytest.mark.parametrize("sql", CORPUS)
+def test_remote_matches_embedded(transports, sql, fmt):
+    embedded, remote = transports[fmt]
+    embedded_outcome, embedded_payload = run_statement(embedded, sql)
+    remote_outcome, remote_payload = run_statement(remote, sql)
+    assert remote_outcome == embedded_outcome
+    if embedded_outcome == "error":
+        assert remote_payload is embedded_payload
+        return
+    embedded_rows, embedded_desc, embedded_count = embedded_payload
+    remote_rows, remote_desc, remote_count = remote_payload
+    assert remote_rows == embedded_rows
+    # cell-level type identity, not just equality (1 vs True, etc.)
+    for embedded_row, remote_row in zip(embedded_rows, remote_rows):
+        for embedded_cell, remote_cell in zip(embedded_row, remote_row):
+            assert type(remote_cell) is type(embedded_cell)
+    assert remote_desc == embedded_desc
+    assert remote_count == embedded_count
+
+
+def test_paged_remote_fetch_matches_embedded(transports):
+    """Small arraysize forces many fetch frames; paging must not
+    reorder, drop, or duplicate rows."""
+    sql = "SELECT * FROM CUSTOMERS C1, CUSTOMERS C2 ORDER BY " \
+          "C1.CUSTOMERID, C2.CUSTOMERID"
+    embedded, remote = transports["delimited"]
+    embedded_cursor = embedded.cursor()
+    embedded_cursor.execute(sql)
+    expected = embedded_cursor.fetchall()
+    remote_cursor = remote.cursor()
+    remote_cursor.arraysize = 3
+    remote_cursor.execute(sql)
+    assert remote_cursor.fetchall() == expected

@@ -1,0 +1,374 @@
+"""End-to-end server tests over real sockets: the remote PEP 249
+driver, multi-client concurrency, tenant quotas, disconnect cleanup,
+and out-of-band cancel (the ISSUE-8 acceptance scenarios)."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.driver import connect
+from repro.driver.remote import RemoteConnection, RemoteCursor
+from repro.engine import FaultProfile, TenantQuota, install_fault
+from repro.errors import InterfaceError, OperationalError
+from repro.server import TenantConfig, serve_in_thread
+from repro.server.protocol import recv_frame, send_frame
+from repro.workloads import build_runtime
+
+#: 6^3 = 216 rows — enough pages that a stream outlives its first fetch.
+BIG_QUERY = "SELECT * FROM CUSTOMERS C1, CUSTOMERS C2, CUSTOMERS C3"
+
+TOKEN = "test-token"
+
+
+@pytest.fixture()
+def runtime():
+    return build_runtime()
+
+
+@pytest.fixture()
+def server(runtime):
+    tenant = TenantConfig(name="app", runtime=runtime, token=TOKEN)
+    with serve_in_thread(tenant) as handle:
+        yield handle
+
+
+def remote_connect(handle, **kwargs):
+    return connect(handle.dsn("app", "TestDataServices", token=TOKEN),
+                   **kwargs)
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestRemoteDriver:
+    def test_connect_returns_remote_connection(self, server):
+        connection = remote_connect(server)
+        try:
+            assert isinstance(connection, RemoteConnection)
+            assert isinstance(connection.cursor(), RemoteCursor)
+        finally:
+            connection.close()
+
+    def test_execute_fetch_round_trip(self, server):
+        with remote_connect(server) as connection:
+            cursor = connection.cursor()
+            cursor.execute("SELECT CUSTOMERNAME FROM CUSTOMERS "
+                           "WHERE CUSTOMERID = ?", [23])
+            assert cursor.description[0][0] == "CUSTOMERNAME"
+            assert cursor.fetchall() == [("Sue",)]
+            assert cursor.rowcount == 1
+
+    def test_paged_fetch_streams_whole_result(self, server):
+        with remote_connect(server) as connection:
+            cursor = connection.cursor()
+            cursor.arraysize = 7  # forces many fetch frames
+            cursor.execute(BIG_QUERY)
+            assert len(cursor.fetchall()) == 216
+            assert cursor.rowcount == 216
+
+    def test_fetchone_and_iteration(self, server):
+        with remote_connect(server) as connection:
+            cursor = connection.cursor()
+            cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS "
+                           "ORDER BY CUSTOMERID")
+            first = cursor.fetchone()
+            rest = [row for row in cursor]
+            assert len([first] + rest) == 6
+
+    def test_executemany(self, server):
+        with remote_connect(server) as connection:
+            cursor = connection.cursor()
+            cursor.executemany(
+                "SELECT CUSTOMERNAME FROM CUSTOMERS WHERE "
+                "CUSTOMERID = ?", [[17], [23], [31]])
+            # PEP 249 executemany leaves the last set's rows readable
+            assert cursor.fetchall() == [("Eve",)]
+
+    def test_error_maps_to_same_class(self, server):
+        with remote_connect(server) as connection:
+            cursor = connection.cursor()
+            with pytest.raises(repro.ProgrammingError,
+                               match="unknown column"):
+                cursor.execute("SELECT NOPE FROM CUSTOMERS")
+            # the cursor (and connection) survive a failed statement
+            cursor.execute("SELECT COUNT(*) FROM CUSTOMERS")
+            assert cursor.fetchall() == [(6,)]
+
+    def test_metadata_proxy(self, server):
+        with remote_connect(server) as connection:
+            meta = connection.metadata()
+            assert meta.catalogs() == ["RTLApp"]
+            assert ("TestDataServices/CUSTOMERS", "CUSTOMERS") \
+                in meta.tables()
+            columns = meta.columns("CUSTOMERS")
+            assert [c[0] for c in columns] == [
+                "CUSTOMERID", "CUSTOMERNAME", "REGION", "CREDITLIMIT"]
+            assert meta.get_catalogs() == meta.catalogs()
+
+    def test_stats_and_health(self, server):
+        with remote_connect(server) as connection:
+            cursor = connection.cursor()
+            cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+            cursor.fetchall()
+            snapshot = connection.stats()
+            assert snapshot["stats_schema_version"] == 1
+            assert snapshot["server"]["counters"]["executes"] >= 1
+            assert snapshot["server"]["tenant"]["name"] == "app"
+            assert snapshot["client"]["counters"]["wire.roundtrips"] > 0
+            health = connection.server_health()
+            assert health["tenants"] == ["app"]
+            assert health["sessions"] == 1
+
+    def test_closed_connection_raises_interface_error(self, server):
+        connection = remote_connect(server)
+        connection.close()
+        connection.close()  # idempotent
+        with pytest.raises(InterfaceError, match="closed"):
+            connection.cursor()
+
+
+class TestAuthentication:
+    def test_bad_token_rejected(self, server):
+        host, port = server.address
+        with pytest.raises(OperationalError,
+                           match="authentication failed"):
+            connect(f"repro+tcp://{host}:{port}/app?token=wrong")
+
+    def test_unknown_tenant_same_error_shape(self, server):
+        host, port = server.address
+        with pytest.raises(OperationalError,
+                           match="authentication failed"):
+            connect(f"repro+tcp://{host}:{port}/ghost?token={TOKEN}")
+
+    def test_unknown_project_rejected(self, server):
+        host, port = server.address
+        with pytest.raises(InterfaceError, match="no project"):
+            connect(f"repro+tcp://{host}:{port}/app/NoSuch"
+                    f"?token={TOKEN}")
+
+    def test_verbs_require_handshake(self, server):
+        sock = socket.create_connection(server.address, timeout=5)
+        try:
+            send_frame(sock, {"id": 1, "op": "execute",
+                              "sql": "SELECT 1"})
+            reply = recv_frame(sock)
+            assert reply["ok"] is False
+            assert reply["error"]["cls"] == "InterfaceError"
+            assert "hello" in reply["error"]["message"]
+        finally:
+            sock.close()
+
+    def test_health_is_public(self, server):
+        sock = socket.create_connection(server.address, timeout=5)
+        try:
+            send_frame(sock, {"id": 1, "op": "health"})
+            reply = recv_frame(sock)
+            assert reply["ok"] is True
+            assert reply["protocol"] == 1
+        finally:
+            sock.close()
+
+
+class TestMultiClient:
+    def test_concurrent_clients_get_consistent_results(self, server):
+        expected = None
+        results = [None] * 8
+        errors = []
+
+        def worker(index):
+            try:
+                with remote_connect(server) as connection:
+                    cursor = connection.cursor()
+                    cursor.arraysize = 13
+                    cursor.execute(BIG_QUERY)
+                    results[index] = cursor.fetchall()
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(results))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        with remote_connect(server) as connection:
+            cursor = connection.cursor()
+            cursor.execute(BIG_QUERY)
+            expected = cursor.fetchall()
+        for result in results:
+            assert result == expected
+
+    def test_sessions_are_isolated(self, server):
+        with remote_connect(server) as first, \
+                remote_connect(server) as second:
+            c1, c2 = first.cursor(), second.cursor()
+            c1.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+            c2.execute("SELECT CUSTOMERNAME FROM CUSTOMERS")
+            assert len(c1.fetchall()) == 6
+            assert len(c2.fetchall()) == 6
+
+
+class TestTenantQuotas:
+    def test_concurrency_quota_rejects_as_operational_error(
+            self, runtime):
+        tenant = TenantConfig(
+            name="app", runtime=runtime, token=TOKEN,
+            quota=TenantQuota(max_concurrent=1))
+        with serve_in_thread(tenant) as handle:
+            first = remote_connect(handle)
+            second = remote_connect(handle)
+            try:
+                hog = first.cursor()
+                hog.execute(BIG_QUERY)
+                hog.fetchone()  # the stream (and slot) stay open
+                needy = second.cursor()
+                with pytest.raises(OperationalError,
+                                   match="tenant quota"):
+                    needy.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+                # draining the hog releases the tenant slot
+                hog.fetchall()
+                needy.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+                assert len(needy.fetchall()) == 6
+                stats = second.stats()
+                assert stats["server"]["counters"][
+                    "quota_rejections"] >= 1
+            finally:
+                first.close()
+                second.close()
+
+    def test_inflight_row_quota_aborts_stream(self, runtime):
+        tenant = TenantConfig(
+            name="app", runtime=runtime, token=TOKEN,
+            quota=TenantQuota(max_inflight_rows=50))
+        with serve_in_thread(tenant) as handle:
+            with remote_connect(handle) as connection:
+                cursor = connection.cursor()
+                cursor.arraysize = 40
+                cursor.execute(BIG_QUERY)  # 216 rows > 50 budget
+                with pytest.raises(OperationalError,
+                                   match="tenant quota"):
+                    cursor.fetchall()
+                # the tenant slot is returned, new statements run
+                cursor.execute("SELECT COUNT(*) FROM CUSTOMERS")
+                assert cursor.fetchall() == [(6,)]
+
+    def test_timeout_clamped_to_tenant_ceiling(self, runtime):
+        install_fault(runtime, "CUSTOMERS",
+                      FaultProfile(latency=30.0))
+        tenant = TenantConfig(
+            name="app", runtime=runtime, token=TOKEN,
+            quota=TenantQuota(max_timeout=0.2))
+        with serve_in_thread(tenant) as handle:
+            with remote_connect(handle) as connection:
+                cursor = connection.cursor()
+                start = time.monotonic()
+                with pytest.raises(OperationalError,
+                                   match="deadline|timeout"):
+                    # the client asks for a minute; the tenant cap wins
+                    cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS",
+                                   timeout=60.0)
+                    cursor.fetchall()
+                assert time.monotonic() - start < 10.0
+
+
+class TestDisconnectCleanup:
+    def test_midstream_disconnect_releases_admission_slots(
+            self, runtime, server):
+        connection = remote_connect(server)
+        cursor = connection.cursor()
+        cursor.execute(BIG_QUERY)
+        assert cursor.fetchone() is not None
+        assert runtime.admission.stats()["active"] == 1
+        # Drop the TCP connection with the stream mid-flight; the
+        # server must tear the session down and return the global
+        # admission slot and its in-flight row charge.
+        connection._sock.close()
+        assert wait_until(
+            lambda: runtime.admission.stats()["active"] == 0)
+        assert wait_until(
+            lambda: runtime.admission.stats()["inflight_rows"] == 0)
+
+    def test_midstream_disconnect_releases_tenant_slot(self, runtime):
+        tenant = TenantConfig(
+            name="app", runtime=runtime, token=TOKEN,
+            quota=TenantQuota(max_concurrent=1))
+        with serve_in_thread(tenant) as handle:
+            connection = remote_connect(handle)
+            cursor = connection.cursor()
+            cursor.execute(BIG_QUERY)
+            cursor.fetchone()
+            connection._sock.close()
+            # once the server notices, a new client gets the only slot
+            assert wait_until(
+                lambda: tenant.quota.stats()["active"] == 0)
+            with remote_connect(handle) as fresh:
+                cursor = fresh.cursor()
+                cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+                assert len(cursor.fetchall()) == 6
+
+    def test_client_close_tears_down_session(self, server):
+        connection = remote_connect(server)
+        cursor = connection.cursor()
+        cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+        cursor.fetchall()
+        connection.close()
+        with remote_connect(server) as probe:
+            assert wait_until(
+                lambda: probe.server_health()["sessions"] == 1)
+
+
+class TestRemoteCancel:
+    def test_cancel_aborts_hung_query(self, runtime, server):
+        install_fault(runtime, "CUSTOMERS", FaultProfile(hang=True))
+        connection = remote_connect(server)
+        try:
+            cursor = connection.cursor()
+
+            def canceller():
+                time.sleep(0.3)  # let the execute frame reach the server
+                cursor.cancel()
+
+            thread = threading.Thread(target=canceller)
+            thread.start()
+            start = time.monotonic()
+            with pytest.raises(OperationalError, match="cancelled"):
+                cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
+                cursor.fetchall()
+            assert time.monotonic() - start < 10.0
+            thread.join(timeout=5)
+        finally:
+            connection.close()
+
+    def test_cancel_without_statement_is_harmless(self, server):
+        with remote_connect(server) as connection:
+            cursor = connection.cursor()
+            cursor.cancel()
+            cursor.execute("SELECT COUNT(*) FROM CUSTOMERS")
+            assert cursor.fetchall() == [(6,)]
+
+    def test_cancel_requires_session_secret(self, server):
+        with remote_connect(server) as connection:
+            cursor = connection.cursor()
+            cursor.execute(BIG_QUERY)
+            sock = socket.create_connection(server.address, timeout=5)
+            try:
+                send_frame(sock, {
+                    "id": 1, "op": "cancel",
+                    "session": connection._session,
+                    "secret": "not-the-secret", "cursor": None})
+                reply = recv_frame(sock)
+                assert reply["ok"] is True
+                assert reply["cancelled"] is False
+            finally:
+                sock.close()
+            assert len(cursor.fetchall()) == 216  # query unharmed

@@ -9,11 +9,36 @@ import repro
 
 class TestFacade:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
             assert hasattr(repro, name), name
+
+    def test_all_is_exact(self):
+        """``__all__`` is the whole supported surface — every public
+        attribute of the module is either listed or a submodule; nothing
+        leaks in by accident."""
+        listed = set(repro.__all__)
+        import types
+
+        for name in dir(repro):
+            if name.startswith("_"):
+                continue
+            if isinstance(getattr(repro, name), types.ModuleType):
+                continue  # imported submodules are addressed by path
+            assert name in listed, f"unlisted public attribute {name!r}"
+
+    def test_dsn_exports(self):
+        parsed = repro.parse_dsn("repro://RTLApp/TestDataServices")
+        assert isinstance(parsed, repro.DSN)
+        assert not parsed.remote
+        remote = repro.parse_dsn(
+            "repro+tcp://db.example:7777/RTLApp/TestDataServices?token=s")
+        assert remote.remote and remote.address == ("db.example", 7777)
+
+    def test_stats_schema_version_exported(self):
+        assert repro.STATS_SCHEMA_VERSION == 1
 
     def test_pep249_globals(self):
         assert repro.apilevel == "2.0"
@@ -49,6 +74,7 @@ class TestLegacyAliases:
     def test_legacy_class_alias_warns_and_resolves(self):
         from repro.engine import DSPRuntime
 
+        repro._warned_legacy.discard("DSPRuntime")
         with pytest.warns(DeprecationWarning, match="repro.DSPRuntime"):
             assert repro.DSPRuntime is DSPRuntime
 
@@ -58,6 +84,7 @@ class TestLegacyAliases:
             assert name not in repro.__all__
 
     def test_legacy_translate_works(self):
+        repro._warned_legacy.discard("translate")
         with pytest.warns(DeprecationWarning):
             result = repro.translate("SELECT * FROM CUSTOMERS")
         assert "ns0:CUSTOMERS()" in result.xquery
@@ -65,6 +92,7 @@ class TestLegacyAliases:
             "CUSTOMERID", "CUSTOMERNAME", "REGION", "CREDITLIMIT"]
 
     def test_legacy_build_demo_runtime_works(self):
+        repro._warned_legacy.discard("build_demo_runtime")
         with pytest.warns(DeprecationWarning):
             runtime = repro.build_demo_runtime()
         conn = repro.connect(runtime)
@@ -73,15 +101,27 @@ class TestLegacyAliases:
         assert cur.fetchall() == [(6,)]
 
     def test_legacy_execute_xquery(self):
+        repro._warned_legacy.discard("execute_xquery")
         with pytest.warns(DeprecationWarning):
             assert repro.execute_xquery("1 + 1") == [2]
 
-    def test_legacy_warning_every_access(self):
-        # Deliberately uncached: each access nudges migrating code.
-        with pytest.warns(DeprecationWarning):
+    def test_legacy_warning_once_per_name(self):
+        # The first access per process warns; repeats stay silent so a
+        # loop over legacy call sites cannot drown real warnings.
+        repro._warned_legacy.discard("MetricsRegistry")
+        with pytest.warns(DeprecationWarning, match="MetricsRegistry"):
             repro.MetricsRegistry
-        with pytest.warns(DeprecationWarning):
-            repro.MetricsRegistry
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.MetricsRegistry  # second access: silent
+
+    def test_legacy_warning_once_local_names(self):
+        repro._warned_legacy.discard("translate")
+        with pytest.warns(DeprecationWarning, match="translate"):
+            repro.translate
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.translate
 
     def test_unknown_attribute_raises(self):
         with pytest.raises(AttributeError):
