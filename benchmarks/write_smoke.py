@@ -1,0 +1,153 @@
+"""Write-path smoke harness: a mixed 80/20 read-write workload with
+correctness gates (the EXPERIMENTS.md E20 numbers).
+
+Drives the embedded PEP 249 driver on both writable backends with a
+seeded stream of statements — 80% reads, 20% DML, with periodic
+explicit transactions that roll back — and asserts, per backend:
+
+* every rollback restores the pre-transaction reads, and on the
+  memory backend restores every table's version token *exactly*;
+* the plan-cache epoch moves on every visible write (``note_write``),
+  so token-guarded plans re-validate instead of serving stale rows;
+* final row counts match an independently-maintained oracle.
+
+Reports read/write throughput per backend. Exit status is non-zero on
+any correctness failure — this is the CI leg for the write path.
+
+Usage::
+
+    python benchmarks/write_smoke.py [--statements N] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.driver import connect  # noqa: E402
+from repro.workloads import build_runtime  # noqa: E402
+
+REGIONS = ("APAC", "EMEA", "AMER", "LATAM")
+
+
+def run_backend(backend: str, statements: int, seed: int) -> dict:
+    rng = random.Random(("write-smoke", seed).__repr__())
+    runtime = build_runtime(backend=backend)
+    conn = connect(runtime)
+    cur = conn.cursor()
+    source = runtime._default_source
+
+    def tokens():
+        return {t: source.version(t) for t in source.tables()}
+
+    cur.execute("SELECT COUNT(*) FROM CUSTOMERS")
+    live = cur.fetchall()[0][0]  # the oracle: expected CUSTOMERS rows
+    next_id = 10_000
+    reads = writes = rollbacks = 0
+    read_seconds = write_seconds = 0.0
+    epoch_failures = 0
+
+    for step in range(statements):
+        if rng.random() < 0.8:
+            started = time.perf_counter()
+            cur.execute(
+                "SELECT COUNT(*), MAX(CUSTOMERID) FROM CUSTOMERS "
+                "WHERE REGION = ?", [rng.choice(REGIONS)])
+            cur.fetchall()
+            read_seconds += time.perf_counter() - started
+            reads += 1
+            continue
+        if rng.random() < 0.2:
+            # An explicit transaction that rolls back: reads (and on
+            # memory, version tokens) must come back exactly.
+            before_tokens = tokens()
+            conn.begin()
+            cur.execute("DELETE FROM CUSTOMERS WHERE CUSTOMERID >= ?",
+                        [10_000])
+            cur.execute("SELECT COUNT(*) FROM CUSTOMERS")
+            cur.fetchall()
+            conn.rollback()
+            rollbacks += 1
+            cur.execute("SELECT COUNT(*) FROM CUSTOMERS")
+            restored = cur.fetchall()[0][0]
+            if restored != live:
+                raise SystemExit(
+                    f"FAIL[{backend}]: rollback did not restore reads "
+                    f"({restored} rows, expected {live}) at step {step}")
+            if backend == "memory" and tokens() != before_tokens:
+                raise SystemExit(
+                    f"FAIL[{backend}]: rollback did not restore "
+                    f"version tokens at step {step}")
+            continue
+        epoch_before = runtime._stats_epoch
+        started = time.perf_counter()
+        roll = rng.random()
+        if roll < 0.6 or live < 5:
+            cur.execute(
+                "INSERT INTO CUSTOMERS (CUSTOMERID, CUSTOMERNAME, "
+                "REGION, CREDITLIMIT) VALUES (?, ?, ?, ?)",
+                [next_id, f"W{next_id}", rng.choice(REGIONS),
+                 rng.randint(1, 999)])
+            live += 1
+            next_id += 1
+        elif roll < 0.85:
+            cur.execute(
+                "UPDATE CUSTOMERS SET CREDITLIMIT = CREDITLIMIT + 1 "
+                "WHERE CUSTOMERID = ?",
+                [rng.randrange(10_000, next_id) if next_id > 10_000
+                 else 23])
+        else:
+            cur.execute(
+                "DELETE FROM CUSTOMERS WHERE CUSTOMERID = ?",
+                [rng.randrange(10_000, next_id) if next_id > 10_000
+                 else -1])
+            live -= cur.rowcount
+        write_seconds += time.perf_counter() - started
+        writes += 1
+        # The plan-cache epoch must move on every visible write, or
+        # cached plans could keep cost decisions made on dead stats.
+        if runtime._stats_epoch == epoch_before:
+            epoch_failures += 1
+
+    cur.execute("SELECT COUNT(*) FROM CUSTOMERS")
+    final = cur.fetchall()[0][0]
+    conn.close()
+    if final != live:
+        raise SystemExit(
+            f"FAIL[{backend}]: final count {final} != oracle {live}")
+    if epoch_failures:
+        raise SystemExit(
+            f"FAIL[{backend}]: {epoch_failures} writes did not move "
+            f"the plan-cache epoch")
+    return {
+        "reads": reads, "writes": writes, "rollbacks": rollbacks,
+        "read_qps": reads / read_seconds if read_seconds else 0.0,
+        "write_qps": writes / write_seconds if write_seconds else 0.0,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--statements", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    for backend in ("memory", "sqlite"):
+        report = run_backend(backend, args.statements, args.seed)
+        print(f"{backend:7s}: {report['reads']} reads "
+              f"({report['read_qps']:.0f}/s), "
+              f"{report['writes']} writes "
+              f"({report['write_qps']:.0f}/s), "
+              f"{report['rollbacks']} rollbacks — "
+              f"tokens + epoch + oracle OK")
+    print("PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,14 +17,17 @@ pluggable physical-source SPI:
   frozen dataclass, accepted by both ``DSPRuntime(config=...)`` and
   ``connect(config=...)``;
 * the sources SPI — :class:`DataSource`, :class:`SourceCapabilities`,
-  :class:`ScanRequest`, :class:`Predicate`, :class:`Scan` — and its
-  three backends: :class:`TableSource` (in-memory),
-  :class:`SQLiteSource` (relational, with predicate/projection
-  pushdown), :class:`XMLFileSource` (read-only XML files).
+  :class:`ScanRequest`, :class:`Predicate`, :class:`Scan`, and (since
+  2.0) the write capability :class:`Mutation` /
+  :class:`MutationResult` — and its three backends:
+  :class:`TableSource` (in-memory, writable), :class:`SQLiteSource`
+  (relational, writable, with predicate/projection pushdown),
+  :class:`XMLFileSource` (read-only XML files).
 
 Everything else (the translator, the XQuery engine, storage, the
-observability toolkit) lives in its subpackage; the pre-1.1 top-level
-aliases still resolve for one release with a ``DeprecationWarning``.
+observability toolkit) lives in its subpackage. 2.0 removed the pre-1.1
+top-level aliases that 1.x resolved with a ``DeprecationWarning``;
+import those names from their subpackages.
 
 Quickstart::
 
@@ -36,9 +39,13 @@ Quickstart::
     cur.execute("SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = ?",
                 [23])
     print(cur.fetchall())
-"""
 
-import warnings as _warnings
+    cur.execute("UPDATE CUSTOMERS SET CREDITLIMIT = ? "
+                "WHERE CUSTOMERID = ?", [9000, 23])   # autocommit
+    conn.autocommit = False
+    cur.execute("DELETE FROM CUSTOMERS WHERE REGION = 'EMEA'")
+    conn.rollback()                                    # nothing happened
+"""
 
 from .config import RuntimeConfig
 from .driver import (
@@ -67,6 +74,8 @@ from .errors import (
 )
 from .sources import (
     DataSource,
+    Mutation,
+    MutationResult,
     Predicate,
     Scan,
     ScanRequest,
@@ -76,7 +85,7 @@ from .sources.memory import TableSource
 from .sources.sqlite import SQLiteSource
 from .sources.xmlfile import XMLFileSource
 
-__version__ = "1.2.0"
+__version__ = "2.0.0"
 
 __all__ = [
     # driver entry points
@@ -112,82 +121,10 @@ __all__ = [
     "ScanRequest",
     "Predicate",
     "Scan",
+    "Mutation",
+    "MutationResult",
     "TableSource",
     "SQLiteSource",
     "XMLFileSource",
     "__version__",
 ]
-
-
-def _translate(sql, runtime=None, format="recordset"):
-    from .translator import SQLToXQueryTranslator
-    from .workloads import build_runtime
-
-    if runtime is None:
-        runtime = build_runtime()
-    translator = SQLToXQueryTranslator(runtime.metadata_api())
-    return translator.translate(sql, format=format)
-
-
-def _build_demo_runtime():
-    from .workloads import build_runtime
-
-    return build_runtime()
-
-
-#: Pre-1.1 top-level names and where they live now. Resolved lazily via
-#: module ``__getattr__`` with a DeprecationWarning emitted once per
-#: name per process (the first access points migrating code at the new
-#: home; repeating it for every touch would drown real warnings in any
-#: loop over legacy call sites). Deliberately not cached as a module
-#: attribute, so the resolution logic stays the single chokepoint.
-_LEGACY = {
-    "DSPRuntime": ("repro.engine", "DSPRuntime"),
-    "Storage": ("repro.engine", "Storage"),
-    "SQLExecutor": ("repro.engine", "SQLExecutor"),
-    "TableProvider": ("repro.engine", "TableProvider"),
-    "QueryContext": ("repro.engine", "QueryContext"),
-    "CancellationToken": ("repro.engine", "CancellationToken"),
-    "AdmissionController": ("repro.engine", "AdmissionController"),
-    "RetryPolicy": ("repro.engine", "RetryPolicy"),
-    "FaultProfile": ("repro.engine", "FaultProfile"),
-    "install_fault": ("repro.engine", "install_fault"),
-    "Tracer": ("repro.obs", "Tracer"),
-    "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
-    "LRUCache": ("repro.obs", "LRUCache"),
-    "SQLToXQueryTranslator": ("repro.translator", "SQLToXQueryTranslator"),
-    "TranslationResult": ("repro.translator", "TranslationResult"),
-    "execute_xquery": ("repro.xquery", "execute_xquery"),
-}
-
-_LEGACY_LOCAL = {
-    "translate": _translate,
-    "build_demo_runtime": _build_demo_runtime,
-}
-
-
-#: Legacy names that have already warned this process.
-_warned_legacy: set = set()
-
-
-def __getattr__(name):
-    if name in _LEGACY:
-        module_name, attr = _LEGACY[name]
-        if name not in _warned_legacy:
-            _warned_legacy.add(name)
-            _warnings.warn(
-                f"repro.{name} is deprecated; import {attr} from "
-                f"{module_name} instead",
-                DeprecationWarning, stacklevel=2)
-        import importlib
-
-        return getattr(importlib.import_module(module_name), attr)
-    if name in _LEGACY_LOCAL:
-        if name not in _warned_legacy:
-            _warned_legacy.add(name)
-            _warnings.warn(
-                f"repro.{name} is deprecated; see the module docstring "
-                f"for the supported entry points",
-                DeprecationWarning, stacklevel=2)
-        return _LEGACY_LOCAL[name]
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -6,6 +6,12 @@ the DSP runtime, and decode results through either of the two section-4
 result paths (``format="delimited"`` — the paper's optimized text
 encoding — or ``format="xml"`` — materialize and re-parse XML).
 
+INSERT/UPDATE/DELETE never reach the XQuery generator: they compile to
+source-level mutation plans (``repro.engine.dml``) and run through the
+connection's transaction manager (``repro.engine.txn``) — autocommit by
+default, with ``begin()``/``commit()``/``rollback()`` and
+``autocommit = False`` for multi-statement transactions.
+
 Stored procedures (parameterized data service functions, Figure 2) are
 reachable via ``Cursor.callproc``.
 """
@@ -19,8 +25,10 @@ from typing import Iterable, Iterator, Optional, Sequence, Union
 from .. import clock, errors
 from ..catalog import MetadataCache, ProcedureMetadata
 from ..config import DRIVER_FIELDS, RuntimeConfig, merge_legacy_kwargs
+from ..engine.dml import mutation_parameter_count, plan_mutation
 from ..engine.dsp import DSPRuntime
 from ..engine.lifecycle import AdmissionSlot, QueryContext
+from ..engine.txn import TransactionManager
 from ..obs import LRUCache, MetricsRegistry, Tracer
 from ..errors import (
     AdmissionRejectedError,
@@ -40,6 +48,7 @@ from ..errors import (
     Warning,
     to_driver_error,
 )
+from ..sql import is_mutation, parse_mutation
 from ..translator import (
     ResultColumn,
     SQLToXQueryTranslator,
@@ -64,7 +73,8 @@ DEFAULT_STATEMENT_CACHE_CAPACITY = 256
 
 #: Version of the ``Connection.stats()`` document shape. Bump on any
 #: breaking change to its sections so dashboards can detect drift.
-STATS_SCHEMA_VERSION = 1
+#: v2 added the ``transactions`` section (the write path).
+STATS_SCHEMA_VERSION = 2
 
 #: PEP 249 type objects.
 
@@ -265,6 +275,12 @@ class Connection:
         #: Default per-statement deadline in seconds (None = unbounded);
         #: ``Cursor.execute(..., timeout=...)`` overrides per query.
         self.default_timeout = config.default_timeout
+        #: Transaction demarcation and write serialization (the write
+        #: path). Autocommit is the driver default: DML statements are
+        #: durable on return until ``autocommit = False`` or an explicit
+        #: ``begin()``.
+        self._txn = TransactionManager(runtime)
+        self._autocommit = True
         self._closed = False
 
     # -- PEP 249 surface ---------------------------------------------------
@@ -273,18 +289,55 @@ class Connection:
         self._check_open()
         return Cursor(self)
 
+    @property
+    def autocommit(self) -> bool:
+        """Whether DML statements commit on return (the default).
+
+        Setting False makes the next write open an implicit
+        transaction, closed only by :meth:`commit`/:meth:`rollback`.
+        Setting True with a transaction open commits it first (the
+        conventional driver behavior)."""
+        return self._autocommit
+
+    @autocommit.setter
+    def autocommit(self, value: bool) -> None:
+        self._check_open()
+        value = bool(value)
+        if value and self._txn.in_transaction:
+            self._txn.commit()
+        self._autocommit = value
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while an explicit or implicit transaction is open
+        (driver extension, mirrors ``sqlite3.Connection``)."""
+        return self._txn.in_transaction
+
+    def begin(self) -> None:
+        """Open an explicit transaction (driver extension). Raises
+        ``ProgrammingError`` if one is already open."""
+        self._check_open()
+        self._txn.begin()
+
     def commit(self) -> None:
-        self._check_open()  # read-only driver: commit is a no-op
+        """Commit the open transaction; a no-op without one (so
+        PEP 249's commit-on-a-fresh-connection idiom stays cheap)."""
+        self._check_open()
+        self._txn.commit()
 
     def rollback(self) -> None:
+        """Roll back the open transaction — every enlisted source
+        restores its pre-transaction rows; a no-op without one."""
         self._check_open()
-        raise NotSupportedError(
-            "the data services driver is read-only; nothing to roll back")
+        self._txn.rollback()
 
     def close(self) -> None:
         """Close the connection and release the memory its caches hold:
         cached translations are dropped and the metadata cache is
-        invalidated. Idempotent."""
+        invalidated. A pending transaction is rolled back (PEP 249).
+        Idempotent."""
+        if not self._closed:
+            self._txn.close()
         self._closed = True
         self._statement_cache.clear()
         self._metadata_cache.invalidate()
@@ -324,6 +377,20 @@ class Connection:
             (fmt, sql),
             lambda: self._translator.translate(sql, format=fmt))
 
+    def _parse_mutation(self, sql: str):
+        """Parse a DML statement (with statement caching): returns the
+        AST plus its ``?`` marker count. DML shares the SELECT path's
+        statement cache under a distinct key space — there is no
+        XQuery to cache, but re-parsing hot statements would still be
+        waste."""
+        self._check_open()
+        return self._statement_cache.get_or_load(
+            ("dml", sql), lambda: self._load_mutation(sql))
+
+    def _load_mutation(self, sql: str):
+        statement = parse_mutation(sql)
+        return statement, mutation_parameter_count(statement)
+
     def stats(self) -> dict:
         """A point-in-time observability snapshot: every named counter
         and histogram, both caches' hit/miss/eviction/size stats, the
@@ -332,9 +399,11 @@ class Connection:
 
         The document's shape is a versioned contract
         (``stats_schema_version``, currently :data:`STATS_SCHEMA_VERSION`
-        = 1); dashboard consumers should pin on it, and any PR that
+        = 2); dashboard consumers should pin on it, and any PR that
         renames or removes a section must bump it (README "Connection
-        stats schema" documents every section)."""
+        stats schema" documents every section). v2 added the
+        ``transactions`` section: begun/committed/rolled_back counts,
+        autocommitted and total DML statements, and rows written."""
         snapshot = self.metrics.snapshot()
         snapshot["stats_schema_version"] = STATS_SCHEMA_VERSION
         snapshot["statement_cache"] = self._statement_cache.stats()
@@ -342,6 +411,7 @@ class Connection:
         snapshot["plan_cache"] = self._runtime.plan_cache.stats()
         snapshot["admission"] = self._runtime.admission.stats()
         snapshot["runtime"] = self._runtime.metrics.snapshot()
+        snapshot["transactions"] = self._txn.stats()
         return snapshot
 
     def _check_open(self) -> None:
@@ -453,8 +523,56 @@ class Cursor:
                     f"{len(parameters)} parameters given")
             self.callproc(name, parameters)
             return self
+        if is_mutation(operation):
+            return self._execute_mutation(operation, parameters)
         return self._execute_translated(operation, None, parameters,
                                         timeout)
+
+    def _execute_mutation(self, operation: str,
+                          parameters: Sequence) -> "Cursor":
+        """Execute one INSERT/UPDATE/DELETE through the transaction
+        manager. DML has no result set: ``description`` becomes None
+        (so fetching raises ``ProgrammingError``), ``rowcount`` is the
+        affected-row count, and ``lastrowid`` is the backend-defined id
+        of the last inserted row (None for UPDATE/DELETE)."""
+        connection = self.connection
+        tracer = connection.tracer
+        self._release_stream()
+        started = clock.monotonic()
+        try:
+            with tracer.span("execute", sql=operation):
+                statement, marker_count = \
+                    connection._parse_mutation(operation)
+                if len(parameters) != marker_count:
+                    raise ProgrammingError(
+                        f"statement has {marker_count} parameter "
+                        f"markers, {len(parameters)} values given")
+                metadata = connection._metadata_cache.fetch_table(
+                    statement.table.name, schema=statement.table.schema,
+                    catalog=statement.table.catalog)
+                manager = connection._txn
+                if not connection.autocommit and \
+                        not manager.in_transaction:
+                    manager.begin()
+                result = manager.run(
+                    lambda: plan_mutation(connection._runtime, statement,
+                                          metadata, parameters))
+        except errors.SQLError as exc:
+            raise ProgrammingError(str(exc)) from exc
+        except Error:
+            raise
+        except ReproError as exc:
+            raise to_driver_error(exc) from exc
+        connection._queries_executed.increment()
+        connection._execute_seconds.observe(clock.monotonic() - started)
+        self._rows = []
+        self._index = 0
+        self._fetched = 0
+        self._charged_rows = 0
+        self._description = None
+        self.rowcount = result.rowcount
+        self.lastrowid = result.lastrowid
+        return self
 
     def _execute_translated(self, operation: str,
                             translation, parameters: Sequence,
@@ -565,6 +683,9 @@ class Cursor:
         if self._CALL_RE.match(operation):
             raise ProgrammingError(
                 "executemany() does not accept CALL statements")
+        if is_mutation(operation):
+            return self._executemany_mutation(operation,
+                                              seq_of_parameters)
         try:
             translation = self.connection.translate(operation)
         except errors.SQLError as exc:
@@ -572,6 +693,51 @@ class Cursor:
         for parameters in seq_of_parameters:
             self._execute_translated(operation, translation, parameters,
                                      timeout)
+        return self
+
+    def _executemany_mutation(self, operation: str,
+                              seq_of_parameters) -> "Cursor":
+        """Batched DML: the statement parses once and every parameter
+        set runs as one unit — inside the open transaction when there
+        is one, otherwise wrapped in an implicit transaction so a
+        mid-batch failure never leaves a torn batch behind.
+        ``rowcount`` is the batch total; ``lastrowid`` is the last
+        statement's."""
+        connection = self.connection
+        self._release_stream()
+        try:
+            statement, marker_count = connection._parse_mutation(operation)
+            sets = [tuple(parameters)
+                    for parameters in seq_of_parameters]
+            for parameters in sets:
+                if len(parameters) != marker_count:
+                    raise ProgrammingError(
+                        f"statement has {marker_count} parameter "
+                        f"markers, {len(parameters)} values given")
+            metadata = connection._metadata_cache.fetch_table(
+                statement.table.name, schema=statement.table.schema,
+                catalog=statement.table.catalog)
+            manager = connection._txn
+            if not connection.autocommit and not manager.in_transaction:
+                manager.begin()
+            results = manager.run_batch([
+                lambda parameters=parameters: plan_mutation(
+                    connection._runtime, statement, metadata, parameters)
+                for parameters in sets])
+        except errors.SQLError as exc:
+            raise ProgrammingError(str(exc)) from exc
+        except Error:
+            raise
+        except ReproError as exc:
+            raise to_driver_error(exc) from exc
+        connection._queries_executed.add(len(sets))
+        self._rows = []
+        self._index = 0
+        self._fetched = 0
+        self._charged_rows = 0
+        self._description = None
+        self.rowcount = sum(result.rowcount for result in results)
+        self.lastrowid = results[-1].lastrowid if results else None
         return self
 
     def cancel(self) -> None:

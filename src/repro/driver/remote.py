@@ -5,8 +5,11 @@ here. The contract is symmetry: a :class:`RemoteConnection` behaves like
 the embedded :class:`repro.driver.dbapi.Connection` — same cursor
 semantics (``arraysize`` paging, ``rowcount`` -1 until a streamed result
 is exhausted, ``description``, per-execute ``timeout``, cross-thread
-``cancel()``), same exception classes — so application code cannot tell
-(and need not care) which side of the network boundary the engine is on.
+``cancel()``), same exception classes, same transaction surface (``autocommit``,
+``begin``/``commit``/``rollback`` travel as protocol-v2 verbs and
+demarcate a transaction on the server's per-session embedded
+connection) — so application code cannot tell (and need not care) which
+side of the network boundary the engine is on.
 
 Transport notes:
 
@@ -97,6 +100,10 @@ class RemoteConnection:
         self._closed = False
         self._session: Optional[str] = None
         self._secret: Optional[str] = None
+        # Client-side mirror of the server session's transaction state;
+        # every txn verb reply and every execute reply refreshes it.
+        self._autocommit = True
+        self._in_transaction = False
         host, port = dsn.address
         try:
             self._sock = socket.create_connection(
@@ -170,13 +177,49 @@ class RemoteConnection:
         self._check_open()
         return RemoteCursor(self)
 
+    @property
+    def autocommit(self) -> bool:
+        """Whether statements commit immediately (the driver default).
+        Assigning sends the ``autocommit`` verb; switching it on with a
+        transaction open commits that transaction first, matching the
+        embedded connection."""
+        return self._autocommit
+
+    @autocommit.setter
+    def autocommit(self, enabled: bool) -> None:
+        self._check_open()
+        self._txn_verb({"op": "autocommit", "enabled": bool(enabled)})
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while the server session has an explicit (or implicit)
+        transaction open for this connection."""
+        return self._in_transaction
+
+    def begin(self) -> None:
+        """Open an explicit transaction on the server session."""
+        self._check_open()
+        self._txn_verb({"op": "begin"})
+
     def commit(self) -> None:
-        self._check_open()  # read-only driver: commit is a no-op
+        """Commit the open transaction; a no-op without one."""
+        self._check_open()
+        self._txn_verb({"op": "commit"})
 
     def rollback(self) -> None:
+        """Roll back the open transaction; a no-op without one."""
         self._check_open()
-        raise NotSupportedError(
-            "the data services driver is read-only; nothing to roll back")
+        self._txn_verb({"op": "rollback"})
+
+    def _txn_verb(self, message: dict) -> None:
+        reply = self._request(message)
+        self._adopt_txn_state(reply)
+
+    def _adopt_txn_state(self, reply: dict) -> None:
+        if "autocommit" in reply:
+            self._autocommit = bool(reply["autocommit"])
+        if "in_transaction" in reply:
+            self._in_transaction = bool(reply["in_transaction"])
 
     def close(self) -> None:
         """Send a best-effort goodbye and close the socket. Idempotent;
@@ -377,6 +420,8 @@ class RemoteCursor:
         self._cursor_id = reply["cursor"]
         self._description = _decode_description(reply["description"])
         self.rowcount = reply["rowcount"]
+        self.lastrowid = reply.get("lastrowid")
+        connection._adopt_txn_state(reply)
         self._buffer = []
         self._exhausted = False
         return self
@@ -400,9 +445,16 @@ class RemoteCursor:
         page = [decode_row(row) for row in reply["rows"]]
         self._buffer.extend(page)
         self.connection._rows_fetched.add(len(page))
+        # Adopt the server-side count whenever it is known, not only on
+        # the exhausted frame — the embedded cursor learns its rowcount
+        # the moment its stream drains, which can happen one frame
+        # before the server reports exhaustion on older paging logic;
+        # adopting eagerly keeps remote rowcount == embedded rowcount
+        # after identical fetch sequences.
+        if reply["rowcount"] >= 0:
+            self.rowcount = reply["rowcount"]
         if reply["exhausted"]:
             self._exhausted = True
-            self.rowcount = reply["rowcount"]
 
     def fetchone(self) -> Optional[tuple]:
         self._check_results()

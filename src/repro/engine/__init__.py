@@ -5,6 +5,7 @@ translator's correctness oracle and benchmark baseline, and the DSP
 runtime that hosts data services and executes XQuery.
 """
 
+from .dml import MutationPlan, mutation_parameter_count, plan_mutation
 from .dsp import (
     DSPRuntime,
     callable_function,
@@ -34,6 +35,7 @@ from .sqlexec import (
     sql_cast,
 )
 from .table import Storage, Table, coerce_value
+from .txn import TransactionManager
 
 __all__ = [
     "AdmissionController",
@@ -42,6 +44,7 @@ __all__ = [
     "DSPRuntime",
     "FaultProfile",
     "FaultyBinding",
+    "MutationPlan",
     "QueryContext",
     "ResultTable",
     "RetryPolicy",
@@ -51,6 +54,7 @@ __all__ = [
     "TableProvider",
     "TenantQuota",
     "TenantSlot",
+    "TransactionManager",
     "callable_function",
     "canonical_value",
     "csv_function",
@@ -60,7 +64,9 @@ __all__ = [
     "install_fault",
     "logical_function",
     "make_faulty",
+    "mutation_parameter_count",
     "physical_function",
+    "plan_mutation",
     "row_key",
     "source_function",
     "sql_cast",

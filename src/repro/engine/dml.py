@@ -1,0 +1,211 @@
+"""DML execution: SQL mutations compiled to source-level plans.
+
+The paper's translator is read-only — INSERT/UPDATE/DELETE never reach
+the XQuery generator. Instead the engine turns a parsed
+:class:`repro.sql.ast.MutationStatement` into a :class:`MutationPlan`:
+victim rows are selected by scanning the target table in canonical
+order and evaluating the full WHERE predicate per row with the
+reference SQL executor's expression evaluator (so DML predicates get
+exactly the SELECT path's SQL-92 semantics — three-valued logic, type
+promotion, LIKE, CASE, ...), and SET/VALUES expressions are evaluated
+and coerced to the column types the same way. The plan carries plain
+data (:class:`repro.sources.spi.Mutation` batches keyed by row
+ordinal) plus the version token the victims were selected under, so
+the source can refuse a stale plan.
+
+DML expressions are restricted to the subquery-free subset: scalar
+subqueries, EXISTS, IN (SELECT ...), and quantified comparisons in a
+WHERE/SET/VALUES position raise ``UnsupportedSQLError``; aggregates
+raise ``SQLSemanticError`` (there is no group to aggregate over).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SQLSemanticError, UnsupportedSQLError
+from ..sql import ast
+from ..sources.spi import DataSource, Mutation
+from .sqlexec import Binding, SQLExecutor, TableProvider, _Env
+from .table import coerce_value
+
+__all__ = [
+    "MutationPlan",
+    "mutation_parameter_count",
+    "plan_mutation",
+]
+
+
+@dataclass(frozen=True)
+class MutationPlan:
+    """One statement's mutations, ready for ``apply_mutations``.
+
+    ``version`` is the target table's token at victim-selection time;
+    it travels to the source as ``expected_version``. ``rowcount`` is
+    the statement's affected-row count (known at plan time: the engine
+    selected the victims)."""
+
+    source: DataSource
+    table: str
+    version: object
+    mutations: tuple[Mutation, ...]
+    rowcount: int
+
+
+def _check_scalar(expr: ast.Expr, where: str) -> None:
+    """Enforce the DML expression subset: no subqueries, no aggregates."""
+    for node in ast.walk(expr):
+        if ast.subqueries_of(node):
+            raise UnsupportedSQLError(
+                f"subqueries are not supported in DML {where}")
+        if isinstance(node, ast.AggregateCall):
+            raise SQLSemanticError(
+                f"aggregate functions are not allowed in DML {where}")
+
+
+def mutation_parameter_count(statement: ast.MutationStatement) -> int:
+    """The number of ``?`` placeholders the statement binds (the
+    highest parameter ordinal across all of its expressions)."""
+    highest = 0
+    for expr in _expressions_of(statement):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Parameter):
+                highest = max(highest, node.index)
+    return highest
+
+
+def _expressions_of(statement: ast.MutationStatement):
+    if isinstance(statement, ast.Insert):
+        for row in statement.rows:
+            yield from row
+    elif isinstance(statement, ast.Update):
+        for assignment in statement.assignments:
+            yield assignment.value
+        if statement.where is not None:
+            yield statement.where
+    else:
+        assert isinstance(statement, ast.Delete)
+        if statement.where is not None:
+            yield statement.where
+
+
+def plan_mutation(runtime, statement: ast.MutationStatement,
+                  metadata, parameters=()) -> MutationPlan:
+    """Bind and evaluate *statement* into a :class:`MutationPlan`.
+
+    *metadata* is the driver-fetched :class:`TableMetadata` of the
+    target table (the same stage-two metadata SELECT uses); *runtime*
+    resolves it to a writable (source, physical table) pair. The
+    returned plan has not been applied — the caller (the transaction
+    manager) decides when ``apply_mutations`` runs.
+    """
+    source, table = runtime.write_target(metadata.namespace,
+                                         metadata.function_name)
+    columns = [(c.name, c.sql_type) for c in metadata.columns]
+    executor = SQLExecutor(TableProvider(None), parameters)
+    if isinstance(statement, ast.Insert):
+        mutation = _plan_insert(statement, columns, executor, table)
+        version = source.version(table)
+        return MutationPlan(source=source, table=table, version=version,
+                            mutations=(mutation,),
+                            rowcount=len(mutation.rows))
+    # UPDATE/DELETE select victims against a snapshot scan; the token is
+    # read first so a concurrent change between token and scan surfaces
+    # as a version mismatch at apply time, never as corrupted rows.
+    version = source.version(table)
+    rows = [tuple(row) for row in source.scan(table, None, None)]
+    binding = Binding(name=statement.table.name,
+                      columns=tuple(name for name, _t in columns),
+                      schema=metadata.schema, table=metadata.table)
+    if isinstance(statement, ast.Update):
+        mutation = _plan_update(statement, columns, executor, binding,
+                                rows, table)
+        count = len(mutation.changes)
+    else:
+        assert isinstance(statement, ast.Delete)
+        mutation = _plan_delete(statement, executor, binding, rows, table)
+        count = len(mutation.ordinals)
+    return MutationPlan(source=source, table=table, version=version,
+                        mutations=(mutation,), rowcount=count)
+
+
+def _plan_insert(statement: ast.Insert, columns, executor,
+                 table: str) -> Mutation:
+    names = [name for name, _t in columns]
+    if statement.columns:
+        targets = list(statement.columns)
+        seen: set[str] = set()
+        for name in targets:
+            if name not in names:
+                raise SQLSemanticError(
+                    f"table {statement.table.name} has no column {name}")
+            if name in seen:
+                raise SQLSemanticError(
+                    f"column {name} named twice in INSERT column list")
+            seen.add(name)
+    else:
+        targets = names
+    env = _Env([], ())  # VALUES rows see no range variables
+    position = {name: i for i, name in enumerate(names)}
+    types = [t for _n, t in columns]
+    rows: list[tuple] = []
+    for value_row in statement.rows:
+        if len(value_row) != len(targets):
+            raise SQLSemanticError(
+                f"INSERT targets {len(targets)} columns, VALUES row "
+                f"has {len(value_row)} expressions")
+        values: list[object] = [None] * len(names)
+        for name, expr in zip(targets, value_row):
+            _check_scalar(expr, "VALUES")
+            index = position[name]
+            values[index] = coerce_value(executor._eval(expr, env),
+                                         types[index])
+        rows.append(tuple(values))
+    return Mutation(kind="insert", table=table, rows=tuple(rows))
+
+
+def _plan_update(statement: ast.Update, columns, executor,
+                 binding: Binding, rows, table: str) -> Mutation:
+    names = [name for name, _t in columns]
+    position = {name: i for i, name in enumerate(names)}
+    types = [t for _n, t in columns]
+    seen: set[str] = set()
+    for assignment in statement.assignments:
+        if assignment.column not in position:
+            raise SQLSemanticError(
+                f"table {statement.table.name} has no column "
+                f"{assignment.column}")
+        if assignment.column in seen:
+            raise SQLSemanticError(
+                f"column {assignment.column} assigned twice in UPDATE")
+        seen.add(assignment.column)
+        _check_scalar(assignment.value, "SET")
+    if statement.where is not None:
+        _check_scalar(statement.where, "WHERE")
+    changes: list[tuple[int, tuple]] = []
+    for ordinal, row in enumerate(rows):
+        env = _Env([binding], (row,))
+        if statement.where is not None and \
+                executor._truth(statement.where, env) is not True:
+            continue
+        new_row = list(row)
+        for assignment in statement.assignments:
+            index = position[assignment.column]
+            new_row[index] = coerce_value(
+                executor._eval(assignment.value, env), types[index])
+        changes.append((ordinal, tuple(new_row)))
+    return Mutation(kind="update", table=table, changes=tuple(changes))
+
+
+def _plan_delete(statement: ast.Delete, executor, binding: Binding,
+                 rows, table: str) -> Mutation:
+    if statement.where is not None:
+        _check_scalar(statement.where, "WHERE")
+    ordinals: list[int] = []
+    for ordinal, row in enumerate(rows):
+        if statement.where is not None:
+            env = _Env([binding], (row,))
+            if executor._truth(statement.where, env) is not True:
+                continue
+        ordinals.append(ordinal)
+    return Mutation(kind="delete", table=table, ordinals=tuple(ordinals))

@@ -15,6 +15,7 @@ variables.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Iterator, Optional
 
 from ..catalog import (
@@ -35,6 +36,7 @@ from ..catalog import (
 )
 from ..config import ENGINE_FIELDS, RuntimeConfig, merge_legacy_kwargs
 from ..errors import (
+    NotSupportedError,
     SourceUnavailableError,
     TransientSourceError,
     UnknownArtifactError,
@@ -197,6 +199,12 @@ class DSPRuntime:
         #: than reused forever.
         self._stats_cache: dict[tuple[str, str], tuple[object, object]] = {}
         self._stats_epoch = 0
+        #: Single-writer lock for the DML path: held by an autocommit
+        #: statement for its plan+apply window, or by an explicit
+        #: transaction from its first write until commit/rollback.
+        #: Readers never take it — they read consistent snapshots via
+        #: version tokens and copy-on-write row lists.
+        self.write_lock = threading.Lock()
         for project, service in application.all_data_services():
             uri = function_namespace(project, service)
             for function in service.functions.values():
@@ -290,6 +298,7 @@ class DSPRuntime:
         """
         self.parallelism = 0
         self._pool = None
+        self.write_lock = threading.Lock()
         self.metrics = MetricsRegistry()
         self._init_counters()
         self.plan_cache = LRUCache(self.config.plan_cache_capacity,
@@ -690,6 +699,50 @@ class DSPRuntime:
                         child.type_annotation is None:
                     child.type_annotation = annotation
         return result
+
+    # -- writing -------------------------------------------------------------
+
+    def write_target(self, uri: str, local: str):
+        """``(source, physical table name)`` for DML against the
+        data-service function ``{uri}local`` — the write-path twin of
+        the scan dispatch in :meth:`_run_binding`. Raises
+        ``NotSupportedError`` when the function is not backed by a
+        source that accepts writes (logical/CSV/callable bindings, the
+        read-only XML source, ...)."""
+        function = self._functions.get((uri, local))
+        if function is None:
+            raise UnknownArtifactError(
+                f"no data service function {{{uri}}}{local}")
+        binding = function.binding
+        if isinstance(binding, FaultyBinding):
+            binding = binding.inner
+        if isinstance(binding, TableBinding):
+            source, table = self._default_source, binding.table_name
+        elif isinstance(binding, SourceBinding):
+            source, table = self.sources.get(binding.source), binding.table
+        else:
+            raise NotSupportedError(
+                f"table {local} is not backed by a physical source and "
+                f"cannot be written")
+        if source is None:
+            raise UnknownArtifactError(
+                f"table {local} is bound to an unregistered source")
+        if not source.supports_write(table):
+            raise NotSupportedError(
+                f"source {source.name!r} is read-only for table "
+                f"{table!r}")
+        return source, table
+
+    def note_write(self) -> None:
+        """A write was committed (or an autocommit statement applied):
+        cached statistics may describe superseded rows, so drop them
+        and bump the stats epoch — the plan cache keys on the epoch, so
+        plans costed under the old numbers recompile once instead of
+        being reused forever. Row-level read correctness never depends
+        on this hook: element-tree/column caches are guarded by the
+        sources' own version tokens."""
+        self._stats_cache.clear()
+        self._stats_epoch += 1
 
     # -- statistics ----------------------------------------------------------
 

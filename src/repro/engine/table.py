@@ -60,11 +60,24 @@ def coerce_value(value: object, sql_type: SQLType) -> object:
 
 @dataclass
 class Table:
-    """A named, typed, ordered collection of rows."""
+    """A named, typed, ordered collection of rows.
+
+    ``generation`` is the table's version token (compared by equality
+    only): every change to the row set — inserts, and the write path's
+    copy-on-write row swaps — moves it. Values are drawn from a private
+    allocator that never rewinds, even though transaction rollback may
+    restore ``generation`` itself to an earlier value (the visible rows
+    *are* that earlier state, so caches keyed on the old token become
+    valid again). Because rolled-back generations are never re-issued,
+    one token identifies exactly one row-set for the table's lifetime —
+    a cache entry recorded mid-transaction can never be mistaken for
+    state written after the rollback."""
 
     name: str
     columns: list[tuple[str, SQLType]]
     rows: list[tuple] = field(default_factory=list)
+    generation: int = 0
+    _alloc: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         seen = set()
@@ -89,10 +102,25 @@ class Table:
         row = tuple(coerce_value(value, sql_type)
                     for value, (_n, sql_type) in zip(values, self.columns))
         self.rows.append(row)
+        self._advance()
 
     def insert_many(self, rows) -> None:
         for row in rows:
             self.insert(*row)
+
+    def replace_rows(self, rows: list[tuple]) -> None:
+        """Swap in a new row list (copy-on-write mutation): in-flight
+        iterators keep the old list — the snapshot read the write path
+        relies on — and the generation token moves forward."""
+        self.rows = rows
+        self._advance()
+
+    def _advance(self) -> None:
+        # max() because rollback restores ``generation`` to an older
+        # value without touching the allocator: the next write must
+        # skip past every generation the rolled-back transaction used.
+        self._alloc = max(self._alloc, self.generation) + 1
+        self.generation = self._alloc
 
 
 class Storage:

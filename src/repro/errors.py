@@ -206,6 +206,24 @@ class NotSupportedError(DatabaseError):
     """A method or API is not supported by the database."""
 
 
+#: The PEP 249 exception classes by name — the single registry shared
+#: by every layer that (de)hydrates driver errors by class name (the
+#: server protocol's error codec, client-side re-raising). Keys are the
+#: exact class names a conforming driver exposes.
+DRIVER_ERROR_CLASSES: dict[str, type] = {
+    "Warning": Warning,
+    "Error": Error,
+    "InterfaceError": InterfaceError,
+    "DatabaseError": DatabaseError,
+    "DataError": DataError,
+    "OperationalError": OperationalError,
+    "IntegrityError": IntegrityError,
+    "InternalError": InternalError,
+    "ProgrammingError": ProgrammingError,
+    "NotSupportedError": NotSupportedError,
+}
+
+
 def to_driver_error(exc: ReproError) -> Error:
     """Map an engine-level error onto the PEP 249 taxonomy.
 

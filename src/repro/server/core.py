@@ -327,6 +327,11 @@ class DSPServer:
                     elif op == "stats":
                         reply.update(ok=True,
                                      stats=await self._stats(session))
+                    elif op in ("begin", "commit", "rollback",
+                                "autocommit"):
+                        reply.update(ok=True,
+                                     **await self._txn(session,
+                                                       message))
                     else:
                         raise InterfaceError(
                             f"unknown operation {op!r}")
@@ -465,6 +470,11 @@ class DSPServer:
             "cursor": cursor_id,
             "description": encode_description(cursor.cursor.description),
             "rowcount": cursor.cursor.rowcount,
+            "lastrowid": cursor.cursor.lastrowid,
+            # A DML execute may have opened an implicit transaction
+            # (autocommit off); echo the state so the client mirror
+            # tracks it without an extra round trip.
+            "in_transaction": session.connection.in_transaction,
         }
 
     async def _fetch(self, session: _Session, message: dict) -> dict:
@@ -486,7 +496,13 @@ class DSPServer:
                 # this query (stream dropped, slots released) without
                 # touching the session's other cursors.
                 cursor.slot.note_rows(len(rows))
-            exhausted = len(rows) < page
+            # A short page always means exhaustion; a full page does
+            # too when the embedded cursor already knows its rowcount
+            # (the lazy stream only learns the count by draining), so
+            # report it eagerly and save the client an empty round trip
+            # that would otherwise leave its rowcount stale at -1.
+            exhausted = (len(rows) < page
+                         or cursor.cursor.rowcount >= 0)
             if exhausted:
                 cursor.release_slot()
             return rows, exhausted, cursor.cursor.rowcount
@@ -562,6 +578,30 @@ class DSPServer:
             session.tenant.quota.stats(), name=session.tenant.name)
         snapshot["server"] = server_section
         return snapshot
+
+    async def _txn(self, session: _Session, message: dict) -> dict:
+        """Transaction demarcation verbs (protocol v2): delegate to the
+        session's embedded connection on the executor — commit and
+        rollback fan out to enlisted sources and may block. The reply
+        echoes the connection's post-verb transaction state so the
+        remote connection mirrors the embedded one without guessing."""
+        op = message.get("op")
+        connection = session.connection
+
+        def run():
+            if op == "begin":
+                connection.begin()
+            elif op == "commit":
+                connection.commit()
+            elif op == "rollback":
+                connection.rollback()
+            else:  # autocommit
+                connection.autocommit = bool(message.get("enabled"))
+            return {"autocommit": connection.autocommit,
+                    "in_transaction": connection.in_transaction}
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, run)
 
     def _note_error(self, exc: Error) -> None:
         self._c_errors.increment()

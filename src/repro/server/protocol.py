@@ -28,10 +28,13 @@ import struct
 from decimal import Decimal, InvalidOperation
 
 from .. import errors
-from ..errors import InterfaceError, OperationalError
+from ..errors import DRIVER_ERROR_CLASSES, InterfaceError, OperationalError
 
 #: Protocol revision; the handshake rejects a mismatched major.
-PROTOCOL_VERSION = 1
+#: v2 added the write path: the transaction verbs (``begin`` /
+#: ``commit`` / ``rollback`` / ``autocommit``) and the ``lastrowid``
+#: field in execute replies.
+PROTOCOL_VERSION = 2
 
 #: Default ceiling on one frame's JSON payload (16 MiB).
 MAX_FRAME = 16 * 1024 * 1024
@@ -40,7 +43,8 @@ _LENGTH = struct.Struct(">I")
 
 #: Request verbs a session may send after the handshake.
 VERBS = ("hello", "execute", "executemany", "fetch", "close_cursor",
-         "metadata", "stats", "health", "close", "cancel")
+         "metadata", "stats", "health", "close", "cancel",
+         "begin", "commit", "rollback", "autocommit")
 
 
 # ---------------------------------------------------------------------------
@@ -193,18 +197,11 @@ def encode_description(description) -> list | None:
 
 
 #: Every class an error frame may name. The server only ever sends PEP
-#: 249 classes (``to_driver_error`` runs server-side), but the table
-#: keeps the mapping explicit rather than ``getattr``-ing the errors
-#: module with attacker-chosen names.
-ERROR_CLASSES = {
-    cls.__name__: cls
-    for cls in (
-        errors.Warning, errors.Error, errors.InterfaceError,
-        errors.DatabaseError, errors.DataError, errors.OperationalError,
-        errors.IntegrityError, errors.InternalError,
-        errors.ProgrammingError, errors.NotSupportedError,
-    )
-}
+#: 249 classes (``to_driver_error`` runs server-side); the registry
+#: itself lives in ``repro.errors`` (``DRIVER_ERROR_CLASSES``) so the
+#: wire codec and the rest of the driver share one table instead of
+#: ``getattr``-ing the errors module with attacker-chosen names.
+ERROR_CLASSES = DRIVER_ERROR_CLASSES
 
 
 def encode_error(exc: BaseException) -> dict:

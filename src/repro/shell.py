@@ -12,6 +12,10 @@ SQL-92, get tabular results. Backslash commands inspect the machinery:
 ``\\timeout S``     per-statement deadline in seconds (``off`` = none)
 ``\\trace on|off``  print the span tree after each executed query
 ``\\stats``         print counters, histograms, cache/admission stats
+``\\begin``         open an explicit transaction
+``\\commit``        commit it
+``\\rollback``      roll it back
+``\\autocommit X``  ``on`` or ``off`` (the default is on)
 ``\\connect DSN``   reconnect: ``repro://app/project`` (embedded) or
                    ``repro+tcp://host:port/app/project?token=...``
                    (a remote ``repro.server``)
@@ -103,10 +107,19 @@ class Shell:
             self._stats()
         elif name == "\\connect":
             self._connect(argument)
+        elif name == "\\begin":
+            self._txn_command("begin")
+        elif name == "\\commit":
+            self._txn_command("commit")
+        elif name == "\\rollback":
+            self._txn_command("rollback")
+        elif name == "\\autocommit":
+            self._set_autocommit(argument)
         else:
             self._out(f"unknown command {name}; try \\tables, \\schema, "
                       f"\\translate, \\explain, \\format, \\timeout, "
-                      f"\\trace, \\stats, \\connect, \\quit")
+                      f"\\trace, \\stats, \\connect, \\begin, \\commit, "
+                      f"\\rollback, \\autocommit, \\quit")
         return True
 
     # -- command implementations ----------------------------------------------
@@ -115,8 +128,15 @@ class Shell:
         try:
             cursor = self._connection.cursor()
             cursor.execute(sql)
-            headers = [d[0] for d in cursor.description]
-            self._out(format_table(headers, cursor.fetchall()))
+            if cursor.description is None:
+                # DML: no result set; report the affected-row count the
+                # way command-line database shells do.
+                count = cursor.rowcount
+                self._out(f"OK, {count} row{'s' if count != 1 else ''} "
+                          f"affected")
+            else:
+                headers = [d[0] for d in cursor.description]
+                self._out(format_table(headers, cursor.fetchall()))
         except ReproError as exc:
             self._out(f"error: {exc}")
             return
@@ -231,6 +251,25 @@ class Shell:
         from .driver.dsn import parse_dsn
         self._out(f"connected: {parse_dsn(dsn).display()}")
 
+    def _txn_command(self, verb: str) -> None:
+        try:
+            getattr(self._connection, verb)()
+        except ReproError as exc:
+            self._out(f"error: {exc}")
+            return
+        self._out(f"{verb}: ok")
+
+    def _set_autocommit(self, argument: str) -> None:
+        if argument not in ("on", "off"):
+            self._out("usage: \\autocommit on|off")
+            return
+        try:
+            self._connection.autocommit = argument == "on"
+        except ReproError as exc:
+            self._out(f"error: {exc}")
+            return
+        self._out(f"autocommit: {argument}")
+
     def _set_timeout(self, argument: str) -> None:
         if argument == "off":
             self._connection.default_timeout = None
@@ -297,6 +336,15 @@ class Shell:
                   f"index_hits={index_hits} index_builds={index_builds}")
         estimated = runtime_counters.get("planner.estimated_rows", 0)
         self._out(f"PLANNER: estimated_rows={estimated}")
+        txn = snapshot.get("transactions")
+        if txn is not None:
+            self._out(
+                f"TRANSACTIONS: active={'yes' if txn['active'] else 'no'} "
+                f"begun={txn['begun']} committed={txn['committed']} "
+                f"rolled_back={txn['rolled_back']} "
+                f"autocommits={txn['autocommits']} "
+                f"statements={txn['statements']} "
+                f"rows_written={txn['rows_written']}")
         server = snapshot.get("server")
         if server is not None:
             quota = server.get("tenant", {})

@@ -11,9 +11,12 @@ compile -> planner).
 
 from .spi import (
     COMPARISON_OPS,
+    MUTATION_KINDS,
     PREDICATE_OPS,
     ColumnStats,
     DataSource,
+    Mutation,
+    MutationResult,
     PartitionSpec,
     Predicate,
     Scan,
@@ -27,9 +30,12 @@ from .spi import (
 
 __all__ = [
     "COMPARISON_OPS",
+    "MUTATION_KINDS",
     "PREDICATE_OPS",
     "ColumnStats",
     "DataSource",
+    "Mutation",
+    "MutationResult",
     "PartitionSpec",
     "Predicate",
     "Scan",

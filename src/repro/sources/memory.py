@@ -1,8 +1,9 @@
 """In-memory table source: the original backend, refactored onto the SPI.
 
 Wraps :class:`repro.engine.table.Storage` so the runtime's scan path is
-uniform across backends. The ``version`` token is the row count, which
-only ever grows through ``Table.insert`` (tables are append-only).
+uniform across backends. The ``version`` token is the table's
+``generation`` counter, bumped by every mutation (insert, and the write
+path's copy-on-write row swaps).
 
 Since PR 5 the source supports *secondary hash indexes*: equality and
 IN-list predicates may be pushed down, answered by a lazily-built
@@ -25,6 +26,14 @@ rows are streamed. Two guards keep this strictly a win:
 
 Indexes and statistics are version-guarded: a stale token drops the
 cached structure and it is rebuilt from current rows on next use.
+
+Since PR 9 the source is *writable*: :meth:`~TableSource.apply_mutations`
+applies one statement's inserts/updates/deletes copy-on-write — a new
+row list is built and swapped in via :meth:`Table.replace_rows`, so
+in-flight scans keep reading the snapshot they started on. Transactions
+(:meth:`~TableSource.begin_txn` et al.) snapshot each touched table's
+``(rows, generation)`` pair at first write; rollback restores both, so
+the version token provably returns to its pre-transaction value.
 """
 
 from __future__ import annotations
@@ -33,10 +42,12 @@ import datetime
 from decimal import Decimal
 from typing import Optional
 
-from ..engine.table import Storage
+from ..engine.table import Storage, coerce_value
+from ..errors import OperationalError
 from ..sql.types import SQLType
 from .spi import (
     DataSource,
+    MutationResult,
     PartitionSpec,
     Predicate,
     Scan,
@@ -100,6 +111,9 @@ class TableSource(DataSource):
         self._indexes: dict[tuple[str, str], tuple[object, dict]] = {}
         # table -> (version_token, TableStatistics)
         self._statistics: dict[str, tuple[object, TableStatistics]] = {}
+        # table -> (rows list ref, generation) pre-transaction snapshots;
+        # None when no transaction is open.
+        self._txn: Optional[dict[str, tuple[list, int]]] = None
 
     def tables(self) -> list[str]:
         self._check_open()
@@ -110,14 +124,14 @@ class TableSource(DataSource):
         return list(self.storage.table(table).columns)
 
     def version(self, table: str) -> object:
-        # Tables are append-only (Table.insert); the row count is a
-        # sufficient staleness token.
-        return len(self.storage.table(table).rows)
+        # The generation counter moves on every mutation — unlike the
+        # old row-count token, UPDATE cannot slip past it.
+        return self.storage.table(table).generation
 
     def statistics(self, table: str) -> Optional[TableStatistics]:
         self._check_open()
         physical = self.storage.table(table)
-        token = len(physical.rows)
+        token = physical.generation
         cached = self._statistics.get(table)
         if cached is not None and cached[0] == token:
             return cached[1]
@@ -218,13 +232,108 @@ class TableSource(DataSource):
         return ScanBatches(columns=list(physical.columns),
                            batches=batches(), pushed=False)
 
+    # -- writing -----------------------------------------------------------
+
+    def supports_write(self, table: str) -> bool:
+        return table in self.storage
+
+    def apply_mutations(self, mutations, expected_version=None
+                        ) -> MutationResult:
+        """Copy-on-write: build each touched table's new row list in
+        full, then swap them all in. A failure part-way through building
+        leaves every table untouched — statement-level atomicity falls
+        out of never mutating a visible list in place."""
+        self._check_open()
+        if expected_version is not None and mutations:
+            current = self.storage.table(mutations[0].table).generation
+            if expected_version != current:
+                raise OperationalError(
+                    f"table {mutations[0].table!r} changed under the "
+                    f"statement (version {expected_version!r} -> "
+                    f"{current!r}); re-plan and retry")
+        staged: dict[str, list] = {}
+        rowcount = 0
+        lastrowid: Optional[int] = None
+        for mutation in mutations:
+            physical = self.storage.table(mutation.table)
+            rows = staged.get(mutation.table)
+            if rows is None:
+                rows = staged[mutation.table] = list(physical.rows)
+            if mutation.kind == "insert":
+                for values in mutation.rows:
+                    rows.append(tuple(
+                        coerce_value(v, t) for v, (_n, t)
+                        in zip(values, physical.columns)))
+                    rowcount += 1
+                lastrowid = len(rows)
+            elif mutation.kind == "update":
+                for ordinal, new_row in mutation.changes:
+                    if not 0 <= ordinal < len(rows):
+                        raise OperationalError(
+                            f"row ordinal {ordinal} out of range for "
+                            f"table {mutation.table!r} (stale plan?)")
+                    rows[ordinal] = tuple(
+                        coerce_value(v, t) for v, (_n, t)
+                        in zip(new_row, physical.columns))
+                    rowcount += 1
+            else:  # delete
+                doomed = set(mutation.ordinals)
+                for ordinal in doomed:
+                    if not 0 <= ordinal < len(rows):
+                        raise OperationalError(
+                            f"row ordinal {ordinal} out of range for "
+                            f"table {mutation.table!r} (stale plan?)")
+                staged[mutation.table] = [
+                    row for i, row in enumerate(rows) if i not in doomed]
+                rowcount += len(doomed)
+        for table, rows in staged.items():
+            physical = self.storage.table(table)
+            if self._txn is not None and table not in self._txn:
+                self._txn[table] = (physical.rows, physical.generation)
+            physical.replace_rows(rows)
+        return MutationResult(rowcount=rowcount, lastrowid=lastrowid)
+
+    def begin_txn(self) -> None:
+        self._check_open()
+        if self._txn is not None:
+            raise OperationalError(
+                f"source {self.name!r} already has an open transaction")
+        self._txn = {}
+
+    def commit_txn(self) -> None:
+        self._check_open()
+        if self._txn is None:
+            raise OperationalError(
+                f"source {self.name!r} has no open transaction")
+        self._txn = None
+
+    def rollback_txn(self) -> None:
+        self._check_open()
+        if self._txn is None:
+            raise OperationalError(
+                f"source {self.name!r} has no open transaction")
+        snapshots, self._txn = self._txn, None
+        for table, (rows, generation) in snapshots.items():
+            physical = self.storage.table(table)
+            # Restore the row list *and* the generation: the rows are
+            # byte-identical to the pre-transaction snapshot (COW never
+            # edits a visible list), so caches keyed on the old token
+            # are valid again and the token must say so. Generations
+            # consumed inside the transaction are never re-issued
+            # (Table's allocator is monotonic), so cache entries
+            # recorded mid-transaction can never be matched again.
+            physical.rows = rows
+            physical.generation = generation
+
+    # -- partitioning ------------------------------------------------------
+
     def partitions(self, table: str,
                    request: Optional[ScanRequest] = None,
                    target: int = 2) -> Optional[list[PartitionSpec]]:
         """Contiguous row-index ranges: [lower, upper) over the stored
         row list. Concatenated in index order they replay the physical
-        scan order exactly (append-only storage keeps positions stable
-        for one version token)."""
+        scan order exactly (copy-on-write mutation keeps a captured row
+        list — and so the positions — stable for one version token)."""
         self._check_open()
         if target < 2:
             return None
@@ -329,7 +438,7 @@ class TableSource(DataSource):
     def _index(self, table: str, column: str, physical):
         """Return (value -> sorted row indices, built_now) for *column*,
         rebuilding when the version token moved."""
-        token = len(physical.rows)
+        token = physical.generation
         key = (table, column)
         cached = self._indexes.get(key)
         if cached is not None and cached[0] == token:

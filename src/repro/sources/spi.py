@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
-from ..errors import SourceUnavailableError
+from ..errors import NotSupportedError, SourceUnavailableError
 from ..sql.types import SQLType
 
 #: Comparison operators a predicate may carry. ``isnull``/``notnull``
@@ -241,6 +241,49 @@ def compute_statistics(columns: Sequence[tuple[str, SQLType]],
                            sampled=sampled)
 
 
+#: Kinds a :class:`Mutation` may carry.
+MUTATION_KINDS = frozenset({"insert", "update", "delete"})
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One row-level mutation batch against a single table.
+
+    The engine does all SQL evaluation (victim selection, SET/VALUES
+    expressions) and hands sources plain data:
+
+    * ``insert`` — ``rows`` holds fully coerced value tuples to append.
+    * ``update`` — ``changes`` holds ``(ordinal, new_row)`` pairs.
+    * ``delete`` — ``ordinals`` holds row positions to remove.
+
+    Ordinals are 0-based positions in the source's canonical full-scan
+    order (the order an unfiltered :meth:`DataSource.scan` yields) as of
+    the version token the engine selected victims under; callers pass
+    that token as ``expected_version`` so a source can refuse a stale
+    plan instead of corrupting rows.
+    """
+
+    kind: str
+    table: str
+    rows: tuple = ()
+    changes: tuple = ()
+    ordinals: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in MUTATION_KINDS:
+            raise ValueError(f"unknown mutation kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    """What a statement's mutations did: rows affected, and the
+    source-defined id of the last inserted row (None unless the
+    statement inserted rows and the source can name one)."""
+
+    rowcount: int = 0
+    lastrowid: Optional[int] = None
+
+
 @dataclass(frozen=True)
 class SourceCapabilities:
     """What a source can evaluate natively.
@@ -362,6 +405,60 @@ class DataSource:
                            pushed=result.pushed,
                            index_used=result.index_used,
                            index_built=result.index_built)
+
+    # -- writing -----------------------------------------------------------
+
+    def supports_write(self, table: str) -> bool:
+        """May *table* be mutated through this source? Default False —
+        sources opt in to the write capability explicitly."""
+        return False
+
+    def apply_mutations(self, mutations: Sequence[Mutation],
+                        expected_version: object = None) -> MutationResult:
+        """Apply one statement's mutations **atomically**.
+
+        All mutations in the sequence target tables of this source and
+        either all apply or none do (statement-level atomicity); on
+        failure the source's visible rows must be unchanged. Version
+        tokens obey the uniqueness rule — one token never identifies
+        two different row-sets — so a failed statement may move the
+        token forward (caches rebuild spuriously; SQLite's
+        ``total_changes`` cannot be rewound) but must never leave a
+        token that misrepresents the rows. When *expected_version* is
+        given it is the token of the (single) target table the caller
+        planned under; a source must raise ``OperationalError`` instead
+        of applying a plan made against different rows.
+
+        Read-only sources keep the default, which raises
+        ``NotSupportedError``.
+        """
+        raise NotSupportedError(
+            f"source {self.name!r} is read-only and does not accept "
+            f"mutations")
+
+    def begin_txn(self) -> None:
+        """Open a multi-statement transaction on this source.
+
+        Called by the transaction manager the first time a transaction
+        writes through this source; subsequent ``apply_mutations`` calls
+        accumulate into it until :meth:`commit_txn` or
+        :meth:`rollback_txn`. Writable sources must override all three.
+        """
+        raise NotSupportedError(
+            f"source {self.name!r} does not support transactions")
+
+    def commit_txn(self) -> None:
+        """Make the open transaction's mutations durable."""
+        raise NotSupportedError(
+            f"source {self.name!r} does not support transactions")
+
+    def rollback_txn(self) -> None:
+        """Undo every mutation of the open transaction, restoring each
+        touched table's rows **and version token** to their
+        pre-transaction values (so cached plans/statistics keyed on the
+        token become valid again)."""
+        raise NotSupportedError(
+            f"source {self.name!r} does not support transactions")
 
     # -- partitioning ------------------------------------------------------
 

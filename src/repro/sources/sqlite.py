@@ -28,6 +28,16 @@ no datetime-as-date), and DECIMAL/REAL/DOUBLE comparisons are never
 pushed (DECIMAL is stored as text; float equality is a trap). Refused
 conjuncts simply fall back to a full scan plus the engine's residual
 filter — pushdown is advisory, so correctness never depends on it.
+
+Write path
+----------
+Since PR 9 the source accepts mutations natively: each statement's
+batch runs inside a ``SAVEPOINT`` (statement atomicity), and the
+transaction surface (:meth:`~SQLiteSource.begin_txn` et al.) nests an
+outer savepoint around them, so multi-statement rollback undoes every
+row exactly. Engine row ordinals are mapped onto physical rows through
+``SELECT rowid ... ORDER BY rowid`` — the same canonical order every
+scan yields.
 """
 
 from __future__ import annotations
@@ -38,8 +48,8 @@ import threading
 from decimal import Decimal
 from typing import Optional, Sequence
 
-from ..errors import CatalogError, SourceUnavailableError, \
-    UnknownArtifactError
+from ..errors import CatalogError, OperationalError, \
+    SourceUnavailableError, UnknownArtifactError
 from ..sql.types import (
     BIGINT,
     DOUBLE,
@@ -53,6 +63,7 @@ from .spi import (
     COMPARISON_OPS,
     ColumnStats,
     DataSource,
+    MutationResult,
     PartitionSpec,
     Predicate,
     Scan,
@@ -205,7 +216,17 @@ class SQLiteSource(DataSource):
         self.batch_size = batch_size
         self._lock = threading.RLock()
         self._connection = sqlite3.connect(path, check_same_thread=False)
+        # Autocommit at the sqlite3-module level: the write path manages
+        # atomicity itself with SAVEPOINTs (which work identically inside
+        # and outside an explicit transaction), so the module's implicit
+        # BEGIN-before-DML would only fight it.
+        self._connection.isolation_level = None
         self._columns_cache: dict[str, list[tuple[str, SQLType]]] = {}
+        self._in_txn = False
+        #: Bumped on every transaction rollback; part of the version
+        #: token (see :meth:`version`) because ``total_changes`` alone
+        #: cannot distinguish the restored state from the undone one.
+        self._mutation_epoch = 0
 
     @classmethod
     def from_storage(cls, storage, path: str = ":memory:",
@@ -275,11 +296,21 @@ class SQLiteSource(DataSource):
             return list(columns)
 
     def version(self, table: str) -> object:
+        """Connection-global change token: ``PRAGMA data_version``
+        (bumped when *another* connection commits), ``total_changes``
+        (bumped by this connection's own writes), and the rollback
+        epoch. The epoch is what keeps tokens *unique across distinct
+        visible states*: ``ROLLBACK TO`` does not advance
+        ``total_changes``, so without it the post-rollback state would
+        carry the same token as the mid-transaction state it undid —
+        and any token-guarded cache would happily serve the rolled-back
+        rows."""
         with self._lock:
             self._check_open()
             data_version = self._connection.execute(
                 "PRAGMA data_version").fetchone()[0]
-            return (data_version, self._connection.total_changes)
+            return (data_version, self._connection.total_changes,
+                    self._mutation_epoch)
 
     def statistics(self, table: str) -> Optional[TableStatistics]:
         """Exact statistics via native SQL aggregates (one pass per
@@ -420,6 +451,137 @@ class SQLiteSource(DataSource):
         return ScanBatches(columns=result.columns, batches=batches(),
                            pushed=result.pushed)
 
+    # -- writing -----------------------------------------------------------
+
+    def supports_write(self, table: str) -> bool:
+        try:
+            self.columns(table)
+        except UnknownArtifactError:
+            return False
+        return True
+
+    def _rowids(self, table: str) -> list[int]:
+        """Rowids in canonical scan order (ORDER BY rowid — the same
+        order every scan yields), for mapping engine ordinals onto
+        physical rows."""
+        cursor = self._connection.execute(
+            f"SELECT rowid FROM {_quote(table)} ORDER BY rowid")
+        return [row[0] for row in cursor.fetchall()]
+
+    def apply_mutations(self, mutations, expected_version=None
+                        ) -> MutationResult:
+        """Apply one statement's mutations inside a ``SAVEPOINT``:
+        released on success, rolled back to on any failure, so the
+        statement is atomic whether or not an explicit transaction
+        (:meth:`begin_txn`) is open around it."""
+        with self._lock:
+            self._check_open()
+            if expected_version is not None and mutations:
+                current = self.version(mutations[0].table)
+                if expected_version != current:
+                    raise OperationalError(
+                        f"table {mutations[0].table!r} changed under the "
+                        f"statement (version {expected_version!r} -> "
+                        f"{current!r}); re-plan and retry")
+            rowcount = 0
+            lastrowid: Optional[int] = None
+            self._connection.execute("SAVEPOINT repro_stmt")
+            try:
+                for mutation in mutations:
+                    table = mutation.table
+                    types = [t for _n, t in self.columns(table)]
+                    if mutation.kind == "insert":
+                        marks = ", ".join("?" for _ in types)
+                        sql = (f"INSERT INTO {_quote(table)} "
+                               f"VALUES ({marks})")
+                        for values in mutation.rows:
+                            cursor = self._connection.execute(
+                                sql, tuple(_encode(v, t) for v, t
+                                           in zip(values, types)))
+                            lastrowid = cursor.lastrowid
+                            rowcount += 1
+                    elif mutation.kind == "update":
+                        rowids = self._rowids(table)
+                        names = [n for n, _t in self.columns(table)]
+                        sets = ", ".join(f"{_quote(n)} = ?"
+                                         for n in names)
+                        sql = (f"UPDATE {_quote(table)} SET {sets} "
+                               f"WHERE rowid = ?")
+                        for ordinal, new_row in mutation.changes:
+                            if not 0 <= ordinal < len(rowids):
+                                raise OperationalError(
+                                    f"row ordinal {ordinal} out of range "
+                                    f"for table {table!r} (stale plan?)")
+                            params = [_encode(v, t) for v, t
+                                      in zip(new_row, types)]
+                            params.append(rowids[ordinal])
+                            self._connection.execute(sql, params)
+                            rowcount += 1
+                    else:  # delete
+                        rowids = self._rowids(table)
+                        doomed = []
+                        for ordinal in set(mutation.ordinals):
+                            if not 0 <= ordinal < len(rowids):
+                                raise OperationalError(
+                                    f"row ordinal {ordinal} out of range "
+                                    f"for table {table!r} (stale plan?)")
+                            doomed.append(rowids[ordinal])
+                        if doomed:
+                            marks = ", ".join("?" for _ in doomed)
+                            self._connection.execute(
+                                f"DELETE FROM {_quote(table)} "
+                                f"WHERE rowid IN ({marks})", doomed)
+                        rowcount += len(doomed)
+            except sqlite3.Error as exc:
+                self._connection.execute("ROLLBACK TO repro_stmt")
+                self._connection.execute("RELEASE repro_stmt")
+                raise OperationalError(str(exc)) from None
+            except Exception:
+                self._connection.execute("ROLLBACK TO repro_stmt")
+                self._connection.execute("RELEASE repro_stmt")
+                raise
+            self._connection.execute("RELEASE repro_stmt")
+            return MutationResult(rowcount=rowcount, lastrowid=lastrowid)
+
+    def begin_txn(self) -> None:
+        with self._lock:
+            self._check_open()
+            if self._in_txn:
+                raise OperationalError(
+                    f"source {self.name!r} already has an open "
+                    f"transaction")
+            self._connection.execute("SAVEPOINT repro_txn")
+            self._in_txn = True
+
+    def commit_txn(self) -> None:
+        with self._lock:
+            self._check_open()
+            if not self._in_txn:
+                raise OperationalError(
+                    f"source {self.name!r} has no open transaction")
+            # Releasing the outermost savepoint commits.
+            self._connection.execute("RELEASE repro_txn")
+            self._in_txn = False
+
+    def rollback_txn(self) -> None:
+        """Undo the open transaction. Rows are restored exactly; the
+        version token is *not* restored — it moves forward (the
+        rollback epoch bumps), which is the safe direction: caches
+        keyed on in-transaction tokens die, caches keyed on
+        pre-transaction tokens rebuild spuriously at worst, and a stale
+        read is impossible either way."""
+        with self._lock:
+            self._check_open()
+            if not self._in_txn:
+                raise OperationalError(
+                    f"source {self.name!r} has no open transaction")
+            self._connection.execute("ROLLBACK TO repro_txn")
+            self._connection.execute("RELEASE repro_txn")
+            self._in_txn = False
+            self._mutation_epoch += 1
+
+    # -- partitioning ------------------------------------------------------
+
     def partitions(self, table: str,
                    request: Optional[ScanRequest] = None,
                    target: int = 2) -> Optional[list[PartitionSpec]]:
@@ -534,6 +696,7 @@ class SQLiteSource(DataSource):
         if self.path != ":memory:" and not self._closed:
             self._connection = sqlite3.connect(
                 self.path, check_same_thread=False)
+            self._connection.isolation_level = None
 
     def close(self) -> None:
         with self._lock:

@@ -24,6 +24,11 @@ scan generation: the ``version`` token is the file's ``(mtime_ns,
 size)``, so an edited file invalidates both this source's row cache
 and the engine's element-tree cache. No pushdown — the whole file must
 be read anyway.
+
+The source is deliberately **read-only**: it keeps the SPI's default
+write surface, so ``supports_write`` answers False for every table and
+DML routed here raises ``NotSupportedError`` — the documents on disk
+are someone else's files, not ours to rewrite.
 """
 
 from __future__ import annotations

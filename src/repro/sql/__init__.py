@@ -9,13 +9,23 @@ from . import ast
 from .functions import REGISTRY as FUNCTION_REGISTRY
 from .functions import FunctionSpec, lookup as lookup_function
 from .lexer import Lexer, tokenize
-from .parser import AGGREGATE_NAMES, Parser, parse_expression, parse_statement
+from .parser import (
+    AGGREGATE_NAMES,
+    DML_KEYWORDS,
+    Parser,
+    is_mutation,
+    parse_any_statement,
+    parse_expression,
+    parse_mutation,
+    parse_statement,
+)
 from .printer import print_expr, print_query
 from .tokens import RESERVED_WORDS, Token, TokenType
 from .types import SQLType, literal_type, promote, type_from_name
 
 __all__ = [
     "AGGREGATE_NAMES",
+    "DML_KEYWORDS",
     "FUNCTION_REGISTRY",
     "FunctionSpec",
     "Lexer",
@@ -25,9 +35,12 @@ __all__ = [
     "Token",
     "TokenType",
     "ast",
+    "is_mutation",
     "literal_type",
     "lookup_function",
+    "parse_any_statement",
     "parse_expression",
+    "parse_mutation",
     "parse_statement",
     "print_expr",
     "print_query",

@@ -383,6 +383,57 @@ class Query(Node):
 
 
 # ---------------------------------------------------------------------------
+# DML statements (the write path)
+# ---------------------------------------------------------------------------
+
+
+class MutationStatement(Node):
+    """Marker base: an INSERT, UPDATE, or DELETE statement.
+
+    DML never reaches the XQuery generator; the engine turns these
+    nodes into source-level mutation plans (``repro.engine.dml``)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Insert(MutationStatement):
+    """``INSERT INTO t [(c, ...)] VALUES (e, ...)[, (e, ...)]*``.
+
+    ``columns`` is empty for the positional (all-columns) form; each
+    entry of ``rows`` has one expression per target column."""
+
+    table: TableRef
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class Assignment(Node):
+    """One ``column = expr`` item of an UPDATE SET list."""
+
+    column: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Update(MutationStatement):
+    """``UPDATE t SET c = e [, ...] [WHERE p]``."""
+
+    table: TableRef
+    assignments: tuple[Assignment, ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete(MutationStatement):
+    """``DELETE FROM t [WHERE p]``."""
+
+    table: TableRef
+    where: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
 # Traversal helpers
 # ---------------------------------------------------------------------------
 

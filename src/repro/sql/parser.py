@@ -42,12 +42,52 @@ _EXTRACT_FIELDS = frozenset({
 })
 
 
+#: Leading keywords that select the DML grammar over the query grammar.
+DML_KEYWORDS = frozenset({"INSERT", "UPDATE", "DELETE"})
+
+_FIRST_WORD_RE = None  # built lazily; regex import kept out of hot path
+
+
+def is_mutation(text: str) -> bool:
+    """Cheap syntactic peek: does *text* start with a DML keyword?
+
+    Used by the driver to pick the write path without tokenizing twice;
+    a false positive simply reaches the DML parser's real error."""
+    global _FIRST_WORD_RE
+    if _FIRST_WORD_RE is None:
+        import re
+
+        _FIRST_WORD_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*)")
+    match = _FIRST_WORD_RE.match(text or "")
+    return bool(match) and match.group(1).upper() in DML_KEYWORDS
+
+
 def parse_statement(text: str) -> ast.Query:
     """Parse a complete SQL SELECT statement into a Query AST."""
     parser = Parser(text)
     query = parser.parse_query(top_level=True)
     parser.expect_eof()
     return query
+
+
+def parse_mutation(text: str) -> ast.MutationStatement:
+    """Parse a complete INSERT/UPDATE/DELETE statement."""
+    parser = Parser(text)
+    statement = parser.parse_mutation()
+    parser.expect_eof()
+    return statement
+
+
+def parse_any_statement(text: str):
+    """Parse either statement family: a :class:`ast.Query` for SELECT,
+    a :class:`ast.MutationStatement` for INSERT/UPDATE/DELETE."""
+    parser = Parser(text)
+    if parser._current.is_keyword("INSERT", "UPDATE", "DELETE"):
+        statement = parser.parse_mutation()
+    else:
+        statement = parser.parse_query(top_level=True)
+    parser.expect_eof()
+    return statement
 
 
 def parse_expression(text: str) -> ast.Expr:
@@ -272,6 +312,89 @@ class Parser:
             items.append(ast.SortItem(key=key, ascending=ascending))
             if not self._accept_symbol(","):
                 return tuple(items)
+
+    # -- DML statements ---------------------------------------------------
+
+    def parse_mutation(self) -> ast.MutationStatement:
+        """One INSERT / UPDATE / DELETE statement."""
+        if self._current.is_keyword("INSERT"):
+            return self._parse_insert()
+        if self._current.is_keyword("UPDATE"):
+            return self._parse_update()
+        if self._current.is_keyword("DELETE"):
+            return self._parse_delete()
+        raise self._error("expected INSERT, UPDATE, or DELETE")
+
+    def _parse_dml_target(self) -> ast.TableRef:
+        """The mutation target: a (possibly qualified) table name.
+
+        No alias — SQL-92 does not allow correlation names on the
+        target of an INSERT/UPDATE/DELETE."""
+        parts = [self._identifier("table name")]
+        while self._accept_symbol("."):
+            parts.append(self._identifier("name after '.'"))
+        if len(parts) > 3:
+            raise self._error(
+                "too many qualifiers in table name (max catalog.schema.table)")
+        return ast.TableRef(name=parts[-1],
+                            schema=parts[-2] if len(parts) >= 2 else None,
+                            catalog=parts[-3] if len(parts) >= 3 else None)
+
+    def _parse_insert(self) -> ast.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._parse_dml_target()
+        columns: tuple[str, ...] = ()
+        if self._accept_symbol("("):
+            names = [self._identifier("column name")]
+            while self._accept_symbol(","):
+                names.append(self._identifier("column name"))
+            self._expect_symbol(")")
+            columns = tuple(names)
+        self._expect_keyword("VALUES")
+        rows = [self._parse_values_row()]
+        while self._accept_symbol(","):
+            rows.append(self._parse_values_row())
+        width = len(columns) if columns else len(rows[0])
+        for row in rows:
+            if len(row) != width:
+                raise self._error(
+                    f"VALUES row has {len(row)} expressions, expected "
+                    f"{width}")
+        return ast.Insert(table=table, columns=columns, rows=tuple(rows))
+
+    def _parse_values_row(self) -> tuple[ast.Expr, ...]:
+        self._expect_symbol("(")
+        exprs = self._parse_expr_list()
+        self._expect_symbol(")")
+        return exprs
+
+    def _parse_update(self) -> ast.Update:
+        self._expect_keyword("UPDATE")
+        table = self._parse_dml_target()
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept_symbol(","):
+            assignments.append(self._parse_assignment())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.parse_expr()
+        return ast.Update(table=table, assignments=tuple(assignments),
+                          where=where)
+
+    def _parse_assignment(self) -> ast.Assignment:
+        column = self._identifier("column name")
+        self._expect_symbol("=")
+        return ast.Assignment(column=column, value=self.parse_expr())
+
+    def _parse_delete(self) -> ast.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._parse_dml_target()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.parse_expr()
+        return ast.Delete(table=table, where=where)
 
     # -- table references -------------------------------------------------
 

@@ -21,22 +21,26 @@ class TokenType(Enum):
     EOF = auto()
 
 
-#: SQL-92 reserved words used by the supported SELECT grammar, plus the few
-#: common extensions the translator accepts. Regular identifiers matching
-#: one of these are tokenized as keywords.
+#: SQL-92 reserved words used by the supported SELECT and DML grammars,
+#: plus the few common extensions the translator accepts. Regular
+#: identifiers matching one of these are tokenized as keywords.
 RESERVED_WORDS = frozenset({
     "ALL", "AND", "ANY", "AS", "ASC", "AVG", "BETWEEN", "BIGINT", "BOTH",
     "BY", "CASE", "CAST", "CHAR", "CHARACTER", "COALESCE", "COUNT", "CROSS",
     "CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP", "DATE", "DEC",
-    "DECIMAL", "DESC", "DISTINCT", "DOUBLE", "ELSE", "END", "ESCAPE",
+    "DECIMAL", "DELETE", "DESC", "DISTINCT", "DOUBLE", "ELSE", "END",
+    "ESCAPE",
     "EXCEPT", "EXISTS", "EXTRACT", "FALSE", "FLOAT", "FOR", "FROM", "FULL",
-    "GROUP", "HAVING", "IN", "INNER", "INT", "INTEGER", "INTERSECT", "IS",
+    "GROUP", "HAVING", "IN", "INNER", "INSERT", "INT", "INTEGER",
+    "INTERSECT", "INTO", "IS",
     "JOIN", "LEADING", "LEFT", "LIKE", "LIMIT", "MAX", "MIN", "NATURAL",
     "NOT", "NULL", "NULLIF", "NUMERIC", "OFFSET", "ON", "OR", "ORDER",
     "OUTER", "POSITION",
-    "PRECISION", "REAL", "RIGHT", "SELECT", "SMALLINT", "SOME", "SUBSTRING",
+    "PRECISION", "REAL", "RIGHT", "SELECT", "SET", "SMALLINT", "SOME",
+    "SUBSTRING",
     "SUM", "THEN", "TIME", "TIMESTAMP", "TRAILING", "TRIM", "TRUE", "UNION",
-    "UNKNOWN", "USING", "VARCHAR", "VARYING", "WHEN", "WHERE",
+    "UNKNOWN", "UPDATE", "USING", "VALUES", "VARCHAR", "VARYING", "WHEN",
+    "WHERE",
 })
 
 #: Multi-character operator symbols, longest first so the lexer can use

@@ -187,12 +187,20 @@ class TestPublicAll:
         for name in driver.__all__:
             assert getattr(driver, name) is not None
 
-    def test_lifecycle_names_exported(self):
-        for name in ("QueryContext", "CancellationToken", "RetryPolicy",
-                     "AdmissionController", "FaultProfile",
-                     "install_fault", "register_runtime",
-                     "unregister_runtime"):
-            assert name in repro.__all__ or hasattr(repro, name)
+    def test_lifecycle_names_importable(self):
+        # 2.0 removed the top-level aliases: lifecycle names live in
+        # repro.engine; only the driver entry points stay top-level.
+        from repro.engine import (  # noqa: F401
+            AdmissionController,
+            CancellationToken,
+            FaultProfile,
+            QueryContext,
+            RetryPolicy,
+            install_fault,
+        )
+
+        for name in ("register_runtime", "unregister_runtime"):
+            assert name in repro.__all__
 
 
 class TestStatsSchema:
@@ -201,8 +209,9 @@ class TestStatsSchema:
     Renaming or removing any of them requires bumping
     ``STATS_SCHEMA_VERSION`` (and this test)."""
 
-    #: Version-1 sections and the keys each must carry.
-    SCHEMA_V1 = {
+    #: Version-2 sections and the keys each must carry (version 2 = the
+    #: version-1 document plus the write path's ``transactions``).
+    SCHEMA_V2 = {
         "statement_cache": {"hits", "misses", "evictions", "size",
                             "capacity"},
         "metadata_cache": {"hits", "misses", "evictions", "size",
@@ -211,14 +220,16 @@ class TestStatsSchema:
         "admission": {"active", "max_concurrent", "queued", "admitted",
                       "rejected", "inflight_rows", "max_inflight_rows"},
         "runtime": {"counters", "histograms"},
+        "transactions": {"active", "begun", "committed", "rolled_back",
+                         "autocommits", "statements", "rows_written"},
     }
 
     def test_version_key_present(self):
         snapshot = connect(build_runtime()).stats()
         assert snapshot["stats_schema_version"] == \
-            repro.STATS_SCHEMA_VERSION == 1
+            repro.STATS_SCHEMA_VERSION == 2
 
-    def test_v1_sections_and_keys(self):
+    def test_v2_sections_and_keys(self):
         connection = connect(build_runtime())
         cursor = connection.cursor()
         cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
@@ -226,7 +237,7 @@ class TestStatsSchema:
         snapshot = connection.stats()
         assert isinstance(snapshot["counters"], dict)
         assert isinstance(snapshot["histograms"], dict)
-        for section, keys in self.SCHEMA_V1.items():
+        for section, keys in self.SCHEMA_V2.items():
             assert section in snapshot, section
             missing = keys - set(snapshot[section])
             assert not missing, f"{section} lost keys {sorted(missing)}"
@@ -251,8 +262,8 @@ class TestStatsSchema:
                 handle.dsn("app", "TestDataServices", token="t"))
             try:
                 snapshot = connection.stats()
-                assert snapshot["stats_schema_version"] == 1
-                for section in self.SCHEMA_V1:
+                assert snapshot["stats_schema_version"] == 2
+                for section in self.SCHEMA_V2:
                     assert section in snapshot, section
                 # plus the server-only and client-only sections
                 assert "server" in snapshot

@@ -18,7 +18,6 @@ from repro.driver import (
     NUMBER,
     STRING,
     InterfaceError,
-    NotSupportedError,
     ProgrammingError,
     connect,
 )
@@ -71,12 +70,13 @@ class TestConnection:
         with pytest.raises(InterfaceError):
             connect(build_runtime(), format="fancy")
 
-    def test_commit_is_noop(self, conn):
+    def test_commit_is_noop_outside_transaction(self, conn):
         conn.commit()
 
-    def test_rollback_not_supported(self, conn):
-        with pytest.raises(NotSupportedError):
-            conn.rollback()
+    def test_rollback_is_noop_outside_transaction(self, conn):
+        # 2.0: rollback is part of the write path; without an open
+        # transaction it simply does nothing (PEP 249 allows either).
+        conn.rollback()
 
     def test_closed_connection_rejects_use(self):
         connection = connect(build_runtime())

@@ -1,0 +1,209 @@
+"""End-to-end transaction semantics of the PEP 249 Connection.
+
+Runs the same assertions against both writable backends (memory
+copy-on-write, SQLite savepoints) through the embedded driver —
+including regressions for the two fuzzer-found stale-read bugs, where
+a read cached inside a transaction survived the rollback because the
+version token was reused for different rows.
+"""
+
+import pytest
+
+import repro
+from repro.workloads import build_runtime
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def conn(request):
+    connection = repro.connect(build_runtime(backend=request.param))
+    yield connection
+    connection.close()
+
+
+def count(conn, where=""):
+    cur = conn.cursor()
+    cur.execute(f"SELECT COUNT(*) FROM CUSTOMERS {where}")
+    return cur.fetchall()[0][0]
+
+
+class TestAutocommitMode:
+    def test_autocommit_is_the_default(self, conn):
+        assert conn.autocommit is True
+        assert conn.in_transaction is False
+
+    def test_dml_is_durable_immediately(self, conn):
+        before = count(conn)
+        cur = conn.cursor()
+        cur.execute("INSERT INTO CUSTOMERS VALUES (901, 'New', 'E', 1)")
+        assert conn.in_transaction is False
+        assert count(conn) == before + 1
+
+    def test_dml_cursor_shape(self, conn):
+        cur = conn.cursor()
+        cur.execute("INSERT INTO CUSTOMERS (CUSTOMERID, CUSTOMERNAME) "
+                    "VALUES (?, ?)", [902, "Shape"])
+        assert cur.rowcount == 1
+        assert cur.lastrowid is not None
+        assert cur.description is None
+        with pytest.raises(repro.ProgrammingError):
+            cur.fetchall()
+
+    def test_update_and_delete_rowcounts(self, conn):
+        cur = conn.cursor()
+        cur.execute("UPDATE CUSTOMERS SET REGION = 'X' "
+                    "WHERE CUSTOMERID = 23")
+        assert cur.rowcount == 1
+        assert cur.lastrowid is None
+        cur.execute("DELETE FROM CUSTOMERS WHERE CUSTOMERID = 23")
+        assert cur.rowcount == 1
+        cur.execute("DELETE FROM CUSTOMERS WHERE CUSTOMERID = 23")
+        assert cur.rowcount == 0
+
+    def test_parameter_count_checked(self, conn):
+        cur = conn.cursor()
+        with pytest.raises(repro.ProgrammingError, match="parameter"):
+            cur.execute("DELETE FROM CUSTOMERS WHERE CUSTOMERID = ?")
+
+    def test_unknown_table_rejected(self, conn):
+        cur = conn.cursor()
+        with pytest.raises(repro.Error):
+            cur.execute("INSERT INTO NO_SUCH_TABLE VALUES (1)")
+
+
+class TestExplicitTransactions:
+    def test_rollback_restores_reads(self, conn):
+        before = count(conn)
+        conn.begin()
+        assert conn.in_transaction is True
+        cur = conn.cursor()
+        cur.execute("DELETE FROM CUSTOMERS")
+        assert count(conn) == 0  # own writes visible inside the txn
+        conn.rollback()
+        assert conn.in_transaction is False
+        assert count(conn) == before
+
+    def test_commit_keeps_writes(self, conn):
+        conn.begin()
+        cur = conn.cursor()
+        cur.execute("INSERT INTO CUSTOMERS VALUES (903, 'Kept', 'E', 2)")
+        conn.commit()
+        assert count(conn, "WHERE CUSTOMERID = 903") == 1
+
+    def test_begin_twice_raises(self, conn):
+        conn.begin()
+        with pytest.raises(repro.ProgrammingError):
+            conn.begin()
+        conn.rollback()
+
+    def test_commit_without_transaction_is_noop(self, conn):
+        conn.commit()
+        conn.rollback()
+
+    def test_autocommit_off_opens_implicit_transaction(self, conn):
+        conn.autocommit = False
+        cur = conn.cursor()
+        cur.execute("INSERT INTO CUSTOMERS VALUES (904, 'Imp', 'E', 2)")
+        assert conn.in_transaction is True
+        conn.rollback()
+        assert count(conn, "WHERE CUSTOMERID = 904") == 0
+
+    def test_enabling_autocommit_commits_open_transaction(self, conn):
+        conn.autocommit = False
+        cur = conn.cursor()
+        cur.execute("INSERT INTO CUSTOMERS VALUES (905, 'AC', 'E', 2)")
+        conn.autocommit = True
+        assert conn.in_transaction is False
+        assert count(conn, "WHERE CUSTOMERID = 905") == 1
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_close_discards_pending_transaction(self, backend):
+        runtime = build_runtime(backend=backend)
+        first = repro.connect(runtime)
+        first.begin()
+        first.cursor().execute(
+            "INSERT INTO CUSTOMERS VALUES (906, 'Lost', 'E', 2)")
+        first.close()  # PEP 249: pending work is rolled back
+        second = repro.connect(runtime)
+        try:
+            assert count(second, "WHERE CUSTOMERID = 906") == 0
+        finally:
+            second.close()
+
+
+class TestExecutemany:
+    def test_batch_rowcount_accumulates(self, conn):
+        cur = conn.cursor()
+        cur.executemany(
+            "INSERT INTO CUSTOMERS (CUSTOMERID, CUSTOMERNAME) "
+            "VALUES (?, ?)",
+            [(910, "A"), (911, "B"), (912, "C")])
+        assert cur.rowcount == 3
+        assert count(conn, "WHERE CUSTOMERID >= 910") == 3
+
+    def test_failing_batch_is_atomic(self, conn):
+        before = count(conn)
+        cur = conn.cursor()
+        with pytest.raises(repro.Error):
+            cur.executemany(
+                "INSERT INTO CUSTOMERS (CUSTOMERID) VALUES (?)",
+                [(920,), ("not an int",), (921,)])
+        assert count(conn) == before
+
+
+class TestStats:
+    def test_transactions_section(self, conn):
+        cur = conn.cursor()
+        conn.begin()
+        cur.execute("UPDATE CUSTOMERS SET REGION = 'Y' "
+                    "WHERE CUSTOMERID = 23")
+        conn.commit()
+        conn.begin()
+        conn.rollback()
+        cur.execute("DELETE FROM CUSTOMERS WHERE CUSTOMERID = 23")
+        snapshot = conn.stats()
+        assert snapshot["stats_schema_version"] == repro.STATS_SCHEMA_VERSION
+        txn = snapshot["transactions"]
+        assert txn["begun"] == 2
+        assert txn["committed"] == 1
+        assert txn["rolled_back"] == 1
+        assert txn["autocommits"] == 1
+        assert txn["statements"] == 2
+        assert txn["rows_written"] == 2
+        assert txn["active"] is False
+
+
+class TestStaleReadRegressions:
+    """The two fuzzer-found bugs (PR 9): the runtime's element-tree and
+    column caches are guarded only by source version tokens, so a token
+    reused across rollback served rolled-back rows. SQLite reused
+    ``(data_version, total_changes)`` because ROLLBACK TO does not
+    advance ``total_changes``; memory re-reached a restored generation
+    with different rows."""
+
+    def test_read_inside_txn_then_rollback(self, conn):
+        before = count(conn)
+        conn.begin()
+        cur = conn.cursor()
+        cur.execute("INSERT INTO CUSTOMERS VALUES (990, 'GHOST', 'E', 1)")
+        # The read inside the transaction caches the mid-txn rows
+        # under the mid-txn token.
+        assert count(conn, "WHERE CUSTOMERID = 990") == 1
+        conn.rollback()
+        assert count(conn, "WHERE CUSTOMERID = 990") == 0
+        assert count(conn) == before
+
+    def test_rollback_then_rewrite_does_not_resurrect(self, conn):
+        conn.begin()
+        cur = conn.cursor()
+        cur.execute("INSERT INTO CUSTOMERS VALUES (991, 'GHOST', 'E', 1)")
+        cur.execute("SELECT CUSTOMERNAME FROM CUSTOMERS "
+                    "WHERE CUSTOMERID = 991")
+        assert cur.fetchall() == [("GHOST",)]
+        conn.rollback()
+        # The write after rollback must not collide with the cached
+        # mid-transaction state (memory: generation re-reach; SQLite:
+        # total_changes stall).
+        cur.execute("INSERT INTO CUSTOMERS VALUES (992, 'REAL', 'E', 1)")
+        cur.execute("SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS "
+                    "WHERE CUSTOMERID >= 990")
+        assert cur.fetchall() == [(992, "REAL")]

@@ -86,3 +86,67 @@ class TestStorage:
         storage, _table = self.make()
         assert "T" in storage
         assert storage.table_names() == ["T"]
+
+
+class TestGeneration:
+    """The version-token allocator: every visible row-set gets a token
+    no other row-set of the table will ever carry."""
+
+    def make(self):
+        storage = Storage()
+        return storage.create_table("T", [
+            ("A", SQLType("INTEGER")), ("B", SQLType("VARCHAR"))])
+
+    def test_insert_moves_the_token(self):
+        table = self.make()
+        before = table.generation
+        table.insert(1, "x")
+        assert table.generation != before
+
+    def test_replace_rows_moves_the_token(self):
+        table = self.make()
+        table.insert(1, "x")
+        before = table.generation
+        table.replace_rows([(2, "y")])
+        assert table.generation != before
+        assert table.rows == [(2, "y")]
+
+    def test_update_cannot_slip_past_the_token(self):
+        # The old len(rows) token was defeated by same-cardinality
+        # swaps; the generation token is not.
+        table = self.make()
+        table.insert(1, "x")
+        before = table.generation
+        table.replace_rows([(1, "CHANGED")])
+        assert len(table.rows) == 1
+        assert table.generation != before
+
+    def test_restored_generation_is_never_reallocated(self):
+        """The stale-cache regression: rollback restores ``generation``
+        to g, but the allocator must never re-issue the generations the
+        rolled-back writes consumed — a cache entry recorded under g+1
+        mid-transaction must not match any later state."""
+        table = self.make()
+        table.insert(1, "x")
+        pre_txn = table.generation
+        table.replace_rows([(1, "x"), (77, "ROLLED-BACK")])
+        burned = table.generation
+        # Transaction rollback: the memory source restores rows and
+        # generation directly (see TableSource.rollback_txn).
+        table.rows = [(1, "x")]
+        table.generation = pre_txn
+        table.replace_rows([(1, "x"), (88, "REAL")])
+        assert table.generation != burned
+        assert table.generation != pre_txn
+
+    def test_tokens_unique_across_many_rollbacks(self):
+        table = self.make()
+        seen = set()
+        for _ in range(5):
+            pre = table.generation
+            for i in range(3):
+                table.insert(i, "w")
+                assert table.generation not in seen
+                seen.add(table.generation)
+            table.rows = table.rows[:0]
+            table.generation = pre  # rollback restore

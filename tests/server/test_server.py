@@ -120,7 +120,7 @@ class TestRemoteDriver:
             cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
             cursor.fetchall()
             snapshot = connection.stats()
-            assert snapshot["stats_schema_version"] == 1
+            assert snapshot["stats_schema_version"] == 2
             assert snapshot["server"]["counters"]["executes"] >= 1
             assert snapshot["server"]["tenant"]["name"] == "app"
             assert snapshot["client"]["counters"]["wire.roundtrips"] > 0
@@ -173,7 +173,7 @@ class TestAuthentication:
             send_frame(sock, {"id": 1, "op": "health"})
             reply = recv_frame(sock)
             assert reply["ok"] is True
-            assert reply["protocol"] == 1
+            assert reply["protocol"] == 2
         finally:
             sock.close()
 

@@ -1,0 +1,114 @@
+"""Tests for the DML grammar (INSERT / UPDATE / DELETE parsing)."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import (
+    ast,
+    is_mutation,
+    parse_any_statement,
+    parse_mutation,
+    parse_statement,
+)
+
+
+class TestDispatch:
+    def test_is_mutation_spots_dml_keywords(self):
+        assert is_mutation("INSERT INTO T VALUES (1)")
+        assert is_mutation("  update T set A = 1")
+        assert is_mutation("\n\tDelete From T")
+
+    def test_is_mutation_rejects_queries_and_junk(self):
+        assert not is_mutation("SELECT * FROM T")
+        assert not is_mutation("")
+        assert not is_mutation(None)
+        assert not is_mutation("42")
+
+    def test_parse_any_statement_picks_the_grammar(self):
+        assert isinstance(parse_any_statement("SELECT A FROM T"),
+                          ast.Query)
+        assert isinstance(
+            parse_any_statement("DELETE FROM T"), ast.Delete)
+
+    def test_select_parser_rejects_dml(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("INSERT INTO T VALUES (1)")
+
+
+class TestInsert:
+    def test_positional_form(self):
+        statement = parse_mutation("INSERT INTO T VALUES (1, 'x')")
+        assert isinstance(statement, ast.Insert)
+        assert statement.table.name == "T"
+        assert statement.columns == ()
+        assert len(statement.rows) == 1
+        assert len(statement.rows[0]) == 2
+
+    def test_column_list_and_multi_row(self):
+        statement = parse_mutation(
+            "INSERT INTO T (B, A) VALUES (1, 2), (?, ?), (NULL, 5)")
+        assert statement.columns == ("B", "A")
+        assert len(statement.rows) == 3
+        assert isinstance(statement.rows[1][0], ast.Parameter)
+
+    def test_qualified_target(self):
+        statement = parse_mutation(
+            "INSERT INTO cat.sch.T VALUES (1)")
+        # Identifiers fold to upper case, SQL-92 style.
+        assert (statement.table.catalog, statement.table.schema,
+                statement.table.name) == ("CAT", "SCH", "T")
+
+    def test_values_rows_must_agree_in_width(self):
+        with pytest.raises(SQLSyntaxError, match="VALUES row"):
+            parse_mutation("INSERT INTO T VALUES (1, 2), (3)")
+
+    def test_column_list_width_checked(self):
+        with pytest.raises(SQLSyntaxError, match="VALUES row"):
+            parse_mutation("INSERT INTO T (A, B) VALUES (1)")
+
+    def test_missing_values_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_mutation("INSERT INTO T (A, B)")
+
+    def test_alias_on_target_rejected(self):
+        # SQL-92: no correlation name on a mutation target.
+        with pytest.raises(SQLSyntaxError):
+            parse_mutation("INSERT INTO T AS x VALUES (1)")
+
+
+class TestUpdate:
+    def test_assignments_and_where(self):
+        statement = parse_mutation(
+            "UPDATE T SET A = A + 1, B = 'x' WHERE A > ?")
+        assert isinstance(statement, ast.Update)
+        assert [a.column for a in statement.assignments] == ["A", "B"]
+        assert statement.where is not None
+
+    def test_where_is_optional(self):
+        statement = parse_mutation("UPDATE T SET A = 1")
+        assert statement.where is None
+
+    def test_set_required(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_mutation("UPDATE T WHERE A = 1")
+
+    def test_expression_valued_assignment(self):
+        statement = parse_mutation(
+            "UPDATE T SET A = CASE WHEN B IS NULL THEN 0 ELSE A END")
+        assert isinstance(statement.assignments[0].value, ast.Expr)
+
+
+class TestDelete:
+    def test_with_and_without_where(self):
+        bounded = parse_mutation("DELETE FROM T WHERE A IN (1, 2)")
+        assert isinstance(bounded, ast.Delete)
+        assert bounded.where is not None
+        assert parse_mutation("DELETE FROM T").where is None
+
+    def test_from_required(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_mutation("DELETE T WHERE A = 1")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_mutation("DELETE FROM T WHERE A = 1 extra")

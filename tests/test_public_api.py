@@ -9,7 +9,7 @@ import repro
 
 class TestFacade:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "2.0.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -38,7 +38,7 @@ class TestFacade:
         assert remote.remote and remote.address == ("db.example", 7777)
 
     def test_stats_schema_version_exported(self):
-        assert repro.STATS_SCHEMA_VERSION == 1
+        assert repro.STATS_SCHEMA_VERSION == 2
 
     def test_pep249_globals(self):
         assert repro.apilevel == "2.0"
@@ -58,6 +58,12 @@ class TestFacade:
         assert issubclass(repro.TableSource, repro.DataSource)
         assert issubclass(repro.XMLFileSource, repro.DataSource)
 
+    def test_write_spi_types_exported(self):
+        mutation = repro.Mutation(kind="insert", table="T",
+                                  rows=((1,),))
+        assert mutation.kind == "insert"
+        assert repro.MutationResult(rowcount=1).rowcount == 1
+
     def test_quickstart_flow(self):
         from repro.workloads import build_runtime
 
@@ -68,60 +74,30 @@ class TestFacade:
         assert cur.fetchall() == [("Sue",)]
 
 
-class TestLegacyAliases:
-    """Pre-1.1 top-level names keep working for one release, warning."""
+class TestLegacyAliasesRemoved:
+    """2.0 removed the pre-1.1 top-level aliases; the names now raise
+    AttributeError so stale imports fail loudly instead of silently
+    resolving through a deprecation shim."""
 
-    def test_legacy_class_alias_warns_and_resolves(self):
-        from repro.engine import DSPRuntime
-
-        repro._warned_legacy.discard("DSPRuntime")
-        with pytest.warns(DeprecationWarning, match="repro.DSPRuntime"):
-            assert repro.DSPRuntime is DSPRuntime
-
-    def test_legacy_aliases_not_in_all(self):
+    def test_legacy_names_raise(self):
         for name in ("DSPRuntime", "Storage", "SQLExecutor", "Tracer",
-                     "translate", "build_demo_runtime", "execute_xquery"):
-            assert name not in repro.__all__
+                     "MetricsRegistry", "LRUCache", "translate",
+                     "build_demo_runtime", "execute_xquery",
+                     "SQLToXQueryTranslator", "TranslationResult"):
+            with pytest.raises(AttributeError):
+                getattr(repro, name)
 
-    def test_legacy_translate_works(self):
-        repro._warned_legacy.discard("translate")
-        with pytest.warns(DeprecationWarning):
-            result = repro.translate("SELECT * FROM CUSTOMERS")
-        assert "ns0:CUSTOMERS()" in result.xquery
-        assert result.column_labels == [
-            "CUSTOMERID", "CUSTOMERNAME", "REGION", "CREDITLIMIT"]
+    def test_legacy_names_still_live_in_subpackages(self):
+        from repro.engine import DSPRuntime  # noqa: F401
+        from repro.obs import MetricsRegistry, Tracer  # noqa: F401
+        from repro.translator import SQLToXQueryTranslator  # noqa: F401
+        from repro.xquery import execute_xquery
 
-    def test_legacy_build_demo_runtime_works(self):
-        repro._warned_legacy.discard("build_demo_runtime")
-        with pytest.warns(DeprecationWarning):
-            runtime = repro.build_demo_runtime()
-        conn = repro.connect(runtime)
-        cur = conn.cursor()
-        cur.execute("SELECT COUNT(*) FROM CUSTOMERS")
-        assert cur.fetchall() == [(6,)]
+        assert execute_xquery("1 + 1") == [2]
 
-    def test_legacy_execute_xquery(self):
-        repro._warned_legacy.discard("execute_xquery")
-        with pytest.warns(DeprecationWarning):
-            assert repro.execute_xquery("1 + 1") == [2]
-
-    def test_legacy_warning_once_per_name(self):
-        # The first access per process warns; repeats stay silent so a
-        # loop over legacy call sites cannot drown real warnings.
-        repro._warned_legacy.discard("MetricsRegistry")
-        with pytest.warns(DeprecationWarning, match="MetricsRegistry"):
-            repro.MetricsRegistry
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            repro.MetricsRegistry  # second access: silent
-
-    def test_legacy_warning_once_local_names(self):
-        repro._warned_legacy.discard("translate")
-        with pytest.warns(DeprecationWarning, match="translate"):
-            repro.translate
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            repro.translate
+    def test_no_deprecation_machinery_left(self):
+        assert not hasattr(repro, "_LEGACY")
+        assert not hasattr(repro, "_warned_legacy")
 
     def test_unknown_attribute_raises(self):
         with pytest.raises(AttributeError):
