@@ -1,7 +1,7 @@
 """Gate benchmark results against the committed baseline.
 
 Compares a fresh ``pytest-benchmark`` JSON report against the repo's
-committed baseline (``BENCH_PR7.json``) and exits nonzero when any
+committed baseline (``BENCH_PR10.json``) and exits nonzero when any
 benchmark regressed by more than the tolerance (default 25%).
 
 Comparison uses each benchmark's *min* round time: the best observed
@@ -41,6 +41,12 @@ Usage::
     # identical rows. The requirement scales with the machine: ~1.3x
     # on 2-3 cores, correctness+engagement only on a single core:
     python benchmarks/compare_baseline.py --parallel
+
+    # grouped-aggregation gate (no results file needed): the E12
+    # reporting-mix group query must run >=3x faster through the
+    # vectorized hash-aggregation stage than tuple-at-a-time, with
+    # byte-identical rows:
+    python benchmarks/compare_baseline.py --group
 """
 
 from __future__ import annotations
@@ -51,7 +57,7 @@ import sys
 from pathlib import Path
 
 _REPO = Path(__file__).resolve().parent.parent
-DEFAULT_BASELINE = _REPO / "BENCH_PR7.json"
+DEFAULT_BASELINE = _REPO / "BENCH_PR10.json"
 #: The pre-hash-join executor numbers the --join gate measures against.
 PR2_BASELINE = _REPO / "BENCH_PR2.json"
 DEFAULT_TOLERANCE = 0.25
@@ -534,6 +540,96 @@ def run_parallel_gate(min_ratio: float) -> int:
     return 0
 
 
+def run_group_gate(min_ratio: float) -> int:
+    """The vectorized hash-aggregation stage must pay for itself.
+
+    Runs the E12 reporting-mix group query (COUNT(*) + SUM over FACTS
+    grouped by REGION, ordered by the aggregate) through the full
+    driver pipeline on two otherwise-identical runtimes, one with the
+    default 1024-row batches and one with ``batch_size=0``
+    (tuple-at-a-time), and fails unless the batched run is at least
+    *min_ratio* faster on its best round with byte-identical rows and
+    the aggregation kernels actually engaged (``VSTATS.agg_groups``
+    advanced — i.e. no silent fallback to the tuple group path).
+    """
+    import sys
+    import time
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+    from repro.catalog import Application
+    from repro.config import RuntimeConfig
+    from repro.driver import connect
+    from repro.engine import DSPRuntime, import_tables
+    from repro.workloads.scaling import build_scaled_storage
+    from repro.xquery.vector import VSTATS
+
+    sql = ("SELECT REGION, COUNT(*), SUM(AMOUNT) FROM FACTS "
+           "GROUP BY REGION ORDER BY 3 DESC")
+    rows = 500
+
+    def make_cursor(batch_size: int):
+        storage = build_scaled_storage(rows)
+        application = Application("BenchApp")
+        import_tables(application, "Bench", storage)
+        runtime = DSPRuntime(
+            application, storage,
+            config=RuntimeConfig(batch_size=batch_size))
+        cursor = connect(runtime, format="delimited").cursor()
+        cursor.execute(sql)  # warm translation + plan caches
+        return cursor
+
+    def run(cursor):
+        cursor.execute(sql)
+        return cursor.fetchall()
+
+    def best_of(fn, rounds):
+        best = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    batched = make_cursor(1024)
+    tuple_mode = make_cursor(0)
+
+    failures = []
+    executions = VSTATS.executions
+    groups = VSTATS.agg_groups
+    if run(batched) != run(tuple_mode):
+        failures.append("grouped rows differ between batch and tuple "
+                        "executors")
+    if VSTATS.executions == executions:
+        failures.append("vector executor never engaged on the group "
+                        "query (wholesale fallback?)")
+    if VSTATS.agg_groups == groups:
+        failures.append("aggregation kernels never engaged "
+                        "(agg_groups did not advance)")
+
+    batched_s = best_of(lambda: run(batched), rounds=9)
+    tuple_s = best_of(lambda: run(tuple_mode), rounds=9)
+    ratio = tuple_s / batched_s
+    print(f"group gate: {sql!r} @ {rows} rows through the driver")
+    print(f"  batch (1024)    : {batched_s * 1000:9.3f}ms")
+    print(f"  tuple-at-a-time : {tuple_s * 1000:9.3f}ms")
+    print(f"  speedup         : {ratio:.1f}x (required >= "
+          f"{min_ratio:.1f}x)")
+    if ratio < min_ratio:
+        failures.append(f"grouped aggregation only {ratio:.1f}x over "
+                        f"tuple mode (required {min_ratio:.1f}x)")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nOK: group gate passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", type=Path, nargs="?",
@@ -554,11 +650,17 @@ def main(argv: list[str] | None = None) -> int:
                              "scan >= 2.5x at parallelism=4 on a 4+ "
                              "core machine; scaled down on smaller "
                              "ones)")
+    parser.add_argument("--group", action="store_true",
+                        help="run the grouped-aggregation gate "
+                             "(vectorized hash aggregation >= 3x over "
+                             "tuple-at-a-time on the reporting-mix "
+                             "group query)")
     parser.add_argument("--min-ratio", type=float, default=None,
                         help="required improvement ratio for --pushdown "
                              "(default: 5x), --join (default: 3x), "
-                             "--batch (default: 3x) or --parallel "
-                             "(default: 2.5x on 4+ cores)")
+                             "--batch (default: 3x), --group (default: "
+                             "3x) or --parallel (default: 2.5x on 4+ "
+                             "cores)")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
                         help=f"committed baseline (default: "
                              f"{DEFAULT_BASELINE.name})")
@@ -586,9 +688,11 @@ def main(argv: list[str] | None = None) -> int:
         return run_batch_gate(args.min_ratio or 3.0)
     if args.parallel:
         return run_parallel_gate(args.min_ratio or 2.5)
+    if args.group:
+        return run_group_gate(args.min_ratio or 3.0)
     if args.results is None:
         parser.error("a results file is required unless --pushdown, "
-                     "--join, --batch or --parallel is given")
+                     "--join, --batch, --group or --parallel is given")
 
     strict: dict[str, float] = {}
     for spec in args.strict:

@@ -239,6 +239,13 @@ class DSPRuntime:
             "parallel.fallbacks")
         self._gather_seconds = self.metrics.histogram(
             "parallel.gather_seconds")
+        #: Grouped-aggregation observability: queries that ran the
+        #: vectorized hash-aggregation stage, group-table entries it
+        #: emitted, and scatters that aggregated partially in workers.
+        self._agg_queries = self.metrics.counter("vector.agg_queries")
+        self._agg_groups = self.metrics.counter("vector.agg_groups")
+        self._partial_aggs = self.metrics.counter(
+            "parallel.partial_aggs")
 
     # -- source registry -----------------------------------------------------
 

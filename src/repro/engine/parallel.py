@@ -42,7 +42,14 @@ worker-side stage (scan, where, hash join probe) preserves its input
 row order. In "batches" mode the parent re-bases each partition's
 hidden restore-order ordinals by the cumulative scanned-row counts of
 earlier partitions, then runs the order/restore/window/encode suffix
-itself — see ``_VectorPlan.gather_batches``.
+itself — see ``_VectorPlan.gather_batches``. In "partial_agg" mode —
+an aggregate-led plan whose every aggregate decomposes into an
+associative partial state — workers run scan→filter→partial-aggregate
+and ship O(groups) partial-state tables instead of O(rows) columns;
+the parent merges them in partition-index order (which reproduces the
+serial first-seen group order, since partitions are contiguous slices
+of the scan), finalizes, and runs the having/order/window/encode
+suffix — see ``_VectorPlan.gather_partial``.
 """
 
 from __future__ import annotations
@@ -89,7 +96,7 @@ class PartitionTask:
     local: str
     spec: object  # sources.PartitionSpec
     params: dict  # external variable name -> scalar or None
-    mode: str  # "encode" | "batches"
+    mode: str  # "encode" | "batches" | "partial_agg"
     version: object  # parent's source version token at scatter time
     timeout: Optional[float]  # parent deadline remaining at scatter
     signature: tuple  # parent plan's structural signature
@@ -250,6 +257,18 @@ def _merge(vplan, state, payloads):
                     yield text
 
         return emit()
+    if vplan.parallel_mode == "partial_agg":
+        scanned_total = sum(scanned for _table, _n, scanned in payloads)
+        if state.ctx is not None:
+            state.ctx.tick_rows(scanned_total)
+            # Aggregation buffers whole-input state worker-side, so
+            # admission charges the pre-aggregation scanned volume —
+            # the same charge the serial aggregation stage makes.
+            state.ctx.rows_buffered += scanned_total
+        counter = getattr(vplan.columnar, "_partial_aggs", None)
+        if counter is not None:
+            counter.increment()
+        return vplan.gather_partial(state, payloads)
     total = sum(n for _cols, n, _scanned in payloads)
     if state.ctx is not None:
         state.ctx.tick_rows(total)

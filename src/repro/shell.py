@@ -360,7 +360,13 @@ class Shell:
             f"{runtime_counters.get('parallel.partitions', 0)} "
             f"workers={runtime_counters.get('parallel.workers', 0)} "
             f"fallbacks="
-            f"{runtime_counters.get('parallel.fallbacks', 0)}")
+            f"{runtime_counters.get('parallel.fallbacks', 0)} "
+            f"partial_aggs="
+            f"{runtime_counters.get('parallel.partial_aggs', 0)}")
+        self._out(
+            f"AGGREGATION: "
+            f"queries={runtime_counters.get('vector.agg_queries', 0)} "
+            f"groups={runtime_counters.get('vector.agg_groups', 0)}")
 
     # -- loops --------------------------------------------------------------
 

@@ -36,6 +36,7 @@ surface, and NaN never matches itself.
 from __future__ import annotations
 
 import datetime
+from dataclasses import replace
 from decimal import Decimal
 from typing import Optional
 
@@ -1295,3 +1296,262 @@ def grouping_key(value) -> tuple:
     raise XQueryTypeError(
         f"cannot group by values of type {type(value).__name__}",
         code="XPTY0004")
+
+
+# ---------------------------------------------------------------------------
+# Grouped-aggregation lowering (vector executor + parallel partial-agg)
+# ---------------------------------------------------------------------------
+
+#: Reserved prefix for the synthetic variables that hold finalized
+#: aggregate values after an :class:`AggregateClause` (shares the \\x00
+#: convention with ``ORDINAL_PREFIX`` so no user query can collide).
+AGG_VAR_PREFIX = "\x00agg:"
+
+#: Aggregate functions the vector executor can lower. Each decomposes
+#: into a partial state and an associative merge (the Tout-XML mediator
+#: contract): count → int, sum/avg → (total, count), min/max →
+#: (best, seen), distinct-backed forms → ordered value list.
+AGG_FUNCS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+class AggregateSpec:
+    """One aggregate column of an :class:`AggregateClause`.
+
+    ``value`` is the per-row argument expression, rewritten to read the
+    group *source* variable (the translator emits a fresh row variable
+    per aggregate occurrence; lowering substitutes it away so identical
+    aggregates unify). ``star`` marks ``fn:count($partition)`` — SQL
+    ``COUNT(*)`` — which counts rows, not values. ``empty_zero``
+    distinguishes 1-arg ``fn:sum`` (empty input → 0) from the
+    translator's 2-arg ``fn:sum(..., ())`` (empty input → NULL).
+    """
+
+    __slots__ = ("func", "star", "distinct", "empty_zero", "value", "var")
+
+    def __init__(self, func: str, star: bool, distinct: bool,
+                 empty_zero: bool, value, var: str):
+        self.func = func
+        self.star = star
+        self.distinct = distinct
+        self.empty_zero = empty_zero
+        self.value = value
+        self.var = var
+
+
+class AggregateClause:
+    """A ``group ... by`` plus every aggregate read from its partition,
+    lowered into one hash-aggregation operator.
+
+    ``keys`` keeps the GroupClause's ``(key_expr, key_var)`` pairs —
+    key expressions read ``source_var`` per row, and downstream clauses
+    reference the key variables. ``specs`` are the aggregates; after
+    this clause only key variables and spec variables are in scope.
+    """
+
+    __slots__ = ("source_var", "partition_var", "keys", "specs")
+
+    def __init__(self, source_var: str, partition_var: str,
+                 keys: tuple, specs: tuple):
+        self.source_var = source_var
+        self.partition_var = partition_var
+        self.keys = keys
+        self.specs = specs
+
+
+def _rewrite_expr(node, hook):
+    """Rebuild *node* bottom-up, replacing any sub-expression for which
+    *hook* returns a non-None node (the replacement is NOT re-visited).
+    Node kinds mirror :func:`_iter_children`; unknown/leaf kinds are
+    returned unchanged."""
+    replacement = hook(node)
+    if replacement is not None:
+        return replacement
+
+    def rw(child):
+        return _rewrite_expr(child, hook)
+
+    if isinstance(node, ast.SequenceExpr):
+        return replace(node, items=tuple(rw(item) for item in node.items))
+    if isinstance(node, ast.IfExpr):
+        return replace(node, condition=rw(node.condition),
+                       then=rw(node.then), else_=rw(node.else_))
+    if isinstance(node, (ast.OrExpr, ast.AndExpr, ast.ValueComparison,
+                         ast.GeneralComparison, ast.Arithmetic)):
+        return replace(node, left=rw(node.left), right=rw(node.right))
+    if isinstance(node, ast.RangeExpr):
+        return replace(node, low=rw(node.low), high=rw(node.high))
+    if isinstance(node, ast.UnaryMinus):
+        return replace(node, operand=rw(node.operand))
+    if isinstance(node, ast.PathExpr):
+        return replace(node, base=rw(node.base), steps=tuple(
+            replace(step, predicates=tuple(rw(p) for p in step.predicates))
+            for step in node.steps))
+    if isinstance(node, ast.FilterExpr):
+        return replace(node, base=rw(node.base),
+                       predicates=tuple(rw(p) for p in node.predicates))
+    if isinstance(node, ast.XFunctionCall):
+        return replace(node, args=tuple(rw(arg) for arg in node.args))
+    if isinstance(node, ast.ElementConstructor):
+        return replace(
+            node,
+            attributes=tuple(
+                replace(attr, parts=tuple(
+                    part if isinstance(part, str) else rw(part)
+                    for part in attr.parts))
+                for attr in node.attributes),
+            content=tuple(part if isinstance(part, str) else rw(part)
+                          for part in node.content))
+    return node
+
+
+def substitute_var(expr, old: str, new: str):
+    """*expr* with every ``VarRef(old)`` replaced by ``VarRef(new)``.
+    Callers guarantee *expr* contains no binding forms (FLWOR /
+    quantifier), so no shadowing analysis is needed."""
+    return _rewrite_expr(
+        expr,
+        lambda node: ast.VarRef(name=new)
+        if isinstance(node, ast.VarRef) and node.name == old else None)
+
+
+def _contains_binder(node) -> bool:
+    if isinstance(node, (ast.FLWOR, ast.QuantifiedExpr)):
+        return True
+    return any(_contains_binder(child) for child in _iter_children(node))
+
+
+def _match_aggregate(node, partition_var: str, is_fn):
+    """Match one translator-emitted aggregate call over *partition_var*.
+
+    *is_fn* is ``(expr, local, arity) -> bool`` testing for an ``fn:``
+    namespace call (supplied by the caller, which owns the static
+    context for prefix resolution). Recognized shapes (stage 3's
+    ``_gen_aggregate``)::
+
+        fn:count($P)                            COUNT(*)
+        fn:count((for $r in $P return V))       COUNT(V)
+        fn:sum((for $r in $P return V), ())     SUM(V), empty → NULL
+        fn:sum((for $r in $P return V))         SUM(V), empty → 0
+        fn:avg|min|max((for $r in $P return V))
+        ...(fn:distinct-values((for ...)))      DISTINCT variants
+
+    Returns ``(func, star, distinct, empty_zero, row_var, value)`` or
+    None. *value* may read only the row variable (no partition refs, no
+    nested binders — that rejects scalar subqueries).
+    """
+    if not isinstance(node, ast.XFunctionCall):
+        return None
+    if is_fn(node, "count", 1) and isinstance(node.args[0], ast.VarRef) \
+            and node.args[0].name == partition_var:
+        return ("count", True, False, False, None, None)
+    empty_zero = False
+    if is_fn(node, "sum", 2):
+        second = node.args[1]
+        if not (isinstance(second, ast.SequenceExpr) and not second.items):
+            return None
+        func, inner = "sum", node.args[0]
+    elif is_fn(node, "sum", 1):
+        func, inner, empty_zero = "sum", node.args[0], True
+    elif is_fn(node, "count", 1):
+        func, inner = "count", node.args[0]
+    elif is_fn(node, "avg", 1):
+        func, inner = "avg", node.args[0]
+    elif is_fn(node, "min", 1):
+        func, inner = "min", node.args[0]
+    elif is_fn(node, "max", 1):
+        func, inner = "max", node.args[0]
+    else:
+        return None
+    distinct = False
+    if is_fn(inner, "distinct-values", 1):
+        distinct = True
+        inner = inner.args[0]
+    if not (isinstance(inner, ast.FLWOR) and len(inner.clauses) == 1):
+        return None
+    head = inner.clauses[0]
+    if not (isinstance(head, ast.ForClause)
+            and isinstance(head.source, ast.VarRef)
+            and head.source.name == partition_var):
+        return None
+    value = inner.return_expr
+    if _contains_binder(value) or partition_var in free_vars(value):
+        return None
+    return (func, False, distinct, empty_zero, head.var, value)
+
+
+def lower_group_aggregates(group: ast.GroupClause, post_clauses,
+                           return_expr, is_fn):
+    """Lower *group* plus everything downstream of it into an
+    :class:`AggregateClause`.
+
+    Walks the post-group clauses (only where/order are eligible — HAVING
+    and grouped ORDER BY) and the return expression, replacing each
+    recognized aggregate call with a reference to a synthetic
+    ``AGG_VAR_PREFIX`` variable (structurally identical aggregates
+    unify). Returns ``(clause, new_post_clauses, new_return_expr)``, or
+    None when any aggregate shape is unsupported or a partition/source
+    reference survives the rewrite — the caller then falls back to the
+    tuple path wholesale.
+    """
+    specs: list[AggregateSpec] = []
+
+    def hook(node):
+        matched = _match_aggregate(node, group.partition_var, is_fn)
+        if matched is not None:
+            func, star, distinct, empty_zero, row_var, value = matched
+            if value is not None:
+                value = substitute_var(value, row_var, group.source_var)
+            for spec in specs:
+                if (spec.func == func and spec.star == star
+                        and spec.distinct == distinct
+                        and spec.empty_zero == empty_zero
+                        and spec.value == value):
+                    return ast.VarRef(name=spec.var)
+            var = f"{AGG_VAR_PREFIX}{len(specs)}"
+            specs.append(AggregateSpec(func, star, distinct, empty_zero,
+                                       value, var))
+            return ast.VarRef(name=var)
+        if isinstance(node, (ast.FLWOR, ast.QuantifiedExpr)):
+            # Don't descend into binders: an aggregate buried inside one
+            # leaves a partition reference behind and fails validation.
+            return node
+        return None
+
+    new_post = []
+    rewritten = []
+    for clause in post_clauses:
+        if isinstance(clause, ast.WhereClause):
+            condition = _rewrite_expr(clause.condition, hook)
+            new_post.append(ast.WhereClause(condition=condition))
+            rewritten.append(condition)
+        elif isinstance(clause, ast.OrderClause):
+            new_specs = tuple(replace(spec, key=_rewrite_expr(spec.key, hook))
+                              for spec in clause.specs)
+            new_post.append(ast.OrderClause(specs=new_specs))
+            rewritten.extend(spec.key for spec in new_specs)
+        else:
+            return None
+    new_return = _rewrite_expr(return_expr, hook)
+    rewritten.append(new_return)
+    for expr in rewritten:
+        fv = free_vars(expr)
+        if group.partition_var in fv or group.source_var in fv:
+            return None
+    clause = AggregateClause(group.source_var, group.partition_var,
+                             group.keys, tuple(specs))
+    return clause, tuple(new_post), new_return
+
+
+def estimate_group_count(stats, keys, source_var: str) -> Optional[int]:
+    """NDV-product estimate of a grouped scan's output cardinality,
+    clamped to the table's row count. None when any key column lacks NDV
+    statistics (unknown column shape, stats disabled)."""
+    if stats is None or stats.row_count is None:
+        return None
+    estimate = 1
+    for key_expr, _key_var in keys:
+        ndv = _column_ndv(stats, _scan_column(key_expr, source_var))
+        if not ndv:
+            return None
+        estimate *= ndv
+    return min(estimate, stats.row_count)

@@ -62,7 +62,10 @@ from .planner import (
     HashJoinClause,
     ParamRef,
     RestoreOrderClause,
+    estimate_group_count,
+    grouping_key,
     join_key,
+    lower_group_aggregates,
     plan_clauses,
     scan_requests,
 )
@@ -84,6 +87,10 @@ _NUMERIC_TYPES = _EXACT_NUM_TYPES | _FLOAT_TYPES
 #: variable; shares the variables' reserved prefix convention.
 _ORD = "\x00ord"
 
+#: Batch-column namespace for post-aggregation scalar variables (group
+#: keys and finalized aggregates): ``cols[(_GRP, var)]``.
+_GRP = "\x00grp"
+
 _CMP_OPS = {"eq": operator.eq, "ne": operator.ne, "lt": operator.lt,
             "le": operator.le, "gt": operator.gt, "ge": operator.ge}
 
@@ -93,8 +100,9 @@ class _VectorStats(threading.local):
     vector-plan runs, ``fallbacks`` run-time reversions to the tuple
     path, ``batches``/``rows`` the encoded output volume — a lazily
     consumed cursor over a large scan shows O(batches fetched) rows
-    encoded, not O(table) — and ``parallel`` the runs that scattered
-    across the process pool."""
+    encoded, not O(table) — ``parallel`` the runs that scattered
+    across the process pool, and ``agg_groups`` the group-table entries
+    the hash-aggregation stage emitted."""
 
     def __init__(self):
         self.executions = 0
@@ -102,6 +110,7 @@ class _VectorStats(threading.local):
         self.batches = 0
         self.rows = 0
         self.parallel = 0
+        self.agg_groups = 0
 
 
 VSTATS = _VectorStats()
@@ -224,6 +233,19 @@ def _vconst(value, vtype: Optional[str]) -> _V:
     return _V(run, vtype)
 
 
+class _ScalarCol:
+    """Environment entry for a scalar-valued variable materialized as a
+    batch column (post-aggregation group keys and aggregate results) —
+    unlike a row variable's ``{column: xs_type}`` schema dict, a bare
+    reference to one of these IS the column."""
+
+    __slots__ = ("key", "vtype")
+
+    def __init__(self, key: tuple, vtype: Optional[str]):
+        self.key = key
+        self.vtype = vtype
+
+
 def _vcolumn(cc: _Ctx, expr, env: dict) -> Optional[_V]:
     """Match ``$var/COLUMN`` under ``fn:data`` — the translator's column
     access — against the in-scope row variables."""
@@ -234,8 +256,8 @@ def _vcolumn(cc: _Ctx, expr, env: dict) -> Optional[_V]:
     var = expr.base.name
     step = expr.steps[0]
     columns = env.get(var)
-    if (columns is None or step.name is None or step.predicates
-            or step.name not in columns):
+    if (not isinstance(columns, dict) or step.name is None
+            or step.predicates or step.name not in columns):
         return None
     key = (var, step.name)
 
@@ -252,6 +274,14 @@ def _vcompile(cc: _Ctx, expr, env: dict) -> Optional[_V]:
     if isinstance(expr, ast.XLiteral):
         return _vconst(expr.value, _vtype_of_literal(expr.value))
     if isinstance(expr, ast.VarRef):
+        entry = env.get(expr.name)
+        if isinstance(entry, _ScalarCol):
+            key = entry.key
+
+            def run_scalar(state, batch):
+                return batch.cols[key]
+
+            return _V(run_scalar, entry.vtype)
         if expr.name in env:
             return None  # a bare row variable is a node sequence
         if expr.name not in cc.compiler._external_vars:
@@ -652,6 +682,245 @@ class _JoinInfo:
         self.filter_exprs = filter_exprs
 
 
+class _AggInfo:
+    """Compiled hash-aggregation stage: vectorized key/value inputs plus
+    the decomposition metadata the scatter executor needs.
+
+    ``parallel_safe`` is True only when every spec's partial states
+    merge associatively to the *exact* serial result: counts always do;
+    sums/averages only over exact-numeric columns (float addition is
+    not associative); min/max only over typed non-float columns (NaN
+    breaks the fold's comparison transitivity); distinct-backed specs
+    always do (ordered set union in partition order reproduces the
+    serial first-occurrence order). ``group_estimate``/``row_estimate``
+    come from NDV statistics and let the planner pick the aggregation
+    site (worker-side partial vs. parent-side whole).
+    """
+
+    __slots__ = ("key_exprs", "key_vars", "specs", "value_exprs",
+                 "out_vtypes", "parallel_safe", "group_estimate",
+                 "row_estimate")
+
+    def __init__(self, key_exprs, key_vars, specs, value_exprs,
+                 out_vtypes, parallel_safe, group_estimate,
+                 row_estimate):
+        self.key_exprs = key_exprs
+        self.key_vars = key_vars
+        self.specs = specs
+        self.value_exprs = value_exprs
+        self.out_vtypes = out_vtypes
+        self.parallel_safe = parallel_safe
+        self.group_estimate = group_estimate
+        self.row_estimate = row_estimate
+
+
+def _spec_parallel_safe(spec, vtype: Optional[str]) -> bool:
+    if spec.star or spec.distinct or spec.func == "count":
+        return True
+    if spec.func in ("sum", "avg"):
+        return vtype in _EXACT_NUM_TYPES
+    # min/max: a NaN inside one partition poisons that partition's fold
+    # differently than the serial left-to-right fold, so floats (and
+    # unknown types, which may hold floats) aggregate at the parent.
+    return vtype is not None and vtype not in _FLOAT_TYPES
+
+
+def _spec_out_vtype(spec, vtype: Optional[str]) -> Optional[str]:
+    if spec.func == "count":
+        return "integer"
+    if spec.func == "sum":
+        if vtype in _EXACT_NUM_TYPES:
+            return "decimal" if vtype == "decimal" else "integer"
+        return "double" if vtype in _FLOAT_TYPES else None
+    if spec.func == "avg":
+        if vtype in _EXACT_NUM_TYPES:
+            return "decimal"
+        return "double" if vtype in _FLOAT_TYPES else None
+    return vtype  # min/max preserve the input type
+
+
+def _compile_aggregate(cc: _Ctx, agg, env: dict,
+                       compiler, clauses) -> Optional[_AggInfo]:
+    """Vector-compile an ``AggregateClause``'s key and value expressions
+    over the pre-group *env*; None falls back to the tuple path."""
+    key_exprs = []
+    for key_expr, _key_var in agg.keys:
+        compiled = _vcompile(cc, key_expr, env)
+        if compiled is None:
+            return None
+        key_exprs.append(compiled)
+    value_exprs = []
+    out_vtypes = []
+    parallel_safe = True
+    for spec in agg.specs:
+        if spec.star:
+            value_exprs.append(None)
+            out_vtypes.append("integer")
+            continue
+        value = _vcompile(cc, spec.value, env)
+        if value is None:
+            return None
+        value_exprs.append(value)
+        out_vtypes.append(_spec_out_vtype(spec, value.vtype))
+        if not _spec_parallel_safe(spec, value.vtype):
+            parallel_safe = False
+    group_estimate = None
+    row_estimate = None
+    estimator = compiler._estimator
+    lead = clauses[0]
+    if (estimator is not None and isinstance(lead, ast.ForClause)
+            and lead.var == agg.source_var):
+        stats = estimator.table_stats(lead.source)
+        if stats is not None:
+            row_estimate = stats.row_count
+            group_estimate = estimate_group_count(stats, agg.keys,
+                                                  agg.source_var)
+    return _AggInfo(key_exprs, [kv for _k, kv in agg.keys], agg.specs,
+                    value_exprs, out_vtypes, parallel_safe,
+                    group_estimate, row_estimate)
+
+
+def _new_agg_state(spec):
+    """Fresh partial state for one aggregate: int for counts, ordered
+    value list for distinct forms, ``[total, count]`` for sum/avg,
+    ``[best, seen]`` for min/max. All forms pickle (they cross the
+    worker pipe as partial-state tables)."""
+    if spec.star or (spec.func == "count" and not spec.distinct):
+        return 0
+    if spec.distinct:
+        return []
+    if spec.func in ("sum", "avg"):
+        return [None, 0]
+    return [None, False]
+
+
+def _fold_agg_cell(spec, states: list, j: int, cell) -> None:
+    """Fold one row's value into group state *j*, replicating the tuple
+    path's ``fn:sum``/``fn:avg``/``fn:min``/``fn:max``/
+    ``fn:distinct-values`` folds exactly: NULL cells contribute nothing
+    (the per-row value sequence is empty), untyped atomics cast to
+    double (string for distinct), sums fold with ``+`` left-to-right,
+    min/max keep the first value on ties."""
+    if spec.star:
+        states[j] += 1
+        return
+    if cell is None:
+        return
+    if spec.distinct:
+        if isinstance(cell, UntypedAtomic):
+            cell = str(cell)
+        seen = states[j]
+        for prior in seen:
+            try:
+                if compare_values("eq", prior, cell):
+                    return
+            except XQueryTypeError:
+                continue
+        seen.append(cell)
+        return
+    if isinstance(cell, UntypedAtomic):
+        cell = float(cell)
+    func = spec.func
+    if func == "count":
+        states[j] += 1
+    elif func in ("sum", "avg"):
+        acc = states[j]
+        acc[0] = cell if acc[1] == 0 else acc[0] + cell
+        acc[1] += 1
+    else:
+        acc = states[j]
+        if not acc[1]:
+            acc[0] = cell
+            acc[1] = True
+        elif compare_values("lt" if func == "min" else "gt",
+                            cell, acc[0]):
+            acc[0] = cell
+
+
+def _merge_agg_states(spec, a, b):
+    """Associative merge of two partial states (partition-index order:
+    *a* is the earlier partition — ties and first-occurrence order
+    resolve exactly as the serial fold would)."""
+    if spec.star or (spec.func == "count" and not spec.distinct):
+        return a + b
+    if spec.distinct:
+        for value in b:
+            duplicate = False
+            for prior in a:
+                try:
+                    if compare_values("eq", prior, value):
+                        duplicate = True
+                        break
+                except XQueryTypeError:
+                    continue
+            if not duplicate:
+                a.append(value)
+        return a
+    if spec.func in ("sum", "avg"):
+        if b[1] == 0:
+            return a
+        if a[1] == 0:
+            return b
+        return [a[0] + b[0], a[1] + b[1]]
+    if not b[1]:
+        return a
+    if not a[1]:
+        return b
+    op = "lt" if spec.func == "min" else "gt"
+    return b if compare_values(op, b[0], a[0]) else a
+
+
+def _final_sum_avg(spec, total, count):
+    if count == 0:
+        return 0 if (spec.func == "sum" and spec.empty_zero) else None
+    if spec.func == "sum":
+        return total
+    # fn:avg's exact division rules: integer totals divide as Decimal.
+    if isinstance(total, Decimal):
+        return total / Decimal(count)
+    if isinstance(total, int):
+        return Decimal(total) / Decimal(count)
+    return total / count
+
+
+def _finalize_agg_state(spec, agg_state):
+    """Partial state → the aggregate's final scalar (or None = NULL)."""
+    func = spec.func
+    if spec.distinct:
+        if func == "count":
+            return len(agg_state)
+        if func in ("sum", "avg"):
+            total, count = None, 0
+            for value in agg_state:
+                total = value if count == 0 else total + value
+                count += 1
+            return _final_sum_avg(spec, total, count)
+        best, seen = None, False
+        op = "lt" if func == "min" else "gt"
+        for value in agg_state:
+            if not seen:
+                best, seen = value, True
+            elif compare_values(op, value, best):
+                best = value
+        return best if seen else None
+    if spec.star or func == "count":
+        return agg_state
+    if func in ("sum", "avg"):
+        return _final_sum_avg(spec, agg_state[0], agg_state[1])
+    return agg_state[0] if agg_state[1] else None
+
+
+def _partial_agg_pays(info: _AggInfo) -> bool:
+    """Aggregation-site choice: worker-side partial aggregation wins
+    when the group table is meaningfully smaller than its input (the
+    gather payload shrinks from O(rows) to O(groups)). With no NDV
+    estimate, default to partial aggregation — it is never wrong, only
+    potentially no smaller than shipping the rows."""
+    if info.group_estimate is None or not info.row_estimate:
+        return True
+    return info.group_estimate <= 0.5 * info.row_estimate
+
+
 #: Executor-selection heuristic (estimated rows x operator shape):
 #: below these driving-scan row counts the executor's fixed
 #: per-execution overhead exceeds its per-row win, so the tuple path is
@@ -665,14 +934,19 @@ class _JoinInfo:
 _MIN_BATCH_ROWS_SCAN = 0
 _MIN_BATCH_ROWS_JOIN = 4
 
+#: Grouped plans whose NDV estimate predicts fewer distinct groups than
+#: this stay on the tuple path: a one-or-two-group hash table amortizes
+#: nothing and the tuple GroupClause is already a single dict pass.
+#: Cache-safety: like the row floors, this decision reads only NDV
+#: statistics — the plan cache key already includes the runtime's
+#: ``_stats_epoch`` (and ``batch_size``), so a stats change re-plans
+#: rather than serving a stale executor choice.
+_MIN_BATCH_GROUPS = 2
+
 
 def _prefer_tuple(compiler, clauses) -> bool:
     """True when the cost model says the driving scan is too small for
     batch execution to pay for itself (see the constants above)."""
-    has_join = any(isinstance(c, HashJoinClause) for c in clauses)
-    floor = _MIN_BATCH_ROWS_JOIN if has_join else _MIN_BATCH_ROWS_SCAN
-    if floor <= 0:
-        return False
     estimator = compiler._estimator
     if estimator is None:
         return False
@@ -683,6 +957,17 @@ def _prefer_tuple(compiler, clauses) -> bool:
         return False
     stats = estimator.table_stats(for_clause.source)
     if stats is None:
+        return False
+    group = next((c for c in clauses
+                  if isinstance(c, ast.GroupClause)), None)
+    if group is not None and group.source_var == for_clause.var:
+        groups = estimate_group_count(stats, group.keys,
+                                      group.source_var)
+        if groups is not None and groups < _MIN_BATCH_GROUPS:
+            return True
+    has_join = any(isinstance(c, HashJoinClause) for c in clauses)
+    floor = _MIN_BATCH_ROWS_JOIN if has_join else _MIN_BATCH_ROWS_SCAN
+    if floor <= 0:
         return False
     return stats.row_count < floor
 
@@ -800,6 +1085,16 @@ def try_compile_wrapper(compiler, arg, batch_size: int, columnar,
         stages.append(("join", info))
     else:
         return None
+    def compile_order(clause) -> Optional[list]:
+        specs = []
+        for spec in clause.specs:
+            key = _vcompile(cc, spec.key, env)
+            if key is None:
+                return None
+            specs.append((key, spec.ascending, spec.empty_least))
+        return specs
+
+    record_return = source.return_expr
     for index, clause in enumerate(clauses[1:], start=1):
         if isinstance(clause, ast.WhereClause):
             condition = _vcompile(cc, clause.condition, env)
@@ -812,21 +1107,51 @@ def try_compile_wrapper(compiler, arg, batch_size: int, columnar,
                 return None
             stages.append(("join", info))
         elif isinstance(clause, ast.OrderClause):
-            specs = []
-            for spec in clause.specs:
-                key = _vcompile(cc, spec.key, env)
-                if key is None:
-                    return None
-                specs.append((key, spec.ascending, spec.empty_least))
+            specs = compile_order(clause)
+            if specs is None:
+                return None
             stages.append(("order", specs))
         elif isinstance(clause, RestoreOrderClause):
             if not all(v in env for v in clause.vars):
                 return None
             stages.append(("restore", clause.vars))
+        elif isinstance(clause, ast.GroupClause):
+            # Lower the group plus everything downstream (HAVING,
+            # grouped ORDER BY, the record) into one hash-aggregation
+            # stage followed by scalar-column where/order stages.
+            lowered = lower_group_aggregates(
+                clause, clauses[index + 1:], source.return_expr,
+                lambda e, local, arity: _is_fn_call(cc, e, FN_URI,
+                                                    local, arity))
+            if lowered is None:
+                return None
+            agg_clause, post_clauses, record_return = lowered
+            info = _compile_aggregate(cc, agg_clause, env, compiler,
+                                      clauses)
+            if info is None:
+                return None
+            stages.append(("agg", info))
+            env = {key_var: _ScalarCol((_GRP, key_var), key_v.vtype)
+                   for key_var, key_v in zip(info.key_vars,
+                                             info.key_exprs)}
+            for spec, vtype in zip(info.specs, info.out_vtypes):
+                env[spec.var] = _ScalarCol((_GRP, spec.var), vtype)
+            for post in post_clauses:
+                if isinstance(post, ast.WhereClause):
+                    condition = _vcompile(cc, post.condition, env)
+                    if condition is None:
+                        return None
+                    stages.append(("where", condition))
+                else:  # OrderClause (lowering admits nothing else)
+                    specs = compile_order(post)
+                    if specs is None:
+                        return None
+                    stages.append(("order", specs))
+            break
         else:
             return None
 
-    projections = _match_record(cc, source.return_expr, names, env)
+    projections = _match_record(cc, record_return, names, env)
     if projections is None:
         return None
 
@@ -890,18 +1215,33 @@ class _VectorPlan:
         #: scan can be partitioned (a leading hash join probes the unit
         #: tuple stream — there is nothing to split). Workers run the
         #: stage prefix up to the first pipeline breaker (order/restore
-        #: need every row); with no breaker and no window they run the
-        #: whole pipeline including the encode ("encode" mode),
-        #: otherwise they return columns for the parent to finish
-        #: ("batches" mode).
+        #: need every row; agg needs every row of its group); with no
+        #: breaker and no window they run the whole pipeline including
+        #: the encode ("encode" mode). When the first breaker is a
+        #: parallel-safe aggregation whose NDV estimate predicts real
+        #: compression, workers fold their partition into a partial-
+        #: state table and ship O(groups) instead of O(rows)
+        #: ("partial_agg" mode); otherwise they return raw columns for
+        #: the parent to finish ("batches" mode).
         self.parallel_ready = bool(stages) and stages[0][0] == "scan"
         breakers = [i for i, (kind, _p) in enumerate(stages)
-                    if kind in ("order", "restore")]
+                    if kind in ("order", "restore", "agg")]
         self.partition_stage_count = breakers[0] if breakers \
             else len(stages)
-        self.parallel_mode = "encode" if not breakers and window is None \
-            else "batches"
+        if not breakers and window is None:
+            self.parallel_mode = "encode"
+        elif breakers and stages[breakers[0]][0] == "agg" \
+                and stages[breakers[0]][1].parallel_safe \
+                and _partial_agg_pays(stages[breakers[0]][1]):
+            self.parallel_mode = "partial_agg"
+        else:
+            self.parallel_mode = "batches"
         scan0 = stages[0][1] if self.parallel_ready else None
+        agg_shape = tuple(
+            (len(payload.key_vars),)
+            + tuple((s.func, s.star, s.distinct, s.empty_zero)
+                    for s in payload.specs)
+            for kind, payload in stages if kind == "agg")
         self.signature = (
             tuple(kind for kind, _p in stages),
             window,
@@ -909,6 +1249,8 @@ class _VectorPlan:
             tuple(sorted(param_names)),
             (scan0.uri, scan0.local, scan0.with_ordinal)
             if scan0 is not None else None,
+            self.parallel_mode,
+            agg_shape,
         )
 
     # -- entry ------------------------------------------------------------
@@ -945,8 +1287,12 @@ class _VectorPlan:
         — the partition's fully encoded output. In ``"batches"`` mode
         returns ``(cols, out_rows, scanned)`` where *cols* is one
         column-major dict for the whole partition after the worker-side
-        stage prefix. *scanned* is the partition's scanned (post-
-        pushdown, pre-filter) row count — the parent's ordinal offset.
+        stage prefix. In ``"partial_agg"`` mode returns ``(table,
+        n_groups, scanned)`` where *table* is the partition's partial-
+        state group table in first-seen order. *scanned* is the
+        partition's scanned (post-pushdown, pre-filter) row count — the
+        parent's ordinal offset (and, for aggregation, its admission
+        charge).
         """
         params: dict = {}
         for name in self.param_names:
@@ -965,8 +1311,14 @@ class _VectorPlan:
         for kind, payload in self.stages[1:self.partition_stage_count]:
             if kind == "where":
                 batches = self._where(state, batches, payload)
-            else:  # join (order/restore never sit inside the prefix)
+            else:  # join (breaker stages never sit inside the prefix)
                 batches = self._join(state, batches, payload)
+        if mode == "partial_agg":
+            _kind, info = self.stages[self.partition_stage_count]
+            table = self._fold_groups(state, batches, info)
+            payload = [(canon, record[0], record[1])
+                       for canon, record in table.items()]
+            return payload, len(payload), scanned[0]
         if mode == "encode":
             out_rows = 0
 
@@ -1009,8 +1361,44 @@ class _VectorPlan:
                 batches = self._restore(state, batches, payload)
             elif kind == "where":
                 batches = self._where(state, batches, payload)
+            elif kind == "agg":
+                batches = self._aggregate(state, batches, payload)
             else:
                 batches = self._join(state, batches, payload)
+        if self.window is not None:
+            batches = self._window_batches(batches)
+        return self._encode(state, batches)
+
+    def gather_partial(self, state: _State, parts) -> Iterator[str]:
+        """Parent-side merge for ``"partial_agg"`` mode: *parts* is the
+        per-partition ``(table, n_groups, scanned)`` list in partition
+        index order. Partitions are contiguous slices of the serial
+        scan order, so merging their first-seen group tables in index
+        order reproduces the serial group order, and every partial
+        state's merge is associative (``parallel_safe`` gated the mode),
+        so finalized values match the serial fold exactly. The order/
+        window/encode suffix then runs in-process as usual."""
+        agg_index = self.partition_stage_count
+        _kind, info = self.stages[agg_index]
+        specs = info.specs
+        groups: dict = {}
+        for table, _n, _scanned in parts:
+            for canon, key_values, states in table:
+                record = groups.get(canon)
+                if record is None:
+                    groups[canon] = (key_values, states)
+                else:
+                    merged = record[1]
+                    for j, spec in enumerate(specs):
+                        merged[j] = _merge_agg_states(spec, merged[j],
+                                                      states[j])
+        self._count_groups(len(groups))
+        batches: Iterator[_Batch] = self._group_batches(info, groups)
+        for kind, payload in self.stages[agg_index + 1:]:
+            if kind == "where":
+                batches = self._where(state, batches, payload)
+            else:  # order (nothing else survives the lowering)
+                batches = self._order(state, batches, payload)
         if self.window is not None:
             batches = self._window_batches(batches)
         return self._encode(state, batches)
@@ -1034,6 +1422,8 @@ class _VectorPlan:
                 batches = self._join(state, batches, payload)
             elif kind == "order":
                 batches = self._order(state, batches, payload)
+            elif kind == "agg":
+                batches = self._aggregate(state, batches, payload)
             else:
                 batches = self._restore(state, batches, payload)
             if count:
@@ -1221,6 +1611,70 @@ class _VectorPlan:
                    for cond in info.cond_exprs):
                 matches.append(entry)
         return matches
+
+    def _fold_groups(self, state: _State, batches,
+                     info: _AggInfo) -> dict:
+        """Consume *batches* into a group table: canonical key tuple →
+        ``(key_values, [partial state per spec])`` in first-seen order.
+        Shared by the serial stage (which finalizes it) and the worker
+        side of partial aggregation (which ships it)."""
+        specs = info.specs
+        groups: dict = {}
+        for b in batches:
+            if state.ctx is not None:
+                # The group table buffers whole-input state, so
+                # admission charges the pre-aggregation scanned rows
+                # (ticks happened at scan granularity already).
+                state.ctx.rows_buffered += b.n
+            key_cols = [key.eval(state, b) for key in info.key_exprs]
+            value_cols = [None if value is None else value.eval(state, b)
+                          for value in info.value_exprs]
+            for i in range(b.n):
+                key_cells = [col[i] for col in key_cols]
+                canon = tuple(grouping_key(cell) for cell in key_cells)
+                record = groups.get(canon)
+                if record is None:
+                    record = (key_cells,
+                              [_new_agg_state(spec) for spec in specs])
+                    groups[canon] = record
+                states = record[1]
+                for j, spec in enumerate(specs):
+                    col = value_cols[j]
+                    _fold_agg_cell(spec, states, j,
+                                   None if col is None else col[i])
+        return groups
+
+    def _count_groups(self, n_groups: int) -> None:
+        VSTATS.agg_groups += n_groups
+        queries = getattr(self.columnar, "_agg_queries", None)
+        if queries is not None:
+            queries.increment()
+        counter = getattr(self.columnar, "_agg_groups", None)
+        if counter is not None:
+            counter.add(n_groups)
+
+    def _group_batches(self, info: _AggInfo, groups: dict) \
+            -> Iterator[_Batch]:
+        """Finalize a group table into scalar-column batches: one
+        ``(_GRP, var)`` column per group key and per aggregate."""
+        records = list(groups.values())
+        size = self.batch_size
+        for start in range(0, len(records), size):
+            chunk = records[start:start + size]
+            cols = {}
+            for k, var in enumerate(info.key_vars):
+                cols[(_GRP, var)] = [record[0][k] for record in chunk]
+            for j, spec in enumerate(info.specs):
+                cols[(_GRP, spec.var)] = [
+                    _finalize_agg_state(spec, record[1][j])
+                    for record in chunk]
+            yield _Batch(len(chunk), cols)
+
+    def _aggregate(self, state: _State, batches,
+                   info: _AggInfo) -> Iterator[_Batch]:
+        groups = self._fold_groups(state, batches, info)
+        self._count_groups(len(groups))
+        yield from self._group_batches(info, groups)
 
     def _order(self, state: _State, batches, specs) -> Iterator[_Batch]:
         big = _concat(list(batches))  # pipeline breaker

@@ -209,9 +209,11 @@ class TestStatsSchema:
     Renaming or removing any of them requires bumping
     ``STATS_SCHEMA_VERSION`` (and this test)."""
 
-    #: Version-2 sections and the keys each must carry (version 2 = the
-    #: version-1 document plus the write path's ``transactions``).
-    SCHEMA_V2 = {
+    #: Version-3 sections and the keys each must carry (version 2 = the
+    #: version-1 document plus the write path's ``transactions``;
+    #: version 3 keeps the same sections and adds the grouped-
+    #: aggregation counters under ``runtime.counters``).
+    SCHEMA_V3 = {
         "statement_cache": {"hits", "misses", "evictions", "size",
                             "capacity"},
         "metadata_cache": {"hits", "misses", "evictions", "size",
@@ -227,9 +229,9 @@ class TestStatsSchema:
     def test_version_key_present(self):
         snapshot = connect(build_runtime()).stats()
         assert snapshot["stats_schema_version"] == \
-            repro.STATS_SCHEMA_VERSION == 2
+            repro.STATS_SCHEMA_VERSION == 3
 
-    def test_v2_sections_and_keys(self):
+    def test_v3_sections_and_keys(self):
         connection = connect(build_runtime())
         cursor = connection.cursor()
         cursor.execute("SELECT CUSTOMERID FROM CUSTOMERS")
@@ -237,10 +239,23 @@ class TestStatsSchema:
         snapshot = connection.stats()
         assert isinstance(snapshot["counters"], dict)
         assert isinstance(snapshot["histograms"], dict)
-        for section, keys in self.SCHEMA_V2.items():
+        for section, keys in self.SCHEMA_V3.items():
             assert section in snapshot, section
             missing = keys - set(snapshot[section])
             assert not missing, f"{section} lost keys {sorted(missing)}"
+
+    def test_v3_aggregation_counters_present(self):
+        connection = connect(build_runtime())
+        cursor = connection.cursor()
+        cursor.execute("SELECT REGION, COUNT(*) FROM CUSTOMERS "
+                       "GROUP BY REGION")
+        cursor.fetchall()
+        counters = connection.stats()["runtime"]["counters"]
+        for name in ("vector.agg_queries", "vector.agg_groups",
+                     "parallel.partial_aggs"):
+            assert name in counters, name
+        assert counters["vector.agg_queries"] >= 1
+        assert counters["vector.agg_groups"] >= 1
 
     def test_counter_names_stable(self):
         connection = connect(build_runtime())
@@ -262,8 +277,8 @@ class TestStatsSchema:
                 handle.dsn("app", "TestDataServices", token="t"))
             try:
                 snapshot = connection.stats()
-                assert snapshot["stats_schema_version"] == 2
-                for section in self.SCHEMA_V2:
+                assert snapshot["stats_schema_version"] == 3
+                for section in self.SCHEMA_V3:
                     assert section in snapshot, section
                 # plus the server-only and client-only sections
                 assert "server" in snapshot

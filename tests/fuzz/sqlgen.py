@@ -158,13 +158,115 @@ class QueryFuzzer:
             return f"NOT ({self._comparison(scope, params)})"
         return self._comparison(scope, params)
 
+    # -- aggregates -------------------------------------------------------
+
+    def _aggregate(self, alias: str, table) -> str:
+        """One aggregate call: COUNT(*) vs COUNT(col), DISTINCT forms,
+        Decimal/int SUM/AVG, and MIN/MAX over every column kind."""
+        rng = self._rng
+        roll = rng.random()
+        if roll < 0.2:
+            return "COUNT(*)"
+        column = rng.choice(table.columns)
+        distinct = "DISTINCT " if rng.random() < 0.25 else ""
+        if roll < 0.45:
+            return f"COUNT({distinct}{alias}.{column.name})"
+        if roll < 0.75:
+            numeric = [c for c in table.columns
+                       if c.kind in ("int", "decimal")]
+            if numeric:
+                column = rng.choice(numeric)
+                func = rng.choice(("SUM", "AVG"))
+                return f"{func}({distinct}{alias}.{column.name})"
+            return f"COUNT({alias}.{column.name})"
+        func = rng.choice(("MIN", "MAX"))
+        return f"{func}({distinct}{alias}.{column.name})"
+
+    def _grouped_query(self) -> tuple:
+        """One grouped/aggregate (sql, params) pair. Single-table groups
+        exercise the vectorized hash-aggregation stage; joined groups
+        and implicit (no GROUP BY) aggregates pin the tuple fallback.
+        NULL-heavy group keys, empty inputs (COUNT=0 vs SUM=NULL),
+        HAVING, aggregate/ordinal ORDER BY, and LIMIT windows over the
+        group stream are all in the mix."""
+        rng = self._rng
+        params: list = []
+        tables = list(self._schema)
+        first = rng.choice(tables)
+        scope = [("A", first)]
+        from_parts = [f"{first.name} A"]
+        where_parts = []
+        if len(tables) >= 2 and rng.random() < 0.15:
+            # Joined group: outside the vector subset by design.
+            second = rng.choice([t for t in tables if t is not first]
+                                or tables)
+            scope.append(("B", second))
+            from_parts.append(f"{second.name} B")
+            where_parts.append("A.K0 = B.K0")
+        if rng.random() < 0.5:
+            where_parts.append(self._predicate(scope, params))
+
+        aggregates = [self._aggregate(*rng.choice(scope))
+                      for _ in range(rng.randint(1, 3))]
+
+        group_keys: list = []
+        if rng.random() < 0.15:
+            # Implicit aggregation: one row over the whole (possibly
+            # empty) input.
+            projection = aggregates
+        else:
+            alias, table = rng.choice(scope)
+            columns = list(table.columns)
+            rng.shuffle(columns)
+            group_keys = [f"{alias}.{column.name}"
+                          for column in columns[:rng.randint(1, 2)]]
+            shown = [key for key in group_keys if rng.random() < 0.8] \
+                or [group_keys[0]]
+            projection = shown + aggregates
+            rng.shuffle(projection)
+
+        sql = [f"SELECT {', '.join(projection)}",
+               f"FROM {', '.join(from_parts)}"]
+        if where_parts:
+            sql.append("WHERE " + " AND ".join(where_parts))
+        if group_keys:
+            sql.append("GROUP BY " + ", ".join(group_keys))
+            if rng.random() < 0.3:
+                op = rng.choice((">", ">=", "<", "="))
+                sql.append(f"HAVING COUNT(*) {op} {rng.randint(0, 4)}")
+            if rng.random() < 0.6:
+                order_keys = []
+                for _ in range(rng.randint(1, 2)):
+                    roll = rng.random()
+                    if roll < 0.4:
+                        target = rng.choice(projection)
+                        order_keys.append(
+                            str(projection.index(target) + 1))
+                    elif roll < 0.7:
+                        order_keys.append(rng.choice(group_keys))
+                    else:
+                        order_keys.append(
+                            self._aggregate(*rng.choice(scope)))
+                sql.append("ORDER BY " + ", ".join(
+                    key + (" DESC" if rng.random() < 0.4 else "")
+                    for key in order_keys))
+        if rng.random() < 0.3:
+            total = sum(len(t.rows) for _a, t in scope) + 2
+            sql.append(f"LIMIT {rng.randint(0, total)}")
+            if rng.random() < 0.5:
+                sql.append(f"OFFSET {rng.randint(0, total)}")
+        return " ".join(sql), tuple(params)
+
     # -- queries ----------------------------------------------------------
 
     def query(self) -> tuple:
-        """One (sql, params) pair. Equi-joins on the shared ``K0``
-        columns appear ~40% of the time; predicates, ORDER BY, and
-        LIMIT/OFFSET are layered on independently."""
+        """One (sql, params) pair. Grouped/aggregate queries appear
+        ~30% of the time; otherwise equi-joins on the shared ``K0``
+        columns appear ~40% of the time, with predicates, ORDER BY, and
+        LIMIT/OFFSET layered on independently."""
         rng = self._rng
+        if rng.random() < 0.3:
+            return self._grouped_query()
         params: list = []
         tables = list(self._schema)
         first = rng.choice(tables)

@@ -38,7 +38,7 @@ class TestFacade:
         assert remote.remote and remote.address == ("db.example", 7777)
 
     def test_stats_schema_version_exported(self):
-        assert repro.STATS_SCHEMA_VERSION == 2
+        assert repro.STATS_SCHEMA_VERSION == 3
 
     def test_pep249_globals(self):
         assert repro.apilevel == "2.0"
